@@ -1,0 +1,36 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper's
+evaluation at CI-friendly scale; pass ``--paper-scale`` to use the
+full §V/§VI parameters (minutes instead of seconds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks at the paper's full parameters",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def fig7_params(paper_scale):
+    """(processes override, rounds) for the queue-depth sweep."""
+    return (None, 6) if not paper_scale else (None, 12)
+
+
+@pytest.fixture(scope="session")
+def fig8_params(paper_scale):
+    """(k, repetitions, in_flight) for the message-rate ping-pong."""
+    return (100, 500, 1024) if paper_scale else (100, 20, 1024)

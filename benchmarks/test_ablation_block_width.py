@@ -1,0 +1,54 @@
+"""Ablation — optimistic block width N (the bitmap-bounded thread
+count; the §VI prototype uses 32, "limited by the bookkeeping bitmap
+size").
+
+Sweeps N over the no-conflict and with-conflict streams and reports
+the message rate per width: wider blocks amortize dispatch on clean
+streams but widen the conflict blast radius on same-key streams.
+"""
+
+from repro.bench import PingPongBench
+from repro.bench.scenarios import scenario_by_name
+
+WIDTHS = (1, 4, 16, 32)
+
+
+def sweep_widths(scenario_name: str):
+    rates = {}
+    for width in WIDTHS:
+        bench = PingPongBench(k=64, repetitions=4, in_flight=128, threads=width)
+        result = bench.run_optimistic(scenario_by_name(scenario_name))
+        rates[width] = result.message_rate
+    return rates
+
+
+def test_block_width_nc(benchmark):
+    rates = benchmark.pedantic(sweep_widths, args=("nc",), rounds=1, iterations=1)
+    print("\nNC rate by block width: " + ", ".join(
+        f"N={w}: {r / 1e6:.2f}M/s" for w, r in rates.items()
+    ))
+    # Parallel width must help the clean stream.
+    assert rates[32] > rates[1]
+
+
+def test_block_width_wc_slow_path(benchmark):
+    rates = benchmark.pedantic(sweep_widths, args=("wc-sp",), rounds=1, iterations=1)
+    print("\nWC-SP rate by block width: " + ", ".join(
+        f"N={w}: {r / 1e6:.2f}M/s" for w, r in rates.items()
+    ))
+    # Slow-path serialization wipes out most of the parallel benefit:
+    # the widest block must not scale anywhere near linearly.
+    speedup = rates[32] / rates[1]
+    assert speedup < 16
+
+
+def test_block_width_one_degenerates_to_serial(benchmark):
+    """N=1 has no conflicts by construction, on any stream."""
+
+    def run():
+        bench = PingPongBench(k=64, repetitions=2, in_flight=128, threads=1)
+        return bench.run_optimistic(scenario_by_name("wc-fp"))
+
+    result = benchmark(run)
+    assert result.path_mix["fast"] == 0
+    assert result.path_mix["slow"] == 0

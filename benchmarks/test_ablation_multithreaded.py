@@ -1,0 +1,61 @@
+"""Ablation — multithreaded matching misery (§I motivation).
+
+MPI_THREAD_MULTIPLE forces the traditional matcher behind a queue
+lock; per-message cost *rises* with thread count while the offloaded
+optimistic engine's cost is flat (the host does nothing). This
+benchmark regenerates that motivating curve.
+"""
+
+from repro.bench import PingPongBench
+from repro.bench.scenarios import scenario_by_name
+from repro.matching.oracle import StreamOp
+from repro.matching.threaded_host import simulate_threaded_host
+
+THREAD_COUNTS = (1, 2, 4, 8, 16)
+
+
+def host_stream() -> list[StreamOp]:
+    ops = []
+    for round_ in range(8):
+        keys = [(k % 4, k) for k in range(32)]
+        ops.extend(StreamOp.post(src, tag) for src, tag in keys)
+        ops.extend(StreamOp.message(src, tag) for src, tag in reversed(keys))
+    return ops
+
+
+def misery_curve(ops):
+    return {t: simulate_threaded_host(ops, t) for t in THREAD_COUNTS}
+
+
+def test_multithreaded_misery(benchmark):
+    ops = host_stream()
+    curve = benchmark.pedantic(misery_curve, args=(ops,), rounds=1, iterations=1)
+    print(f"\n{'threads':>8s} {'cycles/msg':>11s} {'Mmsg/s':>8s}")
+    for threads, result in curve.items():
+        print(
+            f"{threads:8d} {result.cycles_per_message:11.0f} "
+            f"{result.message_rate / 1e6:8.2f}"
+        )
+    # The misery: cost strictly rises with contention.
+    costs = [curve[t].cycles_per_message for t in THREAD_COUNTS]
+    assert all(a < b for a, b in zip(costs, costs[1:]))
+    # 16 threads are at least 5x worse per message than 1 thread.
+    assert costs[-1] / costs[0] > 5
+
+
+def test_offloaded_engine_immune_to_host_threads(benchmark):
+    """The offloaded NC rate is a constant whatever the host's thread
+    count — matching never runs there."""
+
+    def offloaded_rate():
+        bench = PingPongBench(k=64, repetitions=3, in_flight=128, threads=16)
+        return bench.run_optimistic(scenario_by_name("nc"))
+
+    result = benchmark(offloaded_rate)
+    assert result.host_matching_cycles_per_msg == 0.0
+
+    # Crossover: beyond a few host threads, even the conflict-free
+    # offloaded path beats contended host matching.
+    ops = host_stream()
+    contended = simulate_threaded_host(ops, 16)
+    assert result.message_rate > contended.message_rate

@@ -1,0 +1,117 @@
+"""Ablation — the §IV-D optimizations, each toggled independently.
+
+DESIGN.md experiment E6: quantify what *inline hash values*, the
+*early booking check*, and *lazy removal* each buy, plus the fast
+path itself (§III-D.3a), on the workloads they target.
+"""
+
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    MessageEnvelope,
+    OptimisticMatcher,
+    RandomPolicy,
+    ReceiveRequest,
+    compute_inline_hashes,
+)
+
+N_MESSAGES = 512
+THREADS = 16
+
+
+def run_engine(config: EngineConfig, *, same_key: bool, inline: bool, seed: int | None = None):
+    # A seeded random schedule staggers thread progress the way real
+    # hardware does; the lockstep round-robin default would let no
+    # thread observe another's booking.
+    policy = RandomPolicy(seed) if seed is not None else None
+    engine = OptimisticMatcher(config, policy=policy)
+    for i in range(N_MESSAGES):
+        tag = 7 if same_key else i
+        engine.post_receive(ReceiveRequest(source=0, tag=tag))
+    for i in range(N_MESSAGES):
+        tag = 7 if same_key else i
+        hashes = compute_inline_hashes(0, tag) if inline else None
+        engine.submit_message(
+            MessageEnvelope(source=0, tag=tag, send_seq=i, inline_hashes=hashes)
+        )
+    engine.process_all()
+    return engine
+
+
+def base_config(**overrides) -> EngineConfig:
+    params = dict(bins=1024, block_threads=THREADS, max_receives=2 * N_MESSAGES)
+    params.update(overrides)
+    return EngineConfig(**params)
+
+
+def test_ablation_inline_hashes(benchmark):
+    """Sender-side hashes eliminate the accelerator's hash compute."""
+    engine = benchmark(run_engine, base_config(), same_key=False, inline=True)
+    baseline = run_engine(base_config(), same_key=False, inline=False)
+    print(
+        f"\nhashes computed: inline={engine.stats.hashes_computed} "
+        f"vs receiver-side={baseline.stats.hashes_computed}"
+    )
+    assert engine.stats.hashes_computed == 0
+    assert baseline.stats.hashes_computed >= 3 * N_MESSAGES
+
+
+def test_ablation_early_booking(benchmark):
+    """The early booking check converts same-key conflicts into clean
+    optimistic matches by skipping already-booked receives."""
+    engine = benchmark(
+        run_engine,
+        base_config(early_booking_check=True),
+        same_key=True,
+        inline=False,
+        seed=11,
+    )
+    baseline = run_engine(
+        base_config(early_booking_check=False), same_key=True, inline=False, seed=11
+    )
+    print(
+        f"\nconflicts: with-check={engine.stats.conflicts} "
+        f"without={baseline.stats.conflicts}; "
+        f"early skips={engine.stats.early_skips}"
+    )
+    assert engine.stats.early_skips > 0
+    assert engine.stats.conflicts <= baseline.stats.conflicts
+
+
+def test_ablation_fast_path(benchmark):
+    """On compatible-receive runs the fast path replaces serialized
+    slow-path resolution."""
+    engine = benchmark(
+        run_engine,
+        base_config(early_booking_check=False, enable_fast_path=True),
+        same_key=True,
+        inline=False,
+    )
+    baseline = run_engine(
+        base_config(early_booking_check=False, enable_fast_path=False),
+        same_key=True,
+        inline=False,
+    )
+    print(
+        f"\nfast={engine.stats.fast_path} slow={engine.stats.slow_path} | "
+        f"disabled: slow={baseline.stats.slow_path}, "
+        f"wait polls {engine.stats.wait_polls} vs {baseline.stats.wait_polls}"
+    )
+    assert engine.stats.fast_path > 0
+    assert baseline.stats.fast_path == 0
+    # The slow path pays synchronization: more wait polling.
+    assert baseline.stats.wait_polls > engine.stats.wait_polls
+
+
+@pytest.mark.parametrize("lazy", [True, False])
+def test_ablation_lazy_removal(benchmark, lazy):
+    """Lazy removal trades longer walks for batched unlinking."""
+    engine = benchmark(
+        run_engine, base_config(lazy_removal=lazy), same_key=True, inline=False
+    )
+    print(
+        f"\nlazy={lazy}: walked={engine.stats.probes_walked}, "
+        f"swept={engine.stats.swept}"
+    )
+    assert engine.stats.expected_matches == N_MESSAGES

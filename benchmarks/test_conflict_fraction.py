@@ -1,0 +1,98 @@
+"""Extension — message rate between the Figure 8 extremes.
+
+Figure 8 measures the best case (all keys distinct, NC) and the worst
+case (all keys identical, WC). Real applications sit between: some
+fraction of traffic lands on shared keys. This benchmark sweeps that
+fraction and traces the rate curve from NC to WC.
+
+Measured finding worth knowing: the curve is *not* monotone. Partial
+sharing (25-75 %) is slower than 100 % sharing, because the fast path
+requires *every* block thread to book the same receive (a full
+booking bitmap, §III-D.3a) — mixed traffic conflicts without
+qualifying, so it rides the serializing slow path, while the pure-WC
+case resolves through cheap fast-path shifts. The paper's two
+extremes are respectively the best case and the best-handled worst
+case; the awkward middle is the gap a future adaptive fast-path
+eligibility rule could close.
+"""
+
+from repro.core import EngineConfig, MessageEnvelope, OptimisticMatcher, ReceiveRequest
+from repro.core.stats import BlockStats
+from repro.dpa.costs import DpaCostModel
+from repro.util.rng import make_rng
+
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+MESSAGES = 512
+THREADS = 16
+
+
+def run_fraction(shared_fraction: float):
+    """Post/drain MESSAGES receives where ``shared_fraction`` of keys
+    collapse onto one hot (source, tag)."""
+    engine = OptimisticMatcher(
+        EngineConfig(
+            bins=2048,
+            block_threads=THREADS,
+            max_receives=2 * MESSAGES,
+            early_booking_check=False,
+        ),
+        keep_history=True,
+    )
+    rng = make_rng(int(shared_fraction * 1000))
+    keys = [
+        7 if rng.random() < shared_fraction else 1000 + i for i in range(MESSAGES)
+    ]
+    # Receives posted in key order; messages arrive in the same order
+    # (FIFO wire), so every message has a live matching receive.
+    for tag in keys:
+        engine.post_receive(ReceiveRequest(source=0, tag=tag))
+    for i, tag in enumerate(keys):
+        engine.submit_message(MessageEnvelope(source=0, tag=tag, send_seq=i))
+    engine.process_all()
+    costs = DpaCostModel()
+    cycles = sum(
+        costs.block_cycles(block, cores=16) for block in engine.stats.block_history
+    )
+    cycles += MESSAGES * costs.dispatch_serial
+    seconds = costs.cycles_to_seconds(cycles)
+    return engine, MESSAGES / seconds
+
+
+def test_conflict_fraction_curve(benchmark):
+    def sweep():
+        return {fraction: run_fraction(fraction) for fraction in FRACTIONS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n{'shared key %':>13s} {'Mmsg/s':>8s} {'conflicts':>10s} "
+          f"{'fast':>6s} {'slow':>6s}")
+    rates = {}
+    for fraction, (engine, rate) in results.items():
+        rates[fraction] = rate
+        print(
+            f"{100 * fraction:13.0f} {rate / 1e6:8.2f} "
+            f"{engine.stats.conflicts:10d} {engine.stats.fast_path:6d} "
+            f"{engine.stats.slow_path:6d}"
+        )
+    # Monotone cost of sharing: the fully-shared case is the slowest.
+    assert rates[0.0] >= rates[1.0]
+    # Conflicts grow with the shared fraction.
+    conflicts = [results[f][0].stats.conflicts for f in FRACTIONS]
+    assert conflicts[0] == 0
+    assert conflicts[-1] == max(conflicts)
+    # Everything still matches at every fraction.
+    for fraction, (engine, _) in results.items():
+        assert engine.stats.expected_matches == MESSAGES, fraction
+
+
+def test_moderate_sharing_stays_near_nc(benchmark):
+    """At 25 % shared keys the rate must stay within 40 % of NC —
+    quantifying 'few conflicts hurt little', the design bet of §III."""
+
+    def run_pair():
+        _, nc_rate = run_fraction(0.0)
+        _, mixed_rate = run_fraction(0.25)
+        return nc_rate, mixed_rate
+
+    nc_rate, mixed_rate = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print(f"\nNC {nc_rate / 1e6:.2f} M/s vs 25%-shared {mixed_rate / 1e6:.2f} M/s")
+    assert mixed_rate > 0.6 * nc_rate

@@ -1,0 +1,52 @@
+"""Figure 6 — distribution of MPI call types across the Table II apps.
+
+Regenerates the per-application p2p/collective/one-sided percentages
+and asserts the paper's qualitative findings: p2p dominates, exactly
+three apps are pure p2p, HILO's two versions are pure collectives,
+and no application uses one-sided operations.
+"""
+
+from repro.analyzer import analyze, figure6_rows, format_figure6
+from repro.traces.model import OpGroup
+from repro.traces.synthetic import app_names, generate
+
+
+def regenerate_figure6(rounds: int):
+    analyses = {}
+    for name in app_names():
+        trace = generate(name, rounds=rounds)
+        analyses[name] = analyze(trace, bins=1)
+    return analyses
+
+
+def test_figure6_callmix(benchmark, fig7_params):
+    _, rounds = fig7_params
+    analyses = benchmark.pedantic(
+        regenerate_figure6, args=(rounds,), rounds=1, iterations=1
+    )
+    print("\n" + format_figure6(analyses))
+
+    rows = figure6_rows(analyses)
+    assert len(rows) == 16
+
+    pure_p2p = [name for name, p2p, coll, os_ in rows if p2p == 100.0]
+    pure_coll = [name for name, p2p, coll, os_ in rows if coll == 100.0]
+    one_sided = [name for name, p2p, coll, os_ in rows if os_ > 0.0]
+
+    # "Only 3 applications in our dataset exclusively utilize p2p."
+    assert len(pure_p2p) == 3
+    # "another 2 applications are entirely reliant on collectives
+    # (HILO has 2 different versions)"
+    assert sorted(pure_coll) == ["HILO", "HILO 2D"]
+    # "none of the applications in the dataset use one-sided MPI"
+    assert one_sided == []
+    # "the majority of applications rely primarily on point-to-point"
+    p2p_dominant = [name for name, p2p, coll, os_ in rows if p2p > 50.0]
+    assert len(p2p_dominant) >= 12
+
+
+def test_figure6_analysis_throughput(benchmark):
+    """Analyzer speed on one representative trace (ops/second)."""
+    trace = generate("LULESH", rounds=4)
+    result = benchmark(analyze, trace, 1)
+    assert result.total_ops == trace.total_ops()

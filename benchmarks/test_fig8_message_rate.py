@@ -1,0 +1,61 @@
+"""Figure 8 — single-process message rate (§VI).
+
+Regenerates all five configurations of the ping-pong benchmark —
+Optimistic-DPA {NC, WC-FP, WC-SP}, MPI-CPU, and RDMA-CPU — and
+asserts the paper's qualitative results:
+
+* the raw-RDMA baseline bounds every configuration from above;
+* offloaded no-conflict matching is comparable to host matching;
+* conflicts cost rate, the slow path more than the fast path;
+* the offload fully frees the host CPU of matching work.
+"""
+
+from repro.bench import PingPongBench, format_figure8
+
+
+def run_bench(k, repetitions, in_flight):
+    bench = PingPongBench(k=k, repetitions=repetitions, in_flight=in_flight)
+    return {result.label: result for result in bench.run_all()}
+
+
+def test_figure8_message_rate(benchmark, fig8_params):
+    k, repetitions, in_flight = fig8_params
+    results = benchmark.pedantic(
+        run_bench, args=(k, repetitions, in_flight), rounds=1, iterations=1
+    )
+    print("\n" + format_figure8(list(results.values())))
+
+    rdma = results["RDMA-CPU"].message_rate
+    cpu = results["MPI-CPU"].message_rate
+    nc = results["Optimistic-DPA NC"].message_rate
+    fp = results["Optimistic-DPA WC-FP"].message_rate
+    sp = results["Optimistic-DPA WC-SP"].message_rate
+
+    # RDMA (no matching) is the upper bound.
+    assert rdma > max(cpu, nc, fp, sp)
+    # "optimistic tag matching has performance comparable with MPI-CPU
+    # for the non-conflict case" — within a factor of two.
+    assert 0.5 < nc / cpu < 2.0
+    # "When there are conflicts, either the fast or the slow path is
+    # taken, causing a lower message rate".
+    assert nc > fp > sp
+    # "In all cases, the offloading fully frees the host CPU from
+    # tag-matching overheads."
+    for label in ("Optimistic-DPA NC", "Optimistic-DPA WC-FP", "Optimistic-DPA WC-SP"):
+        assert results[label].host_matching_cycles_per_msg == 0.0
+    assert results["MPI-CPU"].host_matching_cycles_per_msg > 0.0
+
+
+def test_figure8_nc_engine_speed(benchmark):
+    """Wall-clock speed of the simulated engine itself on the NC
+    stream (how fast the reproduction runs, not a paper number)."""
+    from repro.bench.scenarios import scenario_by_name
+
+    scenario = scenario_by_name("nc")
+
+    def one_sequence():
+        bench = PingPongBench(k=100, repetitions=1, in_flight=128)
+        return bench.run_optimistic(scenario)
+
+    result = benchmark(one_sequence)
+    assert result.messages == 100

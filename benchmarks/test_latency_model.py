@@ -1,0 +1,40 @@
+"""Extension — matching-latency distributions per Figure 8 scenario.
+
+Throughput's other face: the same cycle accounting as Figure 8, read
+as per-message latency quantiles. Conflict resolution shows up as a
+fattened tail (p95/p99), the slow path worst.
+"""
+
+from repro.bench import dpa_latencies, host_latencies
+from repro.bench.scenarios import SCENARIOS
+
+
+def collect():
+    rows = [
+        dpa_latencies(scenario, messages=256, in_flight=256, threads=16)
+        for scenario in SCENARIOS
+    ]
+    rows.append(host_latencies(messages=256, burst=32))
+    return rows
+
+
+def test_latency_distributions(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print(f"\n{'configuration':24s} {'p50 ns':>8s} {'p95 ns':>8s} "
+          f"{'p99 ns':>8s} {'max ns':>8s}")
+    for dist in rows:
+        print(
+            f"{dist.label:24s} {dist.p50_ns:8.0f} {dist.p95_ns:8.0f} "
+            f"{dist.p99_ns:8.0f} {dist.max_ns:8.0f}"
+        )
+    by_label = {dist.label: dist for dist in rows}
+    nc = by_label["Optimistic-DPA NC"]
+    fp = by_label["Optimistic-DPA WC-FP"]
+    sp = by_label["Optimistic-DPA WC-SP"]
+    # Conflict resolution fattens the tail, slow path the most.
+    assert nc.p95_ns <= fp.p95_ns <= sp.p95_ns
+    # The parallel block flattens latency relative to a serial host
+    # burst: the host's worst case (end of a burst) is far beyond its
+    # median, while the DPA NC spread is tight.
+    host = by_label["MPI-CPU"]
+    assert host.max_ns / host.p50_ns > nc.max_ns / nc.p50_ns

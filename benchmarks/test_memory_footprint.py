@@ -1,0 +1,55 @@
+"""§III-E memory footprint (experiment E7).
+
+Regenerates the paper's worked example — 20 B per bin, 7.5 KiB of bin
+headers at 128 bins across three tables, ~520 KiB for 8 K receives —
+and sweeps configurations against the BlueField-3 DPA cache sizes to
+locate the software-fallback boundary.
+"""
+
+from repro.dpa import MemoryModel
+
+
+def footprint_sweep():
+    rows = []
+    for bins in (32, 128, 512):
+        for receives in (1024, 8192, 32768, 65536):
+            model = MemoryModel(bins=bins, max_receives=receives)
+            rows.append(
+                (
+                    bins,
+                    receives,
+                    model.total_bytes() / 1024,
+                    model.fits_l2(),
+                    model.fits_l3(),
+                )
+            )
+    return rows
+
+
+def test_memory_footprint_paper_numbers(benchmark):
+    rows = benchmark.pedantic(footprint_sweep, rounds=1, iterations=1)
+    print(f"\n{'bins':>5s} {'receives':>9s} {'KiB':>9s} {'L2':>4s} {'L3':>4s}")
+    for bins, receives, kib, l2, l3 in rows:
+        print(f"{bins:5d} {receives:9d} {kib:9.1f} {str(l2):>4s} {str(l3):>4s}")
+
+    # The §III-E example: 128 bins, 8 K receives ~ 520 KiB, in-cache.
+    example = MemoryModel(bins=128, max_receives=8192)
+    assert example.bin_table_bytes() == int(7.5 * 1024)
+    assert 515 * 1024 <= example.total_bytes() <= 525 * 1024
+    assert example.fits_l2()
+
+    # The fallback boundary: 64 K simultaneous receives overflow L3.
+    overflow = MemoryModel(bins=128, max_receives=65536)
+    assert overflow.requires_fallback()
+
+
+def test_memory_scaling_is_linear(benchmark):
+    def scale():
+        return [
+            MemoryModel(bins=128, max_receives=n).descriptor_bytes()
+            for n in (1024, 2048, 4096)
+        ]
+
+    sizes = benchmark(scale)
+    assert sizes[1] == 2 * sizes[0]
+    assert sizes[2] == 2 * sizes[1]

@@ -1,0 +1,54 @@
+"""Paper-scale runs (gated behind ``--paper-scale``).
+
+The NERSC traces reach 1000+ ranks (Table II). The default benchmark
+scales stay CI-friendly; these gated runs demonstrate the analyzer
+handles the paper's actual process counts, and that the Fig. 7
+conclusions are not small-scale artifacts.
+"""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.traces.synthetic import APPLICATIONS, generate
+
+
+@pytest.fixture(autouse=True)
+def _require_paper_scale(paper_scale):
+    if not paper_scale:
+        pytest.skip("run with --paper-scale for full Table II process counts")
+
+
+def test_fillboundary_at_1000_ranks(benchmark):
+    spec = APPLICATIONS["FillBoundary"]
+
+    def run():
+        trace = generate(
+            "FillBoundary", processes=spec.table_processes, rounds=2
+        )
+        return trace, analyze(trace, 128)
+
+    trace, analysis = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert trace.nprocs == 1000
+    print(
+        f"\nFillBoundary@1000: {trace.total_ops()} ops, "
+        f"mean depth {analysis.depth.mean_depth:.2f} @128 bins"
+    )
+    # The Fig. 7 conclusion at paper scale: binning keeps the
+    # experienced depth below one.
+    assert analysis.depth.mean_depth < 1.0
+
+
+def test_bigfft_at_1024_ranks(benchmark):
+    def run():
+        trace = generate("BigFFT", processes=1024, rounds=1)
+        one_bin = analyze(trace, 1)
+        many = analyze(trace, 128)
+        return trace, one_bin, many
+
+    trace, one_bin, many = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert trace.nprocs == 1024
+    print(
+        f"\nBigFFT@1024: depth {one_bin.depth.mean_depth:.2f} @1 bin -> "
+        f"{many.depth.mean_depth:.2f} @128 bins"
+    )
+    assert many.depth.mean_depth <= one_bin.depth.mean_depth

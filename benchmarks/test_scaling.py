@@ -1,0 +1,76 @@
+"""Extension — matching behaviour across application scale.
+
+The NERSC traces capture "applications run at different scales"
+(§V-B); this benchmark generates selected apps at several process
+counts and checks the scale-dependence the patterns predict:
+
+* halo exchanges have *scale-invariant* per-rank queue depth (the
+  neighbor count is fixed by the stencil, not the machine size) —
+  which is why offloaded matching keeps working at exascale;
+* many-to-one fan-in depth grows linearly with the sender count —
+  the pattern that does *not* scale and motivates binning most.
+"""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.traces.synthetic import TraceBuilder, generate, manytoone_round
+
+HALO_SCALES = (27, 64, 125)
+FANIN_SCALES = (8, 16, 32)
+
+
+def halo_depths():
+    return {
+        n: analyze(generate("FillBoundary", processes=n, rounds=3), 1).depth.mean_depth
+        for n in HALO_SCALES
+    }
+
+
+def fanin_depths():
+    depths = {}
+    for n in FANIN_SCALES:
+        builder = TraceBuilder("fanin", n)
+        for _ in range(3):
+            manytoone_round(builder)
+        depths[n] = analyze(builder.build(), 1).depth.max_depth
+    return depths
+
+
+def test_halo_depth_scale_invariant(benchmark):
+    depths = benchmark.pedantic(halo_depths, rounds=1, iterations=1)
+    print("\nhalo mean depth by scale: " + str({n: round(d, 2) for n, d in depths.items()}))
+    values = list(depths.values())
+    # Per-rank depth stays within a tight band as ranks grow ~5x
+    # (the 3-D face stencil is 6 neighbors at any proper scale).
+    assert max(values) <= 1.5 * min(values)
+
+
+def test_fanin_depth_grows_with_senders(benchmark):
+    depths = benchmark.pedantic(fanin_depths, rounds=1, iterations=1)
+    print("\nfan-in max depth by scale: " + str(depths))
+    assert depths[16] > depths[8]
+    assert depths[32] > depths[16]
+    # Depth tracks the sender count: n-1 receives are pre-posted and
+    # arrival jitter means the observed max walk is a large fraction
+    # of that window.
+    for n, depth in depths.items():
+        assert depth >= 0.6 * (n - 1), (n, depth)
+
+
+@pytest.mark.parametrize("app", ["BoxLib CNS", "SNAP"])
+def test_binning_effective_at_every_scale(benchmark, app):
+    """The Fig. 7 reduction is not an artifact of one scale."""
+
+    def reductions():
+        out = {}
+        for n in (8, 27):
+            trace = generate(app, processes=n, rounds=3)
+            d1 = analyze(trace, 1).depth.mean_depth
+            d128 = analyze(trace, 128).depth.mean_depth
+            out[n] = (d1, d128)
+        return out
+
+    results = benchmark.pedantic(reductions, rounds=1, iterations=1)
+    for n, (d1, d128) in results.items():
+        assert d128 <= d1, (app, n)

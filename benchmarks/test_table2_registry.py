@@ -1,0 +1,63 @@
+"""Table II — the application-trace registry.
+
+Regenerates the table (application, description, process count) and
+benchmarks trace generation itself: the registry must reproduce the
+paper's sixteen rows with the exact NERSC process counts.
+"""
+
+from repro.analyzer import format_table2, table2_rows
+from repro.traces.synthetic import APPLICATIONS, app_names, generate
+
+PAPER_TABLE2 = {
+    "AMG": 8,
+    "AMR MiniApp": 64,
+    "BigFFT": 1024,
+    "BoxLib CNS": 64,
+    "BoxLib MultiGrid": 64,
+    "CrystalRouter": 100,
+    "FillBoundary": 1000,
+    "HILO": 256,
+    "HILO 2D": 256,
+    "LULESH": 64,
+    "MiniFe": 1152,
+    "MOCFE": 64,
+    "MultiGrid": 1000,
+    "Nekbone": 64,
+    "PARTISN": 168,
+    "SNAP": 168,
+}
+
+
+def test_table2_registry(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    print("\n" + format_table2())
+    assert {name: procs for name, _, procs in rows} == PAPER_TABLE2
+    # Alphabetical, as the paper sorts it.
+    names = [name for name, _, _ in rows]
+    assert names == sorted(names, key=str.lower)
+    # Every row has a real description.
+    assert all(len(description) > 10 for _, description, _ in rows)
+
+
+def test_table2_generation_speed(benchmark):
+    """Throughput of synthetic trace generation across the registry."""
+
+    def generate_all():
+        return sum(generate(name, rounds=2).total_ops() for name in app_names())
+
+    total_ops = benchmark(generate_all)
+    assert total_ops > 1000
+
+
+def test_table2_paper_scale_single_app(benchmark):
+    """One app generated at its full Table II process count, to show
+    paper-scale generation is feasible (CrystalRouter: 100 ranks)."""
+    spec = APPLICATIONS["CrystalRouter"]
+    trace = benchmark.pedantic(
+        generate,
+        args=("CrystalRouter",),
+        kwargs=dict(processes=spec.table_processes, rounds=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert trace.nprocs == 100

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Custom matching semantics on the programmable NIC (§VII).
+
+Because the offloaded matcher is software, it can be specialized to
+the communication library in use. This example contrasts three
+configurations on the same channel-FIFO workload (an NCCL-like
+collective exchange, no wildcards, fixed channels):
+
+1. the general MPI optimistic engine (full C1/C2 machinery),
+2. the engine with every §VII hint applied (wildcard indexes skipped,
+   overtaking allowed),
+3. a matcher specialized to channel semantics (O(1), no conflicts).
+
+Run:  python examples/custom_matching.py
+"""
+
+from repro.core import EngineConfig
+from repro.matching import ChannelMatcher, OptimisticAdapter
+from repro.matching.oracle import StreamOp, run_stream
+
+
+def channel_workload(peers: int, channels: int, rounds: int) -> list[StreamOp]:
+    """Ring-collective style traffic: every peer, every channel, each
+    round posts a receive then a message in channel FIFO order."""
+    ops: list[StreamOp] = []
+    for _ in range(rounds):
+        for peer in range(peers):
+            for channel in range(channels):
+                ops.append(StreamOp.post(peer, channel))
+        for peer in range(peers):
+            for channel in range(channels):
+                ops.append(StreamOp.message(peer, channel))
+    return ops
+
+
+def describe(label: str, matcher, walked: int, messages: int) -> None:
+    print(f"{label:34s} walk/msg={walked / messages:6.3f}")
+
+
+def main() -> None:
+    ops = channel_workload(peers=8, channels=4, rounds=20)
+    messages = sum(1 for op in ops if op.kind == "message")
+    print(f"workload: {messages} messages over 8 peers x 4 channels\n")
+
+    general = OptimisticAdapter(
+        EngineConfig(bins=64, block_threads=16, max_receives=4096)
+    )
+    run_stream(general, ops)
+    describe("general MPI engine", general, general.engine.stats.probes_walked, messages)
+    print(f"{'':34s} bucket probes/msg="
+          f"{general.engine.stats.buckets_probed / messages:.2f} "
+          f"(4 indexes searched)")
+
+    hinted = OptimisticAdapter(
+        EngineConfig(
+            bins=64,
+            block_threads=16,
+            max_receives=4096,
+            assert_no_any_source=True,
+            assert_no_any_tag=True,
+            allow_overtaking=True,
+        )
+    )
+    run_stream(hinted, ops)
+    describe("engine + all §VII hints", hinted, hinted.engine.stats.probes_walked, messages)
+    print(f"{'':34s} bucket probes/msg="
+          f"{hinted.engine.stats.buckets_probed / messages:.2f} "
+          f"(1 index, no ordering machinery)")
+
+    channel = ChannelMatcher()
+    run_stream(channel, ops)
+    describe("NCCL-style channel matcher", channel, channel.costs.walked, messages)
+    print(f"{'':34s} O(1) per message, no search at all")
+
+    print(
+        "\ntakeaway: the same offload substrate covers the full MPI "
+        "semantics and,\nwhen the library allows, collapses matching "
+        "to a queue pop — flexibility\nhardware tag matching cannot offer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""Command-line entry point: ``repro-analyze``.
+
+Regenerates the paper's analysis outputs from synthetic traces (or a
+DUMPI-text trace directory passed with ``--trace-dir``):
+
+    repro-analyze --figure 6
+    repro-analyze --figure 7 --bins 1,32,128
+    repro-analyze --table 2
+    repro-analyze --app "BoxLib CNS" --bins 1,32,128
+    repro-analyze --trace-dir /path/to/dumpi --bins 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analyzer.processing import analyze
+from repro.analyzer.report import format_figure6, format_figure7, format_table2
+from repro.analyzer.sweep import FIGURE7_BINS, sweep_applications, sweep_trace
+from repro.traces.reader import load_trace
+from repro.traces.synthetic import app_names, generate
+
+__all__ = ["main"]
+
+
+def _parse_bins(text: str) -> tuple[int, ...]:
+    try:
+        bins = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad bins list {text!r}") from None
+    if not bins or any(b <= 0 for b in bins):
+        raise argparse.ArgumentTypeError("bins must be positive integers")
+    return bins
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="MPI trace analyzer (reproduction of the paper's C2 artifact)",
+    )
+    parser.add_argument("--figure", type=int, choices=(6, 7), help="regenerate a figure")
+    parser.add_argument("--table", type=int, choices=(2,), help="regenerate a table")
+    parser.add_argument("--app", help="analyze one registered application")
+    parser.add_argument("--trace-dir", help="analyze a DUMPI-text trace directory")
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("LEFT", "RIGHT"),
+        help="compare two trace directories' matching behaviour",
+    )
+    parser.add_argument(
+        "--bins", type=_parse_bins, default=FIGURE7_BINS, help="comma-separated bin counts"
+    )
+    parser.add_argument("--rounds", type=int, default=6, help="synthetic trace rounds")
+    parser.add_argument(
+        "--processes", type=int, default=None, help="override process count for generation"
+    )
+    parser.add_argument("--list", action="store_true", help="list registered applications")
+    parser.add_argument(
+        "--plot", action="store_true", help="render figures as terminal bar charts"
+    )
+    parser.add_argument(
+        "--full-report",
+        action="store_true",
+        help="with --app or --trace-dir: print the full matching profile",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        print("\n".join(app_names()))
+        return 0
+    if args.table == 2:
+        print(format_table2())
+        return 0
+    if args.figure == 6:
+        results = sweep_applications(bins_list=(1,), rounds=args.rounds, processes=args.processes)
+        analyses = {name: per_bins[1] for name, per_bins in results.items()}
+        print(format_figure6(analyses))
+        if args.plot:
+            from repro.traces.model import OpGroup
+            from repro.util.asciiplot import hbar_chart
+
+            print("\np2p share per application:")
+            print(
+                hbar_chart(
+                    {
+                        name: 100.0 * analysis.call_mix.get(OpGroup.P2P, 0.0)
+                        for name, analysis in analyses.items()
+                    },
+                    unit="%",
+                    sort=True,
+                )
+            )
+        return 0
+    if args.figure == 7:
+        results = sweep_applications(
+            bins_list=args.bins, rounds=args.rounds, processes=args.processes
+        )
+        print(format_figure7(results))
+        if args.plot:
+            from repro.analyzer.report import figure7_rows
+            from repro.util.asciiplot import depth_series
+
+            rows = [(name, mean) for name, mean, _peak in figure7_rows(results)]
+            print("\nmean experienced depth (bar scale shared):")
+            print(depth_series(rows))
+        return 0
+    if args.compare:
+        from repro.analyzer.compare import compare_analyses
+
+        bins = args.bins[0]
+        left = analyze(load_trace(args.compare[0]), bins)
+        right = analyze(load_trace(args.compare[1]), bins)
+        report = compare_analyses(left, right)
+        print(report.format())
+        return 0 if report.ok else 1
+    if args.trace_dir:
+        trace = load_trace(args.trace_dir)
+        if args.full_report:
+            from repro.analyzer.fullreport import format_app_report
+
+            print(format_app_report(trace, bins_list=args.bins))
+            return 0
+        results = sweep_trace(trace, args.bins)
+        print(format_figure7({trace.name: results}))
+        return 0
+    if args.app:
+        trace = generate(args.app, processes=args.processes, rounds=args.rounds)
+        if args.full_report:
+            from repro.analyzer.fullreport import format_app_report
+
+            print(format_app_report(trace, bins_list=args.bins))
+            return 0
+        results = {bins: analyze(trace, bins) for bins in args.bins}
+        print(format_figure7({args.app: results}))
+        return 0
+    build_parser().print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Analysis comparison: synthetic vs real traces, run vs run.
+
+When a real DUMPI capture of one of the Table II applications is
+available, the question is whether the synthetic stand-in reproduces
+its matching behaviour. This module diffs two analyses of the same
+bin count across the statistics that drive the paper's conclusions —
+queue depth, collisions, call mix, wildcard usage — and classifies
+each as matching (within tolerance) or divergent, producing the
+validation table a referee would want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analyzer.statistics import AppAnalysis
+from repro.traces.model import OpGroup
+
+__all__ = ["MetricDelta", "ComparisonReport", "compare_analyses"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricDelta:
+    """One compared statistic."""
+
+    metric: str
+    left: float
+    right: float
+    #: Relative difference |l - r| / max(|l|, |r|, eps).
+    relative: float
+    within_tolerance: bool
+
+
+@dataclass(slots=True)
+class ComparisonReport:
+    left_name: str
+    right_name: str
+    bins: int
+    deltas: list[MetricDelta]
+
+    @property
+    def ok(self) -> bool:
+        return all(delta.within_tolerance for delta in self.deltas)
+
+    def divergent(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if not delta.within_tolerance]
+
+    def format(self) -> str:
+        lines = [
+            f"{self.left_name} vs {self.right_name} @ {self.bins} bins",
+            f"{'metric':24s} {'left':>10s} {'right':>10s} {'rel diff':>9s}  ok",
+        ]
+        for delta in self.deltas:
+            lines.append(
+                f"{delta.metric:24s} {delta.left:10.3f} {delta.right:10.3f} "
+                f"{delta.relative:9.1%}  {'yes' if delta.within_tolerance else 'NO'}"
+            )
+        return "\n".join(lines)
+
+
+def _delta(metric: str, left: float, right: float, tolerance: float) -> MetricDelta:
+    scale = max(abs(left), abs(right), 1e-9)
+    relative = abs(left - right) / scale
+    return MetricDelta(
+        metric=metric,
+        left=left,
+        right=right,
+        relative=relative,
+        within_tolerance=relative <= tolerance,
+    )
+
+
+def compare_analyses(
+    left: AppAnalysis,
+    right: AppAnalysis,
+    *,
+    depth_tolerance: float = 0.35,
+    mix_tolerance: float = 0.10,
+) -> ComparisonReport:
+    """Diff two analyses at the same bin count.
+
+    Depth statistics get a loose tolerance (they depend on scale and
+    round counts); the call mix is a structural property and gets a
+    tight one.
+    """
+    if left.bins != right.bins:
+        raise ValueError(
+            f"comparing different bin counts ({left.bins} vs {right.bins}) "
+            "is meaningless"
+        )
+    deltas = [
+        _delta("mean_depth", left.depth.mean_depth, right.depth.mean_depth, depth_tolerance),
+        _delta("max_depth", left.depth.max_depth, right.depth.max_depth, depth_tolerance),
+        _delta("p95_depth", left.depth.p95_depth, right.depth.p95_depth, depth_tolerance),
+        _delta(
+            "mean_empty_fraction",
+            left.depth.mean_empty_fraction,
+            right.depth.mean_empty_fraction,
+            depth_tolerance,
+        ),
+        _delta(
+            "p2p_fraction",
+            left.call_mix.get(OpGroup.P2P, 0.0),
+            right.call_mix.get(OpGroup.P2P, 0.0),
+            mix_tolerance,
+        ),
+        _delta(
+            "collective_fraction",
+            left.call_mix.get(OpGroup.COLLECTIVE, 0.0),
+            right.call_mix.get(OpGroup.COLLECTIVE, 0.0),
+            mix_tolerance,
+        ),
+    ]
+    return ComparisonReport(
+        left_name=left.name, right_name=right.name, bins=left.bins, deltas=deltas
+    )

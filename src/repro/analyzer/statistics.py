@@ -1,0 +1,109 @@
+"""Statistics gathered during trace processing (§V-A.b).
+
+Per progress operation the analyzer forms a *datapoint*
+"encapsulating all progress achieved since the last recorded entry";
+per application it aggregates queue depths, collision counts,
+empty-bin fractions, tag usage, wildcard usage, and the p2p/collective
+/one-sided call mix.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.traces.model import OpGroup
+
+__all__ = ["Datapoint", "QueueDepthStats", "AppAnalysis"]
+
+
+@dataclass(frozen=True, slots=True)
+class Datapoint:
+    """One progress-op snapshot on one rank."""
+
+    rank: int
+    walltime: float
+    max_depth: int
+    total_posted: int
+    unexpected: int
+    empty_fraction: float
+
+
+@dataclass(slots=True)
+class QueueDepthStats:
+    """Aggregate queue-depth behaviour for one (app, bins) pair."""
+
+    bins: int
+    datapoints: int = 0
+    mean_depth: float = 0.0
+    max_depth: int = 0
+    #: Distribution quantiles of per-datapoint depth (Fig. 7 plots a
+    #: distribution per app, not just the mean).
+    p50_depth: float = 0.0
+    p95_depth: float = 0.0
+    mean_posted: float = 0.0
+    mean_empty_fraction: float = 0.0
+    collisions: int = 0
+    unexpected_total: int = 0
+    drained_total: int = 0
+
+    @classmethod
+    def from_datapoints(
+        cls,
+        bins: int,
+        points: list[Datapoint],
+        *,
+        collisions: int = 0,
+        unexpected_total: int = 0,
+        drained_total: int = 0,
+    ) -> "QueueDepthStats":
+        if not points:
+            return cls(bins=bins)
+        import numpy as np
+
+        depths = np.fromiter((p.max_depth for p in points), dtype=float, count=len(points))
+        return cls(
+            bins=bins,
+            datapoints=len(points),
+            mean_depth=float(depths.mean()),
+            max_depth=int(depths.max()),
+            p50_depth=float(np.percentile(depths, 50)),
+            p95_depth=float(np.percentile(depths, 95)),
+            mean_posted=sum(p.total_posted for p in points) / len(points),
+            mean_empty_fraction=sum(p.empty_fraction for p in points) / len(points),
+            collisions=collisions,
+            unexpected_total=unexpected_total,
+            drained_total=drained_total,
+        )
+
+
+@dataclass(slots=True)
+class AppAnalysis:
+    """Full analysis of one application trace at one bin count."""
+
+    name: str
+    nprocs: int
+    bins: int
+    depth: QueueDepthStats = field(default_factory=lambda: QueueDepthStats(bins=1))
+    #: Fractions of p2p / collective / one-sided ops (Fig. 6).
+    call_mix: dict[OpGroup, float] = field(default_factory=dict)
+    #: How many receives used which wildcard combination.
+    wildcard_usage: Counter = field(default_factory=Counter)
+    #: tag -> number of p2p ops using it ("usage of tags", §V-A.b).
+    tag_usage: Counter = field(default_factory=Counter)
+    #: Count of each p2p op kind ("percentage of p2p operations of
+    #: each kind").
+    p2p_kinds: Counter = field(default_factory=Counter)
+    #: Distinct (source, tag) pairs over posted receives — the paper's
+    #: conclusion hinges on this being low ("the number of unique
+    #: source/tag posted receives is low").
+    unique_pairs: int = 0
+    total_ops: int = 0
+    #: Raw per-progress-op datapoints (kept when the caller asks).
+    datapoints: list[Datapoint] = field(default_factory=list)
+
+    def unique_tags(self) -> int:
+        return len(self.tag_usage)
+
+    def p2p_fraction(self) -> float:
+        return self.call_mix.get(OpGroup.P2P, 0.0)

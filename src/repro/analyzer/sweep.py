@@ -1,0 +1,42 @@
+"""Bin-count sweeps over applications (Fig. 7 and the artifact's
+1..256 powers-of-two output layout)."""
+
+from __future__ import annotations
+
+from repro.analyzer.processing import analyze
+from repro.analyzer.statistics import AppAnalysis
+from repro.traces.model import Trace
+from repro.traces.synthetic import app_names, generate
+
+__all__ = ["BIN_SWEEP", "FIGURE7_BINS", "sweep_trace", "sweep_applications"]
+
+#: The artifact's sweep: "6 folders representing the number of bins
+#: used (from 1 to 256, in powers of 2)" — i.e. 1..256 stepping x2
+#: over six configurations spanning the Fig. 7 points.
+BIN_SWEEP: tuple[int, ...] = (1, 8, 32, 64, 128, 256)
+#: The three configurations Figure 7 plots.
+FIGURE7_BINS: tuple[int, ...] = (1, 32, 128)
+
+
+def sweep_trace(trace: Trace, bins_list: tuple[int, ...] = BIN_SWEEP) -> dict[int, AppAnalysis]:
+    """Analyze one trace at every bin count."""
+    return {bins: analyze(trace, bins) for bins in bins_list}
+
+
+def sweep_applications(
+    *,
+    bins_list: tuple[int, ...] = FIGURE7_BINS,
+    processes: int | None = None,
+    rounds: int = 6,
+    names: list[str] | None = None,
+) -> dict[str, dict[int, AppAnalysis]]:
+    """Generate and analyze every registered application.
+
+    ``processes=None`` uses each app's default scale. Returns
+    ``results[app][bins]``.
+    """
+    results: dict[str, dict[int, AppAnalysis]] = {}
+    for name in names if names is not None else app_names():
+        trace = generate(name, processes=processes, rounds=rounds)
+        results[name] = sweep_trace(trace, bins_list)
+    return results

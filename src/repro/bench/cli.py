@@ -1,0 +1,82 @@
+"""Command-line entry point: ``repro-msgrate``.
+
+Regenerates Figure 8:
+
+    repro-msgrate                      # CI-scale repetitions
+    repro-msgrate --repetitions 500    # full paper parameters
+    repro-msgrate --scenario wc-fp     # one configuration only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.pingpong import (
+    PAPER_K,
+    PingPongBench,
+    format_figure8,
+)
+from repro.bench.scenarios import PAPER_IN_FLIGHT, PAPER_THREADS, scenario_by_name
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-msgrate",
+        description="Figure 8 message-rate benchmark (ping-pong, §VI)",
+    )
+    parser.add_argument("--k", type=int, default=PAPER_K, help="messages per sequence")
+    parser.add_argument(
+        "--repetitions", type=int, default=50, help="sequences per run (paper: 500)"
+    )
+    parser.add_argument(
+        "--in-flight", type=int, default=PAPER_IN_FLIGHT, help="posted-receive window"
+    )
+    parser.add_argument(
+        "--threads", type=int, default=PAPER_THREADS, help="DPA block threads"
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=("nc", "wc-fp", "wc-sp", "mpi-cpu", "rdma-cpu", "all"),
+        default="all",
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="render rates as a terminal bar chart"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    bench = PingPongBench(
+        k=args.k,
+        repetitions=args.repetitions,
+        in_flight=args.in_flight,
+        threads=args.threads,
+    )
+    if args.scenario == "all":
+        results = bench.run_all()
+    elif args.scenario == "mpi-cpu":
+        results = [bench.run_mpi_cpu()]
+    elif args.scenario == "rdma-cpu":
+        results = [bench.run_rdma_cpu()]
+    else:
+        results = [bench.run_optimistic(scenario_by_name(args.scenario))]
+    print(format_figure8(results))
+    if args.plot:
+        from repro.util.asciiplot import hbar_chart
+
+        print("\nmessage rate (Mmsg/s):")
+        print(
+            hbar_chart(
+                {r.label: round(r.message_rate / 1e6, 2) for r in results},
+                unit=" M/s",
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""The Figure 8 ping-pong message-rate benchmark (§VI).
+
+"We run a ping-pong benchmark, where a node sends a sequence of
+k = 100 messages to its peer. Once the peer receives (and matches) all
+messages in a sequence, it replies with an acknowledgment. We measure
+the message rate as k divided by the time from when the first message
+is sent to when the acknowledgment is received. For each run, we
+repeat the sequence 500 times."
+
+Time comes from the calibrated cycle models: per sequence,
+
+    t_seq = 2 x latency + max(k x wire_per_message, t_matching)
+
+where ``t_matching`` is the receiver-side matching time of the
+configuration under test (DPA blocks + serial dispatch for the
+offloaded engine, host matching cycles for MPI-CPU, completion
+handling only for RDMA-CPU). The host-cycles column reports what the
+offload frees: the host's matching work per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import OptimisticMatcher
+from repro.core.events import MatchKind
+from repro.dpa.costs import DpaCostModel, HostCostModel, WireModel
+from repro.matching.list_matcher import ListMatcher
+from repro.bench.scenarios import (
+    PAPER_IN_FLIGHT,
+    PAPER_THREADS,
+    Scenario,
+    SCENARIOS,
+)
+
+__all__ = ["RateResult", "PingPongBench", "run_figure8", "format_figure8"]
+
+#: §VI benchmark parameters.
+PAPER_K = 100
+PAPER_REPETITIONS = 500
+
+
+@dataclass(frozen=True, slots=True)
+class RateResult:
+    """Message rate and cost accounting of one configuration."""
+
+    label: str
+    message_rate: float  #: messages per second
+    sequences: int
+    messages: int
+    #: Host CPU cycles spent on matching, per message (0 = fully freed).
+    host_matching_cycles_per_msg: float
+    #: Accelerator cycles per message (0 for host-only baselines).
+    dpa_cycles_per_msg: float
+    #: Engine path mix (empty for baselines).
+    path_mix: dict[str, int]
+
+
+class PingPongBench:
+    """Driver for all Figure 8 configurations."""
+
+    def __init__(
+        self,
+        *,
+        k: int = PAPER_K,
+        repetitions: int = PAPER_REPETITIONS,
+        in_flight: int = PAPER_IN_FLIGHT,
+        threads: int = PAPER_THREADS,
+        dpa_costs: DpaCostModel | None = None,
+        host_costs: HostCostModel | None = None,
+        wire: WireModel | None = None,
+        cores: int = 16,
+    ) -> None:
+        if k <= 0 or repetitions <= 0:
+            raise ValueError("k and repetitions must be positive")
+        if in_flight < k:
+            raise ValueError(
+                f"in-flight window {in_flight} must cover one sequence of {k}"
+            )
+        self.k = k
+        self.repetitions = repetitions
+        self.in_flight = in_flight
+        self.threads = threads
+        self.dpa_costs = dpa_costs if dpa_costs is not None else DpaCostModel()
+        self.host_costs = host_costs if host_costs is not None else HostCostModel()
+        self.wire = wire if wire is not None else WireModel()
+        self.cores = cores
+
+    # ------------------------------------------------------------------
+
+    def _sequence_seconds(self, matching_seconds: float) -> float:
+        """Compose wire and matching time for one k-message sequence."""
+        wire_stream = self.k * self.wire.per_message_s
+        return 2 * self.wire.latency_s + max(wire_stream, matching_seconds)
+
+    def run_optimistic(self, scenario: Scenario) -> RateResult:
+        """Run one offloaded-engine scenario."""
+        engine = OptimisticMatcher(
+            scenario.engine_config(in_flight=self.in_flight, threads=self.threads),
+            keep_history=True,
+        )
+        next_post = 0
+        next_msg = 0
+        # Fill the in-flight receive window.
+        for _ in range(self.in_flight):
+            engine.post_receive(scenario.receive(next_post))
+            next_post += 1
+        total_seconds = 0.0
+        total_dpa_cycles = 0.0
+        post_cycles_per_seq = self.k * self.dpa_costs.post_command
+        for _ in range(self.repetitions):
+            for _ in range(self.k):
+                engine.submit_message(scenario.message(next_msg))
+                next_msg += 1
+            start_block = len(engine.stats.block_history)
+            events = engine.process_all()
+            assert all(e.kind is MatchKind.EXPECTED for e in events), (
+                "ping-pong sequences must never go unexpected"
+            )
+            seq_cycles = float(self.k * self.dpa_costs.dispatch_serial)
+            seq_cycles += post_cycles_per_seq
+            for block in engine.stats.block_history[start_block:]:
+                seq_cycles += self.dpa_costs.block_cycles(block, self.cores)
+            del engine.stats.block_history[start_block:]
+            total_dpa_cycles += seq_cycles
+            total_seconds += self._sequence_seconds(
+                self.dpa_costs.cycles_to_seconds(seq_cycles)
+            )
+            # Replenish the receive window (host posts via QP; DPA-side
+            # command cost accounted above).
+            for _ in range(self.k):
+                engine.post_receive(scenario.receive(next_post))
+                next_post += 1
+        messages = self.k * self.repetitions
+        return RateResult(
+            label=scenario.label,
+            message_rate=messages / total_seconds,
+            sequences=self.repetitions,
+            messages=messages,
+            host_matching_cycles_per_msg=0.0,
+            dpa_cycles_per_msg=total_dpa_cycles / messages,
+            path_mix=engine.stats.path_mix(),
+        )
+
+    def run_mpi_cpu(self) -> RateResult:
+        """Traditional linked-list matching on the host CPU."""
+        matcher = ListMatcher()
+        scenario = SCENARIOS[0]  # NC-style distinct keys
+        next_post = 0
+        next_msg = 0
+        for _ in range(self.in_flight):
+            matcher.post_receive(scenario.receive(next_post))
+            next_post += 1
+        total_seconds = 0.0
+        total_host_cycles = 0.0
+        for _ in range(self.repetitions):
+            walked_before = matcher.costs.walked
+            for _ in range(self.k):
+                matcher.incoming_message(scenario.message(next_msg))
+                next_msg += 1
+            walked = matcher.costs.walked - walked_before
+            cycles = self.host_costs.matching_cycles(self.k, walked)
+            cycles += self.k * self.host_costs.per_post_overhead
+            total_host_cycles += cycles
+            total_seconds += self._sequence_seconds(
+                self.host_costs.cycles_to_seconds(cycles)
+            )
+            for _ in range(self.k):
+                matcher.post_receive(scenario.receive(next_post))
+                next_post += 1
+        messages = self.k * self.repetitions
+        return RateResult(
+            label="MPI-CPU",
+            message_rate=messages / total_seconds,
+            sequences=self.repetitions,
+            messages=messages,
+            host_matching_cycles_per_msg=total_host_cycles / messages,
+            dpa_cycles_per_msg=0.0,
+            path_mix={},
+        )
+
+    def run_rdma_cpu(self) -> RateResult:
+        """Reference baseline: raw RDMA, no matching at all."""
+        cycles_per_seq = self.k * self.host_costs.rdma_per_message
+        seq_seconds = self._sequence_seconds(
+            self.host_costs.cycles_to_seconds(cycles_per_seq)
+        )
+        total_seconds = seq_seconds * self.repetitions
+        messages = self.k * self.repetitions
+        return RateResult(
+            label="RDMA-CPU",
+            message_rate=messages / total_seconds,
+            sequences=self.repetitions,
+            messages=messages,
+            host_matching_cycles_per_msg=0.0,
+            dpa_cycles_per_msg=0.0,
+            path_mix={},
+        )
+
+    def run_all(self) -> list[RateResult]:
+        """Every Figure 8 configuration, paper order."""
+        results = [self.run_optimistic(scenario) for scenario in SCENARIOS]
+        results.append(self.run_mpi_cpu())
+        results.append(self.run_rdma_cpu())
+        return results
+
+
+def run_figure8(
+    *, k: int = PAPER_K, repetitions: int = 50, in_flight: int = PAPER_IN_FLIGHT
+) -> list[RateResult]:
+    """Convenience wrapper with a CI-friendly default repetition count
+    (pass ``repetitions=500`` for the full §VI parameters)."""
+    bench = PingPongBench(k=k, repetitions=repetitions, in_flight=in_flight)
+    return bench.run_all()
+
+
+def format_figure8(results: list[RateResult]) -> str:
+    lines = [
+        f"{'Configuration':24s} {'Mmsg/s':>8s} {'host cyc/msg':>13s} "
+        f"{'DPA cyc/msg':>12s}  path mix"
+    ]
+    for result in results:
+        mix = (
+            " ".join(f"{k}={v}" for k, v in result.path_mix.items())
+            if result.path_mix
+            else "-"
+        )
+        lines.append(
+            f"{result.label:24s} {result.message_rate / 1e6:8.2f} "
+            f"{result.host_matching_cycles_per_msg:13.1f} "
+            f"{result.dpa_cycles_per_msg:12.1f}  {mix}"
+        )
+    return "\n".join(lines)

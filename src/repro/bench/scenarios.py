@@ -1,0 +1,103 @@
+"""The Figure 8 receive/message scenarios.
+
+"We test two main scenarios: all posted receives have different
+source rank and tag combination (referenced as no-conflict case, NC),
+or all receives have the same source rank and tag (referenced as
+with-conflict case, WC). This allows us to get insights on the best
+and worst case for optimistic tag matching." (§VI)
+
+WC splits into the two resolution strategies:
+
+* **WC-FP** — the engine is configured so every thread books the head
+  of the compatible-receive run (early booking check off), making the
+  bitmap full and the fast path applicable.
+* **WC-SP** — the fast path is disabled, forcing conflicted threads
+  through the serializing slow path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EngineConfig
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+
+__all__ = ["Scenario", "SCENARIOS", "scenario_by_name"]
+
+#: §VI prototype parameters.
+PAPER_IN_FLIGHT = 1024
+PAPER_THREADS = 32
+#: "hash tables that are twice the maximum number of in-flight
+#: receives".
+PAPER_BINS = 2 * PAPER_IN_FLIGHT
+
+#: The single sender's rank in the ping-pong pair.
+SENDER_RANK = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One Figure 8 configuration of the optimistic engine."""
+
+    name: str
+    label: str
+    #: Engine-config overrides applied on top of the §VI parameters.
+    early_booking_check: bool
+    enable_fast_path: bool
+    #: Whether every receive shares one (source, tag) key.
+    conflicting: bool
+
+    def engine_config(
+        self, *, in_flight: int = PAPER_IN_FLIGHT, threads: int = PAPER_THREADS
+    ) -> EngineConfig:
+        return EngineConfig(
+            bins=2 * in_flight,
+            block_threads=threads,
+            max_receives=2 * in_flight,
+            early_booking_check=self.early_booking_check,
+            enable_fast_path=self.enable_fast_path,
+        )
+
+    def receive(self, index: int) -> ReceiveRequest:
+        """The index-th posted receive of the window."""
+        if self.conflicting:
+            return ReceiveRequest(source=SENDER_RANK, tag=7, handle=index)
+        return ReceiveRequest(source=SENDER_RANK, tag=index, handle=index)
+
+    def message(self, index: int) -> MessageEnvelope:
+        """The index-th message of the stream (matches receive index)."""
+        if self.conflicting:
+            return MessageEnvelope(source=SENDER_RANK, tag=7, send_seq=index)
+        return MessageEnvelope(source=SENDER_RANK, tag=index, send_seq=index)
+
+
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        name="nc",
+        label="Optimistic-DPA NC",
+        early_booking_check=True,
+        enable_fast_path=True,
+        conflicting=False,
+    ),
+    Scenario(
+        name="wc-fp",
+        label="Optimistic-DPA WC-FP",
+        early_booking_check=False,
+        enable_fast_path=True,
+        conflicting=True,
+    ),
+    Scenario(
+        name="wc-sp",
+        label="Optimistic-DPA WC-SP",
+        early_booking_check=False,
+        enable_fast_path=False,
+        conflicting=True,
+    ),
+)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown scenario {name!r}; known: {[s.name for s in SCENARIOS]}")

@@ -1,0 +1,53 @@
+"""Optimistic Tag Matching — the paper's primary contribution (C1).
+
+Public surface:
+
+* :class:`OptimisticMatcher` — the bin-based optimistic matching engine
+* :class:`EngineConfig` — all tunables (bins, block width, optimizations)
+* :class:`MessageEnvelope` / :class:`ReceiveRequest` — the match inputs
+* :class:`MatchEvent` — the match decisions
+* ``ANY_SOURCE`` / ``ANY_TAG`` — MPI wildcards
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.constants import ANY_SOURCE, ANY_TAG, WildcardClass, classify
+from repro.core.descriptor import DescriptorTable, DescriptorTableFull, ReceiveDescriptor
+from repro.core.engine import HintViolation, OptimisticMatcher
+from repro.core.envelope import InlineHashes, MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent, MatchKind, ResolutionPath
+from repro.core.hashing import compute_inline_hashes
+from repro.core.stats import BlockStats, EngineStats
+from repro.core.threadsim import (
+    DeadlockError,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ScriptedPolicy,
+    SteppedExecutor,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BlockStats",
+    "DeadlockError",
+    "DescriptorTable",
+    "DescriptorTableFull",
+    "EngineConfig",
+    "EngineStats",
+    "HintViolation",
+    "InlineHashes",
+    "MatchEvent",
+    "MatchKind",
+    "MessageEnvelope",
+    "OptimisticMatcher",
+    "RandomPolicy",
+    "ReceiveDescriptor",
+    "ReceiveRequest",
+    "ResolutionPath",
+    "RoundRobinPolicy",
+    "ScriptedPolicy",
+    "SteppedExecutor",
+    "WildcardClass",
+    "classify",
+    "compute_inline_hashes",
+]

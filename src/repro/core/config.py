@@ -1,0 +1,63 @@
+"""Engine configuration.
+
+One dataclass gathers every knob the paper exposes so that benchmarks
+and ablations can sweep them declaratively: bin count (Fig. 7),
+block width N (§VI uses 32), descriptor capacity (§III-E), and the
+three §IV-D optimizations as independent toggles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.constants import (
+    DEFAULT_BINS,
+    DEFAULT_BLOCK_THREADS,
+    DEFAULT_MAX_RECEIVES,
+)
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Configuration of an :class:`repro.core.engine.OptimisticMatcher`."""
+
+    #: Bins per hash table. 1 degenerates to the traditional single
+    #: queue; the paper evaluates 1..256 and defaults to 128.
+    bins: int = DEFAULT_BINS
+    #: Optimistic block width N = number of parallel matching threads
+    #: (also the booking-bitmap width). The prototype uses 32.
+    block_threads: int = DEFAULT_BLOCK_THREADS
+    #: Fixed descriptor-table capacity; overflow triggers the software
+    #: fallback (§III-B).
+    max_receives: int = DEFAULT_MAX_RECEIVES
+    #: §IV-D "Lazy removal": mark consumed receives, sweep in batch.
+    lazy_removal: bool = True
+    #: §IV-D "Early booking check": skip candidates already booked by a
+    #: lower thread during the optimistic phase.
+    early_booking_check: bool = True
+    #: §III-D.3a fast path for sequences of compatible receives.
+    enable_fast_path: bool = True
+    #: Honour sender-side inline hash values when present (§IV-D).
+    use_inline_hashes: bool = True
+    #: MPI communicator hints (§VII): declared absence of wildcard
+    #: receives lets the engine skip whole indexes per message.
+    assert_no_any_source: bool = False
+    assert_no_any_tag: bool = False
+    #: mpi_assert_allow_overtaking: relaxes C1/C2, letting the engine
+    #: skip conflict detection entirely (any candidate wins).
+    allow_overtaking: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bins <= 0:
+            raise ValueError(f"bins must be positive, got {self.bins}")
+        if self.block_threads <= 0:
+            raise ValueError(f"block_threads must be positive, got {self.block_threads}")
+        if self.max_receives <= 0:
+            raise ValueError(f"max_receives must be positive, got {self.max_receives}")
+
+    def with_options(self, **changes: Any) -> "EngineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

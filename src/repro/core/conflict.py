@@ -1,0 +1,78 @@
+"""Conflict detection and the fast-path resolution (§III-D).
+
+Detection is local: after the partial barrier, a thread inspects the
+booking bitmap of its candidate; a set bit below its own thread ID
+means a lower thread (processing an earlier message) has precedence
+and this thread lost the receive.
+
+The **fast path** (§III-D.3a) applies when *all* active threads booked
+the same receive — the signature of an application posting a long run
+of compatible receives (same source and tag) drained by a burst of
+matching messages. Thread *i* then jumps directly to the receive at
+offset *i* in that run, with no further synchronization. The jump is
+valid only while the run's *sequence ID* stays constant: a sequence
+change means some other receive was posted in between and might have
+matching precedence, so the thread must drop to the slow path.
+"""
+
+from __future__ import annotations
+
+from repro.core.descriptor import ReceiveDescriptor
+from repro.core.stats import BlockStats
+
+__all__ = ["detect_conflict", "fast_path_eligible", "fast_path_target"]
+
+
+def detect_conflict(candidate: ReceiveDescriptor | None, thread_id: int) -> bool:
+    """Whether a lower thread booked this thread's candidate."""
+    if candidate is None:
+        return False
+    return candidate.booking.any_below(thread_id)
+
+
+def fast_path_eligible(candidate: ReceiveDescriptor, active_threads: int) -> bool:
+    """Whether the fast path may be attempted on this candidate.
+
+    True when every active block thread booked the same receive: "this
+    can be checked by looking at the booking bitmap of the candidate
+    receive: if all threads selected it, then conflicted threads can
+    try this strategy".
+    """
+    return candidate.booking.popcount() >= active_threads
+
+
+def fast_path_target(
+    candidate: ReceiveDescriptor,
+    thread_id: int,
+    stats: BlockStats | None = None,
+) -> ReceiveDescriptor | None:
+    """Shift ``thread_id`` positions along the candidate's sequence run.
+
+    Walks the candidate's bucket chain forward, counting *every*
+    physically present node (lazily-marked ones included — they are
+    this block's lower threads consuming their own offsets; marked
+    same-sequence nodes from earlier blocks cannot exist after the
+    first live member because consumption within a run is oldest-
+    first). Aborts to the slow path (returns ``None``) as soon as a
+    node outside the candidate's sequence is encountered or the chain
+    ends — exactly the §III-D.3a sequence-ID guard.
+    """
+    node = candidate.node
+    if node is None:
+        return None
+    seq = candidate.sequence_id
+    for _ in range(thread_id):
+        node = node.next
+        if node is None:
+            return None  # run shorter than the thread's offset
+        if stats is not None:
+            stats.probes_walked += 1
+        descr: ReceiveDescriptor = node.payload
+        if descr.sequence_id != seq:
+            return None  # an incompatible receive was posted in between
+    target: ReceiveDescriptor = node.payload
+    if target is candidate or target.consumed:
+        # Offset 0 would re-take the lost receive; a consumed target
+        # means the prefix invariant was violated upstream.
+        return None
+    return target

@@ -1,0 +1,62 @@
+"""MPI-level constants and wildcard classification.
+
+The paper partitions posted receives into four classes by which
+wildcards they use (§III-B); the class determines which of the four
+index structures a receive lives in and which key indexes it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "WildcardClass",
+    "classify",
+    "DEFAULT_BINS",
+    "DEFAULT_BLOCK_THREADS",
+    "DEFAULT_MAX_RECEIVES",
+]
+
+#: Wildcard sentinel values (match the usual MPI ABI choices).
+ANY_SOURCE: int = -1
+ANY_TAG: int = -1
+
+#: Default number of bins per hash table. The paper evaluates 1..256
+#: bins (Fig. 7) and uses 128 bins in the memory-footprint example.
+DEFAULT_BINS: int = 128
+
+#: Default optimistic block width N. The paper's prototype uses 32 DPA
+#: threads, "limited by the bookkeeping bitmap size" (§VI).
+DEFAULT_BLOCK_THREADS: int = 32
+
+#: Default receive-descriptor table capacity (paper example: 8 K
+#: receives ~ 520 KiB of DPA memory, §III-E).
+DEFAULT_MAX_RECEIVES: int = 8192
+
+
+class WildcardClass(enum.Enum):
+    """Which wildcards a posted receive uses.
+
+    The enum value doubles as the index-structure selector.
+    """
+
+    NONE = "none"  #: fully specified: hash(source, tag)
+    SOURCE = "source"  #: MPI_ANY_SOURCE: hash(tag)
+    TAG = "tag"  #: MPI_ANY_TAG: hash(source)
+    BOTH = "both"  #: both wildcards: ordered linked list
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WildcardClass.{self.name}"
+
+
+def classify(source: int, tag: int) -> WildcardClass:
+    """Classify a receive's ``(source, tag)`` pair into its index class."""
+    if source == ANY_SOURCE and tag == ANY_TAG:
+        return WildcardClass.BOTH
+    if source == ANY_SOURCE:
+        return WildcardClass.SOURCE
+    if tag == ANY_TAG:
+        return WildcardClass.TAG
+    return WildcardClass.NONE

@@ -1,0 +1,68 @@
+"""Match outcome records.
+
+Every message processed by a matcher produces exactly one
+:class:`MatchEvent`; the event stream is the interface the oracle uses
+to cross-validate matchers, the protocol layer uses to move data, and
+the statistics layer uses to count behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+
+__all__ = ["MatchKind", "ResolutionPath", "MatchEvent"]
+
+
+class MatchKind(enum.Enum):
+    """How a message/receive pairing came about."""
+
+    #: Incoming message matched an already-posted receive.
+    EXPECTED = "expected"
+    #: Newly posted receive matched a stored unexpected message.
+    UNEXPECTED_DRAIN = "unexpected-drain"
+    #: Incoming message found no receive and was stored as unexpected.
+    STORED_UNEXPECTED = "stored-unexpected"
+
+
+class ResolutionPath(enum.Enum):
+    """Which path produced an EXPECTED match inside a block."""
+
+    #: Optimistic phase succeeded with no conflict.
+    OPTIMISTIC = "optimistic"
+    #: Conflict resolved via the fast path (§III-D.3a).
+    FAST = "fast"
+    #: Conflict resolved via the slow path (§III-D.3b).
+    SLOW = "slow"
+    #: Matched by a serial matcher (baselines, fallback, drains).
+    SERIAL = "serial"
+
+
+@dataclass(frozen=True, slots=True)
+class MatchEvent:
+    """One matching decision.
+
+    For ``STORED_UNEXPECTED`` events ``receive`` is ``None``. The
+    ``receive_post_label`` and ``message_arrival`` stamps are what the
+    constraint checkers (C1/C2) audit.
+    """
+
+    kind: MatchKind
+    message: MessageEnvelope
+    receive: ReceiveRequest | None
+    receive_post_label: int | None = None
+    path: ResolutionPath = ResolutionPath.SERIAL
+    #: Global matching-decision order within the emitting matcher;
+    #: blocks stamp it in message-arrival (thread-ID) order, which is
+    #: the semantic decision order. -1 means "not stamped".
+    decision_order: int = -1
+
+    def is_match(self) -> bool:
+        return self.kind is not MatchKind.STORED_UNEXPECTED
+
+    def pairing(self) -> tuple[tuple[int, int, int], int | None]:
+        """Canonical (message identity, receive label) pair for oracles."""
+        msg_id = (self.message.source, self.message.send_seq, self.message.comm)
+        return (msg_id, self.receive_post_label)

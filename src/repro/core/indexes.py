@@ -1,0 +1,284 @@
+"""The four receive indexes and the mirrored unexpected-message indexes.
+
+Posted receives are split by wildcard usage into three hash tables and
+one linked list (§III-B, Fig. 3):
+
+========================  =======================  ===================
+receive class             structure                key
+========================  =======================  ===================
+no wildcards              hash table               (source, tag)
+source wildcard           hash table               tag
+tag wildcard              hash table               source
+source and tag wildcard   linked list              — (posting order)
+========================  =======================  ===================
+
+A receive lives in exactly **one** structure. An unexpected message,
+which always has concrete source and tag, is indexed in **all** of
+them (§IV-C) so that any future receive — whatever its wildcards —
+finds it by searching only the single structure it itself belongs to.
+
+Buckets are :class:`repro.util.intrusive.IntrusiveList` chains kept in
+posting/arrival order, which is what makes C1/C2 hold *within* a
+bucket for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.core.constants import WildcardClass
+from repro.core.descriptor import ReceiveDescriptor
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.hashing import bucket_of, hash_src, hash_src_tag, hash_tag, message_hashes
+from repro.util.intrusive import IntrusiveList, IntrusiveNode
+
+__all__ = [
+    "HashTable",
+    "ReceiveIndexes",
+    "UnexpectedMessage",
+    "UnexpectedIndexes",
+    "SearchProbeCount",
+]
+
+
+@dataclass(slots=True)
+class SearchProbeCount:
+    """Probe accounting for the cost model and the analyzer.
+
+    ``walked`` counts list elements visited (the paper's *queue depth*
+    cost), ``buckets`` counts bucket lookups (hash computations unless
+    inline hashes are present).
+    """
+
+    walked: int = 0
+    buckets: int = 0
+
+    def merge(self, other: "SearchProbeCount") -> None:
+        self.walked += other.walked
+        self.buckets += other.buckets
+
+
+class HashTable:
+    """A binned table of intrusive chains (one of the paper's indexes)."""
+
+    def __init__(self, bins: int) -> None:
+        if bins <= 0:
+            raise ValueError(f"bin count must be positive, got {bins}")
+        self._bins = bins
+        self._buckets: list[IntrusiveList] = [IntrusiveList() for _ in range(bins)]
+
+    @property
+    def bins(self) -> int:
+        return self._bins
+
+    def bucket(self, hash_word: int) -> IntrusiveList:
+        return self._buckets[bucket_of(hash_word, self._bins)]
+
+    def bucket_at(self, index: int) -> IntrusiveList:
+        return self._buckets[index]
+
+    def __iter__(self) -> Iterator[IntrusiveList]:
+        return iter(self._buckets)
+
+    def total_live(self) -> int:
+        return sum(len(b) for b in self._buckets)
+
+    def depths(self) -> list[int]:
+        """Live chain length per bucket (the analyzer's queue depths)."""
+        return [len(b) for b in self._buckets]
+
+    def empty_fraction(self) -> float:
+        """Fraction of bins with no live entries (Fig. 7 statistic)."""
+        empty = sum(1 for b in self._buckets if b.is_empty())
+        return empty / self._bins
+
+    def sweep(self) -> int:
+        """Physically remove lazily-marked nodes from every bucket."""
+        return sum(b.sweep() for b in self._buckets)
+
+
+class ReceiveIndexes:
+    """The four posted-receive structures, plus insertion/search logic."""
+
+    def __init__(self, bins: int) -> None:
+        self.no_wildcard = HashTable(bins)
+        self.source_wildcard = HashTable(bins)
+        self.tag_wildcard = HashTable(bins)
+        self.both_wildcard: IntrusiveList = IntrusiveList()
+
+    @property
+    def bins(self) -> int:
+        return self.no_wildcard.bins
+
+    def insert(self, descr: ReceiveDescriptor) -> None:
+        """Index a receive in the single structure its class selects."""
+        wc = descr.wildcard_class
+        if wc is WildcardClass.NONE:
+            chain = self.no_wildcard.bucket(hash_src_tag(descr.source, descr.tag))
+        elif wc is WildcardClass.SOURCE:
+            chain = self.source_wildcard.bucket(hash_tag(descr.tag))
+        elif wc is WildcardClass.TAG:
+            chain = self.tag_wildcard.bucket(hash_src(descr.source))
+        else:
+            chain = self.both_wildcard
+        descr.node = chain.append(descr)
+
+    def candidate_chains(
+        self, msg: MessageEnvelope
+    ) -> list[tuple[WildcardClass, IntrusiveList, Callable[[ReceiveDescriptor], bool]]]:
+        """The four (class, chain, envelope-predicate) search targets.
+
+        For each incoming message all four indexes are probed with the
+        appropriate key (Fig. 3). Buckets can contain colliding keys,
+        so each chain comes with the residual envelope predicate that a
+        node must satisfy to be a real match.
+        """
+        hashes = message_hashes(msg)
+        return [
+            (
+                WildcardClass.NONE,
+                self.no_wildcard.bucket(hashes.src_tag),
+                lambda d: d.source == msg.source and d.tag == msg.tag,
+            ),
+            (
+                WildcardClass.SOURCE,
+                self.source_wildcard.bucket(hashes.tag_only),
+                lambda d: d.tag == msg.tag,
+            ),
+            (
+                WildcardClass.TAG,
+                self.tag_wildcard.bucket(hashes.src_only),
+                lambda d: d.source == msg.source,
+            ),
+            (
+                WildcardClass.BOTH,
+                self.both_wildcard,
+                lambda d: True,
+            ),
+        ]
+
+    def consume(self, descr: ReceiveDescriptor, *, lazy: bool) -> None:
+        """Remove a matched receive from its index.
+
+        With *lazy removal* (§IV-D) the node is only marked; a later
+        :meth:`sweep` unlinks marked nodes in batch.
+        """
+        descr.consumed = True
+        node = descr.node
+        if node is None or node.owner is None:
+            return
+        if lazy:
+            node.owner.mark(node)
+        else:
+            node.owner.unlink(node)
+            descr.node = None
+
+    def sweep(self) -> int:
+        """Batch-remove marked nodes from all structures."""
+        removed = self.no_wildcard.sweep()
+        removed += self.source_wildcard.sweep()
+        removed += self.tag_wildcard.sweep()
+        removed += self.both_wildcard.sweep()
+        return removed
+
+    def total_live(self) -> int:
+        return (
+            self.no_wildcard.total_live()
+            + self.source_wildcard.total_live()
+            + self.tag_wildcard.total_live()
+            + len(self.both_wildcard)
+        )
+
+
+@dataclass(eq=False, slots=True)
+class UnexpectedMessage:
+    """An arrived-but-unmatched message staged in the unexpected store.
+
+    Keeps one node reference per structure so a later match can remove
+    the message from *all* indexes (§IV-C).
+    """
+
+    envelope: MessageEnvelope
+    #: Bounce-buffer handle (or payload token) for protocol handling.
+    buffer_token: int = 0
+    nodes: dict[str, IntrusiveNode] = field(default_factory=dict, repr=False)
+    removed: bool = False
+
+
+class UnexpectedIndexes:
+    """Unexpected-message store: same shape as the receive indexes, but
+    every message is inserted into all four structures (§IV-C)."""
+
+    _STRUCTURES = ("no_wildcard", "source_wildcard", "tag_wildcard", "both_wildcard")
+
+    def __init__(self, bins: int) -> None:
+        self.no_wildcard = HashTable(bins)
+        self.source_wildcard = HashTable(bins)
+        self.tag_wildcard = HashTable(bins)
+        #: Global arrival-ordered list, searched by double-wildcard receives.
+        self.both_wildcard: IntrusiveList = IntrusiveList()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, unexpected: UnexpectedMessage) -> None:
+        """Index a newly unexpected message in every structure."""
+        msg = unexpected.envelope
+        hashes = message_hashes(msg)
+        unexpected.nodes["no_wildcard"] = self.no_wildcard.bucket(hashes.src_tag).append(
+            unexpected
+        )
+        unexpected.nodes["source_wildcard"] = self.source_wildcard.bucket(
+            hashes.tag_only
+        ).append(unexpected)
+        unexpected.nodes["tag_wildcard"] = self.tag_wildcard.bucket(hashes.src_only).append(
+            unexpected
+        )
+        unexpected.nodes["both_wildcard"] = self.both_wildcard.append(unexpected)
+        self._count += 1
+
+    def search(
+        self, request: ReceiveRequest, probes: SearchProbeCount | None = None
+    ) -> UnexpectedMessage | None:
+        """Find the oldest-arrival unexpected message matching ``request``.
+
+        Only the single structure the *receive* belongs to is searched
+        (§IV-C): messages are present in all of them, and each bucket
+        chain is in arrival order, so the first full-envelope match in
+        the receive's own bucket is the oldest one — satisfying C2.
+        """
+        wc = request.wildcard_class()
+        if wc is WildcardClass.NONE:
+            chain = self.no_wildcard.bucket(hash_src_tag(request.source, request.tag))
+        elif wc is WildcardClass.SOURCE:
+            chain = self.source_wildcard.bucket(hash_tag(request.tag))
+        elif wc is WildcardClass.TAG:
+            chain = self.tag_wildcard.bucket(hash_src(request.source))
+        else:
+            chain = self.both_wildcard
+        if probes is not None:
+            probes.buckets += 1
+        for node in chain.iter_nodes():
+            if probes is not None:
+                probes.walked += 1
+            um: UnexpectedMessage = node.payload
+            if request.matches(um.envelope):
+                return um
+        return None
+
+    def remove(self, unexpected: UnexpectedMessage) -> None:
+        """Remove a matched message from all four structures."""
+        if unexpected.removed:
+            raise ValueError("unexpected message already removed")
+        for name in self._STRUCTURES:
+            node = unexpected.nodes.pop(name)
+            if node.owner is not None:
+                node.owner.unlink(node)
+        unexpected.removed = True
+        self._count -= 1
+
+    def depths(self) -> list[int]:
+        """Queue depth per bucket of the (source, tag) table."""
+        return self.no_wildcard.depths()

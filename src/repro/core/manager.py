@@ -1,0 +1,127 @@
+"""Multi-communicator DPA resource management (§III-E).
+
+"Each MPI communicator is linked to its own set of index tables and
+data structures. If it is no[t] possible to allocate DPA resources at
+communicator creation time, the MPI implementation is expected to
+fall back to software tag matching. Applications can provide MPI
+communicator info objects to influence the offloading of tag matching
+for a given communicator."
+
+:class:`OffloadManager` owns a fixed accelerator memory budget
+(defaulting to the BlueField-3 DPA L3 size) and hands out per-
+communicator engines while the budget lasts. Communicators that do
+not fit — or whose info hints ask not to be offloaded — are created
+in software from birth. Destroying a communicator returns its memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EngineConfig
+from repro.core.engine import OptimisticMatcher
+from repro.dpa.memory import BYTES_PER_BIN, INDEX_TABLES, MemoryModel
+from repro.core.descriptor import DESCRIPTOR_BYTES
+
+__all__ = ["CommAllocation", "OffloadManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class CommAllocation:
+    """The outcome of one communicator's resource request."""
+
+    comm: int
+    offloaded: bool
+    bytes_reserved: int
+    engine: OptimisticMatcher | None
+
+    @property
+    def software(self) -> bool:
+        return not self.offloaded
+
+
+class OffloadManager:
+    """Budget-driven allocator of per-communicator matching engines."""
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        *,
+        budget_bytes: int | None = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        default_budget = MemoryModel(1, 1).l3_bytes
+        self.budget_bytes = budget_bytes if budget_bytes is not None else default_budget
+        self._reserved = 0
+        self._allocations: dict[int, CommAllocation] = {}
+
+    @staticmethod
+    def footprint(config: EngineConfig) -> int:
+        """DPA bytes one communicator's structures consume (§III-E).
+
+        The receive indexes and the mirrored unexpected indexes each
+        carry three bin tables; descriptors are shared per engine.
+        """
+        bin_bytes = 2 * INDEX_TABLES * config.bins * BYTES_PER_BIN
+        return bin_bytes + config.max_receives * DESCRIPTOR_BYTES
+
+    @property
+    def reserved_bytes(self) -> int:
+        return self._reserved
+
+    @property
+    def available_bytes(self) -> int:
+        return self.budget_bytes - self._reserved
+
+    def comm_create(
+        self,
+        comm: int,
+        *,
+        config: EngineConfig | None = None,
+        allow_offload: bool = True,
+    ) -> CommAllocation:
+        """Allocate matching resources for communicator ``comm``.
+
+        Returns an offloaded allocation with a live engine when the
+        budget covers the configuration, otherwise a software
+        allocation (``engine is None``) — the caller routes matching
+        to its host-side matcher in that case.
+        """
+        if comm in self._allocations:
+            raise ValueError(f"communicator {comm} already has an allocation")
+        cfg = config if config is not None else self.config
+        needed = self.footprint(cfg)
+        if allow_offload and needed <= self.available_bytes:
+            allocation = CommAllocation(
+                comm=comm,
+                offloaded=True,
+                bytes_reserved=needed,
+                engine=OptimisticMatcher(cfg, comm=comm),
+            )
+            self._reserved += needed
+        else:
+            allocation = CommAllocation(
+                comm=comm, offloaded=False, bytes_reserved=0, engine=None
+            )
+        self._allocations[comm] = allocation
+        return allocation
+
+    def comm_free(self, comm: int) -> None:
+        """Release a communicator's resources back to the budget."""
+        allocation = self._allocations.pop(comm, None)
+        if allocation is None:
+            raise KeyError(f"communicator {comm} has no allocation")
+        self._reserved -= allocation.bytes_reserved
+
+    def get(self, comm: int) -> CommAllocation:
+        return self._allocations[comm]
+
+    def has(self, comm: int) -> bool:
+        return comm in self._allocations
+
+    def offloaded_comms(self) -> list[int]:
+        return [c for c, a in self._allocations.items() if a.offloaded]
+
+    def utilization(self) -> float:
+        """Fraction of the DPA budget in use."""
+        return self._reserved / self.budget_bytes if self.budget_bytes else 1.0

@@ -1,0 +1,99 @@
+"""The optimistic matching phase (§III-C).
+
+Each block thread searches the four receive indexes independently, as
+if no other thread were matching concurrently. Within an index, C1 is
+free — bucket chains are in posting order, so the first live envelope
+match is the oldest in that structure. Across indexes the thread may
+end up with up to four candidates and must select the one with the
+minimum post label.
+
+The search is written as a generator so the stepped executor can
+interleave threads between probes; every physical chain-node visit is
+one step and one probe in the cost model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.core.config import EngineConfig
+from repro.core.constants import WildcardClass
+from repro.core.descriptor import ReceiveDescriptor
+from repro.core.envelope import MessageEnvelope
+from repro.core.indexes import ReceiveIndexes
+from repro.core.stats import BlockStats
+from repro.core.threadsim import Yielded
+
+__all__ = ["search_candidate", "skipped_classes"]
+
+
+def skipped_classes(config: EngineConfig) -> frozenset[WildcardClass]:
+    """Index classes the engine may skip thanks to communicator hints.
+
+    ``mpi_assert_no_any_source`` / ``mpi_assert_no_any_tag`` (§VII)
+    guarantee no receive will ever live in the corresponding wildcard
+    index, so per-message probes of those indexes can be elided. Both
+    hints together also empty the double-wildcard list.
+    """
+    skipped: set[WildcardClass] = set()
+    if config.assert_no_any_source:
+        skipped.add(WildcardClass.SOURCE)
+    if config.assert_no_any_tag:
+        skipped.add(WildcardClass.TAG)
+    if config.assert_no_any_source and config.assert_no_any_tag:
+        skipped.add(WildcardClass.BOTH)
+    return frozenset(skipped)
+
+
+def search_candidate(
+    indexes: ReceiveIndexes,
+    config: EngineConfig,
+    stats: BlockStats,
+    thread_id: int,
+    msg: MessageEnvelope,
+    *,
+    early_skip: bool,
+) -> Generator[Yielded, None, ReceiveDescriptor | None]:
+    """Find the oldest live receive matching ``msg``, optimistically.
+
+    Parameters
+    ----------
+    early_skip:
+        Apply the §IV-D early-booking check: skip candidates whose
+        booking bitmap already has a bit below ``thread_id`` — some
+        lower thread is guaranteed to consume them.
+
+    Returns the selected candidate (minimum post label across the four
+    index candidates) or ``None``. The caller books it.
+    """
+    skip_classes = skipped_classes(config)
+    inline = config.use_inline_hashes and msg.inline_hashes is not None
+
+    best: ReceiveDescriptor | None = None
+    for wc, chain, predicate in indexes.candidate_chains(msg):
+        if wc in skip_classes:
+            continue
+        stats.buckets_probed += 1
+        if not (inline and wc is not WildcardClass.BOTH):
+            # The double-wildcard list needs no hash; the three tables
+            # each cost one hash unless the sender shipped it inline.
+            if wc is not WildcardClass.BOTH:
+                stats.hashes_computed += 1
+        yield  # bucket lookup step
+        for node in chain.iter_nodes(include_marked=True):
+            stats.probes_walked += 1
+            yield  # chain-walk step
+            descr: ReceiveDescriptor = node.payload
+            if node.marked or descr.consumed:
+                continue  # lazily-removed entry still physically present
+            if not predicate(descr):
+                continue  # hash collision within the bucket
+            if early_skip and descr.booking.any_below(thread_id):
+                stats.early_skips += 1
+                continue  # a lower thread is guaranteed to consume it
+            # First live match in a posting-ordered chain: the oldest
+            # candidate this index can offer (C1 within the index).
+            if best is None or descr.post_label < best.post_label:
+                best = descr
+            break
+    return best

@@ -1,0 +1,106 @@
+"""Engine statistics.
+
+The counters here serve two purposes: they are the data behind the
+reproduction's figures (conflict rates, path mix, probe costs) and
+they are the *work units* the DPA cycle model converts into time for
+the Figure 8 message-rate benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BlockStats", "EngineStats"]
+
+
+@dataclass(slots=True)
+class BlockStats:
+    """Work performed by one optimistic block (N messages)."""
+
+    messages: int = 0
+    #: Index-chain elements visited during optimistic search.
+    probes_walked: int = 0
+    #: Bucket lookups (each costs a hash unless inline hashes arrived).
+    buckets_probed: int = 0
+    #: Hash computations actually performed on the accelerator.
+    hashes_computed: int = 0
+    #: Booking-bitmap writes.
+    bookings: int = 0
+    #: Threads that detected a conflict on their candidate.
+    conflicts: int = 0
+    #: Conflicted threads resolved via the fast path.
+    fast_path: int = 0
+    #: Threads that took the slow path (conflict or lower-conflict).
+    slow_path: int = 0
+    #: Matches completed without entering resolution.
+    optimistic_hits: int = 0
+    #: Messages stored as unexpected.
+    unexpected: int = 0
+    #: Receives early-skipped thanks to the booking check (§IV-D).
+    early_skips: int = 0
+    #: Scheduler wait polls (synchronization spin cost).
+    wait_polls: int = 0
+    #: Lazily-marked nodes swept at block end.
+    swept: int = 0
+    #: Executor steps per thread; the DPA cycle model derives the
+    #: block's critical path (span) and total work from these.
+    thread_steps: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Cumulative engine statistics across all blocks and postings."""
+
+    blocks: int = 0
+    messages: int = 0
+    receives_posted: int = 0
+    receives_matched_from_unexpected: int = 0
+    receives_cancelled: int = 0
+    expected_matches: int = 0
+    unexpected_stored: int = 0
+    conflicts: int = 0
+    fast_path: int = 0
+    slow_path: int = 0
+    optimistic_hits: int = 0
+    probes_walked: int = 0
+    buckets_probed: int = 0
+    hashes_computed: int = 0
+    bookings: int = 0
+    early_skips: int = 0
+    wait_polls: int = 0
+    swept: int = 0
+    fallbacks: int = 0
+    block_history: list[BlockStats] = field(default_factory=list)
+    #: Keep per-block history only when True (benchmarks disable it).
+    keep_history: bool = True
+
+    def absorb(self, block: BlockStats) -> None:
+        """Fold one block's counters into the cumulative totals."""
+        self.blocks += 1
+        self.messages += block.messages
+        self.expected_matches += block.messages - block.unexpected
+        self.unexpected_stored += block.unexpected
+        self.conflicts += block.conflicts
+        self.fast_path += block.fast_path
+        self.slow_path += block.slow_path
+        self.optimistic_hits += block.optimistic_hits
+        self.probes_walked += block.probes_walked
+        self.buckets_probed += block.buckets_probed
+        self.hashes_computed += block.hashes_computed
+        self.bookings += block.bookings
+        self.early_skips += block.early_skips
+        self.wait_polls += block.wait_polls
+        self.swept += block.swept
+        if self.keep_history:
+            self.block_history.append(block)
+
+    def conflict_rate(self) -> float:
+        """Fraction of processed messages whose thread conflicted."""
+        return self.conflicts / self.messages if self.messages else 0.0
+
+    def path_mix(self) -> dict[str, int]:
+        return {
+            "optimistic": self.optimistic_hits,
+            "fast": self.fast_path,
+            "slow": self.slow_path,
+        }

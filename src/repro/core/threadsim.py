@@ -1,0 +1,185 @@
+"""Deterministic stepped-thread executor.
+
+The DPA runs one hardware thread per in-flight message in a
+run-to-completion fashion; the relative progress of those threads is
+arbitrary. CPython cannot reproduce that concurrency natively (the
+GIL serializes everything anyway), so the engine models each matching
+thread as a *generator* that yields control at every
+synchronization-relevant step. A scheduler then interleaves the
+generators under a pluggable policy:
+
+* :class:`RoundRobinPolicy` — fair lockstep (the default),
+* :class:`RandomPolicy` — seeded adversarial interleavings,
+* :class:`ScriptedPolicy` — an explicit choice sequence, which is what
+  lets hypothesis drive the scheduler in property tests and *prove*
+  the booking/barrier protocol under arbitrary schedules.
+
+Yield protocol: a thread yields ``None`` to mark one step of work, or
+yields a zero-argument callable ``cond`` meaning "block me until
+``cond()`` is true". A blocked thread whose condition never becomes
+true while every other thread is blocked or finished is a deadlock and
+raises :class:`DeadlockError` — turning liveness bugs into test
+failures instead of hangs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator, Sequence
+from dataclasses import dataclass, field
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "DeadlockError",
+    "SchedulePolicy",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "ScriptedPolicy",
+    "SteppedExecutor",
+    "ThreadStats",
+]
+
+#: What a simulated thread may yield: a bare step or a wait condition.
+Yielded = Callable[[], bool] | None
+ThreadProc = Generator[Yielded, None, None]
+
+
+class DeadlockError(RuntimeError):
+    """All live threads are blocked on conditions that cannot progress."""
+
+
+class SchedulePolicy:
+    """Chooses which runnable thread advances next."""
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called once per executor run; stateful policies rewind here."""
+
+
+class RoundRobinPolicy(SchedulePolicy):
+    """Advance runnable threads in cyclic thread-ID order."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def reset(self) -> None:
+        self._last = -1
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        for tid in runnable:
+            if tid > self._last:
+                self._last = tid
+                return tid
+        self._last = runnable[0]
+        return runnable[0]
+
+
+class RandomPolicy(SchedulePolicy):
+    """Seeded uniformly-random interleaving (adversarial stress)."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._seed = seed
+        self._rng = make_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        return runnable[int(self._rng.integers(len(runnable)))]
+
+
+class ScriptedPolicy(SchedulePolicy):
+    """Follows an explicit choice script; used by hypothesis.
+
+    Each script entry is an arbitrary non-negative integer reduced
+    modulo the number of runnable threads, so any integer list is a
+    valid schedule. When the script runs out the policy falls back to
+    picking the lowest runnable thread.
+    """
+
+    def __init__(self, script: Sequence[int]) -> None:
+        self._script = list(script)
+        self._pos = 0
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        if self._pos < len(self._script):
+            choice = self._script[self._pos] % len(runnable)
+            self._pos += 1
+            return runnable[choice]
+        return runnable[0]
+
+
+@dataclass(slots=True)
+class ThreadStats:
+    """Per-run scheduling statistics (also feeds the cycle model)."""
+
+    steps: dict[int, int] = field(default_factory=dict)
+    wait_polls: dict[int, int] = field(default_factory=dict)
+
+    def total_steps(self) -> int:
+        return sum(self.steps.values())
+
+    def total_wait_polls(self) -> int:
+        return sum(self.wait_polls.values())
+
+
+class SteppedExecutor:
+    """Runs a set of thread generators to completion under a policy."""
+
+    def __init__(self, policy: SchedulePolicy | None = None, max_steps: int = 10_000_000):
+        self._policy = policy if policy is not None else RoundRobinPolicy()
+        self._max_steps = max_steps
+
+    def run(self, threads: Sequence[ThreadProc]) -> ThreadStats:
+        """Interleave ``threads`` until all complete.
+
+        Returns scheduling statistics. Raises :class:`DeadlockError`
+        when no thread can make progress, and ``RuntimeError`` if the
+        step budget is exhausted (a livelock guard for tests).
+        """
+        self._policy.reset()
+        stats = ThreadStats(
+            steps={tid: 0 for tid in range(len(threads))},
+            wait_polls={tid: 0 for tid in range(len(threads))},
+        )
+        alive: dict[int, ThreadProc] = dict(enumerate(threads))
+        blocked: dict[int, Callable[[], bool]] = {}
+        budget = self._max_steps
+
+        while alive:
+            runnable = []
+            for tid in alive:
+                cond = blocked.get(tid)
+                if cond is None:
+                    runnable.append(tid)
+                else:
+                    stats.wait_polls[tid] += 1
+                    if cond():
+                        del blocked[tid]
+                        runnable.append(tid)
+            if not runnable:
+                waiting = sorted(blocked)
+                raise DeadlockError(
+                    f"threads {waiting} are all blocked with unsatisfiable conditions"
+                )
+            tid = self._policy.pick(runnable)
+            stats.steps[tid] += 1
+            try:
+                yielded = alive[tid].send(None)
+            except StopIteration:
+                del alive[tid]
+                blocked.pop(tid, None)
+            else:
+                if yielded is not None:
+                    blocked[tid] = yielded
+            budget -= 1
+            if budget <= 0:
+                raise RuntimeError(
+                    f"executor exceeded {self._max_steps} steps; likely livelock"
+                )
+        return stats

@@ -1,0 +1,30 @@
+"""Simulated Data Path Accelerator substrate.
+
+* :class:`DpaMachine` — the optimistic matcher coupled to a cycle
+  model with BlueField-3 geometry (16 cores / 256 threads)
+* :class:`DpaCostModel` / :class:`HostCostModel` / :class:`WireModel`
+  — the calibrated per-operation budgets behind every reported rate
+* :class:`MemoryModel` — the §III-E footprint arithmetic
+* :class:`StridedPoller` — the §IV-A completion-queue discipline
+"""
+
+from repro.dpa.completion import StridedPoller
+from repro.dpa.costs import DpaCostModel, HostCostModel, WireModel
+from repro.dpa.machine import BF3_CORES, BF3_THREADS, DpaMachine, DpaRunReport
+from repro.dpa.memory import BYTES_PER_BIN, INDEX_TABLES, MemoryModel
+from repro.dpa.pipeline import OffloadedEndpoint
+
+__all__ = [
+    "BF3_CORES",
+    "BF3_THREADS",
+    "BYTES_PER_BIN",
+    "DpaCostModel",
+    "DpaMachine",
+    "DpaRunReport",
+    "HostCostModel",
+    "INDEX_TABLES",
+    "MemoryModel",
+    "OffloadedEndpoint",
+    "StridedPoller",
+    "WireModel",
+]

@@ -1,0 +1,66 @@
+"""Completion-queue sharing discipline for DPA threads (§IV-A).
+
+"In order to have multiple threads working on the same completion
+queue, we let each thread poll on the next expected completion queue
+entry for that thread: e.g., thread *i* will first wait for the
+completion notification *i* to be generated. Then, once message *i* is
+processed, it will wait on the completion notification *i + N* for the
+next message (the completion queue needs to have a depth greater or
+equal to N)."
+
+This module models that strided polling: it turns a completion stream
+into per-thread work assignments and checks the queue-depth
+constraint. The block engine consumes the resulting batches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["StridedPoller"]
+
+
+class StridedPoller:
+    """Assigns completion entries to N threads in stride-N order."""
+
+    def __init__(self, threads: int, queue_depth: int) -> None:
+        if threads <= 0:
+            raise ValueError(f"thread count must be positive, got {threads}")
+        if queue_depth < threads:
+            raise ValueError(
+                f"completion queue depth {queue_depth} must be >= thread "
+                f"count {threads} (§IV-A)"
+            )
+        self.threads = threads
+        self.queue_depth = queue_depth
+        self._consumed = 0
+
+    def thread_for_entry(self, entry_index: int) -> int:
+        """Which thread polls (and processes) completion ``entry_index``."""
+        return entry_index % self.threads
+
+    def entries_for_thread(self, thread_id: int, total: int) -> list[int]:
+        """All entry indexes thread ``thread_id`` handles in a stream
+        of ``total`` completions: i, i+N, i+2N, ..."""
+        if not 0 <= thread_id < self.threads:
+            raise IndexError(f"thread {thread_id} out of range [0, {self.threads})")
+        return list(range(thread_id, total, self.threads))
+
+    def batches(self, entries: Sequence[T]) -> Iterator[list[T]]:
+        """Group a completion stream into full-width processing blocks.
+
+        Each batch holds up to N consecutive completions — entry ``k``
+        of a batch is handled by thread ``k`` — preserving arrival
+        order inside and across batches.
+        """
+        for start in range(0, len(entries), self.threads):
+            batch = list(entries[start : start + self.threads])
+            self._consumed += len(batch)
+            yield batch
+
+    @property
+    def consumed(self) -> int:
+        return self._consumed

@@ -1,0 +1,72 @@
+"""DPA memory-footprint model (§III-E).
+
+"Each entry consists of a remove lock (4 bytes) and two pointers
+(8 bytes each) to the head and tail of the chained queue within the
+bin, totaling 20 bytes per bin. With the three index tables of our
+approach, this results in a total cost of 7.5 KiB for 128 bins.
+Additionally, each receive descriptor consumes 64 bytes. For example,
+to support 8 K receives (posted at the same time), we need to allocate
+about 520 KiB of DPA memory. For reference, DPA L2 and L3 caches in
+BlueField-3 are 1.5 MiB and 3 MiB, respectively."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.descriptor import DESCRIPTOR_BYTES
+
+__all__ = ["MemoryModel", "BYTES_PER_BIN", "INDEX_TABLES"]
+
+#: Remove lock (4 B) + head pointer (8 B) + tail pointer (8 B).
+BYTES_PER_BIN = 20
+#: The three binned hash tables of §III-B (the double-wildcard list
+#: needs one fixed header, negligible next to the tables).
+INDEX_TABLES = 3
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryModel:
+    """Footprint calculator for a given engine configuration."""
+
+    bins: int
+    max_receives: int
+    #: BlueField-3 DPA cache sizes (§III-E).
+    l2_bytes: int = int(1.5 * MIB)
+    l3_bytes: int = 3 * MIB
+
+    def bin_table_bytes(self) -> int:
+        """All three index tables' bin headers."""
+        return INDEX_TABLES * self.bins * BYTES_PER_BIN
+
+    def descriptor_bytes(self) -> int:
+        return self.max_receives * DESCRIPTOR_BYTES
+
+    def total_bytes(self) -> int:
+        return self.bin_table_bytes() + self.descriptor_bytes()
+
+    def fits_l2(self) -> bool:
+        return self.total_bytes() <= self.l2_bytes
+
+    def fits_l3(self) -> bool:
+        return self.total_bytes() <= self.l3_bytes
+
+    def requires_fallback(self) -> bool:
+        """Exceeding L3 means the working set cannot stay on the DPA;
+        the implementation is expected to fall back to software tag
+        matching (§III-E)."""
+        return not self.fits_l3()
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "bins": self.bins,
+            "max_receives": self.max_receives,
+            "bin_tables_kib": self.bin_table_bytes() / KIB,
+            "descriptors_kib": self.descriptor_bytes() / KIB,
+            "total_kib": self.total_bytes() / KIB,
+            "fits_l2": self.fits_l2(),
+            "fits_l3": self.fits_l3(),
+        }

@@ -1,0 +1,85 @@
+"""The assembled offloaded endpoint: one object, the whole §IV stack.
+
+:class:`OffloadedEndpoint` wires together a queue pair, the
+eager/rendezvous protocol receiver, the optimistic matching engine,
+and the DPA cycle accounting. It is what a deployment would hand an
+MPI library: post receives, call :meth:`progress`, read completed
+deliveries — with per-message accelerator-cycle costs and a live
+memory-footprint check on the side.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EngineConfig
+from repro.core.engine import OptimisticMatcher
+from repro.core.envelope import ReceiveRequest
+from repro.dpa.costs import DpaCostModel
+from repro.dpa.machine import BF3_CORES
+from repro.dpa.memory import MemoryModel
+from repro.rdma.protocol import Delivery, RdmaReceiver
+from repro.rdma.qp import QueuePair
+
+__all__ = ["OffloadedEndpoint"]
+
+
+class OffloadedEndpoint:
+    """Receiver-side offload pipeline with cycle accounting."""
+
+    def __init__(
+        self,
+        qp: QueuePair,
+        config: EngineConfig | None = None,
+        *,
+        cores: int = BF3_CORES,
+        cost_model: DpaCostModel | None = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.memory = MemoryModel(self.config.bins, self.config.max_receives)
+        if self.memory.requires_fallback():
+            raise ValueError(
+                f"configuration needs {self.memory.total_bytes() / 1024:.0f} KiB, "
+                f"beyond DPA L3 ({self.memory.l3_bytes / 1024:.0f} KiB); "
+                "create the communicator in software instead (§III-E)"
+            )
+        self.engine = OptimisticMatcher(self.config, keep_history=True)
+        self.receiver = RdmaReceiver(qp, self.engine)
+        self.costs = cost_model if cost_model is not None else DpaCostModel()
+        self.cores = cores
+        self.dpa_cycles = 0.0
+        self._blocks_costed = 0
+
+    # -- MPI-facing surface --------------------------------------------
+
+    def post_receive(self, request: ReceiveRequest) -> None:
+        self.receiver.post_receive(request)
+        self._account_new_blocks()
+
+    def progress(self) -> int:
+        moved = self.receiver.progress()
+        self._account_new_blocks()
+        return moved
+
+    @property
+    def completed(self) -> list[Delivery]:
+        return self.receiver.completed
+
+    @property
+    def unexpected_count(self) -> int:
+        return self.engine.unexpected_count
+
+    # -- accounting ------------------------------------------------------
+
+    def _account_new_blocks(self) -> None:
+        history = self.engine.stats.block_history
+        while self._blocks_costed < len(history):
+            block = history[self._blocks_costed]
+            self.dpa_cycles += self.costs.block_cycles(block, self.cores)
+            self._blocks_costed += 1
+
+    @property
+    def dpa_seconds(self) -> float:
+        return self.costs.cycles_to_seconds(self.dpa_cycles)
+
+    def cycles_per_message(self) -> float:
+        messages = self.engine.stats.messages
+        return self.dpa_cycles / messages if messages else 0.0

@@ -1,0 +1,57 @@
+"""Tag-matching strategies (Table I) and validation tooling.
+
+* :class:`ListMatcher` — traditional two-queue linked lists (the
+  MPI-CPU baseline and the reproduction's oracle)
+* :class:`BinMatcher` — Flajslik-style binned hash tables
+* :class:`RankMatcher` — Dózsa-style per-source-rank queues
+* :class:`OptimisticAdapter` — the paper's engine behind the common
+  serial interface
+* :class:`FallbackMatcher` — optimistic engine with automatic software
+  fallback on descriptor-table overflow
+* :mod:`repro.matching.oracle` — cross-validation of any matcher
+  against the reference semantics
+"""
+
+from repro.matching.adaptive import AdaptiveMatcher
+from repro.matching.base import Matcher, MatcherCosts
+from repro.matching.bin_matcher import BinMatcher
+from repro.matching.channel_matcher import ChannelMatcher, ChannelSemanticsError
+from repro.matching.fallback import FallbackMatcher
+from repro.matching.list_matcher import ListMatcher
+from repro.matching.optimistic_adapter import OptimisticAdapter
+from repro.matching.oracle import (
+    StreamOp,
+    ValidationError,
+    check_c2,
+    cross_validate,
+    pairings,
+    run_stream,
+)
+from repro.matching.rank_matcher import RankMatcher
+from repro.matching.threaded_host import (
+    ContentionModel,
+    ThreadedHostResult,
+    simulate_threaded_host,
+)
+
+__all__ = [
+    "AdaptiveMatcher",
+    "BinMatcher",
+    "ChannelMatcher",
+    "ChannelSemanticsError",
+    "FallbackMatcher",
+    "ListMatcher",
+    "Matcher",
+    "MatcherCosts",
+    "OptimisticAdapter",
+    "RankMatcher",
+    "ContentionModel",
+    "ThreadedHostResult",
+    "simulate_threaded_host",
+    "StreamOp",
+    "ValidationError",
+    "check_c2",
+    "cross_validate",
+    "pairings",
+    "run_stream",
+]

@@ -1,0 +1,168 @@
+"""Adaptive/dynamic matcher in the style of Bayatpour et al. (Table I).
+
+Table I classifies prior art by *nature*: static designs fix the
+matching structure for the application's lifetime; the dynamic design
+of Bayatpour et al. monitors matching behaviour at runtime and
+switches between the traditional queue and bin-/rank-partitioned
+layouts when the observed search cost justifies the migration.
+
+:class:`AdaptiveMatcher` reproduces that idea behind the common
+interface: it starts on the traditional linked list (cheapest at low
+queue depth — no hashing, no extra pointers), samples the mean search
+walk over a sliding window, and migrates live state to a bin-based
+layout once the walk cost crosses a threshold (and back, with
+hysteresis, if queues stay shallow). Migrations preserve posting and
+arrival order, so semantics are oracle-identical throughout — which
+the test suite checks property-style.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent, MatchKind
+from repro.matching.base import Matcher
+from repro.matching.bin_matcher import BinMatcher
+from repro.matching.list_matcher import ListMatcher
+
+__all__ = ["AdaptiveMatcher"]
+
+
+class AdaptiveMatcher(Matcher):
+    """Runtime-switching matcher (the Table I 'Dynamic' row)."""
+
+    name = "adaptive (dynamic)"
+
+    def __init__(
+        self,
+        *,
+        bins: int = 128,
+        window: int = 64,
+        promote_walk: float = 8.0,
+        demote_walk: float = 1.0,
+        min_dwell: int = 128,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        window:
+            Sliding window of per-operation walk samples.
+        promote_walk:
+            Mean walk (entries/op) above which the matcher migrates to
+            the binned layout.
+        demote_walk:
+            Mean walk below which it returns to the list (must be
+            comfortably below ``promote_walk`` — hysteresis).
+        min_dwell:
+            Minimum operations between migrations (flap damping).
+        """
+        super().__init__()
+        if demote_walk >= promote_walk:
+            raise ValueError(
+                f"hysteresis requires demote ({demote_walk}) < promote ({promote_walk})"
+            )
+        self._bins = bins
+        self._active: Matcher = ListMatcher()
+        self._samples: deque[int] = deque(maxlen=window)
+        self._promote = promote_walk
+        self._demote = demote_walk
+        self._min_dwell = min_dwell
+        self._ops_since_switch = 0
+        self.migrations = 0
+        #: Live receives/messages in order, for state migration. The
+        #: matcher tracks them itself so any backing strategy can be
+        #: rebuilt losslessly.
+        self._live_receives: list[tuple[int, ReceiveRequest]] = []
+        self._live_unexpected: list[MessageEnvelope] = []
+        self._next_label = 0
+
+    @property
+    def active_strategy(self) -> str:
+        return self._active.name
+
+    @property
+    def posted_count(self) -> int:
+        return self._active.posted_count
+
+    @property
+    def unexpected_count(self) -> int:
+        return self._active.unexpected_count
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _record(self, before_walked: int) -> None:
+        walked = self._active.costs.walked - before_walked
+        self._samples.append(walked)
+        self.costs.record_walk(walked)
+        self._ops_since_switch += 1
+        self._maybe_switch()
+
+    def _mean_walk(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def _maybe_switch(self) -> None:
+        if self._ops_since_switch < self._min_dwell or len(self._samples) < 8:
+            return
+        mean = self._mean_walk()
+        is_list = isinstance(self._active, ListMatcher)
+        if is_list and mean >= self._promote:
+            self._migrate(BinMatcher(self._bins))
+        elif not is_list and mean <= self._demote:
+            self._migrate(ListMatcher())
+
+    def _migrate(self, target: Matcher) -> None:
+        """Replay live state into the new structure, in order."""
+        for _label, request in self._live_receives:
+            target.post_receive(request)
+        for envelope in self._live_unexpected:
+            target.incoming_message(envelope)
+        # Replay costs are migration overhead, not matching cost; the
+        # walk sampling restarts clean.
+        self._active = target
+        self._samples.clear()
+        self._ops_since_switch = 0
+        self.migrations += 1
+
+    # -- Matcher interface -------------------------------------------------
+
+    def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
+        self.costs.posts += 1
+        before = self._active.costs.walked
+        event = self._active.post_receive(request)
+        if event is None:
+            self._live_receives.append((self._next_label, request))
+        else:
+            self._live_unexpected.remove(event.message)
+            # The backing matcher's decision counter restarts on every
+            # migration; re-stamp with this matcher's global counter so
+            # decision order stays monotone across migrations.
+            event = dataclasses.replace(event, decision_order=self.decisions.next())
+        self._next_label += 1
+        self._record(before)
+        return event
+
+    def incoming_message(self, msg: MessageEnvelope) -> MatchEvent:
+        self.costs.messages += 1
+        before = self._active.costs.walked
+        event = self._active.incoming_message(msg)
+        event = dataclasses.replace(event, decision_order=self.decisions.next())
+        if event.kind is MatchKind.STORED_UNEXPECTED:
+            self._live_unexpected.append(msg)
+        else:
+            assert event.receive is not None
+            # Remove exactly one entry: the matched one by identity,
+            # falling back to the oldest equal entry (identical
+            # receives are interchangeable under C1).
+            for index, (_label, request) in enumerate(self._live_receives):
+                if request is event.receive:
+                    del self._live_receives[index]
+                    break
+            else:
+                for index, (_label, request) in enumerate(self._live_receives):
+                    if request == event.receive:
+                        del self._live_receives[index]
+                        break
+        self._record(before)
+        return event

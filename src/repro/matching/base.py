@@ -1,0 +1,85 @@
+"""Common matcher interface.
+
+Every matcher — the optimistic engine, the baselines of Table I, and
+the software fallback — exposes the same two entry points so that the
+oracle, the trace analyzer, and the benchmarks can drive any of them
+interchangeably:
+
+* :meth:`Matcher.post_receive` — a receive posting arrives; drain the
+  unexpected store or index the receive.
+* :meth:`Matcher.incoming_message` — a message arrives; match a posted
+  receive or store the message as unexpected.
+
+Serial matchers resolve each call immediately. The optimistic engine
+is block-based, so its adapter buffers messages; :meth:`Matcher.flush`
+forces resolution of anything buffered.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent
+from repro.util.counters import MonotonicCounter
+
+__all__ = ["Matcher", "MatcherCosts"]
+
+
+@dataclass(slots=True)
+class MatcherCosts:
+    """Search-cost accounting common to all matchers.
+
+    ``walked`` is the number of queue elements traversed — the paper's
+    queue-depth cost and the quantity Fig. 7 reduces by binning.
+    """
+
+    walked: int = 0
+    buckets: int = 0
+    posts: int = 0
+    messages: int = 0
+    #: Per-operation walk lengths (for depth distributions).
+    walk_samples: list[int] = field(default_factory=list)
+    keep_samples: bool = False
+
+    def record_walk(self, walked: int) -> None:
+        self.walked += walked
+        if self.keep_samples:
+            self.walk_samples.append(walked)
+
+
+class Matcher(abc.ABC):
+    """Abstract tag matcher (PRQ/UMQ semantics, MPI constraints)."""
+
+    #: Human-readable strategy name (Table I row).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.costs = MatcherCosts()
+        #: Stamps :attr:`MatchEvent.decision_order` on emitted events.
+        self.decisions = MonotonicCounter()
+
+    @abc.abstractmethod
+    def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
+        """Post a receive. Returns a drain event or ``None`` if indexed."""
+
+    @abc.abstractmethod
+    def incoming_message(self, msg: MessageEnvelope) -> MatchEvent | None:
+        """Deliver a message. Serial matchers return the decision
+        immediately; block-based ones may return ``None`` and emit the
+        event on :meth:`flush`."""
+
+    def flush(self) -> list[MatchEvent]:
+        """Resolve any buffered messages (no-op for serial matchers)."""
+        return []
+
+    @property
+    @abc.abstractmethod
+    def posted_count(self) -> int:
+        """Live posted receives awaiting a match."""
+
+    @property
+    @abc.abstractmethod
+    def unexpected_count(self) -> int:
+        """Stored unexpected messages awaiting a receive."""

@@ -1,0 +1,101 @@
+"""Software tag-matching fallback (§III-B, §III-E).
+
+"If the number of posted receives exceeds this capacity, the
+application must fall back to software tag matching." The controller
+wraps an optimistic engine and a host-side linked-list matcher: when
+the descriptor table overflows (or DPA memory cannot be allocated at
+communicator creation, §III-E), the live state — posted receives in
+posting order and unexpected messages in arrival order — migrates to
+the software matcher and all further traffic is handled there.
+
+The fallback is one-way, mirroring the deployment reality: once the
+application's working set outgrew the accelerator there is no cheap
+point at which to migrate back.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EngineConfig
+from repro.core.descriptor import DescriptorTableFull
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent
+from repro.core.threadsim import SchedulePolicy
+from repro.matching.base import Matcher
+from repro.matching.list_matcher import ListMatcher
+from repro.matching.optimistic_adapter import OptimisticAdapter
+from repro.util.counters import MonotonicCounter
+
+__all__ = ["FallbackMatcher"]
+
+
+class FallbackMatcher(Matcher):
+    """Optimistic engine with automatic software fallback on overflow."""
+
+    name = "optimistic+fallback"
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        *,
+        policy: SchedulePolicy | None = None,
+        comm: int = 0,
+    ) -> None:
+        super().__init__()
+        self._offloaded: OptimisticAdapter | None = OptimisticAdapter(
+            config, policy=policy, comm=comm
+        )
+        self._software = ListMatcher()
+        self._carried_events: list[MatchEvent] = []
+        self.fallback_events = 0
+
+    @property
+    def offloaded(self) -> bool:
+        """Whether matching is still running on the (simulated) DPA."""
+        return self._offloaded is not None
+
+    @property
+    def posted_count(self) -> int:
+        active = self._offloaded if self._offloaded is not None else self._software
+        return active.posted_count
+
+    @property
+    def unexpected_count(self) -> int:
+        active = self._offloaded if self._offloaded is not None else self._software
+        return active.unexpected_count
+
+    def _migrate(self) -> None:
+        """Move live engine state into the software matcher."""
+        assert self._offloaded is not None
+        # Process anything still buffered (and collect its events)
+        # before snapshotting state — migration must observe a settled
+        # engine.
+        self._carried_events.extend(self._offloaded.flush())
+        receives, unexpected = self._offloaded.engine.export_state()
+        self._software.seed_state(receives, unexpected)
+        # Keep decision stamps monotone across the migration boundary.
+        self._software.decisions = MonotonicCounter(self._offloaded.engine.decisions.peek())
+        self._offloaded = None
+        self.fallback_events += 1
+
+    def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
+        self.costs.posts += 1
+        if self._offloaded is not None:
+            try:
+                return self._offloaded.post_receive(request)
+            except DescriptorTableFull:
+                self._migrate()
+        return self._software.post_receive(request)
+
+    def incoming_message(self, msg: MessageEnvelope) -> MatchEvent | None:
+        self.costs.messages += 1
+        if self._offloaded is not None:
+            return self._offloaded.incoming_message(msg)
+        return self._software.incoming_message(msg)
+
+    def flush(self) -> list[MatchEvent]:
+        events, self._carried_events = self._carried_events, []
+        if self._offloaded is not None:
+            events.extend(self._offloaded.flush())
+        else:
+            events.extend(self._software.flush())
+        return events

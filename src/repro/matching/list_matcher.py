@@ -1,0 +1,136 @@
+"""The traditional linked-list matcher (MPI-CPU baseline).
+
+This is the canonical two-queue implementation described in §II-A and
+Figure 1: one posted-receive queue (PRQ) and one unexpected-message
+queue (UMQ), both plain linked lists scanned from the head. It
+trivially satisfies C1 (receives append at the tail, messages scan
+from the head) and C2 (messages append at the tail, receives scan from
+the head), at O(n) search cost — the behaviour whose "matching misery"
+motivates the paper.
+
+It doubles as the reproduction's *oracle*: its match decisions define
+the MPI-correct answer that every other matcher must agree with.
+"""
+
+from __future__ import annotations
+
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent, MatchKind, ResolutionPath
+from repro.matching.base import Matcher
+from repro.util.counters import MonotonicCounter
+from repro.util.intrusive import IntrusiveList
+
+__all__ = ["ListMatcher"]
+
+
+class _PostedReceive:
+    __slots__ = ("request", "post_label")
+
+    def __init__(self, request: ReceiveRequest, post_label: int) -> None:
+        self.request = request
+        self.post_label = post_label
+
+
+class ListMatcher(Matcher):
+    """Two-queue linked-list tag matcher (the 1-bin / traditional case)."""
+
+    name = "linked-list"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._prq: IntrusiveList[_PostedReceive] = IntrusiveList()
+        self._umq: IntrusiveList[MessageEnvelope] = IntrusiveList()
+        self._post_labels = MonotonicCounter()
+
+    @property
+    def posted_count(self) -> int:
+        return len(self._prq)
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self._umq)
+
+    @property
+    def prq_depth(self) -> int:
+        """Current PRQ length (the Fig. 7 queue-depth statistic)."""
+        return len(self._prq)
+
+    def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
+        self.costs.posts += 1
+        walked = 0
+        for node in self._umq.iter_nodes():
+            walked += 1
+            msg: MessageEnvelope = node.payload
+            if request.matches(msg):
+                self._umq.unlink(node)
+                self.costs.record_walk(walked)
+                return MatchEvent(
+                    decision_order=self.decisions.next(),
+                    kind=MatchKind.UNEXPECTED_DRAIN,
+                    message=msg,
+                    receive=request,
+                    receive_post_label=self._post_labels.next(),
+                    path=ResolutionPath.SERIAL,
+                )
+        self.costs.record_walk(walked)
+        self._prq.append(_PostedReceive(request, self._post_labels.next()))
+        return None
+
+    def incoming_message(self, msg: MessageEnvelope) -> MatchEvent:
+        self.costs.messages += 1
+        walked = 0
+        for node in self._prq.iter_nodes():
+            walked += 1
+            posted: _PostedReceive = node.payload
+            if posted.request.matches(msg):
+                self._prq.unlink(node)
+                self.costs.record_walk(walked)
+                return MatchEvent(
+                    decision_order=self.decisions.next(),
+                    kind=MatchKind.EXPECTED,
+                    message=msg,
+                    receive=posted.request,
+                    receive_post_label=posted.post_label,
+                    path=ResolutionPath.SERIAL,
+                )
+        self.costs.record_walk(walked)
+        self._umq.append(msg)
+        return MatchEvent(
+            decision_order=self.decisions.next(),
+            kind=MatchKind.STORED_UNEXPECTED,
+            message=msg,
+            receive=None,
+            receive_post_label=None,
+        )
+
+    def cancel_receive(self, handle: int) -> bool:
+        """Remove a posted receive by handle (MPI_Cancel semantics).
+
+        Returns True when a live receive was removed; False when no
+        receive with that handle is pending (already matched).
+        """
+        for node in self._prq.iter_nodes():
+            posted: _PostedReceive = node.payload
+            if posted.request.handle == handle:
+                self._prq.unlink(node)
+                return True
+        return False
+
+    def seed_state(
+        self,
+        receives: list[tuple[int, ReceiveRequest]],
+        unexpected: list[MessageEnvelope],
+    ) -> None:
+        """Adopt exported engine state (software-fallback migration).
+
+        ``receives`` must be in posting order; labels are preserved so
+        C1 auditing stays consistent across the migration.
+        """
+        if self._prq or self._umq:
+            raise ValueError("seed_state requires an empty matcher")
+        for label, request in receives:
+            self._prq.append(_PostedReceive(request, label))
+        for msg in unexpected:
+            self._umq.append(msg)
+        if receives:
+            self._post_labels = MonotonicCounter(max(label for label, _ in receives) + 1)

@@ -1,0 +1,157 @@
+"""Reference semantics and cross-matcher validation.
+
+The linked-list matcher defines MPI-correct matching. This module
+drives any matcher and the oracle through the same operation stream
+and checks three things:
+
+1. **Pairing equality** — every message pairs with the same receive
+   (receives are identified by their ``handle``, which the driver sets
+   to the posting index; messages by ``(source, send_seq, comm)``).
+2. **C1** — when a message matched receive *R*, no older live receive
+   matching the same message existed at decision time. Pairing
+   equality against the oracle implies this, but the checker also
+   audits it directly from the event stream for defense in depth.
+3. **C2** — for each (sender, matched-receive-stream) the match order
+   follows send order: the sequence of ``send_seq`` values matched
+   per source is increasing within equal-envelope message groups.
+
+The op stream format is deliberately simple — a list of
+:class:`StreamOp` — so hypothesis can generate arbitrary streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent, MatchKind
+from repro.matching.base import Matcher
+from repro.matching.list_matcher import ListMatcher
+
+__all__ = ["StreamOp", "run_stream", "pairings", "check_c2", "ValidationError", "cross_validate"]
+
+
+class ValidationError(AssertionError):
+    """A matcher disagreed with the oracle or violated a constraint."""
+
+
+@dataclass(frozen=True, slots=True)
+class StreamOp:
+    """One operation of a matcher driver stream."""
+
+    kind: Literal["post", "message"]
+    source: int = 0
+    tag: int = 0
+    comm: int = 0
+
+    @staticmethod
+    def post(source: int, tag: int, comm: int = 0) -> "StreamOp":
+        return StreamOp("post", source, tag, comm)
+
+    @staticmethod
+    def message(source: int, tag: int, comm: int = 0) -> "StreamOp":
+        return StreamOp("message", source, tag, comm)
+
+
+def run_stream(matcher: Matcher, ops: list[StreamOp]) -> list[MatchEvent]:
+    """Feed ``ops`` to ``matcher`` and collect every emitted event.
+
+    Receive handles are set to the posting index; message ``send_seq``
+    is a per-source counter — together they give stable identities for
+    cross-matcher comparison.
+    """
+    events: list[MatchEvent] = []
+    post_index = 0
+    send_seq: dict[int, int] = {}
+    for op in ops:
+        if op.kind == "post":
+            request = ReceiveRequest(
+                source=op.source, tag=op.tag, comm=op.comm, handle=post_index
+            )
+            post_index += 1
+            event = matcher.post_receive(request)
+            if event is not None:
+                events.append(event)
+        else:
+            seq = send_seq.get(op.source, 0)
+            send_seq[op.source] = seq + 1
+            msg = MessageEnvelope(source=op.source, tag=op.tag, comm=op.comm, send_seq=seq)
+            event = matcher.incoming_message(msg)
+            if event is not None:
+                events.append(event)
+    events.extend(matcher.flush())
+    return events
+
+
+def pairings(events: list[MatchEvent]) -> dict[tuple[int, int, int], int | None]:
+    """Map message identity -> matched receive handle (None=unexpected).
+
+    A message stored unexpected and drained later appears twice in the
+    event stream; the drain (the final pairing) wins.
+    """
+    result: dict[tuple[int, int, int], int | None] = {}
+    for event in events:
+        msg_id = (event.message.source, event.message.send_seq, event.message.comm)
+        if event.kind is MatchKind.STORED_UNEXPECTED:
+            result.setdefault(msg_id, None)
+        else:
+            assert event.receive is not None
+            result[msg_id] = event.receive.handle
+    return result
+
+
+def check_c2(events: list[MatchEvent]) -> None:
+    """Audit non-overtaking from an event stream.
+
+    For every sender, among messages that matched receives with
+    identical envelopes (same source/tag/comm pattern), match order
+    must follow send order. Equal-envelope receives are
+    interchangeable targets, so the audit checks that the k-th matched
+    message of such a group is the k-th sent.
+    """
+    # Audit in semantic decision order; buffered (block-based) matchers
+    # emit events out of decision order in the raw list.
+    if all(event.decision_order >= 0 for event in events):
+        events = sorted(events, key=lambda event: event.decision_order)
+    # Group matched messages by (sender, receive envelope pattern).
+    groups: dict[tuple[int, int, int, int], list[int]] = {}
+    for event in events:
+        if event.kind is MatchKind.STORED_UNEXPECTED or event.receive is None:
+            continue
+        key = (
+            event.message.source,
+            event.receive.source,
+            event.receive.tag,
+            event.receive.comm,
+        )
+        groups.setdefault(key, []).append(event.message.send_seq)
+    for key, seqs in groups.items():
+        if seqs != sorted(seqs):
+            raise ValidationError(
+                f"C2 violated for sender/receive-pattern {key}: match order {seqs}"
+            )
+
+
+def cross_validate(matcher: Matcher, ops: list[StreamOp]) -> list[MatchEvent]:
+    """Run ``ops`` through ``matcher`` and a fresh oracle; compare.
+
+    Returns the matcher's events on success, raises
+    :class:`ValidationError` on any divergence.
+    """
+    oracle_events = run_stream(ListMatcher(), ops)
+    matcher_events = run_stream(matcher, ops)
+    expected = pairings(oracle_events)
+    actual = pairings(matcher_events)
+    if expected != actual:
+        diffs = {
+            key: (expected.get(key), actual.get(key))
+            for key in set(expected) | set(actual)
+            if expected.get(key) != actual.get(key)
+        }
+        raise ValidationError(
+            f"{matcher.name} diverged from oracle on {len(diffs)} messages: "
+            f"{dict(sorted(diffs.items())[:10])}"
+        )
+    check_c2(matcher_events)
+    return matcher_events

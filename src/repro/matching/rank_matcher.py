@@ -1,0 +1,151 @@
+"""Rank-partitioned matcher in the style of Dózsa et al. (Table I).
+
+Posted receives are partitioned by *source rank* into per-rank queues;
+receives using ``MPI_ANY_SOURCE`` go to a shared wildcard queue. An
+incoming message from rank *r* needs to scan only queue *r* plus the
+wildcard queue, with timestamps arbitrating order between the two —
+the concurrency enabler in the original multithreaded-MPI proposal.
+Unexpected messages are partitioned the same way (a message always has
+a concrete source), with a global arrival list serving wildcard
+receives.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import ANY_SOURCE
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent, MatchKind, ResolutionPath
+from repro.matching.base import Matcher
+from repro.util.counters import MonotonicCounter
+from repro.util.intrusive import IntrusiveList, IntrusiveNode
+
+__all__ = ["RankMatcher"]
+
+
+class _Posted:
+    __slots__ = ("request", "timestamp")
+
+    def __init__(self, request: ReceiveRequest, timestamp: int) -> None:
+        self.request = request
+        self.timestamp = timestamp
+
+
+class _Unexpected:
+    __slots__ = ("envelope", "timestamp", "rank_node", "order_node")
+
+    def __init__(self, envelope: MessageEnvelope, timestamp: int) -> None:
+        self.envelope = envelope
+        self.timestamp = timestamp
+        self.rank_node: IntrusiveNode | None = None
+        self.order_node: IntrusiveNode | None = None
+
+
+class RankMatcher(Matcher):
+    """Per-source-rank serial matcher with a wildcard side queue."""
+
+    name = "rank-based"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._prq_by_rank: dict[int, IntrusiveList[_Posted]] = {}
+        self._prq_wild: IntrusiveList[_Posted] = IntrusiveList()
+        self._umq_by_rank: dict[int, IntrusiveList[_Unexpected]] = {}
+        self._umq_order: IntrusiveList[_Unexpected] = IntrusiveList()
+        self._clock = MonotonicCounter()
+
+    @property
+    def posted_count(self) -> int:
+        return sum(len(q) for q in self._prq_by_rank.values()) + len(self._prq_wild)
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self._umq_order)
+
+    def _rank_queue(self, table: dict[int, IntrusiveList], rank: int) -> IntrusiveList:
+        queue = table.get(rank)
+        if queue is None:
+            queue = IntrusiveList()
+            table[rank] = queue
+        return queue
+
+    def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
+        self.costs.posts += 1
+        timestamp = self._clock.next()
+        drained = self._drain_unexpected(request)
+        if drained is not None:
+            return MatchEvent(
+                decision_order=self.decisions.next(),
+                kind=MatchKind.UNEXPECTED_DRAIN,
+                message=drained.envelope,
+                receive=request,
+                receive_post_label=timestamp,
+                path=ResolutionPath.SERIAL,
+            )
+        posted = _Posted(request, timestamp)
+        if request.source == ANY_SOURCE:
+            self._prq_wild.append(posted)
+        else:
+            self._rank_queue(self._prq_by_rank, request.source).append(posted)
+        return None
+
+    def _drain_unexpected(self, request: ReceiveRequest) -> _Unexpected | None:
+        walked = 0
+        found: _Unexpected | None = None
+        if request.source == ANY_SOURCE:
+            chain = self._umq_order
+        else:
+            chain = self._rank_queue(self._umq_by_rank, request.source)
+        for node in chain.iter_nodes():
+            walked += 1
+            um: _Unexpected = node.payload
+            if request.matches(um.envelope):
+                found = um
+                break
+        self.costs.record_walk(walked)
+        if found is None:
+            return None
+        if found.rank_node is not None and found.rank_node.owner is not None:
+            found.rank_node.owner.unlink(found.rank_node)
+        if found.order_node is not None and found.order_node.owner is not None:
+            found.order_node.owner.unlink(found.order_node)
+        return found
+
+    def incoming_message(self, msg: MessageEnvelope) -> MatchEvent:
+        self.costs.messages += 1
+        walked = 0
+        best: tuple[IntrusiveNode, _Posted] | None = None
+        for node in self._rank_queue(self._prq_by_rank, msg.source).iter_nodes():
+            walked += 1
+            posted: _Posted = node.payload
+            if posted.request.matches(msg):
+                best = (node, posted)
+                break
+        for node in self._prq_wild.iter_nodes():
+            walked += 1
+            posted = node.payload
+            if posted.request.matches(msg):
+                if best is None or posted.timestamp < best[1].timestamp:
+                    best = (node, posted)
+                break
+        self.costs.record_walk(walked)
+        if best is not None:
+            node, posted = best
+            node.owner.unlink(node)
+            return MatchEvent(
+                decision_order=self.decisions.next(),
+                kind=MatchKind.EXPECTED,
+                message=msg,
+                receive=posted.request,
+                receive_post_label=posted.timestamp,
+                path=ResolutionPath.SERIAL,
+            )
+        um = _Unexpected(msg, self._clock.next())
+        um.rank_node = self._rank_queue(self._umq_by_rank, msg.source).append(um)
+        um.order_node = self._umq_order.append(um)
+        return MatchEvent(
+            decision_order=self.decisions.next(),
+            kind=MatchKind.STORED_UNEXPECTED,
+            message=msg,
+            receive=None,
+            receive_post_label=None,
+        )

@@ -1,0 +1,93 @@
+"""Multithreaded host matching with lock contention.
+
+The introduction motivates offload partly via MPI_THREAD_MULTIPLE:
+"the need to lock the lists to ensure thread safety further
+exacerbates the problem" (citing "Measuring multithreaded message
+matching misery"). This module models that configuration: T host
+threads share the traditional PRQ/UMQ, every operation takes a global
+queue lock, and contention is charged by a standard closed-form model
+(serialization of the critical section plus a cache-line transfer per
+handoff).
+
+The model produces the well-known misery curve — per-message matching
+cost *rising* with thread count — which the optimistic engine's
+per-receive bitmaps and partial barrier avoid. Used by the
+``test_ablation_multithreaded`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matching.list_matcher import ListMatcher
+from repro.matching.oracle import StreamOp, run_stream
+
+__all__ = ["ContentionModel", "ThreadedHostResult", "simulate_threaded_host"]
+
+
+@dataclass(frozen=True, slots=True)
+class ContentionModel:
+    """Cycle costs of lock-protected matching on the host."""
+
+    clock_ghz: float = 3.0
+    #: Lock acquire+release, uncontended.
+    lock_base: int = 40
+    #: Cache-line transfer when the lock migrates between cores.
+    lock_handoff: int = 120
+    #: Queue-walk cost per element (same as HostCostModel).
+    chain_walk: int = 10
+    #: Per-message software overhead outside the critical section.
+    per_message: int = 200
+
+    def critical_section_cycles(self, walked_per_op: float) -> float:
+        """Cycles spent holding the lock for one matching operation."""
+        return self.lock_base + walked_per_op * self.chain_walk
+
+    def per_op_cycles(self, threads: int, walked_per_op: float) -> float:
+        """Effective cycles per operation with T contending threads.
+
+        The critical section serializes; with more than one thread the
+        lock ping-pongs between cores, adding a handoff per acquire,
+        and every thread's progress is gated by the serialized total:
+        cost ≈ out-of-lock work + T × (critical section + handoff).
+        """
+        if threads <= 0:
+            raise ValueError(f"thread count must be positive, got {threads}")
+        critical = self.critical_section_cycles(walked_per_op)
+        if threads == 1:
+            return self.per_message + critical
+        return self.per_message + threads * (critical + self.lock_handoff)
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadedHostResult:
+    threads: int
+    messages: int
+    walked_per_message: float
+    cycles_per_message: float
+    message_rate: float  #: messages/second across all threads
+
+
+def simulate_threaded_host(
+    ops: list[StreamOp],
+    threads: int,
+    model: ContentionModel | None = None,
+) -> ThreadedHostResult:
+    """Run ``ops`` through the shared-queue matcher and price it for
+    ``threads`` contending host threads."""
+    model = model if model is not None else ContentionModel()
+    matcher = ListMatcher()
+    run_stream(matcher, ops)
+    messages = sum(1 for op in ops if op.kind == "message")
+    if messages == 0:
+        return ThreadedHostResult(threads, 0, 0.0, 0.0, 0.0)
+    walked_per_message = matcher.costs.walked / max(matcher.costs.messages, 1)
+    per_op = model.per_op_cycles(threads, walked_per_message)
+    seconds_per_message = per_op / (model.clock_ghz * 1e9)
+    return ThreadedHostResult(
+        threads=threads,
+        messages=messages,
+        walked_per_message=walked_per_message,
+        cycles_per_message=per_op,
+        message_rate=1.0 / seconds_per_message,
+    )

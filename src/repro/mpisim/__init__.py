@@ -1,0 +1,29 @@
+"""Miniature MPI point-to-point runtime over pluggable matchers.
+
+* :class:`MpiSim` — the multi-rank world (isend/irecv/wait/progress)
+* :class:`Communicator` / :class:`CommunicatorInfo` — per-communicator
+  matching resources and assertion hints (§III-E, §VII)
+* :class:`Request` / :class:`Status` — nonblocking handles
+* :mod:`repro.mpisim.collectives` — flat collectives built on p2p
+"""
+
+from repro.mpisim.collectives import alltoall, barrier, bcast, gather
+from repro.mpisim.communicator import Communicator, CommunicatorInfo
+from repro.mpisim.recorder import RecordingSim
+from repro.mpisim.request import Request, RequestKind, Status
+from repro.mpisim.runtime import MpiSim, ProgressStall
+
+__all__ = [
+    "Communicator",
+    "CommunicatorInfo",
+    "MpiSim",
+    "ProgressStall",
+    "RecordingSim",
+    "Request",
+    "RequestKind",
+    "Status",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "gather",
+]

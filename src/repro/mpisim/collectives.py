@@ -1,0 +1,99 @@
+"""Collectives built on point-to-point, the way the paper frames them
+(§VII: "collective operations … are normally built on top of
+point-to-point operations, and hence need matching to be performed in
+order to be offloaded").
+
+These are deliberately simple flat algorithms — their purpose is to
+generate realistic matching traffic (fan-in/fan-out bursts, the
+``MPI_Gatherv`` many-to-one pattern the introduction calls out), not
+to be bandwidth-optimal.
+"""
+
+from __future__ import annotations
+
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.runtime import MpiSim
+
+__all__ = ["bcast", "gather", "alltoall", "barrier"]
+
+#: Tag space reserved for collective plumbing, above user tags.
+_COLL_TAG_BASE = 1 << 20
+
+
+def bcast(
+    sim: MpiSim, root: int, payload: bytes, comm: Communicator | None = None
+) -> dict[int, bytes]:
+    """Flat broadcast: root sends to every other rank.
+
+    Returns the received payload per rank (root included).
+    """
+    comm = comm if comm is not None else sim.world
+    tag = _COLL_TAG_BASE + 1
+    requests = {}
+    for rank in range(comm.size):
+        if rank != root:
+            requests[rank] = sim.irecv(rank, source=root, tag=tag, comm=comm)
+    for rank in range(comm.size):
+        if rank != root:
+            sim.isend(root, rank, tag, payload, comm=comm)
+    sim.waitall(list(requests.values()))
+    out = {rank: req.payload for rank, req in requests.items()}
+    out[root] = payload
+    return out
+
+
+def gather(
+    sim: MpiSim, root: int, payloads: dict[int, bytes], comm: Communicator | None = None
+) -> list[bytes]:
+    """Flat gather: the many-to-one burst that stresses matching.
+
+    Every rank sends its payload to root simultaneously; root posts
+    one receive per peer. Returns payloads in rank order.
+    """
+    comm = comm if comm is not None else sim.world
+    tag = _COLL_TAG_BASE + 2
+    requests = {}
+    for rank in range(comm.size):
+        if rank != root:
+            requests[rank] = sim.irecv(root, source=rank, tag=tag, comm=comm)
+    for rank in range(comm.size):
+        if rank != root:
+            sim.isend(rank, root, tag, payloads[rank], comm=comm)
+    sim.waitall(list(requests.values()))
+    return [
+        payloads[rank] if rank == root else requests[rank].payload
+        for rank in range(comm.size)
+    ]
+
+
+def alltoall(
+    sim: MpiSim, payloads: dict[tuple[int, int], bytes], comm: Communicator | None = None
+) -> dict[tuple[int, int], bytes]:
+    """Flat all-to-all: the global pattern of transpose-heavy codes
+    (BigFFT). ``payloads[(src, dst)]`` is what src sends to dst.
+
+    Returns ``received[(dst, src)]``.
+    """
+    comm = comm if comm is not None else sim.world
+    tag = _COLL_TAG_BASE + 3
+    requests = {}
+    for dst in range(comm.size):
+        for src in range(comm.size):
+            if src != dst:
+                requests[(dst, src)] = sim.irecv(dst, source=src, tag=tag, comm=comm)
+    for src in range(comm.size):
+        for dst in range(comm.size):
+            if src != dst:
+                sim.isend(src, dst, tag, payloads[(src, dst)], comm=comm)
+    sim.waitall(list(requests.values()))
+    received = {key: req.payload for key, req in requests.items()}
+    for rank in range(comm.size):
+        received[(rank, rank)] = payloads[(rank, rank)]
+    return received
+
+
+def barrier(sim: MpiSim, comm: Communicator | None = None, root: int = 0) -> None:
+    """Flat barrier: gather-then-broadcast of empty messages."""
+    comm = comm if comm is not None else sim.world
+    gather(sim, root, {rank: b"" for rank in range(comm.size)}, comm=comm)
+    bcast(sim, root, b"", comm=comm)

@@ -1,0 +1,83 @@
+"""Communicators and matching-relevant info hints (§III-E, §VII).
+
+"Each MPI communicator is linked to its own set of index tables and
+data structures." A :class:`CommunicatorInfo` captures the standard
+assertion hints the paper discusses and translates them into engine
+configuration; the runtime creates one matcher per (rank,
+communicator) from the resulting config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import EngineConfig
+
+__all__ = ["CommunicatorInfo", "Communicator"]
+
+#: Recognized MPI_Info assertion keys (MPI 4.0 §7.4.4 / paper §VII).
+KNOWN_ASSERTS = frozenset(
+    {
+        "mpi_assert_no_any_source",
+        "mpi_assert_no_any_tag",
+        "mpi_assert_allow_overtaking",
+        "mpi_assert_exact_length",  # accepted, matching-neutral
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CommunicatorInfo:
+    """The matching-relevant subset of an MPI info object."""
+
+    no_any_source: bool = False
+    no_any_tag: bool = False
+    allow_overtaking: bool = False
+
+    @classmethod
+    def from_hints(cls, hints: dict[str, str] | None) -> "CommunicatorInfo":
+        """Parse MPI_Info-style string pairs; unknown keys are ignored
+        (as the standard requires), unknown values reject loudly."""
+        if not hints:
+            return cls()
+        parsed: dict[str, bool] = {}
+        for key, value in hints.items():
+            if key not in KNOWN_ASSERTS:
+                continue
+            if value not in ("true", "false"):
+                raise ValueError(f"info value for {key} must be 'true'/'false', got {value!r}")
+            parsed[key] = value == "true"
+        return cls(
+            no_any_source=parsed.get("mpi_assert_no_any_source", False),
+            no_any_tag=parsed.get("mpi_assert_no_any_tag", False),
+            allow_overtaking=parsed.get("mpi_assert_allow_overtaking", False),
+        )
+
+    def apply_to(self, config: EngineConfig) -> EngineConfig:
+        """Fold the hints into an engine configuration."""
+        return config.with_options(
+            assert_no_any_source=self.no_any_source,
+            assert_no_any_tag=self.no_any_tag,
+            allow_overtaking=self.allow_overtaking,
+        )
+
+
+@dataclass(eq=False, slots=True)
+class Communicator:
+    """A communication context over a group of ranks."""
+
+    comm_id: int
+    size: int
+    info: CommunicatorInfo = field(default_factory=CommunicatorInfo)
+    #: Whether matching for this communicator runs on the (simulated)
+    #: accelerator; False models a failed DPA resource allocation at
+    #: communicator creation (§III-E) — software matching from birth.
+    offloaded: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"communicator size must be positive, got {self.size}")
+
+    def check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for communicator of size {self.size}")

@@ -1,0 +1,120 @@
+"""Trace recording for the MPI runtime simulator.
+
+The inverse of trace replay: wrap an :class:`repro.mpisim.MpiSim` in a
+:class:`RecordingSim` and every point-to-point and progress call is
+logged as a :class:`repro.traces.model.TraceOp` with a virtual
+walltime — producing a trace the analyzer (or ``save_trace`` +
+``dumpi2ascii`` consumers) accepts. This closes the tooling loop the
+paper's artifacts imply: *run* an application on the simulated
+offloaded runtime, *capture* its trace, *analyze* its matching
+behaviour.
+
+Collectives from :mod:`repro.mpisim.collectives` are built on p2p, so
+they appear in the recording as their constituent sends/receives —
+set ``record_collectives`` markers via :meth:`RecordingSim.annotate`
+if the collective-level view is wanted too.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.request import Request
+from repro.mpisim.runtime import MpiSim
+from repro.traces.model import OpKind, RankTrace, Trace, TraceOp
+
+__all__ = ["RecordingSim"]
+
+
+class RecordingSim:
+    """An MpiSim façade that records a replayable trace."""
+
+    def __init__(self, sim: MpiSim, *, name: str = "recorded") -> None:
+        self.sim = sim
+        self.name = name
+        self._ops: list[list[TraceOp]] = [[] for _ in range(sim.size)]
+        self._clock = 0.0
+        #: request handle -> rank, for wait attribution.
+        self._owners: dict[int, int] = {}
+
+    def _tick(self) -> float:
+        self._clock += 1e-3
+        return self._clock
+
+    # -- recorded API (mirrors MpiSim) -----------------------------------
+
+    def isend(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: bytes = b"",
+        comm: Communicator | None = None,
+    ) -> Request:
+        request = self.sim.isend(src, dst, tag, payload, comm)
+        self._ops[src].append(
+            TraceOp(
+                kind=OpKind.ISEND,
+                peer=dst,
+                tag=tag,
+                comm=0 if comm is None else comm.comm_id,
+                size=len(payload),
+                request=request.handle,
+                walltime=self._tick(),
+            )
+        )
+        self._owners[request.handle] = src
+        return request
+
+    def irecv(
+        self,
+        rank: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Communicator | None = None,
+    ) -> Request:
+        request = self.sim.irecv(rank, source, tag, comm)
+        self._ops[rank].append(
+            TraceOp(
+                kind=OpKind.IRECV,
+                peer=source,
+                tag=tag,
+                comm=0 if comm is None else comm.comm_id,
+                request=request.handle,
+                walltime=self._tick(),
+            )
+        )
+        self._owners[request.handle] = rank
+        return request
+
+    def wait(self, request: Request) -> None:
+        rank = self._owners.get(request.handle, request.rank)
+        self._ops[rank].append(
+            TraceOp(kind=OpKind.WAIT, request=request.handle, walltime=self._tick())
+        )
+        self.sim.wait(request)
+
+    def waitall(self, requests: list[Request]) -> None:
+        if requests:
+            rank = self._owners.get(requests[0].handle, requests[0].rank)
+            self._ops[rank].append(
+                TraceOp(kind=OpKind.WAITALL, size=len(requests), walltime=self._tick())
+            )
+        self.sim.waitall(requests)
+
+    def annotate(self, rank: int, kind: OpKind, size: int = 0) -> None:
+        """Record a collective/one-sided marker without executing it."""
+        self._ops[rank].append(TraceOp(kind=kind, size=size, walltime=self._tick()))
+
+    def progress(self) -> int:
+        return self.sim.progress()
+
+    # -- trace extraction -------------------------------------------------
+
+    def trace(self) -> Trace:
+        """The recording so far, as an analyzable trace."""
+        return Trace(
+            name=self.name,
+            nprocs=self.sim.size,
+            ranks=[RankTrace(rank, list(ops)) for rank, ops in enumerate(self._ops)],
+        )

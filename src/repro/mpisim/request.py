@@ -1,0 +1,49 @@
+"""Nonblocking request objects (``MPI_Request`` equivalents)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["RequestKind", "Status", "Request"]
+
+
+class RequestKind(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+
+
+@dataclass(frozen=True, slots=True)
+class Status:
+    """Completion status of a receive (``MPI_Status`` equivalent)."""
+
+    source: int
+    tag: int
+    count: int  #: payload bytes
+
+
+@dataclass(eq=False, slots=True)
+class Request:
+    """Handle for an in-flight nonblocking operation."""
+
+    kind: RequestKind
+    handle: int
+    rank: int  #: owning rank
+    comm: int = 0
+    completed: bool = False
+    payload: bytes | None = None
+    status: Status | None = None
+    #: Set when the runtime cancelled the request (teardown paths).
+    cancelled: bool = False
+    _waiters: list = field(default_factory=list, repr=False)
+
+    def complete(self, payload: bytes | None = None, status: Status | None = None) -> None:
+        if self.completed:
+            raise RuntimeError(f"request {self.handle} completed twice")
+        self.completed = True
+        self.payload = payload
+        self.status = status
+
+    def test(self) -> bool:
+        """Nonblocking completion check (``MPI_Test``)."""
+        return self.completed

@@ -1,0 +1,335 @@
+"""The multi-rank MPI point-to-point runtime simulator.
+
+:class:`MpiSim` hosts N ranks, each with one matcher per communicator,
+and a FIFO channel per (sender, receiver) pair — the ordering
+guarantee a reliable RDMA connection provides, and the precondition
+for C2. The API mirrors the MPI calls the paper's traces contain:
+
+* ``isend`` / ``send`` — enqueue a message on the channel,
+* ``irecv`` / ``recv`` — post a receive to the destination matcher,
+* ``wait`` / ``waitall`` / ``test`` — progress until completion,
+* ``progress`` — one delivery round (the progress-engine tick the
+  trace analyzer's datapoints correspond to).
+
+Matching is pluggable per communicator: the optimistic engine with
+fallback (the offloaded deployment) or any serial matcher (software
+deployment), so examples can run the same program both ways.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent, MatchKind
+from repro.core.config import EngineConfig
+from repro.matching.base import Matcher
+from repro.matching.fallback import FallbackMatcher
+from repro.mpisim.communicator import Communicator, CommunicatorInfo
+from repro.mpisim.request import Request, RequestKind, Status
+
+__all__ = ["MpiSim", "ProgressStall"]
+
+
+class ProgressStall(RuntimeError):
+    """wait() cannot complete: no message in flight can satisfy it."""
+
+
+@dataclass(slots=True)
+class _InFlight:
+    """A message travelling on a (src, dst) channel."""
+
+    envelope: MessageEnvelope
+    payload: bytes
+
+
+@dataclass(slots=True)
+class _RankComm:
+    """Per-(rank, communicator) matching state."""
+
+    matcher: Matcher
+    requests: dict[int, Request] = field(default_factory=dict)
+
+
+class MpiSim:
+    """A simulated MPI world."""
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        config: EngineConfig | None = None,
+        matcher_factory: Callable[[EngineConfig], Matcher] | None = None,
+        dpa_budget_bytes: int | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        dpa_budget_bytes:
+            Per-rank accelerator memory budget (§III-E). When set,
+            communicator creation charges each rank's budget and falls
+            back to *software* matching for communicators that no
+            longer fit — mirroring "if it is not possible to allocate
+            DPA resources at communicator creation time, the MPI
+            implementation is expected to fall back". ``None`` (the
+            default) models an unconstrained accelerator.
+        """
+        if size <= 0:
+            raise ValueError(f"world size must be positive, got {size}")
+        self.size = size
+        self._base_config = config if config is not None else EngineConfig()
+        self._matcher_factory = matcher_factory
+        self._dpa_managers = None
+        if dpa_budget_bytes is not None:
+            from repro.core.manager import OffloadManager
+
+            self._dpa_managers = [
+                OffloadManager(self._base_config, budget_bytes=dpa_budget_bytes)
+                for _ in range(size)
+            ]
+        self._comms: dict[int, Communicator] = {}
+        self._state: dict[tuple[int, int], _RankComm] = {}
+        self._channels: dict[tuple[int, int], deque[_InFlight]] = {}
+        self._send_seq: dict[int, int] = {}
+        self._next_handle = 0
+        self._next_comm_id = 0
+        self.world = self.comm_create()  # COMM_WORLD
+
+    # ------------------------------------------------------------------
+    # Communicator management
+    # ------------------------------------------------------------------
+
+    def comm_create(self, hints: dict[str, str] | None = None) -> Communicator:
+        """Create a communicator spanning all ranks, with info hints."""
+        info = CommunicatorInfo.from_hints(hints)
+        comm = Communicator(self._next_comm_id, self.size, info)
+        self._next_comm_id += 1
+        self._comms[comm.comm_id] = comm
+        cfg = info.apply_to(self._base_config)
+        offloaded_everywhere = True
+        for rank in range(self.size):
+            if self._matcher_factory is not None:
+                matcher = self._matcher_factory(cfg)
+            elif self._dpa_managers is not None:
+                allocation = self._dpa_managers[rank].comm_create(
+                    comm.comm_id, config=cfg
+                )
+                if allocation.offloaded:
+                    matcher = FallbackMatcher(cfg, comm=comm.comm_id)
+                else:
+                    # §III-E: no DPA room at creation time — software
+                    # matching from birth for this communicator.
+                    from repro.matching.list_matcher import ListMatcher
+
+                    matcher = ListMatcher()
+                    offloaded_everywhere = False
+            else:
+                matcher = FallbackMatcher(cfg, comm=comm.comm_id)
+            self._state[(rank, comm.comm_id)] = _RankComm(matcher)
+        comm.offloaded = offloaded_everywhere
+        return comm
+
+    def comm_free(self, comm: Communicator) -> None:
+        """Tear down a communicator, returning any DPA budget."""
+        if comm.comm_id not in self._comms:
+            raise KeyError(f"unknown communicator {comm.comm_id}")
+        if comm.comm_id == self.world.comm_id:
+            raise ValueError("MPI_COMM_WORLD cannot be freed")
+        del self._comms[comm.comm_id]
+        for rank in range(self.size):
+            self._state.pop((rank, comm.comm_id), None)
+            if self._dpa_managers is not None:
+                manager = self._dpa_managers[rank]
+                if manager.has(comm.comm_id):
+                    manager.comm_free(comm.comm_id)
+
+    def matcher_of(self, rank: int, comm: Communicator | None = None) -> Matcher:
+        comm = comm if comm is not None else self.world
+        return self._state[(rank, comm.comm_id)].matcher
+
+    # ------------------------------------------------------------------
+    # Point-to-point API
+    # ------------------------------------------------------------------
+
+    def isend(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: bytes = b"",
+        comm: Communicator | None = None,
+    ) -> Request:
+        comm = comm if comm is not None else self.world
+        comm.check_rank(src)
+        comm.check_rank(dst)
+        if tag < 0:
+            raise ValueError(f"send tag must be non-negative, got {tag}")
+        seq = self._send_seq.get(src, 0)
+        self._send_seq[src] = seq + 1
+        envelope = MessageEnvelope(
+            source=src, tag=tag, comm=comm.comm_id, size=len(payload), send_seq=seq
+        )
+        channel = self._channels.setdefault((src, dst), deque())
+        channel.append(_InFlight(envelope, payload))
+        request = Request(RequestKind.SEND, self._next_handle, src, comm.comm_id)
+        self._next_handle += 1
+        # Local completion semantics: the payload is owned by the
+        # runtime once enqueued (eager buffering).
+        request.complete()
+        return request
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: bytes = b"",
+        comm: Communicator | None = None,
+    ) -> None:
+        self.isend(src, dst, tag, payload, comm)
+
+    def irecv(
+        self,
+        rank: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Communicator | None = None,
+    ) -> Request:
+        comm = comm if comm is not None else self.world
+        comm.check_rank(rank)
+        if source != ANY_SOURCE:
+            comm.check_rank(source)
+        state = self._state[(rank, comm.comm_id)]
+        request = Request(RequestKind.RECV, self._next_handle, rank, comm.comm_id)
+        self._next_handle += 1
+        state.requests[request.handle] = request
+        event = state.matcher.post_receive(
+            ReceiveRequest(source=source, tag=tag, comm=comm.comm_id, handle=request.handle)
+        )
+        if event is not None:
+            self._fulfil(state, event)
+        return request
+
+    def recv(
+        self,
+        rank: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Communicator | None = None,
+    ) -> bytes:
+        """Blocking receive: post, progress to completion, return data."""
+        request = self.irecv(rank, source, tag, comm)
+        self.wait(request)
+        assert request.payload is not None
+        return request.payload
+
+    # ------------------------------------------------------------------
+    # Progress engine
+    # ------------------------------------------------------------------
+
+    def progress(self) -> int:
+        """Deliver every in-flight message to its destination matcher.
+
+        Returns the number of messages delivered. Channels drain in
+        FIFO order, preserving per-(src, dst) ordering.
+        """
+        delivered = 0
+        for (src, dst), channel in self._channels.items():
+            while channel:
+                inflight = channel.popleft()
+                delivered += 1
+                state = self._state[(dst, inflight.envelope.comm)]
+                self._payload_store(state)[
+                    (inflight.envelope.source, inflight.envelope.send_seq)
+                ] = inflight.payload
+                event = state.matcher.incoming_message(inflight.envelope)
+                if event is not None:
+                    self._fulfil(state, event)
+        # Block-based matchers buffer; flush them.
+        for state in self._state.values():
+            for event in state.matcher.flush():
+                self._fulfil(state, event)
+        return delivered
+
+    def wait(self, request: Request) -> None:
+        """Progress until ``request`` completes (``MPI_Wait``)."""
+        if request.completed:
+            return
+        while not request.completed:
+            if self.progress() == 0 and not request.completed:
+                raise ProgressStall(
+                    f"rank {request.rank} waits on request {request.handle} "
+                    "but no message in flight can complete it"
+                )
+
+    def waitall(self, requests: list[Request]) -> None:
+        for request in requests:
+            self.wait(request)
+
+    def waitany(self, requests: list[Request]) -> int:
+        """Progress until any request completes; returns its index
+        (``MPI_Waitany``)."""
+        if not requests:
+            raise ValueError("waitany requires at least one request")
+        while True:
+            for index, request in enumerate(requests):
+                if request.completed:
+                    return index
+            if self.progress() == 0:
+                raise ProgressStall(
+                    "waitany cannot complete: no in-flight message "
+                    "satisfies any of the requests"
+                )
+
+    def testall(self, requests: list[Request]) -> bool:
+        """Nonblocking completion check over a set (``MPI_Testall``);
+        performs one progress round first, like a real test call."""
+        self.progress()
+        return all(request.completed for request in requests)
+
+    def sendrecv(
+        self,
+        rank: int,
+        dest: int,
+        send_tag: int,
+        payload: bytes,
+        source: int,
+        recv_tag: int,
+        comm: Communicator | None = None,
+    ) -> bytes:
+        """Combined send+receive (``MPI_Sendrecv``) — the deadlock-free
+        shift primitive ring exchanges are built on."""
+        request = self.irecv(rank, source=source, tag=recv_tag, comm=comm)
+        self.isend(rank, dest, send_tag, payload, comm=comm)
+        self.wait(request)
+        assert request.payload is not None
+        return request.payload
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _payload_store(state: _RankComm) -> dict:
+        store = getattr(state.matcher, "_mpisim_payloads", None)
+        if store is None:
+            store = {}
+            state.matcher._mpisim_payloads = store  # type: ignore[attr-defined]
+        return store
+
+    def _fulfil(self, state: _RankComm, event: MatchEvent) -> None:
+        """Complete the receive request a match event names."""
+        if event.kind is MatchKind.STORED_UNEXPECTED:
+            return
+        assert event.receive is not None
+        request = state.requests.pop(event.receive.handle)
+        payload = self._payload_store(state).pop(
+            (event.message.source, event.message.send_seq)
+        )
+        request.complete(
+            payload,
+            Status(source=event.message.source, tag=event.message.tag, count=len(payload)),
+        )

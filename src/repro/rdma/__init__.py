@@ -1,0 +1,46 @@
+"""Simulated RDMA substrate: wire, queue pairs, completion queues,
+bounce buffers, and the eager/rendezvous protocols of §IV.
+"""
+
+from repro.rdma.bounce import BounceBuffer, BounceBufferPool, BouncePoolExhausted
+from repro.rdma.cq import Completion, CompletionQueue, CompletionQueueOverflow
+from repro.rdma.flow import CreditedReceiver, CreditedSender, CreditStall
+from repro.rdma.gpudirect import CopyAccounting, GpuDirectReceiver, MemorySpace
+from repro.rdma.protocol import (
+    DEFAULT_EAGER_THRESHOLD,
+    Delivery,
+    MessageHeader,
+    RdmaReceiver,
+    RdmaSender,
+    pump,
+)
+from repro.rdma.qp import MemoryRegion, MemoryRegistry, QueuePair, StagedMessage
+from repro.rdma.wire import Endpoint, Packet, Wire
+
+__all__ = [
+    "BounceBuffer",
+    "BounceBufferPool",
+    "BouncePoolExhausted",
+    "Completion",
+    "CompletionQueue",
+    "CompletionQueueOverflow",
+    "CreditStall",
+    "CreditedReceiver",
+    "CreditedSender",
+    "CopyAccounting",
+    "GpuDirectReceiver",
+    "MemorySpace",
+    "DEFAULT_EAGER_THRESHOLD",
+    "Delivery",
+    "Endpoint",
+    "MemoryRegion",
+    "MemoryRegistry",
+    "MessageHeader",
+    "Packet",
+    "QueuePair",
+    "RdmaReceiver",
+    "RdmaSender",
+    "StagedMessage",
+    "Wire",
+    "pump",
+]

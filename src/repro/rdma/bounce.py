@@ -1,0 +1,81 @@
+"""NIC-memory bounce buffers (§IV-A).
+
+"Incoming messages are staged into bounce buffers in NIC memory,
+which are pointed by the RDMA receive operations posted by the
+receiver. Bounce buffers are necessary because we only know the
+address of the user-provided receive buffer once the matching is
+performed."
+
+The pool is fixed-size, like NIC SRAM: exhaustion models the
+backpressure a real receiver exerts by not reposting RDMA receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BounceBuffer", "BounceBufferPool", "BouncePoolExhausted"]
+
+
+class BouncePoolExhausted(Exception):
+    """No free bounce buffer: the receiver must stop posting receives
+    (RNR backpressure) until matching drains the pool."""
+
+
+@dataclass(eq=False, slots=True)
+class BounceBuffer:
+    """One staging buffer in NIC memory."""
+
+    index: int
+    capacity: int
+    data: bytes = b""
+    in_use: bool = False
+
+    def write(self, data: bytes) -> None:
+        if len(data) > self.capacity:
+            raise ValueError(
+                f"payload of {len(data)} B exceeds bounce capacity {self.capacity} B"
+            )
+        self.data = data
+
+    def read(self) -> bytes:
+        return self.data
+
+
+class BounceBufferPool:
+    """Fixed pool of equal-size bounce buffers with O(1) alloc/free."""
+
+    def __init__(self, count: int, buffer_bytes: int = 4096) -> None:
+        if count <= 0:
+            raise ValueError(f"pool size must be positive, got {count}")
+        self._buffers = [BounceBuffer(i, buffer_bytes) for i in range(count)]
+        self._free = list(range(count - 1, -1, -1))
+        self.high_water = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def in_use(self) -> int:
+        return len(self._buffers) - len(self._free)
+
+    def allocate(self) -> BounceBuffer:
+        if not self._free:
+            raise BouncePoolExhausted(
+                f"all {len(self._buffers)} bounce buffers in use"
+            )
+        buf = self._buffers[self._free.pop()]
+        buf.in_use = True
+        self.high_water = max(self.high_water, self.in_use)
+        return buf
+
+    def release(self, buf: BounceBuffer) -> None:
+        if not buf.in_use:
+            raise ValueError(f"bounce buffer {buf.index} is not allocated")
+        buf.in_use = False
+        buf.data = b""
+        self._free.append(buf.index)
+
+    def get(self, index: int) -> BounceBuffer:
+        return self._buffers[index]

@@ -1,0 +1,121 @@
+"""Receiver-driven credit flow control.
+
+The bounce-buffer pool is finite NIC memory (§IV-A); a sender that
+outruns matching would exhaust it. Real RDMA deployments avoid the
+resulting RNR storms with receiver-granted credits: the receiver
+advertises how many messages it can stage, the sender spends one
+credit per message and stalls at zero, and the receiver returns
+credits as matching drains bounce buffers.
+
+:class:`CreditedSender` / :class:`CreditedReceiver` wrap the §IV
+protocol engines with that scheme, turning
+:class:`repro.rdma.bounce.BouncePoolExhausted` from a hard failure
+into backpressure. Credit grants ride the same wire as acks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.rdma.protocol import RdmaReceiver, RdmaSender
+
+__all__ = ["CreditedSender", "CreditedReceiver", "CreditStall"]
+
+
+class CreditStall(Exception):
+    """The sender is out of credits and the send queue is bounded."""
+
+
+class CreditedSender:
+    """Sender-side credit gate over an :class:`RdmaSender`."""
+
+    def __init__(self, sender: RdmaSender, *, max_queued: int = 1 << 16) -> None:
+        self.sender = sender
+        self.credits = 0
+        self._queued: deque[tuple[int, bytes, int]] = deque()
+        self._max_queued = max_queued
+        self.stalls = 0
+
+    @property
+    def queued(self) -> int:
+        return len(self._queued)
+
+    def send(self, tag: int, payload: bytes, comm: int = 0) -> bool:
+        """Send now if credits allow, else queue. Returns whether the
+        message left immediately."""
+        if self.credits > 0:
+            self.credits -= 1
+            self.sender.send(tag, payload, comm)
+            return True
+        if len(self._queued) >= self._max_queued:
+            raise CreditStall(
+                f"no credits and {self._max_queued} sends already queued"
+            )
+        self._queued.append((tag, payload, comm))
+        self.stalls += 1
+        return False
+
+    def grant(self, credits: int) -> int:
+        """Receive a credit grant; drain queued sends. Returns how many
+        queued messages were released."""
+        if credits < 0:
+            raise ValueError(f"credit grant must be non-negative, got {credits}")
+        self.credits += credits
+        released = 0
+        while self._queued and self.credits > 0:
+            tag, payload, comm = self._queued.popleft()
+            self.credits -= 1
+            self.sender.send(tag, payload, comm)
+            released += 1
+        return released
+
+    def pump_grants(self) -> int:
+        """Poll the sender's CQ for credit-grant acks from the peer."""
+        granted = 0
+        for cqe in self.sender.qp.poll():
+            if cqe.opcode == "ack" and isinstance(cqe.payload, dict):
+                granted += self.grant(int(cqe.payload.get("credits", 0)))
+        return granted
+
+
+class CreditedReceiver:
+    """Receiver-side credit issuer over an :class:`RdmaReceiver`.
+
+    Credits track free bounce buffers: the initial advertisement is
+    the pool size, and each completed eager delivery (which releases
+    its bounce buffer) earns the sender a new credit. Grants are
+    batched to amortize the ack traffic.
+    """
+
+    def __init__(self, receiver: RdmaReceiver, *, grant_batch: int = 16) -> None:
+        self.receiver = receiver
+        self.grant_batch = max(1, grant_batch)
+        self._pending_grants = 0
+        self._completed_seen = 0
+        self.total_granted = 0
+
+    def initial_grant(self) -> int:
+        """Advertise the whole bounce pool at connection setup."""
+        credits = self.receiver.qp.bounce_pool.capacity
+        self.receiver.qp.post_ack({"credits": credits})
+        self.total_granted += credits
+        return credits
+
+    def progress(self) -> int:
+        """Receiver progress plus credit replenishment."""
+        moved = self.receiver.progress()
+        newly_completed = len(self.receiver.completed) - self._completed_seen
+        self._completed_seen = len(self.receiver.completed)
+        self._pending_grants += newly_completed
+        if self._pending_grants >= self.grant_batch:
+            self.receiver.qp.post_ack({"credits": self._pending_grants})
+            self.total_granted += self._pending_grants
+            self._pending_grants = 0
+        return moved
+
+    def flush_grants(self) -> None:
+        """Grant any remainder below the batch threshold."""
+        if self._pending_grants:
+            self.receiver.qp.post_ack({"credits": self._pending_grants})
+            self.total_granted += self._pending_grants
+            self._pending_grants = 0

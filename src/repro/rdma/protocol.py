@@ -1,0 +1,231 @@
+"""Eager and rendezvous protocols over the simulated RDMA substrate
+(§IV-B), glued to a matching engine.
+
+* **Eager** — small messages travel inline; after matching, the
+  payload is copied from the bounce buffer into the user buffer.
+* **Rendezvous** — the sender registers its buffer and sends a
+  Ready-To-Send carrying the rkey; after matching, the receiver (the
+  DPA, in the offloaded design) issues an RDMA read directly into the
+  user buffer, never touching the host CPU.
+
+:class:`RdmaSender` and :class:`RdmaReceiver` wrap the two sides.
+The receiver drives any :class:`repro.core.engine.OptimisticMatcher`
+(or a serial matcher via duck typing: ``post_receive`` /
+``submit_message`` / ``process_all``) and resolves deliveries into a
+``completed`` list of (receive handle, payload) records — the final
+observable behaviour of the whole offload pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import OptimisticMatcher
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent, MatchKind
+from repro.core.hashing import compute_inline_hashes
+from repro.rdma.qp import QueuePair, StagedMessage
+
+__all__ = [
+    "MessageHeader",
+    "RdmaSender",
+    "RdmaReceiver",
+    "Delivery",
+    "DEFAULT_EAGER_THRESHOLD",
+    "pump",
+]
+
+#: Eager/rendezvous switchover (bytes); typical RDMA MPI default.
+DEFAULT_EAGER_THRESHOLD = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class MessageHeader:
+    """The wire header the matcher sees (envelope + protocol info)."""
+
+    source: int
+    tag: int
+    comm: int
+    size: int
+    send_seq: int
+    protocol: str  #: "eager" | "rndv"
+    rkey: int = 0  #: rendezvous only
+    inline_hashes: tuple[int, int, int] | None = None
+
+
+@dataclass(slots=True)
+class Delivery:
+    """One completed receive: the pipeline's end product."""
+
+    handle: int  #: ReceiveRequest.handle of the matched receive
+    payload: bytes
+    protocol: str
+    unexpected: bool  #: True when drained from the unexpected store
+
+
+class RdmaSender:
+    """Sender-side protocol engine."""
+
+    def __init__(
+        self,
+        qp: QueuePair,
+        rank: int,
+        *,
+        eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+        inline_hashes: bool = True,
+    ) -> None:
+        self.qp = qp
+        self.rank = rank
+        self.eager_threshold = eager_threshold
+        self.inline_hashes = inline_hashes
+        self._send_seq: dict[tuple[int, int], int] = {}
+
+    def send(self, tag: int, payload: bytes, comm: int = 0) -> MessageHeader:
+        """Send one message; protocol chosen by size."""
+        key = (comm, tag)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        hashes = None
+        if self.inline_hashes:
+            ih = compute_inline_hashes(self.rank, tag)
+            hashes = (ih.src_tag, ih.tag_only, ih.src_only)
+        if len(payload) <= self.eager_threshold:
+            header = MessageHeader(
+                source=self.rank,
+                tag=tag,
+                comm=comm,
+                size=len(payload),
+                send_seq=seq,
+                protocol="eager",
+                inline_hashes=hashes,
+            )
+            self.qp.post_send("send", header, payload)
+        else:
+            region = self.qp.memory.register(payload)
+            header = MessageHeader(
+                source=self.rank,
+                tag=tag,
+                comm=comm,
+                size=len(payload),
+                send_seq=seq,
+                protocol="rndv",
+                rkey=region.rkey,
+                inline_hashes=hashes,
+            )
+            # An RTS "might include some message data" (§IV-B); this
+            # model keeps it header-only for clarity.
+            self.qp.post_send("rts", header)
+        return header
+
+
+class RdmaReceiver:
+    """Receiver-side pipeline: CQ -> matcher -> protocol completion."""
+
+    def __init__(self, qp: QueuePair, matcher: OptimisticMatcher) -> None:
+        self.qp = qp
+        self.matcher = matcher
+        self.completed: list[Delivery] = []
+        #: bounce-token -> (staged message, header) awaiting protocol.
+        self._staged: dict[int, StagedMessage] = {}
+        self._next_token = 0
+        #: outstanding rendezvous reads: token -> match event.
+        self._pending_reads: dict[int, MatchEvent] = {}
+
+    def post_receive(self, request: ReceiveRequest) -> None:
+        """Post a receive; an unexpected drain completes immediately."""
+        event = self.matcher.post_receive(request)
+        if event is not None:
+            self._complete(event, unexpected=True)
+
+    def progress(self) -> int:
+        """One progress round: drain CQ, match, run protocols.
+
+        Returns the number of completions processed.
+        """
+        from repro.core.envelope import InlineHashes
+
+        completions = self.qp.poll(limit=1_000_000)
+        n = 0
+        for cqe in completions:
+            n += 1
+            if cqe.opcode in ("send", "rts"):
+                staged: StagedMessage = cqe.payload
+                header: MessageHeader = staged.header
+                token = self._next_token
+                self._next_token += 1
+                self._staged[token] = staged
+                inline = None
+                if header.inline_hashes is not None:
+                    inline = InlineHashes(*header.inline_hashes)
+                self.matcher.submit_message(
+                    MessageEnvelope(
+                        source=header.source,
+                        tag=header.tag,
+                        comm=header.comm,
+                        size=header.size,
+                        send_seq=token,  # token doubles as arrival id
+                        inline_hashes=inline,
+                    )
+                )
+            elif cqe.opcode == "read_response":
+                token, data = cqe.payload
+                event = self._pending_reads.pop(token)
+                self.completed.append(
+                    Delivery(
+                        handle=event.receive.handle,
+                        payload=data,
+                        protocol="rndv",
+                        unexpected=False,
+                    )
+                )
+        for event in self.matcher.process_all():
+            if event.kind is MatchKind.EXPECTED:
+                self._complete(event, unexpected=False)
+            # STORED_UNEXPECTED: stays staged until a receive drains it.
+        return n
+
+    def _complete(self, event: MatchEvent, *, unexpected: bool) -> None:
+        token = event.message.send_seq
+        staged = self._staged.pop(token, None)
+        header: MessageHeader | None = staged.header if staged is not None else None
+        if header is not None and header.protocol == "rndv":
+            # DPA-issued one-sided read into the user buffer (§IV-B).
+            self._pending_reads[token] = event
+            self.qp.rdma_read(header.rkey, token)
+            return
+        payload = b""
+        if staged is not None and staged.bounce is not None:
+            payload = staged.bounce.read()
+            self.qp.bounce_pool.release(staged.bounce)
+        self.completed.append(
+            Delivery(
+                handle=event.receive.handle,
+                payload=payload,
+                protocol="eager",
+                unexpected=unexpected,
+            )
+        )
+
+    @property
+    def pending_reads(self) -> int:
+        return len(self._pending_reads)
+
+
+def pump(receiver: RdmaReceiver, *peer_qps: QueuePair, max_rounds: int = 64) -> None:
+    """Progress both sides until the link is quiescent.
+
+    Rendezvous requires the *sender's* NIC to serve inbound RDMA read
+    requests; a driver loop must therefore alternate receiver progress
+    with peer ``process_inbound`` until nothing moves.
+    """
+    for _ in range(max_rounds):
+        moved = receiver.progress()
+        for qp in peer_qps:
+            moved += qp.process_inbound()
+        if moved == 0 and receiver.pending_reads == 0:
+            return
+    if receiver.pending_reads:
+        raise RuntimeError(
+            f"link did not quiesce in {max_rounds} rounds; "
+            f"{receiver.pending_reads} rendezvous reads outstanding"
+        )

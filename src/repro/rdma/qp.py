@@ -1,0 +1,142 @@
+"""Queue pairs and memory registration.
+
+A :class:`QueuePair` binds one endpoint of the wire to a completion
+queue and a bounce-buffer pool, and implements the three verbs the
+offloaded design needs (§IV-A/B):
+
+* ``post_send`` — sender pushes an eager message or an RTS,
+* inbound ``send``/``rts`` packets are staged into bounce buffers and
+  produce completions,
+* ``rdma_read`` — the receiver-side (DPA) fetches rendezvous payloads
+  from sender memory registered under an rkey; the response completes
+  locally without involving the remote CPU (one-sided semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.rdma.bounce import BounceBuffer, BounceBufferPool
+from repro.rdma.cq import Completion, CompletionQueue
+from repro.rdma.wire import Packet, Wire
+
+__all__ = ["MemoryRegion", "MemoryRegistry", "QueuePair", "StagedMessage"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryRegion:
+    """A registered sender-side buffer addressable by rkey."""
+
+    rkey: int
+    data: bytes
+
+
+class MemoryRegistry:
+    """rkey -> registered memory, as an RNIC's MTT would resolve it."""
+
+    def __init__(self) -> None:
+        self._regions: dict[int, MemoryRegion] = {}
+        self._next_rkey = 1
+
+    def register(self, data: bytes) -> MemoryRegion:
+        region = MemoryRegion(self._next_rkey, data)
+        self._regions[region.rkey] = region
+        self._next_rkey += 1
+        return region
+
+    def resolve(self, rkey: int) -> MemoryRegion:
+        try:
+            return self._regions[rkey]
+        except KeyError:
+            raise KeyError(f"rkey {rkey} is not registered") from None
+
+    def deregister(self, rkey: int) -> None:
+        del self._regions[rkey]
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+
+@dataclass(slots=True)
+class StagedMessage:
+    """An inbound message staged in NIC memory, as seen by the CQE."""
+
+    header: Any
+    bounce: BounceBuffer | None
+
+
+class QueuePair:
+    """One side's transport context."""
+
+    def __init__(
+        self,
+        wire: Wire,
+        side: str,
+        *,
+        cq: CompletionQueue | None = None,
+        bounce_pool: BounceBufferPool | None = None,
+    ) -> None:
+        self.wire = wire
+        self.side = side
+        self.cq = cq if cq is not None else CompletionQueue()
+        self.bounce_pool = bounce_pool if bounce_pool is not None else BounceBufferPool(4096)
+        self.memory = MemoryRegistry()
+
+    # -- sender verbs ---------------------------------------------------
+
+    def post_send(self, opcode: str, header: Any, payload: bytes = b"") -> None:
+        """Transmit an eager message ('send') or an RTS ('rts')."""
+        self.wire.transmit(self.side, Packet(opcode, (header, payload), len(payload)))
+
+    # -- receiver-side processing ---------------------------------------
+
+    def process_inbound(self) -> int:
+        """Drain inbound packets: stage messages, serve RDMA reads.
+
+        Returns the number of packets processed. Message packets
+        allocate a bounce buffer and push a CQE; ``read_request``
+        packets are served from registered memory without a CQE (the
+        remote NIC handles them autonomously).
+        """
+        processed = 0
+        while (packet := self.wire.receive(self.side)) is not None:
+            processed += 1
+            if packet.opcode in ("send", "rts"):
+                header, payload = packet.payload
+                bounce: BounceBuffer | None = None
+                if payload:
+                    bounce = self.bounce_pool.allocate()
+                    bounce.write(payload)
+                self.cq.push(packet.opcode, StagedMessage(header, bounce))
+            elif packet.opcode == "read_request":
+                rkey, token = packet.payload
+                region = self.memory.resolve(rkey)
+                self.wire.transmit(
+                    self.side,
+                    Packet("read_response", (token, region.data), len(region.data)),
+                )
+            elif packet.opcode == "read_response":
+                token, data = packet.payload
+                self.cq.push("read_response", (token, data))
+            elif packet.opcode == "ack":
+                self.cq.push("ack", packet.payload)
+            else:
+                raise ValueError(f"unknown opcode {packet.opcode!r}")
+        return processed
+
+    def rdma_read(self, rkey: int, token: Any) -> None:
+        """Issue a one-sided read of remote memory ``rkey``.
+
+        The response arrives as a ``read_response`` completion carrying
+        ``token`` back, so callers can correlate it with the matched
+        receive (§IV-B rendezvous)."""
+        self.wire.transmit(self.side, Packet("read_request", (rkey, token)))
+
+    def post_ack(self, payload: Any = None) -> None:
+        self.wire.transmit(self.side, Packet("ack", payload))
+
+    def poll(self, limit: int = 64) -> list[Completion]:
+        """Process inbound traffic then drain up to ``limit`` CQEs."""
+        self.process_inbound()
+        return self.cq.poll_batch(limit)

@@ -1,0 +1,72 @@
+"""The simulated wire: an ordered, reliable link between two endpoints.
+
+Models an RDMA reliable-connection (RC) transport at the level the
+matcher observes: packets posted at one end appear at the other end in
+order, each generating a completion at the receiver. Loss, retry, and
+congestion are below the abstraction the paper's matching layer sees
+(RC guarantees delivery and ordering), so they are deliberately out of
+scope — what matters is FIFO per direction, which is what makes the
+completion-queue arrival order a valid C2 precedence order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Packet", "Wire", "Endpoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One transport unit: an opcode plus opaque payload."""
+
+    opcode: str  #: "send" | "rts" | "read_request" | "read_response" | "ack"
+    payload: Any
+    size: int = 0
+
+
+@dataclass(slots=True)
+class Endpoint:
+    """One side of the wire: an inbound packet queue."""
+
+    name: str
+    inbound: deque[Packet] = field(default_factory=deque)
+
+    def pending(self) -> int:
+        return len(self.inbound)
+
+
+class Wire:
+    """A bidirectional FIFO link between endpoints ``a`` and ``b``."""
+
+    def __init__(self, a: str = "a", b: str = "b") -> None:
+        self._ends = {a: Endpoint(a), b: Endpoint(b)}
+        self.delivered = 0
+
+    def endpoint(self, name: str) -> Endpoint:
+        return self._ends[name]
+
+    def peer_of(self, name: str) -> Endpoint:
+        names = list(self._ends)
+        if name not in self._ends:
+            raise KeyError(f"unknown endpoint {name!r}")
+        return self._ends[names[1] if name == names[0] else names[0]]
+
+    def transmit(self, src: str, packet: Packet) -> None:
+        """Post a packet from ``src``; it lands at the peer in order."""
+        self.peer_of(src).inbound.append(packet)
+        self.delivered += 1
+
+    def receive(self, dst: str) -> Packet | None:
+        """Pop the next inbound packet at ``dst`` (None when idle)."""
+        queue = self._ends[dst].inbound
+        return queue.popleft() if queue else None
+
+    def drain(self, dst: str) -> list[Packet]:
+        """Pop everything currently inbound at ``dst``."""
+        queue = self._ends[dst].inbound
+        out = list(queue)
+        queue.clear()
+        return out

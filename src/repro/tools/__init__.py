@@ -1,0 +1,5 @@
+"""Operator tools: one-shot regeneration of every paper element."""
+
+from repro.tools.reproduce import reproduce_all, write_report
+
+__all__ = ["reproduce_all", "write_report"]

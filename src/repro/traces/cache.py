@@ -1,0 +1,64 @@
+"""Binary trace cache (§V-A.a).
+
+"Initially, the parser verifies the existence of a binary cache for
+the given input trace, as parsing the traces of an application is the
+most time-consuming step for the analyzer." The cache stores the
+pickled in-memory representation, compressed, next to the trace
+directory, keyed by a fingerprint of the rank files (names, sizes,
+mtimes) so a modified trace invalidates it automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import zlib
+from pathlib import Path
+
+from repro.traces.model import Trace
+
+__all__ = ["cache_path", "fingerprint", "load_cached", "store_cache"]
+
+_CACHE_SUFFIX = ".trace-cache"
+_MAGIC = b"REPRO-TRACE-v1"
+
+
+def cache_path(trace_dir: Path) -> Path:
+    return trace_dir / ("binary" + _CACHE_SUFFIX)
+
+
+def fingerprint(trace_dir: Path) -> str:
+    """Fingerprint of the trace input files (cache invalidation key)."""
+    digest = hashlib.sha256()
+    for path in sorted(trace_dir.glob("*.txt")):
+        stat = path.stat()
+        digest.update(path.name.encode())
+        digest.update(str(stat.st_size).encode())
+        digest.update(str(stat.st_mtime_ns).encode())
+    return digest.hexdigest()
+
+
+def load_cached(trace_dir: Path) -> Trace | None:
+    """Return the cached trace if present and still valid."""
+    path = cache_path(trace_dir)
+    if not path.exists():
+        return None
+    try:
+        blob = path.read_bytes()
+        if not blob.startswith(_MAGIC):
+            return None
+        stored_fp, payload = blob[len(_MAGIC) :].split(b"\x00", 1)
+        if stored_fp.decode() != fingerprint(trace_dir):
+            return None
+        trace = pickle.loads(zlib.decompress(payload))
+    except (OSError, ValueError, pickle.UnpicklingError, zlib.error):
+        return None
+    return trace if isinstance(trace, Trace) else None
+
+
+def store_cache(trace_dir: Path, trace: Trace) -> Path:
+    """Commit the in-memory representation to storage (§V-A.a)."""
+    path = cache_path(trace_dir)
+    payload = zlib.compress(pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL))
+    path.write_bytes(_MAGIC + fingerprint(trace_dir).encode() + b"\x00" + payload)
+    return path

@@ -1,0 +1,165 @@
+"""DUMPI ASCII trace parser and writer.
+
+The NERSC mini-app traces ship in SST-DUMPI binary form; the paper's
+analyzer reads the ``dumpi2ascii`` text rendering. This module parses
+(and emits, for round-trip tests and synthetic trace export) that
+rendering's call-block structure::
+
+    MPI_Irecv entering at walltime 11.0816, cputime 0.0005 seconds in thread 0.
+    int count=512
+    datatype datatype=11 (MPI_DOUBLE)
+    int source=3
+    int tag=42
+    comm comm=2 (MPI_COMM_WORLD)
+    request request=7
+    MPI_Irecv returning at walltime 11.0817, cputime 0.0005 seconds in thread 0.
+
+Unknown calls are skipped structurally (their key=value body is
+consumed), so traces containing MPI surface beyond the analyzer's
+scope parse cleanly — matching the paper's "only p2p and progress
+operations are processed" stance while still *counting* collectives
+and one-sided ops for the call-mix figure.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.traces.model import OpKind, RankTrace, Trace, TraceOp
+
+__all__ = ["parse_rank_file", "parse_rank_text", "write_rank_file", "format_rank_trace", "TraceParseError"]
+
+#: dumpi2ascii renders the wildcards as large sentinel constants.
+_DUMPI_ANY_SOURCE = -1
+_DUMPI_ANY_TAG = -1
+
+_ENTER_RE = re.compile(
+    r"^(?P<func>MPI_\w+) entering at walltime (?P<wall>[0-9.eE+-]+),"
+)
+_RETURN_RE = re.compile(r"^(?P<func>MPI_\w+) returning at walltime")
+_FIELD_RE = re.compile(r"^\s*\w+ (?P<key>\w+)=(?P<value>-?\d+)")
+
+_KIND_BY_NAME = {kind.value: kind for kind in OpKind}
+
+
+class TraceParseError(ValueError):
+    """Malformed DUMPI text input."""
+
+
+def parse_rank_text(text: str, rank: int) -> RankTrace:
+    """Parse one rank's dumpi2ascii text into a :class:`RankTrace`."""
+    ops: list[TraceOp] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = _ENTER_RE.match(lines[i])
+        if match is None:
+            i += 1
+            continue
+        func = match.group("func")
+        walltime = float(match.group("wall"))
+        fields: dict[str, int] = {}
+        i += 1
+        while i < len(lines) and not _RETURN_RE.match(lines[i]):
+            field_match = _FIELD_RE.match(lines[i])
+            if field_match is not None:
+                fields[field_match.group("key")] = int(field_match.group("value"))
+            i += 1
+        if i >= len(lines):
+            raise TraceParseError(
+                f"rank {rank}: call block for {func} at walltime {walltime} "
+                "never returned"
+            )
+        i += 1  # consume the "returning" line
+        kind = _KIND_BY_NAME.get(func)
+        if kind is None:
+            continue  # structurally skipped, unknown surface
+        ops.append(_build_op(kind, fields, walltime, rank))
+    return RankTrace(rank=rank, ops=ops)
+
+
+def _build_op(kind: OpKind, fields: dict[str, int], walltime: float, rank: int) -> TraceOp:
+    if kind in (OpKind.ISEND, OpKind.SEND):
+        return TraceOp(
+            kind=kind,
+            peer=fields.get("dest", 0),
+            tag=fields.get("tag", 0),
+            comm=fields.get("comm", 0),
+            size=fields.get("count", 0),
+            request=fields.get("request", -1),
+            walltime=walltime,
+        )
+    if kind in (OpKind.IRECV, OpKind.RECV):
+        source = fields.get("source", 0)
+        tag = fields.get("tag", 0)
+        return TraceOp(
+            kind=kind,
+            peer=ANY_SOURCE if source == _DUMPI_ANY_SOURCE else source,
+            tag=ANY_TAG if tag == _DUMPI_ANY_TAG else tag,
+            comm=fields.get("comm", 0),
+            size=fields.get("count", 0),
+            request=fields.get("request", -1),
+            walltime=walltime,
+        )
+    if kind in (OpKind.WAIT, OpKind.TEST):
+        return TraceOp(kind=kind, request=fields.get("request", -1), walltime=walltime)
+    if kind is OpKind.WAITALL:
+        return TraceOp(kind=kind, size=fields.get("count", 0), walltime=walltime)
+    # Collectives / one-sided: keep sizes for statistics only.
+    return TraceOp(
+        kind=kind,
+        comm=fields.get("comm", 0),
+        size=fields.get("count", 0),
+        walltime=walltime,
+    )
+
+
+def parse_rank_file(path: Path, rank: int) -> RankTrace:
+    return parse_rank_text(path.read_text(), rank)
+
+
+def format_rank_trace(rank_trace: RankTrace) -> str:
+    """Render a rank trace back to dumpi2ascii-style text."""
+    out: list[str] = []
+    for op in rank_trace.ops:
+        name = op.kind.value
+        out.append(
+            f"{name} entering at walltime {op.walltime:.4f}, cputime 0.0000 "
+            f"seconds in thread 0."
+        )
+        if op.kind in (OpKind.ISEND, OpKind.SEND):
+            out.append(f"int count={op.size}")
+            out.append("datatype datatype=11 (MPI_DOUBLE)")
+            out.append(f"int dest={op.peer}")
+            out.append(f"int tag={op.tag}")
+            out.append(f"comm comm={op.comm} (user)")
+            if op.request >= 0:
+                out.append(f"request request={op.request}")
+        elif op.kind in (OpKind.IRECV, OpKind.RECV):
+            source = _DUMPI_ANY_SOURCE if op.peer == ANY_SOURCE else op.peer
+            tag = _DUMPI_ANY_TAG if op.tag == ANY_TAG else op.tag
+            out.append(f"int count={op.size}")
+            out.append("datatype datatype=11 (MPI_DOUBLE)")
+            out.append(f"int source={source}")
+            out.append(f"int tag={tag}")
+            out.append(f"comm comm={op.comm} (user)")
+            if op.request >= 0:
+                out.append(f"request request={op.request}")
+        elif op.kind in (OpKind.WAIT, OpKind.TEST):
+            out.append(f"request request={op.request}")
+        elif op.kind is OpKind.WAITALL:
+            out.append(f"int count={op.size}")
+        else:
+            out.append(f"int count={op.size}")
+            out.append(f"comm comm={op.comm} (user)")
+        out.append(
+            f"{name} returning at walltime {op.walltime:.4f}, cputime 0.0000 "
+            f"seconds in thread 0."
+        )
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_rank_file(path: Path, rank_trace: RankTrace) -> None:
+    path.write_text(format_rank_trace(rank_trace))

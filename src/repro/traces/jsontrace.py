@@ -1,0 +1,121 @@
+"""JSON trace format — the "other formats" extension point.
+
+§V-A: "Currently, only a DUMPI text-traces reader is implemented,
+although the design of the application allows to easily add other
+formats." This module is that second format: a line-delimited JSON
+encoding (one op per line, one file per rank) that round-trips the
+in-memory representation exactly — including fields the DUMPI text
+rendering loses (nothing today, but the schema is versioned).
+
+Format, per line::
+
+    {"op": "MPI_Irecv", "peer": 3, "tag": 42, "comm": 0,
+     "size": 512, "request": 7, "t": 11.0816}
+
+A ``meta.json`` file carries ``{"name": ..., "nprocs": ..., "version": 1}``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.traces.model import OpKind, RankTrace, Trace, TraceOp
+
+__all__ = [
+    "dump_rank_jsonl",
+    "parse_rank_jsonl",
+    "save_trace_json",
+    "load_trace_json",
+    "JsonTraceError",
+]
+
+_FORMAT_VERSION = 1
+_KIND_BY_NAME = {kind.value: kind for kind in OpKind}
+
+
+class JsonTraceError(ValueError):
+    """Malformed JSON trace input."""
+
+
+def _op_record(op: TraceOp) -> dict:
+    return {
+        "op": op.kind.value,
+        "peer": op.peer,
+        "tag": op.tag,
+        "comm": op.comm,
+        "size": op.size,
+        "request": op.request,
+        "t": op.walltime,
+    }
+
+
+def _record_op(record: dict, line_no: int) -> TraceOp:
+    try:
+        kind = _KIND_BY_NAME[record["op"]]
+    except KeyError:
+        raise JsonTraceError(
+            f"line {line_no}: unknown or missing op {record.get('op')!r}"
+        ) from None
+    return TraceOp(
+        kind=kind,
+        peer=int(record.get("peer", -2)),
+        tag=int(record.get("tag", 0)),
+        comm=int(record.get("comm", 0)),
+        size=int(record.get("size", 0)),
+        request=int(record.get("request", -1)),
+        walltime=float(record.get("t", 0.0)),
+    )
+
+
+def dump_rank_jsonl(rank_trace: RankTrace) -> str:
+    return "".join(json.dumps(_op_record(op)) + "\n" for op in rank_trace.ops)
+
+
+def parse_rank_jsonl(text: str, rank: int) -> RankTrace:
+    ops = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JsonTraceError(f"line {line_no}: invalid JSON: {exc}") from None
+        ops.append(_record_op(record, line_no))
+    return RankTrace(rank=rank, ops=ops)
+
+
+def save_trace_json(trace: Trace, trace_dir: Path | str) -> Path:
+    trace_dir = Path(trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    (trace_dir / "meta.json").write_text(
+        json.dumps(
+            {"name": trace.name, "nprocs": trace.nprocs, "version": _FORMAT_VERSION}
+        )
+        + "\n"
+    )
+    for rank_trace in trace.ranks:
+        (trace_dir / f"rank-{rank_trace.rank}.jsonl").write_text(
+            dump_rank_jsonl(rank_trace)
+        )
+    return trace_dir
+
+
+def load_trace_json(trace_dir: Path | str) -> Trace:
+    trace_dir = Path(trace_dir)
+    meta_path = trace_dir / "meta.json"
+    if not meta_path.exists():
+        raise FileNotFoundError(f"no meta.json in {trace_dir}")
+    meta = json.loads(meta_path.read_text())
+    version = meta.get("version")
+    if version != _FORMAT_VERSION:
+        raise JsonTraceError(f"unsupported trace format version {version!r}")
+    nprocs = int(meta["nprocs"])
+    ranks = []
+    for rank in range(nprocs):
+        path = trace_dir / f"rank-{rank}.jsonl"
+        if not path.exists():
+            raise JsonTraceError(f"missing rank file {path.name}")
+        ranks.append(parse_rank_jsonl(path.read_text(), rank))
+    return Trace(name=str(meta.get("name", trace_dir.name)), nprocs=nprocs, ranks=ranks)

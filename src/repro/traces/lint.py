@@ -1,0 +1,127 @@
+"""Trace linting: structural validity checks for traces.
+
+Synthetic generators, recorded runs, and hand-written traces all feed
+the analyzer; a malformed trace (sends with no matching receive, time
+going backwards, requests waited twice) silently skews the queue-depth
+statistics. The linter makes those defects loud. Used by the test
+suite on every registered generator and exposed for users building
+custom application models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.traces.model import OpKind, Trace
+
+__all__ = ["LintIssue", "LintReport", "lint_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class LintIssue:
+    severity: str  #: "error" | "warning"
+    rank: int
+    message: str
+
+
+@dataclass(slots=True)
+class LintReport:
+    issues: list[LintIssue] = field(default_factory=list)
+
+    def errors(self) -> list[LintIssue]:
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    def warnings(self) -> list[LintIssue]:
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors()
+
+    def _add(self, severity: str, rank: int, message: str) -> None:
+        self.issues.append(LintIssue(severity, rank, message))
+
+
+def lint_trace(trace: Trace, *, require_balance: bool = True) -> LintReport:
+    """Check a trace for structural defects.
+
+    Errors (analyzer results would be wrong):
+
+    * peer rank out of range on a send or a concrete-source receive;
+    * per-rank walltime decreasing;
+    * negative tag on a send (wildcards are receive-only).
+
+    Warnings (legal but usually unintended):
+
+    * unbalanced traffic: total sends != total concrete+wildcard
+      receive capacity (when ``require_balance``);
+    * a rank with p2p operations but no progress op (its interval
+      statistics would never be sampled);
+    * duplicate request ids within a rank.
+    """
+    report = LintReport()
+    total_sends = 0
+    total_receives = 0
+    for rank_trace in trace.ranks:
+        last_time = float("-inf")
+        seen_requests: set[int] = set()
+        has_p2p = False
+        has_progress = False
+        for op in rank_trace.ops:
+            if op.walltime < last_time:
+                report._add(
+                    "error",
+                    rank_trace.rank,
+                    f"walltime goes backwards at {op.kind.value} "
+                    f"({op.walltime} < {last_time})",
+                )
+            last_time = op.walltime
+            if op.kind in (OpKind.ISEND, OpKind.SEND):
+                has_p2p = True
+                total_sends += 1
+                if not 0 <= op.peer < trace.nprocs:
+                    report._add(
+                        "error", rank_trace.rank, f"send to invalid rank {op.peer}"
+                    )
+                if op.tag < 0:
+                    report._add(
+                        "error", rank_trace.rank, f"send with negative tag {op.tag}"
+                    )
+            elif op.kind in (OpKind.IRECV, OpKind.RECV):
+                has_p2p = True
+                total_receives += 1
+                if op.peer != ANY_SOURCE and not 0 <= op.peer < trace.nprocs:
+                    report._add(
+                        "error",
+                        rank_trace.rank,
+                        f"receive from invalid rank {op.peer}",
+                    )
+                if op.tag < 0 and op.tag != ANY_TAG:
+                    report._add(
+                        "error", rank_trace.rank, f"receive with invalid tag {op.tag}"
+                    )
+            elif op.kind in (OpKind.WAIT, OpKind.WAITALL, OpKind.TEST):
+                has_progress = True
+            if op.request >= 0 and op.kind in (OpKind.ISEND, OpKind.IRECV):
+                if op.request in seen_requests:
+                    report._add(
+                        "warning",
+                        rank_trace.rank,
+                        f"request id {op.request} reused",
+                    )
+                seen_requests.add(op.request)
+        if has_p2p and not has_progress:
+            report._add(
+                "warning",
+                rank_trace.rank,
+                "rank has p2p traffic but no progress op: no datapoints "
+                "will be recorded for it",
+            )
+    if require_balance and total_sends != total_receives:
+        report._add(
+            "warning",
+            -1,
+            f"unbalanced trace: {total_sends} sends vs {total_receives} receives",
+        )
+    return report

@@ -1,0 +1,160 @@
+"""In-memory trace representation.
+
+"We use a custom in-memory representation because it is easier to
+integrate and tailor to our specific needs" (§V-A). A trace is a set
+of per-rank operation lists; operations are classified into the four
+groups the analyzer distinguishes: point-to-point, collective,
+one-sided, and progress (§V-A.b).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+
+__all__ = ["OpKind", "OpGroup", "TraceOp", "RankTrace", "Trace"]
+
+
+class OpKind(enum.Enum):
+    """Concrete MPI call recorded in a trace."""
+
+    ISEND = "MPI_Isend"
+    SEND = "MPI_Send"
+    IRECV = "MPI_Irecv"
+    RECV = "MPI_Recv"
+    WAIT = "MPI_Wait"
+    WAITALL = "MPI_Waitall"
+    TEST = "MPI_Test"
+    BARRIER = "MPI_Barrier"
+    BCAST = "MPI_Bcast"
+    REDUCE = "MPI_Reduce"
+    ALLREDUCE = "MPI_Allreduce"
+    GATHER = "MPI_Gather"
+    GATHERV = "MPI_Gatherv"
+    ALLGATHER = "MPI_Allgather"
+    ALLTOALL = "MPI_Alltoall"
+    ALLTOALLV = "MPI_Alltoallv"
+    SCATTER = "MPI_Scatter"
+    PUT = "MPI_Put"
+    GET = "MPI_Get"
+    ACCUMULATE = "MPI_Accumulate"
+
+
+class OpGroup(enum.Enum):
+    """The analyzer's four operation groups (§V-A.b)."""
+
+    P2P = "p2p"
+    COLLECTIVE = "collective"
+    ONE_SIDED = "one-sided"
+    PROGRESS = "progress"
+
+
+_GROUPS: dict[OpKind, OpGroup] = {
+    OpKind.ISEND: OpGroup.P2P,
+    OpKind.SEND: OpGroup.P2P,
+    OpKind.IRECV: OpGroup.P2P,
+    OpKind.RECV: OpGroup.P2P,
+    OpKind.WAIT: OpGroup.PROGRESS,
+    OpKind.WAITALL: OpGroup.PROGRESS,
+    OpKind.TEST: OpGroup.PROGRESS,
+    OpKind.BARRIER: OpGroup.COLLECTIVE,
+    OpKind.BCAST: OpGroup.COLLECTIVE,
+    OpKind.REDUCE: OpGroup.COLLECTIVE,
+    OpKind.ALLREDUCE: OpGroup.COLLECTIVE,
+    OpKind.GATHER: OpGroup.COLLECTIVE,
+    OpKind.GATHERV: OpGroup.COLLECTIVE,
+    OpKind.ALLGATHER: OpGroup.COLLECTIVE,
+    OpKind.ALLTOALL: OpGroup.COLLECTIVE,
+    OpKind.ALLTOALLV: OpGroup.COLLECTIVE,
+    OpKind.SCATTER: OpGroup.COLLECTIVE,
+    OpKind.PUT: OpGroup.ONE_SIDED,
+    OpKind.GET: OpGroup.ONE_SIDED,
+    OpKind.ACCUMULATE: OpGroup.ONE_SIDED,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TraceOp:
+    """One recorded MPI call.
+
+    Field use depends on the kind: sends use ``peer``/``tag``/``size``,
+    receives use ``peer`` (or ``ANY_SOURCE``)/``tag`` (or ``ANY_TAG``),
+    waits use ``request``; collectives/one-sided carry only sizes.
+    """
+
+    kind: OpKind
+    peer: int = -2  #: dest for sends, source for receives, -2 = n/a
+    tag: int = 0
+    comm: int = 0
+    size: int = 0
+    request: int = -1  #: request id linking isend/irecv to wait
+    walltime: float = 0.0
+
+    @property
+    def group(self) -> OpGroup:
+        return _GROUPS[self.kind]
+
+    def uses_wildcard(self) -> bool:
+        if self.kind not in (OpKind.IRECV, OpKind.RECV):
+            return False
+        return self.peer == ANY_SOURCE or self.tag == ANY_TAG
+
+
+@dataclass(slots=True)
+class RankTrace:
+    """One rank's recorded operation stream."""
+
+    rank: int
+    ops: list[TraceOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def counts_by_group(self) -> dict[OpGroup, int]:
+        counts = {group: 0 for group in OpGroup}
+        for op in self.ops:
+            counts[op.group] += 1
+        return counts
+
+
+@dataclass(slots=True)
+class Trace:
+    """A full application trace across all ranks."""
+
+    name: str
+    nprocs: int
+    ranks: list[RankTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {self.nprocs}")
+
+    def rank(self, index: int) -> RankTrace:
+        return self.ranks[index]
+
+    def total_ops(self) -> int:
+        return sum(len(r) for r in self.ranks)
+
+    def counts_by_group(self) -> dict[OpGroup, int]:
+        totals = {group: 0 for group in OpGroup}
+        for rank_trace in self.ranks:
+            for group, count in rank_trace.counts_by_group().items():
+                totals[group] += count
+        return totals
+
+    def call_mix(self) -> dict[OpGroup, float]:
+        """Fractions of p2p/collective/one-sided among communication
+        ops (progress excluded) — the Figure 6 quantity."""
+        counts = self.counts_by_group()
+        comm_total = (
+            counts[OpGroup.P2P] + counts[OpGroup.COLLECTIVE] + counts[OpGroup.ONE_SIDED]
+        )
+        if comm_total == 0:
+            return {OpGroup.P2P: 0.0, OpGroup.COLLECTIVE: 0.0, OpGroup.ONE_SIDED: 0.0}
+        return {
+            OpGroup.P2P: counts[OpGroup.P2P] / comm_total,
+            OpGroup.COLLECTIVE: counts[OpGroup.COLLECTIVE] / comm_total,
+            OpGroup.ONE_SIDED: counts[OpGroup.ONE_SIDED] / comm_total,
+        }

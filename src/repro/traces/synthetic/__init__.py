@@ -1,0 +1,31 @@
+"""Synthetic trace generators for the Table II mini-apps."""
+
+from repro.traces.synthetic.apps import APPLICATIONS, AppSpec, app_names, generate
+from repro.traces.synthetic.base import RankBuilder, TraceBuilder
+from repro.traces.synthetic.patterns import (
+    alltoall_p2p_round,
+    grid_dims,
+    grid_neighbors,
+    halo_exchange_round,
+    irregular_round,
+    manytoone_round,
+    ring_round,
+    sweep_round,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "AppSpec",
+    "RankBuilder",
+    "TraceBuilder",
+    "alltoall_p2p_round",
+    "app_names",
+    "generate",
+    "grid_dims",
+    "grid_neighbors",
+    "halo_exchange_round",
+    "irregular_round",
+    "manytoone_round",
+    "ring_round",
+    "sweep_round",
+]

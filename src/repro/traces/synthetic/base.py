@@ -1,0 +1,170 @@
+"""Synthetic trace construction framework.
+
+The NERSC DOE mini-app traces are not redistributable, so the
+reproduction generates *synthetic* traces whose communication
+structure mirrors each application (see
+:mod:`repro.traces.synthetic.apps`). The builder produces ordinary
+:class:`repro.traces.model.Trace` objects — the analyzer cannot tell
+them apart from parsed DUMPI input.
+
+Time model: generators proceed in *rounds*. All ranks pre-post their
+round's receives early in the round window, send in the middle, and
+progress (wait) at the end — the standard well-behaved MPI pattern
+(§II-A: "post all immediate receives before transmitting any
+messages"). The analyzer merges ranks by walltime, so these phases
+reproduce realistic posted-receive queue depths: within a round, a
+rank's PRQ holds all its pre-posted receives until the peers' sends
+drain them.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.traces.model import OpKind, RankTrace, Trace, TraceOp
+
+__all__ = ["RankBuilder", "TraceBuilder"]
+
+#: Sub-round phase offsets (fractions of one round of virtual time).
+_PHASE_RECV = 0.0
+_PHASE_SEND = 0.4
+_PHASE_WAIT = 0.8
+
+
+class RankBuilder:
+    """Accumulates one rank's operations with request bookkeeping."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.ops: list[TraceOp] = []
+        self._next_request = 0
+        self._time = 0.0
+
+    def _at(self, time: float) -> float:
+        # Walltime within a rank must be nondecreasing even if a
+        # pattern emits phases out of order.
+        self._time = max(self._time, time)
+        return self._time
+
+    def irecv(self, source: int, tag: int, time: float, size: int = 8) -> int:
+        request = self._next_request
+        self._next_request += 1
+        self.ops.append(
+            TraceOp(
+                kind=OpKind.IRECV,
+                peer=source,
+                tag=tag,
+                size=size,
+                request=request,
+                walltime=self._at(time),
+            )
+        )
+        return request
+
+    def irecv_any(self, tag: int | None, time: float, size: int = 8) -> int:
+        """Wildcard receive: ANY_SOURCE, and ANY_TAG when tag is None."""
+        return self.irecv(ANY_SOURCE, ANY_TAG if tag is None else tag, time, size)
+
+    def isend(self, dest: int, tag: int, time: float, size: int = 8) -> int:
+        request = self._next_request
+        self._next_request += 1
+        self.ops.append(
+            TraceOp(
+                kind=OpKind.ISEND,
+                peer=dest,
+                tag=tag,
+                size=size,
+                request=request,
+                walltime=self._at(time),
+            )
+        )
+        return request
+
+    def wait(self, request: int, time: float) -> None:
+        self.ops.append(
+            TraceOp(kind=OpKind.WAIT, request=request, walltime=self._at(time))
+        )
+
+    def waitall(self, requests: list[int], time: float) -> None:
+        self.ops.append(
+            TraceOp(kind=OpKind.WAITALL, size=len(requests), walltime=self._at(time))
+        )
+
+    def collective(self, kind: OpKind, time: float, size: int = 8) -> None:
+        self.ops.append(TraceOp(kind=kind, size=size, walltime=self._at(time)))
+
+    def build(self) -> RankTrace:
+        return RankTrace(rank=self.rank, ops=self.ops)
+
+
+class TraceBuilder:
+    """Whole-application builder: per-rank builders plus a round clock."""
+
+    def __init__(self, name: str, nprocs: int) -> None:
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        self.name = name
+        self.nprocs = nprocs
+        self.ranks = [RankBuilder(rank) for rank in range(nprocs)]
+        self._round = 0
+
+    def begin_round(self) -> "RoundClock":
+        """Open the next time round; returns its phase clock."""
+        clock = RoundClock(float(self._round))
+        self._round += 1
+        return clock
+
+    def all_collective(self, kind: OpKind, size: int = 8) -> None:
+        """Every rank records the same collective in one round."""
+        clock = self.begin_round()
+        for rank in self.ranks:
+            rank.collective(kind, clock.send(), size=size)
+
+    def build(self) -> Trace:
+        return Trace(name=self.name, nprocs=self.nprocs, ranks=[r.build() for r in self.ranks])
+
+
+class RoundClock:
+    """Phase timestamps within one round.
+
+    Successive calls within a phase nudge time forward by an epsilon so
+    per-rank op order is stable under sorting. The send phase applies a
+    deterministic per-sender *jitter*: on a real network, messages from
+    different senders race and arrive out of posting order (that skew
+    is what gives posted-receive queues their depth), but messages from
+    one sender on one connection stay ordered (RC FIFO / C2). Jitter is
+    therefore constant per (sender, round) and the intra-sender epsilon
+    keeps each sender's emissions ordered.
+    """
+
+    _EPS = 1e-6
+    _JITTER_SPAN = 0.3
+
+    def __init__(self, base: float) -> None:
+        self.base = base
+        self._counters = [0, 0, 0]
+
+    def _tick(self, phase_index: int, offset: float) -> float:
+        value = self.base + offset + self._counters[phase_index] * self._EPS
+        self._counters[phase_index] += 1
+        return value
+
+    def recv(self) -> float:
+        """Pre-posting phase timestamp."""
+        return self._tick(0, _PHASE_RECV)
+
+    def send(self, sender: int | None = None) -> float:
+        """Sending phase timestamp, skewed per sender."""
+        jitter = 0.0
+        if sender is not None:
+            from repro.core.hashing import mix64
+
+            jitter = (
+                (mix64(sender * 0x9E3779B1 + int(self.base)) % 1024)
+                / 1024.0
+                * self._JITTER_SPAN
+            )
+        return self._tick(1, _PHASE_SEND) + jitter
+
+    def wait(self) -> float:
+        """Progress phase timestamp."""
+        return self._tick(2, _PHASE_WAIT)

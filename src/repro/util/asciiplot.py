@@ -1,0 +1,107 @@
+"""Terminal plotting for figure regeneration.
+
+The reproduction has no plotting dependencies (matplotlib is not in
+the environment), so the CLIs render figures as Unicode bar charts:
+grouped horizontal bars for the call-mix and message-rate figures and
+log-friendly depth bars for the queue-depth figure. Pure functions of
+their inputs; tested like any other formatting code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["hbar_chart", "grouped_bars", "depth_series"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    """A horizontal bar of ``value`` scaled to ``width`` cells."""
+    if maximum <= 0 or value <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * full + partial
+
+
+def hbar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    unit: str = "",
+    sort: bool = False,
+) -> str:
+    """One horizontal bar per labelled value."""
+    if not values:
+        return "(no data)"
+    items = list(values.items())
+    if sort:
+        items.sort(key=lambda item: item[1], reverse=True)
+    label_width = max(len(label) for label, _ in items)
+    maximum = max(value for _, value in items)
+    lines = []
+    for label, value in items:
+        bar = _bar(value, maximum, width)
+        lines.append(f"{label:<{label_width}} │{bar:<{width}}│ {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 30,
+    unit: str = "",
+) -> str:
+    """Bars grouped under headings: {group: {label: value}}."""
+    if not groups:
+        return "(no data)"
+    maximum = max(
+        (value for series in groups.values() for value in series.values()),
+        default=0.0,
+    )
+    label_width = max(
+        (len(label) for series in groups.values() for label in series),
+        default=0,
+    )
+    lines = []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for label, value in series.items():
+            bar = _bar(value, maximum, width)
+            lines.append(f"  {label:<{label_width}} │{bar:<{width}}│ {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def depth_series(
+    rows: Sequence[tuple[str, Mapping[int, float]]],
+    *,
+    width: int = 24,
+) -> str:
+    """The Fig. 7 layout: one row per app, one bar per bin count.
+
+    ``rows`` are (app, {bins: depth}) pairs, typically pre-sorted by
+    descending 1-bin depth like the paper arranges its plots.
+    """
+    if not rows:
+        return "(no data)"
+    bins_list = sorted(rows[0][1])
+    maximum = max(
+        (depth for _, series in rows for depth in series.values()), default=0.0
+    )
+    label_width = max(len(name) for name, _ in rows)
+    lines = []
+    header = " " * (label_width + 2) + "  ".join(
+        f"{'@' + str(b) + ' bins':<{width + 8}}" for b in bins_list
+    )
+    lines.append(header.rstrip())
+    for name, series in rows:
+        cells = []
+        for bins in bins_list:
+            depth = series.get(bins, 0.0)
+            bar = _bar(depth, maximum, width)
+            cells.append(f"│{bar:<{width}}│{depth:6.2f}")
+        lines.append(f"{name:<{label_width}}  " + "  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Monotonic counters used to label receives and messages.
+
+Two labelling schemes from the paper:
+
+* every posted receive carries a *post label* — "a monotonically
+  increasing counter that reflects the posting order" (§III-C) — used
+  to pick the oldest candidate across the four indexes, and
+* every receive carries a *sequence ID* (§III-D.3a): the host
+  increments it whenever the new receive is not compatible with the
+  previous one (different source or tag), so the fast path can tell
+  whether receive ``k + i`` still belongs to the same run of
+  compatible receives.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MonotonicCounter", "SequenceLabeler"]
+
+
+class MonotonicCounter:
+    """A counter that only moves forward; ``next()`` returns then bumps."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._value = start
+
+    def next(self) -> int:
+        value = self._value
+        self._value += 1
+        return value
+
+    def peek(self) -> int:
+        """The value the next call to :meth:`next` will return."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MonotonicCounter({self._value})"
+
+
+class SequenceLabeler:
+    """Assigns sequence IDs to runs of *compatible* receives.
+
+    Two consecutively posted receives are compatible when they specify
+    the same ``(source, tag)`` pair (wildcards included, compared
+    verbatim). The labeler is stateful: feed it each posted receive's
+    key in posting order and it returns the sequence ID for it.
+    """
+
+    __slots__ = ("_seq", "_last_key", "_run_length")
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._last_key: tuple[int, int] | None = None
+        self._run_length = 0
+
+    def label(self, source: int, tag: int) -> int:
+        """Return the sequence ID for a receive posted with this key."""
+        key = (source, tag)
+        if self._last_key is not None and key != self._last_key:
+            self._seq += 1
+            self._run_length = 0
+        self._last_key = key
+        self._run_length += 1
+        return self._seq
+
+    @property
+    def current_run_length(self) -> int:
+        """Length of the current run of compatible receives."""
+        return self._run_length

@@ -1,0 +1,53 @@
+"""Tests for the analysis comparison tool."""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.analyzer.compare import compare_analyses
+from repro.traces.synthetic import generate
+
+
+class TestCompare:
+    def test_self_comparison_matches(self):
+        trace = generate("LULESH", rounds=3)
+        left = analyze(trace, 32)
+        right = analyze(trace, 32)
+        report = compare_analyses(left, right)
+        assert report.ok
+        assert all(delta.relative == 0.0 for delta in report.deltas)
+
+    def test_same_app_different_rounds_still_matches(self):
+        """Scale-invariance: more rounds of the same pattern keep the
+        per-round statistics, so the comparison passes — this is what
+        makes synthetic-vs-real comparisons meaningful."""
+        left = analyze(generate("FillBoundary", rounds=3), 32)
+        right = analyze(generate("FillBoundary", rounds=6), 32)
+        report = compare_analyses(left, right)
+        assert report.ok, report.format()
+
+    def test_different_apps_diverge(self):
+        left = analyze(generate("BoxLib CNS", rounds=3), 32)
+        right = analyze(generate("SNAP", rounds=3), 32)
+        report = compare_analyses(left, right)
+        assert not report.ok
+        assert any(d.metric == "mean_depth" for d in report.divergent())
+
+    def test_bin_mismatch_rejected(self):
+        trace = generate("AMG", rounds=2)
+        with pytest.raises(ValueError, match="bin counts"):
+            compare_analyses(analyze(trace, 1), analyze(trace, 32))
+
+    def test_format_output(self):
+        trace = generate("AMG", rounds=2)
+        report = compare_analyses(analyze(trace, 32), analyze(trace, 32))
+        text = report.format()
+        assert "mean_depth" in text
+        assert "yes" in text
+
+    def test_mix_tolerance_tight(self):
+        """Call-mix divergence is flagged even when depths agree."""
+        left = analyze(generate("MultiGrid", rounds=4), 32)  # ~p2p only
+        right = analyze(generate("MiniFe", rounds=4), 32)  # heavy collectives
+        report = compare_analyses(left, right)
+        flagged = {delta.metric for delta in report.divergent()}
+        assert "collective_fraction" in flagged

@@ -1,0 +1,55 @@
+"""Tests for the one-page per-application report."""
+
+import pytest
+
+from repro.analyzer import format_app_report
+from repro.traces.synthetic import generate
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return format_app_report(generate("BoxLib CNS", processes=8, rounds=3))
+
+    def test_all_sections_present(self, report):
+        for marker in (
+            "matching profile",
+            "call mix",
+            "topology",
+            "bins",
+            "keys:",
+            "theory @",
+            "engine replay",
+            "sizing",
+        ):
+            assert marker in report, marker
+
+    def test_depth_rows_per_bin(self, report):
+        # Default bins list: 1, 32, 128.
+        for bins in ("     1", "    32", "   128"):
+            assert bins in report
+
+    def test_offload_verdict(self, report):
+        assert "offload friendly" in report
+
+    def test_collective_only_app(self):
+        report = format_app_report(generate("HILO", rounds=2))
+        assert "no p2p traffic" in report
+        assert "collectives 100.0%" in report
+
+    def test_custom_bins_list(self):
+        report = format_app_report(
+            generate("AMG", rounds=2), bins_list=(1, 8)
+        )
+        depth_rows = [
+            line for line in report.splitlines()
+            if line[:6].strip().isdigit()
+        ]
+        assert [int(line[:6]) for line in depth_rows] == [1, 8]
+
+    def test_cli_flag(self, capsys):
+        from repro.analyzer.cli import main
+
+        assert main(["--app", "SNAP", "--rounds", "2", "--full-report"]) == 0
+        out = capsys.readouterr().out
+        assert "SNAP — matching profile" in out

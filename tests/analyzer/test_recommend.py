@@ -1,0 +1,55 @@
+"""Tests for the bin-count recommendation utility."""
+
+import pytest
+
+from repro.analyzer.recommend import recommend_bins
+from repro.traces.synthetic import generate
+
+
+@pytest.fixture(scope="module")
+def cns_trace():
+    return generate("BoxLib CNS", processes=8, rounds=3)
+
+
+class TestRecommendation:
+    def test_meets_target(self, cns_trace):
+        rec = recommend_bins(cns_trace, target_depth=1.0)
+        assert rec.meets_target()
+        assert rec.mean_depth <= 1.0
+        assert not rec.saturated
+
+    def test_smaller_target_needs_more_bins(self, cns_trace):
+        loose = recommend_bins(cns_trace, target_depth=3.0)
+        tight = recommend_bins(cns_trace, target_depth=0.2)
+        assert tight.bins >= loose.bins
+
+    def test_deep_app_needs_more_than_one_bin(self, cns_trace):
+        rec = recommend_bins(cns_trace, target_depth=1.0)
+        assert rec.bins > 1
+
+    def test_memory_cost_reported(self, cns_trace):
+        rec = recommend_bins(cns_trace, target_depth=1.0)
+        from repro.dpa.memory import BYTES_PER_BIN, INDEX_TABLES
+
+        assert rec.bin_table_bytes == INDEX_TABLES * rec.bins * BYTES_PER_BIN
+
+    def test_saturation_flag(self, cns_trace):
+        rec = recommend_bins(cns_trace, target_depth=0.0, candidates=(1, 2))
+        assert rec.saturated
+        assert rec.bins == 2  # best available
+
+    def test_trivial_app_needs_one_bin(self):
+        trace = generate("SNAP", processes=8, rounds=2)
+        rec = recommend_bins(trace, target_depth=1.0)
+        assert rec.bins == 1
+
+    def test_sweep_exposed(self, cns_trace):
+        rec = recommend_bins(cns_trace, target_depth=1.0)
+        assert 1 in rec.sweep
+        assert rec.bins in rec.sweep
+
+    def test_invalid_inputs(self, cns_trace):
+        with pytest.raises(ValueError):
+            recommend_bins(cns_trace, target_depth=-1)
+        with pytest.raises(ValueError):
+            recommend_bins(cns_trace, candidates=())

@@ -1,0 +1,110 @@
+"""Tests for the emulated matching structures."""
+
+from repro.analyzer.structures import EmulatedMatcher
+from repro.core import ANY_SOURCE, ANY_TAG, MessageEnvelope, ReceiveRequest
+
+
+class TestEmulatedMatching:
+    def test_post_then_deliver_matches(self):
+        m = EmulatedMatcher(bins=8)
+        assert m.post_receive(ReceiveRequest(source=0, tag=0)) is False
+        assert m.deliver(MessageEnvelope(source=0, tag=0)) is True
+        assert m.indexes.total_live() == 0
+
+    def test_unexpected_then_drain(self):
+        m = EmulatedMatcher(bins=8)
+        assert m.deliver(MessageEnvelope(source=0, tag=0)) is False
+        assert m.unexpected_total == 1
+        assert m.post_receive(ReceiveRequest(source=0, tag=0)) is True
+        assert m.drained_total == 1
+        assert len(m.unexpected) == 0
+
+    def test_c1_across_indexes(self):
+        m = EmulatedMatcher(bins=8)
+        m.post_receive(ReceiveRequest(source=ANY_SOURCE, tag=7))
+        m.post_receive(ReceiveRequest(source=1, tag=7))
+        m.deliver(MessageEnvelope(source=1, tag=7))
+        # Older wildcard receive consumed; exact one remains.
+        assert m.indexes.source_wildcard.total_live() == 0
+        assert m.indexes.no_wildcard.total_live() == 1
+
+    def test_collision_counting(self):
+        m = EmulatedMatcher(bins=1)
+        m.post_receive(ReceiveRequest(source=0, tag=0))
+        m.post_receive(ReceiveRequest(source=0, tag=1))  # same single bin
+        assert m.collisions == 1
+
+    def test_no_collision_when_spread(self):
+        m = EmulatedMatcher(bins=4096)
+        for tag in range(4):
+            m.post_receive(ReceiveRequest(source=0, tag=tag))
+        assert m.collisions == 0
+
+
+class TestWalkMetric:
+    def test_match_at_head_has_zero_depth(self):
+        m = EmulatedMatcher(bins=1)
+        m.post_receive(ReceiveRequest(source=0, tag=0))
+        m.deliver(MessageEnvelope(source=0, tag=0))
+        interval_max, interval_mean, _ = m.take_datapoint()
+        assert interval_max == 0
+        assert interval_mean == 0.0
+
+    def test_match_behind_others_counts_walk(self):
+        m = EmulatedMatcher(bins=1)
+        for tag in range(5):
+            m.post_receive(ReceiveRequest(source=0, tag=tag))
+        m.deliver(MessageEnvelope(source=0, tag=4))  # walks past 4 entries
+        interval_max, _, _ = m.take_datapoint()
+        assert interval_max == 4
+
+    def test_binning_reduces_walk(self):
+        def max_walk(bins):
+            m = EmulatedMatcher(bins=bins)
+            for tag in range(16):
+                m.post_receive(ReceiveRequest(source=0, tag=tag))
+            for tag in reversed(range(16)):
+                m.deliver(MessageEnvelope(source=0, tag=tag))
+            interval_max, _, _ = m.take_datapoint()
+            return interval_max
+
+        assert max_walk(1) == 15
+        assert max_walk(256) < 4
+
+    def test_datapoint_resets_interval(self):
+        m = EmulatedMatcher(bins=1)
+        for tag in range(3):
+            m.post_receive(ReceiveRequest(source=0, tag=tag))
+        m.deliver(MessageEnvelope(source=0, tag=2))
+        first, _, _ = m.take_datapoint()
+        second, _, _ = m.take_datapoint()
+        assert first == 2
+        assert second == 0
+
+    def test_unexpected_walk_counts_all_probed(self):
+        m = EmulatedMatcher(bins=1)
+        for tag in range(3):
+            m.post_receive(ReceiveRequest(source=0, tag=tag))
+        m.deliver(MessageEnvelope(source=9, tag=9))  # matches nothing
+        interval_max, _, _ = m.take_datapoint()
+        assert interval_max == 3
+
+
+class TestSnapshot:
+    def test_snapshot_counts(self):
+        m = EmulatedMatcher(bins=8)
+        m.post_receive(ReceiveRequest(source=0, tag=0))
+        m.post_receive(ReceiveRequest(source=ANY_SOURCE, tag=ANY_TAG))
+        m.deliver(MessageEnvelope(source=5, tag=5))  # consumed by any/any
+        snap = m.snapshot()
+        assert snap.total_posted == 1
+        assert snap.unexpected == 0
+        assert snap.wildcard_list_depth == 0
+
+    def test_empty_fraction_interval(self):
+        m = EmulatedMatcher(bins=2)
+        m.post_receive(ReceiveRequest(source=0, tag=0))
+        m.deliver(MessageEnvelope(source=0, tag=0))
+        _, _, snap = m.take_datapoint()
+        # At the fullest moment one of the 6 buckets was occupied.
+        assert snap.empty_fraction < 1.0

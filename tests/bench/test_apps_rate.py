@@ -1,0 +1,42 @@
+"""Unit tests for the per-application rate synthesis."""
+
+import pytest
+
+from repro.bench import AppRate, app_message_rate
+from repro.core import EngineConfig
+from repro.dpa.costs import DpaCostModel
+from repro.traces.synthetic import generate
+
+
+class TestAppMessageRate:
+    def test_basic_fields(self):
+        rate = app_message_rate(generate("AMG", rounds=2))
+        assert isinstance(rate, AppRate)
+        assert rate.messages > 0
+        assert rate.message_rate > 0
+        assert rate.dpa_cycles > 0
+        assert rate.cycles_per_message() > 0
+
+    def test_pure_collective_app_has_no_rate(self):
+        rate = app_message_rate(generate("HILO", rounds=2))
+        assert rate.messages == 0
+        assert rate.message_rate == 0.0
+        assert rate.cycles_per_message() == 0.0
+
+    def test_config_override(self):
+        trace = generate("SNAP", processes=8, rounds=2)
+        narrow = app_message_rate(
+            trace, config=EngineConfig(bins=16, block_threads=4, max_receives=4096)
+        )
+        assert narrow.messages > 0
+
+    def test_cost_model_scales_rate(self):
+        trace = generate("FillBoundary", processes=8, rounds=2)
+        fast = app_message_rate(trace, costs=DpaCostModel(clock_ghz=3.6))
+        slow = app_message_rate(trace, costs=DpaCostModel(clock_ghz=0.9))
+        assert fast.message_rate == pytest.approx(4 * slow.message_rate, rel=0.01)
+
+    def test_conflicting_app_reports_conflicts(self):
+        rate = app_message_rate(generate("CrystalRouter", rounds=3))
+        assert rate.conflict_rate > 0
+        assert 0 < rate.unexpected_fraction < 1

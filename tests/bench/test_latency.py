@@ -1,0 +1,62 @@
+"""Tests for the matching-latency model."""
+
+import numpy as np
+import pytest
+
+from repro.bench.latency import LatencyDistribution, dpa_latencies, host_latencies
+from repro.bench.scenarios import scenario_by_name
+
+
+class TestDistribution:
+    def test_from_samples(self):
+        dist = LatencyDistribution.from_samples("x", np.array([1.0, 2.0, 3.0, 100.0]))
+        assert dist.messages == 4
+        assert dist.p50_ns == pytest.approx(2.5)
+        assert dist.max_ns == 100.0
+        assert dist.mean_ns == pytest.approx(26.5)
+
+    def test_empty(self):
+        dist = LatencyDistribution.from_samples("x", np.array([]))
+        assert dist.messages == 0
+        assert dist.max_ns == 0.0
+
+
+class TestDpaLatencies:
+    def test_nc_distribution(self):
+        dist = dpa_latencies(
+            scenario_by_name("nc"), messages=128, in_flight=128, threads=8
+        )
+        assert dist.messages == 128
+        assert 0 < dist.p50_ns <= dist.p95_ns <= dist.p99_ns <= dist.max_ns
+
+    def test_conflicts_fatten_the_tail(self):
+        nc = dpa_latencies(
+            scenario_by_name("nc"), messages=128, in_flight=128, threads=8
+        )
+        sp = dpa_latencies(
+            scenario_by_name("wc-sp"), messages=128, in_flight=128, threads=8
+        )
+        assert sp.p95_ns > nc.p95_ns
+        assert sp.mean_ns > nc.mean_ns
+
+    def test_fast_path_cheaper_than_slow(self):
+        fp = dpa_latencies(
+            scenario_by_name("wc-fp"), messages=128, in_flight=128, threads=8
+        )
+        sp = dpa_latencies(
+            scenario_by_name("wc-sp"), messages=128, in_flight=128, threads=8
+        )
+        assert fp.mean_ns < sp.mean_ns
+
+
+class TestHostLatencies:
+    def test_burst_ramp(self):
+        dist = host_latencies(messages=256, burst=32)
+        assert dist.messages == 256
+        # Linear ramp within a 32-burst: max 32x the unit cost.
+        assert dist.max_ns == pytest.approx(32 * dist.p50_ns / 16.5, rel=0.1)
+
+    def test_deeper_queue_costs_more(self):
+        shallow = host_latencies(queue_depth=1)
+        deep = host_latencies(queue_depth=64)
+        assert deep.mean_ns > shallow.mean_ns

@@ -1,0 +1,136 @@
+"""Tests for the Figure 8 harness: mechanics and qualitative shape."""
+
+import pytest
+
+from repro.bench import (
+    PingPongBench,
+    SCENARIOS,
+    format_figure8,
+    run_figure8,
+    scenario_by_name,
+)
+from repro.bench.scenarios import PAPER_BINS, PAPER_IN_FLIGHT
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One shared small run (module-scoped: the shape assertions all
+    read the same data)."""
+    bench = PingPongBench(k=64, repetitions=6, in_flight=128, threads=16)
+    return {r.label: r for r in bench.run_all()}
+
+
+class TestScenarios:
+    def test_paper_parameters(self):
+        assert PAPER_BINS == 2 * PAPER_IN_FLIGHT
+
+    def test_nc_keys_distinct(self):
+        nc = scenario_by_name("nc")
+        keys = {(nc.receive(i).source, nc.receive(i).tag) for i in range(100)}
+        assert len(keys) == 100
+
+    def test_wc_keys_identical(self):
+        wc = scenario_by_name("wc-fp")
+        keys = {(wc.receive(i).source, wc.receive(i).tag) for i in range(100)}
+        assert len(keys) == 1
+
+    def test_messages_match_receives(self):
+        for scenario in SCENARIOS:
+            for i in range(10):
+                assert scenario.receive(i).matches(scenario.message(i))
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            scenario_by_name("np")
+
+
+class TestMechanics:
+    def test_all_five_configurations(self, results):
+        assert set(results) == {
+            "Optimistic-DPA NC",
+            "Optimistic-DPA WC-FP",
+            "Optimistic-DPA WC-SP",
+            "MPI-CPU",
+            "RDMA-CPU",
+        }
+
+    def test_message_counts(self, results):
+        for result in results.values():
+            assert result.messages == 64 * 6
+            assert result.sequences == 6
+
+    def test_rates_positive(self, results):
+        for result in results.values():
+            assert result.message_rate > 0
+
+    def test_window_must_cover_sequence(self):
+        with pytest.raises(ValueError, match="window"):
+            PingPongBench(k=100, repetitions=1, in_flight=50)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PingPongBench(k=0, repetitions=1)
+
+
+class TestFigure8Shape:
+    """The qualitative claims of §VI, asserted."""
+
+    def test_rdma_is_upper_bound(self, results):
+        rdma = results["RDMA-CPU"].message_rate
+        for label, result in results.items():
+            if label != "RDMA-CPU":
+                assert result.message_rate < rdma
+
+    def test_nc_comparable_to_mpi_cpu(self, results):
+        """'optimistic tag matching has performance comparable with
+        MPI-CPU for the non-conflict case' — within 2x either way."""
+        nc = results["Optimistic-DPA NC"].message_rate
+        cpu = results["MPI-CPU"].message_rate
+        assert 0.5 < nc / cpu < 2.0
+
+    def test_conflicts_cost_rate(self, results):
+        nc = results["Optimistic-DPA NC"].message_rate
+        fp = results["Optimistic-DPA WC-FP"].message_rate
+        sp = results["Optimistic-DPA WC-SP"].message_rate
+        assert nc > fp > sp
+
+    def test_offload_frees_host(self, results):
+        for label in ("Optimistic-DPA NC", "Optimistic-DPA WC-FP", "Optimistic-DPA WC-SP"):
+            assert results[label].host_matching_cycles_per_msg == 0.0
+        assert results["MPI-CPU"].host_matching_cycles_per_msg > 0
+
+    def test_path_mix_per_scenario(self, results):
+        nc = results["Optimistic-DPA NC"].path_mix
+        fp = results["Optimistic-DPA WC-FP"].path_mix
+        sp = results["Optimistic-DPA WC-SP"].path_mix
+        assert nc["fast"] == 0 and nc["slow"] == 0
+        assert fp["fast"] > 0 and fp["slow"] == 0
+        assert sp["slow"] > 0 and sp["fast"] == 0
+
+
+class TestFormatting:
+    def test_format_contains_all_rows(self, results):
+        text = format_figure8(list(results.values()))
+        for label in results:
+            assert label in text
+
+    def test_run_figure8_wrapper(self):
+        rows = run_figure8(k=32, repetitions=2, in_flight=64)
+        assert len(rows) == 5
+
+
+class TestCli:
+    def test_single_scenario(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--k", "32", "--repetitions", "2", "--in-flight", "64",
+                     "--scenario", "rdma-cpu"]) == 0
+        assert "RDMA-CPU" in capsys.readouterr().out
+
+    def test_all(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--k", "16", "--repetitions", "2", "--in-flight", "32",
+                     "--threads", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "MPI-CPU" in out and "WC-SP" in out

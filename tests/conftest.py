@@ -1,0 +1,59 @@
+"""Shared fixtures and hypothesis strategies.
+
+The central strategy is :func:`op_streams`: arbitrary interleavings of
+receive postings (with all four wildcard combinations) and incoming
+messages over small rank/tag domains — small domains maximize key
+collisions, which is where matching order bugs live.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import ANY_SOURCE, ANY_TAG, EngineConfig
+from repro.matching.oracle import StreamOp
+
+
+@st.composite
+def stream_ops(
+    draw: st.DrawFn,
+    max_rank: int = 3,
+    max_tag: int = 2,
+    allow_wildcards: bool = True,
+) -> StreamOp:
+    """One post or message op over a deliberately tiny domain."""
+    is_post = draw(st.booleans())
+    source = draw(st.integers(min_value=0, max_value=max_rank))
+    tag = draw(st.integers(min_value=0, max_value=max_tag))
+    if is_post and allow_wildcards:
+        wild = draw(st.sampled_from(["none", "none", "src", "tag", "both"]))
+        if wild in ("src", "both"):
+            source = ANY_SOURCE
+        if wild in ("tag", "both"):
+            tag = ANY_TAG
+    return StreamOp("post" if is_post else "message", source, tag)
+
+
+def op_streams(
+    max_size: int = 60,
+    max_rank: int = 3,
+    max_tag: int = 2,
+    allow_wildcards: bool = True,
+) -> st.SearchStrategy[list[StreamOp]]:
+    """Lists of interleaved posts/messages for matcher validation."""
+    return st.lists(
+        stream_ops(max_rank=max_rank, max_tag=max_tag, allow_wildcards=allow_wildcards),
+        max_size=max_size,
+    )
+
+
+#: Schedules for the ScriptedPolicy: arbitrary ints, reduced mod the
+#: runnable set inside the policy, so any list is a valid schedule.
+schedules = st.lists(st.integers(min_value=0, max_value=1_000_000), max_size=200)
+
+
+@pytest.fixture
+def small_config() -> EngineConfig:
+    """A small engine configuration that stresses collisions."""
+    return EngineConfig(bins=4, block_threads=4, max_receives=256)

@@ -1,0 +1,73 @@
+"""Tests for receive cancellation (MPI_Cancel semantics)."""
+
+import pytest
+
+from repro.core import (
+    ANY_SOURCE,
+    ANY_TAG,
+    EngineConfig,
+    MessageEnvelope,
+    OptimisticMatcher,
+    ReceiveRequest,
+)
+
+
+@pytest.fixture
+def engine():
+    return OptimisticMatcher(EngineConfig(bins=8, block_threads=4, max_receives=32))
+
+
+class TestCancel:
+    def test_cancel_live_receive(self, engine):
+        engine.post_receive(ReceiveRequest(source=0, tag=1, handle=10))
+        assert engine.cancel_receive(10)
+        assert engine.posted_receives == 0
+        assert engine.stats.receives_cancelled == 1
+        # Slot recycled.
+        assert engine.table.in_use == 0
+
+    def test_cancel_unknown_handle(self, engine):
+        assert engine.cancel_receive(999) is False
+
+    def test_cancel_wildcard_receive(self, engine):
+        engine.post_receive(ReceiveRequest(source=ANY_SOURCE, tag=ANY_TAG, handle=7))
+        assert engine.cancel_receive(7)
+        # A later message goes unexpected rather than matching it.
+        engine.submit_message(MessageEnvelope(source=1, tag=1))
+        events = engine.process_all()
+        assert events[0].kind.value == "stored-unexpected"
+
+    def test_message_in_flight_wins_the_race(self, engine):
+        engine.post_receive(ReceiveRequest(source=0, tag=2, handle=5))
+        engine.submit_message(MessageEnvelope(source=0, tag=2))
+        # Cancel processes pending messages first (§ hardware race):
+        # the match completes, cancellation reports failure.
+        assert engine.cancel_receive(5) is False
+        assert engine.stats.expected_matches == 1
+
+    def test_cancelled_receive_does_not_match(self, engine):
+        engine.post_receive(ReceiveRequest(source=0, tag=3, handle=1))
+        engine.post_receive(ReceiveRequest(source=0, tag=3, handle=2))
+        engine.cancel_receive(1)
+        engine.submit_message(MessageEnvelope(source=0, tag=3))
+        (event,) = engine.process_all()
+        assert event.receive.handle == 2
+
+    def test_cancel_middle_of_compatible_run(self, engine):
+        """Cancelling inside a compatible run must not break fast-path
+        safety for the remaining receives."""
+        for handle in range(4):
+            engine.post_receive(ReceiveRequest(source=1, tag=9, handle=handle))
+        engine.cancel_receive(1)
+        for seq in range(3):
+            engine.submit_message(MessageEnvelope(source=1, tag=9, send_seq=seq))
+        events = engine.process_all()
+        assert [event.receive.handle for event in events] == [0, 2, 3]
+        seqs = [event.message.send_seq for event in events]
+        assert seqs == sorted(seqs)
+
+    def test_double_cancel(self, engine):
+        engine.post_receive(ReceiveRequest(source=0, tag=0, handle=4))
+        assert engine.cancel_receive(4)
+        assert not engine.cancel_receive(4)
+        assert engine.stats.receives_cancelled == 1

@@ -1,0 +1,103 @@
+"""Property: cancellation preserves oracle equivalence.
+
+Streams of posts, messages, and cancels must produce identical
+pairings on the optimistic engine and the linked-list matcher — the
+cancel command is serialized with blocks exactly like a post, so the
+two implementations see the same semantic order.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EngineConfig, MessageEnvelope, OptimisticMatcher, ReceiveRequest
+from repro.core.events import MatchKind
+from repro.matching import ListMatcher
+
+COMMON = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: op: (kind 0=post / 1=message / 2=cancel, source, tag, cancel_target)
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.integers(0, 2),
+        st.integers(0, 2),
+        st.integers(0, 30),
+    ),
+    max_size=60,
+)
+
+
+def run_engine(ops):
+    engine = OptimisticMatcher(EngineConfig(bins=4, block_threads=4, max_receives=4096))
+    events = []
+    handle = 0
+    seq = 0
+    cancelled = []
+    for kind, source, tag, target in ops:
+        if kind == 0:
+            event = engine.post_receive(ReceiveRequest(source=source, tag=tag, handle=handle))
+            handle += 1
+            if event is not None:
+                events.append(event)
+        elif kind == 1:
+            engine.submit_message(MessageEnvelope(source=source, tag=tag, send_seq=seq))
+            seq += 1
+        else:
+            cancelled.append((target, engine.cancel_receive(target)))
+    events.extend(engine.process_all())
+    return events, cancelled
+
+
+def run_oracle(ops):
+    matcher = ListMatcher()
+    events = []
+    handle = 0
+    seq = 0
+    cancelled = []
+    for kind, source, tag, target in ops:
+        if kind == 0:
+            event = matcher.post_receive(ReceiveRequest(source=source, tag=tag, handle=handle))
+            handle += 1
+            if event is not None:
+                events.append(event)
+        elif kind == 1:
+            events.append(
+                matcher.incoming_message(MessageEnvelope(source=source, tag=tag, send_seq=seq))
+            )
+            seq += 1
+        else:
+            cancelled.append((target, matcher.cancel_receive(target)))
+    return events, cancelled
+
+
+def pairing_map(events):
+    out = {}
+    for event in events:
+        key = (event.message.source, event.message.send_seq)
+        if event.kind is MatchKind.STORED_UNEXPECTED:
+            out.setdefault(key, None)
+        else:
+            out[key] = event.receive.handle
+    return out
+
+
+class TestCancelProperty:
+    @COMMON
+    @given(ops=ops_strategy)
+    def test_engine_matches_oracle_with_cancels(self, ops):
+        engine_events, engine_cancelled = run_engine(ops)
+        oracle_events, oracle_cancelled = run_oracle(ops)
+        assert pairing_map(engine_events) == pairing_map(oracle_events)
+        assert engine_cancelled == oracle_cancelled
+
+    @COMMON
+    @given(ops=ops_strategy)
+    def test_cancelled_handles_never_match(self, ops):
+        events, cancelled = run_engine(ops)
+        removed = {target for target, success in cancelled if success}
+        matched = {
+            event.receive.handle
+            for event in events
+            if event.kind is not MatchKind.STORED_UNEXPECTED
+        }
+        assert removed.isdisjoint(matched)

@@ -1,0 +1,69 @@
+"""Tests for EngineConfig and matcher cost accounting."""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.matching.base import MatcherCosts
+
+
+class TestEngineConfig:
+    def test_defaults_match_paper(self):
+        config = EngineConfig()
+        assert config.bins == 128
+        assert config.block_threads == 32
+        assert config.max_receives == 8192
+        assert config.lazy_removal
+        assert config.early_booking_check
+        assert config.enable_fast_path
+        assert config.use_inline_hashes
+        assert not config.allow_overtaking
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bins": 0},
+            {"bins": -1},
+            {"block_threads": 0},
+            {"max_receives": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+    def test_with_options_replaces_selected_fields(self):
+        base = EngineConfig(bins=64)
+        changed = base.with_options(enable_fast_path=False, bins=32)
+        assert changed.bins == 32
+        assert not changed.enable_fast_path
+        assert changed.block_threads == base.block_threads
+        # Original untouched (frozen).
+        assert base.bins == 64
+        assert base.enable_fast_path
+
+    def test_with_options_validates(self):
+        with pytest.raises(ValueError):
+            EngineConfig().with_options(bins=-5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EngineConfig().bins = 7
+
+    def test_hashable_for_caching(self):
+        assert len({EngineConfig(), EngineConfig(), EngineConfig(bins=2)}) == 2
+
+
+class TestMatcherCosts:
+    def test_record_walk_accumulates(self):
+        costs = MatcherCosts()
+        costs.record_walk(3)
+        costs.record_walk(5)
+        assert costs.walked == 8
+        assert costs.walk_samples == []  # sampling off by default
+
+    def test_keep_samples(self):
+        costs = MatcherCosts(keep_samples=True)
+        costs.record_walk(3)
+        costs.record_walk(0)
+        assert costs.walk_samples == [3, 0]
+        assert costs.walked == 3

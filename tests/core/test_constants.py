@@ -1,0 +1,25 @@
+"""Tests for wildcard classification."""
+
+import pytest
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG, WildcardClass, classify
+
+
+@pytest.mark.parametrize(
+    ("source", "tag", "expected"),
+    [
+        (0, 0, WildcardClass.NONE),
+        (5, 99, WildcardClass.NONE),
+        (ANY_SOURCE, 7, WildcardClass.SOURCE),
+        (3, ANY_TAG, WildcardClass.TAG),
+        (ANY_SOURCE, ANY_TAG, WildcardClass.BOTH),
+    ],
+)
+def test_classify(source, tag, expected):
+    assert classify(source, tag) is expected
+
+
+def test_wildcard_sentinels_are_negative():
+    # Real ranks/tags are non-negative; the sentinels must not collide.
+    assert ANY_SOURCE < 0
+    assert ANY_TAG < 0

@@ -1,0 +1,138 @@
+"""Property tests: the optimistic engine upholds MPI matching
+semantics for *any* operation stream under *any* thread interleaving.
+
+These are the reproduction's core correctness theorems:
+
+* **Oracle equivalence** — the engine's message->receive pairings
+  equal the traditional linked-list matcher's, which trivially
+  implements C1/C2.
+* **Schedule independence** — the above holds when hypothesis chooses
+  the thread schedule adversarially (ScriptedPolicy), not just for
+  round-robin.
+* **Conservation** — receives and messages are conserved: nothing is
+  matched twice, dropped, or invented.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EngineConfig, MatchKind
+from repro.core.threadsim import RandomPolicy, ScriptedPolicy
+from repro.matching import ListMatcher, OptimisticAdapter
+from repro.matching.oracle import check_c2, cross_validate, pairings, run_stream
+from tests.conftest import op_streams, schedules
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_adapter(policy, bins=4, block_threads=4):
+    return OptimisticAdapter(
+        EngineConfig(bins=bins, block_threads=block_threads, max_receives=4096),
+        policy=policy,
+    )
+
+
+class TestOracleEquivalence:
+    @COMMON
+    @given(ops=op_streams())
+    def test_round_robin_schedule(self, ops):
+        cross_validate(make_adapter(None), ops)
+
+    @COMMON
+    @given(ops=op_streams(), seed=st.integers(0, 2**16))
+    def test_random_schedules(self, ops, seed):
+        cross_validate(make_adapter(RandomPolicy(seed)), ops)
+
+    @COMMON
+    @given(ops=op_streams(max_size=40), script=schedules)
+    def test_adversarial_scripted_schedules(self, ops, script):
+        cross_validate(make_adapter(ScriptedPolicy(script)), ops)
+
+    @COMMON
+    @given(ops=op_streams(), bins=st.sampled_from([1, 2, 8, 64]))
+    def test_any_bin_count(self, ops, bins):
+        cross_validate(make_adapter(None, bins=bins), ops)
+
+    @COMMON
+    @given(ops=op_streams(), width=st.sampled_from([1, 2, 3, 8, 33]))
+    def test_any_block_width(self, ops, width):
+        cross_validate(make_adapter(None, block_threads=width), ops)
+
+    @COMMON
+    @given(ops=op_streams(allow_wildcards=False), seed=st.integers(0, 2**16))
+    def test_wildcard_free_streams(self, ops, seed):
+        cross_validate(make_adapter(RandomPolicy(seed)), ops)
+
+    @COMMON
+    @given(ops=op_streams(max_rank=0, max_tag=0), seed=st.integers(0, 2**16))
+    def test_single_key_streams_maximal_conflicts(self, ops, seed):
+        """Every op shares one key: the with-conflict worst case."""
+        cross_validate(make_adapter(RandomPolicy(seed)), ops)
+
+
+class TestOptimizationTogglesPreserveSemantics:
+    @COMMON
+    @given(
+        ops=op_streams(max_size=40),
+        early=st.booleans(),
+        fast=st.booleans(),
+        lazy=st.booleans(),
+        seed=st.integers(0, 2**10),
+    )
+    def test_all_toggle_combinations(self, ops, early, fast, lazy, seed):
+        adapter = OptimisticAdapter(
+            EngineConfig(
+                bins=4,
+                block_threads=4,
+                max_receives=4096,
+                early_booking_check=early,
+                enable_fast_path=fast,
+                lazy_removal=lazy,
+            ),
+            policy=RandomPolicy(seed),
+        )
+        cross_validate(adapter, ops)
+
+
+class TestConservation:
+    @COMMON
+    @given(ops=op_streams(), seed=st.integers(0, 2**16))
+    def test_each_receive_consumed_at_most_once(self, ops, seed):
+        events = run_stream(make_adapter(RandomPolicy(seed)), ops)
+        matched_handles = [
+            e.receive.handle for e in events if e.kind is not MatchKind.STORED_UNEXPECTED
+        ]
+        assert len(matched_handles) == len(set(matched_handles))
+
+    @COMMON
+    @given(ops=op_streams(), seed=st.integers(0, 2**16))
+    def test_every_message_accounted(self, ops, seed):
+        adapter = make_adapter(RandomPolicy(seed))
+        events = run_stream(adapter, ops)
+        n_messages = sum(1 for op in ops if op.kind == "message")
+        decided = pairings(events)
+        assert len(decided) == n_messages
+        matched = sum(1 for v in decided.values() if v is not None)
+        assert matched + adapter.unexpected_count == n_messages
+
+    @COMMON
+    @given(ops=op_streams(), seed=st.integers(0, 2**16))
+    def test_final_queue_sizes_match_oracle(self, ops, seed):
+        oracle = ListMatcher()
+        run_stream(oracle, ops)
+        adapter = make_adapter(RandomPolicy(seed))
+        run_stream(adapter, ops)
+        assert adapter.posted_count == oracle.posted_count
+        assert adapter.unexpected_count == oracle.unexpected_count
+
+
+class TestC2Audit:
+    @COMMON
+    @given(ops=op_streams(), seed=st.integers(0, 2**16))
+    def test_c2_holds_directly(self, ops, seed):
+        events = run_stream(make_adapter(RandomPolicy(seed)), ops)
+        check_c2(events)

@@ -1,0 +1,81 @@
+"""Tests for the fixed-size descriptor table."""
+
+import pytest
+
+from repro.core.descriptor import DESCRIPTOR_BYTES, DescriptorTable, DescriptorTableFull
+from repro.core.envelope import ReceiveRequest
+
+
+def make_table(capacity=4, width=4):
+    return DescriptorTable(capacity, width)
+
+
+class TestAllocation:
+    def test_allocate_assigns_fields(self):
+        table = make_table()
+        descr = table.allocate(ReceiveRequest(source=1, tag=2), post_label=5, sequence_id=3)
+        assert descr.post_label == 5
+        assert descr.sequence_id == 3
+        assert descr.source == 1 and descr.tag == 2
+        assert not descr.consumed
+        assert descr.booking.is_empty()
+        assert table.in_use == 1
+
+    def test_capacity_overflow_raises(self):
+        table = make_table(capacity=2)
+        table.allocate(ReceiveRequest(), 0, 0)
+        table.allocate(ReceiveRequest(), 1, 0)
+        with pytest.raises(DescriptorTableFull):
+            table.allocate(ReceiveRequest(), 2, 0)
+
+    def test_release_recycles_slots(self):
+        table = make_table(capacity=1)
+        d = table.allocate(ReceiveRequest(), 0, 0)
+        table.release(d)
+        assert table.in_use == 0
+        d2 = table.allocate(ReceiveRequest(), 1, 0)
+        assert d2.slot == d.slot
+
+    def test_release_stale_descriptor_rejected(self):
+        table = make_table(capacity=1)
+        d = table.allocate(ReceiveRequest(), 0, 0)
+        table.release(d)
+        table.allocate(ReceiveRequest(), 1, 0)
+        with pytest.raises(ValueError):
+            table.release(d)  # slot now owned by another descriptor
+
+    def test_high_water_tracks_peak(self):
+        table = make_table(capacity=8)
+        live = [table.allocate(ReceiveRequest(), i, 0) for i in range(5)]
+        for d in live:
+            table.release(d)
+        table.allocate(ReceiveRequest(), 9, 0)
+        assert table.high_water == 5
+
+    def test_get_by_slot(self):
+        table = make_table()
+        d = table.allocate(ReceiveRequest(), 0, 0)
+        assert table.get(d.slot) is d
+
+    @pytest.mark.parametrize("capacity,width", [(0, 4), (4, 0), (-1, 1)])
+    def test_invalid_params_rejected(self, capacity, width):
+        with pytest.raises(ValueError):
+            DescriptorTable(capacity, width)
+
+
+class TestFootprint:
+    def test_footprint_model(self):
+        # §III-E: 8 K receives at 64 B each ≈ 512 KiB of descriptors.
+        table = DescriptorTable(8192, 32)
+        assert table.footprint_bytes == 8192 * DESCRIPTOR_BYTES
+        assert table.footprint_bytes == 512 * 1024
+
+
+class TestCompatibility:
+    def test_compatible_with(self):
+        table = make_table()
+        a = table.allocate(ReceiveRequest(source=1, tag=2), 0, 0)
+        b = table.allocate(ReceiveRequest(source=1, tag=2), 1, 0)
+        c = table.allocate(ReceiveRequest(source=1, tag=3), 2, 1)
+        assert a.compatible_with(b)
+        assert not a.compatible_with(c)

@@ -1,0 +1,72 @@
+"""Tests for message envelopes and receive requests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG, WildcardClass
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+
+
+class TestMessageEnvelope:
+    def test_rejects_wildcard_source(self):
+        with pytest.raises(ValueError):
+            MessageEnvelope(source=ANY_SOURCE, tag=0)
+
+    def test_rejects_wildcard_tag(self):
+        with pytest.raises(ValueError):
+            MessageEnvelope(source=0, tag=ANY_TAG)
+
+    def test_key(self):
+        assert MessageEnvelope(source=3, tag=9).key() == (3, 9)
+
+
+class TestReceiveRequestMatching:
+    def test_exact_match(self):
+        req = ReceiveRequest(source=1, tag=2)
+        assert req.matches(MessageEnvelope(source=1, tag=2))
+        assert not req.matches(MessageEnvelope(source=1, tag=3))
+        assert not req.matches(MessageEnvelope(source=2, tag=2))
+
+    def test_any_source(self):
+        req = ReceiveRequest(source=ANY_SOURCE, tag=2)
+        assert req.matches(MessageEnvelope(source=7, tag=2))
+        assert not req.matches(MessageEnvelope(source=7, tag=3))
+
+    def test_any_tag(self):
+        req = ReceiveRequest(source=4, tag=ANY_TAG)
+        assert req.matches(MessageEnvelope(source=4, tag=100))
+        assert not req.matches(MessageEnvelope(source=5, tag=100))
+
+    def test_both_wildcards_match_everything_in_comm(self):
+        req = ReceiveRequest()
+        assert req.matches(MessageEnvelope(source=0, tag=0))
+        assert req.matches(MessageEnvelope(source=9, tag=9))
+
+    def test_communicator_isolation(self):
+        req = ReceiveRequest(source=ANY_SOURCE, tag=ANY_TAG, comm=1)
+        assert not req.matches(MessageEnvelope(source=0, tag=0, comm=0))
+        assert req.matches(MessageEnvelope(source=0, tag=0, comm=1))
+
+    def test_wildcard_class(self):
+        assert ReceiveRequest(source=1, tag=1).wildcard_class() is WildcardClass.NONE
+        assert ReceiveRequest(tag=1).wildcard_class() is WildcardClass.SOURCE
+        assert ReceiveRequest(source=1).wildcard_class() is WildcardClass.TAG
+        assert ReceiveRequest().wildcard_class() is WildcardClass.BOTH
+
+    def test_handle_not_part_of_equality(self):
+        a = ReceiveRequest(source=1, tag=1, handle=5)
+        b = ReceiveRequest(source=1, tag=1, handle=9)
+        assert a == b
+
+    @given(
+        st.integers(0, 5),
+        st.integers(0, 5),
+        st.integers(-1, 5),
+        st.integers(-1, 5),
+    )
+    def test_matching_definition(self, msrc, mtag, rsrc, rtag):
+        req = ReceiveRequest(source=rsrc, tag=rtag)
+        msg = MessageEnvelope(source=msrc, tag=mtag)
+        expected = (rsrc in (ANY_SOURCE, msrc)) and (rtag in (ANY_TAG, mtag))
+        assert req.matches(msg) == expected

@@ -1,0 +1,105 @@
+"""Direct unit tests for match events and statistics containers."""
+
+import pytest
+
+from repro.core import MatchKind, MessageEnvelope, ReceiveRequest, ResolutionPath
+from repro.core.events import MatchEvent
+from repro.core.stats import BlockStats, EngineStats
+
+
+def event(kind=MatchKind.EXPECTED, **kw):
+    defaults = dict(
+        message=MessageEnvelope(source=1, tag=2, send_seq=3),
+        receive=ReceiveRequest(source=1, tag=2, handle=9),
+        receive_post_label=4,
+    )
+    defaults.update(kw)
+    return MatchEvent(kind=kind, **defaults)
+
+
+class TestMatchEvent:
+    def test_is_match(self):
+        assert event().is_match()
+        assert event(MatchKind.UNEXPECTED_DRAIN).is_match()
+        assert not event(
+            MatchKind.STORED_UNEXPECTED, receive=None, receive_post_label=None
+        ).is_match()
+
+    def test_pairing_identity(self):
+        msg_id, label = event().pairing()
+        assert msg_id == (1, 3, 0)
+        assert label == 4
+
+    def test_pairing_unmatched(self):
+        _, label = event(
+            MatchKind.STORED_UNEXPECTED, receive=None, receive_post_label=None
+        ).pairing()
+        assert label is None
+
+    def test_default_decision_order_unstamped(self):
+        assert event().decision_order == -1
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            event().kind = MatchKind.EXPECTED
+
+
+class TestBlockStats:
+    def test_defaults(self):
+        block = BlockStats()
+        assert block.messages == 0
+        assert block.thread_steps == []
+        assert block.fast_path == 0
+
+
+class TestEngineStats:
+    def make_block(self, **kw):
+        block = BlockStats(messages=4)
+        block.conflicts = kw.get("conflicts", 1)
+        block.fast_path = kw.get("fast", 1)
+        block.slow_path = kw.get("slow", 0)
+        block.optimistic_hits = kw.get("optimistic", 2)
+        block.unexpected = kw.get("unexpected", 1)
+        block.probes_walked = 10
+        block.bookings = 3
+        return block
+
+    def test_absorb_accumulates(self):
+        stats = EngineStats(keep_history=False)
+        stats.absorb(self.make_block())
+        stats.absorb(self.make_block(conflicts=2))
+        assert stats.blocks == 2
+        assert stats.messages == 8
+        assert stats.conflicts == 3
+        assert stats.expected_matches == 6  # 8 messages - 2 unexpected
+        assert stats.unexpected_stored == 2
+        assert stats.probes_walked == 20
+        assert stats.block_history == []
+
+    def test_history_kept_when_asked(self):
+        stats = EngineStats(keep_history=True)
+        block = self.make_block()
+        stats.absorb(block)
+        assert stats.block_history == [block]
+
+    def test_conflict_rate(self):
+        stats = EngineStats()
+        assert stats.conflict_rate() == 0.0
+        stats.absorb(self.make_block(conflicts=2))
+        assert stats.conflict_rate() == pytest.approx(0.5)
+
+    def test_path_mix(self):
+        stats = EngineStats()
+        stats.absorb(self.make_block(fast=1, slow=2, optimistic=1))
+        assert stats.path_mix() == {"optimistic": 1, "fast": 1, "slow": 2}
+
+
+class TestResolutionPathEnum:
+    def test_values_are_stable(self):
+        # These strings appear in reports and saved artifacts; renames
+        # are breaking changes.
+        assert ResolutionPath.OPTIMISTIC.value == "optimistic"
+        assert ResolutionPath.FAST.value == "fast"
+        assert ResolutionPath.SLOW.value == "slow"
+        assert ResolutionPath.SERIAL.value == "serial"
+        assert MatchKind.STORED_UNEXPECTED.value == "stored-unexpected"

@@ -1,0 +1,171 @@
+"""Surgical tests of the §III-D.3 conflict-resolution machinery."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EngineConfig,
+    MessageEnvelope,
+    OptimisticMatcher,
+    ReceiveRequest,
+)
+from repro.core.conflict import fast_path_eligible, fast_path_target
+from repro.core.descriptor import DescriptorTable
+from repro.core.indexes import ReceiveIndexes
+from repro.core.threadsim import RandomPolicy, ScriptedPolicy
+from repro.util.counters import SequenceLabeler
+
+
+def build_run(keys):
+    """Index a posting sequence; returns the descriptors."""
+    indexes = ReceiveIndexes(bins=8)
+    table = DescriptorTable(64, 8)
+    labeler = SequenceLabeler()
+    descriptors = []
+    for label, (source, tag) in enumerate(keys):
+        descr = table.allocate(
+            ReceiveRequest(source=source, tag=tag), label, labeler.label(source, tag)
+        )
+        indexes.insert(descr)
+        descriptors.append(descr)
+    return descriptors
+
+
+class TestFastPathTarget:
+    def test_shift_within_run(self):
+        descriptors = build_run([(0, 7)] * 5)
+        head = descriptors[0]
+        assert fast_path_target(head, 1) is descriptors[1]
+        assert fast_path_target(head, 4) is descriptors[4]
+
+    def test_offset_beyond_run_returns_none(self):
+        descriptors = build_run([(0, 7)] * 3)
+        assert fast_path_target(descriptors[0], 3) is None
+
+    def test_sequence_boundary_aborts(self):
+        # Same bucket would be required; different key = different
+        # sequence, so the shift must stop even if chained together.
+        descriptors = build_run([(0, 7), (0, 7), (0, 7)])
+        # Simulate an interleaved incompatible post by bumping the
+        # third receive's sequence id (what the host labeler would do).
+        descriptors[2].sequence_id += 1
+        assert fast_path_target(descriptors[0], 2) is None
+        assert fast_path_target(descriptors[0], 1) is descriptors[1]
+
+    def test_marked_nodes_count_as_offsets(self):
+        """Lower threads mark their targets concurrently; offsets keep
+        counting physically present nodes."""
+        descriptors = build_run([(0, 7)] * 4)
+        node = descriptors[1].node
+        node.owner.mark(node)  # thread 1 already consumed its target
+        descriptors[1].consumed = True
+        assert fast_path_target(descriptors[0], 2) is descriptors[2]
+
+    def test_offset_zero_invalid(self):
+        descriptors = build_run([(0, 7)] * 2)
+        assert fast_path_target(descriptors[0], 0) is None
+
+
+class TestFastPathEligibility:
+    def test_requires_full_booking(self):
+        descriptors = build_run([(0, 7)] * 2)
+        head = descriptors[0]
+        head.booking.set(0)
+        assert not fast_path_eligible(head, active_threads=3)
+        head.booking.set(1)
+        head.booking.set(2)
+        assert fast_path_eligible(head, active_threads=3)
+
+    def test_partial_block_uses_active_count(self):
+        descriptors = build_run([(0, 7)] * 2)
+        head = descriptors[0]
+        head.booking.set(0)
+        head.booking.set(1)
+        # Block of 8 threads but only 2 messages active.
+        assert fast_path_eligible(head, active_threads=2)
+
+
+class TestEngineSequenceHazards:
+    """End-to-end versions of the §III-D.3a hazard under many
+    schedules: the A-B-A posting pattern where the fast path must not
+    jump across the interleaved B receive."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_aba_posting_pattern(self, seed):
+        eng = OptimisticMatcher(
+            EngineConfig(
+                bins=4, block_threads=4, max_receives=64, early_booking_check=False
+            ),
+            policy=RandomPolicy(seed),
+        )
+        eng.post_receive(ReceiveRequest(source=0, tag=0))  # label 0 seq 0
+        eng.post_receive(ReceiveRequest(source=0, tag=1))  # label 1 seq 1
+        eng.post_receive(ReceiveRequest(source=0, tag=0))  # label 2 seq 2
+        eng.post_receive(ReceiveRequest(source=0, tag=0))  # label 3 seq 2
+        for seq in range(3):
+            eng.submit_message(MessageEnvelope(source=0, tag=0, send_seq=seq))
+        events = eng.process_all()
+        assert [e.receive_post_label for e in events] == [0, 2, 3]
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(script=st.lists(st.integers(0, 1000), max_size=120))
+    def test_compatible_run_any_schedule(self, script):
+        """A pure compatible run drained by a same-size burst: labels
+        must come out in order whatever the schedule does."""
+        eng = OptimisticMatcher(
+            EngineConfig(
+                bins=4, block_threads=4, max_receives=64, early_booking_check=False
+            ),
+            policy=ScriptedPolicy(script),
+        )
+        for _ in range(4):
+            eng.post_receive(ReceiveRequest(source=1, tag=9))
+        for seq in range(4):
+            eng.submit_message(MessageEnvelope(source=1, tag=9, send_seq=seq))
+        events = eng.process_all()
+        assert [e.receive_post_label for e in events] == [0, 1, 2, 3]
+        assert [e.message.send_seq for e in events] == [0, 1, 2, 3]
+
+
+class TestSlowPathCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_slow_path_without_fast(self, seed):
+        eng = OptimisticMatcher(
+            EngineConfig(
+                bins=4,
+                block_threads=4,
+                max_receives=64,
+                early_booking_check=False,
+                enable_fast_path=False,
+            ),
+            policy=RandomPolicy(seed),
+        )
+        for _ in range(8):
+            eng.post_receive(ReceiveRequest(source=0, tag=0))
+        for seq in range(8):
+            eng.submit_message(MessageEnvelope(source=0, tag=0, send_seq=seq))
+        events = eng.process_all()
+        assert [e.receive_post_label for e in events] == list(range(8))
+        assert eng.stats.fast_path == 0
+
+    def test_slow_path_rematch_after_steal(self):
+        """A thread whose candidate is consumed by a lower thread's
+        re-match must find the next live receive."""
+        eng = OptimisticMatcher(
+            EngineConfig(
+                bins=1,  # force every key into one bucket
+                block_threads=3,
+                max_receives=64,
+                early_booking_check=False,
+                enable_fast_path=False,
+            ),
+        )
+        eng.post_receive(ReceiveRequest(source=0, tag=0))
+        eng.post_receive(ReceiveRequest(source=0, tag=1))
+        eng.post_receive(ReceiveRequest(source=0, tag=0))
+        eng.submit_message(MessageEnvelope(source=0, tag=0, send_seq=0))
+        eng.submit_message(MessageEnvelope(source=0, tag=1, send_seq=0))
+        eng.submit_message(MessageEnvelope(source=0, tag=0, send_seq=1))
+        events = eng.process_all()
+        assert [e.receive_post_label for e in events] == [0, 1, 2]

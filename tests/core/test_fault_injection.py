@@ -1,0 +1,103 @@
+"""Mutation testing: the validation suite must catch planted bugs.
+
+If the oracle cross-checks and C1/C2 audits were too weak, a broken
+engine would sail through them — and the green property tests would
+prove nothing. Each test here drives a deliberately faulty engine
+variant and asserts the validation machinery *detects* the fault on at
+least one schedule from a fixed seed pool.
+"""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.core.faults import (
+    NoBarrierEngine,
+    NoConflictDetectionEngine,
+    NoSequenceGuardEngine,
+)
+from repro.core.threadsim import RandomPolicy
+from repro.matching import OptimisticAdapter, ValidationError, cross_validate
+from repro.matching.oracle import StreamOp
+
+SEEDS = range(24)
+
+
+def wc_burst(n=8):
+    """Same-key window drained by a same-key burst: the conflict case."""
+    ops = [StreamOp.post(0, 7) for _ in range(n)]
+    ops += [StreamOp.message(0, 7) for _ in range(n)]
+    return ops
+
+
+def aba_stream():
+    """The §III-D.3a interleaved-sequence hazard.
+
+    With 1 bin, the incompatible (0, 1) receive chains *physically
+    between* the (0, 0) run members; every message targets (0, 0), so
+    all block threads book the head and the fast path fires. A
+    sequence-unguarded shift walks straight onto the (0, 1) receive.
+    """
+    ops = [
+        StreamOp.post(0, 0),
+        StreamOp.post(0, 1),  # incompatible receive inside the run
+        StreamOp.post(0, 0),
+        StreamOp.post(0, 0),
+        StreamOp.post(0, 0),
+    ]
+    ops += [StreamOp.message(0, 0) for _ in range(4)]
+    return ops
+
+
+def adapter_with(engine_cls, seed, **config):
+    params = dict(
+        bins=1, block_threads=4, max_receives=256, early_booking_check=False
+    )
+    params.update(config)
+    adapter = OptimisticAdapter(EngineConfig(**params), policy=RandomPolicy(seed))
+    # Swap the engine for the faulty variant, keeping the config.
+    adapter.engine = engine_cls(
+        EngineConfig(**params), policy=RandomPolicy(seed)
+    )
+    return adapter
+
+
+def detects_fault(engine_cls, ops, **config) -> bool:
+    """Whether validation flags the faulty engine on any seed."""
+    for seed in SEEDS:
+        try:
+            cross_validate(adapter_with(engine_cls, seed, **config), ops)
+        except (ValidationError, AssertionError):
+            return True
+    return False
+
+
+class TestFaultsAreDetected:
+    def test_no_barrier_breaks_c2(self):
+        assert detects_fault(NoBarrierEngine, wc_burst())
+
+    def test_no_conflict_detection_breaks_ordering(self):
+        assert detects_fault(NoConflictDetectionEngine, wc_burst())
+
+    def test_no_sequence_guard_breaks_c1(self):
+        assert detects_fault(
+            NoSequenceGuardEngine, aba_stream(), enable_fast_path=True
+        )
+
+
+class TestCorrectEngineSurvivesTheSameGauntlet:
+    """Control arm: the real engine passes every seed on the exact
+    streams that catch the mutants."""
+
+    @pytest.mark.parametrize("ops", [wc_burst(), aba_stream()], ids=["wc", "aba"])
+    def test_real_engine_clean(self, ops):
+        for seed in SEEDS:
+            adapter = OptimisticAdapter(
+                EngineConfig(
+                    bins=1,
+                    block_threads=4,
+                    max_receives=256,
+                    early_booking_check=False,
+                ),
+                policy=RandomPolicy(seed),
+            )
+            cross_validate(adapter, ops)

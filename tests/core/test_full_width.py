@@ -1,0 +1,60 @@
+"""Full-hardware-width tests: blocks at the BF3's 256 threads.
+
+The prototype uses 32 threads ("limited by the bookkeeping bitmap
+size", §VI); the simulation carries no such word-size limit, so the
+engine is exercised at the DPA's full 256 hardware threads to show
+the protocol itself scales with the bitmap.
+"""
+
+from repro.core import (
+    EngineConfig,
+    MessageEnvelope,
+    OptimisticMatcher,
+    ReceiveRequest,
+)
+from repro.dpa import BF3_THREADS, DpaMachine
+
+
+class TestFullWidthBlocks:
+    def test_256_thread_clean_block(self):
+        engine = OptimisticMatcher(
+            EngineConfig(bins=1024, block_threads=BF3_THREADS, max_receives=512)
+        )
+        for i in range(BF3_THREADS):
+            engine.post_receive(ReceiveRequest(source=0, tag=i))
+        for i in range(BF3_THREADS):
+            engine.submit_message(MessageEnvelope(source=0, tag=i, send_seq=i))
+        events = engine.process_all()
+        assert len(events) == BF3_THREADS
+        assert engine.stats.blocks == 1
+        assert engine.stats.conflicts == 0
+
+    def test_256_thread_full_conflict_block(self):
+        """Worst case: 256 threads chasing one compatible run."""
+        engine = OptimisticMatcher(
+            EngineConfig(
+                bins=1024,
+                block_threads=BF3_THREADS,
+                max_receives=512,
+                early_booking_check=False,
+            )
+        )
+        for _ in range(BF3_THREADS):
+            engine.post_receive(ReceiveRequest(source=0, tag=7))
+        for i in range(BF3_THREADS):
+            engine.submit_message(MessageEnvelope(source=0, tag=7, send_seq=i))
+        events = engine.process_all()
+        labels = [event.receive_post_label for event in events]
+        assert labels == list(range(BF3_THREADS))
+        # Fast path resolves the conflicted tail.
+        assert engine.stats.fast_path > 0
+
+    def test_machine_accepts_full_width(self):
+        machine = DpaMachine(
+            EngineConfig(bins=1024, block_threads=BF3_THREADS, max_receives=512)
+        )
+        for i in range(BF3_THREADS):
+            machine.post_receive(ReceiveRequest(source=0, tag=i))
+            machine.deliver(MessageEnvelope(source=0, tag=i, send_seq=i))
+        machine.run()
+        assert machine.report.messages == BF3_THREADS

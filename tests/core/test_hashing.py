@@ -1,0 +1,76 @@
+"""Tests for the hash family and inline hashes."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.envelope import MessageEnvelope
+from repro.core.hashing import (
+    bucket_of,
+    compute_inline_hashes,
+    hash_src,
+    hash_src_tag,
+    hash_tag,
+    message_hashes,
+    mix64,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_fits_64_bits(self):
+        assert 0 <= mix64((1 << 80) + 17) < (1 << 64)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_range(self, x):
+        assert 0 <= mix64(x) < (1 << 64)
+
+
+class TestKeySeparation:
+    def test_src_tag_order_matters(self):
+        assert hash_src_tag(1, 2) != hash_src_tag(2, 1)
+
+    def test_domains_are_separated(self):
+        # hash(tag=x) must not equal hash(src=x): the two wildcard
+        # tables would otherwise alias each other's keys.
+        collisions = sum(hash_tag(x) == hash_src(x) for x in range(1000))
+        assert collisions == 0
+
+    def test_inline_hashes_match_receiver_side(self):
+        ih = compute_inline_hashes(3, 7)
+        assert ih.src_tag == hash_src_tag(3, 7)
+        assert ih.tag_only == hash_tag(7)
+        assert ih.src_only == hash_src(3)
+
+
+class TestBucketDistribution:
+    def test_clustered_keys_spread(self):
+        """MPI ranks/tags are small dense ints; the mixer must spread
+        them across bins (the whole point of binning, Fig. 7)."""
+        bins = 128
+        counts = np.zeros(bins, dtype=int)
+        for src in range(64):
+            for tag in range(16):
+                counts[bucket_of(hash_src_tag(src, tag), bins)] += 1
+        # 1024 keys over 128 bins: expect mean 8, no pathological bin.
+        assert counts.max() <= 8 * 4
+        assert (counts == 0).sum() <= bins // 8
+
+    def test_bucket_of_rejects_nonpositive_bins(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            bucket_of(123, 0)
+
+
+class TestMessageHashes:
+    def test_uses_inline_when_present(self):
+        ih = compute_inline_hashes(1, 2)
+        msg = MessageEnvelope(source=1, tag=2, inline_hashes=ih)
+        assert message_hashes(msg) is ih
+
+    def test_computes_when_absent(self):
+        msg = MessageEnvelope(source=1, tag=2)
+        assert message_hashes(msg) == compute_inline_hashes(1, 2)

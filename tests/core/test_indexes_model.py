@@ -1,0 +1,101 @@
+"""Model-based property tests: the unexpected-message indexes against
+a brute-force reference model."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.indexes import UnexpectedIndexes, UnexpectedMessage
+
+COMMON = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class _ListModel:
+    """Reference semantics: a plain arrival-ordered list."""
+
+    def __init__(self):
+        self.messages = []
+
+    def insert(self, envelope):
+        self.messages.append(envelope)
+
+    def search(self, request):
+        for envelope in self.messages:
+            if request.matches(envelope):
+                return envelope
+        return None
+
+    def remove(self, envelope):
+        self.messages.remove(envelope)
+
+
+#: ops: (is_insert, source, tag, wildcard_src, wildcard_tag)
+ops_strategy = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(0, 2),
+        st.integers(0, 2),
+        st.booleans(),
+        st.booleans(),
+    ),
+    max_size=80,
+)
+
+
+class TestUnexpectedIndexesModel:
+    @COMMON
+    @given(ops=ops_strategy, bins=st.sampled_from([1, 2, 8, 64]))
+    def test_matches_reference_model(self, ops, bins):
+        indexes = UnexpectedIndexes(bins)
+        model = _ListModel()
+        arrival = 0
+        live: dict[int, UnexpectedMessage] = {}
+        for is_insert, source, tag, wc_src, wc_tag in ops:
+            if is_insert:
+                envelope = MessageEnvelope(source=source, tag=tag, arrival=arrival)
+                arrival += 1
+                um = UnexpectedMessage(envelope=envelope)
+                indexes.insert(um)
+                model.insert(envelope)
+                live[envelope.arrival] = um
+            else:
+                request = ReceiveRequest(
+                    source=ANY_SOURCE if wc_src else source,
+                    tag=ANY_TAG if wc_tag else tag,
+                )
+                found = indexes.search(request)
+                expected = model.search(request)
+                if expected is None:
+                    assert found is None
+                else:
+                    assert found is not None
+                    assert found.envelope == expected
+                    indexes.remove(found)
+                    model.remove(expected)
+                    del live[found.envelope.arrival]
+            assert len(indexes) == len(model.messages)
+
+    @COMMON
+    @given(ops=ops_strategy)
+    def test_structure_counts_stay_consistent(self, ops):
+        """Every message is in all four structures until removed."""
+        indexes = UnexpectedIndexes(8)
+        count = 0
+        for is_insert, source, tag, _w1, _w2 in ops:
+            if is_insert:
+                indexes.insert(
+                    UnexpectedMessage(
+                        envelope=MessageEnvelope(source=source, tag=tag, arrival=count)
+                    )
+                )
+                count += 1
+            elif count > 0:
+                found = indexes.search(ReceiveRequest())  # catch-all
+                if found is not None:
+                    indexes.remove(found)
+                    count -= 1
+            assert indexes.no_wildcard.total_live() == count
+            assert indexes.source_wildcard.total_live() == count
+            assert indexes.tag_wildcard.total_live() == count
+            assert len(indexes.both_wildcard) == count

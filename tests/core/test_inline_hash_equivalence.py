@@ -1,0 +1,79 @@
+"""Property: inline hashes are a pure optimization — decisions are
+identical with and without them, only the hash-compute count differs."""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EngineConfig, MessageEnvelope, OptimisticMatcher, ReceiveRequest
+from repro.core.hashing import compute_inline_hashes
+
+COMMON = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+ops = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 3), st.integers(0, 3)),
+    max_size=60,
+)
+
+
+def run(op_list, inline: bool):
+    engine = OptimisticMatcher(
+        EngineConfig(bins=8, block_threads=4, max_receives=4096)
+    )
+    handle = 0
+    seq = 0
+    events = []
+    for is_post, source, tag in op_list:
+        if is_post:
+            engine.post_receive(ReceiveRequest(source=source, tag=tag, handle=handle))
+            handle += 1
+        else:
+            msg = MessageEnvelope(
+                source=source,
+                tag=tag,
+                send_seq=seq,
+                inline_hashes=compute_inline_hashes(source, tag) if inline else None,
+            )
+            seq += 1
+            engine.submit_message(msg)
+    events.extend(engine.process_all())
+    return engine, events
+
+
+def strip_hashes(event):
+    return dataclasses.replace(
+        event, message=dataclasses.replace(event.message, inline_hashes=None)
+    )
+
+
+class TestInlineHashEquivalence:
+    @COMMON
+    @given(op_list=ops)
+    def test_identical_decisions(self, op_list):
+        engine_inline, events_inline = run(op_list, inline=True)
+        engine_plain, events_plain = run(op_list, inline=False)
+        assert [strip_hashes(e) for e in events_inline] == events_plain
+        assert engine_inline.posted_receives == engine_plain.posted_receives
+        assert engine_inline.unexpected_count == engine_plain.unexpected_count
+
+    @COMMON
+    @given(op_list=ops)
+    def test_inline_never_computes_more_hashes(self, op_list):
+        engine_inline, _ = run(op_list, inline=True)
+        engine_plain, _ = run(op_list, inline=False)
+        assert engine_inline.stats.hashes_computed <= engine_plain.stats.hashes_computed
+
+    def test_disabled_by_config_falls_back_to_compute(self):
+        engine = OptimisticMatcher(
+            EngineConfig(
+                bins=8, block_threads=4, max_receives=64, use_inline_hashes=False
+            )
+        )
+        engine.post_receive(ReceiveRequest(source=0, tag=0))
+        engine.submit_message(
+            MessageEnvelope(source=0, tag=0, inline_hashes=compute_inline_hashes(0, 0))
+        )
+        engine.process_all()
+        assert engine.stats.hashes_computed > 0

@@ -1,0 +1,99 @@
+"""Tests for the multi-communicator DPA resource manager (§III-E)."""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.core.manager import OffloadManager
+
+
+def cfg(bins=128, receives=1024):
+    return EngineConfig(bins=bins, block_threads=8, max_receives=receives)
+
+
+class TestFootprint:
+    def test_footprint_arithmetic(self):
+        # 2 index sets x 3 tables x bins x 20 B + descriptors x 64 B.
+        config = cfg(bins=128, receives=1024)
+        expected = 2 * 3 * 128 * 20 + 1024 * 64
+        assert OffloadManager.footprint(config) == expected
+
+    def test_footprint_scales_with_bins(self):
+        assert OffloadManager.footprint(cfg(bins=256)) > OffloadManager.footprint(
+            cfg(bins=64)
+        )
+
+
+class TestAllocation:
+    def test_allocates_within_budget(self):
+        manager = OffloadManager(cfg(), budget_bytes=1 << 20)
+        allocation = manager.comm_create(0)
+        assert allocation.offloaded
+        assert allocation.engine is not None
+        assert allocation.engine.comm == 0
+        assert manager.reserved_bytes == allocation.bytes_reserved > 0
+
+    def test_falls_back_when_budget_exhausted(self):
+        footprint = OffloadManager.footprint(cfg())
+        manager = OffloadManager(cfg(), budget_bytes=2 * footprint)
+        first = manager.comm_create(0)
+        second = manager.comm_create(1)
+        third = manager.comm_create(2)  # no room left
+        assert first.offloaded and second.offloaded
+        assert third.software
+        assert third.engine is None
+        assert manager.offloaded_comms() == [0, 1]
+
+    def test_info_hint_disables_offload(self):
+        manager = OffloadManager(cfg(), budget_bytes=1 << 30)
+        allocation = manager.comm_create(0, allow_offload=False)
+        assert allocation.software
+
+    def test_free_returns_budget(self):
+        footprint = OffloadManager.footprint(cfg())
+        manager = OffloadManager(cfg(), budget_bytes=footprint)
+        manager.comm_create(0)
+        assert manager.comm_create(1).software  # full
+        manager.comm_free(0)
+        assert manager.reserved_bytes == 0
+        assert manager.comm_create(2).offloaded  # space again
+
+    def test_duplicate_comm_rejected(self):
+        manager = OffloadManager(cfg())
+        manager.comm_create(0)
+        with pytest.raises(ValueError):
+            manager.comm_create(0)
+
+    def test_free_unknown_comm_rejected(self):
+        with pytest.raises(KeyError):
+            OffloadManager(cfg()).comm_free(7)
+
+    def test_per_comm_config_override(self):
+        manager = OffloadManager(cfg(), budget_bytes=1 << 30)
+        small = manager.comm_create(0, config=cfg(bins=16, receives=64))
+        large = manager.comm_create(1, config=cfg(bins=512, receives=8192))
+        assert small.bytes_reserved < large.bytes_reserved
+
+    def test_utilization(self):
+        footprint = OffloadManager.footprint(cfg())
+        manager = OffloadManager(cfg(), budget_bytes=4 * footprint)
+        manager.comm_create(0)
+        assert manager.utilization() == pytest.approx(0.25)
+
+
+class TestEnginesAreIndependent:
+    def test_comm_isolation(self):
+        from repro.core import MessageEnvelope, ReceiveRequest
+
+        manager = OffloadManager(cfg(), budget_bytes=1 << 30)
+        a = manager.comm_create(0).engine
+        b = manager.comm_create(1).engine
+        a.post_receive(ReceiveRequest(source=0, tag=1, comm=0))
+        b.submit_message(MessageEnvelope(source=0, tag=1, comm=1))
+        events = b.process_all()
+        # Communicator 1's message must not see communicator 0's receive.
+        assert events[0].kind.value == "stored-unexpected"
+        assert a.posted_receives == 1
+
+    def test_default_budget_is_l3(self):
+        manager = OffloadManager(cfg())
+        assert manager.budget_bytes == 3 * 1024 * 1024

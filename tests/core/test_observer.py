@@ -1,0 +1,51 @@
+"""Tests for the engine observability hook."""
+
+from repro.core import EngineConfig, MessageEnvelope, OptimisticMatcher, ReceiveRequest
+
+
+def build(log, **cfg):
+    params = dict(bins=8, block_threads=4, max_receives=64)
+    params.update(cfg)
+    return OptimisticMatcher(
+        EngineConfig(**params), observer=lambda event, data: log.append((event, data))
+    )
+
+
+class TestObserver:
+    def test_consume_events_in_decision_order(self):
+        log = []
+        engine = build(log)
+        for i in range(4):
+            engine.post_receive(ReceiveRequest(source=0, tag=i))
+        for i in range(4):
+            engine.submit_message(MessageEnvelope(source=0, tag=i, send_seq=i))
+        engine.process_all()
+        consumes = [data for event, data in log if event == "consume"]
+        assert len(consumes) == 4
+        assert all(data["path"] == "optimistic" for data in consumes)
+
+    def test_block_end_summarizes(self):
+        log = []
+        engine = build(log, early_booking_check=False)
+        for _ in range(4):
+            engine.post_receive(ReceiveRequest(source=0, tag=7))
+        for i in range(4):
+            engine.submit_message(MessageEnvelope(source=0, tag=7, send_seq=i))
+        engine.process_all()
+        (block_end,) = [data for event, data in log if event == "block_end"]
+        assert block_end["messages"] == 4
+        assert block_end["conflicts"] > 0
+        assert block_end["fast"] + block_end["slow"] > 0
+
+    def test_unexpected_events(self):
+        log = []
+        engine = build(log)
+        engine.submit_message(MessageEnvelope(source=3, tag=9))
+        engine.process_all()
+        (unexpected,) = [data for event, data in log if event == "unexpected"]
+        assert unexpected == {"thread": 0, "source": 3, "tag": 9}
+
+    def test_no_observer_no_cost(self):
+        engine = OptimisticMatcher(EngineConfig(bins=8, block_threads=4, max_receives=64))
+        engine.submit_message(MessageEnvelope(source=0, tag=0))
+        engine.process_all()  # must simply not raise

@@ -1,0 +1,51 @@
+"""Tests for the §IV-A strided completion-polling discipline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dpa import StridedPoller
+
+
+class TestStridedPoller:
+    def test_queue_depth_must_cover_threads(self):
+        # §IV-A: "the completion queue needs to have a depth greater
+        # or equal to N".
+        with pytest.raises(ValueError, match="depth"):
+            StridedPoller(threads=8, queue_depth=4)
+
+    def test_thread_for_entry(self):
+        p = StridedPoller(threads=4, queue_depth=16)
+        assert [p.thread_for_entry(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_entries_for_thread(self):
+        p = StridedPoller(threads=4, queue_depth=16)
+        assert p.entries_for_thread(1, total=10) == [1, 5, 9]
+
+    def test_entries_for_thread_bounds(self):
+        p = StridedPoller(threads=4, queue_depth=16)
+        with pytest.raises(IndexError):
+            p.entries_for_thread(4, total=10)
+
+    def test_batches_preserve_order(self):
+        p = StridedPoller(threads=4, queue_depth=16)
+        batches = list(p.batches(list(range(10))))
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert p.consumed == 10
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_assignment_is_partition(self, threads, total):
+        """Every entry handled by exactly one thread, in stride order."""
+        p = StridedPoller(threads=threads, queue_depth=threads)
+        seen = sorted(
+            entry
+            for tid in range(threads)
+            for entry in p.entries_for_thread(tid, total)
+        )
+        assert seen == list(range(total))
+        for tid in range(threads):
+            for entry in p.entries_for_thread(tid, total):
+                assert p.thread_for_entry(entry) == tid

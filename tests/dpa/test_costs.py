@@ -1,0 +1,68 @@
+"""Tests for the cycle-cost models."""
+
+import pytest
+
+from repro.core.stats import BlockStats
+from repro.dpa.costs import DpaCostModel, HostCostModel, WireModel
+
+
+def block(messages=4, steps=(10, 10, 10, 10), **kw):
+    b = BlockStats(messages=messages, thread_steps=list(steps))
+    for key, value in kw.items():
+        setattr(b, key, value)
+    return b
+
+
+class TestDpaCostModel:
+    def test_empty_block_is_free(self):
+        assert DpaCostModel().block_cycles(BlockStats(), cores=16) == 0.0
+
+    def test_span_bounds_parallel_time(self):
+        model = DpaCostModel()
+        balanced = model.block_cycles(block(steps=(10, 10, 10, 10)), cores=16)
+        skewed = model.block_cycles(block(steps=(37, 1, 1, 1)), cores=16)
+        assert skewed > balanced  # critical path dominates
+
+    def test_work_bounds_with_few_cores(self):
+        model = DpaCostModel()
+        many = model.block_cycles(block(steps=(10,) * 4), cores=16)
+        one = model.block_cycles(block(steps=(10,) * 4), cores=1)
+        assert one > many
+
+    def test_conflict_work_costs_cycles(self):
+        model = DpaCostModel()
+        clean = model.block_cycles(block(), cores=16)
+        conflicted = model.block_cycles(block(slow_path=3, wait_polls=50), cores=16)
+        assert conflicted > clean
+
+    def test_inline_hash_saves_cycles(self):
+        model = DpaCostModel()
+        with_hash = model.block_cycles(block(hashes_computed=12), cores=16)
+        without = model.block_cycles(block(hashes_computed=0), cores=16)
+        assert with_hash > without
+
+    def test_cycles_to_seconds(self):
+        model = DpaCostModel(clock_ghz=2.0)
+        assert model.cycles_to_seconds(2e9) == pytest.approx(1.0)
+
+
+class TestHostCostModel:
+    def test_walk_scales_cost(self):
+        model = HostCostModel()
+        short = model.matching_cycles(messages=100, walked=100)
+        long = model.matching_cycles(messages=100, walked=10_000)
+        assert long > short
+
+    def test_per_message_floor(self):
+        model = HostCostModel()
+        assert model.matching_cycles(messages=10, walked=0) == 10 * model.per_message_overhead
+
+
+class TestWireModel:
+    def test_sequence_time_scales_with_k(self):
+        wire = WireModel()
+        assert wire.sequence_seconds(200) > wire.sequence_seconds(100)
+
+    def test_latency_paid_twice(self):
+        wire = WireModel(latency_s=1e-6, per_message_s=0.0)
+        assert wire.sequence_seconds(100) == pytest.approx(2e-6)

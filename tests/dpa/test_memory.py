@@ -1,0 +1,46 @@
+"""Tests for the §III-E memory-footprint model — the paper's own
+arithmetic is the expected output."""
+
+import pytest
+
+from repro.dpa.memory import BYTES_PER_BIN, INDEX_TABLES, MemoryModel
+
+
+class TestPaperNumbers:
+    def test_bin_entry_is_20_bytes(self):
+        # 4 B remove lock + 8 B head + 8 B tail.
+        assert BYTES_PER_BIN == 20
+
+    def test_128_bins_cost_7_5_kib(self):
+        model = MemoryModel(bins=128, max_receives=1)
+        assert model.bin_table_bytes() == pytest.approx(7.5 * 1024)
+        assert INDEX_TABLES == 3
+
+    def test_8k_receives_about_520_kib(self):
+        model = MemoryModel(bins=128, max_receives=8192)
+        total_kib = model.total_bytes() / 1024
+        # Paper: "about 520 KiB" (512 KiB descriptors + 7.5 KiB bins).
+        assert 515 <= total_kib <= 525
+
+    def test_8k_receives_fit_caches(self):
+        model = MemoryModel(bins=128, max_receives=8192)
+        assert model.fits_l2()
+        assert model.fits_l3()
+        assert not model.requires_fallback()
+
+
+class TestFallbackBoundary:
+    def test_oversized_table_requires_fallback(self):
+        model = MemoryModel(bins=128, max_receives=64 * 1024)
+        assert model.total_bytes() > model.l3_bytes
+        assert model.requires_fallback()
+
+    def test_summary_keys(self):
+        summary = MemoryModel(bins=128, max_receives=8192).summary()
+        assert summary["fits_l2"] is True
+        assert summary["total_kib"] == pytest.approx(519.5, abs=1.0)
+
+    def test_footprint_monotone_in_bins(self):
+        small = MemoryModel(bins=32, max_receives=1024).total_bytes()
+        large = MemoryModel(bins=256, max_receives=1024).total_bytes()
+        assert large > small

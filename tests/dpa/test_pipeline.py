@@ -1,0 +1,75 @@
+"""Tests for the assembled offloaded endpoint."""
+
+import pytest
+
+from repro.core import EngineConfig, ReceiveRequest
+from repro.dpa.pipeline import OffloadedEndpoint
+from repro.rdma import QueuePair, RdmaSender, Wire
+
+
+def build(config=None):
+    wire = Wire("tx", "rx")
+    tx = QueuePair(wire, "tx")
+    rx = QueuePair(wire, "rx")
+    sender = RdmaSender(tx, rank=0, eager_threshold=128)
+    endpoint = OffloadedEndpoint(
+        rx,
+        config
+        if config is not None
+        else EngineConfig(bins=64, block_threads=8, max_receives=256),
+    )
+    return sender, endpoint, tx
+
+
+class TestEndpoint:
+    def test_end_to_end_delivery_with_accounting(self):
+        sender, endpoint, tx = build()
+        for i in range(16):
+            endpoint.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+        for i in range(16):
+            sender.send(tag=i, payload=bytes([i]) * 32)
+        endpoint.progress()
+        assert len(endpoint.completed) == 16
+        assert endpoint.dpa_cycles > 0
+        assert endpoint.cycles_per_message() > 0
+        assert endpoint.dpa_seconds > 0
+
+    def test_rendezvous_through_endpoint(self):
+        sender, endpoint, tx = build()
+        endpoint.post_receive(ReceiveRequest(source=0, tag=1, handle=1))
+        sender.send(tag=1, payload=b"big" * 1000)
+        endpoint.progress()
+        tx.process_inbound()  # serve the RDMA read
+        endpoint.progress()
+        (delivery,) = endpoint.completed
+        assert delivery.protocol == "rndv"
+        assert delivery.payload == b"big" * 1000
+
+    def test_unexpected_counted(self):
+        sender, endpoint, tx = build()
+        sender.send(tag=9, payload=b"x")
+        endpoint.progress()
+        assert endpoint.unexpected_count == 1
+        assert endpoint.completed == []
+
+    def test_oversized_configuration_rejected_at_creation(self):
+        """§III-E: if the DPA cannot hold the structures, the
+        communicator must be created in software — the endpoint
+        refuses rather than silently thrashing."""
+        wire = Wire("tx", "rx")
+        rx = QueuePair(wire, "rx")
+        with pytest.raises(ValueError, match="software"):
+            OffloadedEndpoint(
+                rx, EngineConfig(bins=128, block_threads=8, max_receives=1 << 17)
+            )
+
+    def test_cycles_accumulate_across_progress_calls(self):
+        sender, endpoint, tx = build()
+        for i in range(8):
+            endpoint.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+        sender.send(tag=0, payload=b"a")
+        endpoint.progress()
+        first = endpoint.dpa_cycles
+        sender.send(tag=1, payload=b"b")
+        endpoint.progress()
+        assert endpoint.dpa_cycles > first

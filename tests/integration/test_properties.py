@@ -1,0 +1,128 @@
+"""Cross-module property tests."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analyzer import analyze
+from repro.core import ANY_SOURCE, ANY_TAG, EngineConfig
+from repro.matching import ListMatcher
+from repro.mpisim import MpiSim
+from repro.rdma import QueuePair, RdmaReceiver, RdmaSender, Wire, pump
+from repro.core import OptimisticMatcher, ReceiveRequest
+from repro.traces.model import OpKind, RankTrace, Trace, TraceOp
+
+COMMON = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+#: One random mpisim op: (is_send, src, dst, tag, wildcard_src, wildcard_tag)
+sim_ops = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.integers(0, 2),
+        st.booleans(),
+        st.booleans(),
+    ),
+    max_size=50,
+)
+
+
+def run_sim(sim: MpiSim, ops) -> dict[int, bytes | None]:
+    requests = {}
+    for i, (is_send, src, dst, tag, wc_src, wc_tag) in enumerate(ops):
+        if is_send:
+            sim.isend(src, dst, tag, f"p{i}".encode())
+        else:
+            requests[i] = sim.irecv(
+                dst,
+                source=ANY_SOURCE if wc_src else src,
+                tag=ANY_TAG if wc_tag else tag,
+            )
+    sim.progress()
+    return {i: (req.payload if req.completed else None) for i, req in requests.items()}
+
+
+class TestRuntimeBackendEquivalence:
+    @COMMON
+    @given(ops=sim_ops)
+    def test_optimistic_equals_list_backend(self, ops):
+        """Whatever the program, the offloaded runtime delivers exactly
+        what the software runtime delivers."""
+        optimistic = MpiSim(
+            4, config=EngineConfig(bins=4, block_threads=4, max_receives=4096)
+        )
+        software = MpiSim(4, matcher_factory=lambda cfg: ListMatcher())
+        assert run_sim(optimistic, ops) == run_sim(software, ops)
+
+
+class TestProtocolPayloadIntegrity:
+    @COMMON
+    @given(
+        payloads=st.lists(st.binary(max_size=3000), min_size=1, max_size=25),
+        threshold=st.sampled_from([0, 64, 1024]),
+    )
+    def test_all_payloads_survive_the_link(self, payloads, threshold):
+        wire = Wire("tx", "rx")
+        tx = QueuePair(wire, "tx")
+        rx = QueuePair(wire, "rx")
+        sender = RdmaSender(tx, rank=0, eager_threshold=threshold)
+        matcher = OptimisticMatcher(
+            EngineConfig(bins=32, block_threads=4, max_receives=4096)
+        )
+        receiver = RdmaReceiver(rx, matcher)
+        for i in range(len(payloads)):
+            receiver.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+        for i, payload in enumerate(payloads):
+            sender.send(tag=i, payload=payload)
+        pump(receiver, tx, max_rounds=128)
+        received = {d.handle: d.payload for d in receiver.completed}
+        assert received == dict(enumerate(payloads))
+
+
+class TestAnalyzerConservation:
+    @COMMON
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 2), st.integers(0, 2)),
+            max_size=60,
+        )
+    )
+    def test_message_conservation(self, ops):
+        """Analyzer invariant: every send is matched, drained, or still
+        stored unexpected; every post is drained-into, matched, or
+        still live."""
+        rank0_ops = []
+        rank1_ops = []
+        time = 0.0
+        for is_send, _src, tag in ops:
+            time += 1.0
+            if is_send:
+                rank0_ops.append(
+                    TraceOp(kind=OpKind.ISEND, peer=1, tag=tag, walltime=time)
+                )
+            else:
+                rank1_ops.append(
+                    TraceOp(kind=OpKind.IRECV, peer=0, tag=tag, walltime=time)
+                )
+        rank1_ops.append(TraceOp(kind=OpKind.WAITALL, size=0, walltime=time + 1))
+        trace = Trace(
+            name="prop",
+            nprocs=2,
+            ranks=[RankTrace(0, rank0_ops), RankTrace(1, rank1_ops)],
+        )
+        analysis = analyze(trace, bins=4)
+        sends = len(rank0_ops)
+        posts = len(rank1_ops) - 1
+        matched_from_flight = (
+            sends - analysis.depth.unexpected_total
+        )  # matched a live posted receive on arrival
+        # Receives: drained + matched + leftover == posts.
+        leftover_receives = posts - analysis.depth.drained_total - matched_from_flight
+        assert leftover_receives >= 0
+        # Messages: matched + drained + still-unexpected == sends.
+        still_unexpected = (
+            analysis.depth.unexpected_total - analysis.depth.drained_total
+        )
+        assert still_unexpected >= 0
+        assert matched_from_flight + analysis.depth.drained_total + still_unexpected == sends

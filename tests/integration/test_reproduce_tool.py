@@ -1,0 +1,49 @@
+"""Tests for the one-shot reproduction report tool."""
+
+import json
+
+from repro.tools.reproduce import main, reproduce_all, write_report
+
+
+class TestReproduceAll:
+    def test_results_tree_complete(self, tmp_path):
+        results = reproduce_all(rounds=2, repetitions=2)
+        assert set(results) >= {
+            "figure6",
+            "figure7",
+            "figure8",
+            "table2",
+            "memory",
+            "replay",
+        }
+        assert len(results["figure6"]["call_mix"]) == 16
+        assert "1" in results["figure7"]["average_depth"]
+        assert "32" in results["figure7"]["reductions_pct"]
+        assert "RDMA-CPU" in results["figure8"]["rates_mmsg_s"]
+
+    def test_shape_invariants_in_results(self):
+        results = reproduce_all(rounds=2, repetitions=2)
+        rates = results["figure8"]["rates_mmsg_s"]
+        assert rates["RDMA-CPU"] > rates["MPI-CPU"]
+        assert rates["Optimistic-DPA NC"] > rates["Optimistic-DPA WC-SP"]
+        host = results["figure8"]["host_cycles_per_msg"]
+        assert host["Optimistic-DPA NC"] == 0.0
+        reductions = results["figure7"]["reductions_pct"]
+        assert reductions["32"] > 50.0
+
+    def test_write_report(self, tmp_path):
+        results = reproduce_all(rounds=2, repetitions=2)
+        md_path, json_path = write_report(results, tmp_path / "report")
+        assert md_path.exists() and json_path.exists()
+        report = md_path.read_text()
+        assert "## Figure 7" in report
+        assert "## Figure 8" in report
+        assert "conflict rate" in report
+        parsed = json.loads(json_path.read_text())
+        assert parsed["memory"]["fits_l2"] is True
+
+    def test_cli_main(self, tmp_path, capsys):
+        assert main(["--out", str(tmp_path / "r"), "--rounds", "2",
+                     "--repetitions", "2"]) == 0
+        assert (tmp_path / "r" / "REPORT.md").exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""Soak tests: sustained mixed workloads through the full stack.
+
+Long randomized runs shake out state-accumulation bugs that short
+property tests miss: slot leaks in the descriptor table, bounce
+buffers never released, lazy-removal marks accumulating unswept,
+counters drifting from structure contents.
+"""
+
+import pytest
+
+from repro.core import (
+    ANY_SOURCE,
+    ANY_TAG,
+    EngineConfig,
+    MessageEnvelope,
+    OptimisticMatcher,
+    ReceiveRequest,
+)
+from repro.core.threadsim import RandomPolicy
+from repro.util.rng import make_rng
+
+
+class TestEngineSoak:
+    def test_sustained_mixed_traffic(self):
+        """5k operations of interleaved posts/messages with wildcards;
+        verify conservation and resource hygiene at every checkpoint."""
+        engine = OptimisticMatcher(
+            EngineConfig(bins=32, block_threads=8, max_receives=512),
+            policy=RandomPolicy(99),
+        )
+        rng = make_rng(42)
+        posted = 0
+        sent = 0
+        send_seq = 0
+        for step in range(5000):
+            choice = rng.random()
+            if choice < 0.45 and engine.table.in_use < 500:
+                source = int(rng.integers(4))
+                tag = int(rng.integers(4))
+                if rng.random() < 0.15:
+                    source = ANY_SOURCE
+                if rng.random() < 0.15:
+                    tag = ANY_TAG
+                engine.post_receive(ReceiveRequest(source=source, tag=tag))
+                posted += 1
+            elif choice < 0.9:
+                engine.submit_message(
+                    MessageEnvelope(
+                        source=int(rng.integers(4)),
+                        tag=int(rng.integers(4)),
+                        send_seq=send_seq,
+                    )
+                )
+                send_seq += 1
+                sent += 1
+            else:
+                engine.process_all()
+            if step % 500 == 499:
+                engine.process_all()
+                # Conservation: everything posted/sent is accounted.
+                stats = engine.stats
+                assert (
+                    stats.expected_matches
+                    + stats.receives_matched_from_unexpected
+                    + engine.posted_receives
+                    == posted
+                )
+                assert (
+                    stats.expected_matches
+                    + stats.receives_matched_from_unexpected
+                    + engine.unexpected_count
+                    == sent
+                )
+                # Descriptor slots match live receives.
+                assert engine.table.in_use == engine.posted_receives
+        engine.process_all()
+        assert engine.stats.messages == sent
+
+    def test_descriptor_slots_never_leak(self):
+        """Tight table, massive churn: every slot must recycle."""
+        engine = OptimisticMatcher(
+            EngineConfig(bins=8, block_threads=4, max_receives=16)
+        )
+        for round_ in range(500):
+            for i in range(16):
+                engine.post_receive(ReceiveRequest(source=0, tag=i))
+            for i in range(16):
+                engine.submit_message(
+                    MessageEnvelope(source=0, tag=i, send_seq=round_ * 16 + i)
+                )
+            engine.process_all()
+            assert engine.table.in_use == 0
+        assert engine.stats.expected_matches == 500 * 16
+
+    def test_lazy_marks_eventually_swept(self):
+        engine = OptimisticMatcher(
+            EngineConfig(bins=4, block_threads=4, max_receives=256, lazy_removal=True)
+        )
+        for i in range(1000):
+            engine.post_receive(ReceiveRequest(source=0, tag=i % 8))
+            engine.submit_message(MessageEnvelope(source=0, tag=i % 8, send_seq=i))
+            engine.process_all()
+        physical = sum(
+            bucket.physical_length for bucket in engine.indexes.no_wildcard
+        )
+        # Marks are bounded by the sweep threshold, not growing with
+        # the 1000 consumed receives.
+        assert physical <= 4 * engine.config.block_threads + 8
+
+
+class TestRuntimeSoak:
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_many_rank_random_traffic(self, seed):
+        from repro.matching import ListMatcher
+        from repro.mpisim import MpiSim
+
+        rng = make_rng(seed)
+        offloaded = MpiSim(
+            8, config=EngineConfig(bins=16, block_threads=4, max_receives=4096)
+        )
+        software = MpiSim(8, matcher_factory=lambda cfg: ListMatcher())
+        outcomes = ([], [])
+        for sim, log in zip((offloaded, software), outcomes):
+            local_rng = make_rng(seed)  # identical streams
+            pending = []
+            for i in range(1500):
+                if local_rng.random() < 0.5:
+                    sim.isend(
+                        int(local_rng.integers(8)),
+                        int(local_rng.integers(8)),
+                        int(local_rng.integers(3)),
+                        f"{i}".encode(),
+                    )
+                else:
+                    pending.append(
+                        sim.irecv(
+                            int(local_rng.integers(8)),
+                            source=int(local_rng.integers(8)),
+                            tag=int(local_rng.integers(3)),
+                        )
+                    )
+                if i % 100 == 99:
+                    sim.progress()
+            sim.progress()
+            log.extend(
+                (req.handle, req.payload) for req in pending if req.completed
+            )
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,121 @@
+"""Tests for the dynamic/adaptive matcher (Table I 'Dynamic' row)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MessageEnvelope, ReceiveRequest
+from repro.matching import cross_validate
+from repro.matching.adaptive import AdaptiveMatcher
+from repro.matching.oracle import StreamOp
+from tests.conftest import op_streams
+
+
+def deep_stream(n_keys=64, sequences=4):
+    ops = []
+    for _ in range(sequences):
+        keys = [(k % 8, k) for k in range(n_keys)]
+        ops.extend(StreamOp.post(src, tag) for src, tag in keys)
+        ops.extend(StreamOp.message(src, tag) for src, tag in reversed(keys))
+    return ops
+
+
+class TestSwitching:
+    def test_starts_on_list(self):
+        matcher = AdaptiveMatcher()
+        assert matcher.active_strategy == "linked-list"
+        assert matcher.migrations == 0
+
+    def test_promotes_under_deep_queues(self):
+        matcher = AdaptiveMatcher(promote_walk=8.0, min_dwell=32)
+        for op in deep_stream():
+            if op.kind == "post":
+                matcher.post_receive(ReceiveRequest(source=op.source, tag=op.tag))
+            else:
+                matcher.incoming_message(MessageEnvelope(source=op.source, tag=op.tag))
+        assert matcher.migrations >= 1
+        assert matcher.active_strategy == "bin-based"
+
+    def test_stays_on_list_for_shallow_queues(self):
+        matcher = AdaptiveMatcher(min_dwell=16)
+        for i in range(200):
+            matcher.post_receive(ReceiveRequest(source=0, tag=i))
+            matcher.incoming_message(MessageEnvelope(source=0, tag=i, send_seq=i))
+        assert matcher.active_strategy == "linked-list"
+        assert matcher.migrations == 0
+
+    def test_demotes_with_hysteresis(self):
+        matcher = AdaptiveMatcher(promote_walk=8.0, demote_walk=1.0, min_dwell=32)
+        # Phase 1: deep queues -> promote.
+        for op in deep_stream(sequences=2):
+            if op.kind == "post":
+                matcher.post_receive(ReceiveRequest(source=op.source, tag=op.tag))
+            else:
+                matcher.incoming_message(MessageEnvelope(source=op.source, tag=op.tag))
+        assert matcher.active_strategy == "bin-based"
+        # Phase 2: long shallow phase -> demote.
+        for i in range(400):
+            matcher.post_receive(ReceiveRequest(source=0, tag=i % 4))
+            matcher.incoming_message(
+                MessageEnvelope(source=0, tag=i % 4, send_seq=i)
+            )
+        assert matcher.active_strategy == "linked-list"
+        assert matcher.migrations >= 2
+
+    def test_min_dwell_damps_flapping(self):
+        matcher = AdaptiveMatcher(min_dwell=10_000)
+        for op in deep_stream():
+            if op.kind == "post":
+                matcher.post_receive(ReceiveRequest(source=op.source, tag=op.tag))
+            else:
+                matcher.incoming_message(MessageEnvelope(source=op.source, tag=op.tag))
+        assert matcher.migrations == 0  # dwell not reached
+
+    def test_invalid_hysteresis_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveMatcher(promote_walk=1.0, demote_walk=2.0)
+
+
+class TestSemanticsAcrossMigrations:
+    def test_state_survives_migration(self):
+        matcher = AdaptiveMatcher(promote_walk=4.0, min_dwell=16)
+        # Leave receives outstanding while forcing a migration.
+        for i in range(64):
+            matcher.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+        for i in range(63, 31, -1):  # reverse drain: deep walks
+            matcher.incoming_message(MessageEnvelope(source=0, tag=i, send_seq=i))
+        assert matcher.migrations >= 1
+        # The untouched half must still match, post-migration.
+        for i in range(32):
+            event = matcher.incoming_message(
+                MessageEnvelope(source=0, tag=i, send_seq=i)
+            )
+            assert event.receive.handle == i
+        assert matcher.posted_count == 0
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=op_streams(max_size=80), dwell=st.sampled_from([4, 16, 64]))
+    def test_oracle_equivalence_any_stream(self, ops, dwell):
+        cross_validate(
+            AdaptiveMatcher(promote_walk=2.0, demote_walk=0.5, min_dwell=dwell), ops
+        )
+
+
+class TestDecisionOrderRegression:
+    def test_decision_stamps_monotone_across_migration(self):
+        """Regression: the backing matcher's decision counter restarts
+        on migration; the adaptive matcher must re-stamp events with
+        its own monotone counter or the C2 audit sees phantom
+        violations. Exact stream found by hypothesis."""
+        ops = (
+            [StreamOp.message(0, 0)] * 7
+            + [StreamOp.message(0, 1)]
+            + [StreamOp.post(0, 1)] * 3
+            + [StreamOp.message(0, 1)]
+        )
+        events = cross_validate(
+            AdaptiveMatcher(promote_walk=2.0, demote_walk=0.5, min_dwell=4), ops
+        )
+        orders = [event.decision_order for event in events]
+        assert orders == sorted(orders)
+        assert len(set(orders)) == len(orders)

@@ -1,0 +1,83 @@
+"""Tests for the NCCL-style channel matcher (§VII extension)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ANY_SOURCE, ANY_TAG, MatchKind, MessageEnvelope, ReceiveRequest
+from repro.matching import ChannelMatcher, ChannelSemanticsError, cross_validate
+from repro.matching.oracle import StreamOp
+
+
+class TestSemantics:
+    def test_fifo_per_channel(self):
+        m = ChannelMatcher()
+        for i in range(3):
+            m.post_receive(ReceiveRequest(source=0, tag=1, handle=i))
+        events = [
+            m.incoming_message(MessageEnvelope(source=0, tag=1, send_seq=i))
+            for i in range(3)
+        ]
+        assert [e.receive.handle for e in events] == [0, 1, 2]
+
+    def test_channels_are_independent(self):
+        m = ChannelMatcher()
+        m.post_receive(ReceiveRequest(source=0, tag=1, handle=10))
+        m.post_receive(ReceiveRequest(source=0, tag=2, handle=20))
+        event = m.incoming_message(MessageEnvelope(source=0, tag=2))
+        assert event.receive.handle == 20
+
+    def test_peers_are_independent(self):
+        m = ChannelMatcher()
+        m.post_receive(ReceiveRequest(source=0, tag=1, handle=10))
+        m.post_receive(ReceiveRequest(source=1, tag=1, handle=11))
+        event = m.incoming_message(MessageEnvelope(source=1, tag=1))
+        assert event.receive.handle == 11
+
+    def test_unexpected_then_drain(self):
+        m = ChannelMatcher()
+        m.incoming_message(MessageEnvelope(source=0, tag=0, send_seq=0))
+        assert m.unexpected_count == 1
+        event = m.post_receive(ReceiveRequest(source=0, tag=0))
+        assert event.kind is MatchKind.UNEXPECTED_DRAIN
+        assert m.unexpected_count == 0
+
+    @pytest.mark.parametrize(
+        ("source", "tag"), [(ANY_SOURCE, 0), (0, ANY_TAG), (ANY_SOURCE, ANY_TAG)]
+    )
+    def test_wildcards_rejected(self, source, tag):
+        with pytest.raises(ChannelSemanticsError):
+            ChannelMatcher().post_receive(ReceiveRequest(source=source, tag=tag))
+
+    def test_o1_cost(self):
+        """No search whatever the queue depth: the specialization's
+        whole point."""
+        m = ChannelMatcher()
+        for i in range(1000):
+            m.post_receive(ReceiveRequest(source=0, tag=i % 4, handle=i))
+        m.costs.walked = 0
+        m.incoming_message(MessageEnvelope(source=0, tag=3))
+        assert m.costs.walked <= 1
+
+
+class TestEquivalenceOnChannelWorkloads:
+    """On wildcard-free FIFO workloads, channel semantics coincide
+    with MPI semantics — the oracle must agree."""
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(0, 2),
+                st.integers(0, 2),
+            ),
+            max_size=60,
+        )
+    )
+    def test_matches_oracle(self, ops):
+        stream = [
+            StreamOp.post(src, tag) if is_post else StreamOp.message(src, tag)
+            for is_post, src, tag in ops
+        ]
+        cross_validate(ChannelMatcher(), stream)

@@ -1,0 +1,83 @@
+"""Tests for the software tag-matching fallback (§III-B/E)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EngineConfig, MatchKind, MessageEnvelope, ReceiveRequest
+from repro.matching import FallbackMatcher, cross_validate
+from tests.conftest import op_streams
+
+
+def tiny_fallback(capacity=4):
+    return FallbackMatcher(
+        EngineConfig(bins=4, block_threads=4, max_receives=capacity)
+    )
+
+
+class TestFallbackTrigger:
+    def test_stays_offloaded_under_capacity(self):
+        fb = tiny_fallback(capacity=8)
+        for tag in range(8):
+            fb.post_receive(ReceiveRequest(source=0, tag=tag))
+        assert fb.offloaded
+        assert fb.fallback_events == 0
+
+    def test_overflow_migrates(self):
+        fb = tiny_fallback(capacity=4)
+        for tag in range(5):
+            fb.post_receive(ReceiveRequest(source=0, tag=tag))
+        assert not fb.offloaded
+        assert fb.fallback_events == 1
+        assert fb.posted_count == 5
+
+    def test_matching_continues_after_migration(self):
+        fb = tiny_fallback(capacity=4)
+        for tag in range(5):
+            fb.post_receive(ReceiveRequest(source=0, tag=tag))
+        for tag in range(5):
+            event = fb.incoming_message(MessageEnvelope(source=0, tag=tag, send_seq=tag))
+            assert event.kind is MatchKind.EXPECTED
+        assert fb.posted_count == 0
+
+    def test_unexpected_migrate_too(self):
+        fb = tiny_fallback(capacity=2)
+        fb.incoming_message(MessageEnvelope(source=9, tag=9, send_seq=0))
+        fb.flush()
+        for tag in range(3):  # third post overflows
+            fb.post_receive(ReceiveRequest(source=0, tag=tag))
+        assert not fb.offloaded
+        assert fb.unexpected_count == 1
+        drain = fb.post_receive(ReceiveRequest(source=9, tag=9))
+        assert drain.kind is MatchKind.UNEXPECTED_DRAIN
+
+    def test_labels_preserved_across_migration(self):
+        fb = tiny_fallback(capacity=2)
+        fb.post_receive(ReceiveRequest(source=0, tag=0))  # label 0
+        fb.post_receive(ReceiveRequest(source=0, tag=1))  # label 1
+        fb.post_receive(ReceiveRequest(source=0, tag=2))  # overflow -> migrate
+        event = fb.incoming_message(MessageEnvelope(source=0, tag=1))
+        assert event.receive_post_label == 1
+
+    def test_no_events_lost_across_migration(self):
+        fb = tiny_fallback(capacity=2)
+        # Buffer a message inside the engine, then overflow on posts.
+        fb.incoming_message(MessageEnvelope(source=0, tag=0, send_seq=0))
+        fb.post_receive(ReceiveRequest(source=1, tag=1))
+        fb.post_receive(ReceiveRequest(source=1, tag=2))
+        fb.post_receive(ReceiveRequest(source=1, tag=3))  # overflow
+        events = fb.flush()
+        kinds = {e.kind for e in events}
+        assert MatchKind.STORED_UNEXPECTED in kinds
+
+
+class TestFallbackSemantics:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=op_streams(max_size=50), capacity=st.sampled_from([1, 2, 4, 8]))
+    def test_oracle_equivalence_across_migration(self, ops, capacity):
+        """Fallback at any overflow point must preserve semantics."""
+        cross_validate(
+            FallbackMatcher(
+                EngineConfig(bins=4, block_threads=4, max_receives=capacity)
+            ),
+            ops,
+        )

@@ -1,0 +1,117 @@
+"""Unit tests for the serial baseline matchers."""
+
+import pytest
+
+from repro.core import ANY_SOURCE, ANY_TAG, MatchKind, MessageEnvelope, ReceiveRequest
+from repro.matching import BinMatcher, ListMatcher, RankMatcher
+
+
+@pytest.fixture(params=[ListMatcher, lambda: BinMatcher(8), RankMatcher])
+def matcher(request):
+    return request.param()
+
+
+class TestCommonBehaviour:
+    def test_message_without_receive_is_unexpected(self, matcher):
+        event = matcher.incoming_message(MessageEnvelope(source=0, tag=0))
+        assert event.kind is MatchKind.STORED_UNEXPECTED
+        assert matcher.unexpected_count == 1
+
+    def test_post_then_message_matches(self, matcher):
+        assert matcher.post_receive(ReceiveRequest(source=0, tag=0)) is None
+        event = matcher.incoming_message(MessageEnvelope(source=0, tag=0))
+        assert event.kind is MatchKind.EXPECTED
+        assert matcher.posted_count == 0
+
+    def test_message_then_post_drains(self, matcher):
+        matcher.incoming_message(MessageEnvelope(source=0, tag=0))
+        event = matcher.post_receive(ReceiveRequest(source=0, tag=0))
+        assert event is not None and event.kind is MatchKind.UNEXPECTED_DRAIN
+        assert matcher.unexpected_count == 0
+
+    def test_non_matching_tag_stays(self, matcher):
+        matcher.post_receive(ReceiveRequest(source=0, tag=1))
+        event = matcher.incoming_message(MessageEnvelope(source=0, tag=2))
+        assert event.kind is MatchKind.STORED_UNEXPECTED
+        assert matcher.posted_count == 1
+
+    def test_wildcard_receive_matches_any(self, matcher):
+        matcher.post_receive(ReceiveRequest(source=ANY_SOURCE, tag=ANY_TAG))
+        event = matcher.incoming_message(MessageEnvelope(source=3, tag=9))
+        assert event.kind is MatchKind.EXPECTED
+
+    def test_c1_oldest_receive_first(self, matcher):
+        matcher.post_receive(ReceiveRequest(source=ANY_SOURCE, tag=7))
+        matcher.post_receive(ReceiveRequest(source=2, tag=7))
+        event = matcher.incoming_message(MessageEnvelope(source=2, tag=7))
+        assert event.receive.source == ANY_SOURCE
+
+    def test_c2_oldest_unexpected_first(self, matcher):
+        for seq in range(3):
+            matcher.incoming_message(MessageEnvelope(source=1, tag=0, send_seq=seq))
+        event = matcher.post_receive(ReceiveRequest(source=1, tag=0))
+        assert event.message.send_seq == 0
+
+    def test_wildcard_drain_takes_oldest_arrival(self, matcher):
+        matcher.incoming_message(MessageEnvelope(source=2, tag=5, send_seq=0))
+        matcher.incoming_message(MessageEnvelope(source=1, tag=5, send_seq=0))
+        event = matcher.post_receive(ReceiveRequest(source=ANY_SOURCE, tag=5))
+        assert event.message.source == 2
+
+    def test_decision_order_monotone(self, matcher):
+        matcher.post_receive(ReceiveRequest(source=0, tag=0))
+        e1 = matcher.incoming_message(MessageEnvelope(source=0, tag=0))
+        e2 = matcher.incoming_message(MessageEnvelope(source=0, tag=1))
+        assert e1.decision_order < e2.decision_order
+
+
+class TestCostAccounting:
+    def test_list_matcher_walk_grows_with_queue(self):
+        m = ListMatcher()
+        for tag in range(50):
+            m.post_receive(ReceiveRequest(source=0, tag=tag))
+        m.costs.walked = 0
+        m.incoming_message(MessageEnvelope(source=0, tag=49))
+        assert m.costs.walked == 50  # full scan to the tail
+
+    def test_bin_matcher_walk_short_with_bins(self):
+        m = BinMatcher(bins=64)
+        for tag in range(50):
+            m.post_receive(ReceiveRequest(source=0, tag=tag))
+        m.costs.walked = 0
+        m.incoming_message(MessageEnvelope(source=0, tag=49))
+        # Expected bucket depth 50/64 < 1; generous bound for collisions.
+        assert m.costs.walked <= 5
+
+    def test_rank_matcher_partitions_by_source(self):
+        m = RankMatcher()
+        for src in range(10):
+            m.post_receive(ReceiveRequest(source=src, tag=0))
+        m.costs.walked = 0
+        m.incoming_message(MessageEnvelope(source=9, tag=0))
+        assert m.costs.walked == 1
+
+
+class TestListMatcherSeedState:
+    def test_seeded_state_behaves_like_posted(self):
+        m = ListMatcher()
+        m.seed_state(
+            [(0, ReceiveRequest(source=0, tag=0)), (1, ReceiveRequest(source=0, tag=1))],
+            [MessageEnvelope(source=5, tag=5, send_seq=0)],
+        )
+        assert m.posted_count == 2
+        assert m.unexpected_count == 1
+        event = m.incoming_message(MessageEnvelope(source=0, tag=1))
+        assert event.receive_post_label == 1
+        drain = m.post_receive(ReceiveRequest(source=5, tag=5))
+        assert drain.kind is MatchKind.UNEXPECTED_DRAIN
+        # New posts continue labels past the seeded ones.
+        m.post_receive(ReceiveRequest(source=7, tag=7))
+        event = m.incoming_message(MessageEnvelope(source=7, tag=7))
+        assert event.receive_post_label >= 2
+
+    def test_seed_requires_empty_matcher(self):
+        m = ListMatcher()
+        m.post_receive(ReceiveRequest(source=0, tag=0))
+        with pytest.raises(ValueError):
+            m.seed_state([], [])

@@ -1,0 +1,144 @@
+"""Tests for the oracle/validation machinery itself."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MatchKind, MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent
+from repro.matching import (
+    BinMatcher,
+    ListMatcher,
+    RankMatcher,
+    StreamOp,
+    ValidationError,
+    check_c2,
+    cross_validate,
+    pairings,
+    run_stream,
+)
+
+COMMON = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestRunStream:
+    def test_assigns_handles_and_seqs(self):
+        ops = [
+            StreamOp.post(0, 0),
+            StreamOp.post(0, 1),
+            StreamOp.message(0, 1),
+            StreamOp.message(0, 0),
+        ]
+        events = run_stream(ListMatcher(), ops)
+        by_tag = {e.receive.tag: e for e in events}
+        assert by_tag[0].receive.handle == 0
+        assert by_tag[1].receive.handle == 1
+        assert by_tag[1].message.send_seq == 0
+        assert by_tag[0].message.send_seq == 1
+
+    def test_send_seq_per_source(self):
+        ops = [StreamOp.message(0, 0), StreamOp.message(1, 0), StreamOp.message(0, 0)]
+        events = run_stream(ListMatcher(), ops)
+        seqs = [(e.message.source, e.message.send_seq) for e in events]
+        assert seqs == [(0, 0), (1, 0), (0, 1)]
+
+
+class TestPairings:
+    def test_drain_overrides_stored(self):
+        ops = [StreamOp.message(0, 0), StreamOp.post(0, 0)]
+        events = run_stream(ListMatcher(), ops)
+        assert pairings(events) == {(0, 0, 0): 0}
+
+    def test_unmatched_is_none(self):
+        events = run_stream(ListMatcher(), [StreamOp.message(0, 0)])
+        assert pairings(events) == {(0, 0, 0): None}
+
+
+class TestCheckC2:
+    def test_detects_violation(self):
+        recv = ReceiveRequest(source=0, tag=0)
+        events = [
+            MatchEvent(
+                kind=MatchKind.EXPECTED,
+                message=MessageEnvelope(source=0, tag=0, send_seq=1),
+                receive=recv,
+                receive_post_label=0,
+                decision_order=0,
+            ),
+            MatchEvent(
+                kind=MatchKind.EXPECTED,
+                message=MessageEnvelope(source=0, tag=0, send_seq=0),
+                receive=recv,
+                receive_post_label=1,
+                decision_order=1,
+            ),
+        ]
+        with pytest.raises(ValidationError, match="C2"):
+            check_c2(events)
+
+    def test_sorts_by_decision_order(self):
+        recv = ReceiveRequest(source=0, tag=0)
+        # Events listed out of decision order but decisions are fine.
+        events = [
+            MatchEvent(
+                kind=MatchKind.EXPECTED,
+                message=MessageEnvelope(source=0, tag=0, send_seq=1),
+                receive=recv,
+                receive_post_label=1,
+                decision_order=1,
+            ),
+            MatchEvent(
+                kind=MatchKind.EXPECTED,
+                message=MessageEnvelope(source=0, tag=0, send_seq=0),
+                receive=recv,
+                receive_post_label=0,
+                decision_order=0,
+            ),
+        ]
+        check_c2(events)  # must not raise
+
+    def test_different_senders_independent(self):
+        recv = ReceiveRequest(source=-1, tag=0)
+        events = [
+            MatchEvent(
+                kind=MatchKind.EXPECTED,
+                message=MessageEnvelope(source=5, tag=0, send_seq=3),
+                receive=recv,
+                receive_post_label=0,
+                decision_order=0,
+            ),
+            MatchEvent(
+                kind=MatchKind.EXPECTED,
+                message=MessageEnvelope(source=6, tag=0, send_seq=0),
+                receive=recv,
+                receive_post_label=1,
+                decision_order=1,
+            ),
+        ]
+        check_c2(events)
+
+
+class TestCrossValidateBaselines:
+    """The serial baselines must themselves agree with the oracle —
+    the Table I comparison is only meaningful if all strategies
+    implement identical semantics."""
+
+    @COMMON
+    @given(ops=st.data())
+    def test_bin_matcher_all_bin_counts(self, ops):
+        from tests.conftest import op_streams
+
+        stream = ops.draw(op_streams())
+        bins = ops.draw(st.sampled_from([1, 2, 16, 128]))
+        cross_validate(BinMatcher(bins), stream)
+
+    @COMMON
+    @given(ops=st.data())
+    def test_rank_matcher(self, ops):
+        from tests.conftest import op_streams
+
+        cross_validate(RankMatcher(), ops.draw(op_streams()))
+
+    def test_oracle_vs_itself(self):
+        ops = [StreamOp.post(0, 0), StreamOp.message(0, 0)]
+        cross_validate(ListMatcher(), ops)

@@ -1,0 +1,63 @@
+"""Tests for DPA-budget-aware communicator creation (§III-E)."""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.core.manager import OffloadManager
+from repro.matching import FallbackMatcher, ListMatcher
+from repro.mpisim import MpiSim
+
+
+def cfg():
+    return EngineConfig(bins=64, block_threads=4, max_receives=256)
+
+
+def budget_for(n_comms: int) -> int:
+    return n_comms * OffloadManager.footprint(cfg())
+
+
+class TestBudgetedCommunicators:
+    def test_world_offloaded_within_budget(self):
+        sim = MpiSim(2, config=cfg(), dpa_budget_bytes=budget_for(2))
+        assert sim.world.offloaded
+        assert isinstance(sim.matcher_of(0), FallbackMatcher)
+
+    def test_overflow_comm_is_software(self):
+        sim = MpiSim(2, config=cfg(), dpa_budget_bytes=budget_for(1))
+        # World consumed the budget; the next communicator is software.
+        comm2 = sim.comm_create()
+        assert sim.world.offloaded
+        assert not comm2.offloaded
+        assert isinstance(sim.matcher_of(0, comm2), ListMatcher)
+
+    def test_software_comm_still_functions(self):
+        sim = MpiSim(2, config=cfg(), dpa_budget_bytes=budget_for(1))
+        comm2 = sim.comm_create()
+        sim.send(0, 1, tag=3, payload=b"sw", comm=comm2)
+        assert sim.recv(1, source=0, tag=3, comm=comm2) == b"sw"
+
+    def test_comm_free_returns_budget(self):
+        sim = MpiSim(2, config=cfg(), dpa_budget_bytes=budget_for(2))
+        comm2 = sim.comm_create()
+        assert comm2.offloaded
+        sim.comm_free(comm2)
+        comm3 = sim.comm_create()
+        assert comm3.offloaded  # reuses the freed budget
+
+    def test_world_cannot_be_freed(self):
+        sim = MpiSim(2, config=cfg(), dpa_budget_bytes=budget_for(2))
+        with pytest.raises(ValueError, match="COMM_WORLD"):
+            sim.comm_free(sim.world)
+
+    def test_unbudgeted_default_unchanged(self):
+        sim = MpiSim(2, config=cfg())
+        comm2 = sim.comm_create()
+        assert comm2.offloaded
+        assert isinstance(sim.matcher_of(0, comm2), FallbackMatcher)
+
+    def test_free_unknown_comm(self):
+        sim = MpiSim(2, config=cfg(), dpa_budget_bytes=budget_for(4))
+        comm2 = sim.comm_create()
+        sim.comm_free(comm2)
+        with pytest.raises(KeyError):
+            sim.comm_free(comm2)

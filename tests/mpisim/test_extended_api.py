@@ -1,0 +1,73 @@
+"""Tests for waitany / testall / sendrecv."""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.mpisim import MpiSim, ProgressStall
+
+
+@pytest.fixture
+def sim():
+    return MpiSim(4, config=EngineConfig(bins=8, block_threads=4, max_receives=128))
+
+
+class TestWaitany:
+    def test_returns_completed_index(self, sim):
+        requests = [sim.irecv(0, source=1, tag=t) for t in range(3)]
+        sim.isend(1, 0, tag=1, payload=b"middle")
+        index = sim.waitany(requests)
+        assert index == 1
+        assert requests[1].payload == b"middle"
+        assert not requests[0].completed and not requests[2].completed
+
+    def test_already_completed_short_circuits(self, sim):
+        sim.send(1, 0, tag=0, payload=b"x")
+        requests = [sim.irecv(0, source=1, tag=0)]
+        sim.progress()
+        assert sim.waitany(requests) == 0
+
+    def test_stall_detected(self, sim):
+        requests = [sim.irecv(0, source=1, tag=0)]
+        with pytest.raises(ProgressStall):
+            sim.waitany(requests)
+
+    def test_empty_list_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.waitany([])
+
+
+class TestTestall:
+    def test_false_then_true(self, sim):
+        requests = [sim.irecv(0, source=1, tag=t) for t in range(2)]
+        assert sim.testall(requests) is False
+        sim.isend(1, 0, tag=0, payload=b"a")
+        sim.isend(1, 0, tag=1, payload=b"b")
+        assert sim.testall(requests) is True
+
+    def test_empty_list_trivially_true(self, sim):
+        assert sim.testall([]) is True
+
+
+class TestSendrecv:
+    def test_ring_shift(self, sim):
+        """Classic ring: every rank sendrecvs simultaneously; the
+        combined primitive must not deadlock."""
+        n = sim.size
+        # Pre-post all receives via irecv halves to emulate the
+        # concurrent sendrecv on every rank.
+        recvs = [sim.irecv(r, source=(r - 1) % n, tag=9) for r in range(n)]
+        for r in range(n):
+            sim.isend(r, (r + 1) % n, 9, bytes([r]))
+        sim.waitall(recvs)
+        for r in range(n):
+            assert recvs[r].payload == bytes([(r - 1) % n])
+
+    def test_two_rank_exchange(self, sim):
+        """sendrecv against a matching partner send/recv."""
+        partner_recv = sim.irecv(1, source=0, tag=5)
+        sim.isend(1, 0, tag=6, payload=b"from-1")
+        got = sim.sendrecv(0, dest=1, send_tag=5, payload=b"from-0",
+                           source=1, recv_tag=6)
+        assert got == b"from-1"
+        sim.wait(partner_recv)
+        assert partner_recv.payload == b"from-0"

@@ -1,0 +1,152 @@
+"""Tests for the MPI runtime simulator."""
+
+import pytest
+
+from repro.core import ANY_SOURCE, ANY_TAG, EngineConfig
+from repro.matching import BinMatcher, ListMatcher
+from repro.mpisim import MpiSim, ProgressStall, RequestKind
+
+
+def sim(size=4, **cfg):
+    base = dict(bins=8, block_threads=4, max_receives=256)
+    base.update(cfg)
+    return MpiSim(size, config=EngineConfig(**base))
+
+
+class TestBasics:
+    def test_send_recv_round_trip(self):
+        s = sim(2)
+        s.send(0, 1, tag=7, payload=b"ping")
+        assert s.recv(1, source=0, tag=7) == b"ping"
+
+    def test_recv_before_send(self):
+        s = sim(2)
+        req = s.irecv(1, source=0, tag=7)
+        assert not req.test()
+        s.send(0, 1, tag=7, payload=b"late")
+        s.wait(req)
+        assert req.payload == b"late"
+        assert req.status.source == 0
+        assert req.status.tag == 7
+        assert req.status.count == 4
+
+    def test_isend_completes_locally(self):
+        s = sim(2)
+        req = s.isend(0, 1, tag=0, payload=b"x")
+        assert req.completed
+        assert req.kind is RequestKind.SEND
+
+    def test_self_send(self):
+        s = sim(2)
+        s.send(0, 0, tag=1, payload=b"loop")
+        assert s.recv(0, source=0, tag=1) == b"loop"
+
+    def test_invalid_rank_rejected(self):
+        s = sim(2)
+        with pytest.raises(ValueError):
+            s.send(0, 5, tag=0)
+        with pytest.raises(ValueError):
+            s.irecv(0, source=9)
+
+    def test_negative_send_tag_rejected(self):
+        s = sim(2)
+        with pytest.raises(ValueError):
+            s.send(0, 1, tag=-3)
+
+    def test_wait_stalls_when_impossible(self):
+        s = sim(2)
+        req = s.irecv(0, source=1, tag=0)
+        with pytest.raises(ProgressStall):
+            s.wait(req)
+
+
+class TestOrderingSemantics:
+    def test_same_channel_fifo(self):
+        s = sim(2)
+        for i in range(10):
+            s.send(0, 1, tag=3, payload=bytes([i]))
+        got = [s.recv(1, source=0, tag=3) for _ in range(10)]
+        assert got == [bytes([i]) for i in range(10)]
+
+    def test_wildcard_source(self):
+        s = sim(3)
+        s.send(1, 0, tag=2, payload=b"from1")
+        s.progress()
+        data = s.recv(0, source=ANY_SOURCE, tag=2)
+        assert data == b"from1"
+
+    def test_wildcard_tag_in_order(self):
+        s = sim(2)
+        s.send(0, 1, tag=5, payload=b"a")
+        s.send(0, 1, tag=6, payload=b"b")
+        s.progress()
+        assert s.recv(1, source=0, tag=ANY_TAG) == b"a"
+        assert s.recv(1, source=0, tag=ANY_TAG) == b"b"
+
+    def test_tag_selective_receive(self):
+        s = sim(2)
+        s.send(0, 1, tag=1, payload=b"one")
+        s.send(0, 1, tag=2, payload=b"two")
+        assert s.recv(1, source=0, tag=2) == b"two"
+        assert s.recv(1, source=0, tag=1) == b"one"
+
+    def test_many_to_one_burst(self):
+        s = sim(8)
+        reqs = [s.irecv(0, source=src, tag=0) for src in range(1, 8)]
+        for src in range(1, 8):
+            s.send(src, 0, tag=0, payload=bytes([src]))
+        s.waitall(reqs)
+        assert sorted(r.payload[0] for r in reqs) == list(range(1, 8))
+
+
+class TestCommunicators:
+    def test_comm_isolation(self):
+        s = sim(2)
+        comm2 = s.comm_create()
+        s.send(0, 1, tag=1, payload=b"world", comm=s.world)
+        s.send(0, 1, tag=1, payload=b"comm2", comm=comm2)
+        assert s.recv(1, source=0, tag=1, comm=comm2) == b"comm2"
+        assert s.recv(1, source=0, tag=1, comm=s.world) == b"world"
+
+    def test_hinted_communicator_rejects_wildcards(self):
+        from repro.core.engine import HintViolation
+
+        s = sim(2)
+        hinted = s.comm_create({"mpi_assert_no_any_source": "true"})
+        with pytest.raises(HintViolation):
+            s.irecv(0, source=ANY_SOURCE, tag=0, comm=hinted)
+
+    def test_unknown_hint_ignored(self):
+        s = sim(2)
+        comm = s.comm_create({"mpi_unknown_future_hint": "true"})
+        s.send(0, 1, tag=0, payload=b"ok", comm=comm)
+        assert s.recv(1, source=0, tag=0, comm=comm) == b"ok"
+
+    def test_bad_hint_value_rejected(self):
+        s = sim(2)
+        with pytest.raises(ValueError):
+            s.comm_create({"mpi_assert_no_any_tag": "yes"})
+
+    def test_overtaking_communicator_still_delivers(self):
+        s = sim(2)
+        comm = s.comm_create({"mpi_assert_allow_overtaking": "true"})
+        for i in range(8):
+            s.send(0, 1, tag=0, payload=bytes([i]), comm=comm)
+        got = sorted(s.recv(1, source=0, tag=0, comm=comm)[0] for _ in range(8))
+        assert got == list(range(8))
+
+
+class TestPluggableMatchers:
+    @pytest.mark.parametrize(
+        "factory", [lambda cfg: ListMatcher(), lambda cfg: BinMatcher(32)]
+    )
+    def test_software_matchers(self, factory):
+        s = MpiSim(3, matcher_factory=factory)
+        s.send(0, 2, tag=4, payload=b"sw")
+        assert s.recv(2, source=0, tag=4) == b"sw"
+
+    def test_fallback_is_default(self):
+        from repro.matching import FallbackMatcher
+
+        s = sim(2)
+        assert isinstance(s.matcher_of(0), FallbackMatcher)

@@ -1,0 +1,82 @@
+"""Unit tests for request objects and communicator info parsing."""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.mpisim import Communicator, CommunicatorInfo, Request, RequestKind, Status
+
+
+class TestRequest:
+    def test_complete_once(self):
+        req = Request(RequestKind.RECV, handle=1, rank=0)
+        req.complete(b"data", Status(source=2, tag=3, count=4))
+        assert req.completed
+        assert req.payload == b"data"
+        assert req.status.source == 2
+
+    def test_double_complete_rejected(self):
+        req = Request(RequestKind.SEND, handle=1, rank=0)
+        req.complete()
+        with pytest.raises(RuntimeError, match="twice"):
+            req.complete()
+
+    def test_test_reflects_state(self):
+        req = Request(RequestKind.RECV, handle=1, rank=0)
+        assert not req.test()
+        req.complete(b"")
+        assert req.test()
+
+
+class TestCommunicatorInfo:
+    def test_empty_hints(self):
+        info = CommunicatorInfo.from_hints(None)
+        assert not info.no_any_source
+        assert not info.no_any_tag
+        assert not info.allow_overtaking
+
+    def test_all_asserts(self):
+        info = CommunicatorInfo.from_hints(
+            {
+                "mpi_assert_no_any_source": "true",
+                "mpi_assert_no_any_tag": "true",
+                "mpi_assert_allow_overtaking": "true",
+            }
+        )
+        assert info.no_any_source and info.no_any_tag and info.allow_overtaking
+
+    def test_false_values(self):
+        info = CommunicatorInfo.from_hints({"mpi_assert_no_any_source": "false"})
+        assert not info.no_any_source
+
+    def test_unknown_keys_ignored(self):
+        info = CommunicatorInfo.from_hints({"mpi_future_thing": "whatever"})
+        assert not info.no_any_source
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="true"):
+            CommunicatorInfo.from_hints({"mpi_assert_no_any_tag": "1"})
+
+    def test_apply_to_config(self):
+        info = CommunicatorInfo.from_hints(
+            {"mpi_assert_no_any_source": "true", "mpi_assert_allow_overtaking": "true"}
+        )
+        config = info.apply_to(EngineConfig(bins=8, block_threads=4, max_receives=64))
+        assert config.assert_no_any_source
+        assert not config.assert_no_any_tag
+        assert config.allow_overtaking
+        assert config.bins == 8  # untouched fields preserved
+
+
+class TestCommunicator:
+    def test_rank_validation(self):
+        comm = Communicator(comm_id=0, size=4)
+        comm.check_rank(0)
+        comm.check_rank(3)
+        with pytest.raises(ValueError):
+            comm.check_rank(4)
+        with pytest.raises(ValueError):
+            comm.check_rank(-1)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Communicator(comm_id=0, size=0)

@@ -1,0 +1,99 @@
+"""Tests for credit-based flow control over the RDMA substrate."""
+
+import pytest
+
+from repro.core import EngineConfig, OptimisticMatcher, ReceiveRequest
+from repro.rdma import BounceBufferPool, QueuePair, RdmaReceiver, RdmaSender, Wire
+from repro.rdma.flow import CreditedReceiver, CreditedSender, CreditStall
+
+
+def build(pool_size=8):
+    wire = Wire("tx", "rx")
+    tx = QueuePair(wire, "tx")
+    rx = QueuePair(wire, "rx", bounce_pool=BounceBufferPool(pool_size, 4096))
+    sender = CreditedSender(RdmaSender(tx, rank=0, eager_threshold=1024))
+    matcher = OptimisticMatcher(EngineConfig(bins=64, block_threads=4, max_receives=512))
+    receiver = CreditedReceiver(RdmaReceiver(rx, matcher), grant_batch=4)
+    return sender, receiver, tx
+
+
+def drive(sender, receiver, tx, rounds=32):
+    for _ in range(rounds):
+        moved = receiver.progress()
+        moved += tx.process_inbound()
+        moved += sender.pump_grants()
+        if moved == 0:
+            break
+    receiver.flush_grants()
+    sender.pump_grants()
+
+
+class TestCredits:
+    def test_no_send_without_credits(self):
+        sender, receiver, tx = build()
+        assert sender.send(tag=0, payload=b"x") is False
+        assert sender.queued == 1
+        assert sender.stalls == 1
+
+    def test_initial_grant_releases_queue(self):
+        sender, receiver, tx = build(pool_size=8)
+        for i in range(5):
+            sender.send(tag=i, payload=b"x")
+        receiver.initial_grant()
+        assert sender.pump_grants() == 5
+        assert sender.queued == 0
+        assert sender.credits == 3
+
+    def test_sender_never_exceeds_pool(self):
+        """With credits enabled, a flood larger than the pool cannot
+        exhaust bounce buffers."""
+        sender, receiver, tx = build(pool_size=4)
+        receiver.initial_grant()
+        sender.pump_grants()
+        # Post receives so matching drains buffers and credits return.
+        for i in range(32):
+            receiver.receiver.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+        for i in range(32):
+            sender.send(tag=i, payload=b"payload")
+            drive(sender, receiver, tx, rounds=4)
+        drive(sender, receiver, tx)
+        assert len(receiver.receiver.completed) == 32
+        assert receiver.receiver.qp.bounce_pool.high_water <= 4
+
+    def test_flood_without_receives_stalls_not_crashes(self):
+        sender, receiver, tx = build(pool_size=4)
+        receiver.initial_grant()
+        sender.pump_grants()
+        for i in range(12):  # no receives posted: buffers stay full
+            sender.send(tag=100 + i, payload=b"z")
+        drive(sender, receiver, tx)
+        # 4 staged unexpected, 8 held back by flow control.
+        assert receiver.receiver.matcher.unexpected_count == 4
+        assert sender.queued == 8
+
+    def test_bounded_queue_raises(self):
+        sender, receiver, tx = build()
+        sender._max_queued = 2
+        sender.send(tag=0, payload=b"a")
+        sender.send(tag=1, payload=b"b")
+        with pytest.raises(CreditStall):
+            sender.send(tag=2, payload=b"c")
+
+    def test_negative_grant_rejected(self):
+        sender, _, _ = build()
+        with pytest.raises(ValueError):
+            sender.grant(-1)
+
+    def test_grant_batching(self):
+        sender, receiver, tx = build(pool_size=16)
+        receiver.initial_grant()
+        sender.pump_grants()
+        for i in range(3):  # below grant_batch=4
+            receiver.receiver.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+            sender.send(tag=i, payload=b"m")
+        for _ in range(4):
+            receiver.progress()
+            tx.process_inbound()
+        before = receiver.total_granted
+        receiver.flush_grants()
+        assert receiver.total_granted == before + 3

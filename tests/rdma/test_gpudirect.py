@@ -1,0 +1,83 @@
+"""Tests for the GPU-direct delivery path (§I motivation)."""
+
+import pytest
+
+from repro.core import EngineConfig, OptimisticMatcher, ReceiveRequest
+from repro.rdma import QueuePair, RdmaReceiver, RdmaSender, Wire
+from repro.rdma.gpudirect import CopyAccounting, GpuDirectReceiver, MemorySpace
+
+
+def build(gpu_direct=True):
+    wire = Wire("tx", "rx")
+    tx = QueuePair(wire, "tx")
+    rx = QueuePair(wire, "rx")
+    sender = RdmaSender(tx, rank=0, eager_threshold=4096)
+    matcher = OptimisticMatcher(EngineConfig(bins=32, block_threads=4, max_receives=128))
+    receiver = GpuDirectReceiver(RdmaReceiver(rx, matcher), gpu_direct=gpu_direct)
+    return sender, receiver
+
+
+class TestGpuDirect:
+    def test_gpu_delivery_bypasses_cpu(self):
+        sender, receiver = build(gpu_direct=True)
+        receiver.post_receive(
+            ReceiveRequest(source=0, tag=0, handle=1), space=MemorySpace.GPU
+        )
+        sender.send(tag=0, payload=b"tensor")
+        receiver.progress()
+        assert receiver.delivered[1] == b"tensor"
+        assert receiver.accounting.cpu_bypassed == 1
+        assert receiver.accounting.host_copies == 0
+        assert receiver.accounting.pcie_crossings == 1
+
+    def test_legacy_gpu_path_costs_double(self):
+        sender, receiver = build(gpu_direct=False)
+        receiver.post_receive(
+            ReceiveRequest(source=0, tag=0, handle=1), space=MemorySpace.GPU
+        )
+        sender.send(tag=0, payload=b"tensor")
+        receiver.progress()
+        assert receiver.accounting.cpu_bypassed == 0
+        assert receiver.accounting.host_copies == 1
+        assert receiver.accounting.pcie_crossings == 2
+
+    def test_host_buffers_unaffected(self):
+        sender, receiver = build()
+        receiver.post_receive(
+            ReceiveRequest(source=0, tag=0, handle=1), space=MemorySpace.HOST
+        )
+        sender.send(tag=0, payload=b"host-data")
+        receiver.progress()
+        assert receiver.delivered[1] == b"host-data"
+        assert receiver.accounting.cpu_bypassed == 0
+        assert receiver.accounting.pcie_crossings == 1
+
+    def test_mixed_spaces(self):
+        sender, receiver = build()
+        receiver.post_receive(
+            ReceiveRequest(source=0, tag=0, handle=1), space=MemorySpace.GPU
+        )
+        receiver.post_receive(
+            ReceiveRequest(source=0, tag=1, handle=2), space=MemorySpace.HOST
+        )
+        sender.send(tag=0, payload=b"a")
+        sender.send(tag=1, payload=b"b")
+        receiver.progress()
+        assert receiver.accounting.cpu_bypassed == 1
+        assert receiver.accounting.dma_transfers == 2
+
+    def test_accounting_total_hops(self):
+        acc = CopyAccounting(host_copies=2, dma_transfers=3)
+        assert acc.total_hops() == 5
+
+    def test_unexpected_then_gpu_drain(self):
+        """Matching ran on the NIC, so even a late-posted GPU receive
+        goes direct once the unexpected message is drained."""
+        sender, receiver = build()
+        sender.send(tag=5, payload=b"early")
+        receiver.progress()
+        receiver.post_receive(
+            ReceiveRequest(source=0, tag=5, handle=9), space=MemorySpace.GPU
+        )
+        assert receiver.delivered[9] == b"early"
+        assert receiver.accounting.cpu_bypassed == 1

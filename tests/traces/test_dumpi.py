@@ -1,0 +1,136 @@
+"""Tests for the DUMPI ASCII parser/writer."""
+
+import pytest
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.traces.dumpi import (
+    TraceParseError,
+    format_rank_trace,
+    parse_rank_text,
+)
+from repro.traces.model import OpKind, RankTrace, TraceOp
+
+SAMPLE = """\
+MPI_Irecv entering at walltime 11.0816, cputime 0.0005 seconds in thread 0.
+int count=512
+datatype datatype=11 (MPI_DOUBLE)
+int source=3
+int tag=42
+comm comm=2 (MPI_COMM_WORLD)
+request request=7
+MPI_Irecv returning at walltime 11.0817, cputime 0.0005 seconds in thread 0.
+MPI_Isend entering at walltime 11.0901, cputime 0.0006 seconds in thread 0.
+int count=512
+datatype datatype=11 (MPI_DOUBLE)
+int dest=3
+int tag=42
+comm comm=2 (MPI_COMM_WORLD)
+request request=8
+MPI_Isend returning at walltime 11.0902, cputime 0.0006 seconds in thread 0.
+MPI_Waitall entering at walltime 11.1000, cputime 0.0007 seconds in thread 0.
+int count=2
+MPI_Waitall returning at walltime 11.2000, cputime 0.0008 seconds in thread 0.
+"""
+
+
+class TestParser:
+    def test_parses_sample(self):
+        trace = parse_rank_text(SAMPLE, rank=5)
+        assert trace.rank == 5
+        kinds = [op.kind for op in trace.ops]
+        assert kinds == [OpKind.IRECV, OpKind.ISEND, OpKind.WAITALL]
+
+    def test_irecv_fields(self):
+        op = parse_rank_text(SAMPLE, 0).ops[0]
+        assert op.peer == 3
+        assert op.tag == 42
+        assert op.comm == 2
+        assert op.size == 512
+        assert op.request == 7
+        assert op.walltime == pytest.approx(11.0816)
+
+    def test_waitall_count(self):
+        op = parse_rank_text(SAMPLE, 0).ops[2]
+        assert op.size == 2
+
+    def test_wildcards_mapped(self):
+        text = (
+            "MPI_Irecv entering at walltime 1.0, cputime 0 seconds in thread 0.\n"
+            "int source=-1\n"
+            "int tag=-1\n"
+            "MPI_Irecv returning at walltime 1.0, cputime 0 seconds in thread 0.\n"
+        )
+        op = parse_rank_text(text, 0).ops[0]
+        assert op.peer == ANY_SOURCE
+        assert op.tag == ANY_TAG
+        assert op.uses_wildcard()
+
+    def test_unknown_calls_skipped(self):
+        text = (
+            "MPI_Cart_create entering at walltime 1.0, cputime 0 seconds in thread 0.\n"
+            "int ndims=2\n"
+            "MPI_Cart_create returning at walltime 1.0, cputime 0 seconds in thread 0.\n"
+            "MPI_Send entering at walltime 2.0, cputime 0 seconds in thread 0.\n"
+            "int dest=1\n"
+            "int tag=0\n"
+            "MPI_Send returning at walltime 2.0, cputime 0 seconds in thread 0.\n"
+        )
+        trace = parse_rank_text(text, 0)
+        assert [op.kind for op in trace.ops] == [OpKind.SEND]
+
+    def test_truncated_block_raises(self):
+        text = "MPI_Send entering at walltime 1.0, cputime 0 seconds in thread 0.\nint dest=1\n"
+        with pytest.raises(TraceParseError, match="never returned"):
+            parse_rank_text(text, 0)
+
+    def test_noise_lines_ignored(self):
+        trace = parse_rank_text("random noise\n\nmore noise\n", 0)
+        assert trace.ops == []
+
+    def test_collectives_counted(self):
+        text = (
+            "MPI_Allreduce entering at walltime 1.0, cputime 0 seconds in thread 0.\n"
+            "int count=4\n"
+            "comm comm=2 (MPI_COMM_WORLD)\n"
+            "MPI_Allreduce returning at walltime 1.0, cputime 0 seconds in thread 0.\n"
+        )
+        op = parse_rank_text(text, 0).ops[0]
+        assert op.kind is OpKind.ALLREDUCE
+        assert op.size == 4
+
+
+class TestRoundTrip:
+    def ops_fixture(self):
+        return RankTrace(
+            0,
+            [
+                TraceOp(kind=OpKind.IRECV, peer=2, tag=5, size=64, request=0, walltime=0.5),
+                TraceOp(
+                    kind=OpKind.IRECV,
+                    peer=ANY_SOURCE,
+                    tag=ANY_TAG,
+                    size=1,
+                    request=1,
+                    walltime=0.6,
+                ),
+                TraceOp(kind=OpKind.ISEND, peer=2, tag=5, size=64, request=2, walltime=0.7),
+                TraceOp(kind=OpKind.WAIT, request=0, walltime=0.8),
+                TraceOp(kind=OpKind.WAITALL, size=3, walltime=0.9),
+                TraceOp(kind=OpKind.ALLREDUCE, size=8, walltime=1.0),
+            ],
+        )
+
+    def test_format_parse_round_trip(self):
+        original = self.ops_fixture()
+        text = format_rank_trace(original)
+        parsed = parse_rank_text(text, 0)
+        assert len(parsed.ops) == len(original.ops)
+        for a, b in zip(original.ops, parsed.ops):
+            assert a.kind == b.kind
+            assert a.peer == b.peer or b.kind not in (OpKind.IRECV, OpKind.ISEND)
+            assert a.tag == b.tag or b.kind not in (OpKind.IRECV, OpKind.ISEND)
+            assert a.request == b.request
+            assert a.walltime == pytest.approx(b.walltime, abs=1e-4)
+
+    def test_empty_trace_formats_empty(self):
+        assert format_rank_trace(RankTrace(0, [])) == ""

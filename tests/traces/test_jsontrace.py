@@ -1,0 +1,124 @@
+"""Tests for the JSON trace format (the second-reader extension)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.traces.jsontrace import (
+    JsonTraceError,
+    dump_rank_jsonl,
+    load_trace_json,
+    parse_rank_jsonl,
+    save_trace_json,
+)
+from repro.traces.model import OpKind, RankTrace, Trace, TraceOp
+from repro.traces.synthetic import generate
+
+
+def sample_trace():
+    return Trace(
+        name="json-unit",
+        nprocs=2,
+        ranks=[
+            RankTrace(
+                0,
+                [
+                    TraceOp(kind=OpKind.IRECV, peer=ANY_SOURCE, tag=ANY_TAG, request=0,
+                            walltime=0.25),
+                    TraceOp(kind=OpKind.WAIT, request=0, walltime=0.5),
+                ],
+            ),
+            RankTrace(
+                1, [TraceOp(kind=OpKind.ISEND, peer=0, tag=3, size=16, walltime=0.3)]
+            ),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_rank_round_trip_is_exact(self):
+        original = sample_trace().rank(0)
+        parsed = parse_rank_jsonl(dump_rank_jsonl(original), 0)
+        assert parsed.ops == original.ops
+
+    def test_directory_round_trip(self, tmp_path):
+        trace = sample_trace()
+        save_trace_json(trace, tmp_path / "t")
+        loaded = load_trace_json(tmp_path / "t")
+        assert loaded.name == trace.name
+        assert loaded.nprocs == 2
+        for a, b in zip(loaded.ranks, trace.ranks):
+            assert a.ops == b.ops
+
+    def test_synthetic_app_round_trip(self, tmp_path):
+        trace = generate("SNAP", processes=8, rounds=2)
+        save_trace_json(trace, tmp_path / "snap")
+        loaded = load_trace_json(tmp_path / "snap")
+        assert loaded.total_ops() == trace.total_ops()
+        assert loaded.counts_by_group() == trace.counts_by_group()
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(list(OpKind)),
+                st.integers(-1, 8),
+                st.integers(-1, 8),
+                st.floats(0, 100, allow_nan=False),
+            ),
+            max_size=30,
+        )
+    )
+    def test_any_ops_round_trip(self, ops):
+        original = RankTrace(
+            0,
+            [
+                TraceOp(kind=kind, peer=peer, tag=tag, walltime=t)
+                for kind, peer, tag, t in ops
+            ],
+        )
+        parsed = parse_rank_jsonl(dump_rank_jsonl(original), 0)
+        assert parsed.ops == original.ops
+
+
+class TestErrors:
+    def test_invalid_json_line(self):
+        with pytest.raises(JsonTraceError, match="invalid JSON"):
+            parse_rank_jsonl('{"op": "MPI_Send"}\nnot json\n', 0)
+
+    def test_unknown_op(self):
+        with pytest.raises(JsonTraceError, match="unknown"):
+            parse_rank_jsonl('{"op": "MPI_Nonexistent"}\n', 0)
+
+    def test_blank_lines_tolerated(self):
+        parsed = parse_rank_jsonl('\n{"op": "MPI_Barrier"}\n\n', 0)
+        assert len(parsed.ops) == 1
+
+    def test_missing_meta(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace_json(tmp_path)
+
+    def test_version_mismatch(self, tmp_path):
+        (tmp_path / "meta.json").write_text('{"name": "x", "nprocs": 1, "version": 99}')
+        with pytest.raises(JsonTraceError, match="version"):
+            load_trace_json(tmp_path)
+
+    def test_missing_rank_file(self, tmp_path):
+        (tmp_path / "meta.json").write_text('{"name": "x", "nprocs": 2, "version": 1}')
+        (tmp_path / "rank-0.jsonl").write_text("")
+        with pytest.raises(JsonTraceError, match="rank-1"):
+            load_trace_json(tmp_path)
+
+
+class TestAnalyzerInterop:
+    def test_analyzer_consumes_json_loaded_trace(self, tmp_path):
+        from repro.analyzer import analyze
+
+        trace = generate("AMG", rounds=2)
+        save_trace_json(trace, tmp_path / "amg")
+        loaded = load_trace_json(tmp_path / "amg")
+        direct = analyze(trace, 32)
+        via_json = analyze(loaded, 32)
+        assert via_json.depth.mean_depth == pytest.approx(direct.depth.mean_depth)
+        assert via_json.depth.collisions == direct.depth.collisions

@@ -1,0 +1,114 @@
+"""Tests for the trace linter."""
+
+import pytest
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.traces.lint import lint_trace
+from repro.traces.model import OpKind, RankTrace, Trace, TraceOp
+from repro.traces.synthetic import app_names, generate
+
+
+def trace_of(ops_by_rank):
+    return Trace(
+        name="lint",
+        nprocs=len(ops_by_rank),
+        ranks=[RankTrace(r, ops) for r, ops in enumerate(ops_by_rank)],
+    )
+
+
+class TestErrors:
+    def test_send_to_invalid_rank(self):
+        report = lint_trace(
+            trace_of([[TraceOp(kind=OpKind.ISEND, peer=5, tag=0, walltime=0.1)], []])
+        )
+        assert not report.ok
+        assert "invalid rank" in report.errors()[0].message
+
+    def test_time_going_backwards(self):
+        report = lint_trace(
+            trace_of(
+                [
+                    [
+                        TraceOp(kind=OpKind.ISEND, peer=1, tag=0, walltime=2.0),
+                        TraceOp(kind=OpKind.ISEND, peer=1, tag=0, walltime=1.0),
+                    ],
+                    [],
+                ]
+            ),
+            require_balance=False,
+        )
+        assert any("backwards" in issue.message for issue in report.errors())
+
+    def test_negative_send_tag(self):
+        report = lint_trace(
+            trace_of([[TraceOp(kind=OpKind.ISEND, peer=1, tag=-1, walltime=0.1)], []])
+        )
+        assert any("negative tag" in e.message for e in report.errors())
+
+    def test_wildcard_receive_is_legal(self):
+        report = lint_trace(
+            trace_of(
+                [
+                    [
+                        TraceOp(
+                            kind=OpKind.IRECV,
+                            peer=ANY_SOURCE,
+                            tag=ANY_TAG,
+                            walltime=0.1,
+                        ),
+                        TraceOp(kind=OpKind.WAIT, request=0, walltime=0.2),
+                    ],
+                    [TraceOp(kind=OpKind.ISEND, peer=0, tag=0, walltime=0.15)],
+                ]
+            )
+        )
+        assert report.ok
+
+
+class TestWarnings:
+    def test_unbalanced_traffic(self):
+        report = lint_trace(
+            trace_of([[TraceOp(kind=OpKind.ISEND, peer=1, tag=0, walltime=0.1)], []])
+        )
+        assert any("unbalanced" in w.message for w in report.warnings())
+
+    def test_missing_progress_op(self):
+        report = lint_trace(
+            trace_of(
+                [
+                    [TraceOp(kind=OpKind.IRECV, peer=1, tag=0, walltime=0.1)],
+                    [TraceOp(kind=OpKind.ISEND, peer=0, tag=0, walltime=0.2),
+                     TraceOp(kind=OpKind.WAITALL, size=1, walltime=0.3)],
+                ]
+            )
+        )
+        assert any("no progress op" in w.message for w in report.warnings())
+
+    def test_duplicate_request_ids(self):
+        report = lint_trace(
+            trace_of(
+                [
+                    [
+                        TraceOp(kind=OpKind.IRECV, peer=1, tag=0, request=3, walltime=0.1),
+                        TraceOp(kind=OpKind.IRECV, peer=1, tag=1, request=3, walltime=0.2),
+                        TraceOp(kind=OpKind.WAITALL, size=2, walltime=0.3),
+                    ],
+                    [
+                        TraceOp(kind=OpKind.ISEND, peer=0, tag=0, walltime=0.15),
+                        TraceOp(kind=OpKind.ISEND, peer=0, tag=1, walltime=0.16),
+                    ],
+                ]
+            )
+        )
+        assert any("reused" in w.message for w in report.warnings())
+
+
+class TestRegisteredGenerators:
+    @pytest.mark.parametrize("name", app_names())
+    def test_every_generator_lints_clean(self, name):
+        """No registered application trace may carry lint errors, and
+        the p2p ones must be balanced."""
+        trace = generate(name, rounds=3)
+        report = lint_trace(trace)
+        assert report.ok, [issue.message for issue in report.errors()]
+        assert not any("unbalanced" in w.message for w in report.warnings()), name

@@ -1,0 +1,71 @@
+"""Tests for the trace model."""
+
+import pytest
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG
+from repro.traces.model import OpGroup, OpKind, RankTrace, Trace, TraceOp
+
+
+class TestOpClassification:
+    @pytest.mark.parametrize(
+        ("kind", "group"),
+        [
+            (OpKind.ISEND, OpGroup.P2P),
+            (OpKind.RECV, OpGroup.P2P),
+            (OpKind.WAIT, OpGroup.PROGRESS),
+            (OpKind.WAITALL, OpGroup.PROGRESS),
+            (OpKind.ALLTOALL, OpGroup.COLLECTIVE),
+            (OpKind.BARRIER, OpGroup.COLLECTIVE),
+            (OpKind.PUT, OpGroup.ONE_SIDED),
+            (OpKind.GET, OpGroup.ONE_SIDED),
+        ],
+    )
+    def test_groups(self, kind, group):
+        assert TraceOp(kind=kind).group is group
+
+    def test_wildcard_detection(self):
+        assert TraceOp(kind=OpKind.IRECV, peer=ANY_SOURCE, tag=0).uses_wildcard()
+        assert TraceOp(kind=OpKind.IRECV, peer=0, tag=ANY_TAG).uses_wildcard()
+        assert not TraceOp(kind=OpKind.IRECV, peer=0, tag=0).uses_wildcard()
+        # Sends never count as wildcard even with odd fields.
+        assert not TraceOp(kind=OpKind.ISEND, peer=-1, tag=-1).uses_wildcard()
+
+
+class TestTraceAggregation:
+    def make_trace(self):
+        r0 = RankTrace(
+            0,
+            [
+                TraceOp(kind=OpKind.ISEND, peer=1, tag=0),
+                TraceOp(kind=OpKind.IRECV, peer=1, tag=0),
+                TraceOp(kind=OpKind.WAITALL, size=2),
+                TraceOp(kind=OpKind.ALLREDUCE),
+            ],
+        )
+        r1 = RankTrace(1, [TraceOp(kind=OpKind.PUT)])
+        return Trace(name="t", nprocs=2, ranks=[r0, r1])
+
+    def test_counts_by_group(self):
+        counts = self.make_trace().counts_by_group()
+        assert counts[OpGroup.P2P] == 2
+        assert counts[OpGroup.PROGRESS] == 1
+        assert counts[OpGroup.COLLECTIVE] == 1
+        assert counts[OpGroup.ONE_SIDED] == 1
+
+    def test_call_mix_excludes_progress(self):
+        mix = self.make_trace().call_mix()
+        assert mix[OpGroup.P2P] == pytest.approx(0.5)
+        assert mix[OpGroup.COLLECTIVE] == pytest.approx(0.25)
+        assert mix[OpGroup.ONE_SIDED] == pytest.approx(0.25)
+
+    def test_call_mix_empty_trace(self):
+        trace = Trace(name="empty", nprocs=1, ranks=[RankTrace(0, [])])
+        mix = trace.call_mix()
+        assert all(v == 0.0 for v in mix.values())
+
+    def test_total_ops(self):
+        assert self.make_trace().total_ops() == 5
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            Trace(name="bad", nprocs=0)

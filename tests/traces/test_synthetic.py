@@ -1,0 +1,169 @@
+"""Tests for the synthetic pattern library and the app registry."""
+
+import pytest
+
+from repro.traces.model import OpGroup, OpKind
+from repro.traces.synthetic import (
+    APPLICATIONS,
+    TraceBuilder,
+    alltoall_p2p_round,
+    app_names,
+    generate,
+    grid_dims,
+    grid_neighbors,
+    halo_exchange_round,
+    irregular_round,
+    manytoone_round,
+    ring_round,
+    sweep_round,
+)
+
+
+class TestGridHelpers:
+    @pytest.mark.parametrize(
+        ("n", "d", "expected"),
+        [(8, 3, (2, 2, 2)), (64, 3, (4, 4, 4)), (16, 2, (4, 4)), (12, 2, (3, 4)), (7, 2, (1, 7))],
+    )
+    def test_grid_dims_factorize(self, n, d, expected):
+        dims = grid_dims(n, d)
+        assert len(dims) == d
+        product = 1
+        for extent in dims:
+            product *= extent
+        assert product == n
+        assert sorted(dims) == sorted(expected)
+
+    def test_face_neighbors_3d(self):
+        neighbors = grid_neighbors(13, (3, 3, 3))  # centre of 3x3x3
+        assert len(neighbors) == 6
+
+    def test_diagonal_neighbors_3d(self):
+        neighbors = grid_neighbors(13, (3, 3, 3), diagonals=True)
+        assert len(neighbors) == 26
+
+    def test_periodic_wraps(self):
+        neighbors = grid_neighbors(0, (4, 4), periodic=True)
+        assert len(neighbors) == 4
+
+    def test_non_periodic_corner(self):
+        neighbors = grid_neighbors(0, (4, 4), periodic=False)
+        assert len(neighbors) == 2
+
+    def test_small_grid_dedupes(self):
+        # On a 2-wide axis, +1 and -1 reach the same rank.
+        neighbors = grid_neighbors(0, (2, 2))
+        assert sorted(neighbors) == [1, 2]
+
+
+def sends_and_recvs(trace):
+    sends, recvs = [], []
+    for rank_trace in trace.ranks:
+        for op in rank_trace.ops:
+            if op.kind is OpKind.ISEND:
+                sends.append((rank_trace.rank, op.peer, op.tag))
+            elif op.kind is OpKind.IRECV:
+                recvs.append((op.peer, rank_trace.rank, op.tag))
+    return sends, recvs
+
+
+class TestPatternsBalance:
+    """Every send must have a matching posted receive: traces that
+    violate this would poison the analyzer with phantom unexpecteds."""
+
+    @pytest.mark.parametrize(
+        "emit",
+        [
+            lambda b: halo_exchange_round(b, grid_dims(b.nprocs, 2)),
+            lambda b: halo_exchange_round(b, grid_dims(b.nprocs, 3), diagonals=True),
+            lambda b: alltoall_p2p_round(b),
+            lambda b: manytoone_round(b),
+            lambda b: manytoone_round(b, wildcard_source=True),
+            lambda b: sweep_round(b, grid_dims(b.nprocs, 2)),
+            lambda b: ring_round(b),
+            lambda b: irregular_round(b, degree=3, tag_space=4, seed=1),
+        ],
+    )
+    def test_sends_match_recvs(self, emit):
+        builder = TraceBuilder("pattern", 16)
+        emit(builder)
+        trace = builder.build()
+        sends, recvs = sends_and_recvs(trace)
+        concrete = [r for r in recvs if r[0] >= 0]
+        wildcards = [r for r in recvs if r[0] < 0]
+        # Each concrete (src, dst, tag) receive pairs 1:1 with a send.
+        assert sorted(sends) == sorted(concrete) or len(wildcards) > 0
+        assert len(sends) == len(recvs)
+
+    def test_recvs_posted_before_sends(self):
+        builder = TraceBuilder("order", 9)
+        halo_exchange_round(builder, (3, 3))
+        trace = builder.build()
+        for rank_trace in trace.ranks:
+            recv_times = [o.walltime for o in rank_trace.ops if o.kind is OpKind.IRECV]
+            send_times = [o.walltime for o in rank_trace.ops if o.kind is OpKind.ISEND]
+            assert max(recv_times) < min(send_times)
+
+
+class TestRegistry:
+    def test_sixteen_applications(self):
+        assert len(APPLICATIONS) == 16
+
+    def test_table2_process_counts(self):
+        expected = {
+            "AMG": 8,
+            "AMR MiniApp": 64,
+            "BigFFT": 1024,
+            "BoxLib CNS": 64,
+            "BoxLib MultiGrid": 64,
+            "CrystalRouter": 100,
+            "FillBoundary": 1000,
+            "HILO": 256,
+            "HILO 2D": 256,
+            "LULESH": 64,
+            "MiniFe": 1152,
+            "MOCFE": 64,
+            "MultiGrid": 1000,
+            "Nekbone": 64,
+            "PARTISN": 168,
+            "SNAP": 168,
+        }
+        assert {n: s.table_processes for n, s in APPLICATIONS.items()} == expected
+
+    def test_alphabetical_order(self):
+        names = app_names()
+        assert names == sorted(names, key=str.lower)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            generate("NoSuchApp")
+
+    def test_all_apps_generate(self):
+        for name in app_names():
+            trace = generate(name, rounds=2)
+            assert trace.total_ops() > 0
+            assert trace.nprocs == APPLICATIONS[name].default_processes
+
+    def test_call_mix_matches_figure6(self):
+        """Fig. 6: 3 apps exclusively p2p, HILO's two versions
+        exclusively collectives, nobody one-sided."""
+        pure_p2p, pure_coll = [], []
+        for name in app_names():
+            mix = generate(name, rounds=6).call_mix()
+            assert mix[OpGroup.ONE_SIDED] == 0.0
+            if mix[OpGroup.COLLECTIVE] == 0.0 and mix[OpGroup.P2P] > 0:
+                pure_p2p.append(name)
+            if mix[OpGroup.P2P] == 0.0 and mix[OpGroup.COLLECTIVE] > 0:
+                pure_coll.append(name)
+        assert len(pure_p2p) == 3
+        assert sorted(pure_coll) == ["HILO", "HILO 2D"]
+
+    def test_generation_deterministic(self):
+        a = generate("CrystalRouter", rounds=3)
+        b = generate("CrystalRouter", rounds=3)
+        assert a.total_ops() == b.total_ops()
+        for ra, rb in zip(a.ranks, b.ranks):
+            assert ra.ops == rb.ops
+
+    def test_custom_scale(self):
+        trace = generate("AMG", processes=27, rounds=1)
+        assert trace.nprocs == 27

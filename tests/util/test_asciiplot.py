@@ -1,0 +1,74 @@
+"""Tests for the terminal plotting helpers."""
+
+from repro.util.asciiplot import depth_series, grouped_bars, hbar_chart
+
+
+class TestHbarChart:
+    def test_scales_to_max(self):
+        out = hbar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert "██████████" in lines[0]  # full bar for the max
+        assert lines[1].count("█") == 5
+
+    def test_empty_input(self):
+        assert hbar_chart({}) == "(no data)"
+
+    def test_zero_values_render_empty_bars(self):
+        out = hbar_chart({"a": 0.0, "b": 2.0}, width=8)
+        lines = out.splitlines()
+        assert "█" not in lines[0]
+
+    def test_sorting(self):
+        out = hbar_chart({"small": 1.0, "big": 9.0}, sort=True)
+        assert out.splitlines()[0].startswith("big")
+
+    def test_unit_suffix(self):
+        out = hbar_chart({"x": 3.0}, unit=" M/s")
+        assert "3 M/s" in out
+
+    def test_labels_aligned(self):
+        out = hbar_chart({"ab": 1.0, "abcdef": 2.0})
+        lines = out.splitlines()
+        assert lines[0].index("│") == lines[1].index("│")
+
+
+class TestGroupedBars:
+    def test_groups_and_global_scale(self):
+        out = grouped_bars(
+            {"g1": {"a": 10.0}, "g2": {"b": 5.0}},
+            width=10,
+        )
+        assert "g1:" in out and "g2:" in out
+        lines = out.splitlines()
+        a_line = next(line for line in lines if " a " in line or "a " in line.strip())
+        b_line = next(line for line in lines if line.strip().startswith("b"))
+        # Global maximum: b's bar is half of a's.
+        assert a_line.count("█") == 10
+        assert b_line.count("█") == 5
+
+    def test_empty(self):
+        assert grouped_bars({}) == "(no data)"
+
+
+class TestDepthSeries:
+    def test_layout(self):
+        rows = [
+            ("CNS", {1: 20.0, 32: 1.5}),
+            ("SNAP", {1: 0.3, 32: 0.0}),
+        ]
+        out = depth_series(rows, width=10)
+        lines = out.splitlines()
+        assert "@1 bins" in lines[0] and "@32 bins" in lines[0]
+        assert lines[1].startswith("CNS")
+        assert lines[2].startswith("SNAP")
+        assert "20.00" in lines[1]
+
+    def test_empty(self):
+        assert depth_series([]) == "(no data)"
+
+    def test_bars_scale_globally(self):
+        rows = [("deep", {1: 10.0}), ("shallow", {1: 1.0})]
+        out = depth_series(rows, width=10)
+        deep_line, shallow_line = out.splitlines()[1:3]
+        assert deep_line.count("█") == 10
+        assert shallow_line.count("█") == 1

@@ -1,0 +1,70 @@
+"""Tests for monotonic counters and the sequence labeler."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.counters import MonotonicCounter, SequenceLabeler
+
+
+class TestMonotonicCounter:
+    def test_starts_at_zero(self):
+        c = MonotonicCounter()
+        assert c.next() == 0
+        assert c.next() == 1
+
+    def test_custom_start(self):
+        c = MonotonicCounter(10)
+        assert c.next() == 10
+
+    def test_peek_does_not_advance(self):
+        c = MonotonicCounter()
+        assert c.peek() == 0
+        assert c.peek() == 0
+        assert c.next() == 0
+        assert c.peek() == 1
+
+
+class TestSequenceLabeler:
+    def test_same_key_shares_sequence(self):
+        lab = SequenceLabeler()
+        assert lab.label(1, 2) == 0
+        assert lab.label(1, 2) == 0
+        assert lab.label(1, 2) == 0
+        assert lab.current_run_length == 3
+
+    def test_key_change_bumps_sequence(self):
+        lab = SequenceLabeler()
+        assert lab.label(1, 2) == 0
+        assert lab.label(1, 3) == 1
+        assert lab.label(2, 3) == 2
+
+    def test_returning_key_gets_new_sequence(self):
+        # A-B-A: the second A run is a *different* sequence; the fast
+        # path must not jump across the B posting.
+        lab = SequenceLabeler()
+        a1 = lab.label(0, 0)
+        b = lab.label(0, 1)
+        a2 = lab.label(0, 0)
+        assert a1 != a2 and b not in (a1, a2)
+
+    def test_wildcards_compare_verbatim(self):
+        lab = SequenceLabeler()
+        s1 = lab.label(-1, 5)
+        s2 = lab.label(-1, 5)
+        s3 = lab.label(0, 5)
+        assert s1 == s2 != s3
+
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), min_size=1))
+    def test_sequence_ids_are_nondecreasing_and_dense(self, keys):
+        lab = SequenceLabeler()
+        labels = [lab.label(s, t) for s, t in keys]
+        assert labels[0] == 0
+        for prev, cur in zip(labels, labels[1:]):
+            assert cur in (prev, prev + 1)
+
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), min_size=2))
+    def test_equal_labels_iff_same_consecutive_key(self, keys):
+        lab = SequenceLabeler()
+        labels = [lab.label(s, t) for s, t in keys]
+        for i in range(1, len(keys)):
+            assert (labels[i] == labels[i - 1]) == (keys[i] == keys[i - 1])

@@ -1,0 +1,155 @@
+"""Unit and property tests for the intrusive lazy-removal list."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intrusive import IntrusiveList
+
+
+def build(items):
+    lst = IntrusiveList()
+    nodes = [lst.append(i) for i in items]
+    return lst, nodes
+
+
+class TestAppendIterate:
+    def test_empty(self):
+        lst = IntrusiveList()
+        assert len(lst) == 0
+        assert lst.is_empty()
+        assert list(lst) == []
+        assert lst.head() is None
+
+    def test_append_preserves_order(self):
+        lst, _ = build([1, 2, 3])
+        assert list(lst) == [1, 2, 3]
+        assert len(lst) == 3
+
+    def test_head_is_first_live(self):
+        lst, nodes = build(["a", "b", "c"])
+        assert lst.head() is nodes[0]
+        lst.mark(nodes[0])
+        assert lst.head() is nodes[1]
+
+
+class TestUnlink:
+    def test_unlink_middle(self):
+        lst, nodes = build([1, 2, 3])
+        lst.unlink(nodes[1])
+        assert list(lst) == [1, 3]
+
+    def test_unlink_head_and_tail(self):
+        lst, nodes = build([1, 2, 3])
+        lst.unlink(nodes[0])
+        lst.unlink(nodes[2])
+        assert list(lst) == [2]
+
+    def test_unlink_only_element(self):
+        lst, nodes = build([7])
+        lst.unlink(nodes[0])
+        assert lst.is_empty()
+        assert lst.head() is None
+
+    def test_unlink_foreign_node_rejected(self):
+        lst1, nodes = build([1])
+        lst2 = IntrusiveList()
+        lst1.unlink(nodes[0])
+        with pytest.raises(ValueError):
+            lst2.unlink(nodes[0])
+
+    def test_append_after_unlink_all(self):
+        lst, nodes = build([1, 2])
+        lst.unlink(nodes[0])
+        lst.unlink(nodes[1])
+        lst.append(9)
+        assert list(lst) == [9]
+
+
+class TestLazyRemoval:
+    def test_mark_hides_from_iteration(self):
+        lst, nodes = build([1, 2, 3])
+        lst.mark(nodes[1])
+        assert list(lst) == [1, 3]
+        assert len(lst) == 2
+        assert lst.physical_length == 3
+
+    def test_mark_is_idempotent(self):
+        lst, nodes = build([1])
+        lst.mark(nodes[0])
+        lst.mark(nodes[0])
+        assert len(lst) == 0
+        assert lst.physical_length == 1
+
+    def test_marked_visible_with_include_marked(self):
+        lst, nodes = build([1, 2])
+        lst.mark(nodes[0])
+        seen = [n.payload for n in lst.iter_nodes(include_marked=True)]
+        assert seen == [1, 2]
+
+    def test_sweep_removes_marked(self):
+        lst, nodes = build([1, 2, 3, 4])
+        lst.mark(nodes[0])
+        lst.mark(nodes[2])
+        removed = lst.sweep()
+        assert removed == 2
+        assert list(lst) == [2, 4]
+        assert lst.physical_length == 2
+
+    def test_sweep_empty_list(self):
+        lst = IntrusiveList()
+        assert lst.sweep() == 0
+
+    def test_unlink_marked_node(self):
+        lst, nodes = build([1, 2])
+        lst.mark(nodes[0])
+        lst.unlink(nodes[0])
+        assert lst.physical_length == 1
+        assert list(lst) == [2]
+
+
+class TestIterationRobustness:
+    def test_unlink_current_during_iteration(self):
+        lst, nodes = build([1, 2, 3, 4])
+        seen = []
+        for node in lst.iter_nodes():
+            seen.append(node.payload)
+            lst.unlink(node)
+        assert seen == [1, 2, 3, 4]
+        assert lst.is_empty()
+
+
+class TestProperties:
+    @given(st.lists(st.integers(), max_size=30), st.data())
+    def test_mark_sweep_equals_filter(self, items, data):
+        lst, nodes = build(items)
+        to_mark = data.draw(
+            st.sets(st.integers(min_value=0, max_value=max(len(items) - 1, 0)))
+            if items
+            else st.just(set())
+        )
+        for i in to_mark:
+            if i < len(nodes):
+                lst.mark(nodes[i])
+        expected = [v for i, v in enumerate(items) if i not in to_mark]
+        assert list(lst) == expected
+        lst.sweep()
+        assert list(lst) == expected
+        assert lst.physical_length == len(expected)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40))
+    def test_interleaved_append_unlink_head(self, script):
+        """0 = append, 1 = unlink head; model with a plain list."""
+        lst = IntrusiveList()
+        model = []
+        counter = 0
+        for op in script:
+            if op == 0:
+                lst.append(counter)
+                model.append(counter)
+                counter += 1
+            elif model:
+                node = lst.head()
+                lst.unlink(node)
+                model.pop(0)
+        assert list(lst) == model
