@@ -1,0 +1,148 @@
+"""Reliability-layer overhead baseline (BENCH_reliability.json).
+
+A ping-pong exchange (k messages one way, one ack back, repeated) is
+run twice over the reliable transport: once on a clean wire, once on a
+wire dropping 1% of frames. Time is simulated ticks — every
+``ReliableWire.receive`` poll is one tick, the same clock the
+retransmission timers run on — so the numbers are deterministic and
+measure exactly what recovery costs: extra polls spent waiting out
+timeouts plus retransmitted frames.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.reliability [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.rdma.faultwire import FaultPlan, FaultyWire
+from repro.rdma.reliability import ReliableWire
+from repro.rdma.wire import Packet
+
+__all__ = ["ReliabilityBenchResult", "run_pingpong", "run_bench", "main"]
+
+#: §VI-style parameters, scaled for the simulator.
+DEFAULT_K = 100
+DEFAULT_SEQUENCES = 50
+DEFAULT_DROP_RATE = 0.01
+DEFAULT_SEED = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityBenchResult:
+    """One configuration's ping-pong outcome in simulated ticks."""
+
+    label: str
+    messages: int
+    ticks: int
+    ticks_per_message: float
+    #: Messages per simulated tick — the benchmark's "rate" axis.
+    message_rate: float
+    retransmits: int
+    timeouts: int
+    frames_dropped: int
+    duplicates_dropped: int
+
+
+def run_pingpong(
+    label: str,
+    plan: FaultPlan,
+    *,
+    k: int = DEFAULT_K,
+    sequences: int = DEFAULT_SEQUENCES,
+) -> ReliabilityBenchResult:
+    """k messages a->b, one ack b->a, repeated; count receive() ticks."""
+    raw = FaultyWire("a", "b", plan=plan)
+    wire = ReliableWire(raw)
+    ticks = 0
+
+    def exchange(src: str, dst: str, count: int) -> None:
+        nonlocal ticks
+        for i in range(count):
+            wire.transmit(src, Packet("msg", i))
+        got = 0
+        while got < count or wire.in_flight() > 0:
+            if wire.receive(dst) is not None:
+                got += 1
+            wire.receive(src)
+            ticks += 2
+
+    for _ in range(sequences):
+        exchange("a", "b", k)  # the k-message sequence
+        exchange("b", "a", 1)  # the acknowledgment
+
+    messages = sequences * (k + 1)
+    return ReliabilityBenchResult(
+        label=label,
+        messages=messages,
+        ticks=ticks,
+        ticks_per_message=ticks / messages,
+        message_rate=messages / ticks,
+        retransmits=wire.stats.retransmits,
+        timeouts=wire.stats.timeouts,
+        frames_dropped=raw.stats.dropped,
+        duplicates_dropped=wire.stats.duplicates_dropped,
+    )
+
+
+def run_bench(
+    *,
+    k: int = DEFAULT_K,
+    sequences: int = DEFAULT_SEQUENCES,
+    drop_rate: float = DEFAULT_DROP_RATE,
+    seed: int = DEFAULT_SEED,
+) -> dict:
+    clean = run_pingpong("clean", FaultPlan.clean(seed), k=k, sequences=sequences)
+    lossy = run_pingpong(
+        f"drop-{drop_rate:g}",
+        FaultPlan.drops(drop_rate, seed),
+        k=k,
+        sequences=sequences,
+    )
+    return {
+        "benchmark": "reliability-pingpong",
+        "params": {
+            "k": k,
+            "sequences": sequences,
+            "drop_rate": drop_rate,
+            "seed": seed,
+        },
+        "results": [asdict(clean), asdict(lossy)],
+        "slowdown": lossy.ticks / clean.ticks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parents[3] / "BENCH_reliability.json",
+    )
+    parser.add_argument("--k", type=int, default=DEFAULT_K)
+    parser.add_argument("--sequences", type=int, default=DEFAULT_SEQUENCES)
+    parser.add_argument("--drop-rate", type=float, default=DEFAULT_DROP_RATE)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args(argv)
+    payload = run_bench(
+        k=args.k, sequences=args.sequences, drop_rate=args.drop_rate, seed=args.seed
+    )
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    clean, lossy = payload["results"]
+    print(
+        f"clean: {clean['ticks_per_message']:.2f} ticks/msg | "
+        f"{payload['params']['drop_rate']:.0%} drop: "
+        f"{lossy['ticks_per_message']:.2f} ticks/msg "
+        f"({payload['slowdown']:.2f}x, {lossy['retransmits']} retransmits)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

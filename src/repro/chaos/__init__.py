@@ -1,0 +1,12 @@
+"""Seeded chaos harness: the full offload stack under a lossy wire.
+
+Runs randomized but fully deterministic schedules of receive posts and
+sends through ``Wire -> FaultyWire -> ReliableWire -> QueuePair ->
+RdmaReceiver + OptimisticMatcher`` and cross-checks the observable
+outcome (which receive got which message, exactly once) against the
+serial linked-list oracle.
+"""
+
+from repro.chaos.harness import ChaosConfig, ChaosReport, run_chaos
+
+__all__ = ["ChaosConfig", "ChaosReport", "run_chaos"]

@@ -1,0 +1,258 @@
+"""End-to-end chaos schedules over the lossy transport.
+
+One chaos run builds the complete receive pipeline on a faulty wire
+and drives it with a seeded schedule of rounds; each round posts a few
+receives (a mix of exact and wildcard envelopes), sends a few messages
+from multiple sender ranks (eager and rendezvous sizes), then pumps
+the link to quiescence. A final cleanup phase posts fully-wildcard
+receives for whatever is still parked unexpected, so every sent
+message must surface as exactly one :class:`repro.rdma.protocol.Delivery`.
+
+Correctness is judged two ways:
+
+* **Exactly-once** — the multiset of delivered payload identities
+  equals the multiset sent: nothing lost to a drop, nothing delivered
+  twice from a duplicate or retransmission.
+* **Oracle pairing** — the same post/send schedule is replayed through
+  the serial :class:`repro.matching.list_matcher.ListMatcher`; each
+  message must land in the same receive ``handle`` on both sides.
+  The phase structure (pump to quiescence between rounds) makes the
+  oracle's op interleaving well-defined even though the transport
+  reorders frames internally.
+
+Everything is derived from ``ChaosConfig.seed`` via
+:func:`repro.util.rng.make_rng`: the schedule, the payload sizes, and
+the wire's fault pattern. Same seed, same report — including runs that
+end in :class:`repro.rdma.reliability.TransportError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import EngineConfig
+from repro.core.engine import OptimisticMatcher
+from repro.core.envelope import ANY_SOURCE, ANY_TAG, MessageEnvelope, ReceiveRequest
+from repro.matching.list_matcher import ListMatcher
+from repro.rdma.bounce import BounceBufferPool
+from repro.rdma.cq import CompletionQueue
+from repro.rdma.faultwire import FaultPlan, FaultyWire
+from repro.rdma.protocol import RdmaReceiver, RdmaSender, pump
+from repro.rdma.qp import QueuePair
+from repro.rdma.reliability import (
+    ReliabilityConfig,
+    ReliableWire,
+    TransportError,
+)
+from repro.util.rng import make_rng
+
+__all__ = ["ChaosConfig", "ChaosReport", "run_chaos"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """One seeded chaos schedule (schedule + faults + resources)."""
+
+    seed: int = 0
+    #: Sender ranks sharing the tx endpoint.
+    senders: int = 3
+    rounds: int = 6
+    #: Inclusive bounds on posts/sends per round.
+    max_posts_per_round: int = 4
+    max_sends_per_round: int = 4
+    tags: int = 5
+    #: Probability a posted receive wildcards its source / its tag.
+    wildcard_rate: float = 0.25
+    #: Probability a payload exceeds the eager threshold (rendezvous).
+    rndv_rate: float = 0.2
+    eager_threshold: int = 64
+    #: Fault schedule for the wire (seeded from ``seed`` when the
+    #: plan's own seed is left at 0).
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
+    #: Receiver NIC resources; undersize them to exercise degradation.
+    bounce_buffers: int = 64
+    cq_depth: int = 256
+    host_spill: bool = False
+    max_receives: int = 256
+    block_threads: int = 8
+    pump_rounds: int = 4096
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """Observable outcome of one chaos run."""
+
+    seed: int
+    sent: int = 0
+    delivered: int = 0
+    #: Payload identities delivered more than once (must stay empty).
+    duplicates: list[str] = field(default_factory=list)
+    #: Payload identities never delivered (must stay empty).
+    missing: list[str] = field(default_factory=list)
+    #: ``payload id: got handle X, oracle says Y`` divergences.
+    mismatches: list[str] = field(default_factory=list)
+    #: The run ended in TransportError (retry budget exhausted).
+    transport_failed: bool = False
+    transport_error: str = ""
+    # -- transport / degradation accounting --------------------------
+    retransmits: int = 0
+    rnr_naks: int = 0
+    faults_injected: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    corrupted: int = 0
+    host_spills: int = 0
+    degraded_stagings: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Exactly-once delivery with oracle-identical pairing."""
+        return (
+            not self.transport_failed
+            and not self.duplicates
+            and not self.missing
+            and not self.mismatches
+            and self.delivered == self.sent
+        )
+
+
+def _identity(payload: bytes) -> str:
+    """Recover the ``src:seq`` identity from a (padded) payload."""
+    return payload.rstrip(b".").decode()
+
+
+def run_chaos(config: ChaosConfig) -> ChaosReport:
+    """Execute one seeded schedule; never raises on transport failure
+    (the report carries it) so soak loops survive hostile fault plans."""
+    rng = make_rng(config.seed)
+    plan = config.plan
+    if plan.seed == 0 and config.seed != 0:
+        plan = plan.with_options(seed=config.seed)
+
+    raw = FaultyWire("tx", "rx", plan=plan)
+    wire = ReliableWire(raw, config=config.reliability)
+    rx_qp = QueuePair(
+        wire,
+        "rx",
+        cq=CompletionQueue(config.cq_depth),
+        bounce_pool=BounceBufferPool(config.bounce_buffers),
+        host_spill=config.host_spill,
+    )
+    tx_qp = QueuePair(wire, "tx")
+    matcher = OptimisticMatcher(
+        EngineConfig(
+            max_receives=config.max_receives, block_threads=config.block_threads
+        )
+    )
+    receiver = RdmaReceiver(rx_qp, matcher)
+    senders = [
+        RdmaSender(tx_qp, rank, eager_threshold=config.eager_threshold)
+        for rank in range(config.senders)
+    ]
+
+    report = ChaosReport(seed=config.seed)
+    # Mirror schedule for the oracle: ("post", request) / ("msg", ident,
+    # source, tag) in pipeline-observation order.
+    oracle_ops: list[tuple] = []
+    sent_idents: list[str] = []
+    handle = 0
+    seq = 0
+
+    def post_one(source: int, tag: int) -> None:
+        nonlocal handle
+        request = ReceiveRequest(source=source, tag=tag, handle=handle)
+        handle += 1
+        receiver.post_receive(request)
+        oracle_ops.append(("post", request))
+
+    def send_one(rank: int, tag: int, size: int) -> None:
+        nonlocal seq
+        ident = f"{rank}:{seq}"
+        seq += 1
+        payload = ident.encode().ljust(size, b".")
+        senders[rank].send(tag, payload)
+        sent_idents.append(ident)
+        oracle_ops.append(("msg", ident, rank, tag))
+
+    try:
+        for _ in range(config.rounds):
+            for _ in range(int(rng.integers(0, config.max_posts_per_round + 1))):
+                source = (
+                    ANY_SOURCE
+                    if rng.random() < config.wildcard_rate
+                    else int(rng.integers(0, config.senders))
+                )
+                tag = (
+                    ANY_TAG
+                    if rng.random() < config.wildcard_rate
+                    else int(rng.integers(0, config.tags))
+                )
+                post_one(source, tag)
+            for _ in range(int(rng.integers(1, config.max_sends_per_round + 1))):
+                rank = int(rng.integers(0, config.senders))
+                tag = int(rng.integers(0, config.tags))
+                if rng.random() < config.rndv_rate:
+                    size = config.eager_threshold + int(rng.integers(1, 64))
+                else:
+                    size = int(rng.integers(8, config.eager_threshold))
+                send_one(rank, tag, size)
+            pump(receiver, tx_qp, max_rounds=config.pump_rounds)
+        # Cleanup: drain whatever is still parked unexpected so every
+        # sent message must surface as exactly one delivery.
+        outstanding = len(sent_idents) - len(receiver.completed)
+        for _ in range(outstanding):
+            post_one(ANY_SOURCE, ANY_TAG)
+        pump(receiver, tx_qp, max_rounds=config.pump_rounds)
+    except TransportError as exc:
+        report.transport_failed = True
+        report.transport_error = str(exc)
+
+    report.sent = len(sent_idents)
+    report.delivered = len(receiver.completed)
+    report.retransmits = wire.stats.retransmits
+    report.rnr_naks = wire.stats.rnr_naks
+    report.faults_injected = raw.stats.total_injected()
+    report.dropped = raw.stats.dropped
+    report.duplicated = raw.stats.duplicated
+    report.reordered = raw.stats.reordered
+    report.corrupted = raw.stats.corrupted
+    report.host_spills = rx_qp.host_spills
+    report.degraded_stagings = matcher.stats.degraded_stagings
+    if report.transport_failed:
+        return report
+
+    # Exactly-once: delivered identity multiset == sent identity set.
+    seen: dict[str, int] = {}
+    got_handle: dict[str, int] = {}
+    for delivery in receiver.completed:
+        ident = _identity(delivery.payload)
+        seen[ident] = seen.get(ident, 0) + 1
+        got_handle[ident] = delivery.handle
+    report.duplicates = sorted(i for i, n in seen.items() if n > 1)
+    report.missing = sorted(i for i in sent_idents if i not in seen)
+
+    # Oracle pairing: replay the schedule through the serial matcher.
+    oracle = ListMatcher()
+    want_handle: dict[str, int] = {}
+    pending: dict[int, str] = {}  # send_seq -> ident for UMQ drains
+    oracle_seq = 0
+    for op in oracle_ops:
+        if op[0] == "post":
+            event = oracle.post_receive(op[1])
+            if event is not None:
+                want_handle[pending.pop(event.message.send_seq)] = op[1].handle
+        else:
+            _, ident, rank, tag = op
+            msg = MessageEnvelope(source=rank, tag=tag, send_seq=oracle_seq)
+            oracle_seq += 1
+            pending[msg.send_seq] = ident
+            event = oracle.incoming_message(msg)
+            if event.receive is not None:
+                want_handle[pending.pop(msg.send_seq)] = event.receive.handle
+    for ident, got in sorted(got_handle.items()):
+        want = want_handle.get(ident)
+        if want != got:
+            report.mismatches.append(f"{ident}: got handle {got}, oracle says {want}")
+    return report

@@ -1,0 +1,89 @@
+"""Chaos soak loop: many seeded schedules, several fault profiles.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.chaos.soak --seeds 50
+
+Runs each seed through every profile and exits nonzero on the first
+correctness violation (lost/duplicated message or oracle divergence).
+Transport failures only count as violations under profiles that are
+expected to survive; the ``hostile`` profile is allowed to fail, but
+must fail *deterministically*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.harness import ChaosConfig, ChaosReport, run_chaos
+from repro.rdma.faultwire import FaultPlan
+
+__all__ = ["PROFILES", "main"]
+
+#: name -> (fault plan template, undersized resources?)
+PROFILES: dict[str, ChaosConfig] = {
+    "clean": ChaosConfig(),
+    "drops": ChaosConfig(plan=FaultPlan(drop_rate=0.08)),
+    "chaos": ChaosConfig(
+        plan=FaultPlan(
+            drop_rate=0.05, duplicate_rate=0.08, reorder_rate=0.12, corrupt_rate=0.05
+        )
+    ),
+    "degraded": ChaosConfig(
+        plan=FaultPlan(drop_rate=0.05),
+        bounce_buffers=2,
+        host_spill=True,
+    ),
+}
+
+
+def _describe(name: str, report: ChaosReport) -> str:
+    return (
+        f"{name} seed={report.seed}: sent={report.sent} delivered={report.delivered} "
+        f"faults={report.faults_injected} retransmits={report.retransmits} "
+        f"rnr={report.rnr_naks} spills={report.host_spills}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=50, help="seeds per profile")
+    parser.add_argument("--seed-base", type=int, default=1, help="first seed")
+    parser.add_argument("--profile", choices=sorted(PROFILES), default=None)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    names = [args.profile] if args.profile else sorted(PROFILES)
+    failures = 0
+    runs = 0
+    for name in names:
+        template = PROFILES[name]
+        for seed in range(args.seed_base, args.seed_base + args.seeds):
+            config = ChaosConfig(
+                seed=seed,
+                plan=template.plan,
+                bounce_buffers=template.bounce_buffers,
+                host_spill=template.host_spill,
+            )
+            report = run_chaos(config)
+            runs += 1
+            if args.verbose:
+                print(_describe(name, report))
+            if not report.ok:
+                failures += 1
+                print(f"FAIL {_describe(name, report)}", file=sys.stderr)
+                if report.transport_failed:
+                    print(f"  transport: {report.transport_error}", file=sys.stderr)
+                for line in report.duplicates[:5]:
+                    print(f"  duplicate: {line}", file=sys.stderr)
+                for line in report.missing[:5]:
+                    print(f"  missing: {line}", file=sys.stderr)
+                for line in report.mismatches[:5]:
+                    print(f"  mismatch: {line}", file=sys.stderr)
+    print(f"chaos soak: {runs} runs, {failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -472,3 +472,40 @@ class OptimisticMatcher:
             key=lambda um: um.envelope.arrival,
         )
         return receives, [um.envelope for um in unexpected]
+
+    def import_state(
+        self,
+        receives: list[tuple[int, ReceiveRequest]],
+        unexpected: list[MessageEnvelope],
+    ) -> None:
+        """Adopt live state exported from another matcher (fallback
+        recovery: the host's working set migrates back onto the DPA
+        once it fits again).
+
+        ``receives`` must be in posting order and ``unexpected`` in
+        arrival order; both get fresh labels/arrival stamps that
+        preserve relative order. No events are emitted — these
+        decisions already happened on the source matcher. The two
+        inputs are mutually incompatible by the PRQ/UMQ invariant (a
+        compatible pair would already have matched), so insertion
+        order between them is immaterial.
+        """
+        if self.posted_receives or self.unexpected_count or self._pending:
+            raise ValueError("import_state requires an empty engine")
+        if len(receives) > self.table.capacity:
+            raise ValueError(
+                f"{len(receives)} receives exceed the descriptor table "
+                f"capacity {self.table.capacity}"
+            )
+        for _, request in receives:
+            descr = self.table.allocate(
+                request,
+                post_label=self._post_labels.next(),
+                sequence_id=self._sequencer.label(request.source, request.tag),
+            )
+            self.indexes.insert(descr)
+        for msg in unexpected:
+            stamped = dataclasses.replace(msg, arrival=self._arrivals.next())
+            self.unexpected.insert(
+                UnexpectedMessage(envelope=stamped, buffer_token=self._buffer_tokens.next())
+            )

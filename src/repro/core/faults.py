@@ -22,9 +22,59 @@ from repro.core.threadsim import Yielded
 
 __all__ = [
     "NoBarrierEngine",
+    "NoBookingEngine",
     "NoConflictDetectionEngine",
     "NoSequenceGuardEngine",
 ]
+
+
+class NoBookingEngine(OptimisticMatcher):
+    """BUG: never writes the booking bitmap (§III-C).
+
+    Threads search and remember a candidate but skip
+    ``candidate.booking.set(tid)``, so conflict detection — which reads
+    that bitmap — sees an empty set and reports no conflict for anyone.
+    Two threads whose messages match the same receive both take the
+    optimistic path and consume it twice: the engine's double-consume
+    assertion (or a pairing divergence from the oracle) flags the bug.
+    """
+
+    def _thread(self, ctx: _BlockContext, tid: int) -> Generator[Yielded, None, None]:
+        msg = ctx.messages[tid]
+        cfg = self.config
+        candidate = yield from search_candidate(
+            self.indexes, cfg, ctx.stats, tid, msg, early_skip=False
+        )
+        # FAULT: no candidate.booking.set(tid) — the bitmap stays empty.
+        ctx.candidates[tid] = candidate
+        ctx.barrier.enter(tid)
+        yield ctx.barrier.wait_condition(tid)
+        conflicted = detect_conflict(candidate, tid)
+        ctx.conflict_flags[tid] = conflicted
+        ctx.detect.enter(tid)
+        yield ctx.detect.wait_condition(tid)
+        lower_conflict = any(ctx.conflict_flags[j] for j in range(tid))
+        if not conflicted and not lower_conflict:
+            if candidate is not None:
+                self._consume(ctx, tid, candidate, ResolutionPath.OPTIMISTIC)
+                ctx.stats.optimistic_hits += 1
+            else:
+                yield ctx.resolved_below(tid)
+                self._store_unexpected(ctx, tid, msg)
+            ctx.resolved[tid] = True
+            return
+        yield ctx.resolved_below(tid)
+        if candidate is not None and candidate.is_live():
+            self._consume(ctx, tid, candidate, ResolutionPath.SLOW)
+        else:
+            rematch = yield from search_candidate(
+                self.indexes, cfg, ctx.stats, tid, msg, early_skip=False
+            )
+            if rematch is not None:
+                self._consume(ctx, tid, rematch, ResolutionPath.SLOW)
+            else:
+                self._store_unexpected(ctx, tid, msg)
+        ctx.resolved[tid] = True
 
 
 class NoBarrierEngine(OptimisticMatcher):

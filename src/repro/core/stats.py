@@ -70,6 +70,21 @@ class EngineStats:
     wait_polls: int = 0
     swept: int = 0
     fallbacks: int = 0
+    # -- degraded-mode accounting (reliability & resource exhaustion) --
+    #: Matches completed on host resources instead of the DPA: payloads
+    #: staged in host memory after bounce-pool exhaustion, or matching
+    #: decisions taken by the software fallback while spilled.
+    degraded_matches: int = 0
+    #: Payloads staged in host memory because NIC bounce buffers ran out.
+    degraded_stagings: int = 0
+    #: Spills to the host software matcher (capacity exhaustion).
+    fallback_spills: int = 0
+    #: Migrations back to the accelerator after resources drained.
+    fallback_recoveries: int = 0
+    #: Mirrored from the reliability layer by the receiver pipeline:
+    #: go-back-N frame retransmissions and RNR backpressure events.
+    retransmits: int = 0
+    rnr_naks: int = 0
     block_history: list[BlockStats] = field(default_factory=list)
     #: Keep per-block history only when True (benchmarks disable it).
     keep_history: bool = True

@@ -10,7 +10,19 @@ accumulates across blocks.
 The model also accounts *host* cycles separately — the headline claim
 of the paper is that offloading frees the host CPU entirely, so the
 host column for the DPA configuration is just the per-message protocol
-overhead, never matching work.
+overhead, never matching work — *unless* the machine degrades.
+
+Degraded mode (``degrade_to_host``, on by default): when the posted
+working set outgrows the descriptor table (§III-B's capacity limit),
+the machine no longer raises. The live state spills to a host
+:class:`repro.matching.list_matcher.ListMatcher`, further traffic is
+matched on the host (charged at :class:`repro.dpa.costs.HostCostModel`
+rates into ``report.host_matching_cycles``), and once the host PRQ
+drains below half the table capacity the state migrates back onto a
+fresh engine and offloaded matching resumes. Spills, recoveries, and
+host-matched messages are counted on the engine's
+:class:`repro.core.stats.EngineStats`, which is carried across engine
+generations so counters stay cumulative.
 """
 
 from __future__ import annotations
@@ -18,12 +30,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import EngineConfig
+from repro.core.descriptor import DescriptorTableFull
 from repro.core.engine import OptimisticMatcher
 from repro.core.envelope import MessageEnvelope, ReceiveRequest
-from repro.core.events import MatchEvent
+from repro.core.events import MatchEvent, MatchKind
 from repro.core.threadsim import SchedulePolicy
-from repro.dpa.costs import DpaCostModel
+from repro.dpa.costs import DpaCostModel, HostCostModel
 from repro.dpa.memory import MemoryModel
+from repro.matching.list_matcher import ListMatcher
+from repro.util.counters import MonotonicCounter
 
 __all__ = ["DpaMachine", "DpaRunReport"]
 
@@ -40,9 +55,11 @@ class DpaRunReport:
     messages: int = 0
     dpa_cycles: float = 0.0
     dpa_seconds: float = 0.0
-    #: Host cycles spent on matching: always 0 for the offloaded
-    #: engine — this field exists so reports align with CPU baselines.
+    #: Host cycles spent on matching: 0 while fully offloaded; nonzero
+    #: only for operations handled in degraded (spilled-to-host) mode.
     host_matching_cycles: float = 0.0
+    #: Messages matched on the host during degraded episodes.
+    host_messages: int = 0
     per_block_cycles: list[float] = field(default_factory=list)
 
     def mean_cycles_per_message(self) -> float:
@@ -60,6 +77,8 @@ class DpaMachine:
         cost_model: DpaCostModel | None = None,
         policy: SchedulePolicy | None = None,
         keep_block_history: bool = False,
+        degrade_to_host: bool = True,
+        host_costs: HostCostModel | None = None,
     ) -> None:
         self.config = config if config is not None else EngineConfig()
         if self.config.block_threads > BF3_THREADS:
@@ -69,22 +88,67 @@ class DpaMachine:
             )
         self.cores = cores
         self.costs = cost_model if cost_model is not None else DpaCostModel()
+        self.host_costs = host_costs if host_costs is not None else HostCostModel()
+        self._policy = policy
         self.engine = OptimisticMatcher(self.config, policy=policy, keep_history=True)
         self.report = DpaRunReport()
         self._keep_block_history = keep_block_history
         self.memory = MemoryModel(self.config.bins, self.config.max_receives)
+        self._degrade_to_host = degrade_to_host
+        #: Non-None while spilled: the host-side matcher owning the
+        #: live working set.
+        self._host: ListMatcher | None = None
+        self._host_events: list[MatchEvent] = []
+        #: Migrate back once the host PRQ fits this many receives.
+        self._recover_threshold = self.config.max_receives // 2
+
+    @property
+    def degraded(self) -> bool:
+        """Whether matching is currently spilled to the host."""
+        return self._host is not None
 
     def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
-        """Host -> DPA receive-post command (QP write, §III-E)."""
-        return self.engine.post_receive(request)
+        """Host -> DPA receive-post command (QP write, §III-E).
+
+        With ``degrade_to_host`` (the default), descriptor-table
+        exhaustion spills the working set to a host list matcher
+        instead of raising; the post is then handled there.
+        """
+        self._maybe_recover()
+        if self._host is None:
+            try:
+                return self.engine.post_receive(request)
+            except DescriptorTableFull:
+                if not self._degrade_to_host:
+                    raise
+                self._spill()
+        return self._host_post(request)
 
     def deliver(self, msg: MessageEnvelope) -> None:
         """A message lands in a bounce buffer; its completion entry
-        will trigger a DPA thread."""
-        self.engine.submit_message(msg)
+        will trigger a DPA thread (or, while degraded, a host match)."""
+        self._maybe_recover()
+        if self._host is None:
+            self.engine.submit_message(msg)
+            return
+        self._host_deliver(msg)
 
     def run(self) -> list[MatchEvent]:
-        """Process all pending messages, charging DPA time per block."""
+        """Process all pending messages, charging DPA time per block.
+
+        Events produced on the host during degraded episodes are
+        returned here too, interleaved before the current backlog, so
+        callers see one stream regardless of where matching ran.
+        """
+        events, self._host_events = self._host_events, []
+        events.extend(self._drain_engine())
+        self.report.dpa_seconds = self.costs.cycles_to_seconds(self.report.dpa_cycles)
+        return events
+
+    # -- degraded mode ------------------------------------------------
+
+    def _drain_engine(self) -> list[MatchEvent]:
+        """Run the engine until idle, charging DPA time per block."""
         events: list[MatchEvent] = []
         while self.engine.pending_messages:
             start = len(self.engine.stats.block_history)
@@ -99,5 +163,54 @@ class DpaMachine:
             if not self._keep_block_history:
                 # History was only needed to cost the new blocks.
                 del self.engine.stats.block_history[start:]
-        self.report.dpa_seconds = self.costs.cycles_to_seconds(self.report.dpa_cycles)
         return events
+
+    def _spill(self) -> None:
+        """Descriptor table full: migrate the working set to the host."""
+        # Settle buffered messages first so the exported state is the
+        # engine's final word; their events still surface via run().
+        self._host_events.extend(self._drain_engine())
+        receives, unexpected = self.engine.export_state()
+        host = ListMatcher()
+        host.seed_state(receives, unexpected)
+        # Keep decision stamps monotone across the migration boundary.
+        host.decisions = MonotonicCounter(self.engine.decisions.peek())
+        self._host = host
+        self.engine.stats.fallback_spills += 1
+
+    def _maybe_recover(self) -> None:
+        """Migrate back to the accelerator once the host set drained."""
+        if self._host is None or self._host.posted_count > self._recover_threshold:
+            return
+        receives, unexpected = self._host.export_state()
+        fresh = OptimisticMatcher(self.config, policy=self._policy, keep_history=True)
+        # Carry the cumulative stats object across engine generations.
+        fresh.stats = self.engine.stats
+        fresh.decisions = MonotonicCounter(self._host.decisions.peek())
+        fresh.import_state(receives, unexpected)
+        self.engine = fresh
+        self._host = None
+        self.engine.stats.fallback_recoveries += 1
+
+    def _host_post(self, request: ReceiveRequest) -> MatchEvent | None:
+        assert self._host is not None
+        before = self._host.costs.walked
+        event = self._host.post_receive(request)
+        walked = self._host.costs.walked - before
+        self.report.host_matching_cycles += (
+            self.host_costs.per_post_overhead + walked * self.host_costs.chain_walk
+        )
+        return event
+
+    def _host_deliver(self, msg: MessageEnvelope) -> None:
+        assert self._host is not None
+        before = self._host.costs.walked
+        event = self._host.incoming_message(msg)
+        walked = self._host.costs.walked - before
+        stored = 1 if event.kind is MatchKind.STORED_UNEXPECTED else 0
+        self.report.host_matching_cycles += self.host_costs.matching_cycles(
+            1, walked, unexpected=stored
+        )
+        self.report.host_messages += 1
+        self.engine.stats.degraded_matches += 1
+        self._host_events.append(event)

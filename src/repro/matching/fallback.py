@@ -8,9 +8,25 @@ communicator creation, §III-E), the live state — posted receives in
 posting order and unexpected messages in arrival order — migrates to
 the software matcher and all further traffic is handled there.
 
-The fallback is one-way, mirroring the deployment reality: once the
-application's working set outgrew the accelerator there is no cheap
-point at which to migrate back.
+Two recovery policies are offered:
+
+* **One-way** (default, the historical behaviour): once the working
+  set outgrew the accelerator there is no cheap point at which to
+  migrate back, so the matcher stays in software for good.
+* **Recoverable** (``recoverable=True``): the sPIN-style degradation
+  contract — NIC-resource exhaustion spills to the host *temporarily*.
+  Once the software matcher's posted-receive set drains below half the
+  descriptor-table capacity (hysteresis against thrash), the live
+  state migrates back onto a fresh engine and offloaded matching
+  resumes. Spills, recoveries, and software-handled messages are
+  counted on the carried :class:`repro.core.stats.EngineStats`
+  (``fallback_spills`` / ``fallback_recoveries`` /
+  ``degraded_matches``), which survives across migrations so one stats
+  object narrates the whole run.
+
+Either way the fallback is loss-free and order-preserving: decision
+stamps stay monotone across every migration boundary, so C1/C2 audits
+hold across mode switches.
 """
 
 from __future__ import annotations
@@ -19,6 +35,7 @@ from repro.core.config import EngineConfig
 from repro.core.descriptor import DescriptorTableFull
 from repro.core.envelope import MessageEnvelope, ReceiveRequest
 from repro.core.events import MatchEvent
+from repro.core.stats import EngineStats
 from repro.core.threadsim import SchedulePolicy
 from repro.matching.base import Matcher
 from repro.matching.list_matcher import ListMatcher
@@ -39,18 +56,27 @@ class FallbackMatcher(Matcher):
         *,
         policy: SchedulePolicy | None = None,
         comm: int = 0,
+        recoverable: bool = False,
     ) -> None:
         super().__init__()
+        self._config = config if config is not None else EngineConfig()
+        self._policy = policy
+        self._comm = comm
+        self._recoverable = recoverable
         self._offloaded: OptimisticAdapter | None = OptimisticAdapter(
-            config, policy=policy, comm=comm
+            self._config, policy=policy, comm=comm
         )
         self._software = ListMatcher()
         self._carried_events: list[MatchEvent] = []
+        #: One stats object carried across every engine generation.
+        self.stats: EngineStats = self._offloaded.engine.stats
         self.fallback_events = 0
+        #: Migrate back once the software PRQ fits this many receives.
+        self._recover_threshold = self._config.max_receives // 2
 
     @property
     def offloaded(self) -> bool:
-        """Whether matching is still running on the (simulated) DPA."""
+        """Whether matching is currently running on the (simulated) DPA."""
         return self._offloaded is not None
 
     @property
@@ -76,9 +102,33 @@ class FallbackMatcher(Matcher):
         self._software.decisions = MonotonicCounter(self._offloaded.engine.decisions.peek())
         self._offloaded = None
         self.fallback_events += 1
+        self.stats.fallback_spills += 1
+
+    def _recover(self) -> None:
+        """Migrate the (now small) software working set back onto a
+        fresh engine: the degraded episode is over."""
+        assert self._offloaded is None
+        receives, unexpected = self._software.export_state()
+        adapter = OptimisticAdapter(self._config, policy=self._policy, comm=self._comm)
+        # Carry the cumulative stats object across engine generations.
+        adapter.engine.stats = self.stats
+        adapter.engine.decisions = MonotonicCounter(self._software.decisions.peek())
+        adapter.engine.import_state(receives, unexpected)
+        self._offloaded = adapter
+        self._software = ListMatcher()
+        self.stats.fallback_recoveries += 1
+
+    def _maybe_recover(self) -> None:
+        if (
+            self._recoverable
+            and self._offloaded is None
+            and self._software.posted_count <= self._recover_threshold
+        ):
+            self._recover()
 
     def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
         self.costs.posts += 1
+        self._maybe_recover()
         if self._offloaded is not None:
             try:
                 return self._offloaded.post_receive(request)
@@ -88,8 +138,10 @@ class FallbackMatcher(Matcher):
 
     def incoming_message(self, msg: MessageEnvelope) -> MatchEvent | None:
         self.costs.messages += 1
+        self._maybe_recover()
         if self._offloaded is not None:
             return self._offloaded.incoming_message(msg)
+        self.stats.degraded_matches += 1
         return self._software.incoming_message(msg)
 
     def flush(self) -> list[MatchEvent]:

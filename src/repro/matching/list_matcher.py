@@ -134,3 +134,19 @@ class ListMatcher(Matcher):
             self._umq.append(msg)
         if receives:
             self._post_labels = MonotonicCounter(max(label for label, _ in receives) + 1)
+
+    def export_state(
+        self,
+    ) -> tuple[list[tuple[int, ReceiveRequest]], list[MessageEnvelope]]:
+        """Snapshot live state (the inverse of :meth:`seed_state`).
+
+        Used by the degraded-mode controllers to migrate the working
+        set *back* onto the accelerator once resources drain. Receives
+        come out in posting order (PRQ order), unexpected messages in
+        arrival order (UMQ order).
+        """
+        receives = [
+            (posted.post_label, posted.request)
+            for posted in self._prq
+        ]
+        return receives, list(self._umq)

@@ -1,9 +1,13 @@
 """Simulated RDMA substrate: wire, queue pairs, completion queues,
-bounce buffers, and the eager/rendezvous protocols of §IV.
+bounce buffers, the eager/rendezvous protocols of §IV, and the
+lossy-transport layers — seeded fault injection
+(:mod:`repro.rdma.faultwire`) and RC-style recovery
+(:mod:`repro.rdma.reliability`).
 """
 
 from repro.rdma.bounce import BounceBuffer, BounceBufferPool, BouncePoolExhausted
 from repro.rdma.cq import Completion, CompletionQueue, CompletionQueueOverflow
+from repro.rdma.faultwire import FaultPlan, FaultStats, FaultyWire
 from repro.rdma.flow import CreditedReceiver, CreditedSender, CreditStall
 from repro.rdma.gpudirect import CopyAccounting, GpuDirectReceiver, MemorySpace
 from repro.rdma.protocol import (
@@ -15,7 +19,13 @@ from repro.rdma.protocol import (
     pump,
 )
 from repro.rdma.qp import MemoryRegion, MemoryRegistry, QueuePair, StagedMessage
-from repro.rdma.wire import Endpoint, Packet, Wire
+from repro.rdma.reliability import (
+    ReliabilityConfig,
+    ReliabilityStats,
+    ReliableWire,
+    TransportError,
+)
+from repro.rdma.wire import Endpoint, Packet, Wire, packet_checksum
 
 __all__ = [
     "BounceBuffer",
@@ -28,6 +38,9 @@ __all__ = [
     "CreditedReceiver",
     "CreditedSender",
     "CopyAccounting",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyWire",
     "GpuDirectReceiver",
     "MemorySpace",
     "DEFAULT_EAGER_THRESHOLD",
@@ -40,7 +53,12 @@ __all__ = [
     "QueuePair",
     "RdmaReceiver",
     "RdmaSender",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+    "ReliableWire",
     "StagedMessage",
+    "TransportError",
     "Wire",
+    "packet_checksum",
     "pump",
 ]

@@ -60,6 +60,11 @@ class BounceBufferPool:
     def in_use(self) -> int:
         return len(self._buffers) - len(self._free)
 
+    @property
+    def available(self) -> int:
+        """Free buffers right now (the RNR-probe headroom check)."""
+        return len(self._free)
+
     def allocate(self) -> BounceBuffer:
         if not self._free:
             raise BouncePoolExhausted(

@@ -1,0 +1,235 @@
+"""Seeded fault injection below the transport abstraction.
+
+:class:`FaultyWire` behaves like :class:`repro.rdma.wire.Wire` but
+applies a deterministic, seeded fault schedule to every transmitted
+packet: drop, duplicate, reorder within a bounded window, and payload
+corruption. It models the physical link a reliable-connection NIC
+actually runs over; :mod:`repro.rdma.reliability` is the recovery
+protocol that turns this back into exactly-once FIFO delivery.
+
+Design notes:
+
+* **Determinism** — all randomness flows through one
+  :func:`repro.util.rng.make_rng` generator, so a (plan, traffic)
+  pair reproduces the same fault schedule bit-for-bit. The chaos
+  harness leans on this to re-run failing seeds.
+* **Reordering is bounded** — a reordered packet is *held back* for at
+  most ``reorder_window`` subsequent wire operations toward the same
+  destination, then force-released. Reordering alone therefore never
+  turns into silent loss; only ``drop_rate`` removes packets.
+* **Corruption is detectable by construction** — only packets carrying
+  a checksum (reliability-layer frames) are corrupted, by flipping
+  payload bytes and/or the checksum so verification fails at the
+  receiver. Corrupting an unprotected packet would be indistinguishable
+  from an application bug, which is not the failure mode under test;
+  such events are counted as ``corrupt_skipped`` instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.rdma.wire import Packet, Wire
+from repro.util.rng import make_rng
+
+__all__ = ["FaultPlan", "FaultStats", "FaultyWire"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A composable, seeded fault schedule.
+
+    Rates are independent per-packet probabilities, applied in the
+    order corrupt -> duplicate -> reorder -> drop (a duplicated packet
+    can itself be dropped or held, like a real flaky link).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    #: Maximum wire operations a reordered packet can be held back.
+    reorder_window: int = 4
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.reorder_window < 1:
+            raise ValueError(f"reorder_window must be >= 1, got {self.reorder_window}")
+
+    # -- composition helpers -------------------------------------------
+
+    @classmethod
+    def clean(cls, seed: int = 0) -> "FaultPlan":
+        """No faults at all (control arm)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def drops(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, drop_rate=rate)
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int = 0,
+        *,
+        drop_rate: float = 0.05,
+        duplicate_rate: float = 0.05,
+        reorder_rate: float = 0.1,
+        reorder_window: int = 4,
+        corrupt_rate: float = 0.05,
+    ) -> "FaultPlan":
+        """Everything at once — the default chaos-harness mix."""
+        return cls(
+            seed=seed,
+            drop_rate=drop_rate,
+            duplicate_rate=duplicate_rate,
+            reorder_rate=reorder_rate,
+            reorder_window=reorder_window,
+            corrupt_rate=corrupt_rate,
+        )
+
+    def with_options(self, **changes: Any) -> "FaultPlan":
+        return replace(self, **changes)
+
+    @property
+    def is_clean(self) -> bool:
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.reorder_rate == 0.0
+            and self.corrupt_rate == 0.0
+        )
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """Counts of injected faults (ground truth for recovery tests)."""
+
+    transmitted: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    corrupted: int = 0
+    #: Corruption rolls on packets without a checksum (not injectable).
+    corrupt_skipped: int = 0
+
+    def total_injected(self) -> int:
+        return self.dropped + self.duplicated + self.reordered + self.corrupted
+
+
+class _Held:
+    """A reordered packet waiting out its hold-back countdown."""
+
+    __slots__ = ("packet", "remaining")
+
+    def __init__(self, packet: Packet, remaining: int) -> None:
+        self.packet = packet
+        self.remaining = remaining
+
+
+class FaultyWire(Wire):
+    """A :class:`Wire` with a seeded fault schedule applied on transmit."""
+
+    def __init__(self, a: str = "a", b: str = "b", *, plan: FaultPlan | None = None) -> None:
+        super().__init__(a, b)
+        self.plan = plan if plan is not None else FaultPlan.clean()
+        self.stats = FaultStats()
+        self._rng = make_rng(self.plan.seed)
+        self._held: dict[str, list[_Held]] = {name: [] for name in self.names}
+
+    @classmethod
+    def wrapping(cls, wire: Wire, plan: FaultPlan) -> "FaultyWire":
+        """A faulty wire with the same endpoint names as ``wire``."""
+        a, b = wire.names
+        return cls(a, b, plan=plan)
+
+    # -- fault machinery ------------------------------------------------
+
+    def held(self, dst: str | None = None) -> int:
+        """Packets currently held back for reordering."""
+        if dst is not None:
+            return len(self._held[dst])
+        return sum(len(held) for held in self._held.values())
+
+    def _age_held(self, dst: str) -> None:
+        """Advance hold-back countdowns; release due packets in order."""
+        held = self._held[dst]
+        if not held:
+            return
+        due: list[Packet] = []
+        remaining: list[_Held] = []
+        for entry in held:
+            entry.remaining -= 1
+            if entry.remaining <= 0:
+                due.append(entry.packet)
+            else:
+                remaining.append(entry)
+        if due:
+            self._held[dst] = remaining
+            for packet in due:
+                self._deliver(dst, packet)
+
+    def _deliver(self, dst: str, packet: Packet) -> None:
+        self._ends[dst].inbound.append(packet)
+        self.delivered += 1
+        self.stats.delivered += 1
+
+    def _corrupt(self, packet: Packet) -> Packet:
+        """Flip the frame so checksum verification fails downstream."""
+        mutated = packet
+        payload = packet.payload
+        if isinstance(payload, (bytes, bytearray)) and payload:
+            index = int(self._rng.integers(len(payload)))
+            flipped = bytearray(payload)
+            flipped[index] ^= 0xFF
+            mutated = dataclasses.replace(mutated, payload=bytes(flipped))
+        else:
+            # Structured payload: damage the integrity field itself.
+            assert packet.checksum is not None
+            mutated = dataclasses.replace(
+                mutated, checksum=(packet.checksum ^ 0x5A5A5A5A) & 0xFFFFFFFF
+            )
+        return mutated
+
+    def transmit(self, src: str, packet: Packet) -> None:
+        dst = self.peer_of(src).name
+        self._age_held(dst)
+        self.stats.transmitted += 1
+
+        if self.plan.corrupt_rate and self._rng.random() < self.plan.corrupt_rate:
+            if packet.checksum is not None:
+                packet = self._corrupt(packet)
+                self.stats.corrupted += 1
+            else:
+                self.stats.corrupt_skipped += 1
+
+        if self.plan.duplicate_rate and self._rng.random() < self.plan.duplicate_rate:
+            self.stats.duplicated += 1
+            self._deliver(dst, packet)
+
+        if self.plan.drop_rate and self._rng.random() < self.plan.drop_rate:
+            self.stats.dropped += 1
+            return
+
+        if self.plan.reorder_rate and self._rng.random() < self.plan.reorder_rate:
+            hold = 1 + int(self._rng.integers(self.plan.reorder_window))
+            self._held[dst].append(_Held(packet, hold))
+            self.stats.reordered += 1
+            return
+
+        self._deliver(dst, packet)
+
+    def receive(self, dst: str) -> Packet | None:
+        self._age_held(dst)
+        return super().receive(dst)
+
+    def drain(self, dst: str) -> list[Packet]:
+        self._age_held(dst)
+        return super().drain(dst)

@@ -10,7 +10,15 @@ credits as matching drains bounce buffers.
 :class:`CreditedSender` / :class:`CreditedReceiver` wrap the §IV
 protocol engines with that scheme, turning
 :class:`repro.rdma.bounce.BouncePoolExhausted` from a hard failure
-into backpressure. Credit grants ride the same wire as acks.
+into backpressure. Credit grants ride the same wire as acks — which
+means that over a :class:`repro.rdma.reliability.ReliableWire` they
+are sequenced, checksummed, retransmitted on loss, and deduplicated
+like any other packet: a dropped or duplicated grant can neither
+strand the sender at zero credits nor mint credits out of thin air.
+(Over a bare :class:`repro.rdma.faultwire.FaultyWire` with no
+reliability layer, a lost grant *is* lost — credit accounting assumes
+the transport below it is reliable, exactly like the bounce-pool
+arithmetic it protects.)
 """
 
 from __future__ import annotations
@@ -35,10 +43,16 @@ class CreditedSender:
         self._queued: deque[tuple[int, bytes, int]] = deque()
         self._max_queued = max_queued
         self.stalls = 0
+        #: Total credits accepted from the peer (grant audit trail).
+        self.grants_received = 0
 
     @property
     def queued(self) -> int:
         return len(self._queued)
+
+    @property
+    def max_queued(self) -> int:
+        return self._max_queued
 
     def send(self, tag: int, payload: bytes, comm: int = 0) -> bool:
         """Send now if credits allow, else queue. Returns whether the
@@ -61,6 +75,7 @@ class CreditedSender:
         if credits < 0:
             raise ValueError(f"credit grant must be non-negative, got {credits}")
         self.credits += credits
+        self.grants_received += credits
         released = 0
         while self._queued and self.credits > 0:
             tag, payload, comm = self._queued.popleft()

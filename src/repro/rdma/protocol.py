@@ -130,6 +130,8 @@ class RdmaReceiver:
         self._next_token = 0
         #: outstanding rendezvous reads: token -> match event.
         self._pending_reads: dict[int, MatchEvent] = {}
+        #: Deliveries completed from host-spilled staging (degraded).
+        self.host_staged_deliveries = 0
 
     def post_receive(self, request: ReceiveRequest) -> None:
         """Post a receive; an unexpected drain completes immediately."""
@@ -182,7 +184,19 @@ class RdmaReceiver:
             if event.kind is MatchKind.EXPECTED:
                 self._complete(event, unexpected=False)
             # STORED_UNEXPECTED: stays staged until a receive drains it.
+        self._mirror_transport_stats()
         return n
+
+    def _mirror_transport_stats(self) -> None:
+        """Copy reliability-layer counters into the engine's stats so
+        one object reports the whole stack's health (degraded matches,
+        retransmits, RNR backpressure)."""
+        wire_stats = getattr(self.qp.wire, "stats", None)
+        stats = getattr(self.matcher, "stats", None)
+        if wire_stats is None or stats is None:
+            return
+        stats.retransmits = getattr(wire_stats, "retransmits", 0)
+        stats.rnr_naks = getattr(wire_stats, "rnr_naks", 0)
 
     def _complete(self, event: MatchEvent, *, unexpected: bool) -> None:
         token = event.message.send_seq
@@ -197,6 +211,15 @@ class RdmaReceiver:
         if staged is not None and staged.bounce is not None:
             payload = staged.bounce.read()
             self.qp.bounce_pool.release(staged.bounce)
+        elif staged is not None and staged.host_data is not None:
+            # Degraded path: the payload was spilled to host memory
+            # because the bounce pool was exhausted at staging time.
+            payload = staged.host_data
+            self.host_staged_deliveries += 1
+            stats = getattr(self.matcher, "stats", None)
+            if stats is not None:
+                stats.degraded_stagings += 1
+                stats.degraded_matches += 1
         self.completed.append(
             Delivery(
                 handle=event.receive.handle,
@@ -217,13 +240,30 @@ def pump(receiver: RdmaReceiver, *peer_qps: QueuePair, max_rounds: int = 64) -> 
     Rendezvous requires the *sender's* NIC to serve inbound RDMA read
     requests; a driver loop must therefore alternate receiver progress
     with peer ``process_inbound`` until nothing moves.
+
+    Over a reliable wire "nothing moves" is not enough: a lost packet
+    means several silent rounds while the retransmission timer counts
+    down, so the loop also waits for the wire itself to report no
+    frames in flight. A :class:`repro.rdma.reliability.TransportError`
+    (retry budget exhausted) propagates to the caller — the loop never
+    converts an unreachable peer into a silent hang.
     """
+    wires = {id(receiver.qp.wire): receiver.qp.wire}
+    for qp in peer_qps:
+        wires.setdefault(id(qp.wire), qp.wire)
     for _ in range(max_rounds):
         moved = receiver.progress()
         for qp in peer_qps:
             moved += qp.process_inbound()
-        if moved == 0 and receiver.pending_reads == 0:
-            return
+        if moved or receiver.pending_reads:
+            continue
+        if any(
+            in_flight() > 0
+            for wire in wires.values()
+            if (in_flight := getattr(wire, "in_flight", None)) is not None
+        ):
+            continue
+        return
     if receiver.pending_reads:
         raise RuntimeError(
             f"link did not quiesce in {max_rounds} rounds; "

@@ -10,6 +10,19 @@ offloaded design needs (§IV-A/B):
 * ``rdma_read`` — the receiver-side (DPA) fetches rendezvous payloads
   from sender memory registered under an rkey; the response completes
   locally without involving the remote CPU (one-sided semantics).
+
+Resource exhaustion has two graceful escapes (and one hard failure
+mode for the bare-wire configuration, preserving the historical
+semantics):
+
+* When the wire is a :class:`repro.rdma.reliability.ReliableWire`, the
+  queue pair registers a receiver-ready probe so an exhausted bounce
+  pool or full completion queue answers RNR NAK at the transport and
+  the sender retries — nothing is lost, nothing raises.
+* With ``host_spill=True``, a payload that finds no free bounce buffer
+  is staged in host memory instead (counted in ``host_spills``); the
+  DPA degrades to host resources rather than failing, per the sPIN
+  rule that NIC-resource exhaustion must spill to the host.
 """
 
 from __future__ import annotations
@@ -17,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.rdma.bounce import BounceBuffer, BounceBufferPool
+from repro.rdma.bounce import BounceBuffer, BounceBufferPool, BouncePoolExhausted
 from repro.rdma.cq import Completion, CompletionQueue
 from repro.rdma.wire import Packet, Wire
 
@@ -60,10 +73,17 @@ class MemoryRegistry:
 
 @dataclass(slots=True)
 class StagedMessage:
-    """An inbound message staged in NIC memory, as seen by the CQE."""
+    """An inbound message staged in NIC memory, as seen by the CQE.
+
+    ``host_data`` is the degraded path: the payload landed in host
+    memory because the bounce pool was exhausted (``host_spill``).
+    Exactly one of ``bounce`` / ``host_data`` is set for payload-
+    bearing messages; both are ``None`` for header-only packets.
+    """
 
     header: Any
     bounce: BounceBuffer | None
+    host_data: bytes | None = None
 
 
 class QueuePair:
@@ -76,12 +96,37 @@ class QueuePair:
         *,
         cq: CompletionQueue | None = None,
         bounce_pool: BounceBufferPool | None = None,
+        host_spill: bool = False,
     ) -> None:
         self.wire = wire
         self.side = side
         self.cq = cq if cq is not None else CompletionQueue()
         self.bounce_pool = bounce_pool if bounce_pool is not None else BounceBufferPool(4096)
         self.memory = MemoryRegistry()
+        #: Degraded mode: stage payloads in host memory when the
+        #: bounce pool is exhausted instead of raising/RNR-backpressure.
+        self.host_spill = host_spill
+        #: Payloads staged in host memory so far (degradation counter).
+        self.host_spills = 0
+        register = getattr(wire, "register_rnr_probe", None)
+        if register is not None:
+            register(side, self._receiver_ready)
+
+    def _receiver_ready(self, packet: Packet, backlog: int) -> bool:
+        """RNR probe: can this endpoint absorb one more packet now?
+
+        ``backlog`` counts packets the reliability layer has sequenced
+        but the queue pair has not yet staged; headroom checks are
+        offset by it so a burst admitted in one poll cannot overshoot
+        the pool or the completion queue.
+        """
+        if len(self.cq) + backlog >= self.cq.depth:
+            return False
+        if packet.opcode in ("send", "rts") and not self.host_spill:
+            _, payload = packet.payload
+            if payload and self.bounce_pool.available <= backlog:
+                return False
+        return True
 
     # -- sender verbs ---------------------------------------------------
 
@@ -105,10 +150,19 @@ class QueuePair:
             if packet.opcode in ("send", "rts"):
                 header, payload = packet.payload
                 bounce: BounceBuffer | None = None
+                host_data: bytes | None = None
                 if payload:
-                    bounce = self.bounce_pool.allocate()
-                    bounce.write(payload)
-                self.cq.push(packet.opcode, StagedMessage(header, bounce))
+                    try:
+                        bounce = self.bounce_pool.allocate()
+                    except BouncePoolExhausted:
+                        if not self.host_spill:
+                            raise
+                        # Degrade: NIC memory is full, stage on the host.
+                        host_data = payload
+                        self.host_spills += 1
+                    else:
+                        bounce.write(payload)
+                self.cq.push(packet.opcode, StagedMessage(header, bounce, host_data))
             elif packet.opcode == "read_request":
                 rkey, token = packet.payload
                 region = self.memory.resolve(rkey)

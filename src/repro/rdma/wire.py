@@ -1,30 +1,58 @@
-"""The simulated wire: an ordered, reliable link between two endpoints.
+"""The simulated wire: an ordered link between two endpoints.
 
-Models an RDMA reliable-connection (RC) transport at the level the
-matcher observes: packets posted at one end appear at the other end in
-order, each generating a completion at the receiver. Loss, retry, and
-congestion are below the abstraction the paper's matching layer sees
-(RC guarantees delivery and ordering), so they are deliberately out of
-scope — what matters is FIFO per direction, which is what makes the
-completion-queue arrival order a valid C2 precedence order.
+Models the transport at the level the matcher observes: packets posted
+at one end appear at the other end in order, each generating a
+completion at the receiver. The *base* :class:`Wire` is perfect — it
+neither loses nor reorders — which is the service a reliable-connection
+(RC) RDMA transport presents to its consumers. What RC NICs actually
+do to *provide* that service over a faulty physical link (PSN
+sequencing, go-back-N retransmission, RNR NAKs) is no longer out of
+scope: :mod:`repro.rdma.faultwire` injects seeded drop / duplicate /
+reorder / corruption faults below this abstraction, and
+:mod:`repro.rdma.reliability` rebuilds exactly-once FIFO delivery on
+top of them. The FIFO-per-direction guarantee — the property that
+makes completion-queue arrival order a valid C2 precedence order — is
+therefore an *implemented* invariant here, not an assumed one.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Packet", "Wire", "Endpoint"]
+__all__ = ["Packet", "Wire", "Endpoint", "packet_checksum"]
 
 
 @dataclass(frozen=True, slots=True)
 class Packet:
-    """One transport unit: an opcode plus opaque payload."""
+    """One transport unit: an opcode plus opaque payload.
 
-    opcode: str  #: "send" | "rts" | "read_request" | "read_response" | "ack"
+    ``checksum``, when set, covers the opcode and payload (see
+    :func:`packet_checksum`); the reliability layer stamps it on every
+    frame so payload corruption injected by a faulty wire is
+    detectable at the receiver. ``None`` means "unprotected" — the
+    base wire never corrupts, so bare packets don't need one.
+    """
+
+    opcode: str  #: "send" | "rts" | "read_request" | "read_response" | "ack" | "rc_*"
     payload: Any
     size: int = 0
+    checksum: int | None = None
+
+
+def packet_checksum(opcode: str, payload: Any) -> int:
+    """Deterministic 32-bit checksum over an opcode/payload pair.
+
+    Bytes payloads are hashed directly; anything else goes through its
+    ``repr`` (headers are frozen dataclasses, so reprs are stable).
+    """
+    if isinstance(payload, (bytes, bytearray)):
+        body = bytes(payload)
+    else:
+        body = repr(payload).encode()
+    return zlib.crc32(opcode.encode() + b"|" + body) & 0xFFFFFFFF
 
 
 @dataclass(slots=True)
@@ -42,17 +70,27 @@ class Wire:
     """A bidirectional FIFO link between endpoints ``a`` and ``b``."""
 
     def __init__(self, a: str = "a", b: str = "b") -> None:
+        if a == b:
+            raise ValueError(f"wire endpoints must be distinct, both named {a!r}")
         self._ends = {a: Endpoint(a), b: Endpoint(b)}
+        # Precomputed peer map: peer_of is on the per-packet hot path.
+        self._peers = {a: self._ends[b], b: self._ends[a]}
         self.delivered = 0
+
+    @property
+    def names(self) -> tuple[str, str]:
+        names = tuple(self._ends)
+        assert len(names) == 2
+        return names  # type: ignore[return-value]
 
     def endpoint(self, name: str) -> Endpoint:
         return self._ends[name]
 
     def peer_of(self, name: str) -> Endpoint:
-        names = list(self._ends)
-        if name not in self._ends:
-            raise KeyError(f"unknown endpoint {name!r}")
-        return self._ends[names[1] if name == names[0] else names[0]]
+        try:
+            return self._peers[name]
+        except KeyError:
+            raise KeyError(f"unknown endpoint {name!r}") from None
 
     def transmit(self, src: str, packet: Packet) -> None:
         """Post a packet from ``src``; it lands at the peer in order."""

@@ -12,6 +12,7 @@ import pytest
 from repro.core import EngineConfig
 from repro.core.faults import (
     NoBarrierEngine,
+    NoBookingEngine,
     NoConflictDetectionEngine,
     NoSequenceGuardEngine,
 )
@@ -77,6 +78,12 @@ class TestFaultsAreDetected:
 
     def test_no_conflict_detection_breaks_ordering(self):
         assert detects_fault(NoConflictDetectionEngine, wc_burst())
+
+    def test_no_booking_double_consumes(self):
+        """Without bitmap writes, detection sees no conflicts and two
+        threads consume the same receive — the assertion layer or the
+        oracle comparison must trip."""
+        assert detects_fault(NoBookingEngine, wc_burst())
 
     def test_no_sequence_guard_breaks_c1(self):
         assert detects_fault(

@@ -1,0 +1,83 @@
+"""Acceptance: the full stack under resource exhaustion AND a lossy wire.
+
+The ISSUE's degraded-mode bar: an undersized bounce pool on a dropping
+link must complete every transfer via host fallback — nonzero
+degraded-staging and retransmit counters, pairings identical to the
+serial oracle — rather than raising ``BouncePoolExhausted`` or hanging.
+"""
+
+from repro.chaos.harness import ChaosConfig, run_chaos
+from repro.core import EngineConfig, OptimisticMatcher, ReceiveRequest
+from repro.rdma import (
+    BounceBufferPool,
+    QueuePair,
+    RdmaReceiver,
+    RdmaSender,
+    ReliableWire,
+    pump,
+)
+from repro.rdma.faultwire import FaultPlan, FaultyWire
+
+
+class TestDegradedStackAcceptance:
+    def test_undersized_pool_on_lossy_wire_completes_via_host(self):
+        """2 bounce buffers, 5% drop, 30 messages: all delivered, all
+        oracle-correct, with both degradation and recovery visible."""
+        report = run_chaos(
+            ChaosConfig(
+                seed=1,
+                plan=FaultPlan(drop_rate=0.05),
+                bounce_buffers=2,
+                host_spill=True,
+                rounds=10,
+            )
+        )
+        assert report.ok, (report.missing, report.duplicates, report.mismatches)
+        assert report.delivered == report.sent > 0
+        assert report.degraded_stagings > 0
+        assert report.host_spills == report.degraded_stagings
+        assert report.retransmits > 0
+        assert report.dropped > 0
+
+    def test_without_host_spill_rnr_backpressure_carries_the_load(self):
+        """Same undersized pool, no host spill: the RNR probe must slow
+        the sender instead; nothing lost, pool never overshoots."""
+        wire = ReliableWire(FaultyWire("tx", "rx", plan=FaultPlan.drops(0.05, seed=2)))
+        pool = BounceBufferPool(2, 4096)
+        rx_qp = QueuePair(wire, "rx", bounce_pool=pool)
+        tx_qp = QueuePair(wire, "tx")
+        matcher = OptimisticMatcher(EngineConfig(block_threads=4, max_receives=64))
+        receiver = RdmaReceiver(rx_qp, matcher)
+        sender = RdmaSender(tx_qp, rank=0, eager_threshold=1024)
+
+        for i in range(12):
+            receiver.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+        for i in range(12):
+            sender.send(i, f"payload-{i}".encode())
+        pump(receiver, tx_qp, max_rounds=4096)
+
+        assert len(receiver.completed) == 12
+        assert [d.handle for d in receiver.completed] == list(range(12))
+        assert pool.high_water <= 2
+        assert rx_qp.host_spills == 0
+        assert wire.stats.rnr_naks > 0
+        # The receiver pipeline mirrors transport health into stats.
+        assert matcher.stats.rnr_naks == wire.stats.rnr_naks
+        assert matcher.stats.retransmits == wire.stats.retransmits
+
+    def test_degraded_chaos_profile_holds_across_seeds(self):
+        """A band of seeds on the degraded profile: exactly-once and
+        oracle-identical every time, with spills actually occurring."""
+        total_spills = 0
+        for seed in range(1, 21):
+            report = run_chaos(
+                ChaosConfig(
+                    seed=seed,
+                    plan=FaultPlan(drop_rate=0.05),
+                    bounce_buffers=2,
+                    host_spill=True,
+                )
+            )
+            assert report.ok, f"seed {seed}: {report}"
+            total_spills += report.host_spills
+        assert total_spills > 0

@@ -84,6 +84,53 @@ class TestCredits:
         with pytest.raises(ValueError):
             sender.grant(-1)
 
+    def test_stall_at_exact_max_queued_boundary(self):
+        """The bound is inclusive: max_queued sends queue fine, the
+        next raises, and the stalled send is not half-enqueued."""
+        wire = Wire("tx", "rx")
+        tx = QueuePair(wire, "tx")
+        sender = CreditedSender(
+            RdmaSender(tx, rank=0, eager_threshold=1024), max_queued=3
+        )
+        assert sender.max_queued == 3
+        for i in range(3):
+            assert sender.send(tag=i, payload=b"q") is False
+        with pytest.raises(CreditStall):
+            sender.send(tag=99, payload=b"overflow")
+        assert sender.queued == 3  # the failed send left no residue
+        assert sender.stalls == 3
+
+    def test_partial_grant_with_nonempty_queue(self):
+        """A grant smaller than the backlog releases exactly that many
+        queued sends and banks zero credits."""
+        sender, receiver, tx = build()
+        for i in range(5):
+            sender.send(tag=i, payload=b"m")
+        assert sender.grant(2) == 2
+        assert sender.queued == 3
+        assert sender.credits == 0
+        assert sender.grants_received == 2
+        # A fresh send while a backlog exists must queue, not jump it.
+        assert sender.send(tag=100, payload=b"late") is False
+        assert sender.queued == 4
+
+    def test_drain_order_after_stall_is_fifo(self):
+        """Messages released after a stall arrive in original send
+        order — flow control must not reorder (C2 depends on it)."""
+        sender, receiver, tx = build(pool_size=8)
+        for i in range(6):
+            receiver.receiver.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+        payloads = [f"msg-{i}".encode() for i in range(6)]
+        for i, payload in enumerate(payloads):
+            sender.send(tag=i, payload=payload)  # all queue: zero credits
+        assert sender.queued == 6
+        receiver.initial_grant()
+        sender.pump_grants()
+        drive(sender, receiver, tx)
+        delivered = [d.payload for d in receiver.receiver.completed]
+        assert delivered == payloads
+        assert [d.handle for d in receiver.receiver.completed] == list(range(6))
+
     def test_grant_batching(self):
         sender, receiver, tx = build(pool_size=16)
         receiver.initial_grant()

@@ -40,6 +40,16 @@ class TestWire:
         with pytest.raises(KeyError):
             Wire("a", "b").peer_of("c")
 
+    def test_duplicate_endpoint_names_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Wire("a", "a")
+
+    def test_peer_lookup_is_symmetric(self):
+        wire = Wire("left", "right")
+        assert wire.peer_of("left").name == "right"
+        assert wire.peer_of("right").name == "left"
+        assert wire.names == ("left", "right")
+
 
 class TestCompletionQueue:
     def test_sequence_numbers_are_arrival_order(self):
