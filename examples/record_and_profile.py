@@ -3,16 +3,26 @@
 
 The full tooling loop in one script: write a small MPI program
 against the simulated runtime, *record* its execution as a DUMPI-style
-trace, then feed that trace to the analyzer for the complete matching
-profile — the workflow a user would follow to decide whether their
+trace, feed that trace to the analyzer for the complete matching
+profile, and emit the observability artifacts — a Perfetto-loadable
+Chrome trace of the run in virtual walltime plus an ASCII metrics
+report — the workflow a user would follow to decide whether their
 own application suits offloaded matching.
 
 Run:  python examples/record_and_profile.py
+Then open the printed ``.trace.json`` at https://ui.perfetto.dev/.
 """
 
+import tempfile
+from pathlib import Path
+
 from repro.analyzer import format_app_report
+from repro.analyzer.processing import analyze
 from repro.core import ANY_SOURCE, EngineConfig
 from repro.mpisim import MpiSim, RecordingSim
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import render_metrics
+from repro.obs.trace import mpi_trace_to_chrome
 from repro.traces.lint import lint_trace
 
 
@@ -57,6 +67,22 @@ def main() -> None:
           f"{len(report.warnings())} warnings)\n")
 
     print(format_app_report(trace, bins_list=(1, 16, 64)))
+
+    # -- observability artifacts --------------------------------------
+    # The recorded ops become a Perfetto timeline (one thread track per
+    # rank, spans at virtual walltime) ...
+    trace_path = Path(tempfile.gettempdir()) / "producer-consumer.trace.json"
+    mpi_trace_to_chrome(trace).write(str(trace_path))
+    print(f"\nPerfetto trace: {trace_path} (open at https://ui.perfetto.dev/)")
+
+    # ... and the analysis numbers become a metrics snapshot, rendered
+    # as the same ASCII report `python -m repro.obs.report` produces.
+    registry = MetricsRegistry()
+    for bins in (1, 16, 64):
+        analysis = analyze(trace, bins)
+        registry.register_stats(f"analysis.bins{bins}.depth", analysis.depth)
+    print("\nqueue-depth metrics by bin count:")
+    print(render_metrics(registry.snapshot(), match="mean_depth", width=32))
 
 
 if __name__ == "__main__":

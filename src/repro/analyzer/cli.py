@@ -65,7 +65,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --app or --trace-dir: print the full matching profile",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="with --app or --trace-dir: write the trace as Perfetto-loadable "
+        "Chrome trace_event JSON (virtual walltime)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="with --app or --trace-dir: write the per-bins analysis metrics "
+        "as a repro.obs snapshot (JSON)",
+    )
     return parser
+
+
+def _write_obs(trace, results, args) -> None:
+    """Emit observability artifacts for one analyzed trace.
+
+    ``results`` may be a dict (bins -> AppAnalysis) or a zero-argument
+    callable producing one, so call sites that already analyzed pass
+    their dict and others only pay for analysis when asked.
+    """
+    if args.trace_out:
+        from repro.obs.trace import mpi_trace_to_chrome
+
+        mpi_trace_to_chrome(trace).write(args.trace_out)
+        print(f"trace: {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for bins, analysis in (results() if callable(results) else results).items():
+            prefix = f"analysis.bins{bins}"
+            registry.register_stats(f"{prefix}.depth", analysis.depth)
+            registry.add_collector(
+                prefix,
+                lambda a=analysis: {
+                    "unique_pairs": float(a.unique_pairs),
+                    "unique_tags": float(a.unique_tags()),
+                    "total_ops": float(a.total_ops),
+                    "p2p_fraction": a.p2p_fraction(),
+                    "nprocs": float(a.nprocs),
+                },
+            )
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            fp.write(registry.snapshot().to_json())
+        print(f"metrics: {args.metrics_out}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -125,9 +171,11 @@ def main(argv: list[str] | None = None) -> int:
             from repro.analyzer.fullreport import format_app_report
 
             print(format_app_report(trace, bins_list=args.bins))
+            _write_obs(trace, lambda: {b: analyze(trace, b) for b in args.bins}, args)
             return 0
         results = sweep_trace(trace, args.bins)
         print(format_figure7({trace.name: results}))
+        _write_obs(trace, results, args)
         return 0
     if args.app:
         trace = generate(args.app, processes=args.processes, rounds=args.rounds)
@@ -135,9 +183,11 @@ def main(argv: list[str] | None = None) -> int:
             from repro.analyzer.fullreport import format_app_report
 
             print(format_app_report(trace, bins_list=args.bins))
+            _write_obs(trace, lambda: {b: analyze(trace, b) for b in args.bins}, args)
             return 0
         results = {bins: analyze(trace, bins) for bins in args.bins}
         print(format_figure7({args.app: results}))
+        _write_obs(trace, results, args)
         return 0
     build_parser().print_help()
     return 2

@@ -20,6 +20,8 @@ import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, ScopedTracer, SpanTracer
 from repro.rdma.faultwire import FaultPlan, FaultyWire
 from repro.rdma.reliability import ReliableWire
 from repro.rdma.wire import Packet
@@ -55,10 +57,15 @@ def run_pingpong(
     *,
     k: int = DEFAULT_K,
     sequences: int = DEFAULT_SEQUENCES,
+    tracer: SpanTracer = NULL_TRACER,
+    registry: MetricsRegistry | None = None,
 ) -> ReliabilityBenchResult:
     """k messages a->b, one ack b->a, repeated; count receive() ticks."""
     raw = FaultyWire("a", "b", plan=plan)
-    wire = ReliableWire(raw)
+    wire = ReliableWire(raw, tracer=tracer)
+    if registry is not None:
+        registry.register_stats(f"bench.{label}.rc", wire.stats)
+        registry.register_stats(f"bench.{label}.faults", raw.stats)
     ticks = 0
 
     def exchange(src: str, dst: str, count: int) -> None:
@@ -96,13 +103,24 @@ def run_bench(
     sequences: int = DEFAULT_SEQUENCES,
     drop_rate: float = DEFAULT_DROP_RATE,
     seed: int = DEFAULT_SEED,
+    tracer: SpanTracer = NULL_TRACER,
+    registry: MetricsRegistry | None = None,
 ) -> dict:
-    clean = run_pingpong("clean", FaultPlan.clean(seed), k=k, sequences=sequences)
+    clean = run_pingpong(
+        "clean",
+        FaultPlan.clean(seed),
+        k=k,
+        sequences=sequences,
+        tracer=ScopedTracer(tracer, "clean/"),
+        registry=registry,
+    )
     lossy = run_pingpong(
         f"drop-{drop_rate:g}",
         FaultPlan.drops(drop_rate, seed),
         k=k,
         sequences=sequences,
+        tracer=ScopedTracer(tracer, "lossy/"),
+        registry=registry,
     )
     return {
         "benchmark": "reliability-pingpong",
@@ -128,11 +146,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sequences", type=int, default=DEFAULT_SEQUENCES)
     parser.add_argument("--drop-rate", type=float, default=DEFAULT_DROP_RATE)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Perfetto-loadable trace of both runs (wire ticks)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a metrics snapshot of both wires' counters (JSON)",
+    )
     args = parser.parse_args(argv)
+    tracer = SpanTracer() if args.trace_out else NULL_TRACER
+    registry = MetricsRegistry() if args.metrics_out else None
     payload = run_bench(
-        k=args.k, sequences=args.sequences, drop_rate=args.drop_rate, seed=args.seed
+        k=args.k,
+        sequences=args.sequences,
+        drop_rate=args.drop_rate,
+        seed=args.seed,
+        tracer=tracer,
+        registry=registry,
     )
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    if args.trace_out:
+        tracer.write(args.trace_out)
+        print(f"trace: {args.trace_out} ({len(tracer)} events)")
+    if registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            fp.write(registry.snapshot().to_json())
+        print(f"metrics: {args.metrics_out}")
     clean, lossy = payload["results"]
     print(
         f"clean: {clean['ticks_per_message']:.2f} ticks/msg | "

@@ -33,7 +33,10 @@ from dataclasses import dataclass, field
 from repro.core.config import EngineConfig
 from repro.core.engine import OptimisticMatcher
 from repro.core.envelope import ANY_SOURCE, ANY_TAG, MessageEnvelope, ReceiveRequest
+from repro.matching.fallback import FallbackMatcher
 from repro.matching.list_matcher import ListMatcher
+from repro.obs.hooks import DegradedWindowWatcher, EngineTraceObserver
+from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.rdma.bounce import BounceBufferPool
 from repro.rdma.cq import CompletionQueue
 from repro.rdma.faultwire import FaultPlan, FaultyWire
@@ -77,6 +80,10 @@ class ChaosConfig:
     max_receives: int = 256
     block_threads: int = 8
     pump_rounds: int = 4096
+    #: Match through a *recoverable* :class:`FallbackMatcher` instead
+    #: of a bare engine: descriptor-table overflow spills to software
+    #: and drains back, exercising multiple engine generations.
+    fallback: bool = False
 
 
 @dataclass(slots=True)
@@ -105,6 +112,15 @@ class ChaosReport:
     corrupted: int = 0
     host_spills: int = 0
     degraded_stagings: int = 0
+    #: Engine-generation boundaries (fallback mode): descriptor-table
+    #: spills to software and migrations back onto a fresh engine.
+    fallback_spills: int = 0
+    fallback_recoveries: int = 0
+    #: Reliability counters as *mirrored onto the carried engine
+    #: stats* — must equal the wire's own cumulative counts even when
+    #: the run spans several engine generations.
+    engine_retransmits: int = 0
+    engine_rnr_naks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -123,16 +139,55 @@ def _identity(payload: bytes) -> str:
     return payload.rstrip(b".").decode()
 
 
-def run_chaos(config: ChaosConfig) -> ChaosReport:
+class _FallbackPipeline:
+    """Duck-type a :class:`FallbackMatcher` into the pipeline matcher
+    interface (``post_receive`` / ``submit_message`` / ``process_all``)
+    that :class:`RdmaReceiver` drives.
+
+    The software side of the fallback resolves messages immediately
+    (serial semantics); those events are buffered here and surfaced on
+    the next ``process_all`` so the receiver sees one event stream
+    regardless of which generation's engine did the matching.
+    """
+
+    def __init__(self, fallback: FallbackMatcher) -> None:
+        self.fallback = fallback
+        self._events: list = []
+
+    @property
+    def stats(self):
+        return self.fallback.stats
+
+    def post_receive(self, request: ReceiveRequest):
+        return self.fallback.post_receive(request)
+
+    def submit_message(self, msg: MessageEnvelope) -> None:
+        event = self.fallback.incoming_message(msg)
+        if event is not None:
+            self._events.append(event)
+
+    def process_all(self) -> list:
+        events, self._events = self._events, []
+        events.extend(self.fallback.flush())
+        return events
+
+
+def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> ChaosReport:
     """Execute one seeded schedule; never raises on transport failure
-    (the report carries it) so soak loops survive hostile fault plans."""
+    (the report carries it) so soak loops survive hostile fault plans.
+
+    ``tracer`` (optional) receives the run's simulated-time spans — RC
+    retransmit/RNR windows on the wire-tick clock, engine block spans,
+    and spill->recovery windows — all stamped with the reliability
+    layer's tick clock so one Perfetto timeline covers the stack.
+    """
     rng = make_rng(config.seed)
     plan = config.plan
     if plan.seed == 0 and config.seed != 0:
         plan = plan.with_options(seed=config.seed)
 
     raw = FaultyWire("tx", "rx", plan=plan)
-    wire = ReliableWire(raw, config=config.reliability)
+    wire = ReliableWire(raw, config=config.reliability, tracer=tracer)
     rx_qp = QueuePair(
         wire,
         "rx",
@@ -141,10 +196,25 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
         host_spill=config.host_spill,
     )
     tx_qp = QueuePair(wire, "tx")
-    matcher = OptimisticMatcher(
-        EngineConfig(
-            max_receives=config.max_receives, block_threads=config.block_threads
+    engine_config = EngineConfig(
+        max_receives=config.max_receives, block_threads=config.block_threads
+    )
+    clock = lambda: float(wire.now)  # noqa: E731 - one shared sim clock
+    observer = (
+        EngineTraceObserver(tracer, clock, process="engine")
+        if tracer.enabled
+        else None
+    )
+    if config.fallback:
+        matcher = _FallbackPipeline(
+            FallbackMatcher(engine_config, recoverable=True, observer=observer)
         )
+    else:
+        matcher = OptimisticMatcher(engine_config, observer=observer)
+    watcher = (
+        DegradedWindowWatcher(tracer, matcher.stats, clock)
+        if tracer.enabled
+        else None
     )
     receiver = RdmaReceiver(rx_qp, matcher)
     senders = [
@@ -199,6 +269,8 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
                     size = int(rng.integers(8, config.eager_threshold))
                 send_one(rank, tag, size)
             pump(receiver, tx_qp, max_rounds=config.pump_rounds)
+            if watcher is not None:
+                watcher.poll()
         # Cleanup: drain whatever is still parked unexpected so every
         # sent message must surface as exactly one delivery.
         outstanding = len(sent_idents) - len(receiver.completed)
@@ -208,7 +280,11 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
     except TransportError as exc:
         report.transport_failed = True
         report.transport_error = str(exc)
+    if watcher is not None:
+        watcher.poll()
+        watcher.close()
 
+    stats = matcher.stats
     report.sent = len(sent_idents)
     report.delivered = len(receiver.completed)
     report.retransmits = wire.stats.retransmits
@@ -219,7 +295,11 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
     report.reordered = raw.stats.reordered
     report.corrupted = raw.stats.corrupted
     report.host_spills = rx_qp.host_spills
-    report.degraded_stagings = matcher.stats.degraded_stagings
+    report.degraded_stagings = stats.degraded_stagings
+    report.fallback_spills = stats.fallback_spills
+    report.fallback_recoveries = stats.fallback_recoveries
+    report.engine_retransmits = stats.retransmits
+    report.engine_rnr_naks = stats.rnr_naks
     if report.transport_failed:
         return report
 

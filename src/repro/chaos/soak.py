@@ -3,25 +3,39 @@
 Usage::
 
     PYTHONPATH=src python -m repro.chaos.soak --seeds 50
+    PYTHONPATH=src python -m repro.chaos.soak --seeds 20 \
+        --trace-out soak.trace.json --metrics-out soak.metrics.json
 
 Runs each seed through every profile and exits nonzero on the first
 correctness violation (lost/duplicated message or oracle divergence).
 Transport failures only count as violations under profiles that are
 expected to survive; the ``hostile`` profile is allowed to fail, but
 must fail *deterministically*.
+
+Observability: ``--metrics-out`` writes a :mod:`repro.obs.registry`
+snapshot (counters labeled by profile, cumulative across every run —
+render with ``python -m repro.obs.report``). ``--trace-out`` writes a
+Chrome ``trace_event`` JSON for Perfetto: for each profile, the most
+*eventful* seed (weighted toward spill/recovery windows, then
+retransmits and RNR stalls) is deterministically re-run under a scoped
+tracer, so one file holds a representative simulated-time timeline per
+profile without tracing every run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.chaos.harness import ChaosConfig, ChaosReport, run_chaos
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
+from repro.obs.trace import ScopedTracer, SpanTracer
 from repro.rdma.faultwire import FaultPlan
 
-__all__ = ["PROFILES", "main"]
+__all__ = ["PROFILES", "main", "soak"]
 
-#: name -> (fault plan template, undersized resources?)
+#: name -> config template (fault plan, resources, matcher shape).
 PROFILES: dict[str, ChaosConfig] = {
     "clean": ChaosConfig(),
     "drops": ChaosConfig(plan=FaultPlan(drop_rate=0.08)),
@@ -35,15 +49,136 @@ PROFILES: dict[str, ChaosConfig] = {
         bounce_buffers=2,
         host_spill=True,
     ),
+    # Undersized descriptor table + recoverable fallback: runs spill to
+    # software and migrate back, spanning several engine generations.
+    "spill": ChaosConfig(
+        plan=FaultPlan(drop_rate=0.05),
+        fallback=True,
+        max_receives=8,
+        block_threads=4,
+        rounds=16,
+        max_posts_per_round=8,
+        max_sends_per_round=8,
+        wildcard_rate=0.5,
+    ),
 }
+
+#: ChaosReport counters folded into the soak metrics registry.
+_REPORT_COUNTERS = (
+    "sent",
+    "delivered",
+    "retransmits",
+    "rnr_naks",
+    "faults_injected",
+    "dropped",
+    "duplicated",
+    "reordered",
+    "corrupted",
+    "host_spills",
+    "degraded_stagings",
+    "fallback_spills",
+    "fallback_recoveries",
+    "engine_retransmits",
+    "engine_rnr_naks",
+)
 
 
 def _describe(name: str, report: ChaosReport) -> str:
     return (
         f"{name} seed={report.seed}: sent={report.sent} delivered={report.delivered} "
         f"faults={report.faults_injected} retransmits={report.retransmits} "
-        f"rnr={report.rnr_naks} spills={report.host_spills}"
+        f"rnr={report.rnr_naks} spills={report.host_spills} "
+        f"generations={1 + report.fallback_recoveries}"
     )
+
+
+def _interest(report: ChaosReport) -> int:
+    """How much a run would show in a trace (for picking what to trace)."""
+    return (
+        1000 * (report.fallback_spills + report.fallback_recoveries)
+        + report.retransmits
+        + report.rnr_naks
+    )
+
+
+def _record(registry: MetricsRegistry, name: str, report: ChaosReport) -> None:
+    """Fold one run's report into the cumulative soak metrics."""
+    labels = {"profile": name}
+    registry.counter("chaos.runs", "chaos runs executed").labels(**labels).inc()
+    if not report.ok:
+        registry.counter("chaos.failures", "runs violating exactly-once/oracle").labels(
+            **labels
+        ).inc()
+    if report.transport_failed:
+        registry.counter(
+            "chaos.transport_failures", "runs ending in TransportError"
+        ).labels(**labels).inc()
+    for field_name in _REPORT_COUNTERS:
+        registry.counter(
+            f"chaos.{field_name}", f"cumulative ChaosReport.{field_name}"
+        ).labels(**labels).inc(getattr(report, field_name))
+    registry.histogram(
+        "chaos.retransmits_per_run",
+        "retransmissions needed by one run",
+        buckets=(0, 1, 2, 5, 10, 20, 50, 100),
+    ).labels(**labels).observe(report.retransmits)
+    registry.histogram(
+        "chaos.generations_per_run",
+        "engine generations one run spanned",
+        buckets=(1, 2, 3, 5, 8),
+    ).labels(**labels).observe(1 + report.fallback_recoveries)
+
+
+def soak(
+    names: list[str],
+    seeds: range,
+    *,
+    tracer: SpanTracer | None = None,
+    registry: MetricsRegistry | None = None,
+    verbose: bool = False,
+    out=sys.stdout,
+    err=sys.stderr,
+) -> tuple[int, int]:
+    """Run the soak matrix; returns ``(runs, failures)``.
+
+    With a ``tracer``, each profile's most eventful seed is re-run
+    (deterministically — same seed, same report) under a scoped view
+    so the trace holds one timeline per profile.
+    """
+    failures = 0
+    runs = 0
+    for name in names:
+        template = PROFILES[name]
+        best_seed: int | None = None
+        best_interest = -1
+        for seed in seeds:
+            config = replace(template, seed=seed)
+            report = run_chaos(config)
+            runs += 1
+            if registry is not None:
+                _record(registry, name, report)
+            interest = _interest(report)
+            if not report.transport_failed and interest > best_interest:
+                best_seed, best_interest = seed, interest
+            if verbose:
+                print(_describe(name, report), file=out)
+            if not report.ok:
+                failures += 1
+                print(f"FAIL {_describe(name, report)}", file=err)
+                if report.transport_failed:
+                    print(f"  transport: {report.transport_error}", file=err)
+                for line in report.duplicates[:5]:
+                    print(f"  duplicate: {line}", file=err)
+                for line in report.missing[:5]:
+                    print(f"  missing: {line}", file=err)
+                for line in report.mismatches[:5]:
+                    print(f"  mismatch: {line}", file=err)
+        if tracer is not None and tracer.enabled and best_seed is not None:
+            scoped = ScopedTracer(tracer, f"{name}/")
+            run_chaos(replace(template, seed=best_seed), tracer=scoped)
+            if verbose:
+                print(f"{name}: traced seed {best_seed}", file=out)
+    return runs, failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -52,35 +187,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed-base", type=int, default=1, help="first seed")
     parser.add_argument("--profile", choices=sorted(PROFILES), default=None)
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Perfetto-loadable Chrome trace of one representative "
+        "seed per profile",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a cumulative metrics snapshot (JSON) of every run",
+    )
     args = parser.parse_args(argv)
 
     names = [args.profile] if args.profile else sorted(PROFILES)
-    failures = 0
-    runs = 0
-    for name in names:
-        template = PROFILES[name]
-        for seed in range(args.seed_base, args.seed_base + args.seeds):
-            config = ChaosConfig(
-                seed=seed,
-                plan=template.plan,
-                bounce_buffers=template.bounce_buffers,
-                host_spill=template.host_spill,
-            )
-            report = run_chaos(config)
-            runs += 1
-            if args.verbose:
-                print(_describe(name, report))
-            if not report.ok:
-                failures += 1
-                print(f"FAIL {_describe(name, report)}", file=sys.stderr)
-                if report.transport_failed:
-                    print(f"  transport: {report.transport_error}", file=sys.stderr)
-                for line in report.duplicates[:5]:
-                    print(f"  duplicate: {line}", file=sys.stderr)
-                for line in report.missing[:5]:
-                    print(f"  missing: {line}", file=sys.stderr)
-                for line in report.mismatches[:5]:
-                    print(f"  mismatch: {line}", file=sys.stderr)
+    tracer = SpanTracer() if args.trace_out else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    runs, failures = soak(
+        names,
+        range(args.seed_base, args.seed_base + args.seeds),
+        tracer=tracer,
+        registry=registry,
+        verbose=args.verbose,
+    )
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"trace: {args.trace_out} ({len(tracer)} events)")
+    if registry is not None:
+        snapshot: MetricsSnapshot = registry.snapshot()
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            fp.write(snapshot.to_json())
+        print(f"metrics: {args.metrics_out} ({len(snapshot.values)} series)")
     print(f"chaos soak: {runs} runs, {failures} failures")
     return 1 if failures else 0
 

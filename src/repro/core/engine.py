@@ -44,6 +44,7 @@ from repro.core.indexes import (
 from repro.core.optimistic import search_candidate
 from repro.core.stats import BlockStats, EngineStats
 from repro.core.threadsim import SchedulePolicy, SteppedExecutor, Yielded
+from repro.obs.probe import probe
 from repro.util.counters import MonotonicCounter, SequenceLabeler
 
 __all__ = ["OptimisticMatcher", "HintViolation"]
@@ -96,18 +97,20 @@ class OptimisticMatcher:
         policy: SchedulePolicy | None = None,
         comm: int = 0,
         keep_history: bool = False,
+        history_limit: int | None = None,
         observer: "Callable[[str, dict], None] | None" = None,
     ) -> None:
         """``observer``, when given, receives ``(event, payload)``
         tuples at decision points ('consume', 'unexpected',
         'block_end') — a debugging/observability hook with zero cost
-        when unset."""
+        when unset. ``history_limit`` bounds the retained per-block
+        history when ``keep_history`` is on (soak-safe memory)."""
         self.config = config if config is not None else EngineConfig()
         self.comm = comm
         self.indexes = ReceiveIndexes(self.config.bins)
         self.unexpected = UnexpectedIndexes(self.config.bins)
         self.table = DescriptorTable(self.config.max_receives, self.config.block_threads)
-        self.stats = EngineStats(keep_history=keep_history)
+        self.stats = EngineStats(keep_history=keep_history, history_limit=history_limit)
         self._executor = SteppedExecutor(policy)
         self._post_labels = MonotonicCounter()
         self._sequencer = SequenceLabeler()
@@ -122,10 +125,16 @@ class OptimisticMatcher:
         #: queue internally (e.g. cancel); returned by process_all.
         self._event_backlog: list[MatchEvent] = []
 
+    def set_observer(self, observer: "Callable[[str, dict], None] | None") -> None:
+        """Install (or clear) the decision-point observer post hoc —
+        the attach point :mod:`repro.obs.hooks` uses."""
+        self._observer = observer
+
     # ------------------------------------------------------------------
     # Host-side operations (QP commands)
     # ------------------------------------------------------------------
 
+    @probe("engine.post_receive")
     def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
         """Post a receive: drain the unexpected store or index it.
 
@@ -228,6 +237,7 @@ class OptimisticMatcher:
     def unexpected_count(self) -> int:
         return len(self.unexpected)
 
+    @probe("engine.process_block")
     def process_block(self) -> list[MatchEvent]:
         """Match one block of up to N queued messages in parallel."""
         if not self._pending:
@@ -440,6 +450,10 @@ class OptimisticMatcher:
                     "conflicts": ctx.stats.conflicts,
                     "fast": ctx.stats.fast_path,
                     "slow": ctx.stats.slow_path,
+                    # Executor critical path / total work, for span
+                    # durations in the tracing layer.
+                    "steps_span": max(ctx.stats.thread_steps, default=0),
+                    "steps_total": sum(ctx.stats.thread_steps),
                 },
             )
 

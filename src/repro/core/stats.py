@@ -88,6 +88,10 @@ class EngineStats:
     block_history: list[BlockStats] = field(default_factory=list)
     #: Keep per-block history only when True (benchmarks disable it).
     keep_history: bool = True
+    #: With ``keep_history``, retain at most this many recent blocks
+    #: (None = unbounded). Soaks set a bound so memory cannot grow with
+    #: run length; the cumulative counters above are unaffected.
+    history_limit: int | None = None
 
     def absorb(self, block: BlockStats) -> None:
         """Fold one block's counters into the cumulative totals."""
@@ -108,6 +112,11 @@ class EngineStats:
         self.swept += block.swept
         if self.keep_history:
             self.block_history.append(block)
+            if (
+                self.history_limit is not None
+                and len(self.block_history) > self.history_limit
+            ):
+                del self.block_history[: len(self.block_history) - self.history_limit]
 
     def conflict_rate(self) -> float:
         """Fraction of processed messages whose thread conflicted."""

@@ -38,6 +38,8 @@ from repro.core.threadsim import SchedulePolicy
 from repro.dpa.costs import DpaCostModel, HostCostModel
 from repro.dpa.memory import MemoryModel
 from repro.matching.list_matcher import ListMatcher
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.util.counters import MonotonicCounter
 
 __all__ = ["DpaMachine", "DpaRunReport"]
@@ -77,9 +79,17 @@ class DpaMachine:
         cost_model: DpaCostModel | None = None,
         policy: SchedulePolicy | None = None,
         keep_block_history: bool = False,
+        keep_history: bool | None = None,
+        history_limit: int | None = None,
         degrade_to_host: bool = True,
         host_costs: HostCostModel | None = None,
+        tracer: SpanTracer = NULL_TRACER,
     ) -> None:
+        """``keep_history`` (alias of the older ``keep_block_history``)
+        retains per-block history and cycle breakdowns; off by default
+        so long runs stay memory-bounded. ``history_limit`` caps the
+        retained history when it is on. ``tracer`` receives block and
+        spill->recovery spans stamped on the DPA cycle clock."""
         self.config = config if config is not None else EngineConfig()
         if self.config.block_threads > BF3_THREADS:
             raise ValueError(
@@ -90,10 +100,24 @@ class DpaMachine:
         self.costs = cost_model if cost_model is not None else DpaCostModel()
         self.host_costs = host_costs if host_costs is not None else HostCostModel()
         self._policy = policy
-        self.engine = OptimisticMatcher(self.config, policy=policy, keep_history=True)
+        self._keep_block_history = (
+            keep_block_history if keep_history is None else keep_history
+        )
+        self._history_limit = history_limit
+        # The engine always records block stats (the cycle model needs
+        # each block's thread steps to cost it); when history retention
+        # is off, _drain_engine truncates right after costing, so the
+        # history never outlives one drain.
+        self.engine = OptimisticMatcher(
+            self.config, policy=policy, keep_history=True, history_limit=history_limit
+        )
         self.report = DpaRunReport()
-        self._keep_block_history = keep_block_history
         self.memory = MemoryModel(self.config.bins, self.config.max_receives)
+        self._tracer = tracer
+        self._blocks_track = tracer.track("dpa", "blocks") if tracer.enabled else None
+        self._degraded_track = (
+            tracer.track("dpa", "degraded") if tracer.enabled else None
+        )
         self._degrade_to_host = degrade_to_host
         #: Non-None while spilled: the host-side matcher owning the
         #: live working set.
@@ -106,6 +130,23 @@ class DpaMachine:
     def degraded(self) -> bool:
         """Whether matching is currently spilled to the host."""
         return self._host is not None
+
+    def now_us(self) -> float:
+        """The machine's simulated clock: elapsed DPA microseconds."""
+        return self.costs.cycles_to_seconds(self.report.dpa_cycles) * 1e6
+
+    def register_metrics(self, registry: MetricsRegistry, *, prefix: str = "dpa") -> None:
+        """Expose this machine's accounting in a metrics registry.
+
+        Both the run report and the engine stats are *pulled* at
+        snapshot time; the stats object is carried across spill and
+        recovery, so counters stay cumulative over engine generations.
+        """
+        registry.register_stats(f"{prefix}.report", self.report)
+        registry.register_stats(f"{prefix}.engine", self.engine.stats)
+        registry.gauge(
+            f"{prefix}.degraded", "1 while matching is spilled to the host"
+        ).set_function(lambda: 1.0 if self.degraded else 0.0)
 
     def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
         """Host -> DPA receive-post command (QP write, §III-E).
@@ -155,11 +196,40 @@ class DpaMachine:
             events.extend(self.engine.process_block())
             for block in self.engine.stats.block_history[start:]:
                 cycles = self.costs.block_cycles(block, self.cores)
+                started_us = self.now_us()
                 self.report.blocks += 1
                 self.report.messages += block.messages
                 self.report.dpa_cycles += cycles
                 if self._keep_block_history:
                     self.report.per_block_cycles.append(cycles)
+                    if (
+                        self._history_limit is not None
+                        and len(self.report.per_block_cycles) > self._history_limit
+                    ):
+                        del self.report.per_block_cycles[
+                            : len(self.report.per_block_cycles) - self._history_limit
+                        ]
+                if self._blocks_track is not None:
+                    self._tracer.complete(
+                        self._blocks_track,
+                        "block",
+                        started_us,
+                        self.now_us() - started_us,
+                        args={
+                            "messages": block.messages,
+                            "conflicts": block.conflicts,
+                            "fast": block.fast_path,
+                            "slow": block.slow_path,
+                            "cycles": cycles,
+                        },
+                    )
+                    if block.slow_path:
+                        self._tracer.instant(
+                            self._blocks_track,
+                            "slow_path",
+                            self.now_us(),
+                            args={"count": block.slow_path},
+                        )
             if not self._keep_block_history:
                 # History was only needed to cost the new blocks.
                 del self.engine.stats.block_history[start:]
@@ -177,13 +247,26 @@ class DpaMachine:
         host.decisions = MonotonicCounter(self.engine.decisions.peek())
         self._host = host
         self.engine.stats.fallback_spills += 1
+        if self._degraded_track is not None:
+            self._tracer.begin(
+                self._degraded_track,
+                "degraded",
+                self.now_us(),
+                args={"spill": self.engine.stats.fallback_spills},
+            )
+            self._tracer.instant(self._degraded_track, "spill", self.now_us())
 
     def _maybe_recover(self) -> None:
         """Migrate back to the accelerator once the host set drained."""
         if self._host is None or self._host.posted_count > self._recover_threshold:
             return
         receives, unexpected = self._host.export_state()
-        fresh = OptimisticMatcher(self.config, policy=self._policy, keep_history=True)
+        fresh = OptimisticMatcher(
+            self.config,
+            policy=self._policy,
+            keep_history=True,
+            history_limit=self._history_limit,
+        )
         # Carry the cumulative stats object across engine generations.
         fresh.stats = self.engine.stats
         fresh.decisions = MonotonicCounter(self._host.decisions.peek())
@@ -191,6 +274,9 @@ class DpaMachine:
         self.engine = fresh
         self._host = None
         self.engine.stats.fallback_recoveries += 1
+        if self._degraded_track is not None:
+            self._tracer.instant(self._degraded_track, "recovery", self.now_us())
+            self._tracer.end(self._degraded_track, self.now_us())
 
     def _host_post(self, request: ReceiveRequest) -> MatchEvent | None:
         assert self._host is not None

@@ -32,7 +32,14 @@ class OffloadedEndpoint:
         *,
         cores: int = BF3_CORES,
         cost_model: DpaCostModel | None = None,
+        keep_history: bool = False,
+        history_limit: int | None = None,
     ) -> None:
+        """``keep_history`` retains per-block stats on the engine
+        (bounded by ``history_limit`` when given); off by default so a
+        long-lived endpoint cannot grow memory with traffic. Cycle
+        accounting is exact either way — blocks are costed before any
+        truncation."""
         self.config = config if config is not None else EngineConfig()
         self.memory = MemoryModel(self.config.bins, self.config.max_receives)
         if self.memory.requires_fallback():
@@ -41,12 +48,17 @@ class OffloadedEndpoint:
                 f"beyond DPA L3 ({self.memory.l3_bytes / 1024:.0f} KiB); "
                 "create the communicator in software instead (§III-E)"
             )
+        # History retention is managed here, after costing, so the
+        # engine itself stays unbounded (a limit applied inside absorb
+        # could trim blocks before they were costed).
         self.engine = OptimisticMatcher(self.config, keep_history=True)
         self.receiver = RdmaReceiver(qp, self.engine)
         self.costs = cost_model if cost_model is not None else DpaCostModel()
         self.cores = cores
         self.dpa_cycles = 0.0
         self._blocks_costed = 0
+        self._keep_history = keep_history
+        self._history_limit = history_limit
 
     # -- MPI-facing surface --------------------------------------------
 
@@ -75,6 +87,13 @@ class OffloadedEndpoint:
             block = history[self._blocks_costed]
             self.dpa_cycles += self.costs.block_cycles(block, self.cores)
             self._blocks_costed += 1
+        if not self._keep_history:
+            history.clear()
+            self._blocks_costed = 0
+        elif self._history_limit is not None and len(history) > self._history_limit:
+            drop = len(history) - self._history_limit
+            del history[:drop]
+            self._blocks_costed -= drop
 
     @property
     def dpa_seconds(self) -> float:

@@ -57,14 +57,19 @@ class FallbackMatcher(Matcher):
         policy: SchedulePolicy | None = None,
         comm: int = 0,
         recoverable: bool = False,
+        observer=None,
     ) -> None:
+        """``observer`` is installed on every engine generation (the
+        initial one and each post-recovery engine), so tracing hooks
+        survive spill/recovery migrations."""
         super().__init__()
         self._config = config if config is not None else EngineConfig()
         self._policy = policy
         self._comm = comm
         self._recoverable = recoverable
+        self._observer = observer
         self._offloaded: OptimisticAdapter | None = OptimisticAdapter(
-            self._config, policy=policy, comm=comm
+            self._config, policy=policy, comm=comm, observer=observer
         )
         self._software = ListMatcher()
         self._carried_events: list[MatchEvent] = []
@@ -109,7 +114,12 @@ class FallbackMatcher(Matcher):
         fresh engine: the degraded episode is over."""
         assert self._offloaded is None
         receives, unexpected = self._software.export_state()
-        adapter = OptimisticAdapter(self._config, policy=self._policy, comm=self._comm)
+        adapter = OptimisticAdapter(
+            self._config,
+            policy=self._policy,
+            comm=self._comm,
+            observer=self._observer,
+        )
         # Carry the cumulative stats object across engine generations.
         adapter.engine.stats = self.stats
         adapter.engine.decisions = MonotonicCounter(self._software.decisions.peek())

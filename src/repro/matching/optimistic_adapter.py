@@ -41,9 +41,10 @@ class OptimisticAdapter(Matcher):
         policy: SchedulePolicy | None = None,
         eager_blocks: bool = True,
         comm: int = 0,
+        observer=None,
     ) -> None:
         super().__init__()
-        self.engine = OptimisticMatcher(config, policy=policy, comm=comm)
+        self.engine = OptimisticMatcher(config, policy=policy, comm=comm, observer=observer)
         self._eager = eager_blocks
         self._emitted: list[MatchEvent] = []
 

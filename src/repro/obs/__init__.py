@@ -1,0 +1,63 @@
+"""``repro.obs`` — unified simulated-time observability.
+
+One layer, three concerns:
+
+* :mod:`repro.obs.registry` — metrics (Counter / Gauge / Histogram
+  with labels; associative snapshot merge; JSON export);
+* :mod:`repro.obs.trace` — span tracing stamped in *simulated* clocks
+  (DPA cycles, reliability ticks, virtual walltime), exported as
+  Chrome ``trace_event`` JSON for Perfetto;
+* :mod:`repro.obs.probe` — ``@probe`` hook points with a null-sink
+  fast path (disabled tracing is near free; CI enforces the bound via
+  :mod:`repro.obs.overhead`).
+
+Adapters for the existing stack live in :mod:`repro.obs.hooks`;
+``python -m repro.obs.report`` renders metric snapshots in the
+terminal and ``python -m repro.obs.validate`` checks emitted traces.
+"""
+
+from repro.obs.hooks import (
+    DegradedWindowWatcher,
+    EngineTraceObserver,
+    attach_engine_observer,
+    register_stack_metrics,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+# NOTE: the ``probe`` decorator is deliberately *not* re-exported here —
+# the package attribute must keep naming the ``repro.obs.probe`` submodule
+# (``from repro.obs import probe``); import the decorator from there.
+from repro.obs.probe import subscribe, subscribed
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    ScopedTracer,
+    SpanTracer,
+    mpi_trace_to_chrome,
+)
+from repro.obs.validate import validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ScopedTracer",
+    "mpi_trace_to_chrome",
+    "subscribe",
+    "subscribed",
+    "validate_chrome_trace",
+    "EngineTraceObserver",
+    "attach_engine_observer",
+    "DegradedWindowWatcher",
+    "register_stack_metrics",
+]

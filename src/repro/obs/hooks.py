@@ -1,0 +1,177 @@
+"""Glue between the observability layer and the existing subsystems.
+
+Nothing in here is required for correctness: every adapter attaches to
+hooks the subsystems already expose (the engine's ``observer``
+callback, carried stats objects, reliability counters) and turns them
+into registry samples and simulated-time spans. Attaching with a
+:data:`repro.obs.trace.NULL_TRACER` is free — the adapters install
+nothing when the tracer is disabled.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import SpanTracer
+
+__all__ = [
+    "EngineTraceObserver",
+    "attach_engine_observer",
+    "DegradedWindowWatcher",
+    "register_stack_metrics",
+]
+
+#: A simulated clock: current time in microseconds of its domain.
+SimClock = Callable[[], float]
+
+
+class EngineTraceObserver:
+    """Adapts the engine's observer callback into tracer events.
+
+    The engine has no clock of its own — blocks are instantaneous in
+    the matcher and only acquire duration in a cost model — so the
+    caller supplies the clock of the surrounding simulation (wire
+    ticks in the chaos stack, DPA cycles under the machine model).
+    Block spans use the executor's critical path (max thread steps) as
+    their duration, one step = one microsecond of the block's clock.
+    """
+
+    def __init__(
+        self, tracer: SpanTracer, clock: SimClock, *, process: str = "engine"
+    ) -> None:
+        self.tracer = tracer
+        self.clock = clock
+        self._blocks = tracer.track(process, "blocks")
+        self._matches = tracer.track(process, "resolutions")
+
+    def __call__(self, event: str, payload: dict) -> None:
+        now = self.clock()
+        if event == "block_end":
+            span = float(payload.get("steps_span", payload.get("messages", 1)))
+            self.tracer.complete(
+                self._blocks, "block", now - span, span, args=payload
+            )
+            if payload.get("slow", 0):
+                self.tracer.instant(
+                    self._blocks, "slow_path", now, args={"count": payload["slow"]}
+                )
+        elif event == "consume":
+            self.tracer.instant(
+                self._matches, f"match:{payload.get('path', '?')}", now, args=payload
+            )
+        elif event == "unexpected":
+            self.tracer.instant(self._matches, "unexpected", now, args=payload)
+
+
+def attach_engine_observer(
+    engine, tracer: SpanTracer, clock: SimClock, *, process: str = "engine"
+) -> EngineTraceObserver | None:
+    """Install a tracing observer on an ``OptimisticMatcher``.
+
+    Returns the observer, or ``None`` (and installs nothing — the
+    zero-overhead path) when the tracer is disabled.
+    """
+    if not tracer.enabled:
+        return None
+    observer = EngineTraceObserver(tracer, clock, process=process)
+    engine.set_observer(observer)
+    return observer
+
+
+class DegradedWindowWatcher:
+    """Turns spill/recovery *counters* into spill->recovery *windows*.
+
+    Engine generations are invisible from outside a matcher except
+    through the carried stats object (``fallback_spills`` /
+    ``fallback_recoveries`` only ever grow). Polling those counters —
+    after each pump round, say — is enough to reconstruct the degraded
+    windows as B/E spans without touching the matcher.
+    """
+
+    def __init__(
+        self,
+        tracer: SpanTracer,
+        stats,
+        clock: SimClock,
+        *,
+        process: str = "matcher",
+    ) -> None:
+        self.tracer = tracer
+        self.stats = stats
+        self.clock = clock
+        self._track = tracer.track(process, "degraded")
+        self._spills_seen = int(getattr(stats, "fallback_spills", 0))
+        self._recoveries_seen = int(getattr(stats, "fallback_recoveries", 0))
+        self._open = False
+
+    def poll(self) -> None:
+        if not self.tracer.enabled:
+            return
+        now = self.clock()
+        spills = int(getattr(self.stats, "fallback_spills", 0))
+        recoveries = int(getattr(self.stats, "fallback_recoveries", 0))
+        # Replay each boundary crossed since the last poll. Multiple
+        # whole windows inside one poll interval degenerate to
+        # zero-length spans at ``now`` — still countable in the trace.
+        while self._spills_seen < spills or self._recoveries_seen < recoveries:
+            if not self._open and self._spills_seen < spills:
+                self._spills_seen += 1
+                self.tracer.begin(
+                    self._track,
+                    "degraded",
+                    now,
+                    args={"spill": self._spills_seen},
+                )
+                self.tracer.instant(self._track, "spill", now)
+                self._open = True
+            elif self._open and self._recoveries_seen < recoveries:
+                self._recoveries_seen += 1
+                self.tracer.instant(self._track, "recovery", now)
+                self.tracer.end(self._track, now)
+                self._open = False
+            else:  # pragma: no cover - counter drift (recovery w/o spill)
+                self._recoveries_seen = recoveries
+                break
+
+    def close(self) -> None:
+        """End-of-run: close a window that never recovered."""
+        if self._open:
+            self.tracer.end(self._track, self.clock())
+            self._open = False
+
+
+def register_stack_metrics(
+    registry: MetricsRegistry,
+    *,
+    engine_stats=None,
+    wire=None,
+    raw_wire=None,
+    receiver=None,
+    dpa_report=None,
+    prefix: str = "",
+) -> None:
+    """Register every stats carrier of one receive stack as collectors.
+
+    All values are *pulled* at snapshot time from the live objects, so
+    counters stay cumulative across engine generations (the stats
+    object is carried) and are never clobber-mirrored.
+    """
+    p = f"{prefix}." if prefix else ""
+    if engine_stats is not None:
+        registry.register_stats(f"{p}engine", engine_stats)
+    if wire is not None and getattr(wire, "stats", None) is not None:
+        registry.register_stats(f"{p}rc", wire.stats)
+    if raw_wire is not None and getattr(raw_wire, "stats", None) is not None:
+        registry.register_stats(f"{p}faults", raw_wire.stats)
+    if receiver is not None:
+        registry.add_collector(
+            f"{p}receiver",
+            lambda: {
+                "completed": float(len(receiver.completed)),
+                "host_staged_deliveries": float(receiver.host_staged_deliveries),
+                "pending_reads": float(receiver.pending_reads),
+            },
+        )
+    if dpa_report is not None:
+        registry.register_stats(f"{p}dpa", dpa_report)

@@ -1,0 +1,142 @@
+"""Null-sink overhead micro-benchmark (CI-enforced).
+
+The observability layer's contract is that *disabled* tracing is near
+free. Two measurements back the claim, both over the engine micro
+workload from ``benchmarks/test_engine_micro.py``:
+
+* **probed vs bare** — the stock :class:`OptimisticMatcher` (whose
+  ``post_receive``/``process_block`` carry ``@probe`` hook points,
+  disabled by default) against a variant calling the undecorated
+  originals (``__wrapped__``). The ratio is the full disabled-probe
+  dispatch cost on the hot path.
+* **dispatch cost** — nanoseconds per disabled probed call of a no-op
+  function, for context.
+
+CI runs ``python -m repro.obs.overhead --assert-max-overhead 0.05``:
+the probed/bare ratio must stay under 1.05. Timings take the best of
+``--repeat`` runs to shed scheduler noise; the workload is pure
+simulated matching, so best-of is stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.config import EngineConfig
+from repro.core.engine import OptimisticMatcher
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.obs.probe import active as probes_active
+from repro.obs.probe import probe as probe_decorator
+
+__all__ = ["run_overhead_bench", "main"]
+
+N_MESSAGES = 256
+
+
+class _BareMatcher(OptimisticMatcher):
+    """The engine with its probe wrappers stripped — the pre-obs code."""
+
+    post_receive = OptimisticMatcher.post_receive.__wrapped__  # type: ignore[attr-defined]
+    process_block = OptimisticMatcher.process_block.__wrapped__  # type: ignore[attr-defined]
+
+
+def _drive(cls, rounds: int) -> None:
+    for _ in range(rounds):
+        engine = cls(EngineConfig(bins=64, block_threads=8, max_receives=2 * N_MESSAGES))
+        for i in range(N_MESSAGES):
+            engine.post_receive(ReceiveRequest(source=0, tag=i))
+        for i in range(N_MESSAGES):
+            engine.submit_message(MessageEnvelope(source=0, tag=i, send_seq=i))
+        engine.process_all()
+
+
+def _best_of(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _probe_dispatch_ns(repeat: int, calls: int = 200_000) -> float:
+    """Extra nanoseconds a disabled probe adds to one no-op call."""
+
+    def raw() -> None:
+        pass
+
+    probed = probe_decorator("obs.overhead.noop")(raw)
+
+    def loop(fn):
+        def run() -> None:
+            for _ in range(calls):
+                fn()
+
+        return run
+
+    t_raw = _best_of(loop(raw), repeat)
+    t_probed = _best_of(loop(probed), repeat)
+    return max(t_probed - t_raw, 0.0) / calls * 1e9
+
+
+def run_overhead_bench(*, rounds: int = 8, repeat: int = 5) -> dict:
+    """Measure the disabled-tracer overhead; returns a JSON-able dict."""
+    if probes_active():
+        raise RuntimeError("overhead bench requires probes to be disabled")
+    # Interleave measurement order (bare first, then probed, repeated by
+    # _best_of) so cache warm-up doesn't systematically favour one side.
+    _drive(_BareMatcher, 1)
+    _drive(OptimisticMatcher, 1)
+    t_bare = _best_of(lambda: _drive(_BareMatcher, rounds), repeat)
+    t_probed = _best_of(lambda: _drive(OptimisticMatcher, rounds), repeat)
+    return {
+        "benchmark": "obs-disabled-overhead",
+        "workload": {"messages": N_MESSAGES, "rounds": rounds, "repeat": repeat},
+        "bare_seconds": t_bare,
+        "probed_seconds": t_probed,
+        "overhead_fraction": t_probed / t_bare - 1.0,
+        "probe_dispatch_ns": _probe_dispatch_ns(repeat),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=8, help="engine runs per timing")
+    parser.add_argument("--repeat", type=int, default=5, help="timings (best-of)")
+    parser.add_argument(
+        "--assert-max-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit nonzero if probed/bare - 1 exceeds this",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the result as JSON")
+    args = parser.parse_args(argv)
+    result = run_overhead_bench(rounds=args.rounds, repeat=args.repeat)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(
+            f"bare: {result['bare_seconds'] * 1e3:.1f} ms | "
+            f"probed (disabled): {result['probed_seconds'] * 1e3:.1f} ms | "
+            f"overhead: {result['overhead_fraction'] * 100:+.2f}% | "
+            f"probe dispatch: {result['probe_dispatch_ns']:.0f} ns/call"
+        )
+    if (
+        args.assert_max_overhead is not None
+        and result["overhead_fraction"] > args.assert_max_overhead
+    ):
+        print(
+            f"FAIL: disabled-tracer overhead {result['overhead_fraction']:.3f} "
+            f"exceeds budget {args.assert_max_overhead:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""``@probe`` hook points: attach observers without code edits.
+
+A probe marks a function as an observation site. In the default
+(disabled) state a probed call costs one module-global truth test on
+top of the original call — cheap enough for hot paths like
+``OptimisticMatcher.process_block`` (the bound is enforced by
+``python -m repro.obs.overhead`` in CI).
+
+When enabled, every subscriber attached to the probe's name is invoked
+*after* the wrapped function returns, as ``hook(args, kwargs, result)``
+— enough to count, histogram, or trace the call without the callee
+knowing. Benchmarks and the chaos soak attach to published probe names
+(``engine.process_block``, ``engine.post_receive``, ...) instead of
+patching library code.
+
+Usage::
+
+    @probe("engine.process_block")
+    def process_block(self): ...
+
+    with subscribed("engine.process_block", my_hook):
+        run_workload()
+
+The original callable stays reachable as ``fn.__wrapped__`` (used by
+the overhead benchmark to measure the dispatch cost honestly).
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = [
+    "probe",
+    "subscribe",
+    "unsubscribe",
+    "subscribed",
+    "probe_names",
+    "active",
+]
+
+#: Post-call hook: (positional args, keyword args, return value).
+ProbeHook = Callable[[tuple, dict, Any], None]
+
+#: Fast global gate: False => probed calls skip all lookup work.
+_ENABLED = False
+_SUBSCRIBERS: dict[str, list[ProbeHook]] = {}
+_KNOWN: set[str] = set()
+
+
+def probe(name: str) -> Callable[[Callable], Callable]:
+    """Declare ``name`` as an observation site on the decorated callable."""
+    _KNOWN.add(name)
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _ENABLED:
+                return fn(*args, **kwargs)
+            result = fn(*args, **kwargs)
+            hooks = _SUBSCRIBERS.get(name)
+            if hooks:
+                for hook in hooks:
+                    hook(args, kwargs, result)
+            return result
+
+        wrapper.__probe_name__ = name  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+def probe_names() -> tuple[str, ...]:
+    """Every probe name declared so far (import-order dependent)."""
+    return tuple(sorted(_KNOWN))
+
+
+def active() -> bool:
+    """Whether any subscriber is attached (the gate is open)."""
+    return _ENABLED
+
+
+def subscribe(name: str, hook: ProbeHook) -> None:
+    """Attach ``hook`` to probe ``name`` and open the global gate."""
+    global _ENABLED
+    _SUBSCRIBERS.setdefault(name, []).append(hook)
+    _ENABLED = True
+
+
+def unsubscribe(name: str, hook: ProbeHook) -> None:
+    """Detach ``hook``; the gate closes when no subscriber remains."""
+    global _ENABLED
+    hooks = _SUBSCRIBERS.get(name)
+    if hooks is not None:
+        try:
+            hooks.remove(hook)
+        except ValueError:
+            pass
+        if not hooks:
+            del _SUBSCRIBERS[name]
+    _ENABLED = bool(_SUBSCRIBERS)
+
+
+@contextmanager
+def subscribed(name: str, hook: ProbeHook) -> Iterator[None]:
+    """Scoped :func:`subscribe` / :func:`unsubscribe` pair."""
+    subscribe(name, hook)
+    try:
+        yield
+    finally:
+        unsubscribe(name, hook)

@@ -1,0 +1,330 @@
+"""The metrics registry: one namespace for every subsystem's counters.
+
+The reproduction's telemetry used to be a patchwork — ``EngineStats``
+dataclass fields, ``ReliabilityStats`` on the wire, fault-injection
+tallies, ad-hoc prints in benchmarks. The registry gives all of them a
+single, mergeable representation:
+
+* :class:`Counter` — a monotonically increasing total, optionally
+  split by label values (``counter.labels(path="slow").inc()``).
+* :class:`Gauge` — a point-in-time level (queue depth, live engine
+  generation).
+* :class:`Histogram` — fixed-bound bucket counts plus count/sum, for
+  distributions (retransmits per run, block sizes).
+
+Two integration styles:
+
+* **Push** — code increments registry metrics directly.
+* **Pull (collectors)** — existing stats objects register a collector
+  callable; their current field values are read at snapshot time.
+  Because carriers like :class:`repro.core.stats.EngineStats` survive
+  engine generations (spill/recovery swaps the engine, not the stats
+  object), pulled values are cumulative across generations by
+  construction — no clobber-mirroring.
+
+Snapshots are plain flat dicts (``name{label=value}`` -> number) with
+associative :meth:`MetricsSnapshot.merge` (values add) and
+:meth:`MetricsSnapshot.delta`, and a stable JSON form consumed by
+``python -m repro.obs.report``.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bounds: powers of two up to 64Ki (counts, ticks,
+#: cycles — everything in the simulator is small-integer valued).
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(17))
+
+
+def _labels_key(labels: Mapping[str, str | int | float]) -> str:
+    """Canonical ``{k=v,...}`` suffix; empty string for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Common naming/labelling machinery for one metric family."""
+
+    __slots__ = ("name", "help", "_children")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        # Labelled children carry a "{k=v,...}" suffix; only the base
+        # name must stay free of structural characters.
+        base, brace, _rest = name.partition("{")
+        if (
+            not base
+            or any(c in base for c in "}=,\n")
+            or (brace and not name.endswith("}"))
+        ):
+            raise ValueError(f"bad metric name {name!r}")
+        self.name = name
+        self.help = help
+        #: label-key -> child metric of the same type.
+        self._children: dict[str, _Metric] = {}
+
+    def labels(self, **labels: str | int | float):
+        """The child metric for one label combination (created lazily)."""
+        key = _labels_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = type(self)(self.name + key, self.help)
+            self._children[key] = child
+        return child
+
+    def _own_samples(self) -> Iterable[tuple[str, float]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def samples(self) -> Iterable[tuple[str, float]]:
+        """All (flat name, value) samples: self plus labelled children."""
+        yield from self._own_samples()
+        for child in self._children.values():
+            yield from child.samples()
+
+
+class Counter(_Metric):
+    """A total that only moves forward."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _own_samples(self) -> Iterable[tuple[str, float]]:
+        yield self.name, self._value
+
+
+class Gauge(_Metric):
+    """A level that can move both ways (or be computed on demand)."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Read the gauge from ``fn`` at snapshot time (pull style)."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+    def _own_samples(self) -> Iterable[tuple[str, float]]:
+        yield self.name, self.value
+
+
+class Histogram(_Metric):
+    """Fixed-bound bucket histogram with cumulative count and sum."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if tuple(sorted(buckets)) != tuple(buckets) or not buckets:
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.bounds = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def labels(self, **labels: str | int | float) -> "Histogram":
+        key = _labels_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = Histogram(self.name + key, self.help, buckets=self.bounds)
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def _own_samples(self) -> Iterable[tuple[str, float]]:
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            yield f"{self.name}_bucket{{le={bound:g}}}", float(n)
+        yield f"{self.name}_bucket{{le=+inf}}", float(self.bucket_counts[-1])
+        yield f"{self.name}_count", float(self.count)
+        yield f"{self.name}_sum", float(self.sum)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """An immutable flat view of a registry at one instant.
+
+    ``values`` maps flat sample names (labels folded into the name) to
+    numbers. Snapshots form a commutative monoid under :meth:`merge`
+    (values add; the empty snapshot is the identity), so merging is
+    associative — shard-and-combine aggregation is order-independent.
+    """
+
+    values: dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots by summing every sample."""
+        merged = dict(self.values)
+        for name, value in other.values.items():
+            merged[name] = merged.get(name, 0.0) + value
+        return MetricsSnapshot(merged)
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What changed since ``earlier`` (absent keys count as 0)."""
+        keys = set(self.values) | set(earlier.values)
+        return MetricsSnapshot(
+            {
+                k: self.values.get(k, 0.0) - earlier.values.get(k, 0.0)
+                for k in sorted(keys)
+            }
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        payload = {
+            "schema": "repro.obs.metrics/v1",
+            "metrics": {k: self.values[k] for k in sorted(self.values)},
+        }
+        return json.dumps(payload, indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        payload = json.loads(text)
+        metrics = payload.get("metrics", payload)  # tolerate bare dicts
+        return cls({str(k): float(v) for k, v in metrics.items()})
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class MetricsRegistry:
+    """Namespace of metrics plus pull-style collectors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[tuple[str, Callable[[], Mapping[str, float]]]] = []
+
+    # -- metric creation ------------------------------------------------
+
+    def _create(self, cls: type, name: str, help: str, **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(existing).__name__}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._create(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._create(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._create(Histogram, name, help, buckets=buckets)  # type: ignore[return-value]
+
+    # -- collectors -----------------------------------------------------
+
+    def add_collector(
+        self, prefix: str, fn: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Pull ``fn()``'s samples under ``prefix.`` at snapshot time."""
+        self._collectors.append((prefix, fn))
+
+    def register_stats(self, prefix: str, obj: object) -> None:
+        """Collect every public numeric attribute of ``obj`` (a stats
+        dataclass) under ``prefix.``. The object is read live at each
+        snapshot, so carriers that survive engine generations report
+        cumulative values with no mirroring step."""
+
+        def collect() -> dict[str, float]:
+            out: dict[str, float] = {}
+            names: Iterable[str]
+            slots = getattr(type(obj), "__slots__", None)
+            fields_attr = getattr(type(obj), "__dataclass_fields__", None)
+            if fields_attr is not None:
+                names = fields_attr.keys()
+            elif slots is not None:
+                names = slots
+            else:  # pragma: no cover - plain objects
+                names = vars(obj).keys()
+            for name in names:
+                if name.startswith("_"):
+                    continue
+                value = getattr(obj, name, None)
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                out[name] = float(value)
+            return out
+
+        self.add_collector(prefix, collect)
+
+    # -- output ---------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        values: dict[str, float] = {}
+        for metric in self._metrics.values():
+            for name, value in metric.samples():
+                values[name] = value
+        for prefix, fn in self._collectors:
+            for name, value in fn().items():
+                values[f"{prefix}.{name}"] = values.get(f"{prefix}.{name}", 0.0) + float(
+                    value
+                )
+        return MetricsSnapshot(values)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return self.snapshot().to_json(indent=indent)

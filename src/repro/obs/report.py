@@ -1,0 +1,112 @@
+"""Render a metrics snapshot as a terminal report.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.report metrics.json
+    PYTHONPATH=src python -m repro.obs.report metrics.json --match engine
+
+Counters and gauges group by dotted prefix and render as labelled
+horizontal bars (:func:`repro.util.asciiplot.hbar_chart`); histograms
+are detected by their ``_bucket{le=...}`` samples and render one bar
+per bucket, which is the closest a terminal gets to Figure-style
+distribution plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+from repro.obs.registry import MetricsSnapshot
+from repro.util.asciiplot import hbar_chart
+
+__all__ = ["render_metrics", "main"]
+
+_BUCKET_RE = re.compile(r"^(?P<base>.+)_bucket\{le=(?P<le>[^}]+)\}$")
+
+
+def _split(snapshot: MetricsSnapshot):
+    """Separate histogram families from scalar samples."""
+    histograms: dict[str, dict[str, float]] = defaultdict(dict)
+    scalars: dict[str, float] = {}
+    hist_bases: set[str] = set()
+    for name in snapshot.values:
+        match = _BUCKET_RE.match(name)
+        if match is not None:
+            hist_bases.add(match.group("base"))
+    for name, value in snapshot.values.items():
+        match = _BUCKET_RE.match(name)
+        if match is not None:
+            histograms[match.group("base")][match.group("le")] = value
+            continue
+        base = name.rsplit("_", 1)[0]
+        if base in hist_bases and name.endswith(("_count", "_sum")):
+            histograms[base][name.rsplit("_", 1)[1]] = value
+            continue
+        scalars[name] = value
+    return scalars, histograms
+
+
+def _de_cumulate(buckets: dict[str, float]) -> dict[str, float]:
+    """Bucket counts are per-bucket already; order by bound for display."""
+
+    def bound(le: str) -> float:
+        return float("inf") if le == "+inf" else float(le)
+
+    ordered = sorted((k for k in buckets if k not in ("count", "sum")), key=bound)
+    return {f"<= {le}": buckets[le] for le in ordered}
+
+
+def render_metrics(
+    snapshot: MetricsSnapshot, *, width: int = 40, match: str | None = None
+) -> str:
+    """The full terminal report for one snapshot."""
+    scalars, histograms = _split(snapshot)
+    if match:
+        scalars = {k: v for k, v in scalars.items() if match in k}
+        histograms = {k: v for k, v in histograms.items() if match in k}
+    groups: dict[str, dict[str, float]] = defaultdict(dict)
+    for name, value in scalars.items():
+        prefix, _, rest = name.partition(".")
+        if not rest:
+            prefix, rest = "(top level)", name
+        groups[prefix][rest] = value
+    sections: list[str] = []
+    for prefix in sorted(groups):
+        body = hbar_chart(groups[prefix], width=width)
+        sections.append(f"== {prefix} ==\n{body}")
+    for base in sorted(histograms):
+        family = histograms[base]
+        count = family.get("count", 0.0)
+        total = family.get("sum", 0.0)
+        mean = total / count if count else 0.0
+        bars = hbar_chart(_de_cumulate(family), width=width)
+        sections.append(
+            f"== {base} (histogram: n={count:g}, mean={mean:g}) ==\n{bars}"
+        )
+    return "\n\n".join(sections) if sections else "(no metrics)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", type=Path, help="metrics JSON written by --metrics-out")
+    parser.add_argument("--width", type=int, default=40, help="bar width in cells")
+    parser.add_argument("--match", default=None, help="only metrics containing this substring")
+    args = parser.parse_args(argv)
+    try:
+        snapshot = MetricsSnapshot.from_json(args.path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read metrics from {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_metrics(snapshot, width=args.width, match=args.match))
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,361 @@
+"""Simulated-time span tracing with Chrome ``trace_event`` export.
+
+Every clock in the reproduction is *simulated*: the DPA cycle model's
+running cycle count, the reliability layer's retransmission ticks, the
+MPI recorder's virtual walltime. The tracer therefore never reads a
+wall clock — instrumentation sites stamp events with their own
+simulated timestamps (in microseconds of their clock domain), and each
+clock domain gets its own Perfetto *process* row so mixed domains stay
+visually separate.
+
+Exported traces use the Chrome ``trace_event`` JSON Array/Object
+format (``{"traceEvents": [...], "displayTimeUnit": "ms"}``) and load
+directly in Perfetto / ``chrome://tracing``. Emitted phases:
+
+* ``X`` — complete spans (``ts`` + ``dur``): blocks, degraded windows;
+* ``B``/``E`` — open/close spans for windows whose end is discovered
+  later: retransmit episodes, RNR stalls, spill->recovery;
+* ``i`` — instant events: slow-path resolutions, timeouts;
+* ``C`` — counter tracks: queue depths over time;
+* ``M`` — metadata naming processes/threads.
+
+Per-track timestamps are clamped monotonically non-decreasing (a
+simulated clock can legitimately report the same instant twice; going
+backwards would be a bug the validator flags).
+
+The **null-sink fast path**: :data:`NULL_TRACER` answers the same API
+with constant no-ops and is what instrumented code holds when tracing
+is off. Sites guard hot paths with ``tracer.enabled`` (a plain class
+attribute — one attribute load), so a disabled tracer costs near zero;
+``python -m repro.obs.overhead`` proves the bound in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Mapping
+
+__all__ = [
+    "Track",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ScopedTracer",
+    "mpi_trace_to_chrome",
+]
+
+
+class Track:
+    """One timeline row: a (clock-domain process, thread) pair."""
+
+    __slots__ = ("pid", "tid", "last_ts", "open_names")
+
+    def __init__(self, pid: int, tid: int) -> None:
+        self.pid = pid
+        self.tid = tid
+        self.last_ts = 0.0
+        #: Stack of open B-phase span names (for balanced E events).
+        self.open_names: list[str] = []
+
+
+class SpanTracer:
+    """Collects simulated-time events for one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self._tracks: dict[tuple[str, str], Track] = {}
+        self._pids: dict[str, int] = {}
+
+    # -- track management ----------------------------------------------
+
+    def track(self, process: str, thread: str = "main") -> Track:
+        """The (lazily created) track named ``process`` / ``thread``.
+
+        ``process`` names a clock domain ("dpa", "rc", "engine"); all
+        its tracks share one Perfetto process row group.
+        """
+        key = (process, thread)
+        existing = self._tracks.get(key)
+        if existing is not None:
+            return existing
+        pid = self._pids.setdefault(process, len(self._pids) + 1)
+        tid = sum(1 for (p, _t) in self._tracks if p == process) + 1
+        track = Track(pid, tid)
+        self._tracks[key] = track
+        self.events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+        self.events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+        return track
+
+    def _stamp(self, track: Track, ts: float) -> float:
+        ts = float(ts)
+        if ts < track.last_ts:
+            ts = track.last_ts
+        track.last_ts = ts
+        return ts
+
+    # -- event emission -------------------------------------------------
+
+    def complete(
+        self,
+        track: Track,
+        name: str,
+        ts: float,
+        dur: float,
+        *,
+        cat: str = "span",
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """A finished span: ``ts`` start, ``dur`` length (same clock)."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": self._stamp(track, ts),
+            "dur": max(float(dur), 0.0),
+            "pid": track.pid,
+            "tid": track.tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+        track.last_ts = max(track.last_ts, event["ts"] + event["dur"])
+
+    def begin(
+        self,
+        track: Track,
+        name: str,
+        ts: float,
+        *,
+        cat: str = "span",
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Open a span whose end is not yet known (B phase)."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "B",
+            "ts": self._stamp(track, ts),
+            "pid": track.pid,
+            "tid": track.tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+        track.open_names.append(name)
+
+    def end(
+        self,
+        track: Track,
+        ts: float,
+        *,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Close the innermost open span on ``track`` (E phase)."""
+        if not track.open_names:
+            return
+        name = track.open_names.pop()
+        event = {
+            "name": name,
+            "ph": "E",
+            "ts": self._stamp(track, ts),
+            "pid": track.pid,
+            "tid": track.tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def instant(
+        self,
+        track: Track,
+        name: str,
+        ts: float,
+        *,
+        cat: str = "event",
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": self._stamp(track, ts),
+            "pid": track.pid,
+            "tid": track.tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def counter(
+        self, track: Track, name: str, ts: float, values: Mapping[str, float]
+    ) -> None:
+        """A counter sample (Perfetto renders these as area charts)."""
+        self.events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": self._stamp(track, ts),
+                "pid": track.pid,
+                "tid": track.tid,
+                "args": {k: float(v) for k, v in values.items()},
+            }
+        )
+
+    def close_open_spans(self, ts_for: Mapping[Track, float] | None = None) -> None:
+        """Balance any still-open B spans (end-of-run cleanup)."""
+        for track in self._tracks.values():
+            ts = (ts_for or {}).get(track, track.last_ts)
+            while track.open_names:
+                self.end(track, ts)
+
+    # -- export ---------------------------------------------------------
+
+    def to_chrome(self) -> dict[str, Any]:
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def write(self, destination: str | IO[str]) -> None:
+        """Write the Chrome trace_event JSON to a path or open file."""
+        self.close_open_spans()
+        payload = json.dumps(self.to_chrome(), indent=None, separators=(",", ":"))
+        if hasattr(destination, "write"):
+            destination.write(payload)  # type: ignore[union-attr]
+        else:
+            with open(destination, "w", encoding="utf-8") as fp:
+                fp.write(payload)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer(SpanTracer):
+    """The disabled tracer: every method is a constant no-op.
+
+    Instrumented code holds one of these when tracing is off; the
+    per-call cost is a method dispatch on a no-op (and hot loops skip
+    even that by testing :attr:`enabled` first).
+    """
+
+    enabled = False
+
+    _NULL_TRACK = Track(0, 0)
+
+    def __init__(self) -> None:  # no event storage at all
+        self.events = []
+        self._tracks = {}
+        self._pids = {}
+
+    def track(self, process: str, thread: str = "main") -> Track:
+        return self._NULL_TRACK
+
+    def complete(self, *args, **kwargs) -> None:
+        pass
+
+    def begin(self, *args, **kwargs) -> None:
+        pass
+
+    def end(self, *args, **kwargs) -> None:
+        pass
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def counter(self, *args, **kwargs) -> None:
+        pass
+
+    def close_open_spans(self, *args, **kwargs) -> None:
+        pass
+
+
+#: Shared do-nothing tracer — the default value for every ``tracer``
+#: parameter in the instrumented stack.
+NULL_TRACER = NullTracer()
+
+
+class ScopedTracer(SpanTracer):
+    """A view of another tracer with every process name prefixed.
+
+    Lets independent simulations (e.g. the chaos soak's one traced run
+    per fault profile) share one output file without colliding on
+    track names or clocks: each run writes under ``prefix/process``.
+    Scoping a disabled tracer stays disabled (and free).
+    """
+
+    def __init__(self, inner: SpanTracer, prefix: str) -> None:
+        self._inner = inner
+        self.prefix = prefix
+        self.enabled = inner.enabled
+        # Shared storage: events/tracks live on the inner tracer.
+        self.events = inner.events
+        self._tracks = inner._tracks
+        self._pids = inner._pids
+
+    def track(self, process: str, thread: str = "main") -> Track:
+        return self._inner.track(f"{self.prefix}{process}", thread)
+
+    # Emission delegates to the inner tracer so scoping a NullTracer
+    # stays a no-op even for callers that skip the `enabled` guard.
+
+    def complete(self, *args, **kwargs) -> None:
+        self._inner.complete(*args, **kwargs)
+
+    def begin(self, *args, **kwargs) -> None:
+        self._inner.begin(*args, **kwargs)
+
+    def end(self, *args, **kwargs) -> None:
+        self._inner.end(*args, **kwargs)
+
+    def instant(self, *args, **kwargs) -> None:
+        self._inner.instant(*args, **kwargs)
+
+    def counter(self, *args, **kwargs) -> None:
+        self._inner.counter(*args, **kwargs)
+
+    def close_open_spans(self, *args, **kwargs) -> None:
+        self._inner.close_open_spans(*args, **kwargs)
+
+
+def mpi_trace_to_chrome(trace) -> SpanTracer:
+    """Render a :class:`repro.traces.model.Trace` as a Chrome trace.
+
+    Each rank becomes a thread track in the ``mpi`` clock domain;
+    every recorded op is a complete span at its virtual walltime
+    (seconds -> microseconds), so a recorded run can be inspected in
+    Perfetto alongside the matching-engine spans it produced.
+    """
+    tracer = SpanTracer()
+    for rank_trace in trace.ranks:
+        track = tracer.track("mpi", f"rank {rank_trace.rank}")
+        for op in rank_trace.ops:
+            args: dict[str, Any] = {"tag": op.tag, "comm": op.comm}
+            if op.peer != -2:
+                args["peer"] = op.peer
+            if op.size:
+                args["size"] = op.size
+            tracer.complete(
+                track,
+                op.kind.value,
+                op.walltime * 1e6,
+                1.0,  # ops are points in virtual time; 1us makes them visible
+                cat=op.group.value,
+                args=args,
+            )
+    return tracer

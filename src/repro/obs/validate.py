@@ -1,0 +1,121 @@
+"""Chrome ``trace_event`` schema validation for emitted traces.
+
+CI runs this against every trace the soak/benchmarks emit so that a
+refactor cannot silently produce files Perfetto rejects. Checks are
+structural, not semantic:
+
+* top level is ``{"traceEvents": [...]}`` (or a bare event array);
+* every event has ``name``/``ph``/``pid``/``tid`` and, for non-M
+  phases, a numeric non-negative ``ts``;
+* per (pid, tid) track, timestamps are monotonically non-decreasing
+  in emission order (simulated clocks may repeat an instant, never
+  rewind);
+* ``B``/``E`` begin/end events are balanced per track.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.validate trace.json [more.json ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["validate_chrome_trace", "main"]
+
+_PHASES = frozenset("XBEiICMsbenOPSTFpRcv(")
+
+
+def validate_chrome_trace(payload) -> list[str]:
+    """All structural violations in one parsed trace (empty = valid)."""
+    errors: list[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object has no 'traceEvents' list"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return [f"trace must be an object or array, got {type(payload).__name__}"]
+
+    last_ts: dict[tuple, float] = {}
+    open_depth: dict[tuple, int] = {}
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append(f"{where}: missing required key {key!r}")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or ph not in _PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a non-negative number, got {ts!r}")
+            continue
+        track = (event.get("pid"), event.get("tid"))
+        previous = last_ts.get(track)
+        if previous is not None and ts < previous:
+            errors.append(
+                f"{where}: ts {ts} goes backwards on track pid={track[0]} "
+                f"tid={track[1]} (previous {previous})"
+            )
+        last_ts[track] = float(ts)
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                errors.append(f"{where}: complete event needs non-negative 'dur'")
+        elif ph == "B":
+            open_depth[track] = open_depth.get(track, 0) + 1
+        elif ph == "E":
+            depth = open_depth.get(track, 0)
+            if depth <= 0:
+                errors.append(
+                    f"{where}: 'E' with no open 'B' on track pid={track[0]} "
+                    f"tid={track[1]}"
+                )
+            else:
+                open_depth[track] = depth - 1
+    for track, depth in sorted(open_depth.items(), key=str):
+        if depth:
+            errors.append(
+                f"track pid={track[0]} tid={track[1]}: {depth} unclosed 'B' span(s)"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", type=Path, help="trace JSON files")
+    args = parser.parse_args(argv)
+    failed = 0
+    for path in args.paths:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            failed += 1
+            continue
+        errors = validate_chrome_trace(payload)
+        if errors:
+            failed += 1
+            for error in errors[:20]:
+                print(f"{path}: {error}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"{path}: ... and {len(errors) - 20} more", file=sys.stderr)
+        else:
+            events = payload["traceEvents"] if isinstance(payload, dict) else payload
+            print(f"{path}: ok ({len(events)} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -132,6 +132,8 @@ class RdmaReceiver:
         self._pending_reads: dict[int, MatchEvent] = {}
         #: Deliveries completed from host-spilled staging (degraded).
         self.host_staged_deliveries = 0
+        #: Last observed wire-counter values, for delta mirroring.
+        self._wire_seen: dict[str, int] = {"retransmits": 0, "rnr_naks": 0}
 
     def post_receive(self, request: ReceiveRequest) -> None:
         """Post a receive; an unexpected drain completes immediately."""
@@ -188,15 +190,28 @@ class RdmaReceiver:
         return n
 
     def _mirror_transport_stats(self) -> None:
-        """Copy reliability-layer counters into the engine's stats so
+        """Fold reliability-layer counters into the engine's stats so
         one object reports the whole stack's health (degraded matches,
-        retransmits, RNR backpressure)."""
+        retransmits, RNR backpressure).
+
+        Mirroring is *additive*: only the delta since the last sync is
+        applied, so the engine counters stay cumulative across repeated
+        syncs, across engine generations (the stats object is carried
+        over spill/recovery), and across wire replacement (a fresh wire
+        restarts its counters at zero; the delta tracker treats the new
+        value as pure growth rather than clobbering history)."""
         wire_stats = getattr(self.qp.wire, "stats", None)
         stats = getattr(self.matcher, "stats", None)
         if wire_stats is None or stats is None:
             return
-        stats.retransmits = getattr(wire_stats, "retransmits", 0)
-        stats.rnr_naks = getattr(wire_stats, "rnr_naks", 0)
+        for name, seen in self._wire_seen.items():
+            current = getattr(wire_stats, name, 0)
+            # A counter below its last-seen value means the wire (and
+            # its stats) was replaced: the whole value is new growth.
+            delta = current if current < seen else current - seen
+            if delta:
+                setattr(stats, name, getattr(stats, name, 0) + delta)
+            self._wire_seen[name] = current
 
     def _complete(self, event: MatchEvent, *, unexpected: bool) -> None:
         token = event.message.send_seq

@@ -41,6 +41,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.rdma.wire import Endpoint, Packet, Wire, packet_checksum
 
 __all__ = [
@@ -148,7 +149,13 @@ class ReliableWire:
     the fault schedule twice.
     """
 
-    def __init__(self, raw: Wire, *, config: ReliabilityConfig | None = None) -> None:
+    def __init__(
+        self,
+        raw: Wire,
+        *,
+        config: ReliabilityConfig | None = None,
+        tracer: SpanTracer = NULL_TRACER,
+    ) -> None:
         self.raw = raw
         self.config = config if config is not None else ReliabilityConfig()
         self.stats = ReliabilityStats()
@@ -157,6 +164,38 @@ class ReliableWire:
         }
         self._rx: dict[str, _RxState] = {name: _RxState() for name in raw.names}
         self._probes: dict[str, RnrProbe] = {}
+        #: Simulated time: one tick per progress poll (every ``receive``
+        #: call), the same clock the retransmission timers count in.
+        self.clock = 0
+        self._tracer = tracer
+        #: (kind, endpoint) -> span currently open on that track.
+        self._open_spans: set[tuple[str, str]] = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in ticks (1 tick = 1 us in traces)."""
+        return float(self.clock)
+
+    # -- trace emission (no-ops when the tracer is disabled) ------------
+
+    def _span_begin(self, kind: str, src: str, **args) -> None:
+        if not self._tracer.enabled or (kind, src) in self._open_spans:
+            return
+        track = self._tracer.track("rc", f"{src}:{kind}")
+        self._tracer.begin(track, kind, self.now, args=args or None)
+        self._open_spans.add((kind, src))
+
+    def _span_end(self, kind: str, src: str) -> None:
+        if not self._tracer.enabled or (kind, src) not in self._open_spans:
+            return
+        self._tracer.end(self._tracer.track("rc", f"{src}:{kind}"), self.now)
+        self._open_spans.discard((kind, src))
+
+    def _trace_instant(self, name: str, src: str, **args) -> None:
+        if not self._tracer.enabled:
+            return
+        track = self._tracer.track("rc", f"{src}:events")
+        self._tracer.instant(track, name, self.now, args=args or None)
 
     # -- Wire interface -------------------------------------------------
 
@@ -200,6 +239,7 @@ class ReliableWire:
         raw inbound frame, then hand up the next in-order packet."""
         if self._tx[dst].failed:
             raise TransportError(f"channel from {dst!r} already failed")
+        self.clock += 1
         self._advance_timer(dst)
         while (frame := self.raw.receive(dst)) is not None:
             self._process_frame(dst, frame)
@@ -245,6 +285,7 @@ class ReliableWire:
             tx = self._tx[dst]
             tx.rnr_wait = self.config.rnr_timeout
             tx.timer = 0
+            self._span_begin("rnr_stall", dst, wait=self.config.rnr_timeout)
         else:
             raise ValueError(f"unknown reliability opcode {frame.opcode!r}")
 
@@ -295,6 +336,8 @@ class ReliableWire:
             tx.timeout = self.config.retry_timeout
             tx.timer = 0
             tx.rnr_wait = 0
+            self._span_end("retransmit", src)
+            self._span_end("rnr_stall", src)
 
     def _advance_timer(self, src: str) -> None:
         tx = self._tx[src]
@@ -304,12 +347,16 @@ class ReliableWire:
         if tx.rnr_wait > 0:
             tx.rnr_wait -= 1
             if tx.rnr_wait == 0:
+                self._span_end("rnr_stall", src)
                 self._retransmit_from(src, tx.unacked[0][0])
             return
         tx.timer += 1
         if tx.timer >= tx.timeout:
             self.stats.timeouts += 1
             tx.timeout = min(int(tx.timeout * self.config.backoff), self.config.max_timeout)
+            self._trace_instant(
+                "timeout", src, backoff_to=tx.timeout, unacked=len(tx.unacked)
+            )
             self._retransmit_from(src, tx.unacked[0][0])
 
     def _retransmit_from(self, src: str, psn: int) -> None:
@@ -319,6 +366,9 @@ class ReliableWire:
             return
         tx.retries += 1
         tx.timer = 0
+        self._span_begin(
+            "retransmit", src, from_psn=tx.unacked[0][0], window=len(tx.unacked)
+        )
         if tx.retries > self.config.max_retries:
             tx.failed = True
             raise TransportError(

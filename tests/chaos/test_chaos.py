@@ -9,7 +9,7 @@ picks, and never hangs — hostile fault plans end in a deterministic
 
 from __future__ import annotations
 
-from dataclasses import asdict
+from dataclasses import asdict, replace
 
 import pytest
 
@@ -17,18 +17,12 @@ from repro.chaos.harness import ChaosConfig, run_chaos
 from repro.chaos.soak import PROFILES, main as soak_main
 from repro.rdma.faultwire import FaultPlan
 
-#: 4 profiles x 55 seeds = 220 schedules.
+#: 5 profiles x 55 seeds = 275 schedules.
 SEEDS_PER_PROFILE = 55
 
 
 def _config(profile: str, seed: int) -> ChaosConfig:
-    template = PROFILES[profile]
-    return ChaosConfig(
-        seed=seed,
-        plan=template.plan,
-        bounce_buffers=template.bounce_buffers,
-        host_spill=template.host_spill,
-    )
+    return replace(PROFILES[profile], seed=seed)
 
 
 @pytest.mark.parametrize("profile", sorted(PROFILES))
@@ -97,4 +91,4 @@ def test_soak_cli_smoke(capsys: pytest.CaptureFixture[str]) -> None:
     """The CLI entry point runs green on a small seed range."""
     assert soak_main(["--seeds", "2"]) == 0
     out = capsys.readouterr().out
-    assert "8 runs, 0 failures" in out
+    assert "10 runs, 0 failures" in out

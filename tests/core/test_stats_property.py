@@ -1,0 +1,92 @@
+"""Property: ``EngineStats`` cumulative fields are exactly the sum of
+absorbed block history.
+
+The observability layer pulls the cumulative fields; the cycle model
+walks ``block_history``. Both views must agree — and bounding the
+history (``history_limit``) must bound *only* the history, never the
+cumulative counters.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stats import BlockStats, EngineStats
+
+#: Fields absorbed 1:1 from each block into the cumulative totals.
+SUMMED = (
+    "messages",
+    "conflicts",
+    "fast_path",
+    "slow_path",
+    "optimistic_hits",
+    "probes_walked",
+    "buckets_probed",
+    "hashes_computed",
+    "bookings",
+    "early_skips",
+    "wait_polls",
+    "swept",
+)
+
+blocks_strategy = st.lists(
+    st.builds(
+        BlockStats,
+        messages=st.integers(0, 16),
+        probes_walked=st.integers(0, 50),
+        buckets_probed=st.integers(0, 50),
+        hashes_computed=st.integers(0, 50),
+        bookings=st.integers(0, 50),
+        conflicts=st.integers(0, 16),
+        fast_path=st.integers(0, 16),
+        slow_path=st.integers(0, 16),
+        optimistic_hits=st.integers(0, 16),
+        unexpected=st.integers(0, 16),
+        early_skips=st.integers(0, 16),
+        wait_polls=st.integers(0, 100),
+        swept=st.integers(0, 16),
+    ),
+    max_size=30,
+)
+
+
+@given(blocks_strategy)
+def test_history_sums_to_cumulative_fields(blocks: list[BlockStats]) -> None:
+    stats = EngineStats()
+    for block in blocks:
+        stats.absorb(block)
+    assert stats.blocks == len(blocks) == len(stats.block_history)
+    for name in SUMMED:
+        total = sum(getattr(b, name) for b in stats.block_history)
+        assert getattr(stats, name) == total, name
+    assert stats.unexpected_stored == sum(b.unexpected for b in stats.block_history)
+    assert stats.expected_matches == sum(
+        b.messages - b.unexpected for b in stats.block_history
+    )
+
+
+@given(blocks_strategy, st.integers(min_value=0, max_value=5))
+def test_history_limit_bounds_history_not_counters(
+    blocks: list[BlockStats], limit: int
+) -> None:
+    bounded = EngineStats(history_limit=limit)
+    unbounded = EngineStats()
+    for block in blocks:
+        bounded.absorb(block)
+        unbounded.absorb(block)
+    assert len(bounded.block_history) <= limit
+    # The retained suffix is the *most recent* blocks, in order.
+    if bounded.block_history:
+        assert bounded.block_history == unbounded.block_history[-limit:]
+    for name in SUMMED:
+        assert getattr(bounded, name) == getattr(unbounded, name), name
+
+
+@given(blocks_strategy)
+def test_keep_history_off_still_accumulates(blocks: list[BlockStats]) -> None:
+    stats = EngineStats(keep_history=False)
+    for block in blocks:
+        stats.absorb(block)
+    assert stats.block_history == []
+    assert stats.messages == sum(b.messages for b in blocks)

@@ -1,0 +1,103 @@
+"""Observability glue: engine observer spans, degraded-window
+reconstruction, and whole-stack metric registration."""
+
+from __future__ import annotations
+
+from repro.core import EngineConfig, MessageEnvelope, OptimisticMatcher, ReceiveRequest
+from repro.core.stats import EngineStats
+from repro.obs.hooks import (
+    DegradedWindowWatcher,
+    attach_engine_observer,
+    register_stack_metrics,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, SpanTracer
+from repro.obs.validate import validate_chrome_trace
+
+
+def drive_engine(engine: OptimisticMatcher, n: int = 8) -> None:
+    for i in range(n):
+        engine.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+    for i in range(n):
+        engine.submit_message(MessageEnvelope(source=0, tag=i, send_seq=i))
+    engine.process_all()
+
+
+class TestEngineObserver:
+    def test_blocks_become_complete_spans(self) -> None:
+        tracer = SpanTracer()
+        clock = {"now": 0.0}
+        engine = OptimisticMatcher(EngineConfig(block_threads=4))
+        attach_engine_observer(engine, tracer, lambda: clock["now"])
+        drive_engine(engine)
+        spans = [e for e in tracer.events if e["ph"] == "X" and e["name"] == "block"]
+        assert len(spans) == engine.stats.blocks > 0
+        assert all(e["args"]["messages"] >= 1 for e in spans)
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+    def test_match_instants_carry_path(self) -> None:
+        tracer = SpanTracer()
+        engine = OptimisticMatcher(EngineConfig(block_threads=4))
+        attach_engine_observer(engine, tracer, lambda: 0.0)
+        drive_engine(engine)
+        names = {e["name"] for e in tracer.events if e["ph"] == "i"}
+        assert any(name.startswith("match:") for name in names)
+
+    def test_disabled_tracer_installs_nothing(self) -> None:
+        engine = OptimisticMatcher(EngineConfig())
+        assert attach_engine_observer(engine, NULL_TRACER, lambda: 0.0) is None
+        assert engine._observer is None
+
+
+class TestDegradedWindowWatcher:
+    def test_reconstructs_windows_from_counters(self) -> None:
+        tracer = SpanTracer()
+        stats = EngineStats()
+        clock = {"now": 0.0}
+        watcher = DegradedWindowWatcher(tracer, stats, lambda: clock["now"])
+
+        clock["now"] = 10.0
+        stats.fallback_spills += 1
+        watcher.poll()
+        clock["now"] = 30.0
+        stats.fallback_recoveries += 1
+        watcher.poll()
+        watcher.close()
+
+        spans = [(e["ph"], e["ts"]) for e in tracer.events if e["name"] == "degraded"]
+        assert spans == [("B", 10.0), ("E", 30.0)]
+        instants = [e["name"] for e in tracer.events if e["ph"] == "i"]
+        assert instants == ["spill", "recovery"]
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+    def test_multiple_windows_in_one_poll_degenerate_but_balance(self) -> None:
+        tracer = SpanTracer()
+        stats = EngineStats()
+        watcher = DegradedWindowWatcher(tracer, stats, lambda: 5.0)
+        stats.fallback_spills = 3
+        stats.fallback_recoveries = 3
+        watcher.poll()
+        watcher.close()
+        begins = sum(1 for e in tracer.events if e["ph"] == "B")
+        ends = sum(1 for e in tracer.events if e["ph"] == "E")
+        assert begins == ends == 3
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+    def test_close_balances_unrecovered_window(self) -> None:
+        tracer = SpanTracer()
+        stats = EngineStats()
+        watcher = DegradedWindowWatcher(tracer, stats, lambda: 1.0)
+        stats.fallback_spills = 1
+        watcher.poll()
+        watcher.close()
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+
+class TestRegisterStackMetrics:
+    def test_registers_engine_series(self) -> None:
+        registry = MetricsRegistry()
+        stats = EngineStats()
+        register_stack_metrics(registry, engine_stats=stats, prefix="stack")
+        stats.retransmits = 3
+        values = registry.snapshot().values
+        assert values["stack.engine.retransmits"] == 3.0

@@ -1,0 +1,55 @@
+"""Overhead micro-benchmark: structure and the disabled fast path.
+
+The CI gate (`--assert-max-overhead 0.05`) runs the full benchmark;
+here we keep rounds tiny and only check the machinery — both variants
+produce identical matching results, the report carries every field the
+CI step consumes, and the assertion path trips when given an
+impossible budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import overhead
+
+
+def test_report_shape_and_consistency() -> None:
+    report = overhead.run_overhead_bench(rounds=1, repeat=1)
+    for key in (
+        "bare_seconds",
+        "probed_seconds",
+        "overhead_fraction",
+        "probe_dispatch_ns",
+        "workload",
+    ):
+        assert key in report, key
+    assert report["bare_seconds"] > 0
+    assert report["probed_seconds"] > 0
+    # Tiny rounds are noisy; the fraction must simply be a finite number.
+    assert report["overhead_fraction"] == pytest.approx(
+        report["probed_seconds"] / report["bare_seconds"] - 1
+    )
+
+
+def test_cli_assertion_trips_on_impossible_budget(capsys) -> None:
+    # Overhead cannot be below -100%; an impossible ceiling must fail.
+    rc = overhead.main(
+        ["--rounds", "1", "--repeat", "1", "--assert-max-overhead", "-2"]
+    )
+    assert rc == 1
+    assert "exceeds budget" in capsys.readouterr().err
+
+
+def test_cli_json_output(capsys) -> None:
+    assert overhead.main(["--rounds", "1", "--repeat", "1", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert '"overhead_fraction"' in out
+
+
+def test_bench_refuses_to_run_with_probes_enabled() -> None:
+    from repro.obs.probe import subscribed
+
+    with subscribed("engine.process_block", lambda a, k, r: None):
+        with pytest.raises(RuntimeError):
+            overhead.run_overhead_bench(rounds=1, repeat=1)

@@ -1,0 +1,72 @@
+"""@probe hook points: disabled passthrough and subscription."""
+
+from __future__ import annotations
+
+from repro.core import EngineConfig, MessageEnvelope, OptimisticMatcher, ReceiveRequest
+from repro.obs import probe as probemod
+from repro.obs.probe import probe, probe_names, subscribe, subscribed, unsubscribe
+
+
+def make_probed(name: str = "test.site"):
+    calls: list[tuple] = []
+
+    @probe(name)
+    def fn(a, b=1):
+        calls.append((a, b))
+        return a + b
+
+    return fn, calls
+
+
+class TestDisabled:
+    def test_passthrough_result(self) -> None:
+        fn, calls = make_probed("test.passthrough")
+        assert not probemod.active()
+        assert fn(2, b=3) == 5
+        assert calls == [(2, 3)]
+
+    def test_wrapped_original_preserved(self) -> None:
+        fn, _ = make_probed("test.wrapped")
+        assert fn.__wrapped__(1, b=1) == 2
+        assert fn.__probe_name__ == "test.wrapped"
+
+    def test_engine_hot_paths_are_probed(self) -> None:
+        # The overhead bench needs the undecorated originals reachable.
+        for method in (OptimisticMatcher.post_receive, OptimisticMatcher.process_block):
+            assert hasattr(method, "__wrapped__")
+            assert method.__probe_name__ in probe_names()
+
+
+class TestSubscription:
+    def test_hook_sees_args_and_result(self) -> None:
+        fn, _ = make_probed("test.hook")
+        seen: list[tuple] = []
+        with subscribed("test.hook", lambda a, k, r: seen.append((a, k, r))):
+            assert probemod.active()
+            fn(4, b=6)
+        assert not probemod.active()
+        assert seen == [((4,), {"b": 6}, 10)]
+
+    def test_unsubscribe_closes_gate_only_when_empty(self) -> None:
+        fn, _ = make_probed("test.gate")
+        hook_a = lambda a, k, r: None  # noqa: E731
+        hook_b = lambda a, k, r: None  # noqa: E731
+        subscribe("test.gate", hook_a)
+        subscribe("test.gate", hook_b)
+        unsubscribe("test.gate", hook_a)
+        assert probemod.active()
+        unsubscribe("test.gate", hook_b)
+        assert not probemod.active()
+
+    def test_unsubscribe_unknown_hook_is_noop(self) -> None:
+        unsubscribe("test.never-subscribed", lambda a, k, r: None)
+        assert not probemod.active()
+
+    def test_engine_probe_fires_on_block(self) -> None:
+        engine = OptimisticMatcher(EngineConfig(block_threads=2))
+        blocks: list = []
+        with subscribed("engine.process_block", lambda a, k, r: blocks.append(r)):
+            engine.post_receive(ReceiveRequest(source=0, tag=1, handle=0))
+            engine.submit_message(MessageEnvelope(source=0, tag=1, send_seq=0))
+            engine.process_all()
+        assert len(blocks) >= 1

@@ -1,0 +1,160 @@
+"""Metrics registry: families, labels, pull collectors, snapshots.
+
+The load-bearing property is that :class:`MetricsSnapshot` values form
+a commutative monoid under :meth:`merge` — shard-and-combine
+aggregation must not depend on combination order — and that pull-style
+collectors read *live* objects, so stats carriers that survive engine
+generations report cumulative values with no mirroring step.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stats import EngineStats
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestFamilies:
+    def test_counter_accumulates(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("runs", "runs executed")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot().values["runs"] == 5.0
+
+    def test_counter_rejects_negative(self) -> None:
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_set_and_function(self) -> None:
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(7)
+        level = {"value": 3.0}
+        registry.gauge("live").set_function(lambda: level["value"])
+        assert registry.snapshot().values == {"depth": 7.0, "live": 3.0}
+        level["value"] = 9.0
+        assert registry.snapshot().values["live"] == 9.0
+
+    def test_histogram_buckets_cumulative_names(self) -> None:
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        samples = dict(h.samples())
+        assert samples["lat_bucket{le=1}"] == 1.0
+        assert samples["lat_bucket{le=10}"] == 1.0
+        assert samples["lat_bucket{le=+inf}"] == 1.0
+        assert samples["lat_count"] == 3.0
+        assert samples["lat_sum"] == 55.5
+
+    def test_labels_fan_out_and_fold_into_names(self) -> None:
+        registry = MetricsRegistry()
+        runs = registry.counter("chaos.runs")
+        runs.labels(profile="clean").inc(2)
+        runs.labels(profile="drops").inc(3)
+        values = registry.snapshot().values
+        assert values["chaos.runs{profile=clean}"] == 2.0
+        assert values["chaos.runs{profile=drops}"] == 3.0
+
+    def test_labels_key_is_order_independent(self) -> None:
+        c = Counter("x")
+        assert c.labels(a=1, b=2) is c.labels(b=2, a=1)
+
+    def test_same_name_same_object(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.counter("n") is registry.counter("n")
+
+    def test_type_conflict_rejected(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(ValueError):
+            registry.gauge("n")
+
+    def test_structural_characters_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Counter("bad,name")
+
+
+class TestCollectors:
+    def test_register_stats_pulls_live_values(self) -> None:
+        registry = MetricsRegistry()
+        stats = EngineStats()
+        registry.register_stats("engine", stats)
+        stats.retransmits = 4
+        assert registry.snapshot().values["engine.retransmits"] == 4.0
+        stats.retransmits = 9
+        assert registry.snapshot().values["engine.retransmits"] == 9.0
+
+    def test_register_stats_skips_private_bool_and_lists(self) -> None:
+        registry = MetricsRegistry()
+        registry.register_stats("engine", EngineStats())
+        values = registry.snapshot().values
+        assert "engine.keep_history" not in values  # bool
+        assert "engine.block_history" not in values  # list
+
+    def test_cumulative_across_engine_generations(self) -> None:
+        """The carried stats object is the registry's source of truth:
+        swapping engines (spill/recovery) does not reset the series."""
+        registry = MetricsRegistry()
+        stats = EngineStats()
+        registry.register_stats("engine", stats)
+        stats.fallback_spills += 1
+        stats.retransmits += 5
+        first = registry.snapshot().values["engine.retransmits"]
+        # "New generation": a fresh engine adopts the same stats object.
+        stats.fallback_recoveries += 1
+        stats.retransmits += 2
+        second = registry.snapshot().values["engine.retransmits"]
+        assert (first, second) == (5.0, 7.0)
+        assert registry.snapshot().values["engine.fallback_recoveries"] == 1.0
+
+
+snapshots = st.dictionaries(
+    st.sampled_from(["a", "b", "c{l=1}", "d.e"]),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    max_size=4,
+).map(lambda d: MetricsSnapshot(dict(d)))
+
+
+class TestSnapshots:
+    @given(snapshots, snapshots, snapshots)
+    def test_merge_is_associative(
+        self, a: MetricsSnapshot, b: MetricsSnapshot, c: MetricsSnapshot
+    ) -> None:
+        left = a.merge(b).merge(c).values
+        right = a.merge(b.merge(c)).values
+        assert left.keys() == right.keys()
+        for key in left:
+            assert left[key] == pytest.approx(right[key])
+
+    @given(snapshots, snapshots)
+    def test_merge_is_commutative(self, a: MetricsSnapshot, b: MetricsSnapshot) -> None:
+        ab, ba = a.merge(b).values, b.merge(a).values
+        assert ab.keys() == ba.keys()
+        for key in ab:
+            assert ab[key] == pytest.approx(ba[key])
+
+    @given(snapshots)
+    def test_empty_is_identity(self, a: MetricsSnapshot) -> None:
+        assert a.merge(MetricsSnapshot()).values == a.values
+
+    def test_delta(self) -> None:
+        before = MetricsSnapshot({"x": 2.0, "y": 1.0})
+        after = MetricsSnapshot({"x": 5.0, "z": 4.0})
+        assert after.delta(before).values == {"x": 3.0, "y": -1.0, "z": 4.0}
+
+    def test_json_roundtrip(self) -> None:
+        snap = MetricsSnapshot({"a": 1.5, "b{l=x}": 2.0})
+        assert MetricsSnapshot.from_json(snap.to_json()).values == snap.values
+
+    def test_from_json_rejects_garbage(self) -> None:
+        with pytest.raises(ValueError):
+            MetricsSnapshot.from_json('{"not": "a snapshot"}')

@@ -1,0 +1,129 @@
+"""Span tracer: Chrome trace_event structure and simulated clocks."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.trace import NULL_TRACER, NullTracer, ScopedTracer, SpanTracer
+from repro.obs.validate import validate_chrome_trace
+from repro.traces.synthetic import generate
+
+
+class TestSpanTracer:
+    def test_tracks_get_metadata_events(self) -> None:
+        tracer = SpanTracer()
+        track = tracer.track("dpa", "blocks")
+        assert track is tracer.track("dpa", "blocks")  # cached
+        metas = [e for e in tracer.events if e["ph"] == "M"]
+        assert {e["name"] for e in metas} == {"process_name", "thread_name"}
+        assert metas[0]["args"]["name"] == "dpa"
+
+    def test_distinct_processes_get_distinct_pids(self) -> None:
+        tracer = SpanTracer()
+        assert tracer.track("dpa").pid != tracer.track("rc").pid
+        assert tracer.track("dpa", "a").tid != tracer.track("dpa", "b").tid
+
+    def test_timestamps_clamped_monotonic_per_track(self) -> None:
+        tracer = SpanTracer()
+        track = tracer.track("sim")
+        tracer.instant(track, "first", 10.0)
+        tracer.instant(track, "earlier", 4.0)  # simulated clock reused
+        ts = [e["ts"] for e in tracer.events if e["ph"] == "i"]
+        assert ts == [10.0, 10.0]
+
+    def test_complete_span_advances_clock_past_duration(self) -> None:
+        tracer = SpanTracer()
+        track = tracer.track("sim")
+        tracer.complete(track, "block", 5.0, 20.0)
+        tracer.instant(track, "after", 0.0)
+        assert tracer.events[-1]["ts"] == 25.0
+
+    def test_begin_end_balance_and_close(self) -> None:
+        tracer = SpanTracer()
+        track = tracer.track("rc")
+        tracer.begin(track, "retransmit", 1.0)
+        tracer.begin(track, "rnr", 2.0)
+        tracer.end(track, 3.0)
+        tracer.close_open_spans()
+        phases = [e["ph"] for e in tracer.events if e["ph"] in "BE"]
+        assert phases == ["B", "B", "E", "E"]
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+    def test_end_without_open_span_is_noop(self) -> None:
+        tracer = SpanTracer()
+        track = tracer.track("rc")
+        tracer.end(track, 1.0)
+        assert [e for e in tracer.events if e["ph"] == "E"] == []
+
+    def test_write_emits_loadable_json(self) -> None:
+        tracer = SpanTracer()
+        track = tracer.track("dpa")
+        tracer.complete(track, "block", 0.0, 2.0, args={"messages": 8})
+        buffer = io.StringIO()
+        tracer.write(buffer)
+        payload = json.loads(buffer.getvalue())
+        assert payload["displayTimeUnit"] == "ms"
+        assert validate_chrome_trace(payload) == []
+
+
+class TestNullTracer:
+    def test_disabled_and_eventless(self) -> None:
+        assert NULL_TRACER.enabled is False
+        track = NULL_TRACER.track("anything")
+        NULL_TRACER.complete(track, "x", 0, 1)
+        NULL_TRACER.begin(track, "y", 0)
+        NULL_TRACER.end(track, 1)
+        NULL_TRACER.instant(track, "z", 2)
+        NULL_TRACER.counter(track, "c", 3, {"v": 1})
+        assert NULL_TRACER.events == []
+
+    def test_singleton_class_attribute_fast_path(self) -> None:
+        # Hot paths read `.enabled` before building args; it must be a
+        # plain attribute on both tracer classes.
+        assert SpanTracer.enabled is True
+        assert NullTracer.enabled is False
+
+
+class TestScopedTracer:
+    def test_prefixes_process_names_into_shared_storage(self) -> None:
+        inner = SpanTracer()
+        scoped = ScopedTracer(inner, "spill/")
+        track = scoped.track("engine")
+        scoped.instant(track, "match", 1.0)
+        names = [
+            e["args"]["name"]
+            for e in inner.events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert names == ["spill/engine"]
+        assert any(e["name"] == "match" for e in inner.events)
+
+    def test_two_scopes_do_not_collide(self) -> None:
+        inner = SpanTracer()
+        a = ScopedTracer(inner, "a/").track("engine")
+        b = ScopedTracer(inner, "b/").track("engine")
+        assert a.pid != b.pid
+
+    def test_scoping_null_tracer_stays_disabled(self) -> None:
+        scoped = ScopedTracer(NULL_TRACER, "x/")
+        assert scoped.enabled is False
+        scoped.instant(scoped.track("p"), "e", 1.0)
+        assert NULL_TRACER.events == []
+
+
+class TestMpiTraceExport:
+    def test_ranks_become_thread_tracks(self) -> None:
+        from repro.obs.trace import mpi_trace_to_chrome
+
+        trace = generate("BoxLib CNS", processes=4, rounds=1)
+        tracer = mpi_trace_to_chrome(trace)
+        payload = tracer.to_chrome()
+        assert validate_chrome_trace(payload) == []
+        thread_names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"rank 0", "rank 1", "rank 2", "rank 3"} <= thread_names
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])

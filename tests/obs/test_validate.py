@@ -1,0 +1,89 @@
+"""Trace validator: every structural rule has a failing witness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.validate import main, validate_chrome_trace
+
+
+def event(**overrides) -> dict:
+    base = {"name": "e", "ph": "i", "pid": 1, "tid": 1, "ts": 0}
+    base.update(overrides)
+    return base
+
+
+class TestRules:
+    def test_valid_trace_has_no_errors(self) -> None:
+        payload = {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {}},
+                event(ph="X", ts=1, dur=2),
+                event(ph="B", ts=5),
+                event(ph="E", ts=6),
+            ]
+        }
+        assert validate_chrome_trace(payload) == []
+
+    def test_bare_array_accepted(self) -> None:
+        assert validate_chrome_trace([event()]) == []
+
+    def test_non_trace_rejected(self) -> None:
+        assert validate_chrome_trace("nope")
+        assert validate_chrome_trace({"events": []})
+
+    def test_missing_required_key(self) -> None:
+        bad = event()
+        del bad["pid"]
+        assert any("missing required key 'pid'" in e for e in validate_chrome_trace([bad]))
+
+    def test_unknown_phase(self) -> None:
+        assert any("unknown phase" in e for e in validate_chrome_trace([event(ph="Z")]))
+
+    def test_negative_or_missing_ts(self) -> None:
+        assert any("'ts'" in e for e in validate_chrome_trace([event(ts=-1)]))
+        bad = event()
+        del bad["ts"]
+        assert any("'ts'" in e for e in validate_chrome_trace([bad]))
+
+    def test_backwards_ts_on_one_track(self) -> None:
+        errors = validate_chrome_trace([event(ts=5), event(ts=3)])
+        assert any("goes backwards" in e for e in errors)
+
+    def test_independent_tracks_have_independent_clocks(self) -> None:
+        assert validate_chrome_trace([event(ts=5), event(ts=3, tid=2)]) == []
+
+    def test_complete_needs_duration(self) -> None:
+        errors = validate_chrome_trace([event(ph="X")])
+        assert any("'dur'" in e for e in errors)
+
+    def test_unbalanced_begin_end(self) -> None:
+        assert any("unclosed" in e for e in validate_chrome_trace([event(ph="B")]))
+        assert any(
+            "no open 'B'" in e for e in validate_chrome_trace([event(ph="E")])
+        )
+
+    def test_metadata_events_need_no_ts(self) -> None:
+        meta = {"name": "process_name", "ph": "M", "pid": 1, "tid": 0}
+        assert validate_chrome_trace([meta]) == []
+
+
+class TestCli:
+    def test_ok_and_failing_files(self, tmp_path, capsys: pytest.CaptureFixture) -> None:
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"traceEvents": [event()]}))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [event(ts=-2)]}))
+        assert main([str(good)]) == 0
+        assert main([str(good), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "ok (1 events)" in captured.out
+        assert "non-negative" in captured.err
+
+    def test_unreadable_file(self, tmp_path, capsys: pytest.CaptureFixture) -> None:
+        path = tmp_path / "nope.json"
+        path.write_text("{not json")
+        assert main([str(path)]) == 1
+        assert "unreadable" in capsys.readouterr().err
