@@ -8,6 +8,13 @@ DUMPI-text trace directory passed with ``--trace-dir``):
     repro-analyze --table 2
     repro-analyze --app "BoxLib CNS" --bins 1,32,128
     repro-analyze --trace-dir /path/to/dumpi --bins 32
+    repro-analyze sweep --jobs 4 --cache-dir .fleet-cache
+
+``sweep`` runs the full application x bins grid; with ``--jobs N`` it
+fans out over a :mod:`repro.fleet` worker pool and with
+``--cache-dir`` re-runs only the changed cells (results are
+byte-identical to a serial run either way). The same two flags apply
+to ``--figure 6``/``--figure 7``, which are grid sweeps too.
 """
 
 from __future__ import annotations
@@ -39,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-analyze",
         description="MPI trace analyzer (reproduction of the paper's C2 artifact)",
     )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        choices=("sweep",),
+        help="sweep: run the application x bins grid (honours --jobs/--cache-dir)",
+    )
     parser.add_argument("--figure", type=int, choices=(6, 7), help="regenerate a figure")
     parser.add_argument("--table", type=int, choices=(2,), help="regenerate a table")
     parser.add_argument("--app", help="analyze one registered application")
@@ -57,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None, help="override process count for generation"
     )
     parser.add_argument("--list", action="store_true", help="list registered applications")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fleet worker processes for grid sweeps (1 = inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache for grid sweeps",
+    )
     parser.add_argument(
         "--plot", action="store_true", help="render figures as terminal bar charts"
     )
@@ -123,8 +147,26 @@ def main(argv: list[str] | None = None) -> int:
     if args.table == 2:
         print(format_table2())
         return 0
+    if args.command == "sweep":
+        results, report = sweep_applications(
+            bins_list=args.bins,
+            rounds=args.rounds,
+            processes=args.processes,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            with_report=True,
+        )
+        print(format_figure7(results))
+        print(f"fleet: {report.summary()}", file=sys.stderr)
+        return 0
     if args.figure == 6:
-        results = sweep_applications(bins_list=(1,), rounds=args.rounds, processes=args.processes)
+        results = sweep_applications(
+            bins_list=(1,),
+            rounds=args.rounds,
+            processes=args.processes,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
         analyses = {name: per_bins[1] for name, per_bins in results.items()}
         print(format_figure6(analyses))
         if args.plot:
@@ -145,7 +187,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.figure == 7:
         results = sweep_applications(
-            bins_list=args.bins, rounds=args.rounds, processes=args.processes
+            bins_list=args.bins,
+            rounds=args.rounds,
+            processes=args.processes,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
         )
         print(format_figure7(results))
         if args.plot:

@@ -9,17 +9,28 @@ empty-bin fractions, tag usage, wildcard usage, and the p2p/collective
 
 from __future__ import annotations
 
+import json
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
 
-from repro.traces.model import OpGroup
+from repro.core.constants import WildcardClass
+from repro.traces.model import OpGroup, OpKind
 
 __all__ = ["Datapoint", "QueueDepthStats", "AppAnalysis"]
+
+
+def _check_schema(payload: Mapping[str, Any], expected: str) -> None:
+    schema = payload.get("schema", expected)
+    if schema != expected:
+        raise ValueError(f"unsupported schema {schema!r}, expected {expected!r}")
 
 
 @dataclass(frozen=True, slots=True)
 class Datapoint:
     """One progress-op snapshot on one rank."""
+
+    SCHEMA = "repro.analyzer.datapoint/v1"
 
     rank: int
     walltime: float
@@ -28,10 +39,19 @@ class Datapoint:
     unexpected: int
     empty_fraction: float
 
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Datapoint":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__})
+
 
 @dataclass(slots=True)
 class QueueDepthStats:
     """Aggregate queue-depth behaviour for one (app, bins) pair."""
+
+    SCHEMA = "repro.analyzer.queue_depth_stats/v1"
 
     bins: int
     datapoints: int = 0
@@ -76,10 +96,19 @@ class QueueDepthStats:
             drained_total=drained_total,
         )
 
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueueDepthStats":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__ if k in payload})
+
 
 @dataclass(slots=True)
 class AppAnalysis:
     """Full analysis of one application trace at one bin count."""
+
+    SCHEMA = "repro.analyzer.app_analysis/v1"
 
     name: str
     nprocs: int
@@ -107,3 +136,68 @@ class AppAnalysis:
 
     def p2p_fraction(self) -> float:
         return self.call_mix.get(OpGroup.P2P, 0.0)
+
+    # -- JSON round-trip (fleet cache / parallel workers) ---------------
+    #
+    # Enum keys are stored by value and tag keys as decimal strings;
+    # ``from_dict`` restores the exact in-memory types, so a decoded
+    # analysis is interchangeable with a freshly computed one.
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "nprocs": self.nprocs,
+            "bins": self.bins,
+            "depth": self.depth.to_dict(),
+            "call_mix": {group.value: frac for group, frac in self.call_mix.items()},
+            "wildcard_usage": {
+                wc.value: count for wc, count in self.wildcard_usage.items()
+            },
+            "tag_usage": {str(tag): count for tag, count in self.tag_usage.items()},
+            "p2p_kinds": {kind.value: count for kind, count in self.p2p_kinds.items()},
+            "unique_pairs": self.unique_pairs,
+            "total_ops": self.total_ops,
+            "datapoints": [point.to_dict() for point in self.datapoints],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AppAnalysis":
+        return cls(
+            name=payload["name"],
+            nprocs=payload["nprocs"],
+            bins=payload["bins"],
+            depth=QueueDepthStats.from_dict(payload["depth"]),
+            call_mix={
+                OpGroup(key): frac for key, frac in payload.get("call_mix", {}).items()
+            },
+            wildcard_usage=Counter(
+                {
+                    WildcardClass(key): count
+                    for key, count in payload.get("wildcard_usage", {}).items()
+                }
+            ),
+            tag_usage=Counter(
+                {int(key): count for key, count in payload.get("tag_usage", {}).items()}
+            ),
+            p2p_kinds=Counter(
+                {
+                    OpKind(key): count
+                    for key, count in payload.get("p2p_kinds", {}).items()
+                }
+            ),
+            unique_pairs=payload.get("unique_pairs", 0),
+            total_ops=payload.get("total_ops", 0),
+            datapoints=[
+                Datapoint.from_dict(point) for point in payload.get("datapoints", [])
+            ],
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        payload = {"schema": self.SCHEMA, **self.to_dict()}
+        return json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "AppAnalysis":
+        payload = json.loads(text)
+        _check_schema(payload, cls.SCHEMA)
+        return cls.from_dict(payload)

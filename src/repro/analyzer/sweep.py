@@ -1,14 +1,33 @@
 """Bin-count sweeps over applications (Fig. 7 and the artifact's
-1..256 powers-of-two output layout)."""
+1..256 powers-of-two output layout).
+
+The application grid is embarrassingly parallel — every (app, bins)
+cell is one deterministic :func:`repro.analyzer.processing.analyze`
+run — so :func:`sweep_applications` schedules cells through
+:mod:`repro.fleet`: ``jobs=N`` fans out over a worker pool and
+``cache_dir`` memoizes cells content-addressed, so re-running a sweep
+only executes the changed cells. Results are merged in job order and
+every cell passes through the fleet codec, which makes parallel output
+byte-identical to serial output.
+"""
 
 from __future__ import annotations
 
-from repro.analyzer.processing import analyze
-from repro.analyzer.statistics import AppAnalysis
-from repro.traces.model import Trace
-from repro.traces.synthetic import app_names, generate
+from typing import Iterator
 
-__all__ = ["BIN_SWEEP", "FIGURE7_BINS", "sweep_trace", "sweep_applications"]
+from repro.analyzer.statistics import AppAnalysis
+from repro.fleet import FleetReport, JobSpec, RetryPolicy, run_jobs
+from repro.traces.model import Trace
+from repro.traces.synthetic import app_names
+
+__all__ = [
+    "BIN_SWEEP",
+    "FIGURE7_BINS",
+    "iter_sweep_jobs",
+    "sweep_trace",
+    "sweep_applications",
+    "sweep_report",
+]
 
 #: The artifact's sweep: "6 folders representing the number of bins
 #: used (from 1 to 256, in powers of 2)" — i.e. 1..256 stepping x2
@@ -20,7 +39,29 @@ FIGURE7_BINS: tuple[int, ...] = (1, 32, 128)
 
 def sweep_trace(trace: Trace, bins_list: tuple[int, ...] = BIN_SWEEP) -> dict[int, AppAnalysis]:
     """Analyze one trace at every bin count."""
+    from repro.analyzer.processing import analyze
+
     return {bins: analyze(trace, bins) for bins in bins_list}
+
+
+def iter_sweep_jobs(
+    names: list[str],
+    bins_list: tuple[int, ...],
+    *,
+    rounds: int = 6,
+    processes: int | None = None,
+) -> Iterator[JobSpec]:
+    """Lazily enumerate the (app, bins) grid as fleet jobs.
+
+    Enumeration order (app-major, bins-minor) fixes the job indices
+    and therefore the merge order of any run over this grid.
+    """
+    for name in names:
+        for bins in bins_list:
+            params = {"app": name, "bins": bins, "rounds": rounds}
+            if processes is not None:
+                params["processes"] = processes
+            yield JobSpec(kind="analyze_app", params=params)
 
 
 def sweep_applications(
@@ -29,14 +70,44 @@ def sweep_applications(
     processes: int | None = None,
     rounds: int = 6,
     names: list[str] | None = None,
-) -> dict[str, dict[int, AppAnalysis]]:
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    policy: RetryPolicy | None = None,
+    registry=None,
+    tracer=None,
+    fault_hook=None,
+    with_report: bool = False,
+):
     """Generate and analyze every registered application.
 
     ``processes=None`` uses each app's default scale. Returns
-    ``results[app][bins]``.
+    ``results[app][bins]`` — and, with ``with_report=True``, a
+    ``(results, FleetReport)`` tuple.
+
+    ``jobs``/``cache_dir`` route the grid through the fleet scheduler;
+    the default (``jobs=1``, no cache) runs the cells inline, through
+    the same codec, so parallel and serial results are byte-identical.
+    Quarantined cells raise :class:`repro.fleet.FleetError`.
     """
-    results: dict[str, dict[int, AppAnalysis]] = {}
-    for name in names if names is not None else app_names():
-        trace = generate(name, processes=processes, rounds=rounds)
-        results[name] = sweep_trace(trace, bins_list)
+    names = list(names) if names is not None else app_names()
+    run = run_jobs(
+        iter_sweep_jobs(names, bins_list, rounds=rounds, processes=processes),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        policy=policy,
+        registry=registry,
+        tracer=tracer,
+        fault_hook=fault_hook,
+    )
+    run.require_ok()
+    results: dict[str, dict[int, AppAnalysis]] = {name: {} for name in names}
+    for outcome in run.outcomes:
+        results[outcome.spec.params["app"]][outcome.spec.params["bins"]] = outcome.result
+    if with_report:
+        return results, run.report
     return results
+
+
+def sweep_report(**kwargs) -> tuple[dict, FleetReport]:
+    """:func:`sweep_applications` with the fleet report attached."""
+    return sweep_applications(with_report=True, **kwargs)

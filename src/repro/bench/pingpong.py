@@ -20,7 +20,9 @@ offload frees: the host's matching work per message.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.core.engine import OptimisticMatcher
 from repro.core.events import MatchKind
@@ -44,6 +46,8 @@ PAPER_REPETITIONS = 500
 class RateResult:
     """Message rate and cost accounting of one configuration."""
 
+    SCHEMA = "repro.bench.rate_result/v1"
+
     label: str
     message_rate: float  #: messages per second
     sequences: int
@@ -54,6 +58,30 @@ class RateResult:
     dpa_cycles_per_msg: float
     #: Engine path mix (empty for baselines).
     path_mix: dict[str, int]
+
+    # -- JSON round-trip (fleet cache / parallel workers) ---------------
+
+    def to_dict(self) -> dict:
+        payload = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        payload["path_mix"] = dict(self.path_mix)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RateResult":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__})
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(
+            {"schema": self.SCHEMA, **self.to_dict()}, indent=indent, sort_keys=True
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "RateResult":
+        payload = json.loads(text)
+        schema = payload.get("schema", cls.SCHEMA)
+        if schema != cls.SCHEMA:
+            raise ValueError(f"unsupported schema {schema!r}, expected {cls.SCHEMA!r}")
+        return cls.from_dict(payload)
 
 
 class PingPongBench:

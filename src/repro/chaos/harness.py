@@ -28,7 +28,9 @@ end in :class:`repro.rdma.reliability.TransportError`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
 
 from repro.core.config import EngineConfig
 from repro.core.engine import OptimisticMatcher
@@ -49,7 +51,13 @@ from repro.rdma.reliability import (
 )
 from repro.util.rng import make_rng
 
-__all__ = ["ChaosConfig", "ChaosReport", "run_chaos"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "config_from_params",
+    "config_to_params",
+    "run_chaos",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,9 +94,29 @@ class ChaosConfig:
     fallback: bool = False
 
 
+def config_to_params(config: ChaosConfig) -> dict:
+    """Flatten a :class:`ChaosConfig` into pure JSON literals.
+
+    The inverse of :func:`config_from_params`; used to ship chaos runs
+    across the :mod:`repro.fleet` worker boundary and to key the
+    content-addressed result cache.
+    """
+    return asdict(config)
+
+
+def config_from_params(params: Mapping[str, Any]) -> ChaosConfig:
+    """Rebuild a :class:`ChaosConfig` from :func:`config_to_params` output."""
+    payload = dict(params)
+    plan = FaultPlan(**payload.pop("plan", {}))
+    reliability = ReliabilityConfig(**payload.pop("reliability", {}))
+    return ChaosConfig(plan=plan, reliability=reliability, **payload)
+
+
 @dataclass(slots=True)
 class ChaosReport:
     """Observable outcome of one chaos run."""
+
+    SCHEMA = "repro.chaos.report/v1"
 
     seed: int
     sent: int = 0
@@ -132,6 +160,31 @@ class ChaosReport:
             and not self.mismatches
             and self.delivered == self.sent
         )
+
+    # -- JSON round-trip (fleet cache / parallel workers) ---------------
+
+    def to_dict(self) -> dict:
+        payload = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        for name in ("duplicates", "missing", "mismatches"):
+            payload[name] = list(payload[name])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ChaosReport":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__ if k in payload})
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(
+            {"schema": self.SCHEMA, **self.to_dict()}, indent=indent, sort_keys=True
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosReport":
+        payload = json.loads(text)
+        schema = payload.get("schema", cls.SCHEMA)
+        if schema != cls.SCHEMA:
+            raise ValueError(f"unsupported schema {schema!r}, expected {cls.SCHEMA!r}")
+        return cls.from_dict(payload)
 
 
 def _identity(payload: bytes) -> str:

@@ -27,13 +27,20 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from typing import Iterable, Iterator
 
-from repro.chaos.harness import ChaosConfig, ChaosReport, run_chaos
+from repro.chaos.harness import (
+    ChaosConfig,
+    ChaosReport,
+    config_to_params,
+    run_chaos,
+)
+from repro.fleet import JobSpec, run_jobs
 from repro.obs.registry import MetricsRegistry, MetricsSnapshot
 from repro.obs.trace import ScopedTracer, SpanTracer
 from repro.rdma.faultwire import FaultPlan
 
-__all__ = ["PROFILES", "main", "soak"]
+__all__ = ["PROFILES", "iter_soak_jobs", "main", "soak"]
 
 #: name -> config template (fault plan, resources, matcher shape).
 PROFILES: dict[str, ChaosConfig] = {
@@ -129,6 +136,20 @@ def _record(registry: MetricsRegistry, name: str, report: ChaosReport) -> None:
     ).labels(**labels).observe(1 + report.fallback_recoveries)
 
 
+def iter_soak_jobs(names: Iterable[str], seeds: range) -> Iterator[JobSpec]:
+    """Lazily enumerate the soak matrix as fleet jobs.
+
+    A generator on purpose: a 220-schedule soak never materializes its
+    grid — the scheduler pulls jobs as worker slots free up.
+    Profile-major, seed-minor order fixes job indices (and therefore
+    the merge order of parallel runs).
+    """
+    for name in names:
+        params = {"profile": name, "config": config_to_params(PROFILES[name])}
+        for seed in seeds:
+            yield JobSpec(kind="chaos_run", params=params, seed=seed)
+
+
 def soak(
     names: list[str],
     seeds: range,
@@ -138,8 +159,16 @@ def soak(
     verbose: bool = False,
     out=sys.stdout,
     err=sys.stderr,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> tuple[int, int]:
     """Run the soak matrix; returns ``(runs, failures)``.
+
+    ``jobs``/``cache_dir`` route the matrix through the
+    :mod:`repro.fleet` scheduler: the (profile, seed) grid fans out
+    over a worker pool and/or memoizes per-cell reports. Outcomes are
+    merged in enumeration order, so failure output, metrics recording,
+    and trace-seed selection are identical to a serial run.
 
     With a ``tracer``, each profile's most eventful seed is re-run
     (deterministically — same seed, same report) under a scoped view
@@ -147,35 +176,49 @@ def soak(
     """
     failures = 0
     runs = 0
-    for name in names:
-        template = PROFILES[name]
-        best_seed: int | None = None
-        best_interest = -1
-        for seed in seeds:
-            config = replace(template, seed=seed)
-            report = run_chaos(config)
+    fleet = run_jobs(iter_soak_jobs(names, seeds), jobs=jobs, cache_dir=cache_dir)
+    by_profile: dict[str, list[ChaosReport]] = {name: [] for name in names}
+    for outcome in fleet.outcomes:
+        name = outcome.spec.params["profile"]
+        if not outcome.ok:
+            failures += 1
             runs += 1
-            if registry is not None:
-                _record(registry, name, report)
-            interest = _interest(report)
-            if not report.transport_failed and interest > best_interest:
-                best_seed, best_interest = seed, interest
-            if verbose:
-                print(_describe(name, report), file=out)
-            if not report.ok:
-                failures += 1
-                print(f"FAIL {_describe(name, report)}", file=err)
-                if report.transport_failed:
-                    print(f"  transport: {report.transport_error}", file=err)
-                for line in report.duplicates[:5]:
-                    print(f"  duplicate: {line}", file=err)
-                for line in report.missing[:5]:
-                    print(f"  missing: {line}", file=err)
-                for line in report.mismatches[:5]:
-                    print(f"  mismatch: {line}", file=err)
-        if tracer is not None and tracer.enabled and best_seed is not None:
+            print(
+                f"FAIL {name} seed={outcome.spec.seed}: quarantined "
+                f"({outcome.error})",
+                file=err,
+            )
+            continue
+        report: ChaosReport = outcome.result
+        runs += 1
+        by_profile[name].append(report)
+        if registry is not None:
+            _record(registry, name, report)
+        if verbose:
+            print(_describe(name, report), file=out)
+        if not report.ok:
+            failures += 1
+            print(f"FAIL {_describe(name, report)}", file=err)
+            if report.transport_failed:
+                print(f"  transport: {report.transport_error}", file=err)
+            for line in report.duplicates[:5]:
+                print(f"  duplicate: {line}", file=err)
+            for line in report.missing[:5]:
+                print(f"  missing: {line}", file=err)
+            for line in report.mismatches[:5]:
+                print(f"  mismatch: {line}", file=err)
+    if tracer is not None and tracer.enabled:
+        for name in names:
+            best_seed: int | None = None
+            best_interest = -1
+            for report in by_profile[name]:
+                interest = _interest(report)
+                if not report.transport_failed and interest > best_interest:
+                    best_seed, best_interest = report.seed, interest
+            if best_seed is None:
+                continue
             scoped = ScopedTracer(tracer, f"{name}/")
-            run_chaos(replace(template, seed=best_seed), tracer=scoped)
+            run_chaos(replace(PROFILES[name], seed=best_seed), tracer=scoped)
             if verbose:
                 print(f"{name}: traced seed {best_seed}", file=out)
     return runs, failures
@@ -200,6 +243,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write a cumulative metrics snapshot (JSON) of every run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fleet worker processes for the soak matrix (1 = inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache for soak runs",
+    )
     args = parser.parse_args(argv)
 
     names = [args.profile] if args.profile else sorted(PROFILES)
@@ -211,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
         tracer=tracer,
         registry=registry,
         verbose=args.verbose,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     if tracer is not None:
         tracer.write(args.trace_out)

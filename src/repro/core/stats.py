@@ -8,7 +8,9 @@ the Figure 8 message-rate benchmark.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 __all__ = ["BlockStats", "EngineStats"]
 
@@ -16,6 +18,8 @@ __all__ = ["BlockStats", "EngineStats"]
 @dataclass(slots=True)
 class BlockStats:
     """Work performed by one optimistic block (N messages)."""
+
+    SCHEMA = "repro.core.block_stats/v1"
 
     messages: int = 0
     #: Index-chain elements visited during optimistic search.
@@ -46,10 +50,21 @@ class BlockStats:
     #: block's critical path (span) and total work from these.
     thread_steps: list[int] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        payload = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        payload["thread_steps"] = list(self.thread_steps)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BlockStats":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__ if k in payload})
+
 
 @dataclass(slots=True)
 class EngineStats:
     """Cumulative engine statistics across all blocks and postings."""
+
+    SCHEMA = "repro.core.engine_stats/v1"
 
     blocks: int = 0
     messages: int = 0
@@ -128,3 +143,43 @@ class EngineStats:
             "fast": self.fast_path,
             "slow": self.slow_path,
         }
+
+    # -- JSON round-trip (fleet cache / parallel workers) ---------------
+    #
+    # Pickling across the pool boundary used to be implicit; the
+    # explicit form carries a schema version so cached results from an
+    # older layout are rejected instead of silently misread.
+
+    def to_dict(self) -> dict:
+        payload = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "block_history"
+        }
+        payload["block_history"] = [block.to_dict() for block in self.block_history]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EngineStats":
+        kwargs = {
+            k: payload[k]
+            for k in cls.__dataclass_fields__
+            if k in payload and k != "block_history"
+        }
+        kwargs["block_history"] = [
+            BlockStats.from_dict(block) for block in payload.get("block_history", [])
+        ]
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(
+            {"schema": self.SCHEMA, **self.to_dict()}, indent=indent, sort_keys=True
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineStats":
+        payload = json.loads(text)
+        schema = payload.get("schema", cls.SCHEMA)
+        if schema != cls.SCHEMA:
+            raise ValueError(f"unsupported schema {schema!r}, expected {cls.SCHEMA!r}")
+        return cls.from_dict(payload)

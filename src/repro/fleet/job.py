@@ -1,0 +1,106 @@
+"""The job model: pure-literal specs with stable content digests.
+
+A job must be *reconstructable from its spec alone* — the spec crosses
+process boundaries as JSON and doubles as the cache key, so it may
+contain only JSON literals (str/int/float/bool/None, lists, dicts with
+string keys). Anything richer (dataclass configs, enums) is flattened
+into literals by the driver that builds the spec (see
+:func:`repro.chaos.harness.config_to_params` for the chaos case).
+
+The content digest is ``sha256`` over the spec's canonical JSON plus a
+*code-version salt* (repro version + per-kind version), so cached
+results are invalidated when either the spec or the producing code
+changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["JOB_SCHEMA", "JobSpec", "ensure_literal"]
+
+JOB_SCHEMA = "repro.fleet.job/v1"
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def ensure_literal(value: Any, path: str = "params") -> None:
+    """Reject anything that would not survive a JSON round-trip."""
+    if isinstance(value, bool) or isinstance(value, _SCALARS):
+        return
+    if isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            ensure_literal(item, f"{path}[{i}]")
+        return
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"{path} key {key!r} must be str, got {type(key).__name__}")
+            ensure_literal(item, f"{path}.{key}")
+        return
+    raise TypeError(f"{path} is not a JSON literal: {type(value).__name__} ({value!r})")
+
+
+def _freeze(value: Any) -> Any:
+    """Normalize tuples to lists so canonical JSON is type-stable."""
+    if isinstance(value, (list, tuple)):
+        return [_freeze(v) for v in value]
+    if isinstance(value, Mapping):
+        return {k: _freeze(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """One schedulable unit of deterministic work.
+
+    ``kind`` names a registered job kind (:mod:`repro.fleet.kinds`),
+    ``params`` are its pure-literal arguments, and ``seed`` is the
+    run's seed (kinds that are seedless ignore it).
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise ValueError(f"job kind must be a non-empty string, got {self.kind!r}")
+        ensure_literal(self.params)
+        object.__setattr__(self, "params", _freeze(self.params))
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": JOB_SCHEMA,
+            "kind": self.kind,
+            "params": self.params,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobSpec":
+        schema = payload.get("schema", JOB_SCHEMA)
+        if schema != JOB_SCHEMA:
+            raise ValueError(f"unsupported job schema {schema!r}")
+        return cls(
+            kind=payload["kind"],
+            params=dict(payload.get("params", {})),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    def canonical(self) -> str:
+        """Canonical JSON form: sorted keys, no whitespace."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self, salt: str = "") -> str:
+        """Content address of this spec under a code-version ``salt``."""
+        h = hashlib.sha256()
+        h.update(self.canonical().encode("utf-8"))
+        h.update(b"\x00")
+        h.update(salt.encode("utf-8"))
+        return h.hexdigest()

@@ -1,0 +1,113 @@
+"""The job-kind registry: name -> (callable, code version).
+
+A *kind* is a deterministic simulation entry point a worker can run
+from a pure-literal spec. Each kind carries a version string that is
+folded into the cache digest — bump it when the producing code changes
+semantics, and stale cached results stop matching.
+
+Built-in kinds (resolved lazily so importing :mod:`repro.fleet` does
+not pull the analyzer/chaos/bench stacks into every process):
+
+* ``analyze_app``    — generate one synthetic app trace and analyze it
+  at one bin count; returns :class:`repro.analyzer.statistics.AppAnalysis`.
+* ``chaos_run``      — one seeded chaos schedule; returns
+  :class:`repro.chaos.harness.ChaosReport`.
+* ``bench_scenario`` — one Figure 8 configuration; returns
+  :class:`repro.bench.pingpong.RateResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+__all__ = ["KindSpec", "register_kind", "resolve_kind", "kind_salt"]
+
+#: Job function signature: (params, seed) -> result object.
+KindFn = Callable[[Mapping[str, Any], int], Any]
+
+
+@dataclass(frozen=True, slots=True)
+class KindSpec:
+    name: str
+    fn: KindFn
+    version: str = "1"
+
+
+_KINDS: dict[str, KindSpec] = {}
+_builtin_loaded = False
+
+
+def register_kind(name: str, fn: KindFn, *, version: str = "1") -> None:
+    """Register (or replace) a job kind."""
+    _KINDS[name] = KindSpec(name=name, fn=fn, version=version)
+
+
+def _analyze_app(params: Mapping[str, Any], seed: int) -> Any:
+    from repro.analyzer.processing import analyze
+    from repro.traces.synthetic import generate
+
+    trace = generate(
+        params["app"],
+        processes=params.get("processes"),
+        rounds=int(params.get("rounds", 6)),
+    )
+    return analyze(
+        trace, int(params["bins"]), keep_datapoints=bool(params.get("keep_datapoints"))
+    )
+
+
+def _chaos_run(params: Mapping[str, Any], seed: int) -> Any:
+    from dataclasses import replace
+
+    from repro.chaos.harness import config_from_params, run_chaos
+
+    config = replace(config_from_params(params["config"]), seed=seed)
+    return run_chaos(config)
+
+
+def _bench_scenario(params: Mapping[str, Any], seed: int) -> Any:
+    from repro.bench.pingpong import PingPongBench
+    from repro.bench.scenarios import scenario_by_name
+
+    bench = PingPongBench(
+        k=int(params.get("k", 100)),
+        repetitions=int(params.get("repetitions", 50)),
+        in_flight=int(params.get("in_flight", 1024)),
+        threads=int(params.get("threads", 32)),
+    )
+    name = params["scenario"]
+    if name == "mpi-cpu":
+        return bench.run_mpi_cpu()
+    if name == "rdma-cpu":
+        return bench.run_rdma_cpu()
+    return bench.run_optimistic(scenario_by_name(name))
+
+
+def _ensure_builtin() -> None:
+    global _builtin_loaded
+    if _builtin_loaded:
+        return
+    _builtin_loaded = True
+    for name, fn in (
+        ("analyze_app", _analyze_app),
+        ("chaos_run", _chaos_run),
+        ("bench_scenario", _bench_scenario),
+    ):
+        if name not in _KINDS:
+            register_kind(name, fn)
+
+
+def resolve_kind(name: str) -> KindSpec:
+    _ensure_builtin()
+    spec = _KINDS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown job kind {name!r}; known: {sorted(_KINDS)}")
+    return spec
+
+
+def kind_salt(name: str) -> str:
+    """The code-version salt for one kind's cache digests."""
+    import repro
+
+    return f"repro/{repro.__version__}|{name}/{resolve_kind(name).version}"

@@ -1,0 +1,131 @@
+"""The fleet run report: scheduler accounting with a stable JSON form.
+
+One :class:`FleetReport` summarizes one scheduler run — how many jobs
+executed, answered from cache, or were quarantined, plus retry /
+timeout / worker-restart counters and per-job records. The JSON form
+carries a schema version so downstream tooling (CI assertions,
+``BENCH_fleet.json``) can reject layouts it does not understand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["REPORT_SCHEMA", "FleetReport"]
+
+REPORT_SCHEMA = "repro.fleet.report/v1"
+
+
+@dataclass(slots=True)
+class FleetReport:
+    """Aggregated outcome of one :class:`FleetScheduler` run."""
+
+    SCHEMA = REPORT_SCHEMA
+
+    jobs: int = 1
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    quarantined: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_restarts: int = 0
+    wall_s: float = 0.0
+    #: Cache accounting for this run (hits/misses/writes), if caching.
+    cache: dict[str, int] | None = None
+    #: Per-job records: index, kind, digest, status, attempts,
+    #: latency_s, error.
+    records: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        outcomes,
+        *,
+        jobs: int,
+        wall_s: float,
+        retries: int,
+        timeouts: int,
+        worker_restarts: int,
+        cache_stats: Mapping[str, int] | None = None,
+    ) -> "FleetReport":
+        records = [
+            {
+                "index": outcome.index,
+                "kind": outcome.spec.kind,
+                "digest": outcome.digest,
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+                "latency_s": outcome.latency_s,
+                "error": outcome.error,
+            }
+            for outcome in outcomes
+        ]
+        return cls(
+            jobs=jobs,
+            total=len(records),
+            executed=sum(1 for r in records if r["status"] == "ok"),
+            cached=sum(1 for r in records if r["status"] == "cached"),
+            quarantined=sum(1 for r in records if r["status"] == "quarantined"),
+            retries=retries,
+            timeouts=timeouts,
+            worker_restarts=worker_restarts,
+            wall_s=wall_s,
+            cache=dict(cache_stats) if cache_stats is not None else None,
+            records=records,
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.quarantined == 0
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.total} jobs",
+            f"{self.executed} executed",
+            f"{self.cached} cached",
+        ]
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.worker_restarts:
+            parts.append(f"{self.worker_restarts} worker restarts")
+        parts.append(f"{self.wall_s:.2f}s")
+        return ", ".join(parts)
+
+    # -- JSON round-trip ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "total": self.total,
+            "executed": self.executed,
+            "cached": self.cached,
+            "quarantined": self.quarantined,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_restarts": self.worker_restarts,
+            "wall_s": self.wall_s,
+            "cache": self.cache,
+            "records": list(self.records),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FleetReport":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__ if k in payload})
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(
+            {"schema": self.SCHEMA, **self.to_dict()}, indent=indent, sort_keys=True
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetReport":
+        payload = json.loads(text)
+        schema = payload.get("schema", cls.SCHEMA)
+        if schema != cls.SCHEMA:
+            raise ValueError(f"unsupported schema {schema!r}, expected {cls.SCHEMA!r}")
+        return cls.from_dict(payload)

@@ -3,16 +3,19 @@
 A trace directory holds one dumpi2ascii text file per rank
 (``dumpi-<rank>.txt``) plus an optional ``meta.txt`` naming the
 application. Parsing "is done in parallel in a per-rank fashion"
-(§V-A.a) — here with a process pool when the trace is large enough to
-amortize it, since rank files are independent.
+(§V-A.a) — here through :func:`repro.fleet.pool.parallel_map` when the
+trace is large enough to amortize a pool, since rank files are
+independent. Routing through the fleet pool keeps worker counts sane:
+a ``load_trace`` call *inside* a fleet worker parses serially instead
+of nesting a second process pool on oversubscribed cores.
 """
 
 from __future__ import annotations
 
 import re
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
+from repro.fleet.pool import parallel_map
 from repro.traces.cache import load_cached, store_cache
 from repro.traces.dumpi import parse_rank_file, write_rank_file
 from repro.traces.model import Trace
@@ -50,8 +53,19 @@ def _parse_one(args: tuple[Path, int]):
     return parse_rank_file(path, rank)
 
 
-def load_trace(trace_dir: Path | str, *, use_cache: bool = True, parallel: bool = True) -> Trace:
-    """Load a trace directory, honouring the binary cache."""
+def load_trace(
+    trace_dir: Path | str,
+    *,
+    use_cache: bool = True,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> Trace:
+    """Load a trace directory, honouring the binary cache.
+
+    ``max_workers`` caps the parsing pool (``None`` = machine size);
+    the effective count is resolved by the fleet pool, so it is always
+    1 inside a fleet worker.
+    """
     trace_dir = Path(trace_dir)
     if use_cache:
         cached = load_cached(trace_dir)
@@ -65,9 +79,13 @@ def load_trace(trace_dir: Path | str, *, use_cache: bool = True, parallel: bool 
             key, _, value = line.partition("=")
             if key.strip() == "name":
                 name = value.strip()
-    if parallel and len(files) >= _PARALLEL_THRESHOLD:
-        with ProcessPoolExecutor() as pool:
-            ranks = list(pool.map(_parse_one, [(path, rank) for rank, path in files]))
+    if parallel:
+        ranks = parallel_map(
+            _parse_one,
+            [(path, rank) for rank, path in files],
+            max_workers=max_workers,
+            threshold=_PARALLEL_THRESHOLD,
+        )
     else:
         ranks = [parse_rank_file(path, rank) for rank, path in files]
     trace = Trace(name=name, nprocs=len(ranks), ranks=ranks)

@@ -1,0 +1,25 @@
+"""Cheap job kinds for scheduler tests.
+
+Importing this module registers the kinds — which is exactly how a
+spawned worker learns them: the scheduler's ``requires`` list names
+this module and :func:`repro.fleet.worker.execute_payload` imports it
+before resolving the kind in the fresh interpreter.
+"""
+
+from __future__ import annotations
+
+from repro.fleet import register_kind
+
+REQUIRES = ("tests.fleet.jobkinds",)
+
+
+def _echo(params, seed):
+    return {"value": params.get("value"), "seed": seed}
+
+
+def _fail(params, seed):
+    raise RuntimeError("injected failure")
+
+
+register_kind("test_echo", _echo)
+register_kind("test_fail", _fail)

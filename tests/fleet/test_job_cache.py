@@ -1,0 +1,105 @@
+"""JobSpec canonicalization/digests and the content-addressed cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.cache import CACHE_SCHEMA, ResultCache
+from repro.fleet.job import JOB_SCHEMA, JobSpec, ensure_literal
+
+
+class TestJobSpec:
+    def test_canonical_is_key_order_independent(self):
+        a = JobSpec(kind="k", params={"x": 1, "y": [2, 3]})
+        b = JobSpec(kind="k", params={"y": [2, 3], "x": 1})
+        assert a.canonical() == b.canonical()
+        assert a.digest("s") == b.digest("s")
+
+    def test_tuples_freeze_to_lists(self):
+        spec = JobSpec(kind="k", params={"bins": (1, 32, 128)})
+        assert spec.params["bins"] == [1, 32, 128]
+        round_tripped = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert round_tripped.canonical() == spec.canonical()
+
+    def test_digest_covers_spec_seed_and_salt(self):
+        base = JobSpec(kind="k", params={"x": 1})
+        assert base.digest("s") != JobSpec(kind="k", params={"x": 2}).digest("s")
+        assert base.digest("s") != JobSpec(kind="k", params={"x": 1}, seed=7).digest("s")
+        assert base.digest("v1") != base.digest("v2")
+
+    def test_non_literal_params_rejected(self):
+        with pytest.raises(TypeError):
+            JobSpec(kind="k", params={"obj": object()})
+        with pytest.raises(TypeError):
+            JobSpec(kind="k", params={1: "int keys are not JSON"})
+        with pytest.raises(ValueError):
+            JobSpec(kind="")
+
+    def test_ensure_literal_reports_path(self):
+        with pytest.raises(TypeError, match=r"params\.nested\[1\]"):
+            ensure_literal({"nested": [0, {1, 2}]})
+
+    def test_from_dict_rejects_unknown_schema(self):
+        payload = JobSpec(kind="k").to_dict()
+        payload["schema"] = "repro.fleet.job/v999"
+        with pytest.raises(ValueError, match="unsupported job schema"):
+            JobSpec.from_dict(payload)
+        assert JOB_SCHEMA.endswith("/v1")
+
+
+class TestResultCache:
+    def _spec(self):
+        return JobSpec(kind="k", params={"x": 1})
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = self._spec()
+        digest = spec.digest("s")
+        assert cache.get(digest) is None
+        cache.put(digest, spec, {"schema": "r/v1", "type": "literal", "data": 42})
+        assert digest in cache
+        assert cache.get(digest) == {"schema": "r/v1", "type": "literal", "data": 42}
+        assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = self._spec().digest("")
+        path = cache.put(digest, self._spec(), {"data": 1})
+        assert path == tmp_path / digest[:2] / f"{digest}.json"
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._spec()
+        digest = spec.digest("s")
+        cache.put(digest, spec, {"data": 1})
+        cache.path_for(digest).write_text("{ not json")
+        assert cache.get(digest) is None
+        assert cache.count() == 0  # entries() skips it too
+
+    def test_wrong_schema_or_digest_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._spec()
+        digest = spec.digest("s")
+        cache.put(digest, spec, {"data": 1})
+        envelope = json.loads(cache.path_for(digest).read_text())
+        assert envelope["schema"] == CACHE_SCHEMA
+        envelope["digest"] = "0" * 64
+        cache.path_for(digest).write_text(json.dumps(envelope))
+        assert cache.get(digest) is None
+
+    def test_salt_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._spec()
+        cache.put(spec.digest("code/v1"), spec, {"data": 1})
+        assert cache.get(spec.digest("code/v2")) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            spec = JobSpec(kind="k", seed=seed)
+            cache.put(spec.digest(""), spec, {"data": seed})
+        assert cache.count() == 3
+        assert cache.clear() == 3
+        assert cache.count() == 0

@@ -30,7 +30,12 @@ class TestReadme:
         pyproject = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
         scripts = pyproject["project"]["scripts"]
         readme = (REPO_ROOT / "README.md").read_text()
-        for command in ("repro-analyze", "repro-msgrate", "repro-reproduce"):
+        for command in (
+            "repro-analyze",
+            "repro-fleet",
+            "repro-msgrate",
+            "repro-reproduce",
+        ):
             assert command in scripts, command
             assert command in readme, command
             # And the target is importable with a callable main().
