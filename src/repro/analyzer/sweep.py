@@ -77,6 +77,7 @@ def sweep_applications(
     tracer=None,
     fault_hook=None,
     with_report: bool = False,
+    strict: bool = True,
 ):
     """Generate and analyze every registered application.
 
@@ -87,7 +88,11 @@ def sweep_applications(
     ``jobs``/``cache_dir`` route the grid through the fleet scheduler;
     the default (``jobs=1``, no cache) runs the cells inline, through
     the same codec, so parallel and serial results are byte-identical.
-    Quarantined cells raise :class:`repro.fleet.FleetError`.
+    Quarantined cells raise :class:`repro.fleet.FleetError` under
+    ``strict`` (the default); ``strict=False`` instead omits them from
+    the results and leaves the diagnosis to the returned report
+    (``report.ok`` / ``report.quarantined_ids``), so callers like the
+    CLI can render the surviving grid and still exit nonzero.
     """
     names = list(names) if names is not None else app_names()
     run = run_jobs(
@@ -99,9 +104,12 @@ def sweep_applications(
         tracer=tracer,
         fault_hook=fault_hook,
     )
-    run.require_ok()
+    if strict:
+        run.require_ok()
     results: dict[str, dict[int, AppAnalysis]] = {name: {} for name in names}
     for outcome in run.outcomes:
+        if not outcome.ok:
+            continue
         results[outcome.spec.params["app"]][outcome.spec.params["bins"]] = outcome.result
     if with_report:
         return results, run.report

@@ -1,0 +1,49 @@
+"""``repro-chaos``: one front door for the chaos suites.
+
+Subcommands::
+
+    repro-chaos soak  [...]   # wire-fault soak (repro.chaos.soak)
+    repro-chaos cores [...]   # core-fault matrix (repro.chaos.coresoak)
+
+Each subcommand forwards its remaining arguments to the underlying
+module's ``main``, so ``repro-chaos cores --schedules 16`` and
+``python -m repro.chaos.coresoak --schedules 16`` are identical.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["main"]
+
+_USAGE = """\
+usage: repro-chaos {soak,cores} [options]
+
+  soak   wire-fault soak over the standard profiles
+  cores  core-fault matrix: {wire faults} x {core faults} x {engines}
+
+Run `repro-chaos <subcommand> --help` for subcommand options.
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "soak":
+        from repro.chaos.soak import main as soak_main
+
+        return soak_main(rest)
+    if command == "cores":
+        from repro.chaos.coresoak import main as cores_main
+
+        return cores_main(rest)
+    print(f"repro-chaos: unknown subcommand {command!r}", file=sys.stderr)
+    print(_USAGE, end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

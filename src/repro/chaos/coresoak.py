@@ -1,0 +1,316 @@
+"""Core-fault soak: the {wire faults} x {core faults} x {engines} matrix.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.chaos.coresoak --schedules 40
+    PYTHONPATH=src python -m repro.chaos.coresoak --schedules 16 \
+        --assert-replay --assert-takeover --assert-mutants-caught
+
+Two kinds of lane, with *inverted* expectations:
+
+* **Real-engine lanes** (:data:`CORE_PROFILES`) run the genuine
+  optimistic engine under accelerator core faults (fail-stop / hang /
+  bit-flip, alone and mixed with wire chaos) with the online pairing
+  watchdog enabled. Every report must be ``ok``: the checkpoint/replay
+  recoverer has to hide every injected fault. Any oracle divergence is
+  a soak failure, attributable from the report alone (seed + round +
+  block of first violation).
+* **Mutant lanes** (:data:`MUTANT_PROFILES`) run each deliberately
+  broken engine from :data:`repro.core.faults.MUTANT_ENGINES` on a
+  clean wire with the watchdog enabled. Here a *clean* matrix is the
+  failure: each mutant must be caught online (oracle divergence or an
+  engine-internal crash) on at least one seed, proving the watchdog is
+  not vacuous.
+
+``--assert-replay`` / ``--assert-takeover`` additionally require the
+real lanes to have *exercised* the recovery machinery (at least one
+block replay and at least one host takeover across the matrix) — a
+soak that never recovered anything proves nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field, replace
+
+from repro.chaos.harness import ChaosConfig, ChaosReport, run_chaos
+from repro.chaos.soak import _interest, _record, iter_soak_jobs
+from repro.core.faults import MUTANT_ENGINES
+from repro.fleet import run_jobs
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
+from repro.obs.trace import ScopedTracer, SpanTracer
+from repro.rdma.faultwire import FaultPlan
+from repro.recovery.faults import CoreFaultPlan
+from repro.recovery.quarantine import RecoveryPolicy
+
+__all__ = ["CORE_PROFILES", "MUTANT_PROFILES", "CoreSoakResult", "core_soak", "main"]
+
+#: Real-engine lanes: core faults (and, for ``storm``, wire faults too)
+#: with the online watchdog at every round boundary.
+CORE_PROFILES: dict[str, ChaosConfig] = {
+    "failstop": ChaosConfig(
+        core_plan=CoreFaultPlan(fail_stop_rate=0.08), watchdog=True
+    ),
+    "hang": ChaosConfig(core_plan=CoreFaultPlan(hang_rate=0.06), watchdog=True),
+    "bitflip": ChaosConfig(
+        core_plan=CoreFaultPlan(bit_flip_rate=0.08), watchdog=True
+    ),
+    # Full matrix cell: lossy wire *and* faulty cores at once.
+    "storm": ChaosConfig(
+        plan=FaultPlan(drop_rate=0.05, duplicate_rate=0.05, reorder_rate=0.08),
+        core_plan=CoreFaultPlan.storm(),
+        watchdog=True,
+    ),
+    # Aggressive fail-stop against a hair-trigger quarantine: blocks
+    # escalate to host takeover, then — once quick repairs drain the
+    # quarantine — re-offload back onto the accelerator.
+    "takeover": ChaosConfig(
+        core_plan=CoreFaultPlan(fail_stop_rate=0.35),
+        recovery=RecoveryPolicy(quarantine_threshold=1, repair_epochs=3),
+        cores=8,
+        rounds=12,
+        watchdog=True,
+    ),
+}
+
+#: Conflict-heavy schedule shared by every mutant lane: few tags, few
+#: senders, lots of wildcards — the contention the planted bugs corrupt.
+_MUTANT_SCHEDULE = dict(
+    rounds=8,
+    max_posts_per_round=6,
+    max_sends_per_round=6,
+    tags=2,
+    senders=2,
+    wildcard_rate=0.4,
+    watchdog=True,
+)
+
+#: Mutant lanes: one per planted engine bug, clean wire, watchdog on.
+MUTANT_PROFILES: dict[str, ChaosConfig] = {
+    f"mutant-{name}": ChaosConfig(engine=name, **_MUTANT_SCHEDULE)
+    for name in sorted(MUTANT_ENGINES)
+}
+
+
+@dataclass(slots=True)
+class CoreSoakResult:
+    """Aggregate outcome of one core-fault soak matrix."""
+
+    runs: int = 0
+    failures: int = 0
+    # Recovery machinery exercised across the real lanes.
+    core_faults_injected: int = 0
+    blocks_replayed: int = 0
+    host_takeovers: int = 0
+    reoffloads: int = 0
+    #: mutant lane name -> seeds on which the bug was caught online.
+    mutants_caught: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mutants_missed(self) -> list[str]:
+        return sorted(n for n, caught in self.mutants_caught.items() if caught == 0)
+
+
+def _describe(name: str, report: ChaosReport) -> str:
+    return (
+        f"{name} seed={report.seed}: sent={report.sent} "
+        f"core_faults={report.core_fail_stops}fs/{report.core_hangs}h/"
+        f"{report.core_bit_flips}bf replayed={report.blocks_replayed} "
+        f"takeovers={report.host_takeovers} reoffloads={report.reoffloads} "
+        f"checks={report.watchdog_checks}"
+    )
+
+
+def core_soak(
+    schedules: int,
+    seed_base: int = 1,
+    *,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    registry: MetricsRegistry | None = None,
+    tracer: SpanTracer | None = None,
+    verbose: bool = False,
+    out=sys.stdout,
+    err=sys.stderr,
+) -> CoreSoakResult:
+    """Run ``schedules`` seeds through every real and mutant lane.
+
+    Real lanes fail on any non-``ok`` report; mutant lanes fail only in
+    aggregate (a mutant no seed caught). Fleet ``jobs``/``cache_dir``
+    fan the matrix out exactly as :func:`repro.chaos.soak.soak` does.
+    """
+    table = {**CORE_PROFILES, **MUTANT_PROFILES}
+    names = list(table)
+    seeds = range(seed_base, seed_base + schedules)
+    result = CoreSoakResult(
+        mutants_caught={name: 0 for name in MUTANT_PROFILES}
+    )
+    by_profile: dict[str, list[ChaosReport]] = {name: [] for name in CORE_PROFILES}
+    fleet = run_jobs(
+        iter_soak_jobs(names, seeds, profiles=table), jobs=jobs, cache_dir=cache_dir
+    )
+    for outcome in fleet.outcomes:
+        name = outcome.spec.params["profile"]
+        result.runs += 1
+        if not outcome.ok:
+            result.failures += 1
+            print(
+                f"FAIL {name} seed={outcome.spec.seed}: quarantined "
+                f"({outcome.error})",
+                file=err,
+            )
+            continue
+        report: ChaosReport = outcome.result
+        if registry is not None:
+            _record(registry, name, report)
+        if name in MUTANT_PROFILES:
+            # Inverted expectation: a caught bug is the success signal.
+            if report.detected_violation:
+                result.mutants_caught[name] += 1
+                if verbose:
+                    where = (
+                        report.engine_error
+                        if report.engine_failed
+                        else report.first_violation
+                    )
+                    print(
+                        f"{name} seed={report.seed}: caught at "
+                        f"round={report.first_violation_round} "
+                        f"block={report.first_violation_block} ({where})",
+                        file=out,
+                    )
+            continue
+        by_profile[name].append(report)
+        result.core_faults_injected += (
+            report.core_fail_stops + report.core_hangs + report.core_bit_flips
+        )
+        result.blocks_replayed += report.blocks_replayed
+        result.host_takeovers += report.host_takeovers
+        result.reoffloads += report.reoffloads
+        if verbose:
+            print(_describe(name, report), file=out)
+        if not report.ok:
+            result.failures += 1
+            print(f"FAIL {_describe(name, report)}", file=err)
+            if report.transport_failed:
+                print(f"  transport: {report.transport_error}", file=err)
+            if report.engine_failed:
+                print(f"  engine: {report.engine_error}", file=err)
+            if report.first_violation:
+                print(
+                    f"  first violation (round={report.first_violation_round} "
+                    f"block={report.first_violation_block}): "
+                    f"{report.first_violation}",
+                    file=err,
+                )
+            for line in report.mismatches[:5]:
+                print(f"  mismatch: {line}", file=err)
+            for line in report.missing[:5]:
+                print(f"  missing: {line}", file=err)
+    if tracer is not None and tracer.enabled:
+        for name in CORE_PROFILES:
+            best_seed: int | None = None
+            best_interest = -1
+            for report in by_profile[name]:
+                interest = _interest(report)
+                if not report.transport_failed and interest > best_interest:
+                    best_seed, best_interest = report.seed, interest
+            if best_seed is None:
+                continue
+            scoped = ScopedTracer(tracer, f"{name}/")
+            run_chaos(replace(CORE_PROFILES[name], seed=best_seed), tracer=scoped)
+            if verbose:
+                print(f"{name}: traced seed {best_seed}", file=out)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--schedules", type=int, default=40, help="seeds per lane (real and mutant)"
+    )
+    parser.add_argument("--seed-base", type=int, default=1, help="first seed")
+    parser.add_argument("--verbose", action="store_true")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="fleet worker processes (1 = inline)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="content-addressed result cache"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a cumulative metrics snapshot (JSON) of every run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Perfetto-loadable trace of one representative seed "
+        "per real-engine lane",
+    )
+    parser.add_argument(
+        "--assert-replay",
+        action="store_true",
+        help="fail unless at least one block replay happened",
+    )
+    parser.add_argument(
+        "--assert-takeover",
+        action="store_true",
+        help="fail unless at least one host takeover happened",
+    )
+    parser.add_argument(
+        "--assert-mutants-caught",
+        action="store_true",
+        help="fail unless every mutant engine was caught on some seed",
+    )
+    args = parser.parse_args(argv)
+
+    tracer = SpanTracer() if args.trace_out else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    result = core_soak(
+        args.schedules,
+        args.seed_base,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        registry=registry,
+        tracer=tracer,
+        verbose=args.verbose,
+    )
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"trace: {args.trace_out} ({len(tracer)} events)")
+    if registry is not None:
+        snapshot: MetricsSnapshot = registry.snapshot()
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            fp.write(snapshot.to_json())
+        print(f"metrics: {args.metrics_out} ({len(snapshot.values)} series)")
+
+    ok = result.failures == 0
+    if args.assert_replay and result.blocks_replayed == 0:
+        print("ASSERT FAILED: no block was ever replayed", file=sys.stderr)
+        ok = False
+    if args.assert_takeover and result.host_takeovers == 0:
+        print("ASSERT FAILED: no host takeover ever happened", file=sys.stderr)
+        ok = False
+    if args.assert_mutants_caught and result.mutants_missed:
+        print(
+            f"ASSERT FAILED: mutants never caught: {result.mutants_missed}",
+            file=sys.stderr,
+        )
+        ok = False
+    caught = sum(1 for n in result.mutants_caught.values() if n)
+    print(
+        f"core soak: {result.runs} runs, {result.failures} failures | "
+        f"faults={result.core_faults_injected} "
+        f"replayed={result.blocks_replayed} takeovers={result.host_takeovers} "
+        f"reoffloads={result.reoffloads} | "
+        f"mutants caught {caught}/{len(result.mutants_caught)}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,10 +33,10 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping
 
 from repro.core.config import EngineConfig
-from repro.core.engine import OptimisticMatcher
 from repro.core.envelope import ANY_SOURCE, ANY_TAG, MessageEnvelope, ReceiveRequest
+from repro.core.faults import engine_by_name
+from repro.core.threadsim import DeadlockError
 from repro.matching.fallback import FallbackMatcher
-from repro.matching.list_matcher import ListMatcher
 from repro.obs.hooks import DegradedWindowWatcher, EngineTraceObserver
 from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.rdma.bounce import BounceBufferPool
@@ -49,7 +49,11 @@ from repro.rdma.reliability import (
     ReliableWire,
     TransportError,
 )
-from repro.util.rng import make_rng
+from repro.recovery.faults import CoreFaultPlan
+from repro.recovery.quarantine import RecoveryPolicy
+from repro.recovery.recoverer import RecoveringMatcher
+from repro.recovery.watchdog import PairingOracle
+from repro.util.rng import derive_seed, make_rng
 
 __all__ = [
     "ChaosConfig",
@@ -92,6 +96,32 @@ class ChaosConfig:
     #: of a bare engine: descriptor-table overflow spills to software
     #: and drains back, exercising multiple engine generations.
     fallback: bool = False
+    #: Accelerator core faults (fail-stop / hang / bit-flip), seeded
+    #: from ``seed`` when the plan's own seed is left at 0. A non-clean
+    #: plan routes matching through a
+    #: :class:`repro.recovery.recoverer.RecoveringMatcher`.
+    core_plan: CoreFaultPlan = field(default_factory=CoreFaultPlan)
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    #: Simulated DPA cores available to the recovering matcher.
+    cores: int = 16
+    #: Engine implementation: ``"optimistic"`` or a mutant name from
+    #: :data:`repro.core.faults.MUTANT_ENGINES` (soak lanes proving the
+    #: watchdog catches planted bugs run the mutants here).
+    engine: str = "optimistic"
+    #: Run the online pairing watchdog at every round boundary instead
+    #: of only the post-hoc oracle replay.
+    watchdog: bool = False
+
+    def __post_init__(self) -> None:
+        engine_by_name(self.engine)  # raises KeyError on unknown names
+        if self.fallback and not self.core_plan.is_clean:
+            raise ValueError(
+                "fallback mode and core faults are mutually exclusive: the "
+                "FallbackMatcher pipeline has no core-recovery loop "
+                "(core faults route through RecoveringMatcher instead)"
+            )
+        if self.fallback and self.engine != "optimistic":
+            raise ValueError("fallback mode only supports the optimistic engine")
 
 
 def config_to_params(config: ChaosConfig) -> dict:
@@ -109,14 +139,22 @@ def config_from_params(params: Mapping[str, Any]) -> ChaosConfig:
     payload = dict(params)
     plan = FaultPlan(**payload.pop("plan", {}))
     reliability = ReliabilityConfig(**payload.pop("reliability", {}))
-    return ChaosConfig(plan=plan, reliability=reliability, **payload)
+    core_plan = CoreFaultPlan(**payload.pop("core_plan", {}))
+    recovery = RecoveryPolicy(**payload.pop("recovery", {}))
+    return ChaosConfig(
+        plan=plan,
+        reliability=reliability,
+        core_plan=core_plan,
+        recovery=recovery,
+        **payload,
+    )
 
 
 @dataclass(slots=True)
 class ChaosReport:
     """Observable outcome of one chaos run."""
 
-    SCHEMA = "repro.chaos.report/v1"
+    SCHEMA = "repro.chaos.report/v2"
 
     seed: int
     sent: int = 0
@@ -149,17 +187,49 @@ class ChaosReport:
     #: the run spans several engine generations.
     engine_retransmits: int = 0
     engine_rnr_naks: int = 0
+    # -- core-fault recovery accounting (schema v2) -------------------
+    core_fail_stops: int = 0
+    core_hangs: int = 0
+    core_bit_flips: int = 0
+    block_rollbacks: int = 0
+    blocks_replayed: int = 0
+    cores_quarantined: int = 0
+    core_repairs: int = 0
+    host_takeovers: int = 0
+    reoffloads: int = 0
+    #: Online watchdog comparisons performed (round boundaries).
+    watchdog_checks: int = 0
+    #: First matching-invariant violation (oracle divergence), with
+    #: where it was caught: the round (-1 = post-hoc only) and the
+    #: engine block counter at detection. Satellite (a): a nonzero
+    #: lane failure is attributable from the report alone — rerun the
+    #: seed, look at this block.
+    first_violation: str = ""
+    first_violation_round: int = -1
+    first_violation_block: int = -1
+    #: The engine itself crashed (internal assertion / deadlock) — the
+    #: expected detection mode for some mutants.
+    engine_failed: bool = False
+    engine_error: str = ""
 
     @property
     def ok(self) -> bool:
         """Exactly-once delivery with oracle-identical pairing."""
         return (
             not self.transport_failed
+            and not self.engine_failed
             and not self.duplicates
             and not self.missing
             and not self.mismatches
+            and not self.first_violation
             and self.delivered == self.sent
         )
+
+    @property
+    def detected_violation(self) -> bool:
+        """Whether validation caught a matching bug (mutant lanes
+        assert this is True; real-engine lanes assert it is False)."""
+        return bool(self.first_violation or self.engine_failed or self.mismatches)
 
     # -- JSON round-trip (fleet cache / parallel workers) ---------------
 
@@ -238,6 +308,11 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
     plan = config.plan
     if plan.seed == 0 and config.seed != 0:
         plan = plan.with_options(seed=config.seed)
+    core_plan = config.core_plan
+    if core_plan.seed == 0 and config.seed != 0:
+        # A distinct stream from the wire plan's, so wire and core
+        # fault schedules stay independent under one run seed.
+        core_plan = core_plan.with_options(seed=derive_seed(config.seed, "cores"))
 
     raw = FaultyWire("tx", "rx", plan=plan)
     wire = ReliableWire(raw, config=config.reliability, tracer=tracer)
@@ -258,12 +333,24 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         if tracer.enabled
         else None
     )
+    engine_cls = engine_by_name(config.engine)
     if config.fallback:
         matcher = _FallbackPipeline(
             FallbackMatcher(engine_config, recoverable=True, observer=observer)
         )
+    elif not core_plan.is_clean:
+        matcher = RecoveringMatcher(
+            engine_config,
+            cores=config.cores,
+            core_plan=core_plan,
+            recovery=config.recovery,
+            engine_cls=engine_cls,
+            observer=observer,
+            tracer=tracer,
+            clock=clock,
+        )
     else:
-        matcher = OptimisticMatcher(engine_config, observer=observer)
+        matcher = engine_cls(engine_config, observer=observer)
     watcher = (
         DegradedWindowWatcher(tracer, matcher.stats, clock)
         if tracer.enabled
@@ -276,10 +363,15 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
     ]
 
     report = ChaosReport(seed=config.seed)
-    # Mirror schedule for the oracle: ("post", request) / ("msg", ident,
-    # source, tag) in pipeline-observation order.
-    oracle_ops: list[tuple] = []
+    # Live shadow oracle, fed in pipeline-observation order — the same
+    # serial order the old post-hoc replay used, but incrementally, so
+    # the online watchdog can diff deliveries at every round boundary.
+    oracle = PairingOracle()
     sent_idents: list[str] = []
+    #: Deliveries already cross-checked online / idents already flagged
+    #: (so the post-hoc sweep does not double-report them).
+    checked = 0
+    flagged: set[str] = set()
     handle = 0
     seq = 0
 
@@ -288,7 +380,7 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         request = ReceiveRequest(source=source, tag=tag, handle=handle)
         handle += 1
         receiver.post_receive(request)
-        oracle_ops.append(("post", request))
+        oracle.post(request)
 
     def send_one(rank: int, tag: int, size: int) -> None:
         nonlocal seq
@@ -297,10 +389,31 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         payload = ident.encode().ljust(size, b".")
         senders[rank].send(tag, payload)
         sent_idents.append(ident)
-        oracle_ops.append(("msg", ident, rank, tag))
+        oracle.message(ident, rank, tag)
+
+    def watchdog_check(round_index: int) -> None:
+        """Cross-check every not-yet-checked delivery against the
+        oracle. Runs at transport quiescence, where a divergence is
+        genuine and stable (the reliable wire delivers in send order,
+        so pipeline and oracle have observed identical op prefixes)."""
+        nonlocal checked
+        report.watchdog_checks += 1
+        while checked < len(receiver.completed):
+            delivery = receiver.completed[checked]
+            checked += 1
+            ident = _identity(delivery.payload)
+            diff = oracle.divergence(ident, delivery.handle)
+            if diff is None:
+                continue
+            flagged.add(ident)
+            report.mismatches.append(diff)
+            if not report.first_violation:
+                report.first_violation = diff
+                report.first_violation_round = round_index
+                report.first_violation_block = matcher.stats.blocks
 
     try:
-        for _ in range(config.rounds):
+        for round_index in range(config.rounds):
             for _ in range(int(rng.integers(0, config.max_posts_per_round + 1))):
                 source = (
                     ANY_SOURCE
@@ -324,15 +437,25 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
             pump(receiver, tx_qp, max_rounds=config.pump_rounds)
             if watcher is not None:
                 watcher.poll()
+            if config.watchdog:
+                watchdog_check(round_index)
         # Cleanup: drain whatever is still parked unexpected so every
         # sent message must surface as exactly one delivery.
         outstanding = len(sent_idents) - len(receiver.completed)
         for _ in range(outstanding):
             post_one(ANY_SOURCE, ANY_TAG)
         pump(receiver, tx_qp, max_rounds=config.pump_rounds)
+        if config.watchdog:
+            watchdog_check(config.rounds)
     except TransportError as exc:
         report.transport_failed = True
         report.transport_error = str(exc)
+    except (AssertionError, DeadlockError) as exc:
+        # The engine itself tripped — an internal invariant assertion
+        # (double consume) or an unattributed stall. For mutant lanes
+        # this *is* the detection; for the real engine it fails the run.
+        report.engine_failed = True
+        report.engine_error = f"{type(exc).__name__}: {exc}"
     if watcher is not None:
         watcher.poll()
         watcher.close()
@@ -353,7 +476,18 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
     report.fallback_recoveries = stats.fallback_recoveries
     report.engine_retransmits = stats.retransmits
     report.engine_rnr_naks = stats.rnr_naks
-    if report.transport_failed:
+    if isinstance(matcher, RecoveringMatcher):
+        rs = matcher.recovery_stats
+        report.core_fail_stops = rs.core_fail_stops
+        report.core_hangs = rs.core_hangs
+        report.core_bit_flips = rs.core_bit_flips
+        report.block_rollbacks = rs.block_rollbacks
+        report.blocks_replayed = rs.blocks_replayed
+        report.cores_quarantined = rs.cores_quarantined
+        report.core_repairs = rs.core_repairs
+        report.host_takeovers = rs.host_takeovers
+        report.reoffloads = rs.reoffloads
+    if report.transport_failed or report.engine_failed:
         return report
 
     # Exactly-once: delivered identity multiset == sent identity set.
@@ -366,26 +500,17 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
     report.duplicates = sorted(i for i, n in seen.items() if n > 1)
     report.missing = sorted(i for i in sent_idents if i not in seen)
 
-    # Oracle pairing: replay the schedule through the serial matcher.
-    oracle = ListMatcher()
-    want_handle: dict[str, int] = {}
-    pending: dict[int, str] = {}  # send_seq -> ident for UMQ drains
-    oracle_seq = 0
-    for op in oracle_ops:
-        if op[0] == "post":
-            event = oracle.post_receive(op[1])
-            if event is not None:
-                want_handle[pending.pop(event.message.send_seq)] = op[1].handle
-        else:
-            _, ident, rank, tag = op
-            msg = MessageEnvelope(source=rank, tag=tag, send_seq=oracle_seq)
-            oracle_seq += 1
-            pending[msg.send_seq] = ident
-            event = oracle.incoming_message(msg)
-            if event.receive is not None:
-                want_handle[pending.pop(msg.send_seq)] = event.receive.handle
+    # Post-hoc oracle pairing: the live shadow has already processed
+    # the full schedule, so this is just the final sweep — it covers
+    # whatever the online watchdog didn't run over (watchdog off, or
+    # deliveries after the last check).
     for ident, got in sorted(got_handle.items()):
-        want = want_handle.get(ident)
-        if want != got:
-            report.mismatches.append(f"{ident}: got handle {got}, oracle says {want}")
+        if ident in flagged:
+            continue  # already reported online
+        diff = oracle.divergence(ident, got)
+        if diff is not None:
+            report.mismatches.append(diff)
+            if not report.first_violation:
+                report.first_violation = diff
+                report.first_violation_block = matcher.stats.blocks
     return report

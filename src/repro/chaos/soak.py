@@ -87,6 +87,16 @@ _REPORT_COUNTERS = (
     "fallback_recoveries",
     "engine_retransmits",
     "engine_rnr_naks",
+    "core_fail_stops",
+    "core_hangs",
+    "core_bit_flips",
+    "block_rollbacks",
+    "blocks_replayed",
+    "cores_quarantined",
+    "core_repairs",
+    "host_takeovers",
+    "reoffloads",
+    "watchdog_checks",
 )
 
 
@@ -103,6 +113,9 @@ def _interest(report: ChaosReport) -> int:
     """How much a run would show in a trace (for picking what to trace)."""
     return (
         1000 * (report.fallback_spills + report.fallback_recoveries)
+        + 1000 * (report.host_takeovers + report.reoffloads)
+        + 100 * report.blocks_replayed
+        + 10 * report.block_rollbacks
         + report.retransmits
         + report.rnr_naks
     )
@@ -136,16 +149,24 @@ def _record(registry: MetricsRegistry, name: str, report: ChaosReport) -> None:
     ).labels(**labels).observe(1 + report.fallback_recoveries)
 
 
-def iter_soak_jobs(names: Iterable[str], seeds: range) -> Iterator[JobSpec]:
+def iter_soak_jobs(
+    names: Iterable[str],
+    seeds: range,
+    *,
+    profiles: dict[str, ChaosConfig] | None = None,
+) -> Iterator[JobSpec]:
     """Lazily enumerate the soak matrix as fleet jobs.
 
     A generator on purpose: a 220-schedule soak never materializes its
     grid — the scheduler pulls jobs as worker slots free up.
     Profile-major, seed-minor order fixes job indices (and therefore
-    the merge order of parallel runs).
+    the merge order of parallel runs). ``profiles`` substitutes a
+    different name -> config table (the core-fault soak reuses this
+    machinery with its own matrix).
     """
+    table = PROFILES if profiles is None else profiles
     for name in names:
-        params = {"profile": name, "config": config_to_params(PROFILES[name])}
+        params = {"profile": name, "config": config_to_params(table[name])}
         for seed in seeds:
             yield JobSpec(kind="chaos_run", params=params, seed=seed)
 
@@ -161,6 +182,7 @@ def soak(
     err=sys.stderr,
     jobs: int = 1,
     cache_dir: str | None = None,
+    profiles: dict[str, ChaosConfig] | None = None,
 ) -> tuple[int, int]:
     """Run the soak matrix; returns ``(runs, failures)``.
 
@@ -174,9 +196,12 @@ def soak(
     (deterministically — same seed, same report) under a scoped view
     so the trace holds one timeline per profile.
     """
+    table = PROFILES if profiles is None else profiles
     failures = 0
     runs = 0
-    fleet = run_jobs(iter_soak_jobs(names, seeds), jobs=jobs, cache_dir=cache_dir)
+    fleet = run_jobs(
+        iter_soak_jobs(names, seeds, profiles=table), jobs=jobs, cache_dir=cache_dir
+    )
     by_profile: dict[str, list[ChaosReport]] = {name: [] for name in names}
     for outcome in fleet.outcomes:
         name = outcome.spec.params["profile"]
@@ -201,6 +226,15 @@ def soak(
             print(f"FAIL {_describe(name, report)}", file=err)
             if report.transport_failed:
                 print(f"  transport: {report.transport_error}", file=err)
+            if report.engine_failed:
+                print(f"  engine: {report.engine_error}", file=err)
+            if report.first_violation:
+                print(
+                    f"  first violation (round={report.first_violation_round} "
+                    f"block={report.first_violation_block}): "
+                    f"{report.first_violation}",
+                    file=err,
+                )
             for line in report.duplicates[:5]:
                 print(f"  duplicate: {line}", file=err)
             for line in report.missing[:5]:
@@ -218,7 +252,7 @@ def soak(
             if best_seed is None:
                 continue
             scoped = ScopedTracer(tracer, f"{name}/")
-            run_chaos(replace(PROFILES[name], seed=best_seed), tracer=scoped)
+            run_chaos(replace(table[name], seed=best_seed), tracer=scoped)
             if verbose:
                 print(f"{name}: traced seed {best_seed}", file=out)
     return runs, failures

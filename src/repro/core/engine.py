@@ -124,6 +124,10 @@ class OptimisticMatcher:
         #: Events produced by host commands that drain the pending
         #: queue internally (e.g. cancel); returned by process_all.
         self._event_backlog: list[MatchEvent] = []
+        #: Optional :class:`repro.recovery.faults.CoreFaultInjector`;
+        #: when set, each block's threads pass through it so seeded
+        #: core faults (fail-stop/hang/bit-flip) can abort the block.
+        self.fault_injector = None
 
     def set_observer(self, observer: "Callable[[str, dict], None] | None") -> None:
         """Install (or clear) the decision-point observer post hoc —
@@ -247,6 +251,8 @@ class OptimisticMatcher:
         ctx = _BlockContext(batch, width)
         proc = self._overtaking_thread if self.config.allow_overtaking else self._thread
         threads = [proc(ctx, tid) for tid in range(len(batch))]
+        if self.fault_injector is not None:
+            threads = self.fault_injector.wrap_block(ctx, threads)
         run_stats = self._executor.run(threads)
         ctx.stats.wait_polls = run_stats.total_wait_polls()
         ctx.stats.thread_steps = [run_stats.steps[tid] for tid in range(len(batch))]

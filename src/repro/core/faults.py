@@ -21,10 +21,12 @@ from repro.core.optimistic import search_candidate
 from repro.core.threadsim import Yielded
 
 __all__ = [
+    "MUTANT_ENGINES",
     "NoBarrierEngine",
     "NoBookingEngine",
     "NoConflictDetectionEngine",
     "NoSequenceGuardEngine",
+    "engine_by_name",
 ]
 
 
@@ -183,3 +185,24 @@ class NoSequenceGuardEngine(OptimisticMatcher):
             return super().process_block()
         finally:
             engine_mod.fast_path_target = saved
+
+
+#: Name -> mutant class, for config-driven engine selection (the chaos
+#: harness's ``engine`` field and the core-fault soak's mutant lanes).
+MUTANT_ENGINES: dict[str, type[OptimisticMatcher]] = {
+    "no_booking": NoBookingEngine,
+    "no_barrier": NoBarrierEngine,
+    "no_conflict_detection": NoConflictDetectionEngine,
+    "no_sequence_guard": NoSequenceGuardEngine,
+}
+
+
+def engine_by_name(name: str) -> type[OptimisticMatcher]:
+    """Resolve an engine class: ``"optimistic"`` or a mutant name."""
+    if name == "optimistic":
+        return OptimisticMatcher
+    try:
+        return MUTANT_ENGINES[name]
+    except KeyError:
+        known = ["optimistic", *sorted(MUTANT_ENGINES)]
+        raise KeyError(f"unknown engine {name!r}; known: {known}") from None

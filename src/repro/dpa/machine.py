@@ -27,6 +27,7 @@ generations so counters stay cumulative.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.config import EngineConfig
@@ -34,12 +35,16 @@ from repro.core.descriptor import DescriptorTableFull
 from repro.core.engine import OptimisticMatcher
 from repro.core.envelope import MessageEnvelope, ReceiveRequest
 from repro.core.events import MatchEvent, MatchKind
-from repro.core.threadsim import SchedulePolicy
+from repro.core.threadsim import DeadlockError, SchedulePolicy
 from repro.dpa.costs import DpaCostModel, HostCostModel
 from repro.dpa.memory import MemoryModel
 from repro.matching.list_matcher import ListMatcher
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, SpanTracer
+from repro.recovery.faults import CoreFault, CoreFaultInjector, CoreFaultKind, CoreFaultPlan
+from repro.recovery.journal import checkpoint_engine, host_takeover, restore_engine
+from repro.recovery.quarantine import CoreQuarantine, RecoveryPolicy
+from repro.recovery.recoverer import RecoveryStats
 from repro.util.counters import MonotonicCounter
 
 __all__ = ["DpaMachine", "DpaRunReport"]
@@ -62,6 +67,11 @@ class DpaRunReport:
     host_matching_cycles: float = 0.0
     #: Messages matched on the host during degraded episodes.
     host_messages: int = 0
+    #: Blocks that needed at least one replay after a core fault, and
+    #: the DPA cycles those wasted attempts (plus hang-watchdog
+    #: timeouts) burned — charged into ``dpa_cycles`` too.
+    replayed_blocks: int = 0
+    replay_cycles: float = 0.0
     per_block_cycles: list[float] = field(default_factory=list)
 
     def mean_cycles_per_message(self) -> float:
@@ -84,12 +94,25 @@ class DpaMachine:
         degrade_to_host: bool = True,
         host_costs: HostCostModel | None = None,
         tracer: SpanTracer = NULL_TRACER,
+        core_faults: CoreFaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         """``keep_history`` (alias of the older ``keep_block_history``)
         retains per-block history and cycle breakdowns; off by default
         so long runs stay memory-bounded. ``history_limit`` caps the
         retained history when it is on. ``tracer`` receives block and
-        spill->recovery spans stamped on the DPA cycle clock."""
+        spill->recovery spans stamped on the DPA cycle clock.
+
+        ``core_faults`` (optional) arms a seeded
+        :class:`repro.recovery.faults.CoreFaultInjector` inside the
+        engine: deliveries then stage at the machine and every block
+        runs guarded — checkpointed at its boundary, quarantining the
+        faulted core and replaying on survivors when a fault strikes,
+        escalating to the host spill path past
+        ``recovery.quarantine_threshold`` dead cores. The cycle model
+        charges each aborted attempt (and the hang-watchdog timeout
+        per hang) as wasted DPA cycles, and blocks are costed over the
+        *surviving* core count."""
         self.config = config if config is not None else EngineConfig()
         if self.config.block_threads > BF3_THREADS:
             raise ValueError(
@@ -125,6 +148,26 @@ class DpaMachine:
         self._host_events: list[MatchEvent] = []
         #: Migrate back once the host PRQ fits this many receives.
         self._recover_threshold = self.config.max_receives // 2
+        # -- core-fault mode (repro.recovery) --------------------------
+        self.recovery_policy = recovery if recovery is not None else RecoveryPolicy()
+        self.recovery_stats = RecoveryStats()
+        self.quarantine: CoreQuarantine | None = None
+        self._injector: CoreFaultInjector | None = None
+        self._staged: deque[MessageEnvelope] = deque()
+        self._epoch = 0
+        self._host_msgs = 0
+        self._replay_hist = None
+        self._recovery_track = None
+        if core_faults is not None:
+            self.quarantine = CoreQuarantine(
+                cores, repair_epochs=self.recovery_policy.repair_epochs
+            )
+            self._injector = CoreFaultInjector(
+                core_faults, active_cores=self.quarantine.active_cores
+            )
+            self.engine.fault_injector = self._injector
+            if tracer.enabled:
+                self._recovery_track = tracer.track("dpa", "recovery")
 
     @property
     def degraded(self) -> bool:
@@ -147,6 +190,16 @@ class DpaMachine:
         registry.gauge(
             f"{prefix}.degraded", "1 while matching is spilled to the host"
         ).set_function(lambda: 1.0 if self.degraded else 0.0)
+        if self._injector is not None:
+            registry.register_stats(f"{prefix}.recovery", self.recovery_stats)
+            registry.gauge(
+                f"{prefix}.quarantined", "cores currently quarantined"
+            ).set_function(lambda: float(self.quarantine.count))
+            self._replay_hist = registry.histogram(
+                f"{prefix}.replay_cycles",
+                "wasted DPA cycles per replayed-block episode",
+                buckets=(256.0, 1024.0, 4096.0, 16384.0, 65536.0),
+            )
 
     def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
         """Host -> DPA receive-post command (QP write, §III-E).
@@ -170,7 +223,12 @@ class DpaMachine:
         will trigger a DPA thread (or, while degraded, a host match)."""
         self._maybe_recover()
         if self._host is None:
-            self.engine.submit_message(msg)
+            if self._injector is not None:
+                # Guarded mode: batches form at the machine so a
+                # faulted block's messages are known for replay.
+                self._staged.append(msg)
+            else:
+                self.engine.submit_message(msg)
             return
         self._host_deliver(msg)
 
@@ -191,61 +249,207 @@ class DpaMachine:
     def _drain_engine(self) -> list[MatchEvent]:
         """Run the engine until idle, charging DPA time per block."""
         events: list[MatchEvent] = []
+        if self._injector is not None:
+            while self._staged:
+                if self._host is not None:
+                    while self._staged:
+                        self._host_deliver(self._staged.popleft())
+                    break
+                width = self.config.block_threads
+                batch = [
+                    self._staged.popleft()
+                    for _ in range(min(width, len(self._staged)))
+                ]
+                events.extend(self._guarded_block(batch))
+            return events
         while self.engine.pending_messages:
             start = len(self.engine.stats.block_history)
             events.extend(self.engine.process_block())
-            for block in self.engine.stats.block_history[start:]:
-                cycles = self.costs.block_cycles(block, self.cores)
-                started_us = self.now_us()
-                self.report.blocks += 1
-                self.report.messages += block.messages
-                self.report.dpa_cycles += cycles
-                if self._keep_block_history:
-                    self.report.per_block_cycles.append(cycles)
-                    if (
-                        self._history_limit is not None
-                        and len(self.report.per_block_cycles) > self._history_limit
-                    ):
-                        del self.report.per_block_cycles[
-                            : len(self.report.per_block_cycles) - self._history_limit
-                        ]
-                if self._blocks_track is not None:
-                    self._tracer.complete(
-                        self._blocks_track,
-                        "block",
-                        started_us,
-                        self.now_us() - started_us,
-                        args={
-                            "messages": block.messages,
-                            "conflicts": block.conflicts,
-                            "fast": block.fast_path,
-                            "slow": block.slow_path,
-                            "cycles": cycles,
-                        },
-                    )
-                    if block.slow_path:
-                        self._tracer.instant(
-                            self._blocks_track,
-                            "slow_path",
-                            self.now_us(),
-                            args={"count": block.slow_path},
-                        )
-            if not self._keep_block_history:
-                # History was only needed to cost the new blocks.
-                del self.engine.stats.block_history[start:]
+            self._cost_new_blocks(start)
         return events
+
+    def _cost_new_blocks(self, start: int) -> float:
+        """Charge DPA time for ``block_history[start:]``; returns the
+        cycles charged. Blocks run on the cores currently alive — a
+        thinned quarantine set stretches each block's span."""
+        charged = 0.0
+        alive = self.cores if self.quarantine is None else max(
+            1, self.cores - self.quarantine.count
+        )
+        for block in self.engine.stats.block_history[start:]:
+            cycles = self.costs.block_cycles(block, alive)
+            charged += cycles
+            started_us = self.now_us()
+            self.report.blocks += 1
+            self.report.messages += block.messages
+            self.report.dpa_cycles += cycles
+            if self._keep_block_history:
+                self.report.per_block_cycles.append(cycles)
+                if (
+                    self._history_limit is not None
+                    and len(self.report.per_block_cycles) > self._history_limit
+                ):
+                    del self.report.per_block_cycles[
+                        : len(self.report.per_block_cycles) - self._history_limit
+                    ]
+            if self._blocks_track is not None:
+                self._tracer.complete(
+                    self._blocks_track,
+                    "block",
+                    started_us,
+                    self.now_us() - started_us,
+                    args={
+                        "messages": block.messages,
+                        "conflicts": block.conflicts,
+                        "fast": block.fast_path,
+                        "slow": block.slow_path,
+                        "cycles": cycles,
+                        "cores": alive,
+                    },
+                )
+                if block.slow_path:
+                    self._tracer.instant(
+                        self._blocks_track,
+                        "slow_path",
+                        self.now_us(),
+                        args={"count": block.slow_path},
+                    )
+        if not self._keep_block_history:
+            # History was only needed to cost the new blocks.
+            del self.engine.stats.block_history[start:]
+        return charged
+
+    # -- core-fault recovery (repro.recovery) --------------------------
+
+    def _guarded_block(self, batch: list[MessageEnvelope]) -> list[MatchEvent]:
+        """One staged batch to completion under the fault injector:
+        checkpoint -> attempt -> (quarantine + rollback + replay, or
+        takeover past the threshold) -> cost the surviving attempt."""
+        rs = self.recovery_stats
+        policy = self.recovery_policy
+        attempts = 0
+        hang_cycles = 0.0
+        while True:
+            self._advance_epoch()
+            checkpoint = checkpoint_engine(self.engine)
+            for msg in batch:
+                self.engine.submit_message(msg)
+            attempts += 1
+            start = len(self.engine.stats.block_history)
+            try:
+                events = self.engine.process_block()
+            except (CoreFault, DeadlockError):
+                fault = self._injector.take_armed()
+                if fault is None:
+                    raise  # genuine engine bug — never mask it
+                self._note_core_fault(fault)
+                if fault.kind is CoreFaultKind.HANG:
+                    hang_cycles += policy.hang_timeout_cycles
+                self.engine = restore_engine(
+                    checkpoint,
+                    self.config,
+                    policy=self._policy,
+                    stats=self.engine.stats,
+                    fault_injector=self._injector,
+                    history_limit=self._history_limit,
+                )
+                rs.block_rollbacks += 1
+                if (
+                    self.quarantine.count > policy.quarantine_threshold
+                    or attempts >= policy.max_replays_per_block
+                ):
+                    self._core_takeover(batch)
+                    return []
+                rs.blocks_replayed += 1
+                rs.replay_messages += len(batch)
+                continue
+            block_cycles = self._cost_new_blocks(start)
+            if attempts > 1 or hang_cycles:
+                # Each aborted attempt burned about one block's work on
+                # the then-alive cores; hangs additionally sat out the
+                # stall watchdog's timeout before detection.
+                wasted = (attempts - 1) * block_cycles + hang_cycles
+                self.report.dpa_cycles += wasted
+                self.report.replay_cycles += wasted
+                self.report.replayed_blocks += 1
+                rs.blocks_recovered += 1
+                if self._replay_hist is not None:
+                    self._replay_hist.observe(wasted)
+                if self._recovery_track is not None:
+                    self._tracer.instant(
+                        self._recovery_track,
+                        "replayed",
+                        self.now_us(),
+                        args={"attempts": attempts, "wasted_cycles": wasted},
+                    )
+            return events
+
+    def _note_core_fault(self, fault) -> None:
+        rs = self.recovery_stats
+        if fault.kind is CoreFaultKind.FAIL_STOP:
+            rs.core_fail_stops += 1
+        elif fault.kind is CoreFaultKind.HANG:
+            rs.core_hangs += 1
+        else:
+            rs.core_bit_flips += 1
+        if self._recovery_track is not None:
+            self._tracer.instant(
+                self._recovery_track,
+                f"fault:{fault.kind.value}",
+                self.now_us(),
+                args={"core": fault.core, "thread": fault.thread},
+            )
+        if fault.kind is not CoreFaultKind.BIT_FLIP:
+            self.quarantine.quarantine(fault.core, self._epoch)
+            rs.cores_quarantined += 1
+            if self._recovery_track is not None:
+                self._tracer.instant(
+                    self._recovery_track,
+                    "quarantine",
+                    self.now_us(),
+                    args={"core": fault.core, "dead": self.quarantine.count},
+                )
+
+    def _advance_epoch(self) -> None:
+        self._epoch += 1
+        repaired = self.quarantine.repair_due(self._epoch)
+        if repaired:
+            self.recovery_stats.core_repairs += len(repaired)
+            if self._recovery_track is not None:
+                self._tracer.instant(
+                    self._recovery_track,
+                    "repair",
+                    self.now_us(),
+                    args={"cores": repaired, "dead": self.quarantine.count},
+                )
+
+    def _core_takeover(self, batch: list[MessageEnvelope]) -> None:
+        """Too many dead cores (or an unkillable batch): the host list
+        matcher adopts the (post-rollback, settled) working set via the
+        same migration the descriptor spill path uses."""
+        self._host = host_takeover(self.engine)
+        self.engine.stats.fallback_spills += 1
+        self.recovery_stats.host_takeovers += 1
+        if self._degraded_track is not None:
+            self._tracer.begin(
+                self._degraded_track,
+                "degraded",
+                self.now_us(),
+                args={"takeover": True, "dead": self.quarantine.count},
+            )
+            self._tracer.instant(self._degraded_track, "takeover", self.now_us())
+        for msg in batch:
+            self._host_deliver(msg)
 
     def _spill(self) -> None:
         """Descriptor table full: migrate the working set to the host."""
         # Settle buffered messages first so the exported state is the
         # engine's final word; their events still surface via run().
         self._host_events.extend(self._drain_engine())
-        receives, unexpected = self.engine.export_state()
-        host = ListMatcher()
-        host.seed_state(receives, unexpected)
-        # Keep decision stamps monotone across the migration boundary.
-        host.decisions = MonotonicCounter(self.engine.decisions.peek())
-        self._host = host
+        if self._host is not None:
+            # A core takeover during the drain already migrated.
+            return
+        self._host = host_takeover(self.engine)
         self.engine.stats.fallback_spills += 1
         if self._degraded_track is not None:
             self._tracer.begin(
@@ -257,9 +461,15 @@ class DpaMachine:
             self._tracer.instant(self._degraded_track, "spill", self.now_us())
 
     def _maybe_recover(self) -> None:
-        """Migrate back to the accelerator once the host set drained."""
+        """Migrate back to the accelerator once the host set drained
+        (and, in core-fault mode, once enough cores repaired)."""
         if self._host is None or self._host.posted_count > self._recover_threshold:
             return
+        if (
+            self.quarantine is not None
+            and self.quarantine.count > self.recovery_policy.quarantine_threshold
+        ):
+            return  # the accelerator is still not trustworthy
         receives, unexpected = self._host.export_state()
         fresh = OptimisticMatcher(
             self.config,
@@ -270,10 +480,13 @@ class DpaMachine:
         # Carry the cumulative stats object across engine generations.
         fresh.stats = self.engine.stats
         fresh.decisions = MonotonicCounter(self._host.decisions.peek())
+        fresh.fault_injector = self._injector
         fresh.import_state(receives, unexpected)
         self.engine = fresh
         self._host = None
         self.engine.stats.fallback_recoveries += 1
+        if self._injector is not None:
+            self.recovery_stats.reoffloads += 1
         if self._degraded_track is not None:
             self._tracer.instant(self._degraded_track, "recovery", self.now_us())
             self._tracer.end(self._degraded_track, self.now_us())
@@ -300,3 +513,9 @@ class DpaMachine:
         self.report.host_messages += 1
         self.engine.stats.degraded_matches += 1
         self._host_events.append(event)
+        if self._injector is not None:
+            # Host traffic still advances repair time, one epoch per
+            # block-equivalent of messages.
+            self._host_msgs += 1
+            if self._host_msgs % self.config.block_threads == 0:
+                self._advance_epoch()

@@ -18,6 +18,9 @@ from repro.dpa.machine import BF3_CORES
 from repro.dpa.memory import MemoryModel
 from repro.rdma.protocol import Delivery, RdmaReceiver
 from repro.rdma.qp import QueuePair
+from repro.recovery.faults import CoreFaultPlan
+from repro.recovery.quarantine import RecoveryPolicy
+from repro.recovery.recoverer import RecoveringMatcher
 
 __all__ = ["OffloadedEndpoint"]
 
@@ -34,12 +37,22 @@ class OffloadedEndpoint:
         cost_model: DpaCostModel | None = None,
         keep_history: bool = False,
         history_limit: int | None = None,
+        core_faults: CoreFaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         """``keep_history`` retains per-block stats on the engine
         (bounded by ``history_limit`` when given); off by default so a
         long-lived endpoint cannot grow memory with traffic. Cycle
         accounting is exact either way — blocks are costed before any
-        truncation."""
+        truncation.
+
+        ``core_faults`` swaps the bare engine for a
+        :class:`repro.recovery.recoverer.RecoveringMatcher` under a
+        seeded core-fault schedule: blocks replay after rollback on
+        surviving cores and matching escalates to host takeover past
+        ``recovery.quarantine_threshold``. The carried stats object
+        records only *successful* blocks, so cycle accounting stays
+        exact across rollbacks and engine generations."""
         self.config = config if config is not None else EngineConfig()
         self.memory = MemoryModel(self.config.bins, self.config.max_receives)
         if self.memory.requires_fallback():
@@ -51,14 +64,33 @@ class OffloadedEndpoint:
         # History retention is managed here, after costing, so the
         # engine itself stays unbounded (a limit applied inside absorb
         # could trim blocks before they were costed).
-        self.engine = OptimisticMatcher(self.config, keep_history=True)
-        self.receiver = RdmaReceiver(qp, self.engine)
+        if core_faults is not None:
+            self.matcher: RecoveringMatcher | OptimisticMatcher = RecoveringMatcher(
+                self.config,
+                cores=cores,
+                core_plan=core_faults,
+                recovery=recovery,
+                keep_history=True,
+            )
+        else:
+            self.matcher = OptimisticMatcher(self.config, keep_history=True)
+        self.receiver = RdmaReceiver(qp, self.matcher)
         self.costs = cost_model if cost_model is not None else DpaCostModel()
         self.cores = cores
         self.dpa_cycles = 0.0
         self._blocks_costed = 0
         self._keep_history = keep_history
         self._history_limit = history_limit
+
+    @property
+    def engine(self) -> OptimisticMatcher:
+        """The current engine generation (changes across rollbacks)."""
+        return getattr(self.matcher, "engine", self.matcher)
+
+    @property
+    def recovery_stats(self):
+        """Recovery accounting, or None without ``core_faults``."""
+        return getattr(self.matcher, "recovery_stats", None)
 
     # -- MPI-facing surface --------------------------------------------
 
@@ -77,15 +109,21 @@ class OffloadedEndpoint:
 
     @property
     def unexpected_count(self) -> int:
-        return self.engine.unexpected_count
+        return self.matcher.unexpected_count
 
     # -- accounting ------------------------------------------------------
 
     def _account_new_blocks(self) -> None:
-        history = self.engine.stats.block_history
+        # The stats object is carried across engine generations, so
+        # this history is cumulative even under rollback/recovery.
+        history = self.matcher.stats.block_history
+        alive = self.cores
+        quarantine = getattr(self.matcher, "quarantine", None)
+        if quarantine is not None:
+            alive = max(1, self.cores - quarantine.count)
         while self._blocks_costed < len(history):
             block = history[self._blocks_costed]
-            self.dpa_cycles += self.costs.block_cycles(block, self.cores)
+            self.dpa_cycles += self.costs.block_cycles(block, alive)
             self._blocks_costed += 1
         if not self._keep_history:
             history.clear()
@@ -100,5 +138,5 @@ class OffloadedEndpoint:
         return self.costs.cycles_to_seconds(self.dpa_cycles)
 
     def cycles_per_message(self) -> float:
-        messages = self.engine.stats.messages
+        messages = self.matcher.stats.messages
         return self.dpa_cycles / messages if messages else 0.0

@@ -113,9 +113,19 @@ def _cmd_sweep(args) -> int:
         registry=registry,
         tracer=tracer,
         with_report=True,
+        strict=False,
     )
-    print(format_figure7(results))
+    # Quarantined cells are omitted from results; render only apps
+    # whose row is complete so the table never shows half a grid as
+    # whole, and surface the quarantined job ids for the rest.
+    complete = {
+        app: cells for app, cells in results.items() if set(cells) == set(args.bins)
+    }
+    if complete:
+        print(format_figure7(complete))
     print(f"fleet: {report.summary()}", file=sys.stderr)
+    for job_id in report.quarantined_ids:
+        print(f"quarantined: {job_id}", file=sys.stderr)
     if args.report_out:
         Path(args.report_out).write_text(report.to_json())
         print(f"report: {args.report_out}", file=sys.stderr)

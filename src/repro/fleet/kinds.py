@@ -89,13 +89,16 @@ def _ensure_builtin() -> None:
     if _builtin_loaded:
         return
     _builtin_loaded = True
-    for name, fn in (
-        ("analyze_app", _analyze_app),
-        ("chaos_run", _chaos_run),
-        ("bench_scenario", _bench_scenario),
+    # chaos_run is at version 2: the report schema grew core-fault
+    # recovery fields and the oracle check went incremental — cached
+    # v1 reports must not satisfy v2 sweeps.
+    for name, fn, version in (
+        ("analyze_app", _analyze_app, "1"),
+        ("chaos_run", _chaos_run, "2"),
+        ("bench_scenario", _bench_scenario, "1"),
     ):
         if name not in _KINDS:
-            register_kind(name, fn)
+            register_kind(name, fn, version=version)
 
 
 def resolve_kind(name: str) -> KindSpec:

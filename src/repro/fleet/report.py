@@ -29,6 +29,10 @@ class FleetReport:
     executed: int = 0
     cached: int = 0
     quarantined: int = 0
+    #: Human-readable ids (``#index kind seed=N``) of quarantined jobs,
+    #: in job order — so a sweep's exit status is attributable from the
+    #: report alone, without digging through per-job records.
+    quarantined_ids: list[str] = field(default_factory=list)
     retries: int = 0
     timeouts: int = 0
     worker_restarts: int = 0
@@ -69,6 +73,11 @@ class FleetReport:
             executed=sum(1 for r in records if r["status"] == "ok"),
             cached=sum(1 for r in records if r["status"] == "cached"),
             quarantined=sum(1 for r in records if r["status"] == "quarantined"),
+            quarantined_ids=[
+                f"#{o.index} {o.spec.kind} seed={o.spec.seed}"
+                for o in outcomes
+                if o.status == "quarantined"
+            ],
             retries=retries,
             timeouts=timeouts,
             worker_restarts=worker_restarts,
@@ -88,7 +97,9 @@ class FleetReport:
             f"{self.cached} cached",
         ]
         if self.quarantined:
-            parts.append(f"{self.quarantined} quarantined")
+            shown = ", ".join(self.quarantined_ids[:3])
+            more = ", ..." if self.quarantined > 3 else ""
+            parts.append(f"{self.quarantined} quarantined [{shown}{more}]")
         if self.retries:
             parts.append(f"{self.retries} retries")
         if self.worker_restarts:
@@ -105,6 +116,7 @@ class FleetReport:
             "executed": self.executed,
             "cached": self.cached,
             "quarantined": self.quarantined,
+            "quarantined_ids": list(self.quarantined_ids),
             "retries": self.retries,
             "timeouts": self.timeouts,
             "worker_restarts": self.worker_restarts,

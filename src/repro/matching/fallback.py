@@ -101,10 +101,11 @@ class FallbackMatcher(Matcher):
         # before snapshotting state — migration must observe a settled
         # engine.
         self._carried_events.extend(self._offloaded.flush())
-        receives, unexpected = self._offloaded.engine.export_state()
-        self._software.seed_state(receives, unexpected)
-        # Keep decision stamps monotone across the migration boundary.
-        self._software.decisions = MonotonicCounter(self._offloaded.engine.decisions.peek())
+        # Imported lazily: repro.recovery drives matchers from this
+        # package, so a top-level import would cycle.
+        from repro.recovery.journal import host_takeover
+
+        host_takeover(self._offloaded.engine, self._software)
         self._offloaded = None
         self.fallback_events += 1
         self.stats.fallback_spills += 1

@@ -42,9 +42,13 @@ class OptimisticAdapter(Matcher):
         eager_blocks: bool = True,
         comm: int = 0,
         observer=None,
+        engine_cls: type[OptimisticMatcher] = OptimisticMatcher,
     ) -> None:
+        """``engine_cls`` selects the engine implementation — mutation
+        tests and the online watchdog lanes pass the deliberately
+        broken variants from :mod:`repro.core.faults` here."""
         super().__init__()
-        self.engine = OptimisticMatcher(config, policy=policy, comm=comm, observer=observer)
+        self.engine = engine_cls(config, policy=policy, comm=comm, observer=observer)
         self._eager = eager_blocks
         self._emitted: list[MatchEvent] = []
 

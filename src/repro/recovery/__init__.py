@@ -1,0 +1,61 @@
+"""Accelerator fault tolerance: core faults, block-journal recovery,
+and online matching-invariant watchdogs.
+
+PR 1 made the *wire* a fault domain (:mod:`repro.rdma.faultwire`) and
+the *resources* a degradation trigger (host spill). This package makes
+the accelerator's **compute** a fault domain too:
+
+* :mod:`repro.recovery.faults` — a seeded injector for per-core
+  fail-stop, hang, and transient bit-flip faults inside the matching
+  engine's block threads.
+* :mod:`repro.recovery.quarantine` — the recovery policy and the
+  quarantine set tracking which DPA cores are currently dead.
+* :mod:`repro.recovery.journal` — block-boundary checkpoints of the
+  matching data structures, and rollback onto a fresh engine.
+* :mod:`repro.recovery.recoverer` — :class:`RecoveringMatcher`, the
+  pipeline controller that replays faulted blocks on surviving cores
+  and escalates to host takeover past the quarantine threshold.
+* :mod:`repro.recovery.watchdog` — online oracle cross-checks: the
+  incremental :class:`PairingOracle` for pipelines and the op-stream
+  :class:`MatchingWatchdog` for matchers.
+"""
+
+from repro.recovery.faults import (
+    BitFlipDetected,
+    CoreFailStop,
+    CoreFault,
+    CoreFaultInjector,
+    CoreFaultKind,
+    CoreFaultPlan,
+    CoreFaultStats,
+)
+from repro.recovery.journal import (
+    BlockCheckpoint,
+    checkpoint_engine,
+    host_takeover,
+    restore_engine,
+)
+from repro.recovery.quarantine import CoreQuarantine, RecoveryPolicy
+from repro.recovery.recoverer import RecoveringMatcher, RecoveryStats
+from repro.recovery.watchdog import MatchingWatchdog, PairingOracle, WatchdogAlert
+
+__all__ = [
+    "BitFlipDetected",
+    "BlockCheckpoint",
+    "CoreFailStop",
+    "CoreFault",
+    "CoreFaultInjector",
+    "CoreFaultKind",
+    "CoreFaultPlan",
+    "CoreFaultStats",
+    "CoreQuarantine",
+    "MatchingWatchdog",
+    "PairingOracle",
+    "RecoveringMatcher",
+    "RecoveryPolicy",
+    "RecoveryStats",
+    "WatchdogAlert",
+    "checkpoint_engine",
+    "host_takeover",
+    "restore_engine",
+]

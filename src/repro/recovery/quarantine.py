@@ -1,0 +1,102 @@
+"""Recovery policy and the core-quarantine set.
+
+A faulted core is *quarantined*: removed from the active set so the
+injector never victimizes it again and the cycle model charges blocks
+to fewer cores. Quarantine is temporary — cores come back after
+``repair_epochs`` epochs (an epoch is one processed block, or one
+block-equivalent of host traffic while taken over), modelling a reset/
+re-attach of the DPA execution unit. When the quarantined count
+exceeds ``quarantine_threshold``, the accelerator is no longer trusted
+and matching escalates to host takeover via the PR 1 spill path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["CoreQuarantine", "RecoveryPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryPolicy:
+    """Knobs of the quarantine / replay / takeover state machine.
+
+    All fields are JSON literals so the policy ships through the fleet
+    worker boundary unchanged (like :class:`ChaosConfig`).
+    """
+
+    #: Host takeover once *more than* this many cores are quarantined.
+    quarantine_threshold: int = 4
+    #: Epochs until a quarantined core is repaired and returns.
+    repair_epochs: int = 24
+    #: Replays of one block before giving up and taking over (backstop
+    #: against a fault schedule that keeps killing the same batch).
+    max_replays_per_block: int = 8
+    #: Migrate back from host takeover once the host PRQ fits this
+    #: fraction of the descriptor table (hysteresis against thrash).
+    reoffload_fraction: float = 0.5
+    #: DPA cycles the stall watchdog needs to flag a hung core — the
+    #: detection latency charged per hang by the cycle model.
+    hang_timeout_cycles: float = 8192.0
+
+    def __post_init__(self) -> None:
+        if self.quarantine_threshold < 0:
+            raise ValueError(
+                f"quarantine_threshold must be >= 0, got {self.quarantine_threshold}"
+            )
+        if self.repair_epochs < 1:
+            raise ValueError(f"repair_epochs must be >= 1, got {self.repair_epochs}")
+        if self.max_replays_per_block < 1:
+            raise ValueError(
+                f"max_replays_per_block must be >= 1, got {self.max_replays_per_block}"
+            )
+        if not 0.0 < self.reoffload_fraction <= 1.0:
+            raise ValueError(
+                f"reoffload_fraction must be in (0, 1], got {self.reoffload_fraction}"
+            )
+        if self.hang_timeout_cycles < 0:
+            raise ValueError(
+                f"hang_timeout_cycles must be >= 0, got {self.hang_timeout_cycles}"
+            )
+
+    def with_options(self, **changes: Any) -> "RecoveryPolicy":
+        return replace(self, **changes)
+
+
+class CoreQuarantine:
+    """The set of currently-dead cores, with scheduled repairs."""
+
+    def __init__(self, cores: int, *, repair_epochs: int) -> None:
+        if cores < 1:
+            raise ValueError(f"need at least one core, got {cores}")
+        self.cores = cores
+        self.repair_epochs = repair_epochs
+        #: core id -> epoch at which it repairs.
+        self._due: dict[int, int] = {}
+        self.peak = 0
+
+    @property
+    def count(self) -> int:
+        return len(self._due)
+
+    def active_cores(self) -> list[int]:
+        """Cores currently alive, in id order."""
+        return [core for core in range(self.cores) if core not in self._due]
+
+    def is_quarantined(self, core: int) -> bool:
+        return core in self._due
+
+    def quarantine(self, core: int, epoch: int) -> None:
+        """Mark ``core`` dead until ``epoch + repair_epochs``."""
+        if not 0 <= core < self.cores:
+            raise ValueError(f"core {core} out of range [0, {self.cores})")
+        self._due[core] = epoch + self.repair_epochs
+        self.peak = max(self.peak, len(self._due))
+
+    def repair_due(self, epoch: int) -> list[int]:
+        """Un-quarantine every core whose repair epoch has arrived."""
+        repaired = sorted(core for core, due in self._due.items() if due <= epoch)
+        for core in repaired:
+            del self._due[core]
+        return repaired

@@ -1,0 +1,220 @@
+"""Online matching-invariant watchdogs.
+
+The validation suite checks matching *post-hoc*: replay the schedule
+through the serial oracle after the run and diff the pairings. This
+module runs the same cross-checks **online**, so a protocol bug (or an
+undetected corruption) is flagged within bounded blocks of the fault
+instead of at the end of a soak:
+
+* :class:`PairingOracle` — an incremental shadow of the chaos
+  harness's oracle replay, for *pipelines*. Posts and sends feed it as
+  they are issued; at every transport-quiescence point the pipeline's
+  deliveries are compared against :attr:`PairingOracle.want`. The
+  reliability layer delivers in send order and posts are synchronous,
+  so at quiescence a delivered handle that differs from the oracle's
+  is a genuine, stable divergence — there are no legitimate transients
+  to debounce.
+* :class:`MatchingWatchdog` — an op-stream driver for bare *matchers*
+  (the :func:`repro.matching.oracle.run_stream` identity scheme:
+  receive handle = posting index, ``send_seq`` per source). It feeds
+  the matcher under test and a shadow :class:`ListMatcher` in
+  lock-step and periodically flushes + diffs pairings and audits C2.
+  An engine-internal assertion (e.g. the double-consume guard a
+  mutant trips) is converted into an alert rather than a crash, so
+  soak lanes over deliberately broken engines terminate with evidence.
+
+Both watchdogs report the *first* violation as a :class:`WatchdogAlert`
+carrying the block index at detection — the soak asserts detection
+latency stays within bounded blocks of the fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent
+from repro.core.threadsim import DeadlockError
+from repro.matching.list_matcher import ListMatcher
+from repro.matching.oracle import StreamOp, check_c2, pairings
+
+__all__ = ["MatchingWatchdog", "PairingOracle", "WatchdogAlert"]
+
+
+@dataclass(frozen=True, slots=True)
+class WatchdogAlert:
+    """The first invariant violation an online watchdog observed."""
+
+    #: ``"pairing"`` (oracle divergence), ``"c2"`` (overtaking), or
+    #: ``"engine-error"`` (an internal engine assertion / deadlock).
+    kind: str
+    #: Engine block counter at detection (-1 when unknown) — the unit
+    #: detection-latency bounds are expressed in.
+    block: int
+    #: Ops fed to the watchdog when the violation surfaced.
+    op_index: int
+    detail: str
+
+
+def _blocks(matcher) -> int:
+    """Best-effort engine block counter for detection-latency stamps."""
+    for attr in ("stats", "engine"):
+        owner = getattr(matcher, attr, None)
+        if owner is None:
+            continue
+        stats = getattr(owner, "stats", owner)
+        blocks = getattr(stats, "blocks", None)
+        if isinstance(blocks, int):
+            return blocks
+    return -1
+
+
+class PairingOracle:
+    """Incremental serial-matching shadow for a receive pipeline.
+
+    Feed it every posted receive and every sent message *at issue
+    time* (the well-defined serial order); :attr:`want` accumulates
+    ``payload ident -> receive handle`` as the oracle pairs them.
+    Identities follow the chaos harness: ``"rank:seq"`` strings,
+    ``send_seq`` a single global counter in send order (the reliable
+    wire delivers in that order, so per-pipeline and per-oracle
+    sequence numbers coincide).
+    """
+
+    def __init__(self) -> None:
+        self._matcher = ListMatcher()
+        #: ident -> handle the oracle paired it with (absent = still
+        #: unexpected on the oracle side).
+        self.want: dict[str, int] = {}
+        self._pending: dict[int, str] = {}  # send_seq -> ident
+        self._seq = 0
+
+    def post(self, request: ReceiveRequest) -> None:
+        """The pipeline posted ``request`` (handle already assigned)."""
+        event = self._matcher.post_receive(request)
+        if event is not None:
+            self.want[self._pending.pop(event.message.send_seq)] = request.handle
+
+    def message(self, ident: str, source: int, tag: int) -> None:
+        """The pipeline's sender issued ``ident`` from ``source``."""
+        msg = MessageEnvelope(source=source, tag=tag, send_seq=self._seq)
+        self._seq += 1
+        self._pending[msg.send_seq] = ident
+        event = self._matcher.incoming_message(msg)
+        if event.receive is not None:
+            self.want[ident] = event.receive.handle
+
+    def divergence(self, ident: str, got_handle: int) -> str | None:
+        """Check one delivery; returns the mismatch string or None."""
+        want = self.want.get(ident)
+        if want == got_handle:
+            return None
+        return f"{ident}: got handle {got_handle}, oracle says {want}"
+
+
+class MatchingWatchdog:
+    """Lock-step oracle cross-check over a matcher op stream."""
+
+    def __init__(self, matcher, *, check_every: int = 1) -> None:
+        """``check_every`` trades detection latency for check cost:
+        pairings are diffed every that-many ops (every op by default).
+        Checks flush the matcher, so block matchers process partial
+        blocks at check points — semantically legal (flush is part of
+        the matcher contract) and exactly what bounds latency. For
+        block engines, keep ``check_every`` at or above the block size
+        so full blocks still form between checks; flushing every op
+        degenerates to serial one-message blocks, which masks exactly
+        the concurrency bugs the watchdog exists to catch."""
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        self.matcher = matcher
+        self.check_every = check_every
+        self._oracle = ListMatcher()
+        self._matcher_events: list[MatchEvent] = []
+        self._oracle_events: list[MatchEvent] = []
+        self._post_index = 0
+        self._send_seq: dict[int, int] = {}
+        self.ops_fed = 0
+        self.checks = 0
+        #: First violation, sticky once set.
+        self.alert: WatchdogAlert | None = None
+
+    # -- feeding ---------------------------------------------------------
+
+    def feed(self, op: StreamOp) -> WatchdogAlert | None:
+        """Apply one op to the matcher and the shadow oracle."""
+        if self.alert is not None:
+            return self.alert
+        self.ops_fed += 1
+        if op.kind == "post":
+            request = ReceiveRequest(
+                source=op.source, tag=op.tag, comm=op.comm, handle=self._post_index
+            )
+            self._post_index += 1
+            apply = lambda m: m.post_receive(request)  # noqa: E731
+        else:
+            seq = self._send_seq.get(op.source, 0)
+            self._send_seq[op.source] = seq + 1
+            msg = MessageEnvelope(
+                source=op.source, tag=op.tag, comm=op.comm, send_seq=seq
+            )
+            apply = lambda m: m.incoming_message(msg)  # noqa: E731
+        event = apply(self._oracle)
+        if event is not None:
+            self._oracle_events.append(event)
+        try:
+            event = apply(self.matcher)
+        except (AssertionError, DeadlockError) as exc:
+            return self._raise_alert("engine-error", f"{type(exc).__name__}: {exc}")
+        if event is not None:
+            self._matcher_events.append(event)
+        if self.ops_fed % self.check_every == 0:
+            return self.check()
+        return None
+
+    def run(self, ops: list[StreamOp]) -> WatchdogAlert | None:
+        """Feed a whole stream, stopping at the first alert; ends with
+        a final check so trailing unflushed blocks are covered."""
+        for op in ops:
+            if self.feed(op) is not None:
+                return self.alert
+        return self.check()
+
+    # -- checking --------------------------------------------------------
+
+    def check(self) -> WatchdogAlert | None:
+        """Flush both sides and diff pairings + audit C2 now."""
+        if self.alert is not None:
+            return self.alert
+        self.checks += 1
+        self._oracle_events.extend(self._oracle.flush())
+        try:
+            self._matcher_events.extend(self.matcher.flush())
+        except (AssertionError, DeadlockError) as exc:
+            return self._raise_alert("engine-error", f"{type(exc).__name__}: {exc}")
+        expected = pairings(self._oracle_events)
+        actual = pairings(self._matcher_events)
+        if expected != actual:
+            diffs = {
+                key: (expected.get(key), actual.get(key))
+                for key in set(expected) | set(actual)
+                if expected.get(key) != actual.get(key)
+            }
+            return self._raise_alert(
+                "pairing",
+                f"{len(diffs)} pairings diverged: {dict(sorted(diffs.items())[:5])}",
+            )
+        try:
+            check_c2(self._matcher_events)
+        except AssertionError as exc:
+            return self._raise_alert("c2", str(exc))
+        return None
+
+    def _raise_alert(self, kind: str, detail: str) -> WatchdogAlert:
+        self.alert = WatchdogAlert(
+            kind=kind,
+            block=_blocks(self.matcher),
+            op_index=self.ops_fed,
+            detail=detail,
+        )
+        return self.alert

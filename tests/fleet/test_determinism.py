@@ -81,6 +81,53 @@ def test_sweep_warm_cache_bytes_match(tmp_path):
     assert _flatten(warm) == _flatten(cold)
 
 
+def test_non_strict_sweep_omits_quarantined_cells(tmp_path):
+    """``strict=False``: a permanently-crashing cell is quarantined,
+    its id lands in the report, and the surviving grid comes back."""
+    marker = tmp_path / "crash"
+    marker.write_text("99")  # crashes every attempt
+
+    def hook(index, spec):
+        return {"crash_countdown": str(marker)} if index == 0 else None
+
+    results, report = sweep_applications(
+        bins_list=BINS,
+        rounds=2,
+        names=APPS,
+        policy=RetryPolicy(max_attempts=1, base_delay_s=0.0),
+        fault_hook=hook,
+        with_report=True,
+        strict=False,
+    )
+    assert not report.ok
+    assert report.quarantined == 1
+    assert report.quarantined_ids == ["#0 analyze_app seed=0"]
+    # Index 0 is app-major, bins-minor: (APPS[0], BINS[0]) is missing,
+    # every other cell survived.
+    assert set(results[APPS[0]]) == set(BINS) - {BINS[0]}
+    for name in APPS[1:]:
+        assert set(results[name]) == set(BINS)
+
+
+def test_strict_sweep_raises_on_quarantine(tmp_path):
+    from repro.fleet import FleetError
+
+    marker = tmp_path / "crash"
+    marker.write_text("99")
+
+    def hook(index, spec):
+        return {"crash_countdown": str(marker)} if index == 0 else None
+
+    with pytest.raises(FleetError, match="quarantined"):
+        sweep_applications(
+            bins_list=BINS,
+            rounds=2,
+            names=APPS,
+            policy=RetryPolicy(max_attempts=1, base_delay_s=0.0),
+            fault_hook=hook,
+        )
+
+
 def test_soak_matrix_parallelism_independent():
     """chaos_run payloads are identical at jobs=1 and jobs=2."""
     names = ["clean", "drops"]

@@ -96,6 +96,27 @@ class TestSerial:
         with pytest.raises(FleetError, match="quarantined"):
             run.require_ok()
 
+    def test_quarantined_ids_surface_in_report(self):
+        """Satellite: quarantined job ids are first-class report data,
+        so a sweep's nonzero exit is attributable without records."""
+        specs = _echo_specs(2) + [JobSpec(kind="test_fail", seed=7)]
+        run = run_jobs(
+            specs, requires=REQUIRES, policy=RetryPolicy(max_attempts=1)
+        )
+        report = run.report
+        assert report.quarantined_ids == ["#2 test_fail seed=7"]
+        assert "#2 test_fail seed=7" in report.summary()
+        assert report.to_dict()["quarantined_ids"] == ["#2 test_fail seed=7"]
+        from repro.fleet import FleetReport
+
+        restored = FleetReport.from_json(report.to_json())
+        assert restored.quarantined_ids == report.quarantined_ids
+        assert not restored.ok
+
+    def test_clean_run_has_no_quarantined_ids(self):
+        run = run_jobs(_echo_specs(2), requires=REQUIRES)
+        assert run.report.quarantined_ids == []
+
     def test_faults_never_reach_the_cache_key(self, tmp_path):
         plain = run_jobs(_echo_specs(2), requires=REQUIRES)
         faulted = run_jobs(

@@ -1,0 +1,73 @@
+"""Shared schedule builders for the recovery tests.
+
+One seeded schedule is rendered two ways at once: as rounds of
+``(ReceiveRequest, MessageEnvelope)`` batches for a pipeline-interface
+matcher (posts synchronous, messages staged until ``process_all``) and
+as the flat :class:`StreamOp` list the serial oracle replays. The
+identity scheme matches :func:`repro.matching.oracle.run_stream`:
+receive handle = posting index, ``send_seq`` numbered per source — so
+``pairings`` on both event streams is directly comparable.
+"""
+
+from repro.core.envelope import ANY_SOURCE, ANY_TAG, MessageEnvelope, ReceiveRequest
+from repro.matching.oracle import StreamOp
+from repro.util.rng import make_rng
+
+
+def schedule_rounds(
+    seed,
+    *,
+    rounds=8,
+    senders=3,
+    tags=3,
+    max_posts=5,
+    max_sends=5,
+    wildcard_rate=0.3,
+):
+    """Returns ``(rounds, ops)``: per-round post/message batches and
+    the equivalent flat op stream for the oracle."""
+    rng = make_rng(seed)
+    out_rounds = []
+    ops = []
+    handle = 0
+    seqs = {}
+    for _ in range(rounds):
+        posts = []
+        for _ in range(int(rng.integers(0, max_posts + 1))):
+            source = (
+                ANY_SOURCE
+                if rng.random() < wildcard_rate
+                else int(rng.integers(senders))
+            )
+            tag = (
+                ANY_TAG if rng.random() < wildcard_rate else int(rng.integers(tags))
+            )
+            posts.append(ReceiveRequest(source=source, tag=tag, handle=handle))
+            handle += 1
+            ops.append(StreamOp.post(source, tag))
+        msgs = []
+        for _ in range(int(rng.integers(1, max_sends + 1))):
+            source = int(rng.integers(senders))
+            tag = int(rng.integers(tags))
+            seq = seqs.get(source, 0)
+            seqs[source] = seq + 1
+            msgs.append(MessageEnvelope(source=source, tag=tag, send_seq=seq))
+            ops.append(StreamOp.message(source, tag))
+        out_rounds.append((posts, msgs))
+    return out_rounds, ops
+
+
+def drive(matcher, rounds):
+    """Run a pipeline-interface matcher through the rounds, collecting
+    every event (drains from ``post_receive`` plus block outcomes)."""
+    events = []
+    for posts, msgs in rounds:
+        for request in posts:
+            event = matcher.post_receive(request)
+            if event is not None:
+                events.append(event)
+        for msg in msgs:
+            matcher.submit_message(msg)
+        events.extend(matcher.process_all())
+    events.extend(matcher.process_all())
+    return events

@@ -1,0 +1,95 @@
+"""Block-journal checkpoint / restore / host-takeover semantics."""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.core.engine import OptimisticMatcher
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.matching.oracle import pairings
+from repro.recovery import checkpoint_engine, host_takeover, restore_engine
+
+CONFIG = EngineConfig(bins=4, block_threads=4, max_receives=64)
+
+
+def settled_engine():
+    """An engine mid-schedule: some matched, some posted, some parked
+    unexpected — and settled (no pending messages)."""
+    engine = OptimisticMatcher(CONFIG)
+    events = []
+    for handle in range(6):
+        events.append(engine.post_receive(ReceiveRequest(source=0, tag=handle, handle=handle)))
+    for seq, tag in enumerate((0, 1, 9)):  # tag 9 parks unexpected
+        engine.submit_message(MessageEnvelope(source=0, tag=tag, send_seq=seq))
+    events.extend(engine.process_all())
+    return engine, [e for e in events if e is not None]
+
+
+class TestCheckpoint:
+    def test_requires_settled_engine(self):
+        engine = OptimisticMatcher(CONFIG)
+        engine.submit_message(MessageEnvelope(source=0, tag=0, send_seq=0))
+        with pytest.raises(ValueError, match="settled"):
+            checkpoint_engine(engine)
+
+    def test_round_trip_restores_exact_state(self):
+        engine, _ = settled_engine()
+        checkpoint = checkpoint_engine(engine)
+        restored = restore_engine(checkpoint, CONFIG)
+        # import_state re-labels post labels and arrival stamps;
+        # relative order and envelope identity must survive.
+        receives, unexpected = engine.export_state()
+        restored_receives, restored_unexpected = restored.export_state()
+        assert [r for _, r in restored_receives] == [r for _, r in receives]
+        assert [(m.source, m.tag, m.send_seq) for m in restored_unexpected] == [
+            (m.source, m.tag, m.send_seq) for m in unexpected
+        ]
+        assert restored.decisions.peek() == engine.decisions.peek()
+
+    def test_restored_engine_matches_like_the_original(self):
+        """Feeding the same continuation to original and restored
+        engines yields identical pairings — rollback is transparent."""
+        engine, _ = settled_engine()
+        restored = restore_engine(checkpoint_engine(engine), CONFIG)
+        continuation = [
+            MessageEnvelope(source=0, tag=tag, send_seq=3 + i)
+            for i, tag in enumerate((2, 3, 4))
+        ]
+        for msg in continuation:
+            engine.submit_message(msg)
+            restored.submit_message(msg)
+        assert pairings(engine.process_all()) == pairings(restored.process_all())
+
+    def test_decisions_stay_monotone_across_restore(self):
+        engine, _ = settled_engine()
+        stamped_before = engine.decisions.peek()
+        restored = restore_engine(checkpoint_engine(engine), CONFIG)
+        restored.submit_message(MessageEnvelope(source=0, tag=2, send_seq=3))
+        events = restored.process_all()
+        stamps = [e.decision_order for e in events if e.decision_order >= 0]
+        assert stamps
+        assert min(stamps) >= stamped_before
+
+    def test_carried_stats_object_is_installed(self):
+        engine, _ = settled_engine()
+        restored = restore_engine(
+            checkpoint_engine(engine), CONFIG, stats=engine.stats
+        )
+        assert restored.stats is engine.stats
+
+
+class TestHostTakeover:
+    def test_host_adopts_live_state_and_stamps(self):
+        engine, _ = settled_engine()
+        receives, unexpected = engine.export_state()
+        host = host_takeover(engine)
+        host_receives, host_unexpected = host.export_state()
+        assert [r for _, r in host_receives] == [r for _, r in receives]
+        assert host_unexpected == unexpected
+        assert host.decisions.peek() == engine.decisions.peek()
+
+    def test_takeover_then_matching_stays_monotone(self):
+        engine, _ = settled_engine()
+        before = engine.decisions.peek()
+        host = host_takeover(engine)
+        event = host.incoming_message(MessageEnvelope(source=0, tag=2, send_seq=3))
+        assert event.decision_order >= before

@@ -1,0 +1,167 @@
+"""RecoveringMatcher: replay/quarantine/takeover vs. the serial oracle.
+
+The acceptance property from the issue: *replay determinism* — the
+same schedule produces identical final pairings with and without
+mid-block failures, because rollback+replay (and host takeover) are
+transparent to matching semantics.
+"""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.matching.list_matcher import ListMatcher
+from repro.matching.oracle import pairings, run_stream
+from repro.obs.registry import MetricsRegistry
+from repro.recovery import CoreFaultPlan, RecoveringMatcher, RecoveryPolicy
+from tests.recovery.streams import drive, schedule_rounds
+
+SEEDS = range(1, 13)
+
+CONFIG = EngineConfig(bins=4, block_threads=4, max_receives=128)
+
+STORM = dict(fail_stop_rate=0.15, hang_rate=0.1, bit_flip_rate=0.15)
+
+
+def storm_matcher(seed, **overrides):
+    kwargs = dict(
+        cores=8,
+        core_plan=CoreFaultPlan.storm(seed=seed, **STORM),
+        recovery=RecoveryPolicy(quarantine_threshold=2, repair_epochs=6),
+    )
+    kwargs.update(overrides)
+    return RecoveringMatcher(CONFIG, **kwargs)
+
+
+class TestOracleEquivalence:
+    def test_pairings_identical_under_storm(self):
+        """Across a seed pool, faulted runs pair exactly like the
+        serial oracle — and the pool is non-vacuous (faults actually
+        fired, blocks rolled back, takeovers happened somewhere)."""
+        injected = rollbacks = takeovers = reoffloads = 0
+        for seed in SEEDS:
+            matcher = storm_matcher(seed)
+            rounds, ops = schedule_rounds(seed=seed, rounds=10)
+            events = drive(matcher, rounds)
+            expected = pairings(run_stream(ListMatcher(), ops))
+            assert pairings(events) == expected, f"seed {seed} diverged"
+            rs = matcher.recovery_stats
+            injected += matcher.injector.stats.total_injected()
+            rollbacks += rs.block_rollbacks
+            takeovers += rs.host_takeovers
+            reoffloads += rs.reoffloads
+        assert injected > 0
+        assert rollbacks > 0
+        assert takeovers > 0
+        assert reoffloads > 0
+
+    def test_faulty_run_equals_clean_run(self):
+        """Same schedule, with and without mid-block failures ->
+        identical final pairings (the issue's determinism acceptance)."""
+        for seed in (3, 5, 8):
+            rounds, _ = schedule_rounds(seed=seed, rounds=10)
+            clean = drive(RecoveringMatcher(CONFIG, cores=8), rounds)
+            rounds, _ = schedule_rounds(seed=seed, rounds=10)
+            faulty_matcher = storm_matcher(seed)
+            faulty = drive(faulty_matcher, rounds)
+            assert pairings(faulty) == pairings(clean)
+            assert faulty_matcher.injector.stats.total_injected() > 0
+
+
+class TestDeterministicFaultPaths:
+    def test_certain_fail_stop_escalates_to_takeover(self):
+        """fail_stop_rate=1.0 faults every engine block: the first
+        batch quarantines a core past threshold 0 and the host adopts
+        the working set; pairings still match the oracle."""
+        matcher = RecoveringMatcher(
+            CONFIG,
+            cores=4,
+            core_plan=CoreFaultPlan(seed=2, fail_stop_rate=1.0),
+            recovery=RecoveryPolicy(quarantine_threshold=0, repair_epochs=100),
+        )
+        rounds, ops = schedule_rounds(seed=2, rounds=6)
+        events = drive(matcher, rounds)
+        assert matcher.degraded
+        assert matcher.recovery_stats.host_takeovers == 1
+        assert matcher.stats.fallback_spills == 1
+        assert matcher.stats.degraded_matches > 0
+        assert pairings(events) == pairings(run_stream(ListMatcher(), ops))
+
+    def test_certain_hang_is_detected_and_recovered(self):
+        """hang_rate=1.0: every attempt deadlocks until replays exhaust
+        and the host takes over — the DeadlockError is attributed, not
+        raised."""
+        matcher = RecoveringMatcher(
+            CONFIG,
+            cores=8,
+            core_plan=CoreFaultPlan(seed=4, hang_rate=1.0),
+            recovery=RecoveryPolicy(quarantine_threshold=4, repair_epochs=100),
+        )
+        rounds, ops = schedule_rounds(seed=4, rounds=4)
+        events = drive(matcher, rounds)
+        assert matcher.recovery_stats.core_hangs > 0
+        assert matcher.recovery_stats.host_takeovers == 1
+        assert pairings(events) == pairings(run_stream(ListMatcher(), ops))
+
+    def test_bit_flips_never_quarantine(self):
+        """Transient flips roll back and replay but leave every core in
+        service (the core itself is healthy)."""
+        matcher = RecoveringMatcher(
+            CONFIG,
+            cores=4,
+            core_plan=CoreFaultPlan(seed=6, bit_flip_rate=1.0),
+        )
+        rounds, ops = schedule_rounds(seed=6, rounds=4)
+        events = drive(matcher, rounds)
+        rs = matcher.recovery_stats
+        assert rs.core_bit_flips > 0
+        assert rs.cores_quarantined == 0
+        assert matcher.quarantine.count == 0
+        assert pairings(events) == pairings(run_stream(ListMatcher(), ops))
+
+    def test_takeover_then_reoffload_cycle(self):
+        """Quick repairs plus a hysteresis-sized working set bring
+        matching back onto the accelerator after a takeover."""
+        found = False
+        for seed in SEEDS:
+            matcher = storm_matcher(
+                seed,
+                recovery=RecoveryPolicy(quarantine_threshold=1, repair_epochs=3),
+            )
+            rounds, ops = schedule_rounds(seed=seed, rounds=12)
+            events = drive(matcher, rounds)
+            assert pairings(events) == pairings(run_stream(ListMatcher(), ops))
+            rs = matcher.recovery_stats
+            if rs.host_takeovers and rs.reoffloads:
+                assert matcher.stats.fallback_recoveries == rs.reoffloads
+                found = True
+        assert found, "no seed exercised the full takeover->reoffload cycle"
+
+
+class TestResourceEscalation:
+    def test_descriptor_overflow_takes_over(self):
+        """Descriptor-table exhaustion escalates through the same
+        takeover path as core loss (the PR 1 spill contract)."""
+        matcher = RecoveringMatcher(
+            EngineConfig(bins=4, block_threads=4, max_receives=4), cores=4
+        )
+        from repro.core.envelope import ReceiveRequest
+
+        for handle in range(8):
+            matcher.post_receive(ReceiveRequest(source=0, tag=handle, handle=handle))
+        assert matcher.degraded
+        assert matcher.recovery_stats.host_takeovers == 1
+        assert matcher.posted_count == 8
+
+
+class TestObservability:
+    def test_register_metrics_exposes_recovery_series(self):
+        registry = MetricsRegistry()
+        matcher = storm_matcher(7)
+        matcher.register_metrics(registry)
+        rounds, _ = schedule_rounds(seed=7, rounds=8)
+        drive(matcher, rounds)
+        values = registry.snapshot().values
+        assert values["recovery.block_rollbacks"] > 0
+        assert "recovery.quarantined" in values
+        assert "recovery.degraded" in values
+        assert any(n.startswith("recovery.replay_attempts") for n in values)

@@ -1,0 +1,148 @@
+"""Online watchdog mutation tests: every planted engine bug must be
+caught *while the stream runs*, within bounded ops/blocks — and the
+real engine must never be flagged.
+
+The post-hoc counterpart lives in ``tests/core/test_fault_injection``;
+this file asserts the same adversarial schedules trip the *online*
+:class:`MatchingWatchdog` (satellite (c) of the recovery issue).
+"""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.core.faults import MUTANT_ENGINES, engine_by_name
+from repro.core.threadsim import RandomPolicy
+from repro.matching import OptimisticAdapter
+from repro.matching.list_matcher import ListMatcher
+from repro.matching.oracle import StreamOp
+from repro.recovery import MatchingWatchdog, PairingOracle, WatchdogAlert
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+
+SEEDS = range(24)
+
+#: Block width of the adversarial schedules; checks run at block
+#: granularity so full blocks still form between checks.
+WIDTH = 4
+
+
+def wc_burst(n=8):
+    """Same-key window drained by a same-key burst: the conflict case."""
+    ops = [StreamOp.post(0, 7) for _ in range(n)]
+    ops += [StreamOp.message(0, 7) for _ in range(n)]
+    return ops
+
+
+def aba_stream():
+    """The interleaved-sequence hazard (incompatible receive chained
+    inside a same-key run) that trips an unguarded fast path."""
+    ops = [
+        StreamOp.post(0, 0),
+        StreamOp.post(0, 1),
+        StreamOp.post(0, 0),
+        StreamOp.post(0, 0),
+        StreamOp.post(0, 0),
+    ]
+    ops += [StreamOp.message(0, 0) for _ in range(4)]
+    return ops
+
+
+def adapter_with(engine_name, seed, **config):
+    params = dict(
+        bins=1, block_threads=WIDTH, max_receives=256, early_booking_check=False
+    )
+    params.update(config)
+    return OptimisticAdapter(
+        EngineConfig(**params),
+        policy=RandomPolicy(seed),
+        engine_cls=engine_by_name(engine_name),
+    )
+
+
+def hunt(engine_name, ops_factory, **config):
+    """First (seed, alert) at which the watchdog catches the mutant."""
+    for seed in SEEDS:
+        watchdog = MatchingWatchdog(
+            adapter_with(engine_name, seed, **config), check_every=WIDTH
+        )
+        alert = watchdog.run(ops_factory())
+        if alert is not None:
+            return seed, alert, watchdog
+    return None, None, None
+
+
+class TestMutantsCaughtOnline:
+    @pytest.mark.parametrize(
+        "engine_name, ops_factory, config",
+        [
+            ("no_booking", wc_burst, {}),
+            ("no_barrier", wc_burst, {}),
+            ("no_conflict_detection", wc_burst, {}),
+            ("no_sequence_guard", aba_stream, {"enable_fast_path": True}),
+        ],
+    )
+    def test_caught_within_bounded_ops(self, engine_name, ops_factory, config):
+        seed, alert, watchdog = hunt(engine_name, ops_factory, **config)
+        assert alert is not None, f"{engine_name} never caught on {len(SEEDS)} seeds"
+        # Online: flagged at or before the stream's last op, not via a
+        # post-run sweep, and within one check window of the stream end.
+        ops = ops_factory()
+        assert alert.op_index <= len(ops)
+        assert alert.kind in ("pairing", "c2", "engine-error")
+        # Sticky: subsequent feeds return the same first alert.
+        assert watchdog.feed(StreamOp.post(0, 0)) is alert
+        assert watchdog.alert is alert
+
+    def test_every_registered_mutant_is_covered(self):
+        """The parametrization above must cover the whole registry, so
+        a new mutant cannot be added without an online-detection lane."""
+        covered = {
+            "no_booking",
+            "no_barrier",
+            "no_conflict_detection",
+            "no_sequence_guard",
+        }
+        assert covered == set(MUTANT_ENGINES)
+
+
+class TestRealEngineNeverFlagged:
+    @pytest.mark.parametrize("ops_factory", [wc_burst, aba_stream])
+    def test_clean_on_all_seeds(self, ops_factory):
+        for seed in SEEDS:
+            watchdog = MatchingWatchdog(
+                adapter_with("optimistic", seed, enable_fast_path=True),
+                check_every=WIDTH,
+            )
+            alert = watchdog.run(ops_factory())
+            assert alert is None, f"false positive at seed {seed}: {alert}"
+            assert watchdog.checks > 0
+
+
+class TestWatchdogMechanics:
+    def test_check_every_validated(self):
+        with pytest.raises(ValueError, match="check_every"):
+            MatchingWatchdog(ListMatcher(), check_every=0)
+
+    def test_alert_carries_block_counter(self):
+        seed, alert, _ = hunt("no_conflict_detection", wc_burst)
+        assert alert.block >= 0  # engine block counter was readable
+
+    def test_oracle_vs_itself_is_silent(self):
+        watchdog = MatchingWatchdog(ListMatcher(), check_every=1)
+        assert watchdog.run(wc_burst()) is None
+
+
+class TestPairingOracle:
+    def test_post_then_message_pairs(self):
+        oracle = PairingOracle()
+        oracle.post(ReceiveRequest(source=0, tag=5, handle=3))
+        oracle.message("0:0", 0, 5)
+        assert oracle.want["0:0"] == 3
+        assert oracle.divergence("0:0", 3) is None
+        assert "oracle says 3" in oracle.divergence("0:0", 9)
+
+    def test_unexpected_then_drain(self):
+        oracle = PairingOracle()
+        oracle.message("1:0", 1, 2)  # parks unexpected
+        assert "1:0" not in oracle.want
+        oracle.post(ReceiveRequest(source=1, tag=2, handle=0))
+        assert oracle.want["1:0"] == 0
