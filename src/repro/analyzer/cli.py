@@ -23,7 +23,12 @@ import argparse
 import sys
 
 from repro.analyzer.processing import analyze
-from repro.analyzer.report import format_figure6, format_figure7, format_table2
+from repro.analyzer.report import (
+    format_figure6,
+    format_figure7,
+    format_memory,
+    format_table2,
+)
 from repro.analyzer.sweep import FIGURE7_BINS, sweep_applications, sweep_trace
 from repro.traces.reader import load_trace
 from repro.traces.synthetic import app_names, generate
@@ -70,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None, help="override process count for generation"
     )
     parser.add_argument("--list", action="store_true", help="list registered applications")
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="print the §III-E memory-footprint report: per-application "
+        "DPA footprints at each bin count, flagging configurations that "
+        "overflow the BF3 L2/L3 caches (FALLBACK past L3)",
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -146,6 +158,22 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.table == 2:
         print(format_table2())
+        return 0
+    if args.memory:
+        if args.trace_dir:
+            trace = load_trace(args.trace_dir)
+            results = {trace.name: sweep_trace(trace, args.bins)}
+        else:
+            results = sweep_applications(
+                bins_list=args.bins,
+                rounds=args.rounds,
+                processes=args.processes,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+            )
+            if args.app:
+                results = {args.app: results[args.app]}
+        print(format_memory(results))
         return 0
     if args.command == "sweep":
         results, report = sweep_applications(

@@ -8,7 +8,10 @@ regenerate the paper elements directly on stdout.
 
 from __future__ import annotations
 
+import math
+
 from repro.analyzer.statistics import AppAnalysis
+from repro.dpa.memory import KIB, MemoryModel
 from repro.traces.model import OpGroup
 from repro.traces.synthetic import APPLICATIONS
 
@@ -20,6 +23,8 @@ __all__ = [
     "table2_rows",
     "format_table2",
     "depth_reduction_summary",
+    "memory_rows",
+    "format_memory",
 ]
 
 
@@ -115,4 +120,80 @@ def format_table2() -> str:
     lines = [f"{'Application':18s} {'Processes':>9s}  Description"]
     for name, description, processes in table2_rows():
         lines.append(f"{name:18s} {processes:9d}  {description}")
+    return "\n".join(lines)
+
+
+def _provision(mean_posted: float) -> int:
+    """Receive descriptors to provision for an observed posted load:
+    the next power of two, with §III-E-style slack (at least 2x the
+    mean so bursts above it do not immediately overflow the table)."""
+    demand = max(1, math.ceil(mean_posted * 2))
+    return 1 << (demand - 1).bit_length()
+
+
+def memory_rows(
+    results: dict[str, dict[int, AppAnalysis]]
+) -> list[tuple[str, int, float, int, float, bool, bool]]:
+    """(app, bins, mean posted, provisioned receives, total KiB,
+    fits_l2, fits_l3) per sweep cell — the §III-E footprint of a DPA
+    sized for each Table-II application at each bin count."""
+    rows = []
+    for name, per_bins in results.items():
+        for bins, analysis in sorted(per_bins.items()):
+            provisioned = _provision(analysis.depth.mean_posted)
+            model = MemoryModel(bins=bins, max_receives=provisioned)
+            rows.append(
+                (
+                    name,
+                    bins,
+                    analysis.depth.mean_posted,
+                    provisioned,
+                    model.total_bytes() / KIB,
+                    model.fits_l2(),
+                    model.fits_l3(),
+                )
+            )
+    return rows
+
+
+def format_memory(results: dict[str, dict[int, AppAnalysis]]) -> str:
+    """The §III-E memory report: per-app footprints plus the cache
+    ceilings. Configurations that overflow L2 are flagged (descriptor
+    walks leave cache-resident speeds) and configurations past L3 are
+    marked FALLBACK — the paper's criterion for when offloaded
+    matching must hand back to software."""
+    lines = [
+        f"{'Application':18s} {'bins':>5s} {'posted':>8s} {'prov':>8s} "
+        f"{'KiB':>9s}  verdict"
+    ]
+    for name, bins, posted, provisioned, kib, l2, l3 in memory_rows(results):
+        verdict = "fits L2" if l2 else ("L2 overflow" if l3 else "FALLBACK (>L3)")
+        lines.append(
+            f"{name:18s} {bins:5d} {posted:8.1f} {provisioned:8d} "
+            f"{kib:9.1f}  {verdict}"
+        )
+    # Cache ceilings per bin count: the largest power-of-two receive
+    # table that still fits each cache level.
+    lines.append("")
+    bins_list = sorted({bins for per in results.values() for bins in per})
+    reference = MemoryModel(bins=1, max_receives=1)
+    lines.append(
+        f"BF3 ceilings (L2 {reference.l2_bytes // KIB} KiB, "
+        f"L3 {reference.l3_bytes // KIB} KiB):"
+    )
+    for bins in bins_list:
+        l2_cap = l3_cap = 0
+        receives = 1
+        while True:
+            model = MemoryModel(bins=bins, max_receives=receives)
+            if model.fits_l2():
+                l2_cap = receives
+            if not model.fits_l3():
+                break
+            l3_cap = receives
+            receives <<= 1
+        lines.append(
+            f"  {bins:5d} bins: <= {l2_cap} receives in L2, "
+            f"<= {l3_cap} in L3"
+        )
     return "\n".join(lines)

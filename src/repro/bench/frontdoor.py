@@ -1,0 +1,56 @@
+"""``repro-bench``: one front door for the benchmark suites.
+
+Subcommands::
+
+    repro-bench pressure    [...]   # budget-enforcement overhead ladder
+    repro-bench reliability [...]   # reliability-layer overhead baseline
+    repro-bench msgrate     [...]   # Figure 8 message-rate benchmark
+
+Each subcommand forwards its remaining arguments to the underlying
+module's ``main``, so ``repro-bench pressure --rounds 24`` and
+``python -m repro.bench.pressure --rounds 24`` are identical
+(``msgrate`` is also installed standalone as ``repro-msgrate``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["main"]
+
+_USAGE = """\
+usage: repro-bench {pressure,reliability,msgrate} [options]
+
+  pressure     memory-budget enforcement ladder (BENCH_pressure.json)
+  reliability  lossy-wire overhead baseline (BENCH_reliability.json)
+  msgrate      Figure 8 ping-pong message rates (repro-msgrate)
+
+Run `repro-bench <subcommand> --help` for subcommand options.
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "pressure":
+        from repro.bench.pressure import main as pressure_main
+
+        return pressure_main(rest)
+    if command == "reliability":
+        from repro.bench.reliability import main as reliability_main
+
+        return reliability_main(rest)
+    if command == "msgrate":
+        from repro.bench.cli import main as msgrate_main
+
+        return msgrate_main(rest)
+    print(f"repro-bench: unknown subcommand {command!r}", file=sys.stderr)
+    print(_USAGE, end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

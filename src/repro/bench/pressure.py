@@ -1,0 +1,242 @@
+"""Memory-budget enforcement overhead (BENCH_pressure.json).
+
+The same seeded unexpected-heavy workload — bursts of messages arrive
+before their receives are posted, so the UMQ stays populated — is run
+through the :class:`repro.dpa.machine.DpaMachine` cycle model under a
+ladder of budgets:
+
+* ``baseline``  — no meter at all (pre-PR behaviour);
+* ``unlimited`` — enforcement armed with an infinite budget: the books
+  are kept but pressure never fires, isolating pure accounting
+  overhead (which must be zero cycles — the ledger is bookkeeping,
+  not simulated work);
+* ``fitted``    — the budget is exactly the configured §III-E
+  footprint of the engine's memory model;
+* ``evict``     — a budget tight enough that cold unexpected headers
+  must be evicted to host and recalled on match, each charged at
+  :class:`repro.dpa.costs.DpaCostModel` eviction/recall cycle rates;
+* ``takeover``  — a budget so small eviction cannot create headroom:
+  the machine escalates to host matching and its cycles move to the
+  host column.
+
+All lanes must pair every message identically (the budget ladder is
+allowed to cost cycles, never to change matching), and the enforced
+lanes must finish with zero budget overruns.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.pressure [--out PATH]
+    repro-bench pressure [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.core.config import EngineConfig
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.dpa.machine import DpaMachine
+from repro.pressure.budget import PressureBudget
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = ["PressureBenchResult", "run_lane", "run_bench", "main"]
+
+SCHEMA = "repro.bench.pressure/v1"
+
+DEFAULT_ROUNDS = 24
+DEFAULT_BURST = 24
+DEFAULT_SEED = 1
+
+#: Engine shape shared by every lane: small enough that tight budgets
+#: are meaningful, §III-E-proportioned (3 index tables, 64-byte
+#: descriptors).
+_ENGINE = dict(bins=64, block_threads=8, max_receives=256)
+
+#: Budget ladder (``None`` = lane runs without enforcement). The
+#: explicit byte values sit just above the static bins charge
+#: (3 tables x 64 bins x 20 B = 3840 B): ``evict`` leaves ~30 dynamic
+#: 64 B slots, ``takeover`` leaves less than one 8-thread block's
+#: header reservation (8 x 64 B) so eviction cannot create headroom.
+_LANES: tuple[tuple[str, str], ...] = (
+    ("baseline", "off"),
+    ("unlimited", "unlimited"),
+    ("fitted", "fitted"),
+    ("evict", "6000"),
+    ("takeover", "4300"),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PressureBenchResult:
+    """One budget lane's outcome in simulated DPA cycles."""
+
+    label: str
+    #: -1 for unlimited, 0 for no enforcement, else bytes.
+    budget_bytes: int
+    messages: int
+    matched: int
+    dpa_cycles: float
+    host_matching_cycles: float
+    cycles_per_message: float
+    #: Ladder activity (all zero for baseline/unlimited).
+    evictions: int
+    recalls: int
+    takeovers: int
+    reoffloads: int
+    peak_charged_bytes: int
+    budget_overruns: int
+
+
+def _budget_for(kind: str) -> PressureBudget | None:
+    if kind == "off":
+        return None
+    if kind == "unlimited":
+        return PressureBudget.unlimited()
+    if kind == "fitted":
+        return None  # resolved by the machine from its own MemoryModel
+    return PressureBudget(budget_bytes=int(kind))
+
+
+def run_lane(
+    label: str,
+    budget_kind: str,
+    *,
+    rounds: int = DEFAULT_ROUNDS,
+    burst: int = DEFAULT_BURST,
+    seed: int = DEFAULT_SEED,
+) -> tuple[PressureBenchResult, list[tuple[int, int]]]:
+    """Run one lane; returns its result and the (tag, handle) pairings.
+
+    Each round delivers a burst of unexpected messages, runs the
+    machine, then posts the receives for the *previous* round's burst —
+    so the UMQ holds a full burst across every block boundary and a
+    tight budget has cold headers to evict.
+    """
+    enforce = budget_kind != "off"
+    machine = DpaMachine(
+        EngineConfig(**_ENGINE),
+        enforce_budget=enforce,
+        budget=_budget_for(budget_kind),
+    )
+    rng = make_rng(derive_seed(seed, "bench.pressure"))
+    pairings: list[tuple[int, int]] = []
+    matched = 0
+    sent = 0
+    pending: list[int] = []
+
+    def post_for(tags: list[int]) -> None:
+        nonlocal matched
+        for tag in tags:
+            event = machine.post_receive(ReceiveRequest(source=0, tag=tag, handle=tag))
+            if event is not None:
+                matched += 1
+                pairings.append((event.message.tag, event.receive.handle))
+
+    def drain() -> None:
+        nonlocal matched
+        for event in machine.run():
+            if event.receive is not None:
+                matched += 1
+                pairings.append((event.message.tag, event.receive.handle))
+
+    for r in range(rounds):
+        tags = [r * burst + int(i) for i in rng.permutation(burst)]
+        for tag in tags:
+            machine.deliver(MessageEnvelope(source=0, tag=tag, send_seq=sent))
+            sent += 1
+        drain()
+        post_for(pending)
+        drain()
+        pending = tags
+    post_for(pending)
+    drain()
+
+    stats = machine.pressure.stats if machine.pressure is not None else None
+    budget_bytes = 0
+    if enforce:
+        value = machine.pressure.budget.budget_bytes
+        budget_bytes = -1 if value is None else value
+    report = machine.report
+    result = PressureBenchResult(
+        label=label,
+        budget_bytes=budget_bytes,
+        messages=sent,
+        matched=matched,
+        dpa_cycles=report.dpa_cycles,
+        host_matching_cycles=report.host_matching_cycles,
+        cycles_per_message=report.dpa_cycles / sent if sent else 0.0,
+        evictions=stats.evictions if stats else 0,
+        recalls=stats.recalls if stats else 0,
+        takeovers=stats.takeovers if stats else 0,
+        reoffloads=stats.reoffloads if stats else 0,
+        peak_charged_bytes=stats.peak_charged_bytes if stats else 0,
+        budget_overruns=stats.budget_overruns if stats else 0,
+    )
+    return result, sorted(pairings)
+
+
+def run_bench(
+    *,
+    rounds: int = DEFAULT_ROUNDS,
+    burst: int = DEFAULT_BURST,
+    seed: int = DEFAULT_SEED,
+) -> dict:
+    results: list[PressureBenchResult] = []
+    all_pairings: list[list[tuple[int, int]]] = []
+    for label, kind in _LANES:
+        result, pairings = run_lane(
+            label, kind, rounds=rounds, burst=burst, seed=seed
+        )
+        results.append(result)
+        all_pairings.append(pairings)
+    baseline = results[0]
+    identical = all(p == all_pairings[0] for p in all_pairings[1:])
+    return {
+        "benchmark": "pressure-enforcement",
+        "schema": SCHEMA,
+        "params": {"rounds": rounds, "burst": burst, "seed": seed, **_ENGINE},
+        "results": [asdict(r) for r in results],
+        "pairings_identical": identical,
+        "overruns_total": sum(r.budget_overruns for r in results),
+        "overhead_vs_baseline": {
+            r.label: (r.dpa_cycles + r.host_matching_cycles)
+            / (baseline.dpa_cycles + baseline.host_matching_cycles)
+            for r in results
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parents[3] / "BENCH_pressure.json",
+    )
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    parser.add_argument("--burst", type=int, default=DEFAULT_BURST)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args(argv)
+    payload = run_bench(rounds=args.rounds, burst=args.burst, seed=args.seed)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    for entry in payload["results"]:
+        print(
+            f"{entry['label']:>9}: {entry['cycles_per_message']:8.2f} cyc/msg "
+            f"dpa={entry['dpa_cycles']:.0f} host={entry['host_matching_cycles']:.0f} "
+            f"evicted={entry['evictions']} recalled={entry['recalls']} "
+            f"takeovers={entry['takeovers']} peak={entry['peak_charged_bytes']}B"
+        )
+    ok = payload["pairings_identical"] and payload["overruns_total"] == 0
+    print(
+        f"pairings identical: {payload['pairings_identical']} | "
+        f"overruns: {payload['overruns_total']}"
+    )
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

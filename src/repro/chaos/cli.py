@@ -2,8 +2,9 @@
 
 Subcommands::
 
-    repro-chaos soak  [...]   # wire-fault soak (repro.chaos.soak)
-    repro-chaos cores [...]   # core-fault matrix (repro.chaos.coresoak)
+    repro-chaos soak     [...]   # wire-fault soak (repro.chaos.soak)
+    repro-chaos cores    [...]   # core-fault matrix (repro.chaos.coresoak)
+    repro-chaos overload [...]   # memory-budget soak (repro.chaos.overload)
 
 Each subcommand forwards its remaining arguments to the underlying
 module's ``main``, so ``repro-chaos cores --schedules 16`` and
@@ -17,10 +18,11 @@ import sys
 __all__ = ["main"]
 
 _USAGE = """\
-usage: repro-chaos {soak,cores} [options]
+usage: repro-chaos {soak,cores,overload} [options]
 
-  soak   wire-fault soak over the standard profiles
-  cores  core-fault matrix: {wire faults} x {core faults} x {engines}
+  soak      wire-fault soak over the standard profiles
+  cores     core-fault matrix: {wire faults} x {core faults} x {engines}
+  overload  memory-budget overload soak (pressure enforcement lanes)
 
 Run `repro-chaos <subcommand> --help` for subcommand options.
 """
@@ -40,6 +42,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.chaos.coresoak import main as cores_main
 
         return cores_main(rest)
+    if command == "overload":
+        from repro.chaos.overload import main as overload_main
+
+        return overload_main(rest)
     print(f"repro-chaos: unknown subcommand {command!r}", file=sys.stderr)
     print(_USAGE, end="", file=sys.stderr)
     return 2

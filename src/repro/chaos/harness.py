@@ -37,8 +37,14 @@ from repro.core.envelope import ANY_SOURCE, ANY_TAG, MessageEnvelope, ReceiveReq
 from repro.core.faults import engine_by_name
 from repro.core.threadsim import DeadlockError
 from repro.matching.fallback import FallbackMatcher
-from repro.obs.hooks import DegradedWindowWatcher, EngineTraceObserver
+from repro.obs.hooks import (
+    DegradedWindowWatcher,
+    EngineTraceObserver,
+    PressureWindowWatcher,
+)
 from repro.obs.trace import NULL_TRACER, SpanTracer
+from repro.pressure.budget import PressureBudget, PressureMeter
+from repro.pressure.controller import PressuredPipeline
 from repro.rdma.bounce import BounceBufferPool
 from repro.rdma.cq import CompletionQueue
 from repro.rdma.faultwire import FaultPlan, FaultyWire
@@ -111,6 +117,16 @@ class ChaosConfig:
     #: Run the online pairing watchdog at every round boundary instead
     #: of only the post-hoc oracle replay.
     watchdog: bool = False
+    #: Enforce the §III-E DPA memory budget at runtime: matching runs
+    #: through a :class:`repro.pressure.controller.PressuredPipeline`
+    #: (admission control, eviction, host takeover), eager sends demote
+    #: to rendezvous under pressure, and bounce allocation charges the
+    #: meter.
+    pressure: bool = False
+    #: Budget for pressure mode: 0 selects the paper's §III-E model
+    #: (128 bins + 8K receives ≈ 520 KiB), -1 is unlimited (books kept,
+    #: enforcement never triggers), any positive value is explicit bytes.
+    budget_bytes: int = 0
 
     def __post_init__(self) -> None:
         engine_by_name(self.engine)  # raises KeyError on unknown names
@@ -122,6 +138,21 @@ class ChaosConfig:
             )
         if self.fallback and self.engine != "optimistic":
             raise ValueError("fallback mode only supports the optimistic engine")
+        if self.pressure and self.fallback:
+            raise ValueError(
+                "pressure mode and fallback mode are mutually exclusive: the "
+                "pressure pipeline has its own takeover/re-offload ladder"
+            )
+        if self.pressure and not self.core_plan.is_clean:
+            raise ValueError(
+                "pressure mode and core faults are mutually exclusive: the "
+                "pressure pipeline has no core-recovery loop"
+            )
+        if self.budget_bytes < -1:
+            raise ValueError(
+                f"budget_bytes must be -1 (unlimited), 0 (paper §III-E) or "
+                f"positive, got {self.budget_bytes}"
+            )
 
 
 def config_to_params(config: ChaosConfig) -> dict:
@@ -154,7 +185,7 @@ def config_from_params(params: Mapping[str, Any]) -> ChaosConfig:
 class ChaosReport:
     """Observable outcome of one chaos run."""
 
-    SCHEMA = "repro.chaos.report/v2"
+    SCHEMA = "repro.chaos.report/v3"
 
     seed: int
     sent: int = 0
@@ -199,6 +230,29 @@ class ChaosReport:
     reoffloads: int = 0
     #: Online watchdog comparisons performed (round boundaries).
     watchdog_checks: int = 0
+    # -- memory-pressure accounting (schema v3) -----------------------
+    #: Effective budget in bytes (-1 = unlimited; 0 = pressure off).
+    budget_bytes: int = 0
+    #: High-water mark of total charged bytes across all accounts.
+    peak_charged_bytes: int = 0
+    #: Times charge() would have exceeded the budget (must stay 0: the
+    #: admission/eviction/RNR machinery keeps enforcement bloodless).
+    budget_overruns: int = 0
+    #: Eager sends demoted to rendezvous by the pressure probe.
+    demotions: int = 0
+    #: Unexpected entries evicted to the host parked store / recalled.
+    evictions: int = 0
+    recalls: int = 0
+    #: Posts deferred by admission control.
+    posts_deferred: int = 0
+    #: Credit grants withheld while pressured (flow-control shrink).
+    credit_holds: int = 0
+    #: Hysteresis transitions into / out of the pressured band.
+    pressure_entries: int = 0
+    pressure_exits: int = 0
+    #: Sustained-pressure host takeovers and re-offloads.
+    pressure_takeovers: int = 0
+    pressure_reoffloads: int = 0
     #: First matching-invariant violation (oracle divergence), with
     #: where it was caught: the round (-1 = post-hoc only) and the
     #: engine block counter at detection. Satellite (a): a nonzero
@@ -314,13 +368,23 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         # fault schedules stay independent under one run seed.
         core_plan = core_plan.with_options(seed=derive_seed(config.seed, "cores"))
 
+    meter: PressureMeter | None = None
+    if config.pressure:
+        if config.budget_bytes == -1:
+            budget = PressureBudget.unlimited()
+        elif config.budget_bytes == 0:
+            budget = PressureBudget.paper_iii_e()
+        else:
+            budget = PressureBudget(budget_bytes=config.budget_bytes)
+        meter = PressureMeter(budget)
+
     raw = FaultyWire("tx", "rx", plan=plan)
     wire = ReliableWire(raw, config=config.reliability, tracer=tracer)
     rx_qp = QueuePair(
         wire,
         "rx",
         cq=CompletionQueue(config.cq_depth),
-        bounce_pool=BounceBufferPool(config.bounce_buffers),
+        bounce_pool=BounceBufferPool(config.bounce_buffers, pressure=meter),
         host_spill=config.host_spill,
     )
     tx_qp = QueuePair(wire, "tx")
@@ -334,7 +398,12 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         else None
     )
     engine_cls = engine_by_name(config.engine)
-    if config.fallback:
+    if config.pressure:
+        assert meter is not None
+        matcher = PressuredPipeline(
+            engine_config, meter, observer=observer, engine_cls=engine_cls
+        )
+    elif config.fallback:
         matcher = _FallbackPipeline(
             FallbackMatcher(engine_config, recoverable=True, observer=observer)
         )
@@ -356,9 +425,23 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         if tracer.enabled
         else None
     )
+    pwatcher = (
+        PressureWindowWatcher(tracer, meter.stats, clock)
+        if tracer.enabled and meter is not None
+        else None
+    )
     receiver = RdmaReceiver(rx_qp, matcher)
+    demote_probe = None
+    if config.pressure:
+        matcher.bind_transport(receiver)
+        demote_probe = matcher.should_demote
     senders = [
-        RdmaSender(tx_qp, rank, eager_threshold=config.eager_threshold)
+        RdmaSender(
+            tx_qp,
+            rank,
+            eager_threshold=config.eager_threshold,
+            demote_probe=demote_probe,
+        )
         for rank in range(config.senders)
     ]
 
@@ -437,6 +520,8 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
             pump(receiver, tx_qp, max_rounds=config.pump_rounds)
             if watcher is not None:
                 watcher.poll()
+            if pwatcher is not None:
+                pwatcher.poll()
             if config.watchdog:
                 watchdog_check(round_index)
         # Cleanup: drain whatever is still parked unexpected so every
@@ -444,6 +529,11 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         outstanding = len(sent_idents) - len(receiver.completed)
         for _ in range(outstanding):
             post_one(ANY_SOURCE, ANY_TAG)
+        if config.pressure:
+            # End-of-run fence: force any admission-deferred posts in,
+            # escalating to host matching if eviction cannot make room,
+            # so the exactly-once audit below never blames backpressure.
+            matcher.drain_deferred()
         pump(receiver, tx_qp, max_rounds=config.pump_rounds)
         if config.watchdog:
             watchdog_check(config.rounds)
@@ -459,6 +549,9 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
     if watcher is not None:
         watcher.poll()
         watcher.close()
+    if pwatcher is not None:
+        pwatcher.poll()
+        pwatcher.close()
 
     stats = matcher.stats
     report.sent = len(sent_idents)
@@ -476,6 +569,22 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
     report.fallback_recoveries = stats.fallback_recoveries
     report.engine_retransmits = stats.retransmits
     report.engine_rnr_naks = stats.rnr_naks
+    if meter is not None:
+        ps = meter.stats
+        report.budget_bytes = (
+            -1 if meter.budget.budget_bytes is None else meter.budget.budget_bytes
+        )
+        report.peak_charged_bytes = ps.peak_charged_bytes
+        report.budget_overruns = ps.budget_overruns
+        report.demotions = ps.demotions
+        report.evictions = ps.evictions
+        report.recalls = ps.recalls
+        report.posts_deferred = ps.posts_deferred
+        report.credit_holds = ps.credit_holds
+        report.pressure_entries = ps.pressure_entries
+        report.pressure_exits = ps.pressure_exits
+        report.pressure_takeovers = ps.takeovers
+        report.pressure_reoffloads = ps.reoffloads
     if isinstance(matcher, RecoveringMatcher):
         rs = matcher.recovery_stats
         report.core_fail_stops = rs.core_fail_stops

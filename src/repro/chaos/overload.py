@@ -1,0 +1,318 @@
+"""Overload soak: seeded schedules against an enforced memory budget.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.chaos.overload --schedules 50
+    PYTHONPATH=src python -m repro.chaos.overload --schedules 50 \
+        --assert-demotion --assert-eviction --assert-takeover --assert-recall
+
+Every lane runs the full receive pipeline with ``pressure=True`` — the
+:class:`repro.pressure.controller.PressuredPipeline` charging posted
+descriptors, unexpected headers, and bounce buffers against a
+:class:`repro.pressure.budget.PressureBudget` — and the online pairing
+watchdog enabled. Three budget shapes:
+
+* **paper** — the §III-E model (128 bins + 8K receives ≈ 520 KiB)
+  under a heavy offered load: enforcement is armed but the budget is
+  generous, so the lane proves the books are kept without perturbing
+  matching.
+* **evict** — a tight explicit budget over an undersized bounce pool:
+  unexpected messages must be evicted to host (and recalled on
+  demand) for the run to complete.
+* **takeover** — a budget small enough that eviction alone cannot
+  create headroom: the pipeline escalates to full host takeover, then
+  re-offloads once the working set drains below the low watermark.
+
+Two invariants are *always* enforced, no flag needed:
+
+* zero ``budget_overruns`` across the whole matrix — enforcement must
+  never let a charge exceed the budget, no matter the schedule;
+* every report must be ``ok`` — degradation ladders (defer, demote,
+  evict, take over) may slow a run down but must never change which
+  receive a message pairs with (oracle + exactly-once checks).
+
+The ``--assert-*`` gates additionally require the matrix to have
+*exercised* each rung of the ladder — a soak where no eviction or
+takeover ever fired proves nothing about those paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, replace
+
+from repro.chaos.harness import ChaosConfig, ChaosReport, run_chaos
+from repro.chaos.soak import _interest, _record, iter_soak_jobs
+from repro.fleet import run_jobs
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
+from repro.obs.trace import ScopedTracer, SpanTracer
+
+__all__ = ["OVERLOAD_PROFILES", "OverloadSoakResult", "overload_soak", "main"]
+
+#: Bursty many-sender schedule shared by the tight-budget lanes: few
+#: posts, floods of sends, an undersized bounce pool — the unexpected
+#: queue and its bounce staging dominate the ledger.
+_TIGHT_SCHEDULE = dict(
+    senders=4,
+    rounds=16,
+    max_posts_per_round=2,
+    max_sends_per_round=12,
+    bounce_buffers=8,
+    watchdog=True,
+    pressure=True,
+)
+
+#: name -> config template. Budgets shrink down the table: ``paper``
+#: never needs the ladder, ``evict`` needs eviction/recall, and
+#: ``takeover`` needs the full host-takeover escalation.
+OVERLOAD_PROFILES: dict[str, ChaosConfig] = {
+    "paper": ChaosConfig(
+        pressure=True,
+        budget_bytes=0,  # §III-E model
+        senders=4,
+        rounds=20,
+        max_posts_per_round=2,
+        max_sends_per_round=24,
+        bounce_buffers=128,
+        max_receives=8192,
+        watchdog=True,
+    ),
+    "evict": ChaosConfig(budget_bytes=20000, **_TIGHT_SCHEDULE),
+    "takeover": ChaosConfig(budget_bytes=12000, **_TIGHT_SCHEDULE),
+}
+
+
+@dataclass(slots=True)
+class OverloadSoakResult:
+    """Aggregate outcome of one overload soak matrix."""
+
+    runs: int = 0
+    failures: int = 0
+    #: Hard invariant: must stay zero across every run.
+    budget_overruns: int = 0
+    # Degradation-ladder rungs exercised across the matrix.
+    demotions: int = 0
+    evictions: int = 0
+    recalls: int = 0
+    posts_deferred: int = 0
+    credit_holds: int = 0
+    takeovers: int = 0
+    reoffloads: int = 0
+    pressure_entries: int = 0
+    #: Highest charged-bytes high-water mark seen in any single run.
+    peak_charged_bytes: int = 0
+
+
+def _describe(name: str, report: ChaosReport) -> str:
+    return (
+        f"{name} seed={report.seed}: sent={report.sent} "
+        f"peak={report.peak_charged_bytes}/{report.budget_bytes}B "
+        f"deferred={report.posts_deferred} demoted={report.demotions} "
+        f"evicted={report.evictions} recalled={report.recalls} "
+        f"takeovers={report.pressure_takeovers} "
+        f"reoffloads={report.pressure_reoffloads}"
+    )
+
+
+def overload_soak(
+    schedules: int,
+    seed_base: int = 1,
+    *,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    registry: MetricsRegistry | None = None,
+    tracer: SpanTracer | None = None,
+    verbose: bool = False,
+    out=sys.stdout,
+    err=sys.stderr,
+) -> OverloadSoakResult:
+    """Run ``schedules`` seeds through every overload lane.
+
+    Any non-``ok`` report or any budget overrun is a failure. Fleet
+    ``jobs``/``cache_dir`` fan the matrix out exactly as
+    :func:`repro.chaos.soak.soak` does.
+    """
+    names = list(OVERLOAD_PROFILES)
+    seeds = range(seed_base, seed_base + schedules)
+    result = OverloadSoakResult()
+    by_profile: dict[str, list[ChaosReport]] = {name: [] for name in names}
+    fleet = run_jobs(
+        iter_soak_jobs(names, seeds, profiles=OVERLOAD_PROFILES),
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    for outcome in fleet.outcomes:
+        name = outcome.spec.params["profile"]
+        result.runs += 1
+        if not outcome.ok:
+            result.failures += 1
+            print(
+                f"FAIL {name} seed={outcome.spec.seed}: quarantined "
+                f"({outcome.error})",
+                file=err,
+            )
+            continue
+        report: ChaosReport = outcome.result
+        by_profile[name].append(report)
+        if registry is not None:
+            _record(registry, name, report)
+        result.budget_overruns += report.budget_overruns
+        result.demotions += report.demotions
+        result.evictions += report.evictions
+        result.recalls += report.recalls
+        result.posts_deferred += report.posts_deferred
+        result.credit_holds += report.credit_holds
+        result.takeovers += report.pressure_takeovers
+        result.reoffloads += report.pressure_reoffloads
+        result.pressure_entries += report.pressure_entries
+        result.peak_charged_bytes = max(
+            result.peak_charged_bytes, report.peak_charged_bytes
+        )
+        if verbose:
+            print(_describe(name, report), file=out)
+        if report.budget_overruns:
+            result.failures += 1
+            print(
+                f"FAIL {name} seed={report.seed}: {report.budget_overruns} "
+                f"budget overruns (enforcement let a charge exceed "
+                f"{report.budget_bytes} B)",
+                file=err,
+            )
+            continue
+        if not report.ok:
+            result.failures += 1
+            print(f"FAIL {_describe(name, report)}", file=err)
+            if report.transport_failed:
+                print(f"  transport: {report.transport_error}", file=err)
+            if report.engine_failed:
+                print(f"  engine: {report.engine_error}", file=err)
+            if report.first_violation:
+                print(
+                    f"  first violation (round={report.first_violation_round} "
+                    f"block={report.first_violation_block}): "
+                    f"{report.first_violation}",
+                    file=err,
+                )
+            for line in report.mismatches[:5]:
+                print(f"  mismatch: {line}", file=err)
+            for line in report.missing[:5]:
+                print(f"  missing: {line}", file=err)
+    if tracer is not None and tracer.enabled:
+        for name in names:
+            best_seed: int | None = None
+            best_interest = -1
+            for report in by_profile[name]:
+                interest = _interest(report)
+                if not report.transport_failed and interest > best_interest:
+                    best_seed, best_interest = report.seed, interest
+            if best_seed is None:
+                continue
+            scoped = ScopedTracer(tracer, f"{name}/")
+            run_chaos(replace(OVERLOAD_PROFILES[name], seed=best_seed), tracer=scoped)
+            if verbose:
+                print(f"{name}: traced seed {best_seed}", file=out)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--schedules", type=int, default=50, help="seeds per budget lane"
+    )
+    parser.add_argument("--seed-base", type=int, default=1, help="first seed")
+    parser.add_argument("--verbose", action="store_true")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="fleet worker processes (1 = inline)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="content-addressed result cache"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a cumulative metrics snapshot (JSON) of every run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Perfetto-loadable trace of one representative seed "
+        "per lane",
+    )
+    parser.add_argument(
+        "--assert-demotion",
+        action="store_true",
+        help="fail unless at least one eager send demoted to rendezvous",
+    )
+    parser.add_argument(
+        "--assert-eviction",
+        action="store_true",
+        help="fail unless at least one unexpected message was evicted to host",
+    )
+    parser.add_argument(
+        "--assert-recall",
+        action="store_true",
+        help="fail unless at least one evicted message was recalled on match",
+    )
+    parser.add_argument(
+        "--assert-takeover",
+        action="store_true",
+        help="fail unless pressure escalated to host takeover at least once",
+    )
+    args = parser.parse_args(argv)
+
+    tracer = SpanTracer() if args.trace_out else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    result = overload_soak(
+        args.schedules,
+        args.seed_base,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        registry=registry,
+        tracer=tracer,
+        verbose=args.verbose,
+    )
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"trace: {args.trace_out} ({len(tracer)} events)")
+    if registry is not None:
+        snapshot: MetricsSnapshot = registry.snapshot()
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            fp.write(snapshot.to_json())
+        print(f"metrics: {args.metrics_out} ({len(snapshot.values)} series)")
+
+    ok = result.failures == 0
+    if result.budget_overruns:
+        print(
+            f"ASSERT FAILED: {result.budget_overruns} budget overruns "
+            f"(must always be zero)",
+            file=sys.stderr,
+        )
+        ok = False
+    if args.assert_demotion and result.demotions == 0:
+        print("ASSERT FAILED: no eager send was ever demoted", file=sys.stderr)
+        ok = False
+    if args.assert_eviction and result.evictions == 0:
+        print("ASSERT FAILED: nothing was ever evicted to host", file=sys.stderr)
+        ok = False
+    if args.assert_recall and result.recalls == 0:
+        print("ASSERT FAILED: no evicted message was ever recalled", file=sys.stderr)
+        ok = False
+    if args.assert_takeover and result.takeovers == 0:
+        print("ASSERT FAILED: pressure never escalated to takeover", file=sys.stderr)
+        ok = False
+    print(
+        f"overload soak: {result.runs} runs, {result.failures} failures | "
+        f"overruns={result.budget_overruns} peak={result.peak_charged_bytes}B | "
+        f"deferred={result.posts_deferred} demoted={result.demotions} "
+        f"evicted={result.evictions} recalled={result.recalls} "
+        f"holds={result.credit_holds} | takeovers={result.takeovers} "
+        f"reoffloads={result.reoffloads} episodes={result.pressure_entries}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

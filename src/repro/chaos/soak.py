@@ -68,6 +68,21 @@ PROFILES: dict[str, ChaosConfig] = {
         max_sends_per_round=8,
         wildcard_rate=0.5,
     ),
+    # Tight §III-E budget under a bursty unexpected-heavy schedule: the
+    # pressure pipeline has to evict, demote, and defer to stay inside
+    # the ledger (the dedicated overload matrix lives in
+    # :mod:`repro.chaos.overload`; this lane keeps the default soak
+    # honest about the pressure path).
+    "overload": ChaosConfig(
+        pressure=True,
+        budget_bytes=20000,
+        senders=4,
+        rounds=16,
+        max_posts_per_round=2,
+        max_sends_per_round=12,
+        bounce_buffers=8,
+        watchdog=True,
+    ),
 }
 
 #: ChaosReport counters folded into the soak metrics registry.
@@ -97,6 +112,16 @@ _REPORT_COUNTERS = (
     "host_takeovers",
     "reoffloads",
     "watchdog_checks",
+    "budget_overruns",
+    "demotions",
+    "evictions",
+    "recalls",
+    "posts_deferred",
+    "credit_holds",
+    "pressure_entries",
+    "pressure_exits",
+    "pressure_takeovers",
+    "pressure_reoffloads",
 )
 
 
@@ -114,10 +139,14 @@ def _interest(report: ChaosReport) -> int:
     return (
         1000 * (report.fallback_spills + report.fallback_recoveries)
         + 1000 * (report.host_takeovers + report.reoffloads)
+        + 1000 * (report.pressure_takeovers + report.pressure_reoffloads)
         + 100 * report.blocks_replayed
+        + 100 * (report.evictions + report.recalls)
         + 10 * report.block_rollbacks
+        + 10 * report.demotions
         + report.retransmits
         + report.rnr_naks
+        + report.posts_deferred
     )
 
 

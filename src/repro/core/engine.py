@@ -128,11 +128,23 @@ class OptimisticMatcher:
         #: when set, each block's threads pass through it so seeded
         #: core faults (fail-stop/hang/bit-flip) can abort the block.
         self.fault_injector = None
+        #: Optional :class:`repro.pressure.budget.PressureMeter`; when
+        #: set, every descriptor allocation/release and every
+        #: unexpected-store insert/remove is charged against the memory
+        #: budget (the §III-E enforcement hooks). ``None`` keeps the
+        #: historical zero-overhead behaviour.
+        self.pressure = None
 
     def set_observer(self, observer: "Callable[[str, dict], None] | None") -> None:
         """Install (or clear) the decision-point observer post hoc —
         the attach point :mod:`repro.obs.hooks` uses."""
         self._observer = observer
+
+    def set_pressure(self, meter) -> None:
+        """Install (or clear) the memory-budget meter post hoc — the
+        attach point :mod:`repro.pressure` uses. Must be called on an
+        empty engine (or one whose state the meter already accounts)."""
+        self.pressure = meter
 
     # ------------------------------------------------------------------
     # Host-side operations (QP commands)
@@ -164,6 +176,8 @@ class OptimisticMatcher:
         stored = self.unexpected.search(request, probes)
         if stored is not None:
             self.unexpected.remove(stored)
+            if self.pressure is not None:
+                self.pressure.release_unexpected()
             self.stats.receives_matched_from_unexpected += 1
             return MatchEvent(
                 kind=MatchKind.UNEXPECTED_DRAIN,
@@ -173,11 +187,21 @@ class OptimisticMatcher:
                 path=ResolutionPath.SERIAL,
                 decision_order=self.decisions.next(),
             )
-        descr = self.table.allocate(
-            request,
-            post_label=self._post_labels.next(),
-            sequence_id=self._sequencer.label(request.source, request.tag),
-        )
+        if self.pressure is not None:
+            # Charge before allocating so a refused charge leaves no
+            # half-indexed descriptor behind; undo it if the table is
+            # the resource that's actually full.
+            self.pressure.charge_descriptor()
+        try:
+            descr = self.table.allocate(
+                request,
+                post_label=self._post_labels.next(),
+                sequence_id=self._sequencer.label(request.source, request.tag),
+            )
+        except Exception:
+            if self.pressure is not None:
+                self.pressure.release_descriptor()
+            raise
         self.indexes.insert(descr)
         return None
 
@@ -202,6 +226,8 @@ class OptimisticMatcher:
                 if descr.request.handle == handle and descr.is_live():
                     self.indexes.consume(descr, lazy=False)
                     self.table.release(descr)
+                    if self.pressure is not None:
+                        self.pressure.release_descriptor()
                     self.stats.receives_cancelled += 1
                     return True
         return False
@@ -405,6 +431,8 @@ class OptimisticMatcher:
             path=path,
         )
         self.table.release(descr)
+        if self.pressure is not None:
+            self.pressure.release_descriptor()
         if self._observer is not None:
             self._observer(
                 "consume",
@@ -412,6 +440,10 @@ class OptimisticMatcher:
             )
 
     def _store_unexpected(self, ctx: _BlockContext, tid: int, msg: MessageEnvelope) -> None:
+        if self.pressure is not None:
+            # The RNR probe reserved header room for every admitted
+            # message, so this charge always fits in a gated stack.
+            self.pressure.charge_unexpected()
         um = UnexpectedMessage(envelope=msg, buffer_token=self._buffer_tokens.next())
         self.unexpected.insert(um)
         ctx.stats.unexpected += 1
@@ -518,6 +550,8 @@ class OptimisticMatcher:
                 f"capacity {self.table.capacity}"
             )
         for _, request in receives:
+            if self.pressure is not None:
+                self.pressure.charge_descriptor()
             descr = self.table.allocate(
                 request,
                 post_label=self._post_labels.next(),
@@ -525,7 +559,29 @@ class OptimisticMatcher:
             )
             self.indexes.insert(descr)
         for msg in unexpected:
+            if self.pressure is not None:
+                self.pressure.charge_unexpected()
             stamped = dataclasses.replace(msg, arrival=self._arrivals.next())
             self.unexpected.insert(
                 UnexpectedMessage(envelope=stamped, buffer_token=self._buffer_tokens.next())
             )
+
+    def evict_oldest_unexpected(self) -> MessageEnvelope | None:
+        """Remove and return the globally oldest unexpected message.
+
+        The pressure controller's eviction primitive: the UMQ header
+        leaves the accelerator (its charge is released) and the caller
+        parks the envelope in host memory. Arrival stamps are globally
+        monotone and this always takes the *oldest* resident entry, so
+        host-parked envelopes are strictly older than anything still on
+        the accelerator — the property the recall path's search order
+        (host store first) relies on. Returns ``None`` when the store
+        is empty. Must be called on a settled engine (between blocks).
+        """
+        oldest: UnexpectedMessage | None = next(iter(self.unexpected.both_wildcard), None)
+        if oldest is None:
+            return None
+        self.unexpected.remove(oldest)
+        if self.pressure is not None:
+            self.pressure.release_unexpected()
+        return oldest.envelope

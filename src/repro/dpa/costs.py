@@ -66,6 +66,13 @@ class DpaCostModel:
     unexpected_insert: int = 90
     #: Copying one eager payload bounce buffer -> user buffer, per 64 B.
     eager_copy_per_64b: int = 10
+    #: Evicting one cold unexpected entry to host memory under budget
+    #: pressure (§III-E enforcement): unlink from the four structures
+    #: plus the host-bound DMA descriptor write.
+    eviction_cycles: int = 160
+    #: Recalling one host-parked entry on a matching post: host read
+    #: plus completion synthesis.
+    recall_cycles: int = 140
 
     @classmethod
     def bluefield3(cls) -> "DpaCostModel":

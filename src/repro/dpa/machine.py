@@ -96,6 +96,8 @@ class DpaMachine:
         tracer: SpanTracer = NULL_TRACER,
         core_faults: CoreFaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
+        enforce_budget: bool = False,
+        budget: "PressureBudget | None" = None,
     ) -> None:
         """``keep_history`` (alias of the older ``keep_block_history``)
         retains per-block history and cycle breakdowns; off by default
@@ -112,7 +114,18 @@ class DpaMachine:
         ``recovery.quarantine_threshold`` dead cores. The cycle model
         charges each aborted attempt (and the hang-watchdog timeout
         per hang) as wasted DPA cycles, and blocks are costed over the
-        *surviving* core count."""
+        *surviving* core count.
+
+        ``enforce_budget`` arms §III-E enforcement: a
+        :class:`repro.pressure.budget.PressureMeter` sized from this
+        machine's :class:`MemoryModel` (or the explicit ``budget``)
+        charges the bin tables statically and every live descriptor /
+        unexpected entry dynamically. Under pressure, posting evicts
+        the coldest unexpected entries to a host parked store (charged
+        ``eviction_cycles`` apiece) and recalls them on a matching
+        post (``recall_cycles``); spill/recovery migrations release
+        and re-charge the accounts wholesale, and recovery is gated on
+        the budget fitting the returning working set."""
         self.config = config if config is not None else EngineConfig()
         if self.config.block_threads > BF3_THREADS:
             raise ValueError(
@@ -168,6 +181,24 @@ class DpaMachine:
             self.engine.fault_injector = self._injector
             if tracer.enabled:
                 self._recovery_track = tracer.track("dpa", "recovery")
+        # -- §III-E budget enforcement (repro.pressure) -----------------
+        self.pressure: "PressureMeter | None" = None
+        #: Host-parked evictees (budget enforcement), arrival order.
+        self._parked: deque[MessageEnvelope] = deque()
+        if enforce_budget or budget is not None:
+            if core_faults is not None:
+                raise ValueError(
+                    "enforce_budget and core_faults are mutually exclusive: "
+                    "guarded-block checkpoint/replay does not carry the "
+                    "pressure ledger across rollbacks"
+                )
+            from repro.pressure.budget import PressureBudget, PressureMeter
+
+            if budget is None:
+                budget = PressureBudget.from_memory_model(self.memory)
+            self.pressure = PressureMeter(budget)
+            self.pressure.charge_bins(self.config.bins)
+            self.engine.set_pressure(self.pressure)
 
     @property
     def degraded(self) -> bool:
@@ -190,6 +221,15 @@ class DpaMachine:
         registry.gauge(
             f"{prefix}.degraded", "1 while matching is spilled to the host"
         ).set_function(lambda: 1.0 if self.degraded else 0.0)
+        if self.pressure is not None:
+            from repro.obs.hooks import register_pressure_metrics
+
+            register_pressure_metrics(
+                registry, self.pressure, prefix=f"{prefix}.pressure"
+            )
+            registry.gauge(
+                f"{prefix}.parked", "unexpected entries evicted to host"
+            ).set_function(lambda: float(len(self._parked)))
         if self._injector is not None:
             registry.register_stats(f"{prefix}.recovery", self.recovery_stats)
             registry.gauge(
@@ -206,9 +246,20 @@ class DpaMachine:
 
         With ``degrade_to_host`` (the default), descriptor-table
         exhaustion spills the working set to a host list matcher
-        instead of raising; the post is then handled there.
+        instead of raising; the post is then handled there. With
+        ``enforce_budget``, budget pressure first evicts cold
+        unexpected entries to the host parked store; a post matching a
+        parked entry recalls it (both charged DPA cycles).
         """
         self._maybe_recover()
+        if self.pressure is not None:
+            if self._host is None and self.pressure.under_pressure:
+                # Evict *before* searching: a just-parked entry is
+                # still found below (parked precedes resident).
+                self._relieve_budget()
+            parked = self._search_parked(request)
+            if parked is not None:
+                return self._recall(request, parked)
         if self._host is None:
             try:
                 return self.engine.post_receive(request)
@@ -241,6 +292,11 @@ class DpaMachine:
         """
         events, self._host_events = self._host_events, []
         events.extend(self._drain_engine())
+        if self._host_events:
+            # A mid-drain takeover routed the remaining backlog to the
+            # host; surface those events in this run, not the next.
+            events.extend(self._host_events)
+            self._host_events = []
         self.report.dpa_seconds = self.costs.cycles_to_seconds(self.report.dpa_cycles)
         return events
 
@@ -263,6 +319,12 @@ class DpaMachine:
                 events.extend(self._guarded_block(batch))
             return events
         while self.engine.pending_messages:
+            if self.pressure is not None and not self._reserve_block_room():
+                # Even a fully-evicted unexpected store leaves no room
+                # for the next block's stores: the budget cannot hold
+                # this working set. The host adopts it (§III-E).
+                self._budget_takeover()
+                break
             start = len(self.engine.stats.block_history)
             events.extend(self.engine.process_block())
             self._cost_new_blocks(start)
@@ -318,6 +380,85 @@ class DpaMachine:
             # History was only needed to cost the new blocks.
             del self.engine.stats.block_history[start:]
         return charged
+
+    # -- §III-E budget enforcement (repro.pressure) ---------------------
+
+    def _reserve_block_room(self) -> bool:
+        """Make headroom for the next block's worst case (every message
+        stores unexpected), evicting cold entries as needed. Returns
+        whether the block can run within budget."""
+        assert self.pressure is not None
+        from repro.pressure.budget import UNEXPECTED_HEADER_BYTES
+
+        width = min(self.engine.pending_messages, self.config.block_threads)
+        need = UNEXPECTED_HEADER_BYTES * width
+        while self.pressure.headroom() < need and self.engine.unexpected_count:
+            envelope = self.engine.evict_oldest_unexpected()
+            if envelope is None:  # pragma: no cover - count guards
+                break
+            self._parked.append(envelope)
+            self.pressure.stats.evictions += 1
+            self.report.dpa_cycles += self.costs.eviction_cycles
+        return self.pressure.headroom() >= need
+
+    def _budget_takeover(self) -> None:
+        """The budget cannot hold the next block: the host adopts the
+        working set *and* the remaining message backlog."""
+        assert self.pressure is not None and self._host is None
+        pending = list(self.engine._pending)
+        self.engine._pending.clear()
+        self._host = host_takeover(self.engine)
+        self.engine.stats.fallback_spills += 1
+        self.pressure.stats.takeovers += 1
+        self.pressure.release_all("descriptors")
+        self.pressure.release_all("unexpected")
+        if self._degraded_track is not None:
+            self._tracer.begin(
+                self._degraded_track,
+                "degraded",
+                self.now_us(),
+                args={"budget": True},
+            )
+            self._tracer.instant(self._degraded_track, "takeover", self.now_us())
+        for msg in pending:
+            self._host_deliver(msg)
+
+    def _relieve_budget(self) -> None:
+        """Evict cold unexpected entries until out of the pressured
+        band (or the store empties), charging DPA cycles per evictee."""
+        assert self.pressure is not None
+        while self.pressure.under_pressure and self.engine.unexpected_count:
+            envelope = self.engine.evict_oldest_unexpected()
+            if envelope is None:  # pragma: no cover - count guards
+                break
+            self._parked.append(envelope)
+            self.pressure.stats.evictions += 1
+            self.report.dpa_cycles += self.costs.eviction_cycles
+
+    def _search_parked(self, request: ReceiveRequest) -> MessageEnvelope | None:
+        for envelope in self._parked:
+            if request.matches(envelope):
+                return envelope
+        return None
+
+    def _recall(self, request: ReceiveRequest, envelope: MessageEnvelope) -> MatchEvent:
+        """Drain a host-parked evictee into a matching post. Parked
+        entries are strictly older than anything resident (eviction
+        always takes the oldest), so recalling before the engine's own
+        search preserves C2 across the eviction boundary."""
+        self._parked.remove(envelope)
+        self.pressure.stats.recalls += 1
+        self.report.dpa_cycles += self.costs.recall_cycles
+        self.engine.stats.receives_posted += 1
+        self.engine.stats.receives_matched_from_unexpected += 1
+        decisions = self.engine.decisions if self._host is None else self._host.decisions
+        return MatchEvent(
+            kind=MatchKind.UNEXPECTED_DRAIN,
+            message=envelope,
+            receive=request,
+            receive_post_label=None,
+            decision_order=decisions.next(),
+        )
 
     # -- core-fault recovery (repro.recovery) --------------------------
 
@@ -451,6 +592,12 @@ class DpaMachine:
             return
         self._host = host_takeover(self.engine)
         self.engine.stats.fallback_spills += 1
+        if self.pressure is not None:
+            # The working set now lives in host memory: its charges
+            # leave the accelerator wholesale.
+            self.pressure.stats.takeovers += 1
+            self.pressure.release_all("descriptors")
+            self.pressure.release_all("unexpected")
         if self._degraded_track is not None:
             self._tracer.begin(
                 self._degraded_track,
@@ -470,6 +617,8 @@ class DpaMachine:
             and self.quarantine.count > self.recovery_policy.quarantine_threshold
         ):
             return  # the accelerator is still not trustworthy
+        if self.pressure is not None and not self._budget_fits_recovery():
+            return  # the budget cannot absorb the returning set yet
         receives, unexpected = self._host.export_state()
         fresh = OptimisticMatcher(
             self.config,
@@ -481,15 +630,34 @@ class DpaMachine:
         fresh.stats = self.engine.stats
         fresh.decisions = MonotonicCounter(self._host.decisions.peek())
         fresh.fault_injector = self._injector
+        if self.pressure is not None:
+            # Install the meter *before* import so the migrated state
+            # is re-charged by the import hooks.
+            fresh.set_pressure(self.pressure)
         fresh.import_state(receives, unexpected)
         self.engine = fresh
         self._host = None
         self.engine.stats.fallback_recoveries += 1
+        if self.pressure is not None:
+            self.pressure.stats.reoffloads += 1
         if self._injector is not None:
             self.recovery_stats.reoffloads += 1
         if self._degraded_track is not None:
             self._tracer.instant(self._degraded_track, "recovery", self.now_us())
             self._tracer.end(self._degraded_track, self.now_us())
+
+    def _budget_fits_recovery(self) -> bool:
+        assert self._host is not None and self.pressure is not None
+        if self.pressure.under_pressure:  # pragma: no cover - spilled set
+            return False
+        from repro.core.descriptor import DESCRIPTOR_BYTES
+        from repro.pressure.budget import UNEXPECTED_HEADER_BYTES
+
+        need = (
+            self._host.posted_count * DESCRIPTOR_BYTES
+            + self._host.unexpected_count * UNEXPECTED_HEADER_BYTES
+        )
+        return self.pressure.would_fit(need)
 
     def _host_post(self, request: ReceiveRequest) -> MatchEvent | None:
         assert self._host is not None

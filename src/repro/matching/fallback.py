@@ -58,19 +58,30 @@ class FallbackMatcher(Matcher):
         comm: int = 0,
         recoverable: bool = False,
         observer=None,
+        pressure=None,
     ) -> None:
         """``observer`` is installed on every engine generation (the
         initial one and each post-recovery engine), so tracing hooks
-        survive spill/recovery migrations."""
+        survive spill/recovery migrations. ``pressure`` (optional, a
+        :class:`repro.pressure.budget.PressureMeter`) is likewise
+        installed on every generation: descriptor and unexpected
+        charges follow the live engine, are released wholesale when the
+        working set spills to the host, and are re-charged by
+        ``import_state`` when it migrates back — and recovery is
+        additionally gated on the meter being out of its pressured
+        state."""
         super().__init__()
         self._config = config if config is not None else EngineConfig()
         self._policy = policy
         self._comm = comm
         self._recoverable = recoverable
         self._observer = observer
+        self.pressure = pressure
         self._offloaded: OptimisticAdapter | None = OptimisticAdapter(
             self._config, policy=policy, comm=comm, observer=observer
         )
+        if pressure is not None:
+            self._offloaded.engine.set_pressure(pressure)
         self._software = ListMatcher()
         self._carried_events: list[MatchEvent] = []
         #: One stats object carried across every engine generation.
@@ -109,6 +120,22 @@ class FallbackMatcher(Matcher):
         self._offloaded = None
         self.fallback_events += 1
         self.stats.fallback_spills += 1
+        if self.pressure is not None:
+            # The working set now lives in host memory: its descriptor
+            # and UMQ-header charges leave the accelerator wholesale.
+            self.pressure.release_all("descriptors")
+            self.pressure.release_all("unexpected")
+
+    def force_spill(self) -> bool:
+        """Escalate to the host unconditionally (sustained memory
+        pressure, §III-E enforcement). Returns True when a migration
+        happened, False when matching was already in software."""
+        if self._offloaded is None:
+            return False
+        self._migrate()
+        if self.pressure is not None:
+            self.pressure.stats.takeovers += 1
+        return True
 
     def _recover(self) -> None:
         """Migrate the (now small) software working set back onto a
@@ -124,16 +151,40 @@ class FallbackMatcher(Matcher):
         # Carry the cumulative stats object across engine generations.
         adapter.engine.stats = self.stats
         adapter.engine.decisions = MonotonicCounter(self._software.decisions.peek())
+        if self.pressure is not None:
+            # Install the meter *before* import so the migrated state
+            # is re-charged by the import hooks.
+            adapter.engine.set_pressure(self.pressure)
         adapter.engine.import_state(receives, unexpected)
         self._offloaded = adapter
         self._software = ListMatcher()
         self.stats.fallback_recoveries += 1
+        if self.pressure is not None:
+            self.pressure.stats.reoffloads += 1
+
+    def _reoffload_fits(self) -> bool:
+        """Whether the budget can absorb the software working set (and
+        is out of its pressured band) — the meter-side recovery gate."""
+        if self.pressure is None:
+            return True
+        if self.pressure.under_pressure:
+            return False
+        from repro.pressure.budget import UNEXPECTED_HEADER_BYTES
+
+        from repro.core.descriptor import DESCRIPTOR_BYTES
+
+        need = (
+            self._software.posted_count * DESCRIPTOR_BYTES
+            + self._software.unexpected_count * UNEXPECTED_HEADER_BYTES
+        )
+        return self.pressure.would_fit(need)
 
     def _maybe_recover(self) -> None:
         if (
             self._recoverable
             and self._offloaded is None
             and self._software.posted_count <= self._recover_threshold
+            and self._reoffload_fits()
         ):
             self._recover()
 

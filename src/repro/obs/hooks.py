@@ -19,7 +19,9 @@ __all__ = [
     "EngineTraceObserver",
     "attach_engine_observer",
     "DegradedWindowWatcher",
+    "PressureWindowWatcher",
     "register_stack_metrics",
+    "register_pressure_metrics",
 ]
 
 #: A simulated clock: current time in microseconds of its domain.
@@ -139,6 +141,86 @@ class DegradedWindowWatcher:
         if self._open:
             self.tracer.end(self._track, self.clock())
             self._open = False
+
+
+class PressureWindowWatcher:
+    """Turns the meter's hysteresis *counters* into pressured *windows*.
+
+    The :class:`repro.pressure.budget.PressureMeter` only counts its
+    NORMAL->PRESSURE transitions (``pressure_entries`` /
+    ``pressure_exits``); polling those at round boundaries — exactly
+    like :class:`DegradedWindowWatcher` does for spill/recovery —
+    reconstructs each pressured episode as a B/E span, with takeovers
+    and re-offloads marked as instants inside it.
+    """
+
+    def __init__(
+        self,
+        tracer: SpanTracer,
+        pressure_stats,
+        clock: SimClock,
+        *,
+        process: str = "pressure",
+    ) -> None:
+        self.tracer = tracer
+        self.stats = pressure_stats
+        self.clock = clock
+        self._track = tracer.track(process, "pressured")
+        self._entries_seen = int(getattr(pressure_stats, "pressure_entries", 0))
+        self._exits_seen = int(getattr(pressure_stats, "pressure_exits", 0))
+        self._takeovers_seen = int(getattr(pressure_stats, "takeovers", 0))
+        self._reoffloads_seen = int(getattr(pressure_stats, "reoffloads", 0))
+        self._open = False
+
+    def poll(self) -> None:
+        if not self.tracer.enabled:
+            return
+        now = self.clock()
+        entries = int(getattr(self.stats, "pressure_entries", 0))
+        exits = int(getattr(self.stats, "pressure_exits", 0))
+        while self._entries_seen < entries or self._exits_seen < exits:
+            if not self._open and self._entries_seen < entries:
+                self._entries_seen += 1
+                self.tracer.begin(
+                    self._track, "pressured", now, args={"entry": self._entries_seen}
+                )
+                self._open = True
+            elif self._open and self._exits_seen < exits:
+                self._exits_seen += 1
+                self.tracer.end(self._track, now)
+                self._open = False
+            else:  # pragma: no cover - counter drift (exit w/o entry)
+                self._exits_seen = exits
+                break
+        takeovers = int(getattr(self.stats, "takeovers", 0))
+        while self._takeovers_seen < takeovers:
+            self._takeovers_seen += 1
+            self.tracer.instant(
+                self._track, "takeover", now, args={"n": self._takeovers_seen}
+            )
+        reoffloads = int(getattr(self.stats, "reoffloads", 0))
+        while self._reoffloads_seen < reoffloads:
+            self._reoffloads_seen += 1
+            self.tracer.instant(
+                self._track, "reoffload", now, args={"n": self._reoffloads_seen}
+            )
+
+    def close(self) -> None:
+        """End-of-run: close an episode that never depressurized."""
+        if self._open:
+            self.tracer.end(self._track, self.clock())
+            self._open = False
+
+
+def register_pressure_metrics(
+    registry: MetricsRegistry, meter, *, prefix: str = "pressure"
+) -> None:
+    """Register a :class:`PressureMeter`'s ledger as pull collectors:
+    the cumulative stats counters plus the live occupancy gauges
+    (charged bytes, per-account split, level, pressured flag) from
+    ``meter.snapshot()``."""
+    registry.register_stats(f"{prefix}.stats", meter.stats)
+    registry.add_collector(f"{prefix}.meter", meter.snapshot)
 
 
 def register_stack_metrics(

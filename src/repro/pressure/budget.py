@@ -1,0 +1,313 @@
+"""The memory budget and the charge meter that enforces it.
+
+§III-E sizes the matcher's working set against the BlueField-3 DPA
+caches: three 20 B/bin index tables plus 64 B per receive descriptor —
+about 520 KiB for 8 K posted receives against 1.5 MiB of L2. The
+:class:`repro.dpa.memory.MemoryModel` computes that footprint; the
+:class:`PressureMeter` here makes it *binding*: every byte of live
+accelerator state is charged to a named account, a charge that would
+exceed the budget raises :class:`BudgetOverrun`, and a hysteresis
+state machine (high/low watermarks) tells the layers above when to
+start and stop degrading.
+
+Accounts
+--------
+
+``bins``
+    The static bin-table headers (charged once at wiring time).
+``descriptors``
+    64 B per live posted-receive descriptor.
+``unexpected``
+    One UMQ header per unexpected message resident on the accelerator.
+``bounce``
+    NIC bounce-buffer bytes holding staged eager payloads.
+
+The meter never *acts* — admission control, demotion, eviction, and
+takeover live in the layers that own the resources. The meter only
+keeps the books, asserts the budget on every charge, and exposes the
+watermark state the policies key off.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.descriptor import DESCRIPTOR_BYTES
+from repro.dpa.memory import BYTES_PER_BIN, INDEX_TABLES, MemoryModel
+
+__all__ = [
+    "BudgetOverrun",
+    "PressureBudget",
+    "PressureMeter",
+    "PressureState",
+    "PressureStats",
+    "UNEXPECTED_HEADER_BYTES",
+]
+
+#: One unexpected-message header resident in the UMQ: the envelope plus
+#: the four index-structure links (§IV-C) — descriptor-sized.
+UNEXPECTED_HEADER_BYTES = 64
+
+#: The meter's charge accounts, in reporting order.
+ACCOUNTS = ("bins", "descriptors", "unexpected", "bounce")
+
+
+class BudgetOverrun(RuntimeError):
+    """A charge would push occupancy past the memory budget.
+
+    Admission control, the RNR probe, and the eviction policy exist to
+    make this unreachable; raising (rather than silently exceeding)
+    turns any gap in those gates into a loud failure.
+    """
+
+
+class PressureState(enum.Enum):
+    """Watermark hysteresis state."""
+
+    NORMAL = "normal"
+    PRESSURE = "pressure"
+
+
+@dataclass(frozen=True, slots=True)
+class PressureBudget:
+    """Configuration of one memory budget.
+
+    ``budget_bytes=None`` is the unlimited (∞) budget: the meter still
+    keeps the books but never exerts pressure, which is how the
+    byte-identical-to-pre-PR guarantee is stated and tested.
+    """
+
+    budget_bytes: int | None = None
+    #: Enter PRESSURE at ``high_watermark * budget`` charged bytes...
+    high_watermark: float = 0.85
+    #: ...and leave it only once occupancy falls to this fraction.
+    low_watermark: float = 0.60
+    #: Consecutive pressured admission rounds before escalating to a
+    #: full software takeover.
+    sustained_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes is not None and self.budget_bytes <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget_bytes}")
+        if not 0.0 < self.low_watermark < self.high_watermark <= 1.0:
+            raise ValueError(
+                f"watermarks must satisfy 0 < low < high <= 1, got "
+                f"low={self.low_watermark}, high={self.high_watermark}"
+            )
+        if self.sustained_threshold < 1:
+            raise ValueError(
+                f"sustained_threshold must be >= 1, got {self.sustained_threshold}"
+            )
+
+    @classmethod
+    def unlimited(cls) -> "PressureBudget":
+        return cls(budget_bytes=None)
+
+    @classmethod
+    def from_memory_model(cls, model: MemoryModel, **overrides: Any) -> "PressureBudget":
+        """Budget exactly the configured footprint of ``model``."""
+        return cls(budget_bytes=model.total_bytes(), **overrides)
+
+    @classmethod
+    def paper_iii_e(cls, **overrides: Any) -> "PressureBudget":
+        """The §III-E example: 128 bins, 8 K receives — ~520 KiB."""
+        return cls.from_memory_model(
+            MemoryModel(bins=128, max_receives=8192), **overrides
+        )
+
+    @property
+    def high_bytes(self) -> int | None:
+        if self.budget_bytes is None:
+            return None
+        return int(self.budget_bytes * self.high_watermark)
+
+    @property
+    def low_bytes(self) -> int | None:
+        if self.budget_bytes is None:
+            return None
+        return int(self.budget_bytes * self.low_watermark)
+
+
+@dataclass(slots=True)
+class PressureStats:
+    """Counters narrating one run's pressure behaviour."""
+
+    SCHEMA = "repro.pressure.stats/v1"
+
+    #: Highest total occupancy ever charged (the acceptance assert:
+    #: this never exceeds the budget).
+    peak_charged_bytes: int = 0
+    #: Charges refused because they would have exceeded the budget.
+    budget_overruns: int = 0
+    #: NORMAL -> PRESSURE transitions (and the reverse).
+    pressure_entries: int = 0
+    pressure_exits: int = 0
+    #: Eager sends demoted to rendezvous while under pressure.
+    demotions: int = 0
+    #: UMQ entries evicted to the host, and evictees recalled on post.
+    evictions: int = 0
+    recalls: int = 0
+    #: Posts queued by admission control instead of admitted inline.
+    posts_deferred: int = 0
+    #: Full software takeovers forced by sustained pressure, and the
+    #: re-offloads once occupancy fell below the low watermark.
+    takeovers: int = 0
+    reoffloads: int = 0
+    #: Credit grants withheld by the receiver while under pressure.
+    credit_holds: int = 0
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PressureStats":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__ if k in payload})
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(
+            {"schema": self.SCHEMA, **self.to_dict()}, indent=indent, sort_keys=True
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "PressureStats":
+        payload = json.loads(text)
+        schema = payload.get("schema", cls.SCHEMA)
+        if schema != cls.SCHEMA:
+            raise ValueError(f"unsupported schema {schema!r}, expected {cls.SCHEMA!r}")
+        return cls.from_dict(payload)
+
+
+class PressureMeter:
+    """Charge accounting against one :class:`PressureBudget`.
+
+    The meter is shared by every layer of one receive stack (engine,
+    bounce pool, flow control, controller); all of them see the same
+    occupancy and the same watermark state.
+    """
+
+    def __init__(
+        self, budget: PressureBudget | None = None, *, stats: PressureStats | None = None
+    ) -> None:
+        self.budget = budget if budget is not None else PressureBudget.unlimited()
+        self.stats = stats if stats is not None else PressureStats()
+        self.accounts: dict[str, int] = {name: 0 for name in ACCOUNTS}
+        self.state = PressureState.NORMAL
+
+    # -- occupancy -----------------------------------------------------
+
+    @property
+    def charged(self) -> int:
+        """Total bytes currently charged across all accounts."""
+        return sum(self.accounts.values())
+
+    @property
+    def budget_bytes(self) -> int | None:
+        return self.budget.budget_bytes
+
+    def headroom(self) -> int | float:
+        """Bytes left before the budget (infinite when unlimited)."""
+        if self.budget.budget_bytes is None:
+            return float("inf")
+        return self.budget.budget_bytes - self.charged
+
+    def would_fit(self, nbytes: int) -> bool:
+        return self.headroom() >= nbytes
+
+    def level(self) -> float:
+        """Occupancy as a fraction of the budget (0.0 when unlimited)."""
+        if self.budget.budget_bytes is None:
+            return 0.0
+        return self.charged / self.budget.budget_bytes
+
+    @property
+    def under_pressure(self) -> bool:
+        return self.state is PressureState.PRESSURE
+
+    # -- charging ------------------------------------------------------
+
+    def charge(self, account: str, nbytes: int) -> None:
+        """Charge ``nbytes`` to ``account``; asserts the budget.
+
+        Raising here is the last line of defence — the gates above
+        (admission control, the RNR probe) are supposed to make every
+        charge fit. A raise therefore means a gate is broken, and the
+        overrun counter records it for the report.
+        """
+        if nbytes < 0:
+            raise ValueError(f"charge must be non-negative, got {nbytes}")
+        if account not in self.accounts:
+            raise KeyError(f"unknown pressure account {account!r}")
+        if not self.would_fit(nbytes):
+            self.stats.budget_overruns += 1
+            raise BudgetOverrun(
+                f"charging {nbytes} B to {account!r} would exceed the "
+                f"{self.budget.budget_bytes} B budget "
+                f"({self.charged} B already charged)"
+            )
+        self.accounts[account] += nbytes
+        total = self.charged
+        if total > self.stats.peak_charged_bytes:
+            self.stats.peak_charged_bytes = total
+        self._update_state()
+
+    def release(self, account: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"release must be non-negative, got {nbytes}")
+        if self.accounts.get(account, 0) - nbytes < 0:
+            raise ValueError(
+                f"releasing {nbytes} B from {account!r} would drive the "
+                f"account negative ({self.accounts.get(account, 0)} B charged)"
+            )
+        self.accounts[account] -= nbytes
+        self._update_state()
+
+    def release_all(self, account: str) -> int:
+        """Zero one account (working-set migration off the DPA)."""
+        released = self.accounts[account]
+        self.accounts[account] = 0
+        self._update_state()
+        return released
+
+    # -- typed helpers (the fixed §III-E unit costs) -------------------
+
+    def charge_bins(self, bins: int) -> None:
+        self.charge("bins", INDEX_TABLES * bins * BYTES_PER_BIN)
+
+    def charge_descriptor(self) -> None:
+        self.charge("descriptors", DESCRIPTOR_BYTES)
+
+    def release_descriptor(self) -> None:
+        self.release("descriptors", DESCRIPTOR_BYTES)
+
+    def charge_unexpected(self) -> None:
+        self.charge("unexpected", UNEXPECTED_HEADER_BYTES)
+
+    def release_unexpected(self) -> None:
+        self.release("unexpected", UNEXPECTED_HEADER_BYTES)
+
+    # -- watermark hysteresis ------------------------------------------
+
+    def _update_state(self) -> None:
+        high, low = self.budget.high_bytes, self.budget.low_bytes
+        if high is None:
+            return
+        total = self.charged
+        if self.state is PressureState.NORMAL and total >= high:
+            self.state = PressureState.PRESSURE
+            self.stats.pressure_entries += 1
+        elif self.state is PressureState.PRESSURE and total <= low:
+            self.state = PressureState.NORMAL
+            self.stats.pressure_exits += 1
+
+    def snapshot(self) -> dict[str, float]:
+        """One gauge sample (the obs layer's pull hook)."""
+        return {
+            "charged_bytes": float(self.charged),
+            "budget_bytes": float(self.budget.budget_bytes or 0),
+            "level": self.level(),
+            "under_pressure": 1.0 if self.under_pressure else 0.0,
+            **{f"account.{name}": float(v) for name, v in self.accounts.items()},
+        }

@@ -1,0 +1,404 @@
+"""The pressure controller: policy over the meter's books.
+
+:class:`PressuredPipeline` duck-types the matcher interface that
+:class:`repro.rdma.protocol.RdmaReceiver` drives (``post_receive`` /
+``submit_message`` / ``process_all``) around a bare
+:class:`repro.core.engine.OptimisticMatcher`, and layers the four
+graceful-degradation responses of §III-E enforcement on top:
+
+* **Admission control** — a post that must *allocate* a descriptor is
+  deferred to a FIFO queue while the meter is pressured (or the
+  descriptor would not fit); posts that *drain* an unexpected message
+  are always admitted, because draining only releases memory. The
+  queue is strictly FIFO — once anything is deferred, every later post
+  queues behind it — which is what makes deferral pairing-invariant:
+  posts keep their relative order, messages keep arrival order, and a
+  deferred post drains exactly the (oldest compatible) message it
+  would have been matched with live.
+* **Eviction / recall** — under pressure, the globally oldest
+  unexpected entries migrate to a host-side parked store (their staged
+  bounce payloads spill to host memory through the PR-1
+  ``host_data`` path), and are recalled on demand when a compatible
+  receive arrives. Because eviction always takes the oldest resident
+  entry, everything parked is strictly older than everything still on
+  the accelerator — so the post path searches the parked store
+  *first* and C2 (oldest-match) holds across evictions.
+* **Escalation / re-offload** — sustained pressure (or an allocating
+  post that cannot fit even after eviction) forces a full software
+  takeover via the same :func:`repro.recovery.journal.host_takeover`
+  migration the capacity-overflow fallback uses; once the software
+  working set drains below half the descriptor table *and* occupancy
+  is out of the pressured band, the state migrates back onto a fresh
+  engine.
+
+With an unlimited budget every gate is a constant-time no-op on the
+exact pre-existing call sequence: same engine calls, same blocks, same
+cycle costs, same pairings (asserted byte-for-byte in
+``tests/pressure``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.config import EngineConfig
+from repro.core.descriptor import DESCRIPTOR_BYTES
+from repro.core.engine import OptimisticMatcher
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchEvent, MatchKind, ResolutionPath
+from repro.core.indexes import SearchProbeCount
+from repro.matching.list_matcher import ListMatcher
+from repro.pressure.budget import PressureMeter, UNEXPECTED_HEADER_BYTES
+from repro.util.counters import MonotonicCounter
+
+__all__ = ["PressuredPipeline"]
+
+
+class PressuredPipeline:
+    """Budget-enforcing matcher pipeline for the receive stack."""
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        meter: PressureMeter,
+        *,
+        comm: int = 0,
+        observer=None,
+        engine_cls: type[OptimisticMatcher] = OptimisticMatcher,
+    ) -> None:
+        self._config = config
+        self._comm = comm
+        self._observer = observer
+        self._engine_cls = engine_cls
+        self.meter = meter
+        self.engine = engine_cls(config, comm=comm, observer=observer)
+        self.engine.set_pressure(meter)
+        meter.charge_bins(config.bins)
+        #: One stats object carried across every engine generation.
+        self.stats = self.engine.stats
+        #: Non-None while escalated: the host matcher owning the set.
+        self._software: ListMatcher | None = None
+        #: Host-parked evictees, strictly ascending arrival order.
+        self._parked: deque[MessageEnvelope] = deque()
+        #: Admission-deferred posts, strict FIFO.
+        self._deferred: deque[ReceiveRequest] = deque()
+        self._events: list[MatchEvent] = []
+        self._receiver = None
+        self._strikes = 0
+        self._recover_threshold = config.max_receives // 2
+
+    # -- wiring --------------------------------------------------------
+
+    def bind_transport(self, receiver) -> None:
+        """Attach the :class:`RdmaReceiver` whose staged payloads the
+        eviction path spills to host memory (and whose CQ backlog the
+        admission gate reserves headroom for)."""
+        self._receiver = receiver
+
+    def should_demote(self, size: int) -> bool:
+        """The sender-side demotion probe: rendezvous while pressured."""
+        if self.meter.under_pressure:
+            self.meter.stats.demotions += 1
+            return True
+        return False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def offloaded(self) -> bool:
+        return self._software is None
+
+    @property
+    def parked_count(self) -> int:
+        return len(self._parked)
+
+    @property
+    def deferred_count(self) -> int:
+        return len(self._deferred)
+
+    @property
+    def unexpected_count(self) -> int:
+        resident = (
+            self.engine.unexpected_count
+            if self._software is None
+            else self._software.unexpected_count
+        )
+        return resident + len(self._parked)
+
+    # -- the matcher interface the RdmaReceiver drives -----------------
+
+    def post_receive(self, request: ReceiveRequest) -> MatchEvent | None:
+        # Settle buffered messages first (a post is a host->DPA QP
+        # command; the DPA drains the completion queue before handling
+        # it) so every drain check below sees current state.
+        self._events.extend(self._flush_inner())
+        parked = self._search_parked(request)
+        if parked is not None:
+            return self._recall(request, parked)
+        if self._software is not None:
+            event = self._software.post_receive(request)
+            self._maybe_reoffload()
+            return event
+        if self._deferred:
+            # Strict FIFO: nothing may overtake a deferred post, or a
+            # later compatible post could steal its message.
+            self._deferred.append(request)
+            self.meter.stats.posts_deferred += 1
+            return None
+        if self.engine.unexpected.search(request, SearchProbeCount()) is not None:
+            # Draining only releases memory: always admitted.
+            return self.engine.post_receive(request)
+        if self.meter.under_pressure:
+            self._relieve()
+        if not self.meter.under_pressure and self._fits_post():
+            return self.engine.post_receive(request)
+        self._deferred.append(request)
+        self.meter.stats.posts_deferred += 1
+        return None
+
+    def submit_message(self, msg: MessageEnvelope) -> None:
+        if self._software is not None:
+            self.stats.degraded_matches += 1
+            event = self._software.incoming_message(msg)
+            if event is not None:
+                self._events.append(event)
+            return
+        self.engine.submit_message(msg)
+
+    def process_all(self) -> list[MatchEvent]:
+        events, self._events = self._events, []
+        events.extend(self._flush_inner())
+        if self._software is None:
+            # Proactive relief: shed cold unexpected state on every
+            # progress round, not just when a post is waiting —
+            # otherwise a pressured receiver with nothing to admit
+            # would RNR-refuse the wire forever.
+            self._relieve()
+            if (
+                self.meter.headroom() < self._wire_reserve()
+                and self.engine.unexpected_count == 0
+            ):
+                # Even an empty unexpected store cannot make room for
+                # one message: live descriptors own the budget. Only a
+                # full host takeover (which moves the working set — and
+                # message staging — into host memory) restores flow.
+                self._escalate()
+        events.extend(self._pump_admission())
+        self._maybe_reoffload()
+        return events
+
+    def drain_deferred(self) -> None:
+        """End-of-run fence: force the deferred queue empty, escalating
+        to the host if eviction alone cannot make room. Resulting drain
+        events surface from the next ``process_all``."""
+        self._events.extend(self._flush_inner())
+        while self._deferred:
+            self._events.extend(self._pump_admission())
+            if self._deferred and self._software is None:
+                self._escalate()
+
+    # -- admission -----------------------------------------------------
+
+    def _fits_post(self) -> bool:
+        """Would one more descriptor fit, leaving enough headroom for
+        the unexpected-store headers of messages already staged in the
+        completion queue (admitted by the RNR probe on the strength of
+        headroom that existed before this post)?"""
+        reserve = 0
+        if self._receiver is not None:
+            reserve = UNEXPECTED_HEADER_BYTES * len(self._receiver.qp.cq)
+        return self.meter.would_fit(DESCRIPTOR_BYTES + reserve)
+
+    def _pump_admission(self) -> list[MatchEvent]:
+        events: list[MatchEvent] = []
+        while True:
+            progressed = self._admit_ready(events)
+            if not self._deferred:
+                self._strikes = 0
+                return events
+            if progressed:
+                self._strikes = 0
+            if self._software is None:
+                if not self._fits_post() and self.engine.unexpected_count == 0:
+                    # Nothing left to evict and the descriptor still
+                    # cannot fit: the budget simply cannot hold this
+                    # working set. Escalate now.
+                    self._escalate()
+                    continue
+                self._strikes += 1
+                if self._strikes >= self.meter.budget.sustained_threshold:
+                    self._escalate()
+                    continue
+            return events
+
+    def _admit_ready(self, events: list[MatchEvent]) -> bool:
+        """Admit deferred posts head-first while the head is admissible.
+        Returns whether any post was admitted."""
+        progressed = False
+        while self._deferred:
+            request = self._deferred[0]
+            parked = self._search_parked(request)
+            if parked is not None:
+                self._deferred.popleft()
+                events.append(self._recall(request, parked))
+                progressed = True
+                continue
+            if self._software is not None:
+                self._deferred.popleft()
+                event = self._software.post_receive(request)
+                if event is not None:
+                    events.append(event)
+                progressed = True
+                continue
+            if self.engine.unexpected.search(request, SearchProbeCount()) is not None:
+                self._deferred.popleft()
+                event = self.engine.post_receive(request)
+                if event is not None:
+                    events.append(event)
+                progressed = True
+                continue
+            if self.meter.under_pressure:
+                self._relieve()
+            if not self.meter.under_pressure and self._fits_post():
+                self._deferred.popleft()
+                event = self.engine.post_receive(request)
+                if event is not None:  # pragma: no cover - allocating post
+                    events.append(event)
+                progressed = True
+                continue
+            break
+        return progressed
+
+    # -- eviction / recall ---------------------------------------------
+
+    def _wire_reserve(self) -> int:
+        """Bytes the RNR probe needs free to admit one payload-bearing
+        message (header + bounce buffer). Zero with no transport bound."""
+        if self._receiver is None:
+            return 0
+        return UNEXPECTED_HEADER_BYTES + self._receiver.qp.bounce_pool.buffer_bytes
+
+    def _relieve(self) -> None:
+        """Evict cold (oldest) unexpected entries until occupancy falls
+        out of the pressured band — and, with a transport bound, until
+        the wire can admit at least one more payload-bearing message
+        (charged can sit just *below* the high watermark while the RNR
+        probe refuses everything; that stuck band must drain too)."""
+        reserve = self._wire_reserve()
+        while self.engine.unexpected_count and (
+            self.meter.under_pressure or self.meter.headroom() < reserve
+        ):
+            if not self._evict_one():  # pragma: no cover - count guards
+                break
+
+    def _evict_one(self) -> bool:
+        envelope = self.engine.evict_oldest_unexpected()
+        if envelope is None:
+            return False
+        self._parked.append(envelope)
+        self._spill_staged_payload(envelope.send_seq)
+        self.meter.stats.evictions += 1
+        return True
+
+    def _spill_staged_payload(self, token: int) -> None:
+        """Move an evictee's staged eager payload out of NIC bounce
+        memory into host memory (the PR-1 degraded staging path), so
+        eviction frees the payload bytes too, not just the header."""
+        if self._receiver is None:
+            return
+        staged = self._receiver._staged.get(token)
+        if staged is None or staged.bounce is None:
+            return  # rendezvous (header-only) or already host-staged
+        payload = staged.bounce.read()
+        self._receiver.qp.bounce_pool.release(staged.bounce)
+        staged.bounce = None
+        staged.host_data = payload
+
+    def _search_parked(self, request: ReceiveRequest) -> MessageEnvelope | None:
+        """Oldest parked envelope matching ``request``. Parked entries
+        are strictly older than anything resident, so this search runs
+        *before* the engine's — C2 across the eviction boundary."""
+        for envelope in self._parked:
+            if request.matches(envelope):
+                return envelope
+        return None
+
+    def _recall(self, request: ReceiveRequest, envelope: MessageEnvelope) -> MatchEvent:
+        self._parked.remove(envelope)
+        self.meter.stats.recalls += 1
+        self.stats.receives_posted += 1
+        self.stats.receives_matched_from_unexpected += 1
+        decisions = (
+            self.engine.decisions if self._software is None else self._software.decisions
+        )
+        return MatchEvent(
+            kind=MatchKind.UNEXPECTED_DRAIN,
+            message=envelope,
+            receive=request,
+            receive_post_label=None,
+            path=ResolutionPath.SERIAL,
+            decision_order=decisions.next(),
+        )
+
+    # -- escalation / re-offload ---------------------------------------
+
+    def _flush_inner(self) -> list[MatchEvent]:
+        if self._software is not None:
+            return self._software.flush()
+        return self.engine.process_all()
+
+    def _escalate(self) -> None:
+        """Sustained pressure: the host adopts the whole working set
+        (same migration primitive as the capacity-overflow fallback)."""
+        assert self._software is None
+        # Imported lazily; repro.recovery drives matchers, so a
+        # top-level import would cycle.
+        from repro.recovery.journal import host_takeover
+
+        self._software = host_takeover(self.engine)
+        self.stats.fallback_spills += 1
+        self.meter.stats.takeovers += 1
+        self.meter.release_all("descriptors")
+        self.meter.release_all("unexpected")
+        if self._receiver is not None:
+            # The host owns matching now, so inbound staging is host
+            # memory, not DPA memory: detach the meter from the bounce
+            # pool (re-attached, and re-charged, on re-offload).
+            self._receiver.qp.bounce_pool.pressure = None
+            self.meter.release_all("bounce")
+        self._strikes = 0
+
+    def _maybe_reoffload(self) -> None:
+        if self._software is None:
+            return
+        if self._software.posted_count > self._recover_threshold:
+            return
+        if self.meter.under_pressure:
+            return
+        pool = self._receiver.qp.bounce_pool if self._receiver is not None else None
+        staging = pool.in_use * pool.buffer_bytes if pool is not None else 0
+        need = (
+            self._software.posted_count * DESCRIPTOR_BYTES
+            + self._software.unexpected_count * UNEXPECTED_HEADER_BYTES
+            + staging
+            + self._wire_reserve()
+        )
+        if not self.meter.would_fit(need):
+            return
+        if pool is not None:
+            # Staging moves back onto the accelerator: re-attach the
+            # meter and re-charge buffers still held.
+            pool.pressure = self.meter
+            if staging:
+                self.meter.charge("bounce", staging)
+        self._events.extend(self._software.flush())
+        receives, unexpected = self._software.export_state()
+        fresh = self._engine_cls(self._config, comm=self._comm, observer=self._observer)
+        fresh.stats = self.stats
+        fresh.decisions = MonotonicCounter(self._software.decisions.peek())
+        fresh.set_pressure(self.meter)
+        fresh.import_state(receives, unexpected)
+        self.engine = fresh
+        self._software = None
+        self.stats.fallback_recoveries += 1
+        self.meter.stats.reoffloads += 1

@@ -43,14 +43,25 @@ class BounceBuffer:
 
 
 class BounceBufferPool:
-    """Fixed pool of equal-size bounce buffers with O(1) alloc/free."""
+    """Fixed pool of equal-size bounce buffers with O(1) alloc/free.
 
-    def __init__(self, count: int, buffer_bytes: int = 4096) -> None:
+    ``pressure`` (optional) is a
+    :class:`repro.pressure.budget.PressureMeter`: each allocated buffer
+    charges its full capacity to the meter's ``bounce`` account and
+    releases it on free, so the meter's gauge mirrors ``in_use``
+    exactly. A buffer the budget cannot absorb is reported as pool
+    exhaustion — the same RNR/host-spill escapes the fixed pool already
+    has handle the budget, too.
+    """
+
+    def __init__(self, count: int, buffer_bytes: int = 4096, *, pressure=None) -> None:
         if count <= 0:
             raise ValueError(f"pool size must be positive, got {count}")
         self._buffers = [BounceBuffer(i, buffer_bytes) for i in range(count)]
         self._free = list(range(count - 1, -1, -1))
         self.high_water = 0
+        self.buffer_bytes = buffer_bytes
+        self.pressure = pressure
 
     @property
     def capacity(self) -> int:
@@ -70,8 +81,15 @@ class BounceBufferPool:
             raise BouncePoolExhausted(
                 f"all {len(self._buffers)} bounce buffers in use"
             )
+        if self.pressure is not None and not self.pressure.would_fit(self.buffer_bytes):
+            raise BouncePoolExhausted(
+                f"memory budget cannot absorb another {self.buffer_bytes} B "
+                f"bounce buffer ({self.pressure.headroom()} B headroom)"
+            )
         buf = self._buffers[self._free.pop()]
         buf.in_use = True
+        if self.pressure is not None:
+            self.pressure.charge("bounce", self.buffer_bytes)
         self.high_water = max(self.high_water, self.in_use)
         return buf
 
@@ -81,6 +99,8 @@ class BounceBufferPool:
         buf.in_use = False
         buf.data = b""
         self._free.append(buf.index)
+        if self.pressure is not None:
+            self.pressure.release("bounce", self.buffer_bytes)
 
     def get(self, index: int) -> BounceBuffer:
         return self._buffers[index]

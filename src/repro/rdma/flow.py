@@ -10,15 +10,28 @@ credits as matching drains bounce buffers.
 :class:`CreditedSender` / :class:`CreditedReceiver` wrap the §IV
 protocol engines with that scheme, turning
 :class:`repro.rdma.bounce.BouncePoolExhausted` from a hard failure
-into backpressure. Credit grants ride the same wire as acks — which
-means that over a :class:`repro.rdma.reliability.ReliableWire` they
-are sequenced, checksummed, retransmitted on loss, and deduplicated
-like any other packet: a dropped or duplicated grant can neither
-strand the sender at zero credits nor mint credits out of thin air.
-(Over a bare :class:`repro.rdma.faultwire.FaultyWire` with no
-reliability layer, a lost grant *is* lost — credit accounting assumes
-the transport below it is reliable, exactly like the bounce-pool
-arithmetic it protects.)
+into backpressure.
+
+Loss robustness: grants are *cumulative*. Every grant ack carries the
+receiver's lifetime ``total`` of credits issued alongside the
+incremental ``credits`` count, and the sender credits itself the delta
+between that total and the highest total it has seen. A grant lost on
+a lossy wire is therefore repaired by the *next* grant (whose total
+subsumes it), a duplicated grant mints nothing (its delta is zero),
+and a stranded sender can always be revived by
+:meth:`CreditedReceiver.readvertise`, which retransmits the current
+total without issuing anything new. Over a
+:class:`repro.rdma.reliability.ReliableWire` grants are additionally
+sequenced and retransmitted like any other packet; over a bare
+:class:`repro.rdma.faultwire.FaultyWire` the cumulative scheme is what
+keeps the credit ledger consistent (regression-tested in
+``tests/rdma/test_flow.py``).
+
+Memory pressure: a :class:`repro.pressure.budget.PressureMeter` given
+to the receiver shrinks the credit window while the budget is under
+pressure — earned grants are withheld (counted in
+``stats.credit_holds``) until occupancy falls below the low watermark,
+so the sender's window tracks what the accelerator can actually hold.
 """
 
 from __future__ import annotations
@@ -45,6 +58,9 @@ class CreditedSender:
         self.stalls = 0
         #: Total credits accepted from the peer (grant audit trail).
         self.grants_received = 0
+        #: Highest cumulative grant total seen from the peer; deltas
+        #: against it make lost/duplicated grant acks harmless.
+        self._grant_total_seen = 0
 
     @property
     def queued(self) -> int:
@@ -85,11 +101,24 @@ class CreditedSender:
         return released
 
     def pump_grants(self) -> int:
-        """Poll the sender's CQ for credit-grant acks from the peer."""
+        """Poll the sender's CQ for credit-grant acks from the peer.
+
+        Grant acks carrying a cumulative ``total`` are credited by
+        delta against the highest total seen, which dedups duplicated
+        acks and lets any later ack repair an earlier lost one. Legacy
+        acks without a total fall back to the incremental count.
+        """
         granted = 0
         for cqe in self.sender.qp.poll():
             if cqe.opcode == "ack" and isinstance(cqe.payload, dict):
-                granted += self.grant(int(cqe.payload.get("credits", 0)))
+                payload = cqe.payload
+                if "total" in payload:
+                    delta = int(payload["total"]) - self._grant_total_seen
+                    if delta > 0:
+                        self._grant_total_seen = int(payload["total"])
+                        granted += self.grant(delta)
+                else:
+                    granted += self.grant(int(payload.get("credits", 0)))
         return granted
 
 
@@ -99,21 +128,28 @@ class CreditedReceiver:
     Credits track free bounce buffers: the initial advertisement is
     the pool size, and each completed eager delivery (which releases
     its bounce buffer) earns the sender a new credit. Grants are
-    batched to amortize the ack traffic.
+    batched to amortize the ack traffic. With a ``pressure`` meter,
+    grants are withheld while the memory budget is under pressure.
     """
 
-    def __init__(self, receiver: RdmaReceiver, *, grant_batch: int = 16) -> None:
+    def __init__(
+        self, receiver: RdmaReceiver, *, grant_batch: int = 16, pressure=None
+    ) -> None:
         self.receiver = receiver
         self.grant_batch = max(1, grant_batch)
+        self.pressure = pressure
         self._pending_grants = 0
         self._completed_seen = 0
         self.total_granted = 0
 
+    def _post_grant(self, credits: int) -> None:
+        self.total_granted += credits
+        self.receiver.qp.post_ack({"credits": credits, "total": self.total_granted})
+
     def initial_grant(self) -> int:
         """Advertise the whole bounce pool at connection setup."""
         credits = self.receiver.qp.bounce_pool.capacity
-        self.receiver.qp.post_ack({"credits": credits})
-        self.total_granted += credits
+        self._post_grant(credits)
         return credits
 
     def progress(self) -> int:
@@ -123,14 +159,23 @@ class CreditedReceiver:
         self._completed_seen = len(self.receiver.completed)
         self._pending_grants += newly_completed
         if self._pending_grants >= self.grant_batch:
-            self.receiver.qp.post_ack({"credits": self._pending_grants})
-            self.total_granted += self._pending_grants
+            if self.pressure is not None and self.pressure.under_pressure:
+                # Credit shrink: hold earned grants while the budget is
+                # pressured so the sender's window tracks real headroom.
+                self.pressure.stats.credit_holds += 1
+                return moved
+            self._post_grant(self._pending_grants)
             self._pending_grants = 0
         return moved
 
     def flush_grants(self) -> None:
         """Grant any remainder below the batch threshold."""
         if self._pending_grants:
-            self.receiver.qp.post_ack({"credits": self._pending_grants})
-            self.total_granted += self._pending_grants
+            self._post_grant(self._pending_grants)
             self._pending_grants = 0
+
+    def readvertise(self) -> None:
+        """Retransmit the cumulative grant total without issuing new
+        credits — the recovery verb for grants lost on a lossy wire
+        (idempotent: a sender that saw everything gains nothing)."""
+        self.receiver.qp.post_ack({"credits": 0, "total": self.total_granted})

@@ -73,15 +73,25 @@ class RdmaSender:
         *,
         eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
         inline_hashes: bool = True,
+        demote_probe=None,
     ) -> None:
+        """``demote_probe`` (optional) is consulted with the payload
+        size for every eager-eligible send; returning True demotes the
+        send to rendezvous so the payload stays registered in sender
+        memory instead of landing in a receiver bounce buffer — the
+        memory-pressure relief valve of :mod:`repro.pressure`."""
         self.qp = qp
         self.rank = rank
         self.eager_threshold = eager_threshold
         self.inline_hashes = inline_hashes
+        self.demote_probe = demote_probe
+        #: Eager-eligible sends demoted to rendezvous by the probe.
+        self.demotions = 0
         self._send_seq: dict[tuple[int, int], int] = {}
 
     def send(self, tag: int, payload: bytes, comm: int = 0) -> MessageHeader:
-        """Send one message; protocol chosen by size."""
+        """Send one message; protocol chosen by size (and, under
+        memory pressure, by the demotion probe)."""
         key = (comm, tag)
         seq = self._send_seq.get(key, 0)
         self._send_seq[key] = seq + 1
@@ -89,7 +99,11 @@ class RdmaSender:
         if self.inline_hashes:
             ih = compute_inline_hashes(self.rank, tag)
             hashes = (ih.src_tag, ih.tag_only, ih.src_only)
-        if len(payload) <= self.eager_threshold:
+        eager = len(payload) <= self.eager_threshold
+        if eager and self.demote_probe is not None and self.demote_probe(len(payload)):
+            eager = False
+            self.demotions += 1
+        if eager:
             header = MessageHeader(
                 source=self.rank,
                 tag=tag,
@@ -185,6 +199,12 @@ class RdmaReceiver:
         for event in self.matcher.process_all():
             if event.kind is MatchKind.EXPECTED:
                 self._complete(event, unexpected=False)
+            elif event.kind is MatchKind.UNEXPECTED_DRAIN:
+                # A deferred post admitted (or a host-parked evictee
+                # recalled) inside the matcher's progress hook drained
+                # an unexpected message; complete it like the inline
+                # drain path would have.
+                self._complete(event, unexpected=True)
             # STORED_UNEXPECTED: stays staged until a receive drains it.
         self._mirror_transport_stats()
         return n

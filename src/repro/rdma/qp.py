@@ -122,10 +122,34 @@ class QueuePair:
         """
         if len(self.cq) + backlog >= self.cq.depth:
             return False
-        if packet.opcode in ("send", "rts") and not self.host_spill:
+        if packet.opcode in ("send", "rts"):
             _, payload = packet.payload
-            if payload and self.bounce_pool.available <= backlog:
+            if payload and not self.host_spill and self.bounce_pool.available <= backlog:
                 return False
+            meter = getattr(self.bounce_pool, "pressure", None)
+            if meter is not None:
+                # Budget-aware backpressure: admitting this message may
+                # cost one bounce buffer (payload-bearing) plus one
+                # unexpected-store header if no receive is waiting.
+                # Reserve that much for it, plus the *worst case* for
+                # every already-admitted packet still in the backlog
+                # (their payloads are invisible here — a header-only
+                # RTS probed after a payload send must not claim the
+                # headroom that send is about to charge), plus the
+                # header charge every CQ-staged message still owes
+                # (its bounce bytes are charged, its header is not
+                # until the engine flushes it).
+                from repro.pressure.budget import UNEXPECTED_HEADER_BYTES
+
+                need = UNEXPECTED_HEADER_BYTES
+                if payload:
+                    need += self.bounce_pool.buffer_bytes
+                per_backlog = (
+                    UNEXPECTED_HEADER_BYTES + self.bounce_pool.buffer_bytes
+                )
+                owed = UNEXPECTED_HEADER_BYTES * len(self.cq)
+                if meter.headroom() < need + backlog * per_backlog + owed:
+                    return False
         return True
 
     # -- sender verbs ---------------------------------------------------

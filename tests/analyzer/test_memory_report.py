@@ -1,0 +1,73 @@
+"""The §III-E memory-footprint report (repro-analyze --memory)."""
+
+from types import SimpleNamespace
+
+from repro.analyzer.report import _provision, format_memory, memory_rows
+from repro.dpa.memory import MemoryModel
+
+
+def fake_results(mean_posted_by_bins):
+    """results-shaped dict from mean posted depths: app -> bins -> cell."""
+    return {
+        app: {
+            bins: SimpleNamespace(depth=SimpleNamespace(mean_posted=posted))
+            for bins, posted in per_bins.items()
+        }
+        for app, per_bins in mean_posted_by_bins.items()
+    }
+
+
+class TestProvision:
+    def test_rounds_twice_the_mean_up_to_a_power_of_two(self):
+        assert _provision(0.0) == 1
+        assert _provision(0.4) == 1
+        assert _provision(1.0) == 2
+        assert _provision(3.2) == 8  # ceil(6.4) -> 7 -> 8
+        assert _provision(4.0) == 8
+        assert _provision(5.0) == 16
+
+
+class TestMemoryRows:
+    def test_rows_agree_with_the_memory_model(self):
+        results = fake_results({"AMG": {1: 8.2, 32: 0.8, 128: 0.33}})
+        rows = memory_rows(results)
+        assert [(r[0], r[1]) for r in rows] == [("AMG", 1), ("AMG", 32), ("AMG", 128)]
+        for app, bins, posted, provisioned, kib, l2, l3 in rows:
+            model = MemoryModel(bins=bins, max_receives=provisioned)
+            assert provisioned == _provision(posted)
+            assert kib == model.total_bytes() / 1024
+            assert l2 == model.fits_l2()
+            assert l3 == model.fits_l3()
+
+    def test_shallow_queues_fit_l2(self):
+        # The paper's observation: real applications' posted queues are
+        # shallow, so binned tables stay cache-resident.
+        results = fake_results({"CNS": {128: 0.5}})
+        (_, _, _, _, _, l2, _), = memory_rows(results)
+        assert l2 is True
+
+
+class TestFormat:
+    def test_verdict_ladder(self):
+        # A mean posted depth of 20000 provisions 65536 descriptors:
+        # 4+ MiB of table, past the 3 MiB L3 -> software fallback.
+        results = fake_results(
+            {"shallow": {128: 1.0}, "pathological": {128: 20000.0}}
+        )
+        text = format_memory(results)
+        assert "fits L2" in text
+        assert "FALLBACK (>L3)" in text
+
+    def test_ceilings_section_lists_cache_caps(self):
+        results = fake_results({"app": {32: 1.0, 128: 1.0}})
+        text = format_memory(results)
+        assert "BF3 ceilings" in text
+        for bins in (32, 128):
+            assert f"{bins:5d} bins:" in text
+        # The printed caps are real: one step further must overflow.
+        for line in text.splitlines():
+            if "receives in L2" in line:
+                bins = int(line.split("bins:")[0])
+                l2_cap = int(line.split("<=")[1].split("receives")[0])
+                assert MemoryModel(bins=bins, max_receives=l2_cap).fits_l2()
+                assert not MemoryModel(bins=bins, max_receives=2 * l2_cap).fits_l2()

@@ -1,0 +1,57 @@
+"""BENCH_pressure: the budget ladder costs cycles, never pairings."""
+
+import json
+
+from repro.bench.pressure import SCHEMA, run_bench, run_lane
+
+
+def by_label(payload):
+    return {entry["label"]: entry for entry in payload["results"]}
+
+
+class TestLadder:
+    def test_ladder_properties(self):
+        payload = run_bench(rounds=8, burst=24, seed=1)
+        assert payload["schema"] == SCHEMA
+        assert payload["pairings_identical"] is True
+        assert payload["overruns_total"] == 0
+        lanes = by_label(payload)
+        assert set(lanes) == {"baseline", "unlimited", "fitted", "evict", "takeover"}
+
+        # Bookkeeping is free: unlimited == baseline in cycles.
+        assert lanes["unlimited"]["dpa_cycles"] == lanes["baseline"]["dpa_cycles"]
+        assert lanes["fitted"]["dpa_cycles"] == lanes["baseline"]["dpa_cycles"]
+        # The evict lane pays for its evictions/recalls, nothing else.
+        evict = lanes["evict"]
+        assert evict["evictions"] > 0
+        assert evict["recalls"] > 0
+        assert evict["dpa_cycles"] > lanes["baseline"]["dpa_cycles"]
+        assert evict["takeovers"] == 0
+        # The takeover lane moves matching to the host entirely.
+        takeover = lanes["takeover"]
+        assert takeover["takeovers"] == 1
+        assert takeover["host_matching_cycles"] > 0
+        # Everyone delivered everything.
+        for lane in lanes.values():
+            assert lane["matched"] == lane["messages"]
+
+    def test_payload_is_json_serializable(self):
+        payload = run_bench(rounds=4, burst=8, seed=2)
+        restored = json.loads(json.dumps(payload))
+        assert restored["params"]["rounds"] == 4
+
+
+class TestLane:
+    def test_lane_is_deterministic(self):
+        a, pa = run_lane("evict", "6000", rounds=6, burst=16, seed=9)
+        b, pb = run_lane("evict", "6000", rounds=6, burst=16, seed=9)
+        assert a == b
+        assert pa == pb
+
+    def test_budget_bytes_encoding(self):
+        off, _ = run_lane("baseline", "off", rounds=2, burst=4)
+        unlimited, _ = run_lane("unlimited", "unlimited", rounds=2, burst=4)
+        explicit, _ = run_lane("evict", "6000", rounds=2, burst=4)
+        assert off.budget_bytes == 0
+        assert unlimited.budget_bytes == -1
+        assert explicit.budget_bytes == 6000

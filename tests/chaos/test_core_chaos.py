@@ -113,11 +113,11 @@ class TestMutantLanes:
 
 
 class TestReportSchema:
-    def test_v2_round_trip(self):
+    def test_v3_round_trip(self):
         report = run_chaos(replace(CORE_PROFILES["storm"], seed=3))
         restored = ChaosReport.from_json(report.to_json())
         assert restored.to_json() == report.to_json()
-        assert ChaosReport.SCHEMA == "repro.chaos.report/v2"
+        assert ChaosReport.SCHEMA == "repro.chaos.report/v3"
 
     def test_recovery_counters_survive_the_codec(self):
         report = run_chaos(replace(CORE_PROFILES["takeover"], seed=2))

@@ -8,6 +8,7 @@ import json
 
 import pytest
 
+from repro.chaos.soak import PROFILES
 from repro.chaos.soak import main as soak_main
 from repro.obs.registry import MetricsSnapshot
 from repro.obs.validate import validate_chrome_trace
@@ -51,7 +52,7 @@ class TestTrace:
     def test_one_scope_per_profile(self, soak_artifacts) -> None:
         payload, _ = soak_artifacts
         scopes = {name.split("/")[0] for name in _process_names(payload).values()}
-        assert scopes == {"clean", "drops", "chaos", "degraded", "spill"}
+        assert scopes == set(PROFILES)
 
     def test_block_slowpath_retransmit_and_spill_events_present(
         self, soak_artifacts
@@ -93,7 +94,7 @@ class TestMetrics:
         """The engine-side mirror (carried across >= 2 generations in
         the spill profile) must equal the wires' cumulative counts."""
         _, snapshot = soak_artifacts
-        for profile in ("clean", "drops", "chaos", "degraded", "spill"):
+        for profile in sorted(PROFILES):
             wire = snapshot.get(f"chaos.retransmits{{profile={profile}}}")
             engine = snapshot.get(f"chaos.engine_retransmits{{profile={profile}}}")
             assert engine == wire, profile

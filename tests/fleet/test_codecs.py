@@ -141,3 +141,38 @@ class TestResultEnvelope:
     def test_register_result_type_requires_codec(self):
         with pytest.raises(TypeError, match="to_dict"):
             register_result_type("Nope", object)
+
+
+def test_pressure_report_v3_counters_survive_codec():
+    """A pressure-mode report with live schema-v3 counters (the evict
+    overload lane) must round-trip through the fleet result codec
+    exactly — the soak's registry folds are only as good as what the
+    cache hands back."""
+    from repro.chaos.overload import OVERLOAD_PROFILES
+    from dataclasses import replace
+
+    report = run_chaos(replace(OVERLOAD_PROFILES["evict"], seed=4))
+    # Non-vacuous: this run actually exercised the v3 fields.
+    assert report.budget_bytes > 0
+    assert report.peak_charged_bytes > 0
+    assert report.evictions > 0 or report.posts_deferred > 0
+
+    encoded = encode_result(report)
+    restored = decode_result(encoded)
+    assert isinstance(restored, ChaosReport)
+    assert restored.to_dict() == report.to_dict()
+    for field in (
+        "budget_bytes",
+        "peak_charged_bytes",
+        "budget_overruns",
+        "demotions",
+        "evictions",
+        "recalls",
+        "posts_deferred",
+        "credit_holds",
+        "pressure_entries",
+        "pressure_exits",
+        "pressure_takeovers",
+        "pressure_reoffloads",
+    ):
+        assert getattr(restored, field) == getattr(report, field)

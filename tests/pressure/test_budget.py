@@ -1,0 +1,141 @@
+"""Unit tests for the §III-E budget ledger and watermark hysteresis."""
+
+import pytest
+
+from repro.dpa.memory import MemoryModel
+from repro.pressure.budget import (
+    ACCOUNTS,
+    BudgetOverrun,
+    PressureBudget,
+    PressureMeter,
+    PressureState,
+    PressureStats,
+    UNEXPECTED_HEADER_BYTES,
+)
+
+
+class TestBudget:
+    def test_paper_iii_e_matches_memory_model(self):
+        budget = PressureBudget.paper_iii_e()
+        model = MemoryModel(bins=128, max_receives=8192)
+        assert budget.budget_bytes == model.total_bytes()
+
+    def test_from_memory_model(self):
+        model = MemoryModel(bins=64, max_receives=256)
+        budget = PressureBudget.from_memory_model(model)
+        assert budget.budget_bytes == model.total_bytes()
+
+    def test_unlimited_has_no_watermarks(self):
+        budget = PressureBudget.unlimited()
+        assert budget.budget_bytes is None
+        assert budget.high_bytes is None
+        assert budget.low_bytes is None
+
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError, match="watermarks"):
+            PressureBudget(budget_bytes=1000, low_watermark=0.9, high_watermark=0.8)
+        with pytest.raises(ValueError, match="budget must be positive"):
+            PressureBudget(budget_bytes=0)
+        with pytest.raises(ValueError, match="sustained_threshold"):
+            PressureBudget(budget_bytes=1000, sustained_threshold=0)
+
+
+class TestMeter:
+    def test_charge_release_round_trip(self):
+        meter = PressureMeter(PressureBudget(budget_bytes=1000))
+        meter.charge("descriptors", 300)
+        meter.charge("bounce", 200)
+        assert meter.charged == 500
+        assert meter.headroom() == 500
+        meter.release("bounce", 200)
+        assert meter.charged == 300
+        assert meter.accounts["descriptors"] == 300
+
+    def test_overrun_raises_and_counts(self):
+        meter = PressureMeter(PressureBudget(budget_bytes=100))
+        meter.charge("descriptors", 64)
+        with pytest.raises(BudgetOverrun):
+            meter.charge("unexpected", 64)
+        assert meter.stats.budget_overruns == 1
+        # The refused charge must not land.
+        assert meter.charged == 64
+
+    def test_peak_tracks_high_water(self):
+        meter = PressureMeter(PressureBudget(budget_bytes=1000))
+        meter.charge("bounce", 700)
+        meter.release("bounce", 700)
+        meter.charge("bounce", 100)
+        assert meter.stats.peak_charged_bytes == 700
+
+    def test_release_cannot_go_negative(self):
+        meter = PressureMeter(PressureBudget(budget_bytes=1000))
+        meter.charge("bounce", 10)
+        with pytest.raises(ValueError, match="negative"):
+            meter.release("bounce", 20)
+
+    def test_unknown_account_rejected(self):
+        meter = PressureMeter()
+        with pytest.raises(KeyError):
+            meter.charge("registers", 8)
+
+    def test_unlimited_never_pressures(self):
+        meter = PressureMeter(PressureBudget.unlimited())
+        meter.charge("descriptors", 1 << 40)
+        assert meter.headroom() == float("inf")
+        assert meter.level() == 0.0
+        assert not meter.under_pressure
+        assert meter.stats.pressure_entries == 0
+
+    def test_hysteresis_entry_and_exit(self):
+        budget = PressureBudget(
+            budget_bytes=1000, high_watermark=0.8, low_watermark=0.5
+        )
+        meter = PressureMeter(budget)
+        meter.charge("descriptors", 799)
+        assert meter.state is PressureState.NORMAL
+        meter.charge("descriptors", 1)  # crosses 800
+        assert meter.under_pressure
+        assert meter.stats.pressure_entries == 1
+        # Falling below high but above low stays pressured (hysteresis).
+        meter.release("descriptors", 200)
+        assert meter.under_pressure
+        meter.release("descriptors", 100)  # down to 500 == low
+        assert meter.state is PressureState.NORMAL
+        assert meter.stats.pressure_exits == 1
+
+    def test_typed_helpers_use_unit_costs(self):
+        from repro.core.descriptor import DESCRIPTOR_BYTES
+
+        meter = PressureMeter(PressureBudget(budget_bytes=100_000))
+        meter.charge_descriptor()
+        meter.charge_unexpected()
+        assert meter.accounts["descriptors"] == DESCRIPTOR_BYTES
+        assert meter.accounts["unexpected"] == UNEXPECTED_HEADER_BYTES
+        meter.release_descriptor()
+        meter.release_unexpected()
+        assert meter.charged == 0
+
+    def test_release_all_returns_total(self):
+        meter = PressureMeter(PressureBudget(budget_bytes=1000))
+        meter.charge("unexpected", 64)
+        meter.charge("unexpected", 64)
+        assert meter.release_all("unexpected") == 128
+        assert meter.accounts["unexpected"] == 0
+
+    def test_snapshot_gauges(self):
+        meter = PressureMeter(PressureBudget(budget_bytes=1000))
+        meter.charge("bounce", 250)
+        snap = meter.snapshot()
+        assert snap["charged_bytes"] == 250.0
+        assert snap["budget_bytes"] == 1000.0
+        assert snap["level"] == 0.25
+        assert snap["under_pressure"] == 0.0
+        assert snap["account.bounce"] == 250.0
+        assert set(ACCOUNTS) == {
+            k.removeprefix("account.") for k in snap if k.startswith("account.")
+        }
+
+    def test_stats_json_round_trip(self):
+        stats = PressureStats(evictions=3, demotions=2, peak_charged_bytes=512)
+        restored = PressureStats.from_json(stats.to_json())
+        assert restored == stats

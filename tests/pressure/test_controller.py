@@ -1,0 +1,241 @@
+"""PressuredPipeline: admission, eviction/recall, escalation ladder."""
+
+import pytest
+
+from repro.core import EngineConfig, OptimisticMatcher
+from repro.core.envelope import ANY_SOURCE, ANY_TAG, MessageEnvelope, ReceiveRequest
+from repro.core.events import MatchKind
+from repro.pressure.budget import PressureBudget, PressureMeter
+from repro.pressure.controller import PressuredPipeline
+
+#: 8 bins cost 3 x 8 x 20 = 480 B statically.
+SMALL = dict(bins=8, block_threads=4, max_receives=64)
+BINS_BYTES = 3 * 8 * 20
+
+
+def pipeline(budget_bytes=None, **overrides):
+    budget = (
+        PressureBudget.unlimited()
+        if budget_bytes is None
+        else PressureBudget(budget_bytes=budget_bytes, **overrides)
+    )
+    meter = PressureMeter(budget)
+    return PressuredPipeline(EngineConfig(**SMALL), meter), meter
+
+
+def msg(seq, tag=0, source=0):
+    return MessageEnvelope(source=source, tag=tag, send_seq=seq)
+
+
+def req(handle, tag=0, source=0):
+    return ReceiveRequest(source=source, tag=tag, handle=handle)
+
+
+def pairs(events):
+    return [
+        (e.message.send_seq, e.receive.handle)
+        for e in events
+        if e.receive is not None and e.message is not None
+    ]
+
+
+class TestUnlimitedIsIdentity:
+    def test_event_stream_matches_bare_engine(self):
+        """With an ∞ budget every gate is a no-op: the pipeline emits
+        the same events as a bare engine driven with the same
+        flush-before-post discipline."""
+        pipe, meter = pipeline()
+        engine = OptimisticMatcher(EngineConfig(**SMALL))
+
+        def drive(post, submit, process):
+            events = []
+            for seq in range(6):
+                submit(msg(seq, tag=seq % 3))
+            events.extend(process())
+            for handle in range(8):
+                events.extend(process() if False else [])
+                event = post(req(handle, tag=handle % 3, source=ANY_SOURCE))
+                if event is not None:
+                    events.append(event)
+            events.extend(process())
+            return events
+
+        got = drive(pipe.post_receive, pipe.submit_message, pipe.process_all)
+        # Mirror the pipeline's flush-before-post on the bare engine.
+        def bare_post(request):
+            return engine.post_receive(request)
+
+        want = []
+        for seq in range(6):
+            engine.submit_message(msg(seq, tag=seq % 3))
+        want.extend(engine.process_all())
+        for handle in range(8):
+            event = bare_post(req(handle, tag=handle % 3, source=ANY_SOURCE))
+            if event is not None:
+                want.append(event)
+        want.extend(engine.process_all())
+
+        assert pairs(got) == pairs(want)
+        assert [e.kind for e in got] == [e.kind for e in want]
+        assert meter.stats.posts_deferred == 0
+        assert meter.stats.evictions == 0
+        assert meter.stats.takeovers == 0
+        assert pipe.offloaded
+
+    def test_books_still_kept(self):
+        pipe, meter = pipeline()
+        pipe.post_receive(req(0, tag=7))
+        assert meter.accounts["descriptors"] == 64
+        assert meter.accounts["bins"] == BINS_BYTES
+
+
+class TestAdmission:
+    def test_posts_defer_under_pressure_and_stay_fifo(self):
+        # 480 bins + 200 B of slack: the third allocating post trips
+        # the 0.85 watermark and everything after it queues in order.
+        pipe, meter = pipeline(budget_bytes=BINS_BYTES + 200)
+        assert pipe.post_receive(req(0, tag=0)) is None
+        assert pipe.post_receive(req(1, tag=1)) is None
+        assert meter.under_pressure
+        assert pipe.post_receive(req(2, tag=2)) is None
+        assert pipe.post_receive(req(3, tag=3)) is None
+        assert pipe.deferred_count == 2
+        assert meter.stats.posts_deferred == 2
+        assert [r.handle for r in pipe._deferred] == [2, 3]
+
+    def test_draining_post_always_admitted(self):
+        """A post that drains an unexpected message releases memory —
+        it is admitted even while pressured (no deferral ahead of it)."""
+        pipe, meter = pipeline(budget_bytes=BINS_BYTES + 200)
+        pipe.submit_message(msg(0, tag=9))
+        pipe.process_all()
+        # Push into pressure with allocating posts.
+        pipe.post_receive(req(0, tag=0))
+        pipe.post_receive(req(1, tag=1))
+        assert meter.under_pressure
+        event = pipe.post_receive(req(2, tag=9))
+        assert event is not None and event.kind is MatchKind.UNEXPECTED_DRAIN
+        assert event.message.send_seq == 0
+
+
+class TestEvictionRecall:
+    def test_pressure_evicts_oldest_and_recall_matches(self):
+        pipe, meter = pipeline(budget_bytes=BINS_BYTES + 320)
+        for seq in range(5):
+            pipe.submit_message(msg(seq, tag=seq))
+        pipe.process_all()  # unexpected charges trip the watermark
+        assert meter.stats.evictions > 0
+        assert pipe.parked_count == meter.stats.evictions
+        assert not meter.under_pressure  # relief drained the band
+        # Recall on demand: a compatible post finds the parked entry.
+        event = pipe.post_receive(req(0, tag=1))
+        assert event is not None and event.kind is MatchKind.UNEXPECTED_DRAIN
+        assert event.message.send_seq == 1
+        assert meter.stats.recalls == 1
+
+    def test_parked_is_searched_before_resident(self):
+        """C2 across the eviction boundary: evictees are strictly older
+        than residents, so a wildcard post must drain the parked entry
+        first."""
+        pipe, meter = pipeline(budget_bytes=10_000)
+        pipe.submit_message(msg(0, tag=5))
+        pipe.submit_message(msg(1, tag=5))
+        pipe.process_all()
+        assert pipe._evict_one()  # parks seq 0, leaves seq 1 resident
+        event = pipe.post_receive(req(0, tag=ANY_TAG, source=ANY_SOURCE))
+        assert event.message.send_seq == 0
+        assert event.kind is MatchKind.UNEXPECTED_DRAIN
+        # The resident one is still drainable afterwards.
+        event2 = pipe.post_receive(req(1, tag=5))
+        assert event2.message.send_seq == 1
+
+    def test_unexpected_count_spans_both_stores(self):
+        pipe, _ = pipeline(budget_bytes=10_000)
+        pipe.submit_message(msg(0, tag=1))
+        pipe.submit_message(msg(1, tag=2))
+        pipe.process_all()
+        pipe._evict_one()
+        assert pipe.parked_count == 1
+        assert pipe.unexpected_count == 2
+
+
+class TestEscalation:
+    def test_sustained_pressure_takes_over(self):
+        # Bins alone sit above the low watermark, so even after the
+        # takeover releases the dynamic accounts the meter stays
+        # pressured and the host matcher keeps ownership.
+        pipe, meter = pipeline(budget_bytes=700, sustained_threshold=3)
+        handle = 0
+        while not meter.under_pressure:
+            pipe.post_receive(req(handle, tag=handle))
+            handle += 1
+        pipe.post_receive(req(handle, tag=handle))  # deferred
+        assert pipe.deferred_count == 1
+        for _ in range(3):  # one strike per quiescent progress round
+            pipe.process_all()
+        assert not pipe.offloaded
+        assert meter.stats.takeovers == 1
+        assert meter.accounts["descriptors"] == 0
+        assert meter.accounts["unexpected"] == 0
+        assert pipe.deferred_count == 0  # admitted into the host matcher
+        # The host matcher still matches traffic, including the post
+        # that was deferred when the DPA ran out of room.
+        pipe.submit_message(msg(0, tag=handle))
+        events = pipe.process_all()
+        assert pairs(events) == [(0, handle)]
+        assert not pipe.offloaded  # still pressured: no re-offload
+
+    def test_takeover_reoffloads_once_out_of_band(self):
+        """With slack below the low watermark, the same escalation is
+        followed by a re-offload in the very next progress round: the
+        working set moves back onto a fresh engine and is re-charged."""
+        pipe, meter = pipeline(budget_bytes=2000, sustained_threshold=3)
+        handle = 0
+        while not meter.under_pressure:
+            pipe.post_receive(req(handle, tag=handle))
+            handle += 1
+        posted = handle
+        pipe.post_receive(req(handle, tag=handle))  # deferred
+        for _ in range(3):
+            pipe.process_all()
+        assert meter.stats.takeovers == 1
+        assert meter.stats.reoffloads == 1
+        assert pipe.offloaded
+        from repro.core.descriptor import DESCRIPTOR_BYTES
+
+        assert meter.accounts["descriptors"] == (posted + 1) * DESCRIPTOR_BYTES
+        # The re-offloaded engine matches the carried-over posts.
+        pipe.submit_message(msg(0, tag=posted))
+        events = pipe.process_all()
+        assert pairs(events) == [(0, posted)]
+
+    def test_impossible_working_set_escalates_immediately(self):
+        """Headroom below one descriptor with nothing to evict: the
+        pump escalates without waiting out the strike counter."""
+        pipe, meter = pipeline(budget_bytes=BINS_BYTES + 32, sustained_threshold=10)
+        pipe.post_receive(req(0, tag=0))  # bins already own the budget
+        assert pipe.deferred_count == 1
+        pipe.process_all()
+        assert not pipe.offloaded
+        assert meter.stats.takeovers == 1
+        assert pipe.deferred_count == 0
+
+    def test_drain_deferred_fences_the_queue(self):
+        pipe, meter = pipeline(budget_bytes=BINS_BYTES + 32, sustained_threshold=10)
+        pipe.post_receive(req(0, tag=0))
+        pipe.post_receive(req(1, tag=1))
+        assert pipe.deferred_count == 2
+        pipe.drain_deferred()
+        assert pipe.deferred_count == 0
+        assert meter.stats.takeovers == 1
+
+
+class TestDemotion:
+    def test_demotes_only_under_pressure(self):
+        pipe, meter = pipeline(budget_bytes=BINS_BYTES + 200)
+        assert pipe.should_demote(32) is False
+        pipe.post_receive(req(0, tag=0))
+        pipe.post_receive(req(1, tag=1))
+        assert meter.under_pressure
+        assert pipe.should_demote(32) is True
+        assert meter.stats.demotions == 1

@@ -1,0 +1,133 @@
+"""DpaMachine budget enforcement: eviction ladder, takeover, costing."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.dpa.machine import DpaMachine
+from repro.obs.registry import MetricsRegistry
+from repro.pressure.budget import PressureBudget
+from repro.recovery.faults import CoreFaultPlan
+
+ENGINE = dict(bins=64, block_threads=8, max_receives=256)
+
+
+def run_workload(machine, rounds=6, burst=16):
+    """Unexpected-heavy drive: deliver a burst, drain, post the
+    previous burst's receives. Returns sorted (tag, handle) pairings."""
+    pairings = []
+
+    def collect(event):
+        if event is not None and event.receive is not None:
+            pairings.append((event.message.tag, event.receive.handle))
+
+    pending = []
+    for r in range(rounds):
+        tags = [r * burst + i for i in range(burst)]
+        for tag in tags:
+            machine.deliver(MessageEnvelope(source=0, tag=tag, send_seq=tag))
+        for event in machine.run():
+            collect(event)
+        for tag in pending:
+            collect(machine.post_receive(ReceiveRequest(source=0, tag=tag, handle=tag)))
+        for event in machine.run():
+            collect(event)
+        pending = tags
+    for tag in pending:
+        collect(machine.post_receive(ReceiveRequest(source=0, tag=tag, handle=tag)))
+    for event in machine.run():
+        collect(event)
+    return sorted(pairings)
+
+
+class TestEnforcement:
+    def test_tight_budget_evicts_and_recalls_with_identical_pairings(self):
+        free = DpaMachine(EngineConfig(**ENGINE))
+        tight = DpaMachine(
+            EngineConfig(**ENGINE),
+            enforce_budget=True,
+            budget=PressureBudget(budget_bytes=6000),
+        )
+        want = run_workload(free)
+        got = run_workload(tight)
+        assert got == want
+        stats = tight.pressure.stats
+        assert stats.evictions > 0
+        assert stats.recalls == stats.evictions  # everything came back
+        assert stats.budget_overruns == 0
+        assert stats.takeovers == 0
+
+    def test_eviction_and_recall_cycles_are_charged(self):
+        free = DpaMachine(EngineConfig(**ENGINE))
+        tight = DpaMachine(
+            EngineConfig(**ENGINE),
+            enforce_budget=True,
+            budget=PressureBudget(budget_bytes=6000),
+        )
+        run_workload(free)
+        run_workload(tight)
+        stats = tight.pressure.stats
+        expected_extra = (
+            stats.evictions * tight.costs.eviction_cycles
+            + stats.recalls * tight.costs.recall_cycles
+        )
+        assert tight.report.dpa_cycles == pytest.approx(
+            free.report.dpa_cycles + expected_extra
+        )
+
+    def test_starvation_budget_takes_over_to_host(self):
+        # Less than one 8-thread block's header reservation above the
+        # static bins charge (3840 B): eviction cannot create headroom,
+        # so the machine must escalate.
+        machine = DpaMachine(
+            EngineConfig(**ENGINE),
+            enforce_budget=True,
+            budget=PressureBudget(budget_bytes=4300),
+        )
+        free = DpaMachine(EngineConfig(**ENGINE))
+        want = run_workload(free)
+        got = run_workload(machine)
+        assert got == want  # host matching pairs identically
+        assert machine.degraded
+        assert machine.pressure.stats.takeovers == 1
+        assert machine.pressure.stats.budget_overruns == 0
+        assert machine.report.host_matching_cycles > 0
+
+    def test_unlimited_budget_costs_nothing(self):
+        free = DpaMachine(EngineConfig(**ENGINE))
+        armed = DpaMachine(
+            EngineConfig(**ENGINE),
+            enforce_budget=True,
+            budget=PressureBudget.unlimited(),
+        )
+        want = run_workload(free)
+        got = run_workload(armed)
+        assert got == want
+        assert armed.report.dpa_cycles == free.report.dpa_cycles
+        stats = armed.pressure.stats
+        assert stats.evictions == 0
+        assert stats.takeovers == 0
+        assert stats.peak_charged_bytes > 0  # books were kept
+
+    def test_fitted_budget_resolved_from_memory_model(self):
+        machine = DpaMachine(EngineConfig(**ENGINE), enforce_budget=True)
+        assert machine.pressure is not None
+        assert machine.pressure.budget.budget_bytes == machine.memory.total_bytes()
+
+
+class TestGuards:
+    def test_core_faults_and_budget_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            DpaMachine(
+                EngineConfig(**ENGINE),
+                enforce_budget=True,
+                core_faults=CoreFaultPlan(seed=1, fail_stop_rate=0.1),
+            )
+
+    def test_register_metrics_exports_pressure_gauges(self):
+        machine = DpaMachine(EngineConfig(**ENGINE), enforce_budget=True)
+        registry = MetricsRegistry()
+        machine.register_metrics(registry)
+        values = registry.snapshot().values
+        assert any(name.startswith("dpa.pressure") for name in values)
+        assert "dpa.parked" in values

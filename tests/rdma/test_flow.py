@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import EngineConfig, OptimisticMatcher, ReceiveRequest
 from repro.rdma import BounceBufferPool, QueuePair, RdmaReceiver, RdmaSender, Wire
+from repro.rdma.faultwire import FaultPlan, FaultyWire
 from repro.rdma.flow import CreditedReceiver, CreditedSender, CreditStall
 
 
@@ -144,3 +145,159 @@ class TestCredits:
         before = receiver.total_granted
         receiver.flush_grants()
         assert receiver.total_granted == before + 3
+
+
+def build_faulty(pool_size=8, plan=None):
+    """The ``build`` stack over a lossy wire (satellite: lost-grant
+    hazard regression — grant acks can vanish in flight)."""
+    wire = FaultyWire("tx", "rx", plan=plan if plan is not None else FaultPlan.clean())
+    tx = QueuePair(wire, "tx")
+    rx = QueuePair(wire, "rx", bounce_pool=BounceBufferPool(pool_size, 4096))
+    sender = CreditedSender(RdmaSender(tx, rank=0, eager_threshold=1024))
+    matcher = OptimisticMatcher(EngineConfig(bins=64, block_threads=4, max_receives=512))
+    receiver = CreditedReceiver(RdmaReceiver(rx, matcher), grant_batch=4)
+    return sender, receiver, tx, wire
+
+
+class TestLossyGrants:
+    """Cumulative grant totals make lost/duplicated grant acks
+    recoverable. Before the cumulative scheme, a dropped grant ack
+    stranded the sender forever: the credits it carried were simply
+    gone, and no later ack could mint them again."""
+
+    def test_lost_initial_grant_strands_then_readvertise_recovers(self):
+        sender, receiver, tx, wire = build_faulty(pool_size=8)
+        wire.plan = FaultPlan(seed=7, drop_rate=1.0)  # eat the grant ack
+        receiver.initial_grant()
+        assert sender.pump_grants() == 0
+        assert sender.send(tag=0, payload=b"x") is False  # stranded
+        assert sender.queued == 1 and sender.stalls == 1
+        wire.plan = FaultPlan.clean()
+        # The recovery verb: re-send the cumulative total. No new
+        # credits are minted (total is unchanged), but the sender now
+        # sees everything it missed.
+        receiver.readvertise()
+        assert sender.pump_grants() == 1  # queue released
+        assert sender.grants_received == receiver.total_granted == 8
+        assert sender.queued == 0
+        assert sender.credits == 7  # 8 granted, 1 spent on the release
+
+    def test_duplicated_grants_mint_no_credits(self):
+        plan = FaultPlan(seed=3, duplicate_rate=1.0)  # every ack arrives twice
+        sender, receiver, tx, wire = build_faulty(pool_size=8, plan=plan)
+        receiver.initial_grant()
+        sender.pump_grants()
+        assert sender.grants_received == 8
+        assert sender.credits == 8
+        # The duplicate carried the same cumulative total: delta 0.
+        assert sender.pump_grants() == 0
+        assert sender.grants_received == receiver.total_granted == 8
+
+    def test_later_batch_repairs_earlier_lost_grant(self):
+        """Cumulative totals mean ANY later ack repairs an earlier
+        dropped one — recovery does not depend on readvertise alone."""
+        sender, receiver, tx, wire = build_faulty(pool_size=8)
+        receiver.initial_grant()
+        sender.pump_grants()
+        for i in range(4):
+            receiver.receiver.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+            sender.send(tag=i, payload=b"m")
+        # Completions replenish grants; drop the first replenishment.
+        wire.plan = FaultPlan(seed=11, drop_rate=1.0)
+        for _ in range(4):
+            receiver.progress()
+            tx.process_inbound()
+        receiver.flush_grants()
+        lost_total = receiver.total_granted
+        assert sender.pump_grants() == 0  # that ack is gone forever
+        wire.plan = FaultPlan.clean()
+        # More traffic -> another batched grant, carrying the full
+        # cumulative total: the sender recovers the lost credits too.
+        for i in range(4, 8):
+            receiver.receiver.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+            sender.send(tag=i, payload=b"m")
+        for _ in range(4):
+            receiver.progress()
+            tx.process_inbound()
+        receiver.flush_grants()
+        sender.pump_grants()
+        assert receiver.total_granted > lost_total
+        assert sender.grants_received == receiver.total_granted
+
+    def test_lossy_transfer_completes_with_periodic_readvertise(self):
+        """Seeded random grant loss: as long as the receiver
+        periodically readvertises, every message eventually lands and
+        the audit trail reconciles exactly."""
+        plan = FaultPlan(seed=5, drop_rate=0.3)
+        sender, receiver, tx, wire = build_faulty(pool_size=4)
+        clean = wire.plan
+        wire.plan = plan
+        receiver.initial_grant()  # may itself be dropped
+        wire.plan = clean
+        total = 24
+        for i in range(total):
+            receiver.receiver.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+        for i in range(total):
+            sender.send(tag=i, payload=b"payload")
+        for _ in range(200):
+            # Only the grant path is lossy — eager data is
+            # fire-and-forget and loss there is the reliability
+            # layer's problem, not flow control's.
+            wire.plan = plan
+            receiver.flush_grants()
+            receiver.readvertise()
+            wire.plan = clean
+            sender.pump_grants()
+            receiver.progress()
+            tx.process_inbound()
+            if len(receiver.receiver.completed) == total and sender.queued == 0:
+                break
+        assert len(receiver.receiver.completed) == total
+        assert sender.queued == 0
+        # Grants dropped after the sender's last pump are still owed;
+        # one clean readvertise reconciles the audit trail exactly.
+        receiver.readvertise()
+        sender.pump_grants()
+        assert sender.grants_received == receiver.total_granted
+
+
+class TestPressuredGrants:
+    def test_grants_withheld_under_pressure_and_released_after(self):
+        """Credit shrink: earned grants are held while the memory
+        budget is pressured (counted in ``credit_holds``) and flow
+        again once occupancy leaves the band."""
+        from repro.pressure.budget import PressureBudget, PressureMeter
+
+        meter = PressureMeter(
+            PressureBudget(budget_bytes=1000, high_watermark=0.8, low_watermark=0.5)
+        )
+        wire = Wire("tx", "rx")
+        tx = QueuePair(wire, "tx")
+        rx = QueuePair(wire, "rx", bounce_pool=BounceBufferPool(8, 4096))
+        sender = CreditedSender(RdmaSender(tx, rank=0, eager_threshold=1024))
+        matcher = OptimisticMatcher(
+            EngineConfig(bins=64, block_threads=4, max_receives=512)
+        )
+        receiver = CreditedReceiver(
+            RdmaReceiver(rx, matcher), grant_batch=2, pressure=meter
+        )
+        receiver.initial_grant()
+        sender.pump_grants()
+        for i in range(4):
+            receiver.receiver.post_receive(ReceiveRequest(source=0, tag=i, handle=i))
+            sender.send(tag=i, payload=b"m")
+        meter.charge("bounce", 900)  # force the pressured band
+        assert meter.under_pressure
+        granted_before = receiver.total_granted
+        for _ in range(6):
+            receiver.progress()
+            tx.process_inbound()
+        assert len(receiver.receiver.completed) == 4
+        assert receiver.total_granted == granted_before  # withheld
+        assert meter.stats.credit_holds > 0
+        meter.release("bounce", 900)  # out of the band: grants resume
+        assert not meter.under_pressure
+        receiver.progress()
+        assert receiver.total_granted == granted_before + 4
+        sender.pump_grants()
+        assert sender.grants_received == receiver.total_granted
