@@ -39,6 +39,7 @@ from pathlib import Path
 from repro.core.config import EngineConfig
 from repro.core.envelope import MessageEnvelope, ReceiveRequest
 from repro.dpa.machine import DpaMachine
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder
 from repro.pressure.budget import PressureBudget
 from repro.util.rng import derive_seed, make_rng
 
@@ -107,19 +108,23 @@ def run_lane(
     rounds: int = DEFAULT_ROUNDS,
     burst: int = DEFAULT_BURST,
     seed: int = DEFAULT_SEED,
+    recorder: FlightRecorder = NULL_RECORDER,
 ) -> tuple[PressureBenchResult, list[tuple[int, int]]]:
     """Run one lane; returns its result and the (tag, handle) pairings.
 
     Each round delivers a burst of unexpected messages, runs the
     machine, then posts the receives for the *previous* round's burst —
     so the UMQ holds a full burst across every block boundary and a
-    tight budget has cold headers to evict.
+    tight budget has cold headers to evict. ``recorder`` attaches a
+    :mod:`repro.obs.ledger` flight recorder to the machine (stamped on
+    its cycle-derived microsecond clock).
     """
     enforce = budget_kind != "off"
     machine = DpaMachine(
         EngineConfig(**_ENGINE),
         enforce_budget=enforce,
         budget=_budget_for(budget_kind),
+        recorder=recorder,
     )
     rng = make_rng(derive_seed(seed, "bench.pressure"))
     pairings: list[tuple[int, int]] = []
@@ -219,9 +224,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
     parser.add_argument("--burst", type=int, default=DEFAULT_BURST)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--ledger-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="re-run the evict lane with a flight recorder and write "
+        "its per-message ledger (repro.obs.ledger JSON) — the lane "
+        "where parked/recall detours actually show up",
+    )
     args = parser.parse_args(argv)
     payload = run_bench(rounds=args.rounds, burst=args.burst, seed=args.seed)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    if args.ledger_out is not None:
+        recorder = FlightRecorder()
+        run_lane(
+            "evict",
+            dict(_LANES)["evict"],
+            rounds=args.rounds,
+            burst=args.burst,
+            seed=args.seed,
+            recorder=recorder,
+        )
+        dump = recorder.export(scenario="pressure/evict")
+        args.ledger_out.write_text(dump.to_json())
+        records = sum(
+            len(p.get("records", ())) for p in dump.scenarios.values()
+        )
+        print(f"ledger: {args.ledger_out} ({records} records)")
     for entry in payload["results"]:
         print(
             f"{entry['label']:>9}: {entry['cycles_per_message']:8.2f} cyc/msg "

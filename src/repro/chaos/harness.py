@@ -42,6 +42,7 @@ from repro.obs.hooks import (
     EngineTraceObserver,
     PressureWindowWatcher,
 )
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder
 from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.pressure.budget import PressureBudget, PressureMeter
 from repro.pressure.controller import PressuredPipeline
@@ -185,7 +186,7 @@ def config_from_params(params: Mapping[str, Any]) -> ChaosConfig:
 class ChaosReport:
     """Observable outcome of one chaos run."""
 
-    SCHEMA = "repro.chaos.report/v3"
+    SCHEMA = "repro.chaos.report/v4"
 
     seed: int
     sent: int = 0
@@ -265,6 +266,12 @@ class ChaosReport:
     #: expected detection mode for some mutants.
     engine_failed: bool = False
     engine_error: str = ""
+    # -- flight-recorder passport (schema v4) -------------------------
+    #: Full lifecycle record of the first violating message (empty when
+    #: no recorder was attached or the run was clean): the message's
+    #: :meth:`repro.obs.ledger.MessageRecord.to_dict` dump, so a soak
+    #: failure ships the exact phase history of the message that broke.
+    passport: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -291,6 +298,7 @@ class ChaosReport:
         payload = {name: getattr(self, name) for name in self.__dataclass_fields__}
         for name in ("duplicates", "missing", "mismatches"):
             payload[name] = list(payload[name])
+        payload["passport"] = dict(payload["passport"])
         return payload
 
     @classmethod
@@ -349,7 +357,12 @@ class _FallbackPipeline:
         return events
 
 
-def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> ChaosReport:
+def run_chaos(
+    config: ChaosConfig,
+    *,
+    tracer: SpanTracer = NULL_TRACER,
+    recorder: FlightRecorder = NULL_RECORDER,
+) -> ChaosReport:
     """Execute one seeded schedule; never raises on transport failure
     (the report carries it) so soak loops survive hostile fault plans.
 
@@ -357,6 +370,14 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
     retransmit/RNR windows on the wire-tick clock, engine block spans,
     and spill->recovery windows — all stamped with the reliability
     layer's tick clock so one Perfetto timeline covers the stack.
+
+    ``recorder`` (optional) attaches a :class:`repro.obs.ledger.FlightRecorder`
+    to every layer: each sent message gets a lifecycle record stamped
+    on the wire-tick clock (send -> wire -> staged -> cq -> engine ->
+    matched -> complete, plus umq/parked detours and retransmit /
+    rollback annotations), keyed back to the schedule by its
+    ``rank:seq`` identity. When a run detects a violation, the first
+    violating message's full record ships in ``report.passport``.
     """
     rng = make_rng(config.seed)
     plan = config.plan
@@ -379,19 +400,24 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         meter = PressureMeter(budget)
 
     raw = FaultyWire("tx", "rx", plan=plan)
-    wire = ReliableWire(raw, config=config.reliability, tracer=tracer)
+    wire = ReliableWire(
+        raw, config=config.reliability, tracer=tracer, recorder=recorder
+    )
     rx_qp = QueuePair(
         wire,
         "rx",
         cq=CompletionQueue(config.cq_depth),
         bounce_pool=BounceBufferPool(config.bounce_buffers, pressure=meter),
         host_spill=config.host_spill,
+        recorder=recorder,
     )
     tx_qp = QueuePair(wire, "tx")
     engine_config = EngineConfig(
         max_receives=config.max_receives, block_threads=config.block_threads
     )
     clock = lambda: float(wire.now)  # noqa: E731 - one shared sim clock
+    if recorder.enabled:
+        recorder.set_clock(clock)
     observer = (
         EngineTraceObserver(tracer, clock, process="engine")
         if tracer.enabled
@@ -401,7 +427,11 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
     if config.pressure:
         assert meter is not None
         matcher = PressuredPipeline(
-            engine_config, meter, observer=observer, engine_cls=engine_cls
+            engine_config,
+            meter,
+            observer=observer,
+            engine_cls=engine_cls,
+            recorder=recorder,
         )
     elif config.fallback:
         matcher = _FallbackPipeline(
@@ -417,9 +447,12 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
             observer=observer,
             tracer=tracer,
             clock=clock,
+            recorder=recorder,
         )
     else:
         matcher = engine_cls(engine_config, observer=observer)
+        if recorder.enabled and hasattr(matcher, "set_recorder"):
+            matcher.set_recorder(recorder)
     watcher = (
         DegradedWindowWatcher(tracer, matcher.stats, clock)
         if tracer.enabled
@@ -430,7 +463,7 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         if tracer.enabled and meter is not None
         else None
     )
-    receiver = RdmaReceiver(rx_qp, matcher)
+    receiver = RdmaReceiver(rx_qp, matcher, recorder=recorder)
     demote_probe = None
     if config.pressure:
         matcher.bind_transport(receiver)
@@ -441,6 +474,7 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
             rank,
             eager_threshold=config.eager_threshold,
             demote_probe=demote_probe,
+            recorder=recorder,
         )
         for rank in range(config.senders)
     ]
@@ -455,6 +489,8 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
     #: (so the post-hoc sweep does not double-report them).
     checked = 0
     flagged: set[str] = set()
+    #: Identity of the first-violation message (passport lookup key).
+    violation_ident: list[str] = []
     handle = 0
     seq = 0
 
@@ -470,7 +506,9 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         ident = f"{rank}:{seq}"
         seq += 1
         payload = ident.encode().ljust(size, b".")
-        senders[rank].send(tag, payload)
+        header = senders[rank].send(tag, payload)
+        if recorder.enabled and header.mid >= 0:
+            recorder.label(header.mid, ident)
         sent_idents.append(ident)
         oracle.message(ident, rank, tag)
 
@@ -494,6 +532,7 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
                 report.first_violation = diff
                 report.first_violation_round = round_index
                 report.first_violation_block = matcher.stats.blocks
+                violation_ident.append(ident)
 
     try:
         for round_index in range(config.rounds):
@@ -597,6 +636,8 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
         report.host_takeovers = rs.host_takeovers
         report.reoffloads = rs.reoffloads
     if report.transport_failed or report.engine_failed:
+        if recorder.enabled and violation_ident:
+            report.passport = recorder.passport(violation_ident[0]) or {}
         return report
 
     # Exactly-once: delivered identity multiset == sent identity set.
@@ -622,4 +663,7 @@ def run_chaos(config: ChaosConfig, *, tracer: SpanTracer = NULL_TRACER) -> Chaos
             if not report.first_violation:
                 report.first_violation = diff
                 report.first_violation_block = matcher.stats.blocks
+                violation_ident.append(ident)
+    if recorder.enabled and violation_ident:
+        report.passport = recorder.passport(violation_ident[0]) or {}
     return report

@@ -36,8 +36,9 @@ from repro.chaos.harness import (
     run_chaos,
 )
 from repro.fleet import JobSpec, run_jobs
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder, LedgerDump
 from repro.obs.registry import MetricsRegistry, MetricsSnapshot
-from repro.obs.trace import ScopedTracer, SpanTracer
+from repro.obs.trace import NULL_TRACER, ScopedTracer, SpanTracer
 from repro.rdma.faultwire import FaultPlan
 
 __all__ = ["PROFILES", "iter_soak_jobs", "main", "soak"]
@@ -212,6 +213,7 @@ def soak(
     jobs: int = 1,
     cache_dir: str | None = None,
     profiles: dict[str, ChaosConfig] | None = None,
+    ledger_sink: list[LedgerDump] | None = None,
 ) -> tuple[int, int]:
     """Run the soak matrix; returns ``(runs, failures)``.
 
@@ -224,6 +226,13 @@ def soak(
     With a ``tracer``, each profile's most eventful seed is re-run
     (deterministically — same seed, same report) under a scoped view
     so the trace holds one timeline per profile.
+
+    With a ``ledger_sink`` (a list to append :class:`LedgerDump` parts
+    to), the same representative re-run also carries a
+    :class:`repro.obs.ledger.FlightRecorder`, giving one per-message
+    lifecycle ledger per profile — and every *failing* seed is re-run
+    with a recorder so its first-violation passport (the exact phase
+    history of the message that broke) lands on ``err`` and in the dump.
     """
     table = PROFILES if profiles is None else profiles
     failures = 0
@@ -270,7 +279,27 @@ def soak(
                 print(f"  missing: {line}", file=err)
             for line in report.mismatches[:5]:
                 print(f"  mismatch: {line}", file=err)
-    if tracer is not None and tracer.enabled:
+            if ledger_sink is not None:
+                # Deterministic re-run of the failing seed with the
+                # flight recorder: the report ships the violating
+                # message's passport, the sink gets the full ledger.
+                lrec = FlightRecorder()
+                rerun = run_chaos(
+                    replace(table[name], seed=report.seed), recorder=lrec
+                )
+                ledger_sink.append(
+                    lrec.export(scenario=f"{name}/seed{report.seed}")
+                )
+                if rerun.passport:
+                    phases = "->".join(
+                        str(t[1]) for t in rerun.passport.get("transitions", ())
+                    )
+                    print(
+                        f"  passport {rerun.passport.get('label', '')}: {phases}",
+                        file=err,
+                    )
+    trace_on = tracer is not None and tracer.enabled
+    if trace_on or ledger_sink is not None:
         for name in names:
             best_seed: int | None = None
             best_interest = -1
@@ -280,8 +309,17 @@ def soak(
                     best_seed, best_interest = report.seed, interest
             if best_seed is None:
                 continue
-            scoped = ScopedTracer(tracer, f"{name}/")
-            run_chaos(replace(table[name], seed=best_seed), tracer=scoped)
+            scoped = ScopedTracer(tracer, f"{name}/") if trace_on else NULL_TRACER
+            recorder = (
+                FlightRecorder() if ledger_sink is not None else NULL_RECORDER
+            )
+            run_chaos(
+                replace(table[name], seed=best_seed),
+                tracer=scoped,
+                recorder=recorder,
+            )
+            if ledger_sink is not None:
+                ledger_sink.append(recorder.export(scenario=name))
             if verbose:
                 print(f"{name}: traced seed {best_seed}", file=out)
     return runs, failures
@@ -307,6 +345,16 @@ def main(argv: list[str] | None = None) -> int:
         help="write a cumulative metrics snapshot (JSON) of every run",
     )
     parser.add_argument(
+        "--ledger-out",
+        metavar="PATH",
+        default=None,
+        help="write a per-message flight-recorder ledger "
+        "(repro.obs.ledger JSON) of one representative seed per "
+        "profile; failing seeds are re-run under the recorder and "
+        "their first-violation passport is printed "
+        "(analyze with repro-obs attribution / critical-path / flows)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -322,6 +370,7 @@ def main(argv: list[str] | None = None) -> int:
     names = [args.profile] if args.profile else sorted(PROFILES)
     tracer = SpanTracer() if args.trace_out else None
     registry = MetricsRegistry() if args.metrics_out else None
+    ledger_sink: list[LedgerDump] | None = [] if args.ledger_out else None
     runs, failures = soak(
         names,
         range(args.seed_base, args.seed_base + args.seeds),
@@ -330,10 +379,24 @@ def main(argv: list[str] | None = None) -> int:
         verbose=args.verbose,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        ledger_sink=ledger_sink,
     )
     if tracer is not None:
         tracer.write(args.trace_out)
         print(f"trace: {args.trace_out} ({len(tracer)} events)")
+    if ledger_sink is not None:
+        dump = LedgerDump()
+        for part in ledger_sink:
+            dump = dump.merge(part)
+        with open(args.ledger_out, "w", encoding="utf-8") as fp:
+            fp.write(dump.to_json())
+        records = sum(
+            len(payload.get("records", ())) for payload in dump.scenarios.values()
+        )
+        print(
+            f"ledger: {args.ledger_out} "
+            f"({len(dump.scenarios)} scenarios, {records} records)"
+        )
     if registry is not None:
         snapshot: MetricsSnapshot = registry.snapshot()
         with open(args.metrics_out, "w", encoding="utf-8") as fp:

@@ -134,6 +134,11 @@ class OptimisticMatcher:
         #: budget (the §III-E enforcement hooks). ``None`` keeps the
         #: historical zero-overhead behaviour.
         self.pressure = None
+        #: Optional :class:`repro.obs.ledger.FlightRecorder`; when set,
+        #: match resolutions and UMQ residency are stamped onto each
+        #: message's flight record. ``None`` keeps the hot path to a
+        #: single attribute test (same contract as ``pressure``).
+        self.recorder = None
 
     def set_observer(self, observer: "Callable[[str, dict], None] | None") -> None:
         """Install (or clear) the decision-point observer post hoc —
@@ -145,6 +150,13 @@ class OptimisticMatcher:
         attach point :mod:`repro.pressure` uses. Must be called on an
         empty engine (or one whose state the meter already accounts)."""
         self.pressure = meter
+
+    def set_recorder(self, recorder) -> None:
+        """Install (or clear) the flight recorder post hoc — the attach
+        point :mod:`repro.obs.ledger` instrumentation uses. Engine
+        generations created by fallback/recovery/pressure carriers must
+        re-install it on each fresh engine."""
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
     # Host-side operations (QP commands)
@@ -179,6 +191,10 @@ class OptimisticMatcher:
             if self.pressure is not None:
                 self.pressure.release_unexpected()
             self.stats.receives_matched_from_unexpected += 1
+            if self.recorder is not None:
+                self.recorder.stamp(
+                    stored.envelope.mid, "matched", path="serial"
+                )
             return MatchEvent(
                 kind=MatchKind.UNEXPECTED_DRAIN,
                 message=stored.envelope,
@@ -433,6 +449,10 @@ class OptimisticMatcher:
         self.table.release(descr)
         if self.pressure is not None:
             self.pressure.release_descriptor()
+        if self.recorder is not None:
+            self.recorder.stamp(
+                ctx.messages[tid].mid, "matched", path=path.value, thread=tid
+            )
         if self._observer is not None:
             self._observer(
                 "consume",
@@ -447,6 +467,8 @@ class OptimisticMatcher:
         um = UnexpectedMessage(envelope=msg, buffer_token=self._buffer_tokens.next())
         self.unexpected.insert(um)
         ctx.stats.unexpected += 1
+        if self.recorder is not None:
+            self.recorder.stamp(msg.mid, "umq", thread=tid)
         ctx.outcomes[tid] = MatchEvent(
             kind=MatchKind.STORED_UNEXPECTED,
             message=msg,

@@ -52,6 +52,10 @@ class MessageEnvelope:
     #: Per-sender send sequence number (diagnostics / C2 auditing).
     send_seq: int = 0
     inline_hashes: InlineHashes | None = None
+    #: Flight-recorder message id (:mod:`repro.obs.ledger`); -1 when no
+    #: recorder is attached. Excluded from equality/hash so ledger
+    #: instrumentation can never change matching behaviour.
+    mid: int = field(default=-1, compare=False)
 
     def __post_init__(self) -> None:
         if self.source < 0:

@@ -28,7 +28,7 @@ generations so counters stay cumulative.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import EngineConfig
 from repro.core.descriptor import DescriptorTableFull
@@ -39,6 +39,7 @@ from repro.core.threadsim import DeadlockError, SchedulePolicy
 from repro.dpa.costs import DpaCostModel, HostCostModel
 from repro.dpa.memory import MemoryModel
 from repro.matching.list_matcher import ListMatcher
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.recovery.faults import CoreFault, CoreFaultInjector, CoreFaultKind, CoreFaultPlan
@@ -98,6 +99,7 @@ class DpaMachine:
         recovery: RecoveryPolicy | None = None,
         enforce_budget: bool = False,
         budget: "PressureBudget | None" = None,
+        recorder: FlightRecorder = NULL_RECORDER,
     ) -> None:
         """``keep_history`` (alias of the older ``keep_block_history``)
         retains per-block history and cycle breakdowns; off by default
@@ -149,6 +151,11 @@ class DpaMachine:
         )
         self.report = DpaRunReport()
         self.memory = MemoryModel(self.config.bins, self.config.max_receives)
+        # -- flight recorder (repro.obs.ledger) -------------------------
+        self.recorder = recorder
+        if recorder.enabled:
+            recorder.set_clock(self.now_us)
+            self.engine.set_recorder(recorder)
         self._tracer = tracer
         self._blocks_track = tracer.track("dpa", "blocks") if tracer.enabled else None
         self._degraded_track = (
@@ -252,6 +259,10 @@ class DpaMachine:
         parked entry recalls it (both charged DPA cycles).
         """
         self._maybe_recover()
+        if self.recorder.enabled:
+            self.recorder.open_receive(
+                request.handle, source=request.source, tag=request.tag
+            )
         if self.pressure is not None:
             if self._host is None and self.pressure.under_pressure:
                 # Evict *before* searching: a just-parked entry is
@@ -259,20 +270,32 @@ class DpaMachine:
                 self._relieve_budget()
             parked = self._search_parked(request)
             if parked is not None:
-                return self._recall(request, parked)
+                return self._record_match(self._recall(request, parked))
         if self._host is None:
             try:
-                return self.engine.post_receive(request)
+                return self._record_match(self.engine.post_receive(request))
             except DescriptorTableFull:
                 if not self._degrade_to_host:
                     raise
                 self._spill()
-        return self._host_post(request)
+        return self._record_match(self._host_post(request))
 
     def deliver(self, msg: MessageEnvelope) -> None:
         """A message lands in a bounce buffer; its completion entry
         will trigger a DPA thread (or, while degraded, a host match)."""
         self._maybe_recover()
+        if self.recorder.enabled:
+            if msg.mid < 0:
+                # The machine is the earliest layer that sees this
+                # message: it opens the record itself (bench/direct
+                # drivers); protocol-driven flows arrive with a mid.
+                msg = replace(
+                    msg,
+                    mid=self.recorder.open(
+                        source=msg.source, tag=msg.tag, size=msg.size
+                    ),
+                )
+            self.recorder.stamp(msg.mid, "cq")
         if self._host is None:
             if self._injector is not None:
                 # Guarded mode: batches form at the machine so a
@@ -300,6 +323,19 @@ class DpaMachine:
         self.report.dpa_seconds = self.costs.cycles_to_seconds(self.report.dpa_cycles)
         return events
 
+    def _record_match(self, event: MatchEvent | None) -> MatchEvent | None:
+        """Stamp resolution + completion for a resolved match. The
+        machine is the last layer in direct-drive runs (bench, fleet);
+        the engine's own ``matched`` stamp dedupes against this one."""
+        if event is None or not self.recorder.enabled:
+            return event
+        if event.kind is not MatchKind.STORED_UNEXPECTED and event.receive is not None:
+            mid = event.message.mid
+            self.recorder.stamp(mid, "matched")
+            self.recorder.complete(mid)
+            self.recorder.close_receive(event.receive.handle, mid)
+        return event
+
     # -- degraded mode ------------------------------------------------
 
     def _drain_engine(self) -> list[MatchEvent]:
@@ -326,8 +362,14 @@ class DpaMachine:
                 self._budget_takeover()
                 break
             start = len(self.engine.stats.block_history)
-            events.extend(self.engine.process_block())
+            block_events = self.engine.process_block()
             self._cost_new_blocks(start)
+            if self.recorder.enabled:
+                # Completion is stamped *after* costing so the ledger
+                # sees the block's end-of-span clock.
+                for event in block_events:
+                    self._record_match(event)
+            events.extend(block_events)
         return events
 
     def _cost_new_blocks(self, start: int) -> float:
@@ -399,6 +441,8 @@ class DpaMachine:
             self._parked.append(envelope)
             self.pressure.stats.evictions += 1
             self.report.dpa_cycles += self.costs.eviction_cycles
+            if self.recorder.enabled:
+                self.recorder.stamp(envelope.mid, "parked", cause="block-room")
         return self.pressure.headroom() >= need
 
     def _budget_takeover(self) -> None:
@@ -412,6 +456,8 @@ class DpaMachine:
         self.pressure.stats.takeovers += 1
         self.pressure.release_all("descriptors")
         self.pressure.release_all("unexpected")
+        if self.recorder.enabled:
+            self.recorder.event("takeover", reason="budget")
         if self._degraded_track is not None:
             self._tracer.begin(
                 self._degraded_track,
@@ -434,6 +480,8 @@ class DpaMachine:
             self._parked.append(envelope)
             self.pressure.stats.evictions += 1
             self.report.dpa_cycles += self.costs.eviction_cycles
+            if self.recorder.enabled:
+                self.recorder.stamp(envelope.mid, "parked", cause="pressure")
 
     def _search_parked(self, request: ReceiveRequest) -> MessageEnvelope | None:
         for envelope in self._parked:
@@ -449,6 +497,8 @@ class DpaMachine:
         self._parked.remove(envelope)
         self.pressure.stats.recalls += 1
         self.report.dpa_cycles += self.costs.recall_cycles
+        if self.recorder.enabled:
+            self.recorder.note(envelope.mid, "recall")
         self.engine.stats.receives_posted += 1
         self.engine.stats.receives_matched_from_unexpected += 1
         decisions = self.engine.decisions if self._host is None else self._host.decisions
@@ -470,9 +520,14 @@ class DpaMachine:
         policy = self.recovery_policy
         attempts = 0
         hang_cycles = 0.0
+        marks: list[tuple[int, int]] = []
         while True:
             self._advance_epoch()
             checkpoint = checkpoint_engine(self.engine)
+            if self.recorder.enabled:
+                # Speculation fence: stamps from an aborted attempt are
+                # rewound so only the surviving attempt's remain.
+                marks = [(msg.mid, self.recorder.mark(msg.mid)) for msg in batch]
             for msg in batch:
                 self.engine.submit_message(msg)
             attempts += 1
@@ -494,6 +549,17 @@ class DpaMachine:
                     fault_injector=self._injector,
                     history_limit=self._history_limit,
                 )
+                if self.recorder.enabled:
+                    self.engine.set_recorder(self.recorder)
+                    for mid, mark in marks:
+                        self.recorder.rewind(mid, mark)
+                        self.recorder.note(
+                            mid,
+                            "rollback",
+                            epoch=self._epoch,
+                            attempt=attempts,
+                            fault=fault.kind.value,
+                        )
                 rs.block_rollbacks += 1
                 if (
                     self.quarantine.count > policy.quarantine_threshold
@@ -523,6 +589,9 @@ class DpaMachine:
                         self.now_us(),
                         args={"attempts": attempts, "wasted_cycles": wasted},
                     )
+            if self.recorder.enabled:
+                for event in events:
+                    self._record_match(event)
             return events
 
     def _note_core_fault(self, fault) -> None:
@@ -571,6 +640,10 @@ class DpaMachine:
         self._host = host_takeover(self.engine)
         self.engine.stats.fallback_spills += 1
         self.recovery_stats.host_takeovers += 1
+        if self.recorder.enabled:
+            self.recorder.event(
+                "takeover", reason="core-faults", dead=self.quarantine.count
+            )
         if self._degraded_track is not None:
             self._tracer.begin(
                 self._degraded_track,
@@ -592,6 +665,8 @@ class DpaMachine:
             return
         self._host = host_takeover(self.engine)
         self.engine.stats.fallback_spills += 1
+        if self.recorder.enabled:
+            self.recorder.event("takeover", reason="descriptor-spill")
         if self.pressure is not None:
             # The working set now lives in host memory: its charges
             # leave the accelerator wholesale.
@@ -634,6 +709,9 @@ class DpaMachine:
             # Install the meter *before* import so the migrated state
             # is re-charged by the import hooks.
             fresh.set_pressure(self.pressure)
+        if self.recorder.enabled:
+            fresh.set_recorder(self.recorder)
+            self.recorder.event("reoffload")
         fresh.import_state(receives, unexpected)
         self.engine = fresh
         self._host = None
@@ -680,6 +758,11 @@ class DpaMachine:
         )
         self.report.host_messages += 1
         self.engine.stats.degraded_matches += 1
+        if self.recorder.enabled:
+            if event.kind is MatchKind.STORED_UNEXPECTED:
+                self.recorder.stamp(msg.mid, "umq", host=True)
+            else:
+                self._record_match(event)
         self._host_events.append(event)
         if self._injector is not None:
             # Host traffic still advances repair time, one epoch per

@@ -30,6 +30,7 @@ _BUILTIN: dict[str, tuple[str, str]] = {
     "AppAnalysis": ("repro.analyzer.statistics", "AppAnalysis"),
     "ChaosReport": ("repro.chaos.harness", "ChaosReport"),
     "EngineStats": ("repro.core.stats", "EngineStats"),
+    "LedgerDump": ("repro.obs.ledger", "LedgerDump"),
     "RateResult": ("repro.bench.pingpong", "RateResult"),
 }
 _EXTRA: dict[str, type] = {}

@@ -89,12 +89,12 @@ def _ensure_builtin() -> None:
     if _builtin_loaded:
         return
     _builtin_loaded = True
-    # chaos_run is at version 3: the report schema grew memory-pressure
-    # enforcement fields (evictions, demotions, budget accounting) —
-    # cached v2 reports must not satisfy v3 sweeps.
+    # chaos_run is at version 4: the report schema grew the
+    # flight-recorder passport (first-violation lifecycle record) —
+    # cached v3 reports must not satisfy v4 sweeps.
     for name, fn, version in (
         ("analyze_app", _analyze_app, "1"),
-        ("chaos_run", _chaos_run, "3"),
+        ("chaos_run", _chaos_run, "4"),
         ("bench_scenario", _bench_scenario, "1"),
     ):
         if name not in _KINDS:

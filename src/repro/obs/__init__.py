@@ -9,7 +9,14 @@ One layer, three concerns:
   Chrome ``trace_event`` JSON for Perfetto;
 * :mod:`repro.obs.probe` — ``@probe`` hook points with a null-sink
   fast path (disabled tracing is near free; CI enforces the bound via
-  :mod:`repro.obs.overhead`).
+  :mod:`repro.obs.overhead`);
+* :mod:`repro.obs.ledger` — the per-message flight recorder: every
+  message gets a lifecycle record of simulated-time phase transitions
+  across the whole offload stack, analyzed by
+  :mod:`repro.obs.attribution` (conserved latency waterfall),
+  :mod:`repro.obs.critpath` (critical-path chains), and
+  :mod:`repro.obs.flows` (Perfetto flow-event export) — all reachable
+  via the ``repro-obs`` CLI (:mod:`repro.obs.cli`).
 
 Adapters for the existing stack live in :mod:`repro.obs.hooks`;
 ``python -m repro.obs.report`` renders metric snapshots in the
@@ -21,6 +28,13 @@ from repro.obs.hooks import (
     EngineTraceObserver,
     attach_engine_observer,
     register_stack_metrics,
+)
+from repro.obs.ledger import (
+    NULL_RECORDER,
+    FlightRecorder,
+    LedgerDump,
+    MessageRecord,
+    NullRecorder,
 )
 from repro.obs.registry import (
     Counter,
@@ -60,4 +74,9 @@ __all__ = [
     "attach_engine_observer",
     "DegradedWindowWatcher",
     "register_stack_metrics",
+    "FlightRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MessageRecord",
+    "LedgerDump",
 ]

@@ -1,0 +1,149 @@
+"""Latency attribution: conserved per-message phase waterfalls.
+
+Each :class:`repro.obs.ledger.MessageRecord` decomposes its end-to-end
+latency into phase segments whose durations telescope to exactly
+``end - start`` (conservation holds by construction — segments are
+consecutive-transition gaps). This module aggregates those waterfalls
+per scenario and per phase, with p50/p95/p99 summary quantiles over
+the per-message phase durations, and renders an ASCII report for the
+``repro-obs attribution`` CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.ledger import LedgerDump, MessageRecord
+
+__all__ = [
+    "PhaseSummary",
+    "ScenarioAttribution",
+    "attribute",
+    "check_conservation",
+    "quantile",
+    "render_attribution",
+]
+
+
+def quantile(values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of a non-empty sample list."""
+    if not values:
+        raise ValueError("quantile of empty sample")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(slots=True)
+class PhaseSummary:
+    """Aggregate of one phase's durations across a scenario."""
+
+    phase: str
+    count: int
+    total: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+
+@dataclass(slots=True)
+class ScenarioAttribution:
+    """One scenario's conserved waterfall."""
+
+    scenario: str
+    messages: int
+    completed: int
+    total_latency: float
+    phases: list[PhaseSummary] = field(default_factory=list)
+    #: mids whose phase durations failed to sum to their latency
+    #: (must stay empty — conservation is structural).
+    violations: list[int] = field(default_factory=list)
+
+
+def check_conservation(record: MessageRecord) -> bool:
+    """Phase durations must sum to the end-to-end latency.
+
+    Conservation is exact in the algebra (segments telescope), so the
+    only slack allowed is float rounding of the telescoped sum — a few
+    ulps, not a bookkeeping tolerance.
+    """
+    total = math.fsum(t1 - t0 for t0, t1, _ in record.segments())
+    return math.isclose(total, record.latency, rel_tol=1e-12, abs_tol=1e-12)
+
+
+def attribute(dump: LedgerDump, scenario: str | None = None) -> list[ScenarioAttribution]:
+    """Aggregate per-phase waterfalls for each scenario in the dump."""
+    out: list[ScenarioAttribution] = []
+    for name in sorted(dump.scenarios):
+        if scenario is not None and name != scenario:
+            continue
+        per_phase: dict[str, list[float]] = {}
+        messages = completed = 0
+        total_latency = 0.0
+        violations: list[int] = []
+        for _, rec in dump.iter_records(name):
+            if not rec.transitions:
+                continue
+            messages += 1
+            if rec.completed:
+                completed += 1
+            total_latency += rec.latency
+            if not check_conservation(rec):
+                violations.append(rec.mid)
+            for phase, duration in rec.phase_durations().items():
+                per_phase.setdefault(phase, []).append(duration)
+        phases = [
+            PhaseSummary(
+                phase=phase,
+                count=len(samples),
+                total=sum(samples),
+                p50=quantile(samples, 0.50),
+                p95=quantile(samples, 0.95),
+                p99=quantile(samples, 0.99),
+                max=max(samples),
+            )
+            for phase, samples in sorted(
+                per_phase.items(), key=lambda kv: -sum(kv[1])
+            )
+        ]
+        out.append(
+            ScenarioAttribution(
+                scenario=name,
+                messages=messages,
+                completed=completed,
+                total_latency=total_latency,
+                phases=phases,
+                violations=violations,
+            )
+        )
+    return out
+
+
+def render_attribution(reports: list[ScenarioAttribution]) -> str:
+    """ASCII waterfall tables, one per scenario."""
+    lines: list[str] = []
+    for rep in reports:
+        lines.append(
+            f"scenario {rep.scenario}: {rep.messages} messages "
+            f"({rep.completed} completed), total latency {rep.total_latency:g}"
+        )
+        if rep.violations:
+            lines.append(f"  CONSERVATION VIOLATED for mids {rep.violations[:10]}")
+        lines.append(
+            f"  {'phase':>10} {'msgs':>6} {'total':>10} {'share':>7} "
+            f"{'p50':>8} {'p95':>8} {'p99':>8} {'max':>8}"
+        )
+        for ph in rep.phases:
+            share = ph.total / rep.total_latency if rep.total_latency else 0.0
+            lines.append(
+                f"  {ph.phase:>10} {ph.count:>6} {ph.total:>10g} {share:>6.1%} "
+                f"{ph.p50:>8g} {ph.p95:>8g} {ph.p99:>8g} {ph.max:>8g}"
+            )
+    return "\n".join(lines)

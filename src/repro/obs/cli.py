@@ -1,0 +1,94 @@
+"""``repro-obs``: analyze a flight-recorder ledger dump.
+
+Subcommands::
+
+    repro-obs attribution LEDGER.json [--scenario NAME]
+    repro-obs critical-path LEDGER.json [--scenario NAME] [--top K]
+    repro-obs flows LEDGER.json --out TRACE.json
+
+``attribution`` renders the conserved per-phase latency waterfall
+(p50/p95/p99 per phase, per scenario) and exits nonzero if any
+message's phase durations fail to sum to its end-to-end latency.
+
+``critical-path`` reports the top-k causal chains dominating each
+scenario's makespan (the first chain spans it exactly) and exits
+nonzero when no chain can be built (empty ledger).
+
+``flows`` exports a Perfetto-loadable Chrome trace with per-message
+flow events linking spans across the host/wire/nic/engine tracks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.attribution import attribute, render_attribution
+from repro.obs.critpath import critical_path, render_chains
+from repro.obs.flows import write_flow_trace
+from repro.obs.ledger import LedgerDump
+
+__all__ = ["main"]
+
+
+def _load(path: Path) -> LedgerDump:
+    return LedgerDump.from_json(path.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_attr = sub.add_parser("attribution", help="conserved phase waterfall")
+    p_attr.add_argument("ledger", type=Path)
+    p_attr.add_argument("--scenario", default=None)
+
+    p_crit = sub.add_parser("critical-path", help="top-k causal chains")
+    p_crit.add_argument("ledger", type=Path)
+    p_crit.add_argument("--scenario", default=None)
+    p_crit.add_argument("--top", type=int, default=3)
+
+    p_flow = sub.add_parser("flows", help="Perfetto flow-event export")
+    p_flow.add_argument("ledger", type=Path)
+    p_flow.add_argument("--out", type=Path, required=True)
+
+    args = parser.parse_args(argv)
+    try:
+        dump = _load(args.ledger)
+    except (OSError, ValueError) as exc:
+        print(f"{args.ledger}: unreadable ledger ({exc})", file=sys.stderr)
+        return 2
+
+    if args.command == "attribution":
+        reports = attribute(dump, scenario=args.scenario)
+        if not reports:
+            print("no matching scenarios in ledger", file=sys.stderr)
+            return 1
+        try:
+            print(render_attribution(reports))
+        except BrokenPipeError:  # e.g. piped into `head`
+            sys.stderr.close()
+        return 1 if any(rep.violations for rep in reports) else 0
+
+    if args.command == "critical-path":
+        chains = critical_path(dump, scenario=args.scenario, k=args.top)
+        if not chains:
+            print("no chains (empty ledger?)", file=sys.stderr)
+            return 1
+        try:
+            print(render_chains(chains))
+        except BrokenPipeError:  # e.g. piped into `head`
+            sys.stderr.close()
+        return 0
+
+    if args.command == "flows":
+        count = write_flow_trace(dump, str(args.out))
+        print(f"wrote {args.out} ({count} events)")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+"""Perfetto flow-event export of a ledger dump.
+
+Each message's phase segments become ``X`` (complete) events on the
+track of the layer that owned the phase — host, wire, nic, engine —
+and a Chrome flow (``s``/``t``/``f`` events sharing ``id=mid``) links
+the segments across tracks, so Perfetto draws one arrow-chained
+lifeline per message through the whole offload stack.
+
+Events are constructed directly (not through
+:class:`repro.obs.trace.SpanTracer` — its per-track monotone clamping
+would distort interleaved per-message timelines) and globally sorted
+by timestamp, which makes every track monotone for the validator.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.ledger import LedgerDump
+
+__all__ = ["ledger_to_chrome", "write_flow_trace"]
+
+#: phase -> (layer name, pid). One Perfetto "process" per layer.
+_LAYERS: dict[str, tuple[str, int]] = {
+    "send": ("host", 1),
+    "wire": ("wire", 2),
+    "staged": ("nic", 3),
+    "cq": ("nic", 3),
+    "rdma_read": ("nic", 3),
+    "engine": ("engine", 4),
+    "umq": ("engine", 4),
+    "parked": ("engine", 4),
+    "matched": ("engine", 4),
+}
+_DEFAULT_LAYER = ("engine", 4)
+_FLOW_CAT = "msg"
+
+
+def ledger_to_chrome(dump: LedgerDump) -> list[dict]:
+    """Chrome ``trace_event`` list (metadata first, then ts-sorted)."""
+    meta: list[dict] = []
+    events: list[dict] = []
+    named_tracks: set[tuple[int, int]] = set()
+    named_procs: set[int] = set()
+
+    def track(pid: int, tid: int, layer: str, scenario: str) -> None:
+        if pid not in named_procs:
+            named_procs.add(pid)
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": layer},
+                }
+            )
+        if (pid, tid) not in named_tracks:
+            named_tracks.add((pid, tid))
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": scenario},
+                }
+            )
+
+    for tid, scenario in enumerate(sorted(dump.scenarios), start=1):
+        for _, rec in dump.iter_records(scenario):
+            segments = rec.segments()
+            if not segments:
+                continue
+            flow_name = rec.label or f"mid{rec.mid}"
+            prev_pid: int | None = None
+            for t0, t1, phase in segments:
+                layer, pid = _LAYERS.get(phase, _DEFAULT_LAYER)
+                track(pid, tid, layer, scenario)
+                events.append(
+                    {
+                        "name": phase,
+                        "cat": "ledger",
+                        "ph": "X",
+                        "ts": t0,
+                        "dur": t1 - t0,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"mid": rec.mid, "label": rec.label},
+                    }
+                )
+                if prev_pid is None:
+                    events.append(
+                        {
+                            "name": flow_name,
+                            "cat": _FLOW_CAT,
+                            "ph": "s",
+                            "id": rec.mid,
+                            "ts": t0,
+                            "pid": pid,
+                            "tid": tid,
+                        }
+                    )
+                elif pid != prev_pid:
+                    events.append(
+                        {
+                            "name": flow_name,
+                            "cat": _FLOW_CAT,
+                            "ph": "t",
+                            "id": rec.mid,
+                            "ts": t0,
+                            "pid": pid,
+                            "tid": tid,
+                        }
+                    )
+                prev_pid = pid
+            end_t = segments[-1][1]
+            layer, pid = _LAYERS.get(segments[-1][2], _DEFAULT_LAYER)
+            events.append(
+                {
+                    "name": flow_name,
+                    "cat": _FLOW_CAT,
+                    "ph": "f",
+                    "bp": "e",
+                    "id": rec.mid,
+                    "ts": end_t,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+    events.sort(key=lambda e: e["ts"])
+    return meta + events
+
+
+def write_flow_trace(dump: LedgerDump, path: str) -> int:
+    """Write the flow trace; returns the number of events."""
+    payload = ledger_to_chrome(dump)
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump({"traceEvents": payload, "displayTimeUnit": "ms"}, fp)
+    return len(payload)

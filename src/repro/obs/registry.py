@@ -183,12 +183,38 @@ class Histogram(_Metric):
         self.count += 1
         self.sum += value
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile, linearly interpolated inside the
+        containing bucket (``histogram_quantile`` semantics, with the
+        first bucket's lower edge taken as 0). Empty histograms report
+        0.0; ranks landing in the +inf overflow bucket clamp to the
+        highest finite bound."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = 0
+        lo = 0.0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            if n and cum + n >= rank:
+                return lo + (bound - lo) * (rank - cum) / n
+            cum += n
+            lo = bound
+        return self.bounds[-1]
+
     def _own_samples(self) -> Iterable[tuple[str, float]]:
         for bound, n in zip(self.bounds, self.bucket_counts):
             yield f"{self.name}_bucket{{le={bound:g}}}", float(n)
         yield f"{self.name}_bucket{{le=+inf}}", float(self.bucket_counts[-1])
         yield f"{self.name}_count", float(self.count)
         yield f"{self.name}_sum", float(self.sum)
+        # Per-snapshot estimates for direct readers. NOT additive under
+        # MetricsSnapshot.merge — the report renderer recomputes
+        # quantiles from the (additive) bucket samples instead.
+        yield f"{self.name}_p50", self.quantile(0.50)
+        yield f"{self.name}_p95", self.quantile(0.95)
+        yield f"{self.name}_p99", self.quantile(0.99)
 
 
 @dataclass(frozen=True, slots=True)

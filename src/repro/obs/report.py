@@ -27,6 +27,9 @@ __all__ = ["render_metrics", "main"]
 
 _BUCKET_RE = re.compile(r"^(?P<base>.+)_bucket\{le=(?P<le>[^}]+)\}$")
 
+#: Family keys that are summary samples, not buckets.
+_NON_BUCKET = ("count", "sum", "p50", "p95", "p99")
+
 
 def _split(snapshot: MetricsSnapshot):
     """Separate histogram families from scalar samples."""
@@ -37,27 +40,60 @@ def _split(snapshot: MetricsSnapshot):
         match = _BUCKET_RE.match(name)
         if match is not None:
             hist_bases.add(match.group("base"))
+    suffixes = tuple(f"_{k}" for k in _NON_BUCKET)
     for name, value in snapshot.values.items():
         match = _BUCKET_RE.match(name)
         if match is not None:
             histograms[match.group("base")][match.group("le")] = value
             continue
         base = name.rsplit("_", 1)[0]
-        if base in hist_bases and name.endswith(("_count", "_sum")):
+        if base in hist_bases and name.endswith(suffixes):
             histograms[base][name.rsplit("_", 1)[1]] = value
             continue
         scalars[name] = value
     return scalars, histograms
 
 
+def _bound(le: str) -> float:
+    return float("inf") if le == "+inf" else float(le)
+
+
 def _de_cumulate(buckets: dict[str, float]) -> dict[str, float]:
     """Bucket counts are per-bucket already; order by bound for display."""
-
-    def bound(le: str) -> float:
-        return float("inf") if le == "+inf" else float(le)
-
-    ordered = sorted((k for k in buckets if k not in ("count", "sum")), key=bound)
+    ordered = sorted((k for k in buckets if k not in _NON_BUCKET), key=_bound)
     return {f"<= {le}": buckets[le] for le in ordered}
+
+
+def _quantile(family: dict[str, float], q: float) -> float:
+    """Quantile recomputed from the family's *bucket* samples.
+
+    Buckets are additive under :meth:`MetricsSnapshot.merge`, so this
+    stays correct for merged snapshots — unlike the registry-emitted
+    ``_p50/_p95/_p99`` convenience samples, which are per-snapshot
+    estimates and sum meaninglessly. Matches
+    :meth:`repro.obs.registry.Histogram.quantile` on a lone snapshot.
+    """
+    ordered = sorted((k for k in family if k not in _NON_BUCKET), key=_bound)
+    count = sum(family[k] for k in ordered)
+    if not count:
+        return 0.0
+    rank = q * count
+    cum = 0.0
+    lo = 0.0
+    last_finite = 0.0
+    for le in ordered:
+        n = family[le]
+        hi = _bound(le)
+        if hi != float("inf"):
+            last_finite = hi
+        if n and cum + n >= rank:
+            return last_finite if hi == float("inf") else (
+                lo + (hi - lo) * (rank - cum) / n
+            )
+        cum += n
+        if hi != float("inf"):
+            lo = hi
+    return last_finite
 
 
 def render_metrics(
@@ -83,9 +119,13 @@ def render_metrics(
         count = family.get("count", 0.0)
         total = family.get("sum", 0.0)
         mean = total / count if count else 0.0
+        p50 = _quantile(family, 0.50)
+        p95 = _quantile(family, 0.95)
+        p99 = _quantile(family, 0.99)
         bars = hbar_chart(_de_cumulate(family), width=width)
         sections.append(
-            f"== {base} (histogram: n={count:g}, mean={mean:g}) ==\n{bars}"
+            f"== {base} (histogram: n={count:g}, mean={mean:g}, "
+            f"p50={p50:g}, p95={p95:g}, p99={p99:g}) ==\n{bars}"
         )
     return "\n\n".join(sections) if sections else "(no metrics)"
 

@@ -10,7 +10,11 @@ structural, not semantic:
 * per (pid, tid) track, timestamps are monotonically non-decreasing
   in emission order (simulated clocks may repeat an instant, never
   rewind);
-* ``B``/``E`` begin/end events are balanced per track.
+* ``B``/``E`` begin/end events are balanced per track;
+* flow events (``s``/``t``/``f``) and async spans (``b``/``n``/``e``)
+  carry an ``id``, and every flow step/finish follows a start for its
+  (cat, id) — the ledger's per-message flow exports are first-class
+  citizens, not "unknown events".
 
 Usage::
 
@@ -26,7 +30,9 @@ from pathlib import Path
 
 __all__ = ["validate_chrome_trace", "main"]
 
-_PHASES = frozenset("XBEiICMsbenOPSTFpRcv(")
+_PHASES = frozenset("XBEiICMstfbenOPSTFpRcv(")
+#: Phases that must carry an ``id`` (flow events + modern async spans).
+_ID_PHASES = frozenset("stfbne")
 
 
 def validate_chrome_trace(payload) -> list[str]:
@@ -43,6 +49,7 @@ def validate_chrome_trace(payload) -> list[str]:
 
     last_ts: dict[tuple, float] = {}
     open_depth: dict[tuple, int] = {}
+    open_flows: set[tuple] = set()
     for i, event in enumerate(events):
         where = f"event[{i}]"
         if not isinstance(event, dict):
@@ -69,6 +76,18 @@ def validate_chrome_trace(payload) -> list[str]:
                 f"tid={track[1]} (previous {previous})"
             )
         last_ts[track] = float(ts)
+        if ph in _ID_PHASES:
+            if "id" not in event:
+                errors.append(f"{where}: {ph!r} event needs an 'id'")
+            elif ph in "stf":
+                flow = (event.get("cat"), event["id"])
+                if ph == "s":
+                    open_flows.add(flow)
+                elif flow not in open_flows:
+                    errors.append(
+                        f"{where}: flow {ph!r} for cat={flow[0]!r} id={flow[1]!r} "
+                        "has no preceding 's' start"
+                    )
         if ph == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:

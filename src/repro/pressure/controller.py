@@ -48,6 +48,7 @@ from repro.core.envelope import MessageEnvelope, ReceiveRequest
 from repro.core.events import MatchEvent, MatchKind, ResolutionPath
 from repro.core.indexes import SearchProbeCount
 from repro.matching.list_matcher import ListMatcher
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder
 from repro.pressure.budget import PressureMeter, UNEXPECTED_HEADER_BYTES
 from repro.util.counters import MonotonicCounter
 
@@ -65,14 +66,18 @@ class PressuredPipeline:
         comm: int = 0,
         observer=None,
         engine_cls: type[OptimisticMatcher] = OptimisticMatcher,
+        recorder: FlightRecorder = NULL_RECORDER,
     ) -> None:
         self._config = config
         self._comm = comm
         self._observer = observer
         self._engine_cls = engine_cls
+        self.recorder = recorder
         self.meter = meter
         self.engine = engine_cls(config, comm=comm, observer=observer)
         self.engine.set_pressure(meter)
+        if recorder.enabled:
+            self.engine.set_recorder(recorder)
         meter.charge_bins(config.bins)
         #: One stats object carried across every engine generation.
         self.stats = self.engine.stats
@@ -298,6 +303,8 @@ class PressuredPipeline:
         self._parked.append(envelope)
         self._spill_staged_payload(envelope.send_seq)
         self.meter.stats.evictions += 1
+        if self.recorder.enabled:
+            self.recorder.stamp(envelope.mid, "parked")
         return True
 
     def _spill_staged_payload(self, token: int) -> None:
@@ -326,6 +333,8 @@ class PressuredPipeline:
     def _recall(self, request: ReceiveRequest, envelope: MessageEnvelope) -> MatchEvent:
         self._parked.remove(envelope)
         self.meter.stats.recalls += 1
+        if self.recorder.enabled:
+            self.recorder.note(envelope.mid, "recall")
         self.stats.receives_posted += 1
         self.stats.receives_matched_from_unexpected += 1
         decisions = (
@@ -358,6 +367,8 @@ class PressuredPipeline:
         self._software = host_takeover(self.engine)
         self.stats.fallback_spills += 1
         self.meter.stats.takeovers += 1
+        if self.recorder.enabled:
+            self.recorder.event("takeover", reason="pressure")
         self.meter.release_all("descriptors")
         self.meter.release_all("unexpected")
         if self._receiver is not None:
@@ -397,8 +408,12 @@ class PressuredPipeline:
         fresh.stats = self.stats
         fresh.decisions = MonotonicCounter(self._software.decisions.peek())
         fresh.set_pressure(self.meter)
+        if self.recorder.enabled:
+            fresh.set_recorder(self.recorder)
         fresh.import_state(receives, unexpected)
         self.engine = fresh
         self._software = None
         self.stats.fallback_recoveries += 1
         self.meter.stats.reoffloads += 1
+        if self.recorder.enabled:
+            self.recorder.event("reoffload", reason="pressure")

@@ -83,6 +83,12 @@ class CreditedSender:
             )
         self._queued.append((tag, payload, comm))
         self.stalls += 1
+        if self.sender.recorder.enabled:
+            # No mid exists yet (the send has not been posted), so the
+            # stall lands on the run-level event stream.
+            self.sender.recorder.event(
+                "credit_stall", rank=self.sender.rank, queued=len(self._queued)
+            )
         return False
 
     def grant(self, credits: int) -> int:

@@ -24,6 +24,7 @@ from repro.core.engine import OptimisticMatcher
 from repro.core.envelope import MessageEnvelope, ReceiveRequest
 from repro.core.events import MatchEvent, MatchKind
 from repro.core.hashing import compute_inline_hashes
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder
 from repro.rdma.qp import QueuePair, StagedMessage
 
 __all__ = [
@@ -51,6 +52,8 @@ class MessageHeader:
     protocol: str  #: "eager" | "rndv"
     rkey: int = 0  #: rendezvous only
     inline_hashes: tuple[int, int, int] | None = None
+    #: Flight-recorder message id (:mod:`repro.obs.ledger`); -1 = none.
+    mid: int = -1
 
 
 @dataclass(slots=True)
@@ -74,6 +77,7 @@ class RdmaSender:
         eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
         inline_hashes: bool = True,
         demote_probe=None,
+        recorder: FlightRecorder = NULL_RECORDER,
     ) -> None:
         """``demote_probe`` (optional) is consulted with the payload
         size for every eager-eligible send; returning True demotes the
@@ -85,6 +89,7 @@ class RdmaSender:
         self.eager_threshold = eager_threshold
         self.inline_hashes = inline_hashes
         self.demote_probe = demote_probe
+        self.recorder = recorder
         #: Eager-eligible sends demoted to rendezvous by the probe.
         self.demotions = 0
         self._send_seq: dict[tuple[int, int], int] = {}
@@ -100,9 +105,20 @@ class RdmaSender:
             ih = compute_inline_hashes(self.rank, tag)
             hashes = (ih.src_tag, ih.tag_only, ih.src_only)
         eager = len(payload) <= self.eager_threshold
+        eager_eligible = eager
         if eager and self.demote_probe is not None and self.demote_probe(len(payload)):
             eager = False
             self.demotions += 1
+        mid = -1
+        if self.recorder.enabled:
+            mid = self.recorder.open(
+                source=self.rank,
+                tag=tag,
+                size=len(payload),
+                protocol="eager" if eager else "rndv",
+            )
+            if eager_eligible and not eager:
+                self.recorder.note(mid, "demoted", size=len(payload))
         if eager:
             header = MessageHeader(
                 source=self.rank,
@@ -112,6 +128,7 @@ class RdmaSender:
                 send_seq=seq,
                 protocol="eager",
                 inline_hashes=hashes,
+                mid=mid,
             )
             self.qp.post_send("send", header, payload)
         else:
@@ -125,6 +142,7 @@ class RdmaSender:
                 protocol="rndv",
                 rkey=region.rkey,
                 inline_hashes=hashes,
+                mid=mid,
             )
             # An RTS "might include some message data" (§IV-B); this
             # model keeps it header-only for clarity.
@@ -135,9 +153,16 @@ class RdmaSender:
 class RdmaReceiver:
     """Receiver-side pipeline: CQ -> matcher -> protocol completion."""
 
-    def __init__(self, qp: QueuePair, matcher: OptimisticMatcher) -> None:
+    def __init__(
+        self,
+        qp: QueuePair,
+        matcher: OptimisticMatcher,
+        *,
+        recorder: FlightRecorder = NULL_RECORDER,
+    ) -> None:
         self.qp = qp
         self.matcher = matcher
+        self.recorder = recorder
         self.completed: list[Delivery] = []
         #: bounce-token -> (staged message, header) awaiting protocol.
         self._staged: dict[int, StagedMessage] = {}
@@ -151,6 +176,10 @@ class RdmaReceiver:
 
     def post_receive(self, request: ReceiveRequest) -> None:
         """Post a receive; an unexpected drain completes immediately."""
+        if self.recorder.enabled:
+            self.recorder.open_receive(
+                request.handle, source=request.source, tag=request.tag
+            )
         event = self.matcher.post_receive(request)
         if event is not None:
             self._complete(event, unexpected=True)
@@ -175,6 +204,9 @@ class RdmaReceiver:
                 inline = None
                 if header.inline_hashes is not None:
                     inline = InlineHashes(*header.inline_hashes)
+                mid = getattr(header, "mid", -1)
+                if self.recorder.enabled:
+                    self.recorder.stamp(mid, "engine")
                 self.matcher.submit_message(
                     MessageEnvelope(
                         source=header.source,
@@ -183,11 +215,17 @@ class RdmaReceiver:
                         size=header.size,
                         send_seq=token,  # token doubles as arrival id
                         inline_hashes=inline,
+                        mid=mid,
                     )
                 )
             elif cqe.opcode == "read_response":
                 token, data = cqe.payload
                 event = self._pending_reads.pop(token)
+                if self.recorder.enabled:
+                    self.recorder.complete(event.message.mid)
+                    self.recorder.close_receive(
+                        event.receive.handle, event.message.mid
+                    )
                 self.completed.append(
                     Delivery(
                         handle=event.receive.handle,
@@ -237,9 +275,15 @@ class RdmaReceiver:
         token = event.message.send_seq
         staged = self._staged.pop(token, None)
         header: MessageHeader | None = staged.header if staged is not None else None
+        if self.recorder.enabled:
+            # Engines stamp "matched" with the resolution path; this
+            # dedupes against that. Software matchers only get this one.
+            self.recorder.stamp(event.message.mid, "matched")
         if header is not None and header.protocol == "rndv":
             # DPA-issued one-sided read into the user buffer (§IV-B).
             self._pending_reads[token] = event
+            if self.recorder.enabled:
+                self.recorder.stamp(event.message.mid, "rdma_read")
             self.qp.rdma_read(header.rkey, token)
             return
         payload = b""
@@ -255,6 +299,9 @@ class RdmaReceiver:
             if stats is not None:
                 stats.degraded_stagings += 1
                 stats.degraded_matches += 1
+        if self.recorder.enabled:
+            self.recorder.complete(event.message.mid)
+            self.recorder.close_receive(event.receive.handle, event.message.mid)
         self.completed.append(
             Delivery(
                 handle=event.receive.handle,

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder
 from repro.rdma.bounce import BounceBuffer, BounceBufferPool, BouncePoolExhausted
 from repro.rdma.cq import Completion, CompletionQueue
 from repro.rdma.wire import Packet, Wire
@@ -97,9 +98,11 @@ class QueuePair:
         cq: CompletionQueue | None = None,
         bounce_pool: BounceBufferPool | None = None,
         host_spill: bool = False,
+        recorder: FlightRecorder = NULL_RECORDER,
     ) -> None:
         self.wire = wire
         self.side = side
+        self.recorder = recorder
         self.cq = cq if cq is not None else CompletionQueue()
         self.bounce_pool = bounce_pool if bounce_pool is not None else BounceBufferPool(4096)
         self.memory = MemoryRegistry()
@@ -186,6 +189,13 @@ class QueuePair:
                         self.host_spills += 1
                     else:
                         bounce.write(payload)
+                if self.recorder.enabled:
+                    mid = getattr(header, "mid", -1)
+                    where = "host" if host_data else (
+                        "bounce" if bounce is not None else "inline"
+                    )
+                    self.recorder.stamp(mid, "staged", where=where)
+                    self.recorder.stamp(mid, "cq")
                 self.cq.push(packet.opcode, StagedMessage(header, bounce, host_data))
             elif packet.opcode == "read_request":
                 rkey, token = packet.payload

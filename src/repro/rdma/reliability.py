@@ -41,6 +41,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder
 from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.rdma.wire import Endpoint, Packet, Wire, packet_checksum
 
@@ -155,6 +156,7 @@ class ReliableWire:
         *,
         config: ReliabilityConfig | None = None,
         tracer: SpanTracer = NULL_TRACER,
+        recorder: FlightRecorder = NULL_RECORDER,
     ) -> None:
         self.raw = raw
         self.config = config if config is not None else ReliabilityConfig()
@@ -170,6 +172,13 @@ class ReliableWire:
         self._tracer = tracer
         #: (kind, endpoint) -> span currently open on that track.
         self._open_spans: set[tuple[str, str]] = set()
+        self._recorder = recorder
+        #: Per-direction PSN -> ledger mid of message-bearing frames,
+        #: so retransmit/RNR/timeout rounds attribute to the message
+        #: occupying the head of the go-back-N window.
+        self._psn_mids: dict[str, dict[int, int]] = {
+            name: {} for name in raw.names
+        }
 
     @property
     def now(self) -> float:
@@ -232,6 +241,11 @@ class ReliableWire:
             tx.timer = 0
         tx.unacked.append((psn, frame))
         self.stats.data_sent += 1
+        if self._recorder.enabled and packet.opcode in ("send", "rts"):
+            mid = getattr(packet.payload[0], "mid", -1)
+            if mid >= 0:
+                self._psn_mids[src][psn] = mid
+                self._recorder.stamp(mid, "wire", psn=psn)
         self.raw.transmit(src, frame)
 
     def receive(self, dst: str) -> Packet | None:
@@ -286,6 +300,12 @@ class ReliableWire:
             tx.rnr_wait = self.config.rnr_timeout
             tx.timer = 0
             self._span_begin("rnr_stall", dst, wait=self.config.rnr_timeout)
+            if self._recorder.enabled and tx.unacked:
+                head = self._psn_mids[dst].get(tx.unacked[0][0], -1)
+                if head >= 0:
+                    self._recorder.note(
+                        head, "rnr", wait=self.config.rnr_timeout
+                    )
         else:
             raise ValueError(f"unknown reliability opcode {frame.opcode!r}")
 
@@ -329,7 +349,8 @@ class ReliableWire:
         tx = self._tx[src]
         progressed = False
         while tx.unacked and tx.unacked[0][0] <= psn:
-            tx.unacked.popleft()
+            acked_psn = tx.unacked.popleft()[0]
+            self._psn_mids[src].pop(acked_psn, None)
             progressed = True
         if progressed:
             tx.retries = 0
@@ -357,6 +378,10 @@ class ReliableWire:
             self._trace_instant(
                 "timeout", src, backoff_to=tx.timeout, unacked=len(tx.unacked)
             )
+            if self._recorder.enabled:
+                head = self._psn_mids[src].get(tx.unacked[0][0], -1)
+                if head >= 0:
+                    self._recorder.note(head, "timeout", backoff_to=tx.timeout)
             self._retransmit_from(src, tx.unacked[0][0])
 
     def _retransmit_from(self, src: str, psn: int) -> None:
@@ -376,7 +401,17 @@ class ReliableWire:
                 f"recovery rounds from {src!r}; first unacked PSN "
                 f"{tx.unacked[0][0]}"
             )
+        cause = self._psn_mids[src].get(tx.unacked[0][0], -1)
         for unacked_psn, frame in tx.unacked:
             if unacked_psn >= psn:
                 self.stats.retransmits += 1
+                if self._recorder.enabled:
+                    mid = self._psn_mids[src].get(unacked_psn, -1)
+                    if mid >= 0:
+                        # ``cause`` is the head-of-window message the
+                        # go-back-N round is actually recovering; every
+                        # later frame rides the same retransmit chain.
+                        self._recorder.note(
+                            mid, "retransmit", psn=unacked_psn, cause=cause
+                        )
                 self.raw.transmit(src, frame)

@@ -42,6 +42,7 @@ from repro.core.envelope import MessageEnvelope, ReceiveRequest
 from repro.core.events import MatchEvent
 from repro.core.threadsim import DeadlockError, SchedulePolicy
 from repro.matching.list_matcher import ListMatcher
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder
 from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.recovery.faults import (
     CoreFault,
@@ -108,6 +109,7 @@ class RecoveringMatcher:
         history_limit: int | None = None,
         tracer: SpanTracer = NULL_TRACER,
         clock=None,
+        recorder: FlightRecorder = NULL_RECORDER,
     ) -> None:
         """``engine_cls`` selects the engine generation class (the
         mutant lanes of the core-fault soak pass deliberately broken
@@ -137,6 +139,9 @@ class RecoveringMatcher:
             observer=observer,
         )
         self.engine.fault_injector = self.injector
+        self.recorder = recorder
+        if recorder.enabled:
+            self.engine.set_recorder(recorder)
         #: One stats object carried across every engine generation.
         self.stats = self.engine.stats
         self.recovery_stats = RecoveryStats()
@@ -240,6 +245,12 @@ class RecoveringMatcher:
         while True:
             self._advance_epoch()
             checkpoint = checkpoint_engine(self.engine)
+            marks = None
+            if self.recorder.enabled:
+                # Speculation fence: an aborted attempt's stamps are
+                # rewound so only the surviving attempt shapes the
+                # waterfall; the rollback survives as an annotation.
+                marks = [(msg.mid, self.recorder.mark(msg.mid)) for msg in batch]
             for msg in batch:
                 self.engine.submit_message(msg)
             attempts += 1
@@ -253,6 +264,16 @@ class RecoveringMatcher:
                     raise
                 self._note_fault(fault, exc)
                 self._rollback(checkpoint)
+                if marks is not None:
+                    for mid, mark in marks:
+                        self.recorder.rewind(mid, mark)
+                        self.recorder.note(
+                            mid,
+                            "rollback",
+                            epoch=self._epoch,
+                            attempt=attempts,
+                            fault=fault.kind.value,
+                        )
                 over_threshold = (
                     self.quarantine.count
                     > self.recovery_policy.quarantine_threshold
@@ -319,6 +340,8 @@ class RecoveringMatcher:
             fault_injector=self.injector,
             history_limit=self._history_limit,
         )
+        if self.recorder.enabled:
+            self.engine.set_recorder(self.recorder)
         self.recovery_stats.block_rollbacks += 1
 
     def _advance_epoch(self) -> None:
@@ -345,6 +368,10 @@ class RecoveringMatcher:
         self._host = host
         self.stats.fallback_spills += 1
         self.recovery_stats.host_takeovers += 1
+        if self.recorder.enabled:
+            self.recorder.event(
+                "takeover", reason="core-faults", dead=self.quarantine.count
+            )
         if self._track is not None:
             self._tracer.begin(
                 self._track,
@@ -394,6 +421,9 @@ class RecoveringMatcher:
             fault_injector=self.injector,
             history_limit=self._history_limit,
         )
+        if self.recorder.enabled:
+            self.engine.set_recorder(self.recorder)
+            self.recorder.event("reoffload", reason="core-faults")
         self._host = None
         self.stats.fallback_recoveries += 1
         self.recovery_stats.reoffloads += 1

@@ -113,11 +113,17 @@ class TestMutantLanes:
 
 
 class TestReportSchema:
-    def test_v3_round_trip(self):
+    def test_v4_round_trip(self):
         report = run_chaos(replace(CORE_PROFILES["storm"], seed=3))
         restored = ChaosReport.from_json(report.to_json())
         assert restored.to_json() == report.to_json()
-        assert ChaosReport.SCHEMA == "repro.chaos.report/v3"
+        assert ChaosReport.SCHEMA == "repro.chaos.report/v4"
+
+    def test_v4_carries_passport_field(self):
+        report = run_chaos(replace(CORE_PROFILES["storm"], seed=3))
+        payload = report.to_dict()
+        assert "passport" in payload
+        assert payload["passport"] == {}  # clean run: no violation, no passport
 
     def test_recovery_counters_survive_the_codec(self):
         report = run_chaos(replace(CORE_PROFILES["takeover"], seed=2))

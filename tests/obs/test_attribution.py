@@ -1,0 +1,108 @@
+"""Latency attribution: conservation holds by construction.
+
+The acceptance criterion for the waterfall: for every record, summing
+the per-phase durations reproduces the end-to-end latency *exactly*
+(telescoping consecutive-transition gaps, not float bookkeeping). The
+property test drives arbitrary stamp sequences through the recorder —
+including clock regressions and duplicate phases — and conservation
+must survive all of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chaos.harness import ChaosConfig, run_chaos
+from repro.obs.attribution import (
+    attribute,
+    check_conservation,
+    quantile,
+    render_attribution,
+)
+from repro.obs.ledger import PHASES, FlightRecorder, MessageRecord
+
+
+class TestQuantile:
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 4.0
+        assert quantile(values, 0.5) == 2.5
+
+    def test_single_sample(self):
+        assert quantile([7.0], 0.95) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+
+class TestConservationProperty:
+    @given(
+        stamps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                st.sampled_from(PHASES[1:]),  # "send" is stamped by open()
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_arbitrary_stamp_sequences_conserve(self, stamps):
+        t = {"now": 0.0}
+        recorder = FlightRecorder()
+        recorder.set_clock(lambda: t["now"])
+        mid = recorder.open(source=0, tag=0)
+        for ts, phase in stamps:
+            t["now"] = ts
+            recorder.stamp(mid, phase)
+        rec = recorder.records[mid]
+        assert check_conservation(rec)
+        # Clamping also guarantees every segment is non-negative.
+        assert all(t1 >= t0 for t0, t1, _ in rec.segments())
+
+    def test_empty_record_trivially_conserves(self):
+        rec = MessageRecord(0)
+        rec.transitions = [(1.0, "send", None)]
+        assert check_conservation(rec)
+
+
+class TestAttributeOverChaos:
+    @pytest.mark.parametrize("mode", ["default", "fallback", "pressure"])
+    def test_every_chaos_record_conserves(self, mode):
+        config = ChaosConfig(
+            seed=5,
+            rounds=4,
+            fallback=(mode == "fallback"),
+            pressure=(mode == "pressure"),
+        )
+        recorder = FlightRecorder()
+        report = run_chaos(config, recorder=recorder)
+        assert report.ok, report.first_violation
+        dump = recorder.export(scenario=mode)
+        reports = attribute(dump)
+        assert len(reports) == 1
+        rep = reports[0]
+        assert rep.scenario == mode
+        assert rep.messages > 0
+        assert rep.violations == []
+        # The waterfall itself is conserved: phase totals sum to the
+        # aggregate latency.
+        assert sum(ph.total for ph in rep.phases) == pytest.approx(
+            rep.total_latency
+        )
+
+    def test_scenario_filter_and_render(self):
+        recorder = FlightRecorder()
+        run_chaos(ChaosConfig(seed=3, rounds=3), recorder=recorder)
+        dump = recorder.export(scenario="a").merge(
+            recorder.export(scenario="b")
+        )
+        assert [r.scenario for r in attribute(dump)] == ["a", "b"]
+        only = attribute(dump, scenario="b")
+        assert [r.scenario for r in only] == ["b"]
+        text = render_attribution(only)
+        assert "scenario b:" in text
+        assert "p95" in text and "CONSERVATION VIOLATED" not in text

@@ -1,0 +1,55 @@
+"""Perfetto flow-event export: valid traces, paired s/f flows."""
+
+from __future__ import annotations
+
+import json
+
+from repro.chaos.harness import ChaosConfig, run_chaos
+from repro.obs.flows import ledger_to_chrome, write_flow_trace
+from repro.obs.ledger import FlightRecorder
+from repro.obs.validate import validate_chrome_trace
+
+
+def _chaos_dump():
+    recorder = FlightRecorder()
+    run_chaos(ChaosConfig(seed=4, rounds=3), recorder=recorder)
+    return recorder.export(scenario="flows")
+
+
+class TestChromeExport:
+    def test_trace_passes_validator(self):
+        events = ledger_to_chrome(_chaos_dump())
+        assert events
+        assert validate_chrome_trace({"traceEvents": events}) == []
+
+    def test_flows_are_paired_per_mid(self):
+        events = ledger_to_chrome(_chaos_dump())
+        starts = {e["id"] for e in events if e.get("ph") == "s"}
+        finishes = {e["id"] for e in events if e.get("ph") == "f"}
+        assert starts
+        assert starts == finishes
+
+    def test_spans_cover_every_segment(self):
+        dump = _chaos_dump()
+        segment_count = sum(
+            len(rec.segments()) for _, rec in dump.iter_records()
+        )
+        spans = [e for e in ledger_to_chrome(dump) if e.get("ph") == "X"]
+        assert len(spans) == segment_count
+        assert all(e["dur"] >= 0 for e in spans)
+
+    def test_layer_tracks_named(self):
+        events = ledger_to_chrome(_chaos_dump())
+        procs = {
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        }
+        assert {"host", "wire"} <= procs
+
+    def test_write_flow_trace_round_trips(self, tmp_path):
+        path = tmp_path / "flows.json"
+        count = write_flow_trace(_chaos_dump(), str(path))
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == count
+        assert validate_chrome_trace(payload) == []

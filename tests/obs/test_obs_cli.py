@@ -1,0 +1,55 @@
+"""``repro-obs`` CLI: attribution / critical-path / flows plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.harness import ChaosConfig, run_chaos
+from repro.obs.cli import main
+from repro.obs.ledger import FlightRecorder, LedgerDump
+from repro.obs.validate import validate_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def ledger_path(tmp_path_factory):
+    recorder = FlightRecorder()
+    run_chaos(ChaosConfig(seed=2, rounds=3), recorder=recorder)
+    path = tmp_path_factory.mktemp("ledger") / "run.ledger.json"
+    path.write_text(recorder.export(scenario="cli").to_json())
+    return path
+
+
+class TestSubcommands:
+    def test_attribution_ok(self, ledger_path, capsys):
+        assert main(["attribution", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario cli:" in out and "p99" in out
+
+    def test_attribution_scenario_miss_fails(self, ledger_path, capsys):
+        assert main(["attribution", str(ledger_path), "--scenario", "nope"]) == 1
+        assert "no matching scenarios" in capsys.readouterr().err
+
+    def test_critical_path_ok(self, ledger_path, capsys):
+        assert main(["critical-path", str(ledger_path), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "conserved" in out and "NOT CONSERVED" not in out
+
+    def test_critical_path_empty_ledger_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(LedgerDump().to_json())
+        assert main(["critical-path", str(empty)]) == 1
+        assert "no chains" in capsys.readouterr().err
+
+    def test_flows_writes_valid_trace(self, ledger_path, tmp_path):
+        out = tmp_path / "flows.json"
+        assert main(["flows", str(ledger_path), "--out", str(out)]) == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+    def test_unreadable_ledger_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["attribution", str(bad)]) == 2
+        assert "unreadable ledger" in capsys.readouterr().err
+        assert main(["attribution", str(tmp_path / "missing.json")]) == 2

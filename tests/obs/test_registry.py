@@ -158,3 +158,65 @@ class TestSnapshots:
     def test_from_json_rejects_garbage(self) -> None:
         with pytest.raises(ValueError):
             MetricsSnapshot.from_json('{"not": "a snapshot"}')
+
+
+class TestHistogramQuantiles:
+    def test_interpolates_inside_containing_bucket(self) -> None:
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        h.observe(5.0)
+        # rank 0.5 of 1 sample, uniform inside [0, 10) -> 5.0
+        assert h.quantile(0.5) == 5.0
+        for v in range(10):
+            h.observe(50.0)
+        # 10 of 11 samples in (10, 100]: p95 interpolates there.
+        assert 10.0 < h.quantile(0.95) <= 100.0
+
+    def test_empty_histogram_reports_zero(self) -> None:
+        assert Histogram("lat", buckets=(1.0,)).quantile(0.5) == 0.0
+
+    def test_overflow_clamps_to_last_finite_bound(self) -> None:
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        h.observe(5000.0)
+        assert h.quantile(0.99) == 100.0
+
+    def test_out_of_range_q_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0,)).quantile(1.5)
+
+    def test_snapshot_carries_quantile_samples(self) -> None:
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        samples = dict(h.samples())
+        assert samples["lat_p50"] == h.quantile(0.50)
+        assert samples["lat_p95"] == h.quantile(0.95)
+        assert samples["lat_p99"] == h.quantile(0.99)
+
+
+class TestReportQuantiles:
+    def test_render_recomputes_quantiles_from_buckets(self) -> None:
+        from repro.obs.report import render_metrics
+
+        registry = MetricsRegistry()
+        h = registry.histogram("rt.lat", buckets=(10.0, 100.0))
+        h.observe(5.0)
+        text = render_metrics(registry.snapshot())
+        assert "p50=5" in text and "p95=" in text and "p99=" in text
+        # The convenience samples must not leak into the bucket bars
+        # or the scalar sections.
+        assert "rt.lat_p50" not in text
+
+    def test_merged_snapshots_quantile_from_additive_buckets(self) -> None:
+        from repro.obs.report import render_metrics
+
+        def snap(value: float) -> MetricsSnapshot:
+            registry = MetricsRegistry()
+            registry.histogram("m.lat", buckets=(10.0, 100.0)).observe(value)
+            return registry.snapshot()
+
+        merged = snap(5.0).merge(snap(5.0))
+        # Additive buckets: two samples in [0, 10) -> p50 is still 5.0
+        # even though the summed _p50 samples would read 10.0.
+        text = render_metrics(merged)
+        assert "n=2" in text
+        assert "p50=5" in text
