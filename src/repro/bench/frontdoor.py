@@ -5,6 +5,7 @@ Subcommands::
     repro-bench pressure    [...]   # budget-enforcement overhead ladder
     repro-bench reliability [...]   # reliability-layer overhead baseline
     repro-bench msgrate     [...]   # Figure 8 message-rate benchmark
+    repro-bench cluster     [...]   # cluster-fabric topology/placement sweep
 
 Each subcommand forwards its remaining arguments to the underlying
 module's ``main``, so ``repro-bench pressure --rounds 24`` and
@@ -19,11 +20,12 @@ import sys
 __all__ = ["main"]
 
 _USAGE = """\
-usage: repro-bench {pressure,reliability,msgrate} [options]
+usage: repro-bench {pressure,reliability,msgrate,cluster} [options]
 
   pressure     memory-budget enforcement ladder (BENCH_pressure.json)
   reliability  lossy-wire overhead baseline (BENCH_reliability.json)
   msgrate      Figure 8 ping-pong message rates (repro-msgrate)
+  cluster      fabric sweep: apps x topologies x placements (BENCH_cluster.json)
 
 Run `repro-bench <subcommand> --help` for subcommand options.
 """
@@ -47,6 +49,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.cli import main as msgrate_main
 
         return msgrate_main(rest)
+    if command == "cluster":
+        from repro.bench.cluster import main as cluster_main
+
+        return cluster_main(rest)
     print(f"repro-bench: unknown subcommand {command!r}", file=sys.stderr)
     print(_USAGE, end="", file=sys.stderr)
     return 2

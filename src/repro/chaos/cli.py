@@ -5,6 +5,7 @@ Subcommands::
     repro-chaos soak     [...]   # wire-fault soak (repro.chaos.soak)
     repro-chaos cores    [...]   # core-fault matrix (repro.chaos.coresoak)
     repro-chaos overload [...]   # memory-budget soak (repro.chaos.overload)
+    repro-chaos cluster  [...]   # cluster network-fault soak (repro.chaos.cluster)
 
 Each subcommand forwards its remaining arguments to the underlying
 module's ``main``, so ``repro-chaos cores --schedules 16`` and
@@ -18,11 +19,12 @@ import sys
 __all__ = ["main"]
 
 _USAGE = """\
-usage: repro-chaos {soak,cores,overload} [options]
+usage: repro-chaos {soak,cores,overload,cluster} [options]
 
   soak      wire-fault soak over the standard profiles
   cores     core-fault matrix: {wire faults} x {core faults} x {engines}
   overload  memory-budget overload soak (pressure enforcement lanes)
+  cluster   cluster network-fault soak (link flaps / host partition)
 
 Run `repro-chaos <subcommand> --help` for subcommand options.
 """
@@ -46,6 +48,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.chaos.overload import main as overload_main
 
         return overload_main(rest)
+    if command == "cluster":
+        from repro.chaos.cluster import main as cluster_main
+
+        return cluster_main(rest)
     print(f"repro-chaos: unknown subcommand {command!r}", file=sys.stderr)
     print(_USAGE, end="", file=sys.stderr)
     return 2

@@ -29,6 +29,7 @@ RESULT_SCHEMA = "repro.fleet.result/v1"
 _BUILTIN: dict[str, tuple[str, str]] = {
     "AppAnalysis": ("repro.analyzer.statistics", "AppAnalysis"),
     "ChaosReport": ("repro.chaos.harness", "ChaosReport"),
+    "ClusterReport": ("repro.net.cluster", "ClusterReport"),
     "EngineStats": ("repro.core.stats", "EngineStats"),
     "LedgerDump": ("repro.obs.ledger", "LedgerDump"),
     "RateResult": ("repro.bench.pingpong", "RateResult"),

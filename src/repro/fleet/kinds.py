@@ -14,6 +14,11 @@ not pull the analyzer/chaos/bench stacks into every process):
   :class:`repro.chaos.harness.ChaosReport`.
 * ``bench_scenario`` — one Figure 8 configuration; returns
   :class:`repro.bench.pingpong.RateResult`.
+* ``cluster_bench`` — one cluster-fabric cell (app x topology x
+  placement on a clean network); returns
+  :class:`repro.net.cluster.ClusterReport`.
+* ``cluster_chaos`` — the same cell under a seeded link-fault plan
+  (the job seed replaces the plan seed, mirroring ``chaos_run``).
 """
 
 from __future__ import annotations
@@ -84,6 +89,31 @@ def _bench_scenario(params: Mapping[str, Any], seed: int) -> Any:
     return bench.run_optimistic(scenario_by_name(name))
 
 
+def _cluster_kwargs(params: Mapping[str, Any]) -> dict:
+    return dict(
+        topology=params.get("topology", "torus"),
+        placement=params.get("placement", "block"),
+        rounds=int(params.get("rounds", 4)),
+        size=int(params.get("size", 512)),
+    )
+
+
+def _cluster_bench(params: Mapping[str, Any], seed: int) -> Any:
+    from repro.net.cluster import run_cluster
+
+    return run_cluster(params["app"], int(params["ranks"]), **_cluster_kwargs(params))
+
+
+def _cluster_chaos(params: Mapping[str, Any], seed: int) -> Any:
+    from repro.net.cluster import run_cluster
+    from repro.net.faults import LinkFaultPlan
+
+    plan = LinkFaultPlan.from_params(params["plan"]).with_options(seed=seed)
+    return run_cluster(
+        params["app"], int(params["ranks"]), plan=plan, **_cluster_kwargs(params)
+    )
+
+
 def _ensure_builtin() -> None:
     global _builtin_loaded
     if _builtin_loaded:
@@ -96,6 +126,8 @@ def _ensure_builtin() -> None:
         ("analyze_app", _analyze_app, "1"),
         ("chaos_run", _chaos_run, "4"),
         ("bench_scenario", _bench_scenario, "1"),
+        ("cluster_bench", _cluster_bench, "1"),
+        ("cluster_chaos", _cluster_chaos, "1"),
     ):
         if name not in _KINDS:
             register_kind(name, fn, version=version)

@@ -18,7 +18,6 @@ deployment), so examples can run the same program both ways.
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -30,6 +29,7 @@ from repro.matching.base import Matcher
 from repro.matching.fallback import FallbackMatcher
 from repro.mpisim.communicator import Communicator, CommunicatorInfo
 from repro.mpisim.request import Request, RequestKind, Status
+from repro.mpisim.transport import InFlight, PairChannelTransport
 
 __all__ = ["MpiSim", "ProgressStall"]
 
@@ -38,12 +38,9 @@ class ProgressStall(RuntimeError):
     """wait() cannot complete: no message in flight can satisfy it."""
 
 
-@dataclass(slots=True)
-class _InFlight:
-    """A message travelling on a (src, dst) channel."""
-
-    envelope: MessageEnvelope
-    payload: bytes
+#: Back-compat alias: the in-flight record now lives with the
+#: transports (:mod:`repro.mpisim.transport`).
+_InFlight = InFlight
 
 
 @dataclass(slots=True)
@@ -64,6 +61,7 @@ class MpiSim:
         config: EngineConfig | None = None,
         matcher_factory: Callable[[EngineConfig], Matcher] | None = None,
         dpa_budget_bytes: int | None = None,
+        transport=None,
     ) -> None:
         """
         Parameters
@@ -76,6 +74,12 @@ class MpiSim:
             DPA resources at communicator creation time, the MPI
             implementation is expected to fall back". ``None`` (the
             default) models an unconstrained accelerator.
+        transport:
+            Message-delivery substrate (see
+            :mod:`repro.mpisim.transport`). ``None`` uses the instant
+            per-pair FIFO :class:`~repro.mpisim.transport.
+            PairChannelTransport`; pass a ``FabricTransport`` to run
+            the same program over a simulated cluster network.
         """
         if size <= 0:
             raise ValueError(f"world size must be positive, got {size}")
@@ -92,7 +96,7 @@ class MpiSim:
             ]
         self._comms: dict[int, Communicator] = {}
         self._state: dict[tuple[int, int], _RankComm] = {}
-        self._channels: dict[tuple[int, int], deque[_InFlight]] = {}
+        self._transport = transport if transport is not None else PairChannelTransport()
         self._send_seq: dict[int, int] = {}
         self._next_handle = 0
         self._next_comm_id = 0
@@ -172,8 +176,7 @@ class MpiSim:
         envelope = MessageEnvelope(
             source=src, tag=tag, comm=comm.comm_id, size=len(payload), send_seq=seq
         )
-        channel = self._channels.setdefault((src, dst), deque())
-        channel.append(_InFlight(envelope, payload))
+        self._transport.enqueue(src, dst, InFlight(envelope, payload))
         request = Request(RequestKind.SEND, self._next_handle, src, comm.comm_id)
         self._next_handle += 1
         # Local completion semantics: the payload is owned by the
@@ -233,21 +236,19 @@ class MpiSim:
     def progress(self) -> int:
         """Deliver every in-flight message to its destination matcher.
 
-        Returns the number of messages delivered. Channels drain in
-        FIFO order, preserving per-(src, dst) ordering.
+        Returns the number of messages delivered. The transport drains
+        in FIFO order per (src, dst) pair, preserving C2 ordering.
         """
         delivered = 0
-        for (src, dst), channel in self._channels.items():
-            while channel:
-                inflight = channel.popleft()
-                delivered += 1
-                state = self._state[(dst, inflight.envelope.comm)]
-                self._payload_store(state)[
-                    (inflight.envelope.source, inflight.envelope.send_seq)
-                ] = inflight.payload
-                event = state.matcher.incoming_message(inflight.envelope)
-                if event is not None:
-                    self._fulfil(state, event)
+        for dst, inflight in self._transport.drain():
+            delivered += 1
+            state = self._state[(dst, inflight.envelope.comm)]
+            self._payload_store(state)[
+                (inflight.envelope.source, inflight.envelope.send_seq)
+            ] = inflight.payload
+            event = state.matcher.incoming_message(inflight.envelope)
+            if event is not None:
+                self._fulfil(state, event)
         # Block-based matchers buffer; flush them.
         for state in self._state.values():
             for event in state.matcher.flush():

@@ -1,0 +1,118 @@
+"""Pluggable message transport for :class:`repro.mpisim.MpiSim`.
+
+The runtime's contract with its transport is three calls:
+
+* ``enqueue(src, dst, inflight)`` — accept a message for delivery,
+* ``drain()`` — yield ``(dst, inflight)`` for every message now
+  deliverable, preserving per-(src, dst) FIFO order,
+* ``in_flight()`` — messages accepted but not yet drained.
+
+:class:`PairChannelTransport` is the historical default and is
+behaviour-identical to the runtime's original inline channel dict:
+one FIFO deque per (sender, receiver) pair, drained fully in channel
+creation order on every progress round — instant delivery, exact
+ordering. :class:`FabricTransport` routes the same messages across a
+:class:`repro.net.fabric.Fabric` instead, so an ``MpiSim`` program
+experiences topology latency and link contention; its ``drain`` skips
+the clock forward to the next arrival when a round would otherwise be
+empty, keeping ``progress() == 0`` a true "nothing can ever arrive"
+signal (the :class:`repro.mpisim.runtime.ProgressStall` contract).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.envelope import MessageEnvelope
+
+__all__ = ["InFlight", "PairChannelTransport", "FabricTransport"]
+
+
+@dataclass(slots=True)
+class InFlight:
+    """A message travelling on a (src, dst) channel."""
+
+    envelope: MessageEnvelope
+    payload: bytes
+
+
+class PairChannelTransport:
+    """The default instant transport: per-pair FIFO deques."""
+
+    def __init__(self) -> None:
+        self._channels: dict[tuple[int, int], deque[InFlight]] = {}
+
+    def enqueue(self, src: int, dst: int, inflight: InFlight) -> None:
+        self._channels.setdefault((src, dst), deque()).append(inflight)
+
+    def drain(self) -> Iterator[tuple[int, InFlight]]:
+        """Deliver everything: channels in creation order, each FIFO.
+
+        This is exactly the drain order of the original inline
+        implementation — channel-dict insertion order, each channel
+        emptied completely before the next.
+        """
+        for (_, dst), channel in self._channels.items():
+            while channel:
+                yield dst, channel.popleft()
+
+    def in_flight(self) -> int:
+        return sum(len(channel) for channel in self._channels.values())
+
+
+class FabricTransport:
+    """Deliver mpisim messages across a simulated cluster fabric.
+
+    Construct with a :class:`repro.net.fabric.Fabric` and a
+    :class:`repro.net.placement.Placement` mapping every rank the sim
+    will use. Per-pair FIFO holds because routes are static and links
+    are FIFO, so matcher-level ordering guarantees (C2) are unchanged
+    — messages merely arrive later, and interleaved across pairs the
+    way a real network would interleave them.
+    """
+
+    def __init__(self, fabric, placement) -> None:
+        self.fabric = fabric
+        self.placement = placement
+        self._ports: dict[int, str] = {}
+        for rank in range(placement.ranks):
+            port = f"mpisim:r{rank}"
+            fabric.attach(port)
+            self._ports[rank] = port
+
+    def enqueue(self, src: int, dst: int, inflight: InFlight) -> None:
+        self.fabric.inject(
+            self.placement.node_of(src),
+            self.placement.node_of(dst),
+            self._ports[dst],
+            inflight,
+            max(len(inflight.payload), 1),
+        )
+
+    def _pop_arrived(self) -> list[tuple[int, InFlight]]:
+        out: list[tuple[int, InFlight]] = []
+        for rank, port in self._ports.items():
+            while (got := self.fabric.deliver(port)) is not None:
+                out.append((rank, got[0]))
+        return out
+
+    def drain(self) -> Iterator[tuple[int, InFlight]]:
+        """Advance time one tick; if that surfaces nothing but traffic
+        is in flight, jump the clock to the earliest arrival — an
+        empty drain then genuinely means an empty network."""
+        self.fabric.tick()
+        out = self._pop_arrived()
+        if not out and self.in_flight():
+            arrivals = [
+                arrival
+                for port in self._ports.values()
+                if (arrival := self.fabric.next_arrival(port)) is not None
+            ]
+            self.fabric.clock = max(self.fabric.clock, min(arrivals))
+            out = self._pop_arrived()
+        yield from out
+
+    def in_flight(self) -> int:
+        return sum(self.fabric.pending(port) for port in self._ports.values())

@@ -1,0 +1,33 @@
+"""repro.net — the cluster-fabric layer.
+
+Everything below this package models a *shared* network: topology
+graphs with per-link bandwidth and latency, static routing with
+hop-by-hop occupancy (contending flows see queuing delay), rank→node
+placement maps, and :class:`repro.net.fabricwire.FabricWire` — a
+drop-in for :class:`repro.rdma.wire.Wire` so the whole RDMA stack
+(reliability, credits, pressure, recovery) runs unchanged over the
+fabric. :class:`repro.net.cluster.ClusterSim` drives synthetic app
+traces end-to-end across N simulated nodes through that stack.
+"""
+
+from repro.net.fabric import Fabric, LinkStats, Transfer
+from repro.net.fabricwire import FabricWire
+from repro.net.faults import LinkFaultPlan
+from repro.net.placement import Placement
+from repro.net.routing import RouteTable
+from repro.net.topology import Topology, fat_tree, ring, topology_by_name, torus2d
+
+__all__ = [
+    "Fabric",
+    "FabricWire",
+    "LinkFaultPlan",
+    "LinkStats",
+    "Placement",
+    "RouteTable",
+    "Topology",
+    "Transfer",
+    "fat_tree",
+    "ring",
+    "topology_by_name",
+    "torus2d",
+]

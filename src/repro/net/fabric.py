@@ -1,0 +1,239 @@
+"""The shared fabric: links with occupancy, a global tick clock, and
+per-port delivery queues.
+
+The fabric is an *analytic* event-timed network: when a packet is
+injected, its whole hop schedule is computed immediately against the
+current link occupancy — per hop, the packet waits for the link to
+free (``busy_until``), occupies it for its serialization time
+(``ceil(size / bandwidth)``, min 1 tick), then propagates for the
+link's latency. Contending flows therefore push each other's
+``busy_until`` forward and *see* congestion; a flow alone on its
+route sees only latency + serialization. Delivery happens when the
+fabric clock (advanced one tick per ``deliver`` poll) reaches the
+packet's arrival time.
+
+Two invariants matter to everything above:
+
+* **Per-pair FIFO** — a (src, dst) flow always takes the same static
+  route (oblivious routing) and every link is FIFO (``busy_until`` is
+  monotone), so later packets of a flow never overtake earlier ones.
+  That is the C2 precondition the matcher relies on.
+* **Hop conservation** — a transfer's hop intervals telescope:
+  ``hops[0].t_in == inject``, ``hops[i+1].t_in == hops[i].t_out`` and
+  ``arrival == hops[-1].t_out``, so per-hop durations sum *exactly*
+  to the end-to-end wire time. The ledger's per-hop wire attribution
+  inherits exactness from this, not from bookkeeping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.net.faults import FaultSchedule, LinkFaultPlan
+from repro.net.routing import RouteTable
+from repro.net.topology import Topology
+
+__all__ = ["Fabric", "Hop", "LinkStats", "Transfer"]
+
+
+@dataclass(frozen=True, slots=True)
+class Hop:
+    """One link traversal: enters at ``t_in``, leaves the far end at
+    ``t_out`` (= queue wait + serialization + propagation later)."""
+
+    link: str
+    t_in: int
+    t_out: int
+
+    @property
+    def duration(self) -> int:
+        return self.t_out - self.t_in
+
+
+@dataclass(slots=True)
+class Transfer:
+    """One packet's passage through the fabric."""
+
+    src: str
+    dst: str
+    size: int
+    inject: int
+    arrival: int
+    hops: tuple[Hop, ...]
+    dropped: bool = False
+    drop_link: str = ""
+
+    def conserved(self) -> bool:
+        """Per-hop durations telescope exactly to end-to-end time."""
+        t = self.inject
+        for hop in self.hops:
+            if hop.t_in != t:
+                return False
+            t = hop.t_out
+        end = self.arrival if not self.dropped else t
+        return t == end
+
+
+@dataclass(slots=True)
+class LinkStats:
+    """Cumulative per-link accounting (the obs export)."""
+
+    packets: int = 0
+    bytes: int = 0
+    #: Ticks spent serializing packets onto this link.
+    busy_ticks: int = 0
+    #: Ticks packets spent queued waiting for the link.
+    wait_ticks: int = 0
+    #: Worst single-packet queue wait (the queue-depth signal).
+    peak_wait: int = 0
+    drops: int = 0
+
+
+@dataclass(slots=True)
+class _LinkState:
+    latency: int
+    bandwidth: int
+    busy_until: int = 0
+    stats: LinkStats = field(default_factory=LinkStats)
+
+
+class Fabric:
+    """Topology + routes + occupancy + the run's tick clock."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        routes: RouteTable | None = None,
+        plan: LinkFaultPlan | None = None,
+        keep_transfers: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.routes = routes if routes is not None else RouteTable(topology)
+        self.schedule: FaultSchedule = (
+            plan.compile(topology) if plan is not None else FaultSchedule({})
+        )
+        self.clock = 0
+        self._links: dict[str, _LinkState] = {
+            name: _LinkState(link.latency, link.bandwidth)
+            for name, link in topology.links.items()
+        }
+        #: port -> min-heap of (arrival, seq, packet, transfer).
+        self._ports: dict[str, list] = {}
+        self._seq = 0
+        self.injected = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.keep_transfers = keep_transfers
+        #: Every transfer ever injected (conservation audits); cleared
+        #: by callers that run long soaks with ``keep_transfers=False``.
+        self.transfers: list[Transfer] = []
+
+    def now(self) -> float:
+        return float(self.clock)
+
+    def tick(self) -> int:
+        self.clock += 1
+        return self.clock
+
+    # -- ports -----------------------------------------------------------
+
+    def attach(self, port: str) -> None:
+        if port in self._ports:
+            raise ValueError(f"duplicate port {port!r}")
+        self._ports[port] = []
+
+    def pending(self, port: str) -> int:
+        """Packets in flight toward (or ready at) ``port``."""
+        return len(self._ports[port])
+
+    def next_arrival(self, port: str) -> int | None:
+        """Arrival tick of ``port``'s earliest in-flight packet."""
+        heap = self._ports[port]
+        return heap[0][0] if heap else None
+
+    # -- the datapath ----------------------------------------------------
+
+    def inject(self, src: str, dst: str, port: str, packet, size: int) -> Transfer:
+        """Route one packet; returns its (already decided) transfer.
+
+        The packet lands on ``port``'s heap at its computed arrival
+        tick unless a down link on the route drops it.
+        """
+        heap = self._ports[port]
+        t = self.clock
+        hops: list[Hop] = []
+        transfer = Transfer(src, dst, size, inject=t, arrival=t, hops=())
+        self.injected += 1
+        for link_name in self.routes.path(src, dst):
+            state = self._links[link_name]
+            if self.schedule.down(link_name, t):
+                state.stats.drops += 1
+                self.dropped += 1
+                transfer.dropped = True
+                transfer.drop_link = link_name
+                break
+            start = max(t, state.busy_until)
+            wait = start - t
+            ser = max(1, -(-size // state.bandwidth))
+            state.busy_until = start + ser
+            out = start + ser + state.latency
+            stats = state.stats
+            stats.packets += 1
+            stats.bytes += size
+            stats.busy_ticks += ser
+            stats.wait_ticks += wait
+            if wait > stats.peak_wait:
+                stats.peak_wait = wait
+            hops.append(Hop(link_name, t, out))
+            t = out
+        transfer.hops = tuple(hops)
+        transfer.arrival = t
+        if self.keep_transfers:
+            self.transfers.append(transfer)
+        if not transfer.dropped:
+            self._seq += 1
+            heapq.heappush(heap, (transfer.arrival, self._seq, packet, transfer))
+        return transfer
+
+    def deliver(self, port: str):
+        """Pop the next arrived ``(packet, transfer)`` at ``port``, or
+        ``None`` when nothing has arrived by the current clock."""
+        heap = self._ports[port]
+        if heap and heap[0][0] <= self.clock:
+            _, _, packet, transfer = heapq.heappop(heap)
+            self.delivered += 1
+            return packet, transfer
+        return None
+
+    # -- reporting -------------------------------------------------------
+
+    def link_stats(self) -> dict[str, LinkStats]:
+        return {name: state.stats for name, state in self._links.items()}
+
+    def link_report(self) -> dict[str, dict]:
+        """Per-link stats as plain literals, only links that saw use."""
+        report = {}
+        for name in sorted(self._links):
+            stats = self._links[name].stats
+            if not stats.packets and not stats.drops:
+                continue
+            report[name] = {
+                "packets": stats.packets,
+                "bytes": stats.bytes,
+                "busy_ticks": stats.busy_ticks,
+                "wait_ticks": stats.wait_ticks,
+                "peak_wait": stats.peak_wait,
+                "drops": stats.drops,
+                "utilization": stats.busy_ticks / self.clock if self.clock else 0.0,
+            }
+        return report
+
+    def max_utilization(self) -> float:
+        if not self.clock:
+            return 0.0
+        busiest = max(
+            (state.stats.busy_ticks for state in self._links.values()), default=0
+        )
+        return busiest / self.clock

@@ -1,0 +1,199 @@
+"""FabricWire: the Wire contract over a shared fabric.
+
+A :class:`FabricWire` is a drop-in for :class:`repro.rdma.wire.Wire`
+— same ``transmit`` / ``receive`` / ``drain`` / ``endpoint`` /
+``peer_of`` surface — whose packets actually cross a
+:class:`repro.net.fabric.Fabric`: they are routed hop by hop, wait in
+link queues behind other flows' traffic, and can be dropped by link
+faults. Wrap one in a :class:`repro.rdma.reliability.ReliableWire`
+and the whole RDMA stack (go-back-N recovery, RNR, credits, queue
+pairs) runs unchanged over a congested, lossy, *shared* network.
+
+Ledger coupling: the reliability layer stamps a message's ``wire``
+transition at transmit; when the message-bearing packet pops out of
+the fabric here, the ``staged`` transition is stamped *at the exact
+arrival tick* (``FlightRecorder.stamp_at``), so the ledger's wire
+phase equals the fabric transit time — which the fabric's telescoping
+hop schedule splits exactly into per-hop components (annotated via
+``note("fabric_hops")`` at inject). Conservation is structural, not
+reconciled after the fact.
+
+Per-pair FIFO survives end to end: each direction of a FabricWire is
+one (src-node, dst-node) flow, flows follow static routes, links are
+FIFO — so delivery order here matches transmit order and the C2
+completion-order precondition holds exactly as it does on the perfect
+in-memory wire.
+"""
+
+from __future__ import annotations
+
+from repro.net.fabric import Fabric, Transfer
+from repro.obs.ledger import NULL_RECORDER, FlightRecorder
+from repro.rdma.wire import Packet
+
+__all__ = ["FabricWire", "fabric_mid_of"]
+
+
+def fabric_mid_of(packet: Packet) -> int:
+    """The ledger mid a packet carries, unwrapping RC framing.
+
+    ``rc_data`` frames hold ``(psn, inner)``; message-bearing inner
+    packets (``send`` / ``rts``) lead with a header that has a mid.
+    Control traffic (ACK/NAK/read protocol) has no mid: returns -1.
+    """
+    if packet.opcode == "rc_data":
+        try:
+            return fabric_mid_of(packet.payload[1])
+        except (TypeError, IndexError):
+            return -1
+    if packet.opcode in ("send", "rts"):
+        try:
+            return int(getattr(packet.payload[0], "mid", -1))
+        except (TypeError, IndexError):
+            return -1
+    return -1
+
+
+class _Port:
+    """One side of a FabricWire; ``pending`` counts in-flight + arrived
+    (everything injected toward this port and not yet consumed)."""
+
+    __slots__ = ("name", "_fabric")
+
+    def __init__(self, name: str, fabric: Fabric) -> None:
+        self.name = name
+        self._fabric = fabric
+
+    def pending(self) -> int:
+        return self._fabric.pending(self.name)
+
+
+class FabricWire:
+    """Two named endpoints on a shared :class:`Fabric`.
+
+    ``a`` / ``b`` are the endpoint names the RDMA stack addresses
+    (globally unique per fabric — they double as fabric port ids);
+    ``node_a`` / ``node_b`` are the topology hosts they live on.
+    Several FabricWires share one fabric, which is the whole point:
+    their flows contend on common links.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        a: str,
+        b: str,
+        *,
+        node_a: str,
+        node_b: str,
+        recorder: FlightRecorder = NULL_RECORDER,
+        tick_on_receive: bool = True,
+    ) -> None:
+        if a == b:
+            raise ValueError(f"wire endpoints must be distinct, both named {a!r}")
+        self.fabric = fabric
+        self._nodes = {a: node_a, b: node_b}
+        self._ports = {a: _Port(a, fabric), b: _Port(b, fabric)}
+        self._peers = {a: self._ports[b], b: self._ports[a]}
+        fabric.attach(a)
+        fabric.attach(b)
+        self.delivered = 0
+        self.dropped = 0
+        self._recorder = recorder
+        #: Each receive poll advances the shared fabric clock one tick
+        #: (the polling loop *is* simulated time). Drivers that step
+        #: the clock themselves turn this off.
+        self._tick_on_receive = tick_on_receive
+
+    @property
+    def names(self) -> tuple[str, str]:
+        names = tuple(self._ports)
+        return names  # type: ignore[return-value]
+
+    @property
+    def now(self) -> float:
+        return self.fabric.now()
+
+    def endpoint(self, name: str) -> _Port:
+        return self._ports[name]
+
+    def peer_of(self, name: str) -> _Port:
+        try:
+            return self._peers[name]
+        except KeyError:
+            raise KeyError(f"unknown endpoint {name!r}") from None
+
+    def transmit(self, src: str, packet: Packet) -> None:
+        """Route ``packet`` across the fabric toward ``src``'s peer."""
+        peer = self.peer_of(src)
+        transfer = self.fabric.inject(
+            self._nodes[src], self._nodes[peer.name], peer.name, packet, packet.size
+        )
+        if transfer.dropped:
+            self.dropped += 1
+        if self._recorder.enabled:
+            self._note_hops(packet, transfer)
+
+    def receive(self, dst: str) -> Packet | None:
+        """Pop the next *arrived* packet at ``dst`` (None when the
+        queue is empty or the head is still in transit)."""
+        if self._tick_on_receive:
+            self.fabric.tick()
+        got = self.fabric.deliver(dst)
+        if got is None:
+            return None
+        packet, transfer = got
+        self.delivered += 1
+        if self._recorder.enabled:
+            self._stamp_arrival(packet, transfer)
+        return packet
+
+    def drain(self, dst: str) -> list[Packet]:
+        """Pop everything already arrived at ``dst``."""
+        if self._tick_on_receive:
+            self.fabric.tick()
+        out: list[Packet] = []
+        while (got := self.fabric.deliver(dst)) is not None:
+            packet, transfer = got
+            self.delivered += 1
+            if self._recorder.enabled:
+                self._stamp_arrival(packet, transfer)
+            out.append(packet)
+        return out
+
+    def in_flight(self) -> int:
+        """Packets injected on this wire and not yet consumed."""
+        return sum(port.pending() for port in self._ports.values())
+
+    # -- ledger coupling -------------------------------------------------
+
+    def _note_hops(self, packet: Packet, transfer: Transfer) -> None:
+        mid = fabric_mid_of(packet)
+        if mid < 0:
+            return
+        self._recorder.note(
+            mid,
+            "fabric_hops",
+            src=transfer.src,
+            dst=transfer.dst,
+            inject=transfer.inject,
+            arrival=transfer.arrival,
+            dropped=transfer.dropped,
+            drop_link=transfer.drop_link,
+            hops=[[h.link, h.t_in, h.t_out] for h in transfer.hops],
+        )
+
+    def _stamp_arrival(self, packet: Packet, transfer: Transfer) -> None:
+        # Close the wire phase at the true arrival tick (the pop may
+        # happen later). The phase guard makes duplicates and stale
+        # retransmit copies harmless: only the first arrival of a
+        # message still in its wire phase stamps.
+        mid = fabric_mid_of(packet)
+        if mid >= 0 and self._recorder.phase_of(mid) == "wire":
+            self._recorder.stamp_at(
+                mid,
+                "staged",
+                transfer.arrival,
+                where="fabric",
+                hops=len(transfer.hops),
+            )

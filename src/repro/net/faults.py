@@ -1,0 +1,122 @@
+"""Seeded network faults: link flaps and partitions.
+
+A :class:`LinkFaultPlan` is a pure-literal description (it crosses the
+fleet worker boundary inside job params) of two fault families:
+
+* **Link flaps** — seeded links go down for seeded windows; packets
+  entering a down link are dropped. The RC reliability layer above
+  the fabric retransmits, so a flap shows up as latency, not loss.
+* **Partition** — one seeded victim host loses *all* its links for a
+  window: the many-to-one cut that exercises go-back-N recovery
+  across every flow touching that node at once. The window must stay
+  inside the retry budget or the transport (correctly) fails sticky.
+
+The compiled form is a :class:`FaultSchedule` of per-link down
+windows, derived entirely from the plan seed — same seed, same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+from repro.net.topology import Topology
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = ["LinkFaultPlan", "FaultSchedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaultPlan:
+    """Seeded fault description (JSON-literal fields only)."""
+
+    seed: int = 0
+    #: Distinct links that flap (0 disables flapping).
+    flap_links: int = 0
+    #: Down windows per flapping link.
+    flaps_per_link: int = 1
+    #: Length of each flap window, in fabric ticks.
+    flap_ticks: int = 32
+    #: Windows are placed uniformly in [0, flap_horizon).
+    flap_horizon: int = 2048
+    #: Tick at which the partition starts (-1 = no partition).
+    partition_at: int = -1
+    #: Length of the partition window.
+    partition_ticks: int = 64
+    #: Host index to isolate (-1 = seeded choice).
+    partition_victim: int = -1
+
+    def __post_init__(self) -> None:
+        if self.flap_links < 0 or self.flaps_per_link < 0:
+            raise ValueError("flap counts must be non-negative")
+        if self.flap_ticks < 1 or self.partition_ticks < 1:
+            raise ValueError("fault windows must be >= 1 tick")
+        if self.flap_horizon < 1:
+            raise ValueError(f"flap_horizon must be >= 1, got {self.flap_horizon}")
+
+    @property
+    def is_clean(self) -> bool:
+        return self.flap_links == 0 and self.partition_at < 0
+
+    def with_options(self, **overrides: Any) -> "LinkFaultPlan":
+        return LinkFaultPlan(**{**asdict(self), **overrides})
+
+    def to_params(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "LinkFaultPlan":
+        return cls(**dict(params))
+
+    def compile(self, topology: Topology) -> "FaultSchedule":
+        """Derive the concrete per-link down windows for ``topology``."""
+        windows: dict[str, list[tuple[int, int]]] = {}
+        if self.is_clean:
+            return FaultSchedule(windows)
+
+        def add(link: str, t0: int, t1: int) -> None:
+            windows.setdefault(link, []).append((t0, t1))
+
+        link_names = sorted(topology.links)
+        if self.flap_links and link_names:
+            rng = make_rng(derive_seed(self.seed, "net.flaps"))
+            count = min(self.flap_links, len(link_names))
+            picks = rng.choice(len(link_names), size=count, replace=False)
+            for index in sorted(int(i) for i in picks):
+                name = link_names[index]
+                for _ in range(self.flaps_per_link):
+                    t0 = int(rng.integers(0, self.flap_horizon))
+                    add(name, t0, t0 + self.flap_ticks)
+        if self.partition_at >= 0 and topology.hosts:
+            victim_index = self.partition_victim
+            if victim_index < 0:
+                rng = make_rng(derive_seed(self.seed, "net.partition"))
+                victim_index = int(rng.integers(0, len(topology.hosts)))
+            victim = topology.hosts[victim_index % len(topology.hosts)]
+            t0, t1 = self.partition_at, self.partition_at + self.partition_ticks
+            for link in topology.links.values():
+                if victim in (link.src, link.dst):
+                    add(link.name, t0, t1)
+        for spans in windows.values():
+            spans.sort()
+        return FaultSchedule(windows)
+
+
+class FaultSchedule:
+    """Compiled per-link down windows with O(windows) lookup."""
+
+    def __init__(self, windows: dict[str, list[tuple[int, int]]]) -> None:
+        self.windows = windows
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.windows
+
+    def down(self, link: str, tick: int) -> bool:
+        """Is ``link`` down at ``tick``? (Half-open windows [t0, t1).)"""
+        for t0, t1 in self.windows.get(link, ()):
+            if t0 <= tick < t1:
+                return True
+            if t0 > tick:
+                break
+        return False

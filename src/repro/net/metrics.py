@@ -1,0 +1,49 @@
+"""Fabric observability: per-link samples for :mod:`repro.obs`.
+
+:func:`register_fabric` attaches a pull collector to a
+:class:`repro.obs.registry.MetricsRegistry`; every snapshot then
+carries the fabric's live counters — per-link bytes, packets,
+utilization (busy ticks / clock), cumulative and peak queue wait (the
+queue-depth signal), and drops — under ``<prefix>.link.<name>.*``,
+plus fabric-wide totals under ``<prefix>.fabric.*``. Links that never
+carried traffic are omitted so a fat-tree's quiet links don't flood
+the snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.net.fabric import Fabric
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["register_fabric", "fabric_samples"]
+
+
+def fabric_samples(fabric: Fabric) -> dict[str, float]:
+    """One flat sample mapping of the fabric's current counters."""
+    out: dict[str, float] = {
+        "fabric.clock": float(fabric.clock),
+        "fabric.injected": float(fabric.injected),
+        "fabric.delivered": float(fabric.delivered),
+        "fabric.dropped": float(fabric.dropped),
+        "fabric.max_utilization": fabric.max_utilization(),
+    }
+    clock = fabric.clock
+    for name, stats in sorted(fabric.link_stats().items()):
+        if not stats.packets and not stats.drops:
+            continue
+        key = f"link.{name}"
+        out[f"{key}.packets"] = float(stats.packets)
+        out[f"{key}.bytes"] = float(stats.bytes)
+        out[f"{key}.busy_ticks"] = float(stats.busy_ticks)
+        out[f"{key}.utilization"] = stats.busy_ticks / clock if clock else 0.0
+        out[f"{key}.wait_ticks"] = float(stats.wait_ticks)
+        out[f"{key}.peak_wait"] = float(stats.peak_wait)
+        out[f"{key}.drops"] = float(stats.drops)
+    return out
+
+
+def register_fabric(
+    registry: MetricsRegistry, fabric: Fabric, *, prefix: str = "net"
+) -> None:
+    """Export ``fabric``'s counters through ``registry`` snapshots."""
+    registry.add_collector(prefix, lambda: fabric_samples(fabric))

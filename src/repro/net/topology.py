@@ -1,0 +1,275 @@
+"""Cluster topology graphs.
+
+A :class:`Topology` is a directed multigraph of *hosts* (nodes that
+can hold MPI ranks) and *switches*, connected by directed links each
+carrying a propagation ``latency`` (ticks) and a ``bandwidth``
+(bytes/tick, the store-and-forward serialization rate). Physical
+cables are modeled as two independent directed links, so the two
+directions never contend with each other — the full-duplex assumption
+every RDMA fabric makes.
+
+Three builders cover the shapes the offload literature evaluates on:
+
+* :func:`ring` — the degenerate 1-D torus; every host is also a
+  router, so non-neighbor traffic transits intermediate hosts.
+* :func:`torus2d` — a rows×cols wrap-around mesh of hosts, the
+  classic HPC direct network (each host links to its 4 neighbors).
+* :func:`fat_tree` — a k-ary fat-tree (k pods of k/2 edge + k/2
+  aggregation switches, (k/2)² cores, k³/4 hosts), the indirect
+  network of most InfiniBand clusters.
+
+:func:`topology_by_name` sizes a named family to fit a host count, so
+drivers can sweep ``topology × placement`` from string parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "Link",
+    "Topology",
+    "ring",
+    "torus2d",
+    "fat_tree",
+    "topology_by_name",
+    "TOPOLOGY_FAMILIES",
+]
+
+#: Default link speed: 64 B/tick keeps serialization of a 512 B halo
+#: payload at 8 ticks — visible next to 1-tick propagation, so
+#: congestion is measurable without dominating everything.
+DEFAULT_BANDWIDTH = 64
+DEFAULT_LATENCY = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """One directed link. ``name`` doubles as its stats/metrics key."""
+
+    src: str
+    dst: str
+    latency: int = DEFAULT_LATENCY
+    bandwidth: int = DEFAULT_BANDWIDTH
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"link endpoints must differ, both {self.src!r}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth < 1:
+            raise ValueError(f"bandwidth must be >= 1, got {self.bandwidth}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}>{self.dst}"
+
+
+class Topology:
+    """Hosts + switches + directed links, with adjacency lookups."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Rank-placeable nodes, in deterministic creation order.
+        self.hosts: list[str] = []
+        #: Pure forwarding nodes.
+        self.switches: list[str] = []
+        self._links: dict[str, Link] = {}
+        #: node -> sorted list of outgoing neighbor nodes.
+        self._adjacency: dict[str, list[str]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_host(self, node: str) -> str:
+        if node in self._adjacency:
+            raise ValueError(f"duplicate node {node!r}")
+        self.hosts.append(node)
+        self._adjacency[node] = []
+        return node
+
+    def add_switch(self, node: str) -> str:
+        if node in self._adjacency:
+            raise ValueError(f"duplicate node {node!r}")
+        self.switches.append(node)
+        self._adjacency[node] = []
+        return node
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        *,
+        latency: int = DEFAULT_LATENCY,
+        bandwidth: int = DEFAULT_BANDWIDTH,
+    ) -> None:
+        """Add the full-duplex cable a<->b (two directed links)."""
+        for src, dst in ((a, b), (b, a)):
+            link = Link(src, dst, latency=latency, bandwidth=bandwidth)
+            if link.name in self._links:
+                raise ValueError(f"duplicate link {link.name}")
+            if src not in self._adjacency or dst not in self._adjacency:
+                missing = src if src not in self._adjacency else dst
+                raise KeyError(f"unknown node {missing!r}")
+            self._links[link.name] = link
+            self._adjacency[src].append(dst)
+            self._adjacency[src].sort()
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return self.hosts + self.switches
+
+    @property
+    def links(self) -> dict[str, Link]:
+        return self._links
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[f"{src}>{dst}"]
+        except KeyError:
+            raise KeyError(f"no link {src!r} -> {dst!r}") from None
+
+    def neighbors(self, node: str) -> list[str]:
+        return self._adjacency[node]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._adjacency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology({self.name!r}, hosts={len(self.hosts)}, "
+            f"switches={len(self.switches)}, links={len(self._links)})"
+        )
+
+
+def ring(
+    hosts: int,
+    *,
+    latency: int = DEFAULT_LATENCY,
+    bandwidth: int = DEFAULT_BANDWIDTH,
+) -> Topology:
+    """``hosts`` nodes in a cycle; hosts route for each other."""
+    if hosts < 2:
+        raise ValueError(f"a ring needs >= 2 hosts, got {hosts}")
+    topo = Topology(f"ring-{hosts}")
+    for i in range(hosts):
+        topo.add_host(f"h{i}")
+    for i in range(hosts):
+        peer = (i + 1) % hosts
+        if hosts == 2 and peer < i:
+            break  # h0<->h1 already cabled; don't duplicate the cycle edge
+        topo.connect(f"h{i}", f"h{peer}", latency=latency, bandwidth=bandwidth)
+    return topo
+
+
+def torus2d(
+    rows: int,
+    cols: int,
+    *,
+    latency: int = DEFAULT_LATENCY,
+    bandwidth: int = DEFAULT_BANDWIDTH,
+) -> Topology:
+    """A rows×cols wrap-around mesh (each host cabled to 4 neighbors)."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError(f"torus needs >= 2 hosts, got {rows}x{cols}")
+    topo = Topology(f"torus-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_host(f"h{r * cols + c}")
+
+    def host(r: int, c: int) -> str:
+        return f"h{(r % rows) * cols + (c % cols)}"
+
+    for r in range(rows):
+        for c in range(cols):
+            # Cable each wrap edge exactly once (skip the wrap edge
+            # when the dimension is too short to have a distinct one).
+            if cols > 1 and (cols > 2 or c + 1 < cols):
+                topo.connect(host(r, c), host(r, c + 1), latency=latency, bandwidth=bandwidth)
+            if rows > 1 and (rows > 2 or r + 1 < rows):
+                topo.connect(host(r, c), host(r + 1, c), latency=latency, bandwidth=bandwidth)
+    return topo
+
+
+def fat_tree(
+    k: int,
+    *,
+    latency: int = DEFAULT_LATENCY,
+    bandwidth: int = DEFAULT_BANDWIDTH,
+) -> Topology:
+    """A k-ary fat-tree: k pods, (k/2)² cores, k³/4 hosts.
+
+    Hosts attach to edge switches; edge switches uplink to every
+    aggregation switch in their pod; aggregation switch j of each pod
+    uplinks to cores j*(k/2)..(j+1)*(k/2)-1 — the standard rearrange-
+    ably non-blocking wiring.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    topo = Topology(f"fattree-{k}")
+    for i in range(half * half * k):
+        topo.add_host(f"h{i}")
+    cores = [topo.add_switch(f"core{i}") for i in range(half * half)]
+    for pod in range(k):
+        edges = [topo.add_switch(f"p{pod}e{i}") for i in range(half)]
+        aggs = [topo.add_switch(f"p{pod}a{i}") for i in range(half)]
+        for e, edge in enumerate(edges):
+            for h in range(half):
+                host = f"h{(pod * half + e) * half + h}"
+                topo.connect(host, edge, latency=latency, bandwidth=bandwidth)
+            for agg in aggs:
+                topo.connect(edge, agg, latency=latency, bandwidth=bandwidth)
+        for a, agg in enumerate(aggs):
+            for core in cores[a * half : (a + 1) * half]:
+                topo.connect(agg, core, latency=latency, bandwidth=bandwidth)
+    return topo
+
+
+def _fit_ring(hosts: int, **kw) -> Topology:
+    return ring(max(hosts, 2), **kw)
+
+
+def _fit_torus(hosts: int, **kw) -> Topology:
+    """Near-square torus with at least ``hosts`` hosts."""
+    rows = max(int(math.isqrt(hosts)), 1)
+    cols = max(-(-hosts // rows), 2 if rows == 1 else 1)
+    return torus2d(rows, cols, **kw)
+
+
+def _fit_fat_tree(hosts: int, **kw) -> Topology:
+    k = 2
+    while k * k * k // 4 < hosts:
+        k += 2
+    return fat_tree(k, **kw)
+
+
+#: name -> builder(hosts, *, latency, bandwidth); the sweepable families.
+TOPOLOGY_FAMILIES = {
+    "ring": _fit_ring,
+    "torus": _fit_torus,
+    "fattree": _fit_fat_tree,
+}
+
+
+def topology_by_name(
+    name: str,
+    hosts: int,
+    *,
+    latency: int = DEFAULT_LATENCY,
+    bandwidth: int = DEFAULT_BANDWIDTH,
+) -> Topology:
+    """Size family ``name`` to hold at least ``hosts`` hosts."""
+    builder = TOPOLOGY_FAMILIES.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGY_FAMILIES)}"
+        )
+    topo = builder(hosts, latency=latency, bandwidth=bandwidth)
+    if len(topo.hosts) < hosts:
+        raise AssertionError(
+            f"{name} sized {len(topo.hosts)} hosts for request of {hosts}"
+        )
+    return topo

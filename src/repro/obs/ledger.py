@@ -241,10 +241,21 @@ class FlightRecorder:
         from two layers is safe); timestamps are clamped monotone
         within a record so attribution segments never go negative.
         """
+        self.stamp_at(mid, phase, self.now(), **detail)
+
+    def stamp_at(self, mid: int, phase: str, ts: float, **detail: Any) -> None:
+        """Record a phase transition at an explicit timestamp.
+
+        The fabric layer uses this to close a message's wire phase at
+        its *true* arrival tick rather than at the (possibly later)
+        tick the delivery was polled — the hook that makes per-hop
+        wire attribution telescope exactly. Same dedupe / monotone /
+        post-complete rules as :meth:`stamp`.
+        """
         rec = self.records.get(mid)
         if rec is None:
             return
-        ts = self.now()
+        ts = float(ts)
         tr = rec.transitions
         if tr:
             last_ts, last_phase, _ = tr[-1]
@@ -255,6 +266,13 @@ class FlightRecorder:
             if ts < last_ts:
                 ts = last_ts
         tr.append((ts, phase, detail or None))
+
+    def phase_of(self, mid: int) -> str:
+        """The phase ``mid`` currently occupies ("" when unknown)."""
+        rec = self.records.get(mid)
+        if rec is None or not rec.transitions:
+            return ""
+        return rec.transitions[-1][1]
 
     def complete(self, mid: int) -> None:
         self.stamp(mid, "complete")
@@ -361,6 +379,12 @@ class NullRecorder(FlightRecorder):
 
     def stamp(self, mid: int, phase: str, **detail: Any) -> None:
         pass
+
+    def stamp_at(self, mid: int, phase: str, ts: float, **detail: Any) -> None:
+        pass
+
+    def phase_of(self, mid: int) -> str:
+        return ""
 
     def complete(self, mid: int) -> None:
         pass

@@ -151,28 +151,53 @@ class RdmaSender:
 
 
 class RdmaReceiver:
-    """Receiver-side pipeline: CQ -> matcher -> protocol completion."""
+    """Receiver-side pipeline: CQ -> matcher -> protocol completion.
+
+    A receiver drives one matcher fed by *one or more* queue pairs —
+    one on a point-to-point wire in the single-link scenarios, one per
+    peer rank on a cluster fabric (an RC NIC holds one QP per
+    connection but a single matching engine). Tokens, the staged
+    store, and the completed list are shared across all queue pairs;
+    protocol actions (rendezvous reads, bounce release) are routed to
+    the queue pair the message arrived on.
+    """
 
     def __init__(
         self,
-        qp: QueuePair,
+        qp: QueuePair | None,
         matcher: OptimisticMatcher,
         *,
         recorder: FlightRecorder = NULL_RECORDER,
     ) -> None:
-        self.qp = qp
+        self.qps: list[QueuePair] = []
         self.matcher = matcher
         self.recorder = recorder
         self.completed: list[Delivery] = []
         #: bounce-token -> (staged message, header) awaiting protocol.
         self._staged: dict[int, StagedMessage] = {}
+        #: bounce-token -> queue pair the message was staged by.
+        self._staged_qp: dict[int, QueuePair] = {}
         self._next_token = 0
         #: outstanding rendezvous reads: token -> match event.
         self._pending_reads: dict[int, MatchEvent] = {}
         #: Deliveries completed from host-spilled staging (degraded).
         self.host_staged_deliveries = 0
-        #: Last observed wire-counter values, for delta mirroring.
-        self._wire_seen: dict[str, int] = {"retransmits": 0, "rnr_naks": 0}
+        #: Per-qp last observed wire-counter values (delta mirroring),
+        #: parallel to ``qps``.
+        self._wire_seen: list[dict[str, int]] = []
+        if qp is not None:
+            self.add_qp(qp)
+
+    @property
+    def qp(self) -> QueuePair | None:
+        """The first (single-link scenarios: the only) queue pair."""
+        return self.qps[0] if self.qps else None
+
+    def add_qp(self, qp: QueuePair) -> QueuePair:
+        """Attach another queue pair feeding this receiver's matcher."""
+        self.qps.append(qp)
+        self._wire_seen.append({"retransmits": 0, "rnr_naks": 0})
+        return qp
 
     def post_receive(self, request: ReceiveRequest) -> None:
         """Post a receive; an unexpected drain completes immediately."""
@@ -191,9 +216,11 @@ class RdmaReceiver:
         """
         from repro.core.envelope import InlineHashes
 
-        completions = self.qp.poll(limit=1_000_000)
+        completions = [
+            (qp, cqe) for qp in self.qps for cqe in qp.poll(limit=1_000_000)
+        ]
         n = 0
-        for cqe in completions:
+        for qp, cqe in completions:
             n += 1
             if cqe.opcode in ("send", "rts"):
                 staged: StagedMessage = cqe.payload
@@ -201,6 +228,7 @@ class RdmaReceiver:
                 token = self._next_token
                 self._next_token += 1
                 self._staged[token] = staged
+                self._staged_qp[token] = qp
                 inline = None
                 if header.inline_hashes is not None:
                     inline = InlineHashes(*header.inline_hashes)
@@ -258,38 +286,45 @@ class RdmaReceiver:
         over spill/recovery), and across wire replacement (a fresh wire
         restarts its counters at zero; the delta tracker treats the new
         value as pure growth rather than clobbering history)."""
-        wire_stats = getattr(self.qp.wire, "stats", None)
         stats = getattr(self.matcher, "stats", None)
-        if wire_stats is None or stats is None:
+        if stats is None:
             return
-        for name, seen in self._wire_seen.items():
-            current = getattr(wire_stats, name, 0)
-            # A counter below its last-seen value means the wire (and
-            # its stats) was replaced: the whole value is new growth.
-            delta = current if current < seen else current - seen
-            if delta:
-                setattr(stats, name, getattr(stats, name, 0) + delta)
-            self._wire_seen[name] = current
+        for qp, seen in zip(self.qps, self._wire_seen):
+            wire_stats = getattr(qp.wire, "stats", None)
+            if wire_stats is None:
+                continue
+            for name, last in seen.items():
+                current = getattr(wire_stats, name, 0)
+                # A counter below its last-seen value means the wire
+                # (and its stats) was replaced: the whole value is new
+                # growth.
+                delta = current if current < last else current - last
+                if delta:
+                    setattr(stats, name, getattr(stats, name, 0) + delta)
+                seen[name] = current
 
     def _complete(self, event: MatchEvent, *, unexpected: bool) -> None:
         token = event.message.send_seq
         staged = self._staged.pop(token, None)
+        qp = self._staged_qp.pop(token, None) or self.qp
         header: MessageHeader | None = staged.header if staged is not None else None
         if self.recorder.enabled:
             # Engines stamp "matched" with the resolution path; this
             # dedupes against that. Software matchers only get this one.
             self.recorder.stamp(event.message.mid, "matched")
         if header is not None and header.protocol == "rndv":
-            # DPA-issued one-sided read into the user buffer (§IV-B).
+            # DPA-issued one-sided read into the user buffer (§IV-B),
+            # issued on the queue pair the RTS arrived on — on a
+            # fabric, the read must travel back to *that* sender.
             self._pending_reads[token] = event
             if self.recorder.enabled:
                 self.recorder.stamp(event.message.mid, "rdma_read")
-            self.qp.rdma_read(header.rkey, token)
+            qp.rdma_read(header.rkey, token)
             return
         payload = b""
         if staged is not None and staged.bounce is not None:
             payload = staged.bounce.read()
-            self.qp.bounce_pool.release(staged.bounce)
+            qp.bounce_pool.release(staged.bounce)
         elif staged is not None and staged.host_data is not None:
             # Degraded path: the payload was spilled to host memory
             # because the bounce pool was exhausted at staging time.
@@ -330,7 +365,7 @@ def pump(receiver: RdmaReceiver, *peer_qps: QueuePair, max_rounds: int = 64) -> 
     (retry budget exhausted) propagates to the caller — the loop never
     converts an unreachable peer into a silent hang.
     """
-    wires = {id(receiver.qp.wire): receiver.qp.wire}
+    wires = {id(qp.wire): qp.wire for qp in receiver.qps}
     for qp in peer_qps:
         wires.setdefault(id(qp.wire), qp.wire)
     for _ in range(max_rounds):

@@ -1,0 +1,61 @@
+"""The ``repro-bench`` front door (satellite 1)."""
+
+import json
+
+from repro.bench.frontdoor import main as bench_main
+
+
+class TestDispatch:
+    def test_no_args_prints_usage_and_fails(self, capsys):
+        assert bench_main([]) == 2
+        assert "usage: repro-bench" in capsys.readouterr().out
+
+    def test_help_exits_zero(self, capsys):
+        assert bench_main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for sub in ("pressure", "reliability", "msgrate", "cluster"):
+            assert sub in out
+
+    def test_unknown_subcommand_exits_two(self, capsys):
+        assert bench_main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown subcommand 'frobnicate'" in err
+        assert "usage: repro-bench" in err
+
+
+class TestClusterSubcommand:
+    def test_runs_sweep_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cluster.json"
+        code = bench_main(
+            [
+                "cluster",
+                "--ranks",
+                "4",
+                "--rounds",
+                "1",
+                "--size",
+                "128",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.bench.cluster/v1"
+        assert len(payload["cells"]) == 18  # 3 apps x 3 topologies x 2 placements
+        assert payload["failures"] == []
+        assert all(cell["ok"] for cell in payload["cells"])
+
+    def test_warm_cache_reproduces_identical_cells(self, tmp_path):
+        from repro.bench.cluster import run_bench
+
+        cache = str(tmp_path / "cache")
+        cold = run_bench(ranks=4, rounds=1, size=128, cache_dir=cache)
+        warm = run_bench(ranks=4, rounds=1, size=128, cache_dir=cache)
+
+        def strip(cells):
+            return [{k: v for k, v in c.items() if k != "cached"} for c in cells]
+
+        assert strip(cold["cells"]) == strip(warm["cells"])
+        assert all(c["cached"] for c in warm["cells"])
+        assert "0 executed" in warm["fleet"]

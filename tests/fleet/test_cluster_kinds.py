@@ -1,0 +1,77 @@
+"""Fleet integration for the cluster kinds (satellite 6).
+
+``cluster_bench`` / ``cluster_chaos`` jobs must run from pure-literal
+specs, their :class:`ClusterReport` results must survive the codec
+round-trip, and warm cache runs must decode to equal reports.
+"""
+
+from repro.fleet import JobSpec, run_jobs
+from repro.fleet.codec import decode_result, encode_result
+from repro.fleet.kinds import kind_salt, resolve_kind
+from repro.net.cluster import ClusterReport
+
+BENCH_PARAMS = {
+    "app": "halo",
+    "ranks": 4,
+    "topology": "torus",
+    "placement": "block",
+    "rounds": 1,
+    "size": 128,
+}
+
+
+class TestKinds:
+    def test_registered_with_salts(self):
+        for name in ("cluster_bench", "cluster_chaos"):
+            spec = resolve_kind(name)
+            assert spec.version == "1"
+            assert name in kind_salt(name)
+
+    def test_cluster_bench_runs_from_literals(self):
+        spec = resolve_kind("cluster_bench")
+        report = spec.fn(BENCH_PARAMS, 0)
+        assert isinstance(report, ClusterReport)
+        assert report.ok
+
+    def test_cluster_chaos_seed_overrides_plan_seed(self):
+        spec = resolve_kind("cluster_chaos")
+        params = dict(
+            BENCH_PARAMS,
+            plan={
+                "seed": 0,
+                "flap_links": 1,
+                "flaps_per_link": 1,
+                "flap_ticks": 16,
+                "flap_horizon": 128,
+                "partition_at": -1,
+                "partition_ticks": 64,
+                "partition_victim": -1,
+            },
+        )
+        a = spec.fn(params, 7)
+        b = spec.fn(params, 7)
+        assert a.ok and b.ok
+        assert a.results == b.results  # same seed, same faults
+        assert a.params["plan"]["seed"] == 7
+
+
+class TestCodec:
+    def test_cluster_report_round_trips(self):
+        report = resolve_kind("cluster_bench").fn(BENCH_PARAMS, 0)
+        payload = encode_result(report)
+        assert payload["type"] == "ClusterReport"
+        clone = decode_result(payload)
+        assert isinstance(clone, ClusterReport)
+        assert clone.results == report.results
+
+
+class TestCaching:
+    def test_warm_run_is_all_hits_and_equal(self, tmp_path):
+        specs = [JobSpec(kind="cluster_bench", params=BENCH_PARAMS)]
+        cold = run_jobs(iter(specs), cache_dir=str(tmp_path))
+        warm = run_jobs(iter(specs), cache_dir=str(tmp_path))
+        cold.require_ok(), warm.require_ok()
+        assert warm.report.cached == 1
+        assert warm.report.executed == 0
+        (a,), (b,) = list(cold.results()), list(warm.results())
+        assert a.results == b.results

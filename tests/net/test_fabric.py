@@ -1,0 +1,132 @@
+"""The fabric datapath: conservation, FIFO, congestion, faults, obs."""
+
+from repro.net.fabric import Fabric
+from repro.net.faults import LinkFaultPlan
+from repro.net.metrics import fabric_samples, register_fabric
+from repro.net.topology import fat_tree, ring, torus2d
+from repro.obs.registry import MetricsRegistry
+
+
+def drain_port(fabric, port, until=100_000):
+    got = []
+    while fabric.clock < until:
+        if (out := fabric.deliver(port)) is not None:
+            got.append(out)
+        elif not fabric.pending(port):
+            break
+        else:
+            fabric.tick()
+    return got
+
+
+class TestConservation:
+    def test_hops_telescope(self):
+        fabric = Fabric(fat_tree(4))
+        fabric.attach("p")
+        for i in range(16):
+            t = fabric.inject("h0", f"h{i % 8 + 8}", "p", i, 512)
+            assert t.conserved()
+            assert t.hops[0].t_in == t.inject
+            assert t.hops[-1].t_out == t.arrival
+            assert sum(h.duration for h in t.hops) == t.arrival - t.inject
+
+    def test_uncontended_latency_is_ser_plus_prop(self):
+        fabric = Fabric(ring(2, latency=3, bandwidth=64))
+        fabric.attach("p")
+        t = fabric.inject("h0", "h1", "p", None, 512)
+        # One hop: ceil(512/64)=8 serialization + 3 propagation.
+        assert t.arrival - t.inject == 11
+
+
+class TestFifo:
+    def test_per_pair_fifo(self):
+        fabric = Fabric(torus2d(2, 4))
+        fabric.attach("p")
+        for i in range(20):
+            fabric.inject("h0", "h5", "p", i, 256)
+        got = [packet for packet, _ in drain_port(fabric, "p")]
+        assert got == list(range(20))
+
+    def test_delivery_waits_for_clock(self):
+        fabric = Fabric(ring(2))
+        fabric.attach("p")
+        t = fabric.inject("h0", "h1", "p", "x", 64)
+        assert fabric.deliver("p") is None  # clock 0 < arrival
+        while fabric.clock < t.arrival:
+            fabric.tick()
+        assert fabric.deliver("p") == ("x", t)
+
+
+class TestCongestion:
+    def test_contention_adds_queue_wait(self):
+        fabric = Fabric(ring(2))
+        fabric.attach("p")
+        solo = fabric.inject("h0", "h1", "p", 0, 512)
+        burst = [fabric.inject("h0", "h1", "p", i, 512) for i in range(1, 8)]
+        base = solo.arrival - solo.inject
+        lat = [t.arrival - t.inject for t in burst]
+        assert all(l > base for l in lat)
+        assert lat == sorted(lat)  # FIFO queuing: monotone delays
+        stats = fabric.link_stats()["h0>h1"]
+        assert stats.wait_ticks > 0
+        assert stats.peak_wait == lat[-1] - base
+
+    def test_disjoint_flows_do_not_contend(self):
+        fabric = Fabric(torus2d(2, 2))
+        fabric.attach("p")
+        fabric.attach("q")
+        a = fabric.inject("h0", "h1", "p", None, 512)
+        b = fabric.inject("h2", "h3", "q", None, 512)
+        assert a.arrival - a.inject == b.arrival - b.inject
+        assert all(s.wait_ticks == 0 for s in fabric.link_stats().values())
+
+
+class TestFaults:
+    def test_partition_drops_at_down_link(self):
+        plan = LinkFaultPlan(partition_at=0, partition_ticks=50, partition_victim=1)
+        fabric = Fabric(ring(4), plan=plan)
+        fabric.attach("p")
+        t = fabric.inject("h0", "h1", "p", None, 64)
+        assert t.dropped
+        assert t.drop_link
+        assert fabric.dropped == 1
+        assert fabric.pending("p") == 0  # dropped packets never arrive
+
+    def test_traffic_after_window_passes(self):
+        plan = LinkFaultPlan(partition_at=0, partition_ticks=10, partition_victim=1)
+        fabric = Fabric(ring(4), plan=plan)
+        fabric.attach("p")
+        while fabric.clock < 10:
+            fabric.tick()
+        t = fabric.inject("h0", "h1", "p", None, 64)
+        assert not t.dropped
+
+    def test_clean_plan_never_drops(self):
+        fabric = Fabric(ring(4), plan=LinkFaultPlan())
+        fabric.attach("p")
+        for i in range(10):
+            assert not fabric.inject("h0", "h2", "p", i, 128).dropped
+
+
+class TestMetrics:
+    def test_register_fabric_exports_samples(self):
+        fabric = Fabric(ring(2))
+        fabric.attach("p")
+        fabric.inject("h0", "h1", "p", None, 512)
+        drain_port(fabric, "p")
+        registry = MetricsRegistry()
+        register_fabric(registry, fabric)
+        snap = registry.snapshot().values
+        assert snap["net.fabric.injected"] == 1.0
+        assert snap["net.fabric.delivered"] == 1.0
+        assert snap["net.link.h0>h1.bytes"] == 512.0
+        assert 0.0 < snap["net.link.h0>h1.utilization"] <= 1.0
+
+    def test_quiet_links_omitted(self):
+        fabric = Fabric(fat_tree(4))
+        fabric.attach("p")
+        fabric.inject("h0", "h1", "p", None, 64)
+        samples = fabric_samples(fabric)
+        used = [k for k in samples if k.startswith("link.")]
+        # One edge-local round trip touches 2 links, x7 fields each.
+        assert len(used) == 14

@@ -1,0 +1,38 @@
+"""Placement maps: schemes, validation, param round-trips."""
+
+import pytest
+
+from repro.net.placement import Placement, placement_by_name
+
+
+class TestSchemes:
+    def test_block_packs_contiguously(self):
+        p = Placement.block(8, ["h0", "h1"])
+        assert [p.node_of(r) for r in range(8)] == ["h0"] * 4 + ["h1"] * 4
+
+    def test_round_robin_stripes(self):
+        p = Placement.round_robin(6, ["h0", "h1", "h2"])
+        assert [p.node_of(r) for r in range(6)] == ["h0", "h1", "h2"] * 2
+
+    def test_ranks_on(self):
+        p = Placement.block(4, ["h0", "h1"])
+        assert tuple(p.ranks_on("h0")) == (0, 1)
+        assert tuple(p.ranks_on("h1")) == (2, 3)
+
+    def test_custom_requires_dense_ranks(self):
+        with pytest.raises(ValueError):
+            Placement.custom({0: "h0", 2: "h1"})
+
+    def test_by_name(self):
+        hosts = ["h0", "h1"]
+        assert placement_by_name("block", 4, hosts) == Placement.block(4, hosts)
+        with pytest.raises(KeyError):
+            placement_by_name("random", 4, hosts)
+
+
+class TestParams:
+    def test_round_trip(self):
+        p = Placement.round_robin(5, ["h0", "h1"])
+        clone = Placement.from_params(p.to_params())
+        assert clone == p
+        assert clone.scheme == "round_robin"

@@ -1,0 +1,68 @@
+"""Static routing: valid shortest paths, deterministic ECMP spread."""
+
+import pytest
+
+from repro.net.routing import RouteTable
+from repro.net.topology import fat_tree, ring, torus2d
+
+
+def walk(topology, src, path):
+    """Follow a link-name path and return the node it ends at."""
+    node = src
+    for name in path:
+        link = topology.links[name]
+        assert link.src == node, f"{name} does not start at {node}"
+        node = link.dst
+    return node
+
+
+class TestPaths:
+    def test_path_connects_endpoints(self):
+        topo = fat_tree(4)
+        routes = RouteTable(topo)
+        for src, dst in [("h0", "h1"), ("h0", "h7"), ("h3", "h12")]:
+            assert walk(topo, src, routes.path(src, dst)) == dst
+
+    def test_self_path_is_empty(self):
+        routes = RouteTable(ring(4))
+        assert routes.path("h2", "h2") == ()
+        assert routes.hops("h2", "h2") == 0
+
+    def test_paths_are_shortest(self):
+        topo = torus2d(4, 4)
+        routes = RouteTable(topo)
+        # Wrap-around: h0 to h3 is one hop, not three.
+        assert routes.hops("h0", "h3") == 1
+        assert routes.hops("h0", "h5") == 2
+
+    def test_unknown_node_raises(self):
+        routes = RouteTable(ring(3))
+        with pytest.raises(KeyError):
+            routes.path("h9", "h0")
+
+    def test_routes_are_static(self):
+        routes = RouteTable(fat_tree(4))
+        first = routes.path("h0", "h15")
+        for _ in range(5):
+            assert routes.path("h0", "h15") == first
+
+
+class TestEcmp:
+    def test_deterministic_across_instances(self):
+        a, b = RouteTable(fat_tree(4)), RouteTable(fat_tree(4))
+        for src in ("h0", "h5", "h9"):
+            for dst in ("h2", "h11", "h15"):
+                assert a.path(src, dst) == b.path(src, dst)
+
+    def test_distinct_flows_spread_over_cores(self):
+        """Cross-pod flows in a fat-tree should not all funnel through
+        a single core switch."""
+        topo = fat_tree(4)
+        routes = RouteTable(topo)
+        cores = set()
+        for h in range(8):  # pods 0 and 1 sending to pods 2 and 3
+            path = routes.path(f"h{h}", f"h{15 - h}")
+            cores.update(
+                n for name in path for n in name.split(">") if n.startswith("core")
+            )
+        assert len(cores) > 1

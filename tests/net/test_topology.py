@@ -1,0 +1,82 @@
+"""Topology builders: shapes, full-duplex cabling, family sizing."""
+
+import pytest
+
+from repro.net.topology import (
+    TOPOLOGY_FAMILIES,
+    Link,
+    fat_tree,
+    ring,
+    topology_by_name,
+    torus2d,
+)
+
+
+class TestLink:
+    def test_name_is_directed(self):
+        assert Link("a", "b").name == "a>b"
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Link("a", "a")
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", latency=-1)
+        with pytest.raises(ValueError):
+            Link("a", "b", bandwidth=0)
+
+
+class TestBuilders:
+    def test_ring_is_a_cycle(self):
+        topo = ring(5)
+        assert len(topo.hosts) == 5
+        assert not topo.switches
+        # Every host has exactly two neighbors; 2 directed links/cable.
+        for host in topo.hosts:
+            assert len(topo.neighbors(host)) == 2
+        assert len(topo.links) == 10
+
+    def test_two_host_ring_has_one_cable(self):
+        topo = ring(2)
+        assert len(topo.links) == 2  # one cable, both directions
+
+    def test_full_duplex_pairing(self):
+        topo = torus2d(2, 2)
+        for link in topo.links.values():
+            assert f"{link.dst}>{link.src}" in topo.links
+
+    def test_torus_degree(self):
+        topo = torus2d(3, 3)
+        assert len(topo.hosts) == 9
+        for host in topo.hosts:
+            assert len(topo.neighbors(host)) == 4
+
+    def test_fat_tree_shape(self):
+        k = 4
+        topo = fat_tree(k)
+        assert len(topo.hosts) == k**3 // 4
+        # k pods x (k/2 edge + k/2 agg) + (k/2)^2 cores.
+        assert len(topo.switches) == k * k + (k // 2) ** 2
+
+    def test_fat_tree_rejects_odd_arity(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+    def test_link_rates_propagate(self):
+        topo = ring(3, latency=7, bandwidth=128)
+        for link in topo.links.values():
+            assert link.latency == 7
+            assert link.bandwidth == 128
+
+
+class TestByName:
+    @pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
+    @pytest.mark.parametrize("hosts", [2, 5, 8, 16])
+    def test_sizes_to_fit(self, family, hosts):
+        topo = topology_by_name(family, hosts)
+        assert len(topo.hosts) >= hosts
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="dragonfly"):
+            topology_by_name("dragonfly", 8)
