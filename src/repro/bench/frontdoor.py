@@ -6,6 +6,7 @@ Subcommands::
     repro-bench reliability [...]   # reliability-layer overhead baseline
     repro-bench msgrate     [...]   # Figure 8 message-rate benchmark
     repro-bench cluster     [...]   # cluster-fabric topology/placement sweep
+    repro-bench resilience  [...]   # rank-failure recovery-latency sweep
 
 Each subcommand forwards its remaining arguments to the underlying
 module's ``main``, so ``repro-bench pressure --rounds 24`` and
@@ -20,12 +21,13 @@ import sys
 __all__ = ["main"]
 
 _USAGE = """\
-usage: repro-bench {pressure,reliability,msgrate,cluster} [options]
+usage: repro-bench {pressure,reliability,msgrate,cluster,resilience} [options]
 
   pressure     memory-budget enforcement ladder (BENCH_pressure.json)
   reliability  lossy-wire overhead baseline (BENCH_reliability.json)
   msgrate      Figure 8 ping-pong message rates (repro-msgrate)
   cluster      fabric sweep: apps x topologies x placements (BENCH_cluster.json)
+  resilience   recovery latency: detector tuning x repair mode (BENCH_resilience.json)
 
 Run `repro-bench <subcommand> --help` for subcommand options.
 """
@@ -53,6 +55,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.cluster import main as cluster_main
 
         return cluster_main(rest)
+    if command == "resilience":
+        from repro.bench.resilience import main as resilience_main
+
+        return resilience_main(rest)
     print(f"repro-bench: unknown subcommand {command!r}", file=sys.stderr)
     print(_USAGE, end="", file=sys.stderr)
     return 2

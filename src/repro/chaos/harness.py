@@ -186,7 +186,7 @@ def config_from_params(params: Mapping[str, Any]) -> ChaosConfig:
 class ChaosReport:
     """Observable outcome of one chaos run."""
 
-    SCHEMA = "repro.chaos.report/v4"
+    SCHEMA = "repro.chaos.report/v5"
 
     seed: int
     sent: int = 0
@@ -272,6 +272,28 @@ class ChaosReport:
     #: :meth:`repro.obs.ledger.MessageRecord.to_dict` dump, so a soak
     #: failure ships the exact phase history of the message that broke.
     passport: dict = field(default_factory=dict)
+    # -- rank fault-tolerance accounting (schema v5) -------------------
+    #: Whole-rank fail-stop kills injected by the RankFaultPlan.
+    rank_kills: int = 0
+    #: Distinct killed ranks the heartbeat detector flagged.
+    rank_failures_detected: int = 0
+    #: Suspicions of ranks that were alive (must stay 0: the detector's
+    #: no-false-positive contract on a fault-free / congested fabric).
+    rank_false_suspicions: int = 0
+    #: Failed ranks revived from their coordinated checkpoint.
+    rank_restarts: int = 0
+    #: Communicator shrinks agreed by the survivors.
+    comm_shrinks: int = 0
+    #: Outstanding receives failed with RankFailedError on detection.
+    rank_failed_recvs: int = 0
+    #: Worst kill -> suspicion gap observed, in fabric ticks (bounded
+    #: by ``timeout + max_route_rtt``).
+    rank_detection_latency_max: int = 0
+    #: Ticks spent in aborted epochs + agreement rounds (repair cost).
+    rank_recovery_ticks: int = 0
+    #: Aborts triggered by the stall / transport backstops instead of
+    #: heartbeat suspicion (the mutant lanes' detection signal).
+    rank_backstop_aborts: int = 0
 
     @property
     def ok(self) -> bool:

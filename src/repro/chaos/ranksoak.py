@@ -1,0 +1,322 @@
+"""Rank-fault soak: fail-stop kills, detection, and repair under load.
+
+Every profile runs a collective workload end-to-end through
+:func:`repro.resilience.cluster.run_resilient` — real fabric, real
+matching per rank, a seeded :class:`repro.resilience.faults.
+RankFaultPlan` killing whole ranks mid-run — across a batch of seeds
+through :mod:`repro.fleet` (``rank_chaos`` jobs, so lanes fan out and
+cache). Two kinds of lane with *inverted* expectations:
+
+* **Real lanes** (:data:`RANK_PROFILES`): every report must be ``ok``
+  (all rounds committed, pairings oracle-clean, conservation exact)
+  and the heartbeat detector must never raise a false suspicion.
+  Heartbeat lanes must detect every fired kill through the detector
+  (zero backstop aborts); the ``silent`` lane (no heartbeats) must
+  recover through the stall/transport backstop instead.
+* **Mutant lanes** (:data:`MUTANT_PROFILES`): each planted driver bug
+  from :data:`repro.resilience.cluster.MUTANTS` runs a kill schedule
+  chosen to expose it. A mutant nobody catches is the soak failure —
+  it would mean the detector / repair audits are vacuous.
+
+Rendezvous-sized payloads (``size > DEFAULT_EAGER_THRESHOLD``) are the
+interesting kill target: a dead rank can no longer serve RDMA reads,
+so survivors hold receives that can never complete and the
+``RankFailedError`` revocation path is exercised, not just timed out.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.chaos.ranksoak [--schedules N]
+    repro-chaos ranks [--schedules N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.resilience.cluster import ResilienceReport
+from repro.resilience.faults import RankFaultPlan
+from repro.resilience.heartbeat import HeartbeatConfig
+
+__all__ = [
+    "RANK_PROFILES",
+    "MUTANT_PROFILES",
+    "RankSoakResult",
+    "iter_rank_jobs",
+    "rank_soak",
+    "main",
+]
+
+DEFAULT_RANKS = 8
+DEFAULT_ROUNDS = 3
+DEFAULT_SCHEDULES = 4
+
+_HB = HeartbeatConfig()
+
+#: Real lanes: profile -> job params template (the job seed replaces
+#: ``plan.seed``). Kill horizons sit inside the first epoch of each
+#: payload size so seeded kills reliably fire; ``size=2048`` lanes kill
+#: under rendezvous traffic (dead responder -> failed receives).
+RANK_PROFILES: dict[str, dict] = {
+    "clean": {
+        "plan": RankFaultPlan(),
+        "heartbeat": _HB,
+        "recovery": "shrink",
+        "size": 512,
+    },
+    "kill-shrink": {
+        "plan": RankFaultPlan(kills=1, horizon=300),
+        "heartbeat": _HB,
+        "recovery": "shrink",
+        "size": 2048,
+    },
+    "kill-respawn": {
+        "plan": RankFaultPlan(kills=1, horizon=300),
+        "heartbeat": _HB,
+        "recovery": "respawn",
+        "size": 2048,
+    },
+    "silent": {
+        "plan": RankFaultPlan(kills=1, horizon=120),
+        "heartbeat": None,
+        "recovery": "shrink",
+        "size": 512,
+    },
+}
+
+#: Mutant lanes: planted driver bugs and the kill schedule that exposes
+#: them. ``stale-streams`` only bites when the kill lands *after* a
+#: committed round (a respawn from the initial checkpoint has all-zero
+#: stream counters anyway), hence the explicit tick between the size-512
+#: round-2 and round-3 commits.
+MUTANT_PROFILES: dict[str, dict] = {
+    "mutant-deaf-detector": {
+        "plan": RankFaultPlan(victims=(3,), kill_ticks=(50,)),
+        "heartbeat": _HB,
+        "recovery": "shrink",
+        "size": 512,
+        "mutant": "deaf-detector",
+    },
+    "mutant-no-abort": {
+        "plan": RankFaultPlan(victims=(3,), kill_ticks=(50,)),
+        "heartbeat": _HB,
+        "recovery": "shrink",
+        "size": 512,
+        "mutant": "no-abort",
+    },
+    "mutant-stale-streams": {
+        "plan": RankFaultPlan(victims=(3,), kill_ticks=(400,)),
+        "heartbeat": _HB,
+        "recovery": "respawn",
+        "size": 512,
+        "mutant": "stale-streams",
+    },
+}
+
+
+@dataclass(slots=True)
+class RankSoakResult:
+    runs: int = 0
+    failures: int = 0
+    kills: int = 0
+    detections: int = 0
+    false_suspicions: int = 0
+    shrinks: int = 0
+    restarts: int = 0
+    failed_recvs: int = 0
+    backstop_aborts: int = 0
+    failed: list[str] = field(default_factory=list)
+    #: mutant lane name -> seeds on which the planted bug was caught.
+    mutants_caught: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mutants_missed(self) -> list[str]:
+        return sorted(n for n, caught in self.mutants_caught.items() if caught == 0)
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0 and not self.mutants_missed
+
+
+def iter_rank_jobs(profiles: Mapping[str, dict], seeds, *, ranks: int, rounds: int):
+    from repro.fleet import JobSpec
+
+    for name, template in profiles.items():
+        plan: RankFaultPlan = template["plan"]
+        hb: HeartbeatConfig | None = template["heartbeat"]
+        for seed in seeds:
+            yield JobSpec(
+                kind="rank_chaos",
+                params={
+                    "app": "halo",
+                    "ranks": ranks,
+                    "rounds": rounds,
+                    "size": template["size"],
+                    "topology": "torus",
+                    "placement": "block",
+                    "profile": name,
+                    "recovery": template["recovery"],
+                    "mutant": template.get("mutant", ""),
+                    "plan": plan.to_params(),
+                    "heartbeat": hb.to_params() if hb is not None else None,
+                    "record": False,
+                },
+                seed=seed,
+            )
+
+
+def _mutant_caught(name: str, report: ResilienceReport) -> bool:
+    """Did this run expose the planted bug?"""
+    res = report.results
+    if name == "mutant-stale-streams":
+        # The respawned rank forgot its stream counters: message
+        # identities regress and the pairing oracle diverges.
+        return bool(res["violations"])
+    # deaf-detector / no-abort: the heartbeat path never aborts, so a
+    # fired kill is only ever survived through the backstop — a
+    # heartbeat-enabled lane with backstop aborts is the tell.
+    return bool(res["kills"]) and res["backstop_aborts"] > 0
+
+
+def _check_real(name: str, report: ResilienceReport) -> str | None:
+    """Return a failure description, or ``None`` if the lane holds."""
+    res = report.results
+    if not report.ok:
+        return (
+            f"{len(res['violations'])} violations, "
+            f"{res['rounds_completed']}/{report.params['rounds']} rounds"
+        )
+    if res["false_suspicions"]:
+        return f"{len(res['false_suspicions'])} false suspicions"
+    if name == "clean":
+        if res["kills"] or res["suspicion_aborts"] or res["backstop_aborts"]:
+            return "aborts on a fault-free run"
+        return None
+    if not res["kills"]:
+        return None  # seeded tick landed past the run: nothing to audit
+    if report.params["heartbeat"] is not None:
+        if res["failures_detected"] < len({k["rank"] for k in res["kills"]}):
+            return "heartbeat missed a fired kill"
+        if res["backstop_aborts"]:
+            return f"{res['backstop_aborts']} backstop aborts despite heartbeats"
+    elif not res["backstop_aborts"]:
+        return "silent lane recovered without the backstop (impossible)"
+    return None
+
+
+def rank_soak(
+    schedules: int = DEFAULT_SCHEDULES,
+    seed_base: int = 1,
+    *,
+    ranks: int = DEFAULT_RANKS,
+    rounds: int = DEFAULT_ROUNDS,
+    mutants: bool = True,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    verbose: bool = False,
+    out=None,
+    err=None,
+) -> RankSoakResult:
+    """Run ``schedules`` seeds through every real (and mutant) lane."""
+    from repro.fleet import run_jobs
+
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+
+    table: dict[str, dict] = dict(RANK_PROFILES)
+    if mutants:
+        table.update(MUTANT_PROFILES)
+    seeds = range(seed_base, seed_base + schedules)
+    result = RankSoakResult(
+        mutants_caught={name: 0 for name in (MUTANT_PROFILES if mutants else ())}
+    )
+    fleet = run_jobs(
+        iter_rank_jobs(table, seeds, ranks=ranks, rounds=rounds),
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    for outcome in fleet.outcomes:
+        name = outcome.spec.params["profile"]
+        seed = outcome.spec.seed
+        result.runs += 1
+        if not outcome.ok:
+            result.failures += 1
+            result.failed.append(f"{name}/seed={seed}")
+            print(f"FAIL {name} seed={seed}: quarantined ({outcome.error})", file=err)
+            continue
+        report: ResilienceReport = outcome.result
+        res = report.results
+        result.kills += len(res["kills"])
+        result.detections += res["failures_detected"]
+        result.false_suspicions += len(res["false_suspicions"])
+        result.shrinks += res["shrinks"]
+        result.restarts += res["restarts"]
+        result.failed_recvs += res["failed_recvs"]
+        result.backstop_aborts += res["backstop_aborts"]
+        if verbose:
+            print(
+                f"{name:>22} seed={seed}: {len(res['kills'])} kills, "
+                f"{res['failures_detected']} detected "
+                f"(latency<={res['detection_latency_max']}), "
+                f"{res['shrinks']} shrinks, {res['restarts']} restarts, "
+                f"{res['failed_recvs']} failed recvs, "
+                f"{len(res['violations'])} violations",
+                file=out,
+            )
+        if name in MUTANT_PROFILES:
+            if _mutant_caught(name, report):
+                result.mutants_caught[name] += 1
+            continue
+        reason = _check_real(name, report)
+        if reason is not None:
+            result.failures += 1
+            result.failed.append(f"{name}/seed={seed}")
+            print(f"FAIL {name} seed={seed}: {reason}", file=err)
+    caught = sum(1 for n in result.mutants_caught.values() if n)
+    print(
+        f"rank soak: {result.runs} runs, {result.kills} kills, "
+        f"{result.detections} detected, {result.false_suspicions} false "
+        f"suspicions, {result.shrinks} shrinks, {result.restarts} restarts, "
+        f"{result.failures} failures, "
+        f"mutants caught {caught}/{len(result.mutants_caught)}",
+        file=out,
+    )
+    if result.mutants_missed:
+        print(f"MUTANTS MISSED: {result.mutants_missed}", file=err)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="rank fail-stop soak (kill / detect / repair lanes)"
+    )
+    parser.add_argument("--schedules", type=int, default=DEFAULT_SCHEDULES)
+    parser.add_argument("--seed-base", type=int, default=1)
+    parser.add_argument("--ranks", type=int, default=DEFAULT_RANKS)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    parser.add_argument(
+        "--no-mutants", action="store_true", help="skip the planted-bug lanes"
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="fleet worker count")
+    parser.add_argument(
+        "--cache-dir", default=None, help="content-addressed result cache"
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    result = rank_soak(
+        args.schedules,
+        args.seed_base,
+        ranks=args.ranks,
+        rounds=args.rounds,
+        mutants=not args.no_mutants,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        verbose=args.verbose,
+    )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -607,3 +607,26 @@ class OptimisticMatcher:
         if self.pressure is not None:
             self.pressure.release_unexpected()
         return oldest.envelope
+
+    def revoke_source(self, source: int) -> int:
+        """Dead-peer notification: purge every unexpected message from
+        ``source`` (the rank fault-tolerance layer's revoke — a failed
+        rank's stale UMQ entries must never match a receive posted
+        after its death). A host-side command serialized with blocks
+        like cancellation: pending messages are processed first, so a
+        message already in flight wins the race as it would on
+        hardware; whatever that leaves in the unexpected store is then
+        dropped. Returns the number of entries revoked.
+        """
+        drained = self.process_all()
+        self._event_backlog.extend(drained)
+        victims = [
+            um
+            for um in self.unexpected.both_wildcard
+            if um.envelope.source == source
+        ]
+        for um in victims:
+            self.unexpected.remove(um)
+            if self.pressure is not None:
+                self.pressure.release_unexpected()
+        return len(victims)

@@ -33,6 +33,7 @@ _BUILTIN: dict[str, tuple[str, str]] = {
     "EngineStats": ("repro.core.stats", "EngineStats"),
     "LedgerDump": ("repro.obs.ledger", "LedgerDump"),
     "RateResult": ("repro.bench.pingpong", "RateResult"),
+    "ResilienceReport": ("repro.resilience.cluster", "ResilienceReport"),
 }
 _EXTRA: dict[str, type] = {}
 

@@ -19,6 +19,10 @@ not pull the analyzer/chaos/bench stacks into every process):
   :class:`repro.net.cluster.ClusterReport`.
 * ``cluster_chaos`` — the same cell under a seeded link-fault plan
   (the job seed replaces the plan seed, mirroring ``chaos_run``).
+* ``rank_chaos``   — a resilient cluster run under a seeded
+  :class:`repro.resilience.faults.RankFaultPlan` (kills, detection,
+  shrink / respawn repair); returns
+  :class:`repro.resilience.cluster.ResilienceReport`.
 """
 
 from __future__ import annotations
@@ -114,20 +118,46 @@ def _cluster_chaos(params: Mapping[str, Any], seed: int) -> Any:
     )
 
 
+def _rank_chaos(params: Mapping[str, Any], seed: int) -> Any:
+    from repro.resilience.cluster import run_resilient
+    from repro.resilience.faults import RankFaultPlan
+    from repro.resilience.heartbeat import HeartbeatConfig
+
+    plan = RankFaultPlan.from_params(params["plan"]).with_options(seed=seed)
+    hb_params = params.get("heartbeat")
+    heartbeat = (
+        HeartbeatConfig.from_params(hb_params) if hb_params is not None else None
+    )
+    return run_resilient(
+        params["app"],
+        int(params["ranks"]),
+        rounds=int(params.get("rounds", 3)),
+        size=int(params.get("size", 512)),
+        topology=params.get("topology", "torus"),
+        placement=params.get("placement", "block"),
+        plan=plan,
+        heartbeat=heartbeat,
+        recovery=params.get("recovery", "shrink"),
+        mutant=params.get("mutant", ""),
+        record=bool(params.get("record", True)),
+    )
+
+
 def _ensure_builtin() -> None:
     global _builtin_loaded
     if _builtin_loaded:
         return
     _builtin_loaded = True
-    # chaos_run is at version 4: the report schema grew the
-    # flight-recorder passport (first-violation lifecycle record) —
-    # cached v3 reports must not satisfy v4 sweeps.
+    # chaos_run is at version 5: the report schema grew the rank
+    # fault-tolerance counters (kills / detections / shrinks) — cached
+    # v4 reports must not satisfy v5 sweeps.
     for name, fn, version in (
         ("analyze_app", _analyze_app, "1"),
-        ("chaos_run", _chaos_run, "4"),
+        ("chaos_run", _chaos_run, "5"),
         ("bench_scenario", _bench_scenario, "1"),
         ("cluster_bench", _cluster_bench, "1"),
         ("cluster_chaos", _cluster_chaos, "1"),
+        ("rank_chaos", _rank_chaos, "1"),
     ):
         if name not in _KINDS:
             register_kind(name, fn, version=version)

@@ -35,7 +35,21 @@ class Request:
     status: Status | None = None
     #: Set when the runtime cancelled the request (teardown paths).
     cancelled: bool = False
+    #: Posted envelope (receives): the peer/tag a stalled wait names.
+    source: int | None = None
+    tag: int | None = None
     _waiters: list = field(default_factory=list, repr=False)
+
+    def describe(self) -> str:
+        """One-line identity for stall diagnostics."""
+        if self.kind is RequestKind.RECV:
+            src = "ANY_SOURCE" if self.source == -1 else str(self.source)
+            tg = "ANY_TAG" if self.tag == -1 else str(self.tag)
+            return (
+                f"recv handle {self.handle} at rank {self.rank} "
+                f"(source={src}, tag={tg}, comm={self.comm})"
+            )
+        return f"send handle {self.handle} at rank {self.rank} (comm={self.comm})"
 
     def complete(self, payload: bytes | None = None, status: Status | None = None) -> None:
         if self.completed:

@@ -35,7 +35,19 @@ __all__ = ["MpiSim", "ProgressStall"]
 
 
 class ProgressStall(RuntimeError):
-    """wait() cannot complete: no message in flight can satisfy it."""
+    """A blocking wait cannot complete.
+
+    Raised either because nothing in flight can ever satisfy the
+    request (the classic instant-transport diagnosis) or because the
+    configured ``progress_deadline`` elapsed without completion (the
+    rank fault-tolerance backstop: a silently dead peer turns an
+    infinite spin into a diagnosable error naming the peer and the
+    outstanding request). Carries the stuck requests on ``requests``.
+    """
+
+    def __init__(self, message: str, requests: list | None = None) -> None:
+        super().__init__(message)
+        self.requests = list(requests) if requests else []
 
 
 #: Back-compat alias: the in-flight record now lives with the
@@ -62,10 +74,19 @@ class MpiSim:
         matcher_factory: Callable[[EngineConfig], Matcher] | None = None,
         dpa_budget_bytes: int | None = None,
         transport=None,
+        progress_deadline: int | None = None,
     ) -> None:
         """
         Parameters
         ----------
+        progress_deadline:
+            Maximum progress rounds a single blocking wait may spin
+            before raising :class:`ProgressStall` naming the peer and
+            outstanding request — the backstop that turns a silently
+            dead peer (or a runtime bug) from an infinite hang into a
+            diagnosable error. ``None`` (the default) keeps the
+            historical behaviour: waits only fail when provably
+            nothing in flight can satisfy them.
         dpa_budget_bytes:
             Per-rank accelerator memory budget (§III-E). When set,
             communicator creation charges each rank's budget and falls
@@ -83,7 +104,12 @@ class MpiSim:
         """
         if size <= 0:
             raise ValueError(f"world size must be positive, got {size}")
+        if progress_deadline is not None and progress_deadline < 1:
+            raise ValueError(
+                f"progress_deadline must be >= 1 rounds, got {progress_deadline}"
+            )
         self.size = size
+        self.progress_deadline = progress_deadline
         self._base_config = config if config is not None else EngineConfig()
         self._matcher_factory = matcher_factory
         self._dpa_managers = None
@@ -206,7 +232,14 @@ class MpiSim:
         if source != ANY_SOURCE:
             comm.check_rank(source)
         state = self._state[(rank, comm.comm_id)]
-        request = Request(RequestKind.RECV, self._next_handle, rank, comm.comm_id)
+        request = Request(
+            RequestKind.RECV,
+            self._next_handle,
+            rank,
+            comm.comm_id,
+            source=source,
+            tag=tag,
+        )
         self._next_handle += 1
         state.requests[request.handle] = request
         event = state.matcher.post_receive(
@@ -256,15 +289,24 @@ class MpiSim:
         return delivered
 
     def wait(self, request: Request) -> None:
-        """Progress until ``request`` completes (``MPI_Wait``)."""
+        """Progress until ``request`` completes (``MPI_Wait``).
+
+        Raises :class:`ProgressStall` when no in-flight message can
+        complete it, or — with ``progress_deadline`` configured — when
+        the deadline elapses first, naming the peer and request.
+        """
         if request.completed:
             return
+        rounds = 0
         while not request.completed:
             if self.progress() == 0 and not request.completed:
                 raise ProgressStall(
-                    f"rank {request.rank} waits on request {request.handle} "
-                    "but no message in flight can complete it"
+                    f"rank {request.rank} waits on {request.describe()} "
+                    "but no message in flight can complete it",
+                    requests=[request],
                 )
+            rounds += 1
+            self._check_deadline(rounds, [request])
 
     def waitall(self, requests: list[Request]) -> None:
         for request in requests:
@@ -275,6 +317,7 @@ class MpiSim:
         (``MPI_Waitany``)."""
         if not requests:
             raise ValueError("waitany requires at least one request")
+        rounds = 0
         while True:
             for index, request in enumerate(requests):
                 if request.completed:
@@ -282,8 +325,28 @@ class MpiSim:
             if self.progress() == 0:
                 raise ProgressStall(
                     "waitany cannot complete: no in-flight message "
-                    "satisfies any of the requests"
+                    "satisfies any of: "
+                    + "; ".join(r.describe() for r in requests),
+                    requests=list(requests),
                 )
+            rounds += 1
+            self._check_deadline(rounds, requests)
+
+    def _check_deadline(self, rounds: int, requests: list[Request]) -> None:
+        """Enforce the blocking-wait progress deadline (when set)."""
+        deadline = self.progress_deadline
+        if deadline is None or rounds < deadline:
+            return
+        stuck = [r for r in requests if not r.completed]
+        if not stuck:
+            return
+        raise ProgressStall(
+            f"progress deadline exceeded: {rounds} progress rounds "
+            f"without completing "
+            + "; ".join(r.describe() for r in stuck)
+            + f" ({self._transport.in_flight()} messages in flight)",
+            requests=stuck,
+        )
 
     def testall(self, requests: list[Request]) -> bool:
         """Nonblocking completion check over a set (``MPI_Testall``);

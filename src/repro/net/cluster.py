@@ -185,11 +185,12 @@ class _Rank:
         ops,
         recorder: FlightRecorder,
         bounce_buffers: int,
+        matcher=None,
     ) -> None:
         self.rank = rank
         self.ops = ops
         self.pc = 0
-        self.matcher = OptimisticMatcher()
+        self.matcher = matcher if matcher is not None else OptimisticMatcher()
         if recorder.enabled and hasattr(self.matcher, "set_recorder"):
             self.matcher.set_recorder(recorder)
         self.receiver = RdmaReceiver(None, self.matcher, recorder=recorder)
@@ -230,7 +231,12 @@ class ClusterSim:
         bounce_buffers: int = 256,
         cq_depth: int = 1024,
         record: bool = True,
+        matcher_factory=None,
     ) -> None:
+        """``matcher_factory``, when given, is called with each rank
+        index to build that rank's matcher (e.g. an engine restored
+        from a checkpoint) instead of a fresh
+        :class:`OptimisticMatcher`."""
         self.trace = trace
         self.nprocs = trace.nprocs
         if isinstance(topology, str):
@@ -251,7 +257,13 @@ class ClusterSim:
         )
         self._cq_depth = cq_depth
         self.ranks = [
-            _Rank(r, trace.rank(r).ops, self.recorder, bounce_buffers)
+            _Rank(
+                r,
+                trace.rank(r).ops,
+                self.recorder,
+                bounce_buffers,
+                matcher=matcher_factory(r) if matcher_factory is not None else None,
+            )
             for r in range(self.nprocs)
         ]
         self.wires: list[ReliableWire] = []
@@ -420,7 +432,57 @@ class ClusterSim:
         return sum(wire.in_flight() for wire in self.wires)
 
     def _pending_reads(self) -> int:
-        return sum(node.receiver.pending_reads for node in self.ranks)
+        return sum(
+            node.receiver.pending_reads
+            for node in self.ranks
+            if self._rank_active(node)
+        )
+
+    def _rank_active(self, node: _Rank) -> bool:
+        """Whether ``node`` still participates (hook for fail-stop
+        subclasses: a dead rank is stepped and polled no further)."""
+        return True
+
+    def _trace_done(self) -> bool:
+        return all(node.done for node in self.ranks if self._rank_active(node))
+
+    def _stuck_ops(self) -> dict[int, str]:
+        """The op each unfinished active rank is blocked on."""
+        return {
+            node.rank: str(node.ops[node.pc].kind)
+            for node in self.ranks
+            if self._rank_active(node) and not node.done and node.pc < len(node.ops)
+        }
+
+    def _progress_round(self) -> bool:
+        """One global round: step every active rank to its next block,
+        then poll every active receiver. True if anything moved."""
+        moved = False
+        for node in self.ranks:
+            if self._rank_active(node) and self._step_rank(node):
+                moved = True
+        for node in self.ranks:
+            if not self._rank_active(node):
+                continue
+            node.receiver.progress()
+            if self._check_completions(node):
+                moved = True
+            self._after_rank_progress(node)
+        return moved
+
+    def _after_rank_progress(self, node: _Rank) -> None:
+        """Per-rank-poll hook (resilience pumps heartbeats here so the
+        detector's clock granularity is one rank poll, not one global
+        round)."""
+
+    def _settle(self, max_rounds: int) -> None:
+        """Let the network settle (stray ACKs, duplicate suppression)."""
+        settle = 0
+        while self._in_flight() > 0 and settle < max_rounds:
+            settle += 1
+            for node in self.ranks:
+                if self._rank_active(node):
+                    node.receiver.progress()
 
     def run(self, *, max_stall_rounds: int = 10_000) -> ClusterReport:
         """Execute the trace to completion and report.
@@ -430,26 +492,14 @@ class ClusterSim:
         retransmission timers need polls to count down).
         """
         idle = 0
-        while not all(node.done for node in self.ranks):
-            moved = False
-            for node in self.ranks:
-                if self._step_rank(node):
-                    moved = True
-            for node in self.ranks:
-                node.receiver.progress()
-                if self._check_completions(node):
-                    moved = True
-            if moved:
+        while not self._trace_done():
+            if self._progress_round():
                 idle = 0
                 continue
             if self._in_flight() == 0 and self._pending_reads() == 0:
-                stuck = {
-                    node.rank: str(node.ops[node.pc].kind)
-                    for node in self.ranks
-                    if not node.done and node.pc < len(node.ops)
-                }
                 raise ClusterStall(
-                    f"no progress, nothing in flight; blocked ranks: {stuck}"
+                    "no progress, nothing in flight; blocked ranks: "
+                    f"{self._stuck_ops()}"
                 )
             idle += 1
             if idle > max_stall_rounds:
@@ -457,12 +507,7 @@ class ClusterSim:
                     f"no progress in {max_stall_rounds} rounds with "
                     f"{self._in_flight()} frames in flight"
                 )
-        # Let the network settle (stray ACKs, duplicate suppression).
-        settle = 0
-        while self._in_flight() > 0 and settle < max_stall_rounds:
-            settle += 1
-            for node in self.ranks:
-                node.receiver.progress()
+        self._settle(max_stall_rounds)
         return self.report()
 
     # -- reporting -------------------------------------------------------

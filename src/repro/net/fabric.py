@@ -23,6 +23,18 @@ Two invariants matter to everything above:
   ``arrival == hops[-1].t_out``, so per-hop durations sum *exactly*
   to the end-to-end wire time. The ledger's per-hop wire attribution
   inherits exactness from this, not from bookkeeping.
+
+Besides the data path there is a tiny **control plane** (the
+``inject_control`` / ``deliver_control`` pair): a management lane in
+the spirit of InfiniBand's VL15 virtual lane, used by the heartbeat
+failure detector. Control packets follow the *same static routes* as
+data — their delay is the route's per-link latency plus one
+serialization tick per hop — but they neither wait for nor advance
+``busy_until``, and they are exempt from the link-fault schedule. That
+separation is deliberate: it makes the failure detector's latency a
+pure function of topology (provably bounded, see
+:mod:`repro.resilience.heartbeat`) and guarantees that enabling
+heartbeats perturbs no data-path observable.
 """
 
 from __future__ import annotations
@@ -121,10 +133,14 @@ class Fabric:
         }
         #: port -> min-heap of (arrival, seq, packet, transfer).
         self._ports: dict[str, list] = {}
+        #: control-plane ports (management lane, own heaps/counters).
+        self._control_ports: dict[str, list] = {}
         self._seq = 0
         self.injected = 0
         self.delivered = 0
         self.dropped = 0
+        self.control_injected = 0
+        self.control_delivered = 0
         self.keep_transfers = keep_transfers
         #: Every transfer ever injected (conservation audits); cleared
         #: by callers that run long soaks with ``keep_transfers=False``.
@@ -205,6 +221,64 @@ class Fabric:
             _, _, packet, transfer = heapq.heappop(heap)
             self.delivered += 1
             return packet, transfer
+        return None
+
+    # -- the control plane (management lane) -----------------------------
+
+    def attach_control(self, port: str) -> None:
+        """Attach a control-plane port (separate namespace and heaps)."""
+        if port in self._control_ports:
+            raise ValueError(f"duplicate control port {port!r}")
+        self._control_ports[port] = []
+
+    def control_delay(self, src: str, dst: str) -> int:
+        """One-way control-packet delay ``src`` -> ``dst``.
+
+        Per link on the static route: propagation latency plus one
+        serialization tick. No queueing — the management lane never
+        contends with data traffic.
+        """
+        return sum(
+            self._links[name].latency + 1 for name in self.routes.path(src, dst)
+        )
+
+    def max_control_rtt(self, nodes=None) -> int:
+        """Worst round-trip control delay over ``nodes`` (default: all
+        hosts) — the topology term of the failure-detection bound."""
+        hosts = list(nodes) if nodes is not None else list(self.topology.hosts)
+        worst = 0
+        for a in hosts:
+            for b in hosts:
+                if a == b:
+                    continue
+                rtt = self.control_delay(a, b) + self.control_delay(b, a)
+                if rtt > worst:
+                    worst = rtt
+        return worst
+
+    def inject_control(self, src: str, dst: str, port: str, packet) -> int:
+        """Send one control packet; returns its arrival tick.
+
+        Control packets bypass link occupancy entirely: they neither
+        wait for ``busy_until`` nor advance it, are never dropped by
+        the fault schedule, and touch none of the data-path counters —
+        so a run with the control plane active is byte-identical on
+        every data observable to the same run without it.
+        """
+        arrival = self.clock + self.control_delay(src, dst)
+        self._seq += 1
+        heapq.heappush(self._control_ports[port], (arrival, self._seq, packet))
+        self.control_injected += 1
+        return arrival
+
+    def deliver_control(self, port: str):
+        """Pop the next arrived ``(packet, arrival)`` control tuple at
+        ``port``, or ``None`` when nothing has arrived yet."""
+        heap = self._control_ports[port]
+        if heap and heap[0][0] <= self.clock:
+            arrival, _, packet = heapq.heappop(heap)
+            self.control_delivered += 1
+            return packet, arrival
         return None
 
     # -- reporting -------------------------------------------------------

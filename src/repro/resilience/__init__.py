@@ -1,0 +1,48 @@
+"""Rank fault tolerance: fail-stop injection, detection, repair.
+
+The ULFM-style layer above the cluster fabric: seeded whole-rank
+fail-stop faults (:mod:`repro.resilience.faults`), heartbeat failure
+detection over the fabric's management lane (:mod:`repro.resilience.
+heartbeat`), coordinated round-boundary checkpoints built on the PR 4
+block journal (:mod:`repro.resilience.snapshot`), deterministic
+agreement + shrink / respawn communicator repair (:mod:`repro.
+resilience.repair`), and the resilient BSP driver that ties them
+together (:mod:`repro.resilience.cluster`).
+"""
+
+from repro.resilience.cluster import (
+    RESILIENCE_APPS,
+    ResilienceReport,
+    ResilientClusterSim,
+    resilience_round,
+    run_resilient,
+)
+from repro.resilience.errors import RankFailedError
+from repro.resilience.faults import RankFaultInjector, RankFaultPlan
+from repro.resilience.heartbeat import HeartbeatConfig, HeartbeatNetwork
+from repro.resilience.repair import RepairDecision, agree
+from repro.resilience.snapshot import (
+    RankSnapshot,
+    WorldCheckpoint,
+    restore_rank,
+    snapshot_rank,
+)
+
+__all__ = [
+    "RESILIENCE_APPS",
+    "HeartbeatConfig",
+    "HeartbeatNetwork",
+    "RankFailedError",
+    "RankFaultInjector",
+    "RankFaultPlan",
+    "RankSnapshot",
+    "RepairDecision",
+    "ResilienceReport",
+    "ResilientClusterSim",
+    "WorldCheckpoint",
+    "agree",
+    "resilience_round",
+    "restore_rank",
+    "run_resilient",
+    "snapshot_rank",
+]

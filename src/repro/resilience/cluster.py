@@ -1,0 +1,786 @@
+"""The resilient cluster driver: BSP epochs, failure detection, repair.
+
+:class:`ResilientClusterSim` runs a cluster workload (halo / alltoall)
+*one round per epoch*: each epoch is a fresh :class:`repro.net.cluster.
+ClusterSim` over the current membership, every rank's engine restored
+from the last coordinated checkpoint (:mod:`repro.resilience.
+snapshot`) and its stream counters carried across the boundary, so
+message identities — and therefore the C2 / serial-oracle audit — are
+continuous across any number of repairs.
+
+Inside an epoch the :class:`_EpochSim` subclass adds the failure
+machinery on top of the unchanged data path:
+
+* the :class:`repro.resilience.faults.RankFaultInjector` kills ranks
+  against the *global* clock (a dead rank is stepped and polled no
+  further — fail-stop, no farewell);
+* a :class:`repro.resilience.heartbeat.HeartbeatNetwork` pumps on
+  every rank poll; a true suspicion revokes the dead peer's posted
+  receives from the observer's engine (``cancel_receive``), fails the
+  observer's outstanding recvs against it, and stamps a
+  ``peer_failed`` event into the flight recorder;
+* once every live rank suspects every dead one, the epoch aborts.
+
+An aborted epoch is rolled back wholesale (its fabric, wires, and
+half-round deliveries are discarded — the round boundary checkpoint is
+the recovery line), the survivors run the deterministic agreement
+round (:func:`repro.resilience.repair.agree`, charged to the clock),
+and the run repairs by **shrink** (dense survivor communicator) or
+**respawn** (victims restored from their checkpoints), then re-executes
+the round. Two backstops catch detector failures with strict
+attribution: a sticky ``TransportError`` or an epoch stall with dead
+ranks is owned by the injector (and counted as a backstop abort, the
+signal the mutant lanes assert on); either without a fired kill
+re-raises as a genuine bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.config import EngineConfig
+from repro.net.cluster import ClusterSim, ClusterStall
+from repro.net.placement import Placement, placement_by_name
+from repro.net.routing import RouteTable
+from repro.net.topology import Topology, topology_by_name
+from repro.rdma.reliability import TransportError
+from repro.resilience.errors import RankFailedError
+from repro.resilience.faults import RankFaultInjector, RankFaultPlan
+from repro.resilience.heartbeat import HeartbeatConfig, HeartbeatNetwork
+from repro.resilience.repair import agree
+from repro.resilience.snapshot import (
+    WorldCheckpoint,
+    restore_rank,
+    snapshot_rank,
+)
+from repro.traces.model import Trace
+from repro.traces.synthetic.base import TraceBuilder
+from repro.traces.synthetic.patterns import (
+    alltoall_p2p_round,
+    grid_dims,
+    halo_exchange_round,
+)
+
+__all__ = [
+    "RESILIENCE_APPS",
+    "ResilienceReport",
+    "ResilientClusterSim",
+    "resilience_round",
+    "run_resilient",
+]
+
+SCHEMA = "repro.resilience.report/v1"
+
+#: Planted driver bugs the rank-chaos mutant lanes must catch.
+MUTANTS = ("", "deaf-detector", "no-abort", "stale-streams")
+
+
+def _halo_round(builder: TraceBuilder, size: int) -> None:
+    halo_exchange_round(builder, grid_dims(builder.nprocs, 2), fields=1, size=size)
+
+
+def _alltoall_round(builder: TraceBuilder, size: int) -> None:
+    alltoall_p2p_round(builder, tag=0, size=size)
+
+
+#: Resilient apps use *constant* tags so per-stream sequence counters
+#: accumulate across rounds — a restart that loses its counters (the
+#: ``stale-streams`` mutant) regresses message identities and is
+#: caught by the C2 / oracle check, not by luck.
+RESILIENCE_APPS = {"halo": _halo_round, "alltoall": _alltoall_round}
+
+
+def resilience_round(app: str, ranks: int, *, size: int = 512) -> Trace:
+    """One round of the named workload over ``ranks`` members."""
+    generator = RESILIENCE_APPS.get(app)
+    if generator is None:
+        raise KeyError(
+            f"unknown resilience app {app!r}; known: {sorted(RESILIENCE_APPS)}"
+        )
+    builder = TraceBuilder(f"resilience-{app}", ranks)
+    generator(builder, size)
+    return builder.build()
+
+
+# -- the report -----------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ResilienceReport:
+    """One resilient run's parameters and observables."""
+
+    params: dict = field(default_factory=dict)
+    results: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Every round committed, pairings oracle-clean, wire time
+        conserved exactly over the committed epochs."""
+        res = self.results
+        cons = res.get("conservation", {})
+        return (
+            res.get("rounds_completed") == self.params.get("rounds")
+            and not res.get("violations")
+            and cons.get("exact", 0) == cons.get("checked", 0)
+        )
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA, "params": self.params, "results": self.results}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResilienceReport":
+        schema = payload.get("schema")
+        if schema != SCHEMA:
+            raise ValueError(f"expected {SCHEMA}, got {schema!r}")
+        return cls(params=dict(payload["params"]), results=dict(payload["results"]))
+
+    def to_chaos_report(self, seed: int):
+        """Project onto the fleet-codable :class:`repro.chaos.harness.
+        ChaosReport` (schema v5's rank-failure counters)."""
+        from repro.chaos.harness import ChaosReport
+
+        res = self.results
+        violations = res.get("violations", [])
+        mismatches = [
+            f"{v['expected']}: got {v['actual']}" for v in violations
+        ]
+        return ChaosReport(
+            seed=seed,
+            sent=res.get("sends", 0),
+            delivered=res.get("deliveries", 0),
+            mismatches=mismatches,
+            first_violation=mismatches[0] if mismatches else "",
+            rank_kills=len(res.get("kills", [])),
+            rank_failures_detected=res.get("failures_detected", 0),
+            rank_false_suspicions=len(res.get("false_suspicions", [])),
+            rank_restarts=res.get("restarts", 0),
+            comm_shrinks=res.get("shrinks", 0),
+            rank_failed_recvs=res.get("failed_recvs", 0),
+            rank_detection_latency_max=res.get("detection_latency_max", 0),
+            rank_recovery_ticks=res.get("recovery_ticks", 0),
+            rank_backstop_aborts=res.get("backstop_aborts", 0),
+        )
+
+
+# -- one epoch ------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _EpochOutcome:
+    completed: bool
+    #: "" | "suspicion" | "stall" | "transport" | "drain"
+    reason: str = ""
+    detail: str = ""
+
+
+class _EpochSim(ClusterSim):
+    """One round of one membership, with the failure machinery on."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        *,
+        group: list[int],
+        offset: int,
+        injector: RankFaultInjector,
+        heartbeat: HeartbeatConfig | None,
+        mutant: str = "",
+        **kwargs,
+    ) -> None:
+        super().__init__(trace, **kwargs)
+        self.group = list(group)
+        self.index = {world: local for local, world in enumerate(group)}
+        self.offset = offset
+        self.injector = injector
+        self.mutant = mutant
+        self.dead_local: set[int] = set()
+        #: world rank -> global tick the kill was applied at.
+        self.kill_events: list[dict] = []
+        self.detections: list[dict] = []
+        self.false_suspicions: list[dict] = []
+        self.failed_recvs = 0
+        self.revoked_receives = 0
+        self.revoked_unexpected = 0
+        #: The typed errors dead-peer notification failed recvs with.
+        self.recv_errors: list[RankFailedError] = []
+        self.timeline: list[dict] = []
+        self.hb: HeartbeatNetwork | None = None
+        if heartbeat is not None and len(group) >= 2:
+            self.hb = HeartbeatNetwork(
+                self.fabric,
+                {local: self.placement.node_of(local) for local in range(len(group))},
+                heartbeat,
+            )
+
+    # -- fail-stop --------------------------------------------------------
+
+    def _rank_active(self, node) -> bool:
+        return node.rank not in self.dead_local
+
+    def _kill(self, world_rank: int) -> None:
+        local = self.index[world_rank]
+        tick = self.offset + self.fabric.clock
+        self.dead_local.add(local)
+        if self.hb is not None:
+            self.hb.kill(local)
+        self.kill_events.append({"rank": world_rank, "tick": tick})
+        self.timeline.append(
+            {"tick": tick, "event": "rank_killed", "rank": world_rank}
+        )
+        self.recorder.event("rank_killed", rank=world_rank)
+
+    # -- detection --------------------------------------------------------
+
+    def _after_rank_progress(self, node) -> None:
+        if self.hb is not None:
+            self.hb.pump()
+
+    def _handle_suspicions(self) -> None:
+        if self.hb is None or self.mutant == "deaf-detector":
+            return
+        for obs, peer, at in self.hb.new_suspicions():
+            self._on_suspicion(obs, peer, at)
+
+    def _on_suspicion(self, obs: int, peer: int, at: int) -> None:
+        tick = self.offset + at
+        obs_world, peer_world = self.group[obs], self.group[peer]
+        if peer not in self.dead_local:
+            self.false_suspicions.append(
+                {"observer": obs_world, "peer": peer_world, "tick": tick}
+            )
+            self.timeline.append(
+                {
+                    "tick": tick,
+                    "event": "false_suspicion",
+                    "observer": obs_world,
+                    "peer": peer_world,
+                }
+            )
+            return
+        killed_at = next(
+            e["tick"] for e in self.kill_events if e["rank"] == peer_world
+        )
+        self.detections.append(
+            {
+                "observer": obs_world,
+                "peer": peer_world,
+                "tick": tick,
+                "latency": tick - killed_at,
+                "via": "heartbeat",
+            }
+        )
+        self.timeline.append(
+            {
+                "tick": tick,
+                "event": "peer_failed",
+                "observer": obs_world,
+                "peer": peer_world,
+                "latency": tick - killed_at,
+            }
+        )
+        self.recorder.event(
+            "peer_failed",
+            observer=obs_world,
+            peer=peer_world,
+            latency=tick - killed_at,
+        )
+        self._revoke_peer(obs, peer)
+
+    def _revoke_peer(self, obs: int, peer: int) -> None:
+        """Dead-peer notification at ``obs``: fail outstanding recvs
+        sourced from ``peer`` with a typed :class:`RankFailedError`
+        (instead of letting them hang) and revoke the peer's entries
+        from the observer's engine / UMQ."""
+        node = self.ranks[obs]
+        cancel = getattr(node.matcher, "cancel_receive", None)
+        for handle, meta in node.recvs.items():
+            if meta.done or meta.wildcard or meta.source != peer:
+                continue
+            if handle not in node.outstanding:
+                continue
+            node.outstanding.discard(handle)
+            self.failed_recvs += 1
+            self.recv_errors.append(
+                RankFailedError(
+                    self.group[peer], observer=self.group[obs], handle=handle
+                )
+            )
+            if cancel is not None and cancel(handle):
+                self.revoked_receives += 1
+        revoke = getattr(node.matcher, "revoke_source", None)
+        if revoke is not None:
+            self.revoked_unexpected += revoke(peer)
+
+    # -- the epoch loop ---------------------------------------------------
+
+    def _ready_to_abort(self) -> bool:
+        if not self.dead_local or self.mutant == "no-abort":
+            return False
+        if self.hb is None or self.mutant == "deaf-detector":
+            return False
+        return self.hb.suspects_all(self.dead_local)
+
+    def dead_world(self) -> list[int]:
+        return sorted(self.group[local] for local in self.dead_local)
+
+    def suspicion_votes(self) -> dict[int, set[int]]:
+        """Per-survivor suspicion sets in world ranks (the agreement
+        input). Empty when detection came from a backstop."""
+        if self.hb is None:
+            return {}
+        votes: dict[int, set[int]] = {}
+        for obs in sorted(self.hb.live):
+            names = {
+                self.group[peer]
+                for peer in self.hb.suspected[obs]
+                if peer in self.dead_local
+            }
+            if names:
+                votes[self.group[obs]] = names
+        return votes
+
+    def _awaiting_detection(self) -> bool:
+        """While True, backstop aborts are deferred: the heartbeat
+        detector is live and its provable detection bound
+        (``timeout + max_route_rtt`` past the last kill, plus pump
+        slack) has not yet elapsed — keep the clock moving and let
+        suspicion fire instead of short-circuiting it."""
+        if self.hb is None or self.mutant == "deaf-detector":
+            return False
+        if not self.kill_events:
+            return False
+        last_kill = max(e["tick"] for e in self.kill_events) - self.offset
+        deadline = (
+            last_kill
+            + self.hb.config.timeout
+            + self.hb.max_route_rtt()
+            + 4 * self.hb.config.period
+        )
+        return self.fabric.clock < deadline
+
+    def run_epoch(self, *, max_stall_rounds: int = 2_000) -> _EpochOutcome:
+        idle = 0
+        while True:
+            now = self.fabric.clock
+            for world_rank in self.injector.due(self.offset + now):
+                if world_rank in self.index:
+                    local = self.index[world_rank]
+                    if local not in self.dead_local:
+                        self._kill(world_rank)
+            if self.hb is not None:
+                self.hb.pump()
+                self._handle_suspicions()
+            if self._ready_to_abort():
+                return _EpochOutcome(
+                    False, "suspicion", f"all live ranks suspect {self.dead_world()}"
+                )
+            trace_done = self._trace_done()
+            if trace_done and not self.dead_local:
+                self._settle(max_stall_rounds)
+                return _EpochOutcome(True)
+            stalled = trace_done
+            if not trace_done:
+                try:
+                    moved = self._progress_round()
+                except TransportError as exc:
+                    if not self.injector.owns(exc):
+                        raise
+                    self.timeline.append(
+                        {
+                            "tick": self.offset + self.fabric.clock,
+                            "event": "transport_detection",
+                            "peers": self.dead_world(),
+                            "error": str(exc),
+                        }
+                    )
+                    return _EpochOutcome(False, "transport", str(exc))
+                if moved:
+                    idle = 0
+                    continue
+                idle += 1
+                stalled = (
+                    self._in_flight() == 0 and self._pending_reads() == 0
+                ) or idle > max_stall_rounds
+            if not stalled:
+                continue
+            if not self.dead_local:
+                # Genuine bug: a fault-free epoch must never stall.
+                raise ClusterStall(
+                    "no progress, nothing in flight; blocked ranks: "
+                    f"{self._stuck_ops()}"
+                )
+            if self._awaiting_detection():
+                # Blocked ranks and a drained network cannot advance
+                # the shared clock on their own; tick it so heartbeat
+                # silence accumulates toward the suspicion timeout.
+                self.fabric.tick()
+                continue
+            if trace_done:
+                # Live ranks drained the round with failed recvs
+                # outstanding — the epoch has holes and cannot commit
+                # (the no-abort mutant lands here).
+                return _EpochOutcome(
+                    False, "drain", f"trace drained around dead {self.dead_world()}"
+                )
+            detail = (
+                f"epoch stalled with dead ranks {self.dead_world()}; "
+                f"blocked: {self._stuck_ops()}"
+            )
+            self.timeline.append(
+                {
+                    "tick": self.offset + self.fabric.clock,
+                    "event": "stall_detection",
+                    "peers": self.dead_world(),
+                }
+            )
+            return _EpochOutcome(False, "stall", detail)
+
+
+# -- the driver -----------------------------------------------------------
+
+
+class ResilientClusterSim:
+    """Run a workload to completion through k rank failures."""
+
+    def __init__(
+        self,
+        app: str = "halo",
+        ranks: int = 8,
+        *,
+        rounds: int = 3,
+        size: int = 512,
+        topology: str | Topology = "torus",
+        placement: str | Placement = "block",
+        plan: RankFaultPlan | None = None,
+        heartbeat: HeartbeatConfig | None = None,
+        recovery: str = "shrink",
+        mutant: str = "",
+        record: bool = True,
+        max_attempts: int | None = None,
+        engine_config: EngineConfig | None = None,
+    ) -> None:
+        if recovery not in ("shrink", "respawn"):
+            raise ValueError(f"unknown recovery mode {recovery!r}")
+        if mutant not in MUTANTS:
+            raise ValueError(f"unknown mutant {mutant!r}; known: {MUTANTS}")
+        if app not in RESILIENCE_APPS:
+            raise KeyError(
+                f"unknown resilience app {app!r}; known: {sorted(RESILIENCE_APPS)}"
+            )
+        self.app = app
+        self.world = ranks
+        self.rounds = rounds
+        self.size = size
+        if isinstance(topology, str):
+            topology = topology_by_name(topology, ranks)
+        self.topology = topology
+        if isinstance(placement, str):
+            placement = placement_by_name(placement, ranks, topology.hosts)
+        self.placement = placement
+        self.plan = plan if plan is not None else RankFaultPlan()
+        self.heartbeat = heartbeat
+        self.recovery = recovery
+        self.mutant = mutant
+        self.record = record
+        self.engine_config = engine_config
+        #: Each abort costs one attempt on top of the committed rounds.
+        self.max_attempts = (
+            max_attempts if max_attempts is not None else rounds + 8
+        )
+        self._routes = RouteTable(topology)
+        #: Committed epochs' flight-recorder exports, in commit order.
+        self.ledgers: list = []
+
+    # -- control-plane pricing (agreement) -------------------------------
+
+    def _control_delay(self, host_a: str, host_b: str) -> int:
+        return sum(
+            self.topology.links[name].latency + 1
+            for name in self._routes.path(host_a, host_b)
+        )
+
+    def _rtt(self, rank_a: int, rank_b: int) -> int:
+        a = self.placement.node_of(rank_a)
+        b = self.placement.node_of(rank_b)
+        return self._control_delay(a, b) + self._control_delay(b, a)
+
+    # -- epoch construction ----------------------------------------------
+
+    def _build_epoch(
+        self,
+        group: list[int],
+        checkpoint: WorldCheckpoint,
+        offset: int,
+        injector: RankFaultInjector,
+        stale: set[int],
+    ) -> _EpochSim:
+        n = len(group)
+        trace = resilience_round(self.app, n, size=self.size)
+        placement = Placement.custom(
+            {local: self.placement.node_of(group[local]) for local in range(n)},
+            scheme=self.placement.scheme,
+        )
+        snapshots = checkpoint.snapshots
+        config = self.engine_config
+
+        def factory(local: int):
+            return restore_rank(snapshots[group[local]], config)
+
+        epoch = _EpochSim(
+            trace,
+            group=group,
+            offset=offset,
+            injector=injector,
+            heartbeat=self.heartbeat,
+            mutant=self.mutant,
+            topology=self.topology,
+            placement=placement,
+            matcher_factory=factory,
+            record=self.record,
+        )
+        index = {world: local for local, world in enumerate(group)}
+        for local, world in enumerate(group):
+            if world in stale:
+                # stale-streams mutant: the respawned rank forgot its
+                # stream counters — its message identities regress and
+                # the C2 / oracle audit must catch it.
+                continue
+            snap = snapshots[world]
+            node = epoch.ranks[local]
+            for (peer, tag), count in snap.send_streams.items():
+                if peer in index:
+                    node.send_streams[(index[peer], tag)] = count
+            for (peer, tag), count in snap.recv_streams.items():
+                if peer in index:
+                    node.recv_streams[(index[peer], tag)] = count
+        return epoch
+
+    def _commit(
+        self, epoch: _EpochSim, group: list[int], round_index: int
+    ) -> WorldCheckpoint:
+        """Coordinated checkpoint at the quiescent round boundary."""
+        snapshots = {}
+        for local, world in enumerate(group):
+            node = epoch.ranks[local]
+            if getattr(node.matcher, "pending_messages", 0):
+                node.matcher.process_all()
+            snapshots[world] = snapshot_rank(
+                world,
+                round_index,
+                node.matcher,
+                {
+                    (group[peer], tag): count
+                    for (peer, tag), count in node.send_streams.items()
+                },
+                {
+                    (group[peer], tag): count
+                    for (peer, tag), count in node.recv_streams.items()
+                },
+            )
+        return WorldCheckpoint(round_index, snapshots)
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self) -> ResilienceReport:
+        group = list(range(self.world))
+        checkpoint = WorldCheckpoint.initial(group)
+        injector = RankFaultInjector(
+            self.plan.compile(self.world) if not self.plan.is_clean else ()
+        )
+        offset = 0
+        committed_ticks = 0
+        round_index = 0
+        attempts = 0
+        stale: set[int] = set()
+        timeline: list[dict] = []
+        kills: list[dict] = []
+        detections: list[dict] = []
+        false_suspicions: list[dict] = []
+        violations: list[dict] = []
+        conservation = {"checked": 0, "exact": 0, "recovered": 0}
+        sends = deliveries = discarded_sends = 0
+        failed_recvs = revoked = revoked_umq = 0
+        recv_errors: list[str] = []
+        shrinks = restarts = suspicion_aborts = backstop_aborts = 0
+        agreement_ticks = 0
+        #: ledger annotation for the first epoch after a repair.
+        repair_note: tuple[str, dict] | None = None
+        while round_index < self.rounds:
+            attempts += 1
+            if attempts > self.max_attempts:
+                raise RuntimeError(
+                    f"resilient run did not converge in {self.max_attempts} "
+                    f"attempts ({round_index}/{self.rounds} rounds committed)"
+                )
+            epoch = self._build_epoch(group, checkpoint, offset, injector, stale)
+            stale = set()
+            if repair_note is not None:
+                epoch.recorder.event(repair_note[0], **repair_note[1])
+                repair_note = None
+            outcome = epoch.run_epoch()
+            offset += epoch.fabric.clock
+            timeline.extend(epoch.timeline)
+            kills.extend(epoch.kill_events)
+            detections.extend(epoch.detections)
+            false_suspicions.extend(epoch.false_suspicions)
+            failed_recvs += epoch.failed_recvs
+            revoked += epoch.revoked_receives
+            revoked_umq += epoch.revoked_unexpected
+            recv_errors.extend(str(error) for error in epoch.recv_errors)
+            violations.extend(epoch.violations)
+            if outcome.completed:
+                round_index += 1
+                committed_ticks += epoch.fabric.clock
+                sends += epoch.sends
+                deliveries += epoch.deliveries
+                for key, value in epoch.conservation().items():
+                    conservation[key] += value
+                checkpoint = self._commit(epoch, group, round_index)
+                if self.record:
+                    self.ledgers.append(epoch.recorder.export())
+                timeline.append(
+                    {
+                        "tick": offset,
+                        "event": "round_committed",
+                        "round": round_index,
+                        "group": list(group),
+                    }
+                )
+                continue
+            # -- rollback + repair ------------------------------------
+            if self.record:
+                # The aborted attempt's flight record is the failure's
+                # forensics: rank_killed / peer_failed events and every
+                # message the death stranded.
+                self.ledgers.append(epoch.recorder.export("aborted"))
+            discarded_sends += epoch.sends
+            if outcome.reason == "suspicion":
+                suspicion_aborts += 1
+            else:
+                backstop_aborts += 1
+            failed_now = epoch.dead_world()
+            votes = epoch.suspicion_votes()
+            if not votes:
+                # Backstop detection: the stall / transport diagnostic
+                # names the dead peers; survivors all vote that set.
+                votes = {
+                    world: set(failed_now)
+                    for world in group
+                    if world not in failed_now
+                }
+            decision = agree(group, votes, mode=(
+                "shrink" if self.recovery == "shrink" else "respawn"
+            ), rtt=self._rtt)
+            offset += decision.agreement_ticks
+            agreement_ticks += decision.agreement_ticks
+            timeline.append(
+                {
+                    "tick": offset,
+                    "event": "repair_agreed",
+                    "mode": decision.mode,
+                    "failed": list(decision.failed),
+                    "survivors": list(decision.survivors),
+                    "agreement_ticks": decision.agreement_ticks,
+                }
+            )
+            if self.recovery == "shrink":
+                group = list(decision.survivors)
+                shrinks += 1
+                checkpoint = WorldCheckpoint(
+                    checkpoint.round_index,
+                    {world: checkpoint.snapshots[world] for world in group},
+                )
+                timeline.append(
+                    {"tick": offset, "event": "shrunk", "group": list(group)}
+                )
+                repair_note = ("shrunk", {"group": list(group)})
+            else:
+                restarts += len(decision.failed)
+                if self.mutant == "stale-streams":
+                    stale = set(decision.failed)
+                timeline.append(
+                    {
+                        "tick": offset,
+                        "event": "restarted",
+                        "ranks": list(decision.failed),
+                    }
+                )
+                repair_note = ("restarted", {"ranks": list(decision.failed)})
+        detected_pairs = {
+            (d["peer"],) for d in detections
+        }
+        params = {
+            "app": self.app,
+            "ranks": self.world,
+            "rounds": self.rounds,
+            "size": self.size,
+            "topology": self.topology.name,
+            "placement": self.placement.scheme,
+            "recovery": self.recovery,
+            "mutant": self.mutant,
+            "plan": self.plan.to_params(),
+            "heartbeat": (
+                self.heartbeat.to_params() if self.heartbeat is not None else None
+            ),
+        }
+        results = {
+            "rounds_completed": round_index,
+            "attempts": attempts,
+            "final_group": list(group),
+            "kills": kills,
+            "detections": detections,
+            "failures_detected": len(detected_pairs),
+            "false_suspicions": false_suspicions,
+            "suspicion_aborts": suspicion_aborts,
+            "backstop_aborts": backstop_aborts,
+            "shrinks": shrinks,
+            "restarts": restarts,
+            "failed_recvs": failed_recvs,
+            "revoked_receives": revoked,
+            "revoked_unexpected": revoked_umq,
+            "recv_errors": recv_errors,
+            "agreement_ticks": agreement_ticks,
+            "recovery_ticks": offset - committed_ticks,
+            "detection_latency_max": max(
+                (d["latency"] for d in detections), default=0
+            ),
+            "sends": sends,
+            "deliveries": deliveries,
+            "discarded_sends": discarded_sends,
+            "violations": violations,
+            "conservation": conservation,
+            "elapsed_ticks": offset,
+            "timeline": timeline,
+        }
+        return ResilienceReport(params=params, results=results)
+
+
+def run_resilient(
+    app: str = "halo",
+    ranks: int = 8,
+    *,
+    rounds: int = 3,
+    size: int = 512,
+    topology: str = "torus",
+    placement: str = "block",
+    plan: RankFaultPlan | None = None,
+    heartbeat: HeartbeatConfig | None = None,
+    recovery: str = "shrink",
+    mutant: str = "",
+    record: bool = True,
+) -> ResilienceReport:
+    """Build and run a resilient cluster sim: the one-call frontdoor."""
+    return ResilientClusterSim(
+        app,
+        ranks,
+        rounds=rounds,
+        size=size,
+        topology=topology,
+        placement=placement,
+        plan=plan,
+        heartbeat=heartbeat,
+        recovery=recovery,
+        mutant=mutant,
+        record=record,
+    ).run()

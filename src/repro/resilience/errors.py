@@ -1,0 +1,26 @@
+"""Typed failures surfaced by the rank fault-tolerance layer."""
+
+from __future__ import annotations
+
+__all__ = ["RankFailedError"]
+
+
+class RankFailedError(RuntimeError):
+    """A peer rank is dead: the operation can never complete.
+
+    Raised (or recorded) in place of letting a receive against a
+    failed peer hang forever — ULFM's ``MPI_ERR_PROC_FAILED``. Carries
+    enough to act on: who died, who observed it, and which request was
+    failed.
+    """
+
+    def __init__(self, rank: int, *, observer: int = -1, handle: int = -1) -> None:
+        self.rank = rank
+        self.observer = observer
+        self.handle = handle
+        where = f" at rank {observer}" if observer >= 0 else ""
+        which = f" (recv handle {handle})" if handle >= 0 else ""
+        super().__init__(
+            f"peer rank {rank} failed{where}: outstanding receive can "
+            f"never complete{which}"
+        )

@@ -1,0 +1,136 @@
+"""Seeded rank fail-stop faults: kill rank r at global tick t.
+
+A :class:`RankFaultPlan` is a pure-literal description (it crosses the
+fleet worker boundary inside job params) of whole-rank deaths: the
+process vanishes mid-run — no farewell message, no flush — exactly the
+fail-stop model ULFM recovers from. Ticks are *global*: they index the
+resilient run's cumulative fabric clock, so a kill can land in any
+round (including mid-collective, since the cluster workloads are
+collectives built on p2p).
+
+The injector applies the same strict-attribution discipline as
+:class:`repro.recovery.faults.CoreFaultInjector`: the driver kills
+ranks only on the injector's say-so, and an error escaping the
+simulation is *owned* by the injector only when a planned kill has
+actually fired — otherwise it re-raises as a genuine bug, never
+silently absorbed as "expected chaos".
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = ["RankFaultPlan", "RankFaultInjector"]
+
+
+@dataclass(frozen=True, slots=True)
+class RankFaultPlan:
+    """Seeded fail-stop description (JSON-literal fields only)."""
+
+    seed: int = 0
+    #: Seeded kills: distinct victims drawn uniformly, ticks in
+    #: ``[1, horizon]`` (0 disables seeded kills).
+    kills: int = 0
+    horizon: int = 1024
+    #: Explicit kills: ``victims[i]`` dies at global ``kill_ticks[i]``.
+    victims: tuple[int, ...] = ()
+    kill_ticks: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kills < 0:
+            raise ValueError(f"kills must be non-negative, got {self.kills}")
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+        # Params arrive as JSON lists from the fleet boundary.
+        object.__setattr__(self, "victims", tuple(self.victims))
+        object.__setattr__(self, "kill_ticks", tuple(self.kill_ticks))
+        if len(self.victims) != len(self.kill_ticks):
+            raise ValueError("victims and kill_ticks must pair up")
+        if len(set(self.victims)) != len(self.victims):
+            raise ValueError(f"duplicate explicit victims: {self.victims}")
+        if any(t < 1 for t in self.kill_ticks):
+            raise ValueError("kill ticks must be >= 1")
+
+    @property
+    def is_clean(self) -> bool:
+        return self.kills == 0 and not self.victims
+
+    def with_options(self, **overrides: Any) -> "RankFaultPlan":
+        return RankFaultPlan(**{**asdict(self), **overrides})
+
+    def to_params(self) -> dict:
+        payload = asdict(self)
+        payload["victims"] = list(self.victims)
+        payload["kill_ticks"] = list(self.kill_ticks)
+        return payload
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "RankFaultPlan":
+        return cls(**dict(params))
+
+    def compile(self, nranks: int) -> tuple[tuple[int, int], ...]:
+        """Derive the concrete ``(tick, rank)`` schedule for a world of
+        ``nranks``, sorted by tick. Same seed, same deaths."""
+        if nranks < 1:
+            raise ValueError(f"need >= 1 rank, got {nranks}")
+        schedule: list[tuple[int, int]] = []
+        for rank, tick in zip(self.victims, self.kill_ticks):
+            if not 0 <= rank < nranks:
+                raise ValueError(f"victim {rank} outside world of {nranks}")
+            schedule.append((tick, rank))
+        if self.kills:
+            taken = set(self.victims)
+            pool = [r for r in range(nranks) if r not in taken]
+            count = min(self.kills, len(pool))
+            rng = make_rng(derive_seed(self.seed, "resilience.ranks"))
+            picks = rng.choice(len(pool), size=count, replace=False)
+            for index in sorted(int(i) for i in picks):
+                tick = int(rng.integers(1, self.horizon + 1))
+                schedule.append((tick, pool[index]))
+        if len(schedule) >= nranks:
+            raise ValueError(
+                f"plan kills all {nranks} ranks; at least one must survive"
+            )
+        return tuple(sorted(schedule))
+
+
+class RankFaultInjector:
+    """Replays a compiled kill schedule against the global clock.
+
+    The driver asks :meth:`due` every loop round and kills exactly the
+    ranks returned; :attr:`fired` is the ground truth every detection
+    (heartbeat suspicion, transport error, stall) is audited against.
+    """
+
+    def __init__(self, schedule) -> None:
+        self._pending: list[tuple[int, int]] = sorted(schedule)
+        #: world rank -> global tick it was killed at.
+        self.fired: dict[int, int] = {}
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._pending
+
+    @property
+    def killed(self) -> frozenset[int]:
+        return frozenset(self.fired)
+
+    def due(self, global_tick: int) -> list[int]:
+        """Ranks whose kill tick has been reached (each fires once)."""
+        victims: list[int] = []
+        while self._pending and self._pending[0][0] <= global_tick:
+            tick, rank = self._pending.pop(0)
+            if rank in self.fired:
+                continue
+            self.fired[rank] = tick
+            victims.append(rank)
+        return victims
+
+    def owns(self, error: BaseException) -> bool:
+        """Strict attribution: an escaping error belongs to the plan
+        only if a planned kill has actually fired. A failure on a
+        fault-free run is a genuine bug and must re-raise."""
+        return bool(self.fired)

@@ -1,0 +1,168 @@
+"""Heartbeat failure detection over the fabric's management lane.
+
+Every live rank emits a heartbeat every ``period`` ticks to every
+other member; an observer suspects a peer once ``timeout`` ticks pass
+with no beat heard. Beats ride the fabric control plane
+(:meth:`repro.net.fabric.Fabric.inject_control` — the VL15-style
+management lane): they traverse the peer's *real static route*, so
+detection latency is a measurable function of the topology, but they
+never queue behind data traffic and data traffic never queues behind
+them — which is what makes the detector's two contractual properties
+provable rather than statistical:
+
+* **No false suspicions on a fault-free fabric.** A beat emitted at
+  ``t`` arrives at exactly ``t + delay(route)``; as long as the
+  emitter lives and ``timeout >= period + max_oneway + pump slack``,
+  the observer's gap between arrivals can never reach ``timeout``,
+  under any topology, placement, or data-plane congestion.
+* **Bounded detection.** A rank killed at ``t`` emitted its last beat
+  no earlier than ``t - period``; the last arrival lands by
+  ``t + oneway``, so suspicion fires by ``t + timeout + oneway <=
+  t + timeout + max_route_rtt``.
+
+The property tests in ``tests/resilience/test_heartbeat.py`` drive
+these bounds tick-by-tick across seeded topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+from repro.net.fabric import Fabric
+
+__all__ = ["HeartbeatConfig", "HeartbeatNetwork"]
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatConfig:
+    """Detector tuning (JSON-literal fields only).
+
+    ``timeout`` must comfortably exceed ``period`` plus the worst
+    one-way control delay plus the driver's pump granularity; the
+    integrated defaults leave a wide margin so the no-false-positive
+    property holds even when the driver pumps once per progress round.
+    """
+
+    period: int = 16
+    timeout: int = 256
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if self.timeout <= self.period:
+            raise ValueError(
+                f"timeout ({self.timeout}) must exceed period ({self.period})"
+            )
+
+    def to_params(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "HeartbeatConfig":
+        return cls(**dict(params))
+
+
+class HeartbeatNetwork:
+    """One membership's heartbeat mesh on one fabric.
+
+    ``members`` maps each rank to the host node it lives on. The
+    driver calls :meth:`pump` to emit due beats and drain arrivals,
+    then :meth:`new_suspicions` to collect fresh timeouts; ground
+    truth (was the suspect actually killed?) is the *caller's* to
+    audit — the detector itself only observes silence.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        members: Mapping[int, str],
+        config: HeartbeatConfig,
+        *,
+        start: int | None = None,
+    ) -> None:
+        if len(members) < 2:
+            raise ValueError("heartbeats need at least two members")
+        self.fabric = fabric
+        self.config = config
+        self.members = dict(members)
+        self.ports = {rank: f"hb:r{rank}" for rank in self.members}
+        for rank in sorted(self.members):
+            fabric.attach_control(self.ports[rank])
+        start = fabric.clock if start is None else start
+        self.live: set[int] = set(self.members)
+        #: rank -> tick its next beat is due (first beat immediately).
+        self.next_beat = {rank: start for rank in self.members}
+        #: observer -> peer -> arrival tick of the freshest beat heard
+        #: (registration counts as hearing: a grace period, not data).
+        self.last_heard = {
+            obs: {peer: start for peer in self.members if peer != obs}
+            for obs in self.members
+        }
+        self.suspected: dict[int, set[int]] = {obs: set() for obs in self.members}
+        self.beats_sent = 0
+        self.beats_heard = 0
+
+    def kill(self, rank: int) -> None:
+        """Fail-stop ``rank``: beats already in flight still arrive
+        (the wire does not know the sender died), but no more are
+        emitted and the rank stops observing."""
+        self.live.discard(rank)
+
+    def max_route_rtt(self) -> int:
+        """Worst member-pair control round trip — the topology term of
+        the detection-latency bound."""
+        return self.fabric.max_control_rtt(
+            {self.members[rank] for rank in self.members}
+        )
+
+    def pump(self, now: int | None = None) -> None:
+        """Emit every due beat and drain every arrived one."""
+        now = self.fabric.clock if now is None else now
+        for rank in sorted(self.live):
+            while self.next_beat[rank] <= now:
+                self.next_beat[rank] += self.config.period
+                for peer in self.members:
+                    if peer == rank:
+                        continue
+                    self.fabric.inject_control(
+                        self.members[rank],
+                        self.members[peer],
+                        self.ports[peer],
+                        rank,
+                    )
+                    self.beats_sent += 1
+        for obs in self.members:
+            heard = self.last_heard[obs]
+            while (got := self.fabric.deliver_control(self.ports[obs])) is not None:
+                src, arrival = got
+                self.beats_heard += 1
+                if arrival > heard.get(src, -1):
+                    heard[src] = arrival
+
+    def new_suspicions(self, now: int | None = None) -> list[tuple[int, int, int]]:
+        """Fresh ``(observer, peer, tick)`` timeouts since last call.
+
+        A peer is suspected by an observer once ``now - last_heard >=
+        timeout``; each (observer, peer) pair fires at most once.
+        """
+        now = self.fabric.clock if now is None else now
+        fresh: list[tuple[int, int, int]] = []
+        for obs in sorted(self.live):
+            taken = self.suspected[obs]
+            for peer, heard in sorted(self.last_heard[obs].items()):
+                if peer in taken:
+                    continue
+                if now - heard >= self.config.timeout:
+                    taken.add(peer)
+                    fresh.append((obs, peer, now))
+        return fresh
+
+    def suspects_all(self, peers) -> bool:
+        """Do all live observers suspect every rank in ``peers``?"""
+        targets = set(peers)
+        return all(
+            targets <= self.suspected[obs]
+            for obs in self.live
+            if obs not in targets
+        )

@@ -1,0 +1,85 @@
+"""Communicator repair: deterministic agreement, shrink, and respawn.
+
+After an epoch aborts on detected failures, the survivors must agree
+on *who* is gone and what the next membership is before any of them
+may rebuild state — ULFM's ``MPIX_Comm_agree`` + ``shrink`` pair. The
+agreement here is deterministic and charged to the simulated clock:
+two phases (propose: every survivor broadcasts its suspicion set;
+commit: every survivor acknowledges the union) of all-to-all control
+messages, so the round costs twice the slowest survivor-pair control
+round trip. The decision is a pure function of the votes, so every
+survivor computes the same :class:`RepairDecision` — no leader, no
+tie to break.
+
+* **shrink** — the new communicator is the dense re-indexing of the
+  survivors; the failed ranks' streams and matcher entries simply do
+  not exist in the next epoch.
+* **respawn** — membership is unchanged; the failed ranks are revived
+  from their last coordinated checkpoint and replay from the round
+  boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+__all__ = ["RepairDecision", "agree"]
+
+
+@dataclass(frozen=True, slots=True)
+class RepairDecision:
+    """The agreed outcome of one repair round."""
+
+    #: World ranks agreed failed (the union of survivor votes).
+    failed: tuple[int, ...]
+    #: Surviving world ranks in dense new-communicator order.
+    survivors: tuple[int, ...]
+    #: ``"shrink"`` or ``"respawn"``.
+    mode: str
+    #: Simulated cost of the two-phase agreement, in fabric ticks.
+    agreement_ticks: int
+    #: Survivors that contributed a non-empty suspicion set.
+    voters: int
+
+
+def agree(
+    group: Iterable[int],
+    votes: Mapping[int, Iterable[int]],
+    *,
+    mode: str,
+    rtt: Callable[[int, int], int],
+) -> RepairDecision:
+    """Run the deterministic agreement round over ``group``.
+
+    ``votes`` maps each observer (world rank) to the peers it
+    suspects; ``rtt(a, b)`` is the control round-trip between two
+    world ranks (used only to *price* the round). Raises if the votes
+    name nobody or everybody.
+    """
+    if mode not in ("shrink", "respawn"):
+        raise ValueError(f"unknown repair mode {mode!r}")
+    members = list(group)
+    failed = sorted(
+        {peer for suspects in votes.values() for peer in suspects if peer in members}
+    )
+    if not failed:
+        raise ValueError("agreement with no suspects: nothing to repair")
+    survivors = tuple(rank for rank in members if rank not in failed)
+    if not survivors:
+        raise ValueError("no survivors left to agree")
+    worst_rtt = 0
+    for a in survivors:
+        for b in survivors:
+            if a != b:
+                worst_rtt = max(worst_rtt, rtt(a, b))
+    voters = sum(
+        1 for obs, suspects in votes.items() if obs in survivors and set(suspects)
+    )
+    return RepairDecision(
+        failed=tuple(failed),
+        survivors=survivors,
+        mode=mode,
+        agreement_ticks=2 * worst_rtt,
+        voters=voters,
+    )

@@ -1,0 +1,87 @@
+"""Coordinated rank checkpoints: the block journal, widened per rank.
+
+A resilient cluster run executes one workload round per epoch and
+checkpoints every rank at each quiescent round boundary — the
+multi-rank analogue of the engine's block boundary (PR 4): no message
+in flight, no pending engine work, so each rank's snapshot is just its
+:class:`repro.recovery.journal.BlockCheckpoint` (posted receives,
+unexpected store, decision clock) plus the runtime state the engine
+does not own — the per-stream send/receive sequence counters that give
+every message its identity. Restart rebuilds a rank's engine through
+:func:`repro.recovery.journal.restore_engine`, so decision stamps stay
+monotone and replayed pairings can be audited against the serial
+oracle exactly as core-fault recovery is.
+
+Stream counters are keyed by *world* rank so they survive communicator
+repair: after a shrink, a surviving pair resumes its streams at the
+checkpointed counts under new dense local ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import EngineConfig
+from repro.core.engine import OptimisticMatcher
+from repro.recovery.journal import BlockCheckpoint, checkpoint_engine, restore_engine
+
+__all__ = ["RankSnapshot", "WorldCheckpoint", "snapshot_rank", "restore_rank"]
+
+
+@dataclass(slots=True)
+class RankSnapshot:
+    """One rank's recoverable state at a quiescent round boundary."""
+
+    world_rank: int
+    round_index: int
+    engine: BlockCheckpoint = field(default_factory=BlockCheckpoint)
+    #: (peer world rank, tag) -> messages sent on that stream so far.
+    send_streams: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: (peer world rank, tag) -> receives posted on that stream so far.
+    recv_streams: dict[tuple[int, int], int] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class WorldCheckpoint:
+    """The coordinated cut: every member's snapshot at one boundary."""
+
+    round_index: int
+    snapshots: dict[int, RankSnapshot] = field(default_factory=dict)
+
+    @classmethod
+    def initial(cls, members) -> "WorldCheckpoint":
+        """The boundary before round 0: empty engines, zero streams."""
+        return cls(
+            round_index=0,
+            snapshots={
+                rank: RankSnapshot(world_rank=rank, round_index=0)
+                for rank in members
+            },
+        )
+
+
+def snapshot_rank(
+    world_rank: int,
+    round_index: int,
+    matcher: OptimisticMatcher,
+    send_streams: dict[tuple[int, int], int],
+    recv_streams: dict[tuple[int, int], int],
+) -> RankSnapshot:
+    """Checkpoint one settled rank (streams already world-keyed)."""
+    return RankSnapshot(
+        world_rank=world_rank,
+        round_index=round_index,
+        engine=checkpoint_engine(matcher),
+        send_streams=dict(send_streams),
+        recv_streams=dict(recv_streams),
+    )
+
+
+def restore_rank(
+    snapshot: RankSnapshot, config: EngineConfig | None = None
+) -> OptimisticMatcher:
+    """Build the rank's matcher back from its snapshot: a fresh engine
+    holding exactly the checkpointed state, decision clock monotone."""
+    return restore_engine(
+        snapshot.engine, config if config is not None else EngineConfig()
+    )

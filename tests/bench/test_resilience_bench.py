@@ -1,0 +1,73 @@
+"""Recovery-latency sweep (BENCH_resilience.json)."""
+
+import json
+
+from repro.bench.resilience import (
+    RECOVERY_MODES,
+    TIMEOUT_LADDER,
+    format_table,
+    run_bench,
+)
+
+
+class TestSweep:
+    def test_grid_is_clean_and_complete(self):
+        payload = run_bench()
+        assert payload["schema"] == "repro.bench.resilience/v1"
+        assert payload["failures"] == []
+        assert len(payload["cells"]) == len(RECOVERY_MODES) * len(TIMEOUT_LADDER)
+        for cell in payload["cells"]:
+            assert cell["ok"]
+            assert cell["kills"] == 1
+            assert cell["false_suspicions"] == 0
+        json.dumps(payload)  # the artifact must be pure JSON
+
+    def test_detection_latency_tracks_the_timeout_ladder(self):
+        """The sweep's reason to exist: a tighter timeout detects (and
+        recovers) faster, while agreement cost stays flat."""
+        payload = run_bench()
+        for recovery in RECOVERY_MODES:
+            ladder = [
+                c
+                for c in payload["cells"]
+                if c["recovery"] == recovery and c["timeout"] is not None
+            ]
+            ladder.sort(key=lambda c: c["timeout"])
+            latencies = [c["detection_latency"] for c in ladder]
+            assert latencies == sorted(latencies)
+            assert latencies[0] < latencies[-1]
+            recoveries = [c["recovery_ticks"] for c in ladder]
+            assert recoveries == sorted(recoveries)
+            assert len({c["agreement_ticks"] for c in ladder}) == 1
+            # Heartbeat lanes detect; the backstop lane never does.
+            backstop = next(
+                c
+                for c in payload["cells"]
+                if c["recovery"] == recovery and c["timeout"] is None
+            )
+            assert backstop["failures_detected"] == 0
+            assert backstop["backstop_aborts"] >= 1
+
+    def test_table_renders_every_cell(self):
+        payload = run_bench()
+        table = format_table(payload)
+        assert table.count("\n") == len(payload["cells"]) + 1
+        assert "backstop" in table
+
+
+class TestCli:
+    def test_main_writes_artifact(self, tmp_path, capsys):
+        from repro.bench.resilience import main
+
+        out = tmp_path / "BENCH_resilience.json"
+        assert main(["--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.bench.resilience/v1"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_frontdoor_dispatches(self, tmp_path, capsys):
+        from repro.bench.frontdoor import main as bench_main
+
+        out = tmp_path / "bench.json"
+        assert bench_main(["resilience", "--out", str(out)]) == 0
+        assert out.exists()

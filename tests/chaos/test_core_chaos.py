@@ -113,13 +113,13 @@ class TestMutantLanes:
 
 
 class TestReportSchema:
-    def test_v4_round_trip(self):
+    def test_v5_round_trip(self):
         report = run_chaos(replace(CORE_PROFILES["storm"], seed=3))
         restored = ChaosReport.from_json(report.to_json())
         assert restored.to_json() == report.to_json()
-        assert ChaosReport.SCHEMA == "repro.chaos.report/v4"
+        assert ChaosReport.SCHEMA == "repro.chaos.report/v5"
 
-    def test_v4_carries_passport_field(self):
+    def test_v5_carries_passport_field(self):
         report = run_chaos(replace(CORE_PROFILES["storm"], seed=3))
         payload = report.to_dict()
         assert "passport" in payload

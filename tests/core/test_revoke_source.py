@@ -1,0 +1,49 @@
+"""Dead-peer UMQ revocation: ``OptimisticMatcher.revoke_source``."""
+
+from repro.core import EngineConfig
+from repro.core.engine import OptimisticMatcher
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+
+CONFIG = EngineConfig(bins=4, block_threads=4, max_receives=64)
+
+
+def engine_with_unexpected():
+    """Unexpected messages parked from two sources, none matched."""
+    engine = OptimisticMatcher(CONFIG)
+    for seq, (source, tag) in enumerate([(3, 0), (3, 1), (5, 0)]):
+        engine.submit_message(MessageEnvelope(source=source, tag=tag, send_seq=seq))
+    engine.process_all()
+    assert engine.unexpected_count == 3
+    return engine
+
+
+class TestRevokeSource:
+    def test_purges_only_the_dead_source(self):
+        engine = engine_with_unexpected()
+        assert engine.revoke_source(3) == 2
+        assert engine.unexpected_count == 1
+        # The survivor's message still matches a later receive.
+        event = engine.post_receive(ReceiveRequest(source=5, tag=0, handle=0))
+        assert event is not None and event.message.source == 5
+
+    def test_revoked_entries_never_match_again(self):
+        engine = engine_with_unexpected()
+        engine.revoke_source(3)
+        engine.post_receive(ReceiveRequest(source=3, tag=0, handle=1))
+        assert engine.process_all() == []
+        assert engine.posted_receives == 1  # still parked, nothing to pair
+
+    def test_in_flight_message_wins_the_race(self):
+        """A message still pending when the revoke lands is processed
+        first — as it would be on hardware — then dropped from the UMQ."""
+        engine = OptimisticMatcher(CONFIG)
+        engine.submit_message(MessageEnvelope(source=3, tag=0, send_seq=0))
+        assert engine.pending_messages == 1
+        assert engine.revoke_source(3) == 1
+        assert engine.pending_messages == 0
+        assert engine.unexpected_count == 0
+
+    def test_revoking_absent_source_is_a_noop(self):
+        engine = engine_with_unexpected()
+        assert engine.revoke_source(9) == 0
+        assert engine.unexpected_count == 3

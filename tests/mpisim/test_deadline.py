@@ -1,0 +1,94 @@
+"""Blocking-wait progress deadlines (satellite 1).
+
+A wait that spins past ``progress_deadline`` progress rounds raises a
+:class:`ProgressStall` that *names* the stuck request — peer, tag,
+handle, in-flight count — instead of looping forever while unrelated
+traffic keeps the runtime busy.
+"""
+
+import pytest
+
+from repro.mpisim import MpiSim, ProgressStall
+from repro.mpisim.transport import FabricTransport
+from repro.net.fabric import Fabric
+from repro.net.placement import Placement
+from repro.net.topology import torus2d
+
+
+def fabric_sim(size=4, **kwargs):
+    topo = torus2d(2, 2)
+    fabric = Fabric(topo)
+    placement = Placement.block(size, topo.hosts)
+    return MpiSim(size, transport=FabricTransport(fabric, placement), **kwargs)
+
+
+class TestConfiguration:
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ValueError, match="progress_deadline"):
+            MpiSim(2, progress_deadline=0)
+
+    def test_default_is_unbounded(self):
+        assert MpiSim(2).progress_deadline is None
+
+
+class TestDeadline:
+    def test_stall_names_peer_tag_and_handle(self):
+        """Rank 1 waits on rank 2 (which never sends) while rank 0's
+        traffic to rank 3 keeps progress() busy forever: only the
+        deadline can diagnose this."""
+        sim = fabric_sim(progress_deadline=10)
+        stuck = sim.irecv(1, source=2, tag=99)
+        for i in range(40):
+            sim.isend(0, 3, tag=0, payload=bytes([i]))
+        with pytest.raises(ProgressStall) as excinfo:
+            sim.wait(stuck)
+        message = str(excinfo.value)
+        assert "source=2" in message and "tag=99" in message
+        assert f"handle {stuck.handle}" in message
+        assert "messages in flight" in message
+        assert excinfo.value.requests == [stuck]
+
+    def test_completion_in_final_round_wins(self):
+        """A request that completes during the deadline's last progress
+        round is not a stall."""
+        sim = fabric_sim(progress_deadline=1)
+        req = sim.irecv(1, source=0, tag=7)
+        sim.isend(0, 1, tag=7, payload=b"x" * 16)
+        sim.wait(req)
+        assert req.completed
+
+    def test_generous_deadline_never_fires(self):
+        sim = fabric_sim(progress_deadline=10_000)
+        req = sim.irecv(1, source=0, tag=7)
+        sim.isend(0, 1, tag=7, payload=b"x" * 16)
+        sim.wait(req)
+        assert req.completed
+
+    def test_waitany_applies_the_deadline(self):
+        sim = fabric_sim(progress_deadline=5)
+        never = [sim.irecv(1, source=2, tag=1), sim.irecv(1, source=2, tag=2)]
+        for i in range(40):
+            sim.isend(0, 3, tag=0, payload=bytes([i]))
+        with pytest.raises(ProgressStall) as excinfo:
+            sim.waitany(never)
+        assert set(excinfo.value.requests) == set(never)
+
+    def test_idle_stall_still_immediate(self):
+        """Nothing in flight fails fast regardless of the deadline,
+        and now names the request."""
+        sim = MpiSim(2, progress_deadline=10_000)
+        req = sim.irecv(0, source=1, tag=5)
+        with pytest.raises(ProgressStall, match="source=1, tag=5"):
+            sim.wait(req)
+
+
+class TestDescribe:
+    def test_recv_renders_wildcards(self):
+        sim = MpiSim(2)
+        req = sim.irecv(0)
+        assert "ANY_SOURCE" in req.describe() and "ANY_TAG" in req.describe()
+
+    def test_send_describes_itself(self):
+        sim = MpiSim(2)
+        req = sim.isend(0, 1, tag=3, payload=b"hi")
+        assert "send" in req.describe() and "rank 0" in req.describe()

@@ -1,0 +1,163 @@
+"""Resilient cluster acceptance: kill a rank mid-run, finish anyway.
+
+The issue's bar: an 8-rank halo losing one rank mid-iteration must
+complete via shrink AND via checkpoint-restart, with pairings equal to
+the serial oracle (zero violations) and wire time conserved exactly —
+and every planted driver bug (the mutant lanes) must be caught.
+"""
+
+import pytest
+
+from repro.resilience.cluster import MUTANTS, ResilienceReport, run_resilient
+from repro.resilience.errors import RankFailedError
+from repro.resilience.faults import RankFaultPlan
+from repro.resilience.heartbeat import HeartbeatConfig
+
+KILL_ONE = RankFaultPlan(victims=(3,), kill_ticks=(50,))
+HB = HeartbeatConfig()
+
+
+def run(recovery, *, plan=KILL_ONE, heartbeat=HB, size=512, mutant="", app="halo", record=False):
+    return run_resilient(
+        app,
+        8,
+        rounds=3,
+        size=size,
+        plan=plan,
+        heartbeat=heartbeat,
+        recovery=recovery,
+        mutant=mutant,
+        record=record,
+    )
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("app", ["halo", "alltoall"])
+    def test_fault_free_commits_every_round(self, app):
+        report = run("shrink", plan=RankFaultPlan(), app=app, record=True)
+        res = report.results
+        assert report.ok
+        assert res["final_group"] == list(range(8))
+        assert res["kills"] == [] and res["attempts"] == 3
+        cons = res["conservation"]
+        assert cons["checked"] > 0 and cons["exact"] == cons["checked"]
+
+
+class TestKillOneRank:
+    def test_shrink_completes_without_the_victim(self):
+        report = run("shrink", record=True)
+        res = report.results
+        assert report.ok, res["violations"]
+        assert [k["rank"] for k in res["kills"]] == [3]
+        assert res["final_group"] == [0, 1, 2, 4, 5, 6, 7]
+        assert res["shrinks"] == 1 and res["restarts"] == 0
+        # Heartbeats detected the death; the backstop never fired.
+        assert res["failures_detected"] == 1
+        assert res["backstop_aborts"] == 0
+        assert res["detection_latency_max"] <= HB.timeout + 50
+        cons = res["conservation"]
+        assert cons["checked"] > 0 and cons["exact"] == cons["checked"]
+
+    def test_respawn_restores_full_membership(self):
+        report = run("respawn")
+        res = report.results
+        assert report.ok, res["violations"]
+        assert res["final_group"] == list(range(8))
+        assert res["restarts"] == 1 and res["shrinks"] == 0
+
+    def test_recovery_modes_agree_on_committed_traffic(self):
+        """Both repair paths replay the same rounds from the same
+        checkpoints: committed sends/deliveries must coincide."""
+        shrink, respawn = run("shrink"), run("respawn")
+        assert shrink.results["sends"] > 0
+        # Shrink re-plans rounds over 7 ranks, respawn over all 8.
+        assert respawn.results["sends"] >= shrink.results["sends"]
+
+    def test_rendezvous_kill_fails_outstanding_recvs(self):
+        """Above the eager threshold the dead rank can no longer serve
+        its rendezvous reads: survivors hold receives that can never
+        complete, and revocation surfaces them as typed errors."""
+        report = run("shrink", size=2048)
+        res = report.results
+        assert report.ok
+        assert res["failed_recvs"] >= 1
+        assert any("rank 3 failed" in err for err in res["recv_errors"])
+
+    def test_backstop_recovers_without_heartbeats(self):
+        report = run("shrink", heartbeat=None)
+        res = report.results
+        assert report.ok
+        assert res["failures_detected"] == 0
+        assert res["backstop_aborts"] >= 1
+        assert res["final_group"] == [0, 1, 2, 4, 5, 6, 7]
+
+    def test_timeline_records_the_recovery_story(self):
+        events = [e["event"] for e in run("respawn").results["timeline"]]
+        for expected in ("rank_killed", "repair_agreed", "restarted", "round_committed"):
+            assert expected in events, f"missing {expected} in {sorted(set(events))}"
+
+
+class TestDeterminism:
+    def test_identical_reports_run_to_run(self):
+        assert run("shrink").to_dict() == run("shrink").to_dict()
+
+    def test_seeded_plan_reproducible(self):
+        plan = RankFaultPlan(seed=9, kills=1, horizon=120)
+        assert run("shrink", plan=plan).to_dict() == run("shrink", plan=plan).to_dict()
+
+
+class TestMutantLanes:
+    """Planted driver bugs must be caught, proving the audits bite."""
+
+    def test_known_mutants(self):
+        assert set(MUTANTS) == {"", "deaf-detector", "no-abort", "stale-streams"}
+        with pytest.raises(ValueError, match="unknown mutant"):
+            run("shrink", mutant="bogus")
+
+    @pytest.mark.parametrize("mutant", ["deaf-detector", "no-abort"])
+    def test_detector_mutants_fall_back_to_backstop(self, mutant):
+        report = run("shrink", mutant=mutant)
+        assert report.results["backstop_aborts"] >= 1
+
+    def test_stale_streams_mutant_breaks_the_oracle(self):
+        """A respawned rank that forgot its stream counters regresses
+        message identities — only catchable when the kill lands after
+        a committed round (tick 400 sits between commits 2 and 3)."""
+        late = RankFaultPlan(victims=(3,), kill_ticks=(400,))
+        report = run("respawn", plan=late, mutant="stale-streams")
+        assert not report.ok
+        assert report.results["violations"]
+        healthy = run("respawn", plan=late)
+        assert healthy.ok, healthy.results["violations"]
+
+
+class TestReportCodec:
+    def test_dict_round_trip(self):
+        report = run("shrink")
+        assert ResilienceReport.from_dict(report.to_dict()).to_dict() == report.to_dict()
+        with pytest.raises(ValueError, match="expected"):
+            ResilienceReport.from_dict({"schema": "bogus/v0", "params": {}, "results": {}})
+
+    def test_fleet_codec_round_trip(self):
+        from repro.fleet.codec import decode_result, encode_result
+
+        report = run("shrink")
+        restored = decode_result(encode_result(report))
+        assert isinstance(restored, ResilienceReport)
+        assert restored.to_dict() == report.to_dict()
+
+    def test_chaos_projection_carries_rank_counters(self):
+        chaos = run("shrink", size=2048).to_chaos_report(seed=42)
+        assert chaos.seed == 42
+        assert chaos.rank_kills == 1
+        assert chaos.rank_failures_detected == 1
+        assert chaos.comm_shrinks == 1
+        assert chaos.rank_failed_recvs >= 1
+        assert chaos.rank_false_suspicions == 0
+
+
+class TestRankFailedError:
+    def test_error_names_peer_observer_and_handle(self):
+        err = RankFailedError(3, observer=7, handle=5)
+        assert err.rank == 3 and err.observer == 7 and err.handle == 5
+        assert "rank 3" in str(err) and "rank 7" in str(err)

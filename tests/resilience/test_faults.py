@@ -1,0 +1,81 @@
+"""RankFaultPlan / RankFaultInjector: seeded fail-stop schedules."""
+
+import pytest
+
+from repro.resilience.faults import RankFaultInjector, RankFaultPlan
+
+
+class TestPlanValidation:
+    def test_defaults_are_clean(self):
+        plan = RankFaultPlan()
+        assert plan.is_clean
+        assert plan.compile(8) == ()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(kills=-1),
+            dict(horizon=0),
+            dict(victims=(1, 2), kill_ticks=(5,)),
+            dict(victims=(1, 1), kill_ticks=(5, 6)),
+            dict(victims=(1,), kill_ticks=(0,)),
+        ],
+        ids=["negative-kills", "zero-horizon", "mismatched", "dup-victim", "tick-zero"],
+    )
+    def test_rejects_malformed(self, kwargs):
+        with pytest.raises(ValueError):
+            RankFaultPlan(**kwargs)
+
+    def test_victim_outside_world(self):
+        with pytest.raises(ValueError, match="outside"):
+            RankFaultPlan(victims=(9,), kill_ticks=(5,)).compile(8)
+
+    def test_killing_everyone_is_rejected(self):
+        plan = RankFaultPlan(victims=(0, 1), kill_ticks=(1, 2))
+        with pytest.raises(ValueError, match="survive"):
+            plan.compile(2)
+
+
+class TestCompile:
+    def test_same_seed_same_schedule(self):
+        plan = RankFaultPlan(seed=7, kills=2, horizon=100)
+        assert plan.compile(8) == plan.compile(8)
+
+    def test_different_seed_different_schedule(self):
+        schedules = {RankFaultPlan(seed=s, kills=2, horizon=500).compile(16) for s in range(8)}
+        assert len(schedules) > 1
+
+    def test_explicit_and_seeded_never_collide(self):
+        plan = RankFaultPlan(seed=3, kills=4, victims=(0, 1), kill_ticks=(5, 6))
+        schedule = plan.compile(8)
+        ranks = [rank for _, rank in schedule]
+        assert len(ranks) == len(set(ranks))
+        assert {0, 1} <= set(ranks)
+
+    def test_schedule_sorted_by_tick(self):
+        ticks = [t for t, _ in RankFaultPlan(seed=1, kills=3, horizon=200).compile(8)]
+        assert ticks == sorted(ticks)
+
+    def test_params_round_trip(self):
+        plan = RankFaultPlan(seed=5, kills=1, horizon=64, victims=(2,), kill_ticks=(9,))
+        assert RankFaultPlan.from_params(plan.to_params()) == plan
+
+
+class TestInjector:
+    def test_each_kill_fires_once(self):
+        injector = RankFaultInjector(((10, 3), (20, 5)))
+        assert injector.due(5) == []
+        assert injector.due(10) == [3]
+        assert injector.due(10) == []
+        assert injector.due(99) == [5]
+        assert injector.fired == {3: 10, 5: 20}
+        assert injector.killed == frozenset({3, 5})
+        assert injector.exhausted
+
+    def test_strict_attribution(self):
+        """An error on a run where nothing fired is a genuine bug."""
+        injector = RankFaultInjector(((100, 2),))
+        boom = RuntimeError("boom")
+        assert not injector.owns(boom)
+        injector.due(100)
+        assert injector.owns(boom)

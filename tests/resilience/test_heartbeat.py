@@ -1,0 +1,130 @@
+"""Heartbeat detector properties (satellite 3).
+
+The two contractual bounds, driven tick-by-tick across topologies and
+seeds rather than sampled:
+
+* fault-free => zero suspicions, under any topology, placement, and
+  data-plane congestion (beats ride the management lane);
+* a kill at ``t`` is suspected by every live observer no later than
+  ``t + timeout + max_route_rtt``.
+"""
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.topology import fat_tree, ring, torus2d
+from repro.resilience.heartbeat import HeartbeatConfig, HeartbeatNetwork
+from repro.util.rng import make_rng
+
+TOPOLOGIES = {
+    "ring": lambda: ring(8),
+    "torus": lambda: torus2d(2, 4),
+    "fattree": lambda: fat_tree(2),
+}
+
+
+def mesh(build, config=None):
+    topo = build()
+    fabric = Fabric(topo)
+    hosts = topo.hosts[:8]
+    members = {rank: hosts[rank % len(hosts)] for rank in range(8)}
+    hb = HeartbeatNetwork(fabric, members, config or HeartbeatConfig())
+    return fabric, hb
+
+
+class TestConfig:
+    def test_rejects_bad_tuning(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(period=0)
+        with pytest.raises(ValueError, match="exceed"):
+            HeartbeatConfig(period=16, timeout=16)
+
+    def test_params_round_trip(self):
+        config = HeartbeatConfig(period=8, timeout=99)
+        assert HeartbeatConfig.from_params(config.to_params()) == config
+
+
+class TestNoFalsePositives:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fault_free_never_suspects(self, name, seed):
+        """Pump cadence is jittered per seed: the bound must hold for
+        any driver that pumps at least once per period."""
+        fabric, hb = mesh(TOPOLOGIES[name])
+        rng = make_rng(seed)
+        skip_until = 0
+        for _ in range(6 * hb.config.timeout):
+            now = fabric.tick()
+            if now >= skip_until:
+                # Jitter: stall the pump up to a full period.
+                skip_until = now + int(rng.integers(0, hb.config.period))
+                hb.pump()
+            assert hb.new_suspicions() == []
+        assert hb.beats_heard > 0
+
+    def test_congested_data_plane_cannot_delay_beats(self):
+        """Saturate every link with data traffic; control arrivals are
+        unchanged, so the detector still never fires."""
+        quiet_fabric, quiet = mesh(TOPOLOGIES["torus"])
+        busy_fabric, busy = mesh(TOPOLOGIES["torus"])
+        hosts = busy_fabric.topology.hosts
+        busy_fabric.attach("sink")
+        for step in range(6 * busy.config.timeout):
+            quiet_fabric.tick()
+            busy_fabric.tick()
+            # Data-plane load on the busy twin only.
+            src = hosts[step % len(hosts)]
+            dst = hosts[(step + 1) % len(hosts)]
+            busy_fabric.inject(src, dst, "sink", step, 4096)
+            quiet.pump()
+            busy.pump()
+            assert busy.new_suspicions() == []
+            assert quiet.new_suspicions() == []
+        assert busy.last_heard == quiet.last_heard
+
+
+class TestBoundedDetection:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_kill_detected_within_bound(self, name, seed):
+        fabric, hb = mesh(TOPOLOGIES[name])
+        rng = make_rng(seed)
+        victim = int(rng.integers(0, 8))
+        kill_tick = int(rng.integers(1, 3 * hb.config.period))
+        bound = hb.config.timeout + hb.max_route_rtt()
+        suspected_at: dict[int, int] = {}
+        for _ in range(kill_tick + bound + 1):
+            now = fabric.tick()
+            if now == kill_tick:
+                hb.kill(victim)
+            hb.pump()
+            for obs, peer, tick in hb.new_suspicions():
+                assert peer == victim, f"false suspicion of live rank {peer}"
+                suspected_at[obs] = tick
+        live = set(range(8)) - {victim}
+        assert set(suspected_at) == live
+        assert hb.suspects_all([victim])
+        worst = max(suspected_at.values()) - kill_tick
+        assert worst <= bound, f"detection took {worst} > bound {bound}"
+
+
+class TestEndToEnd:
+    def test_clean_resilient_run_has_zero_false_suspicions(self):
+        """The acceptance property, through the full stack: a fault-free
+        resilient run with heartbeats enabled never suspects anyone and
+        its chaos projection is byte-identical to the detector-disabled
+        twin — the detector perturbs nothing."""
+        from repro.resilience.cluster import run_resilient
+
+        with_hb = run_resilient(
+            "halo", 8, rounds=3, heartbeat=HeartbeatConfig(), record=False
+        )
+        without = run_resilient("halo", 8, rounds=3, heartbeat=None, record=False)
+        assert with_hb.ok and without.ok
+        assert with_hb.results["false_suspicions"] == []
+        assert with_hb.results["suspicion_aborts"] == 0
+        assert with_hb.results["backstop_aborts"] == 0
+        assert (
+            with_hb.to_chaos_report(seed=1).to_json()
+            == without.to_chaos_report(seed=1).to_json()
+        )

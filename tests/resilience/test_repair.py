@@ -1,0 +1,54 @@
+"""Deterministic communicator repair: agree / shrink / respawn."""
+
+import pytest
+
+from repro.resilience.repair import RepairDecision, agree
+
+RTT = {frozenset((a, b)): 10 + a + b for a in range(8) for b in range(8) if a != b}
+
+
+def rtt(a, b):
+    return RTT[frozenset((a, b))]
+
+
+class TestAgree:
+    def test_union_of_votes(self):
+        decision = agree(
+            range(8), {0: {3}, 1: {3, 5}, 2: set()}, mode="shrink", rtt=rtt
+        )
+        assert decision.failed == (3, 5)
+        assert decision.survivors == (0, 1, 2, 4, 6, 7)
+        assert decision.mode == "shrink"
+        assert decision.voters == 2
+
+    def test_pure_function_of_votes(self):
+        """Same votes in any observer order -> the same decision on
+        every survivor (no leader, no tie to break)."""
+        votes_a = {0: {6}, 4: {6, 2}, 7: {2}}
+        votes_b = {7: {2}, 0: {6}, 4: {2, 6}}
+        assert agree(range(8), votes_a, mode="respawn", rtt=rtt) == agree(
+            range(8), votes_b, mode="respawn", rtt=rtt
+        )
+
+    def test_agreement_priced_at_twice_worst_survivor_rtt(self):
+        decision = agree(range(4), {0: {1}}, mode="shrink", rtt=rtt)
+        worst = max(rtt(a, b) for a in (0, 2, 3) for b in (0, 2, 3) if a != b)
+        assert decision.agreement_ticks == 2 * worst
+
+    def test_votes_for_non_members_are_ignored(self):
+        decision = agree(range(4), {0: {2, 99}}, mode="shrink", rtt=rtt)
+        assert decision.failed == (2,)
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="mode"):
+            agree(range(4), {0: {1}}, mode="pray", rtt=rtt)
+        with pytest.raises(ValueError, match="nothing to repair"):
+            agree(range(4), {0: set()}, mode="shrink", rtt=rtt)
+        with pytest.raises(ValueError, match="survivors"):
+            agree(range(2), {0: {1}, 1: {0}}, mode="shrink", rtt=rtt)
+
+    def test_decision_is_frozen(self):
+        decision = agree(range(4), {0: {1}}, mode="shrink", rtt=rtt)
+        assert isinstance(decision, RepairDecision)
+        with pytest.raises(AttributeError):
+            decision.mode = "respawn"

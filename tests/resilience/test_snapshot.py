@@ -1,0 +1,75 @@
+"""Coordinated rank checkpoints: the block journal widened per rank."""
+
+from repro.core import EngineConfig
+from repro.core.engine import OptimisticMatcher
+from repro.core.envelope import MessageEnvelope, ReceiveRequest
+from repro.matching.oracle import pairings
+from repro.resilience.snapshot import (
+    RankSnapshot,
+    WorldCheckpoint,
+    restore_rank,
+    snapshot_rank,
+)
+
+CONFIG = EngineConfig(bins=4, block_threads=4, max_receives=64)
+
+
+def settled_engine():
+    engine = OptimisticMatcher(CONFIG)
+    for handle in range(4):
+        engine.post_receive(ReceiveRequest(source=0, tag=handle, handle=handle))
+    for seq, tag in enumerate((0, 1, 9)):  # tag 9 parks unexpected
+        engine.submit_message(MessageEnvelope(source=0, tag=tag, send_seq=seq))
+    engine.process_all()
+    return engine
+
+
+class TestWorldCheckpoint:
+    def test_initial_cut_is_empty(self):
+        checkpoint = WorldCheckpoint.initial([0, 1, 5])
+        assert checkpoint.round_index == 0
+        assert sorted(checkpoint.snapshots) == [0, 1, 5]
+        for rank, snap in checkpoint.snapshots.items():
+            assert snap.world_rank == rank
+            assert snap.send_streams == {} and snap.recv_streams == {}
+
+
+class TestRankRoundTrip:
+    def test_streams_survive_world_keyed(self):
+        snap = snapshot_rank(
+            3,
+            2,
+            settled_engine(),
+            send_streams={(5, 0): 4, (1, 7): 2},
+            recv_streams={(5, 0): 4},
+        )
+        assert snap.world_rank == 3 and snap.round_index == 2
+        assert snap.send_streams == {(5, 0): 4, (1, 7): 2}
+        # Defensive copies: mutating the source dict cannot corrupt
+        # the checkpoint.
+        source = {(0, 0): 1}
+        snap2 = snapshot_rank(0, 1, settled_engine(), source, {})
+        source[(0, 0)] = 99
+        assert snap2.send_streams == {(0, 0): 1}
+
+    def test_restored_matcher_pairs_like_the_original(self):
+        engine = settled_engine()
+        restored = restore_rank(snapshot_rank(0, 1, engine, {}, {}))
+        continuation = [
+            MessageEnvelope(source=0, tag=tag, send_seq=3 + i)
+            for i, tag in enumerate((2, 3))
+        ]
+        for msg in continuation:
+            engine.submit_message(msg)
+            restored.submit_message(msg)
+        assert pairings(engine.process_all()) == pairings(restored.process_all())
+
+    def test_decision_clock_stays_monotone(self):
+        engine = settled_engine()
+        restored = restore_rank(snapshot_rank(0, 1, engine, {}, {}))
+        assert restored.decisions.peek() == engine.decisions.peek()
+
+    def test_default_snapshot_restores_to_empty_engine(self):
+        restored = restore_rank(RankSnapshot(world_rank=2, round_index=0))
+        assert restored.posted_receives == 0
+        assert restored.unexpected_count == 0
