@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Watch a run's health live: sampler -> time series -> alarms.
+
+A DPA memory budget (§III-E) is ramped down over an unexpected-heavy
+chaos workload while the timeline sampler polls the stack's gauges
+every wire tick. The health monitor streams the samples through the
+default alarm rules: the roomy budgets stay quiet, the tight one
+evicts cold UMQ entries and raises ``budget-evictions`` within one
+sampling interval. The tight run's series render as terminal
+sparklines — queue dynamics over simulated time, the paper's Fig. 7
+axis — followed by the typed health report.
+
+Run:  python examples/health_watch.py
+"""
+
+import dataclasses
+
+from repro.chaos.harness import ChaosConfig, run_chaos
+from repro.obs.health import HealthMonitor, default_rules
+from repro.obs.timeline import TimelineSampler
+
+#: The §III-E budget ramp: unlimited, roomy, and too tight.
+BUDGETS = (-1, 120_000, 20_000)
+
+BASE = ChaosConfig(
+    seed=5,
+    rounds=16,
+    pressure=True,
+    senders=4,
+    max_posts_per_round=2,
+    max_sends_per_round=12,
+    bounce_buffers=8,
+)
+
+
+def watched_run(budget: int):
+    """One chaos run under the sampler + streaming health monitor."""
+    sampler = TimelineSampler(interval=0.0)  # sample every driver round
+    monitor = HealthMonitor(default_rules()).attach(sampler)
+    config = dataclasses.replace(BASE, budget_bytes=budget)
+    run_chaos(config, sampler=sampler)
+    return sampler.timeline, monitor.report(ticks=sampler.timeline.ticks)
+
+
+def main() -> None:
+    print("=== DPA budget ramp under the health monitor ===")
+    reports = {}
+    for budget in BUDGETS:
+        timeline, report = watched_run(budget)
+        reports[budget] = (timeline, report)
+        label = "unlimited" if budget < 0 else f"{budget:>7} B"
+        alarms = ", ".join(sorted(report.alarms())) or "none"
+        verdict = "healthy" if report.healthy else "ALARMS"
+        print(
+            f"budget {label}: {verdict:<8} over {report.ticks} sampling "
+            f"rounds (alarms: {alarms})"
+        )
+
+    tight = BUDGETS[-1]
+    timeline, report = reports[tight]
+    print(f"\n=== sampled series, budget {tight} B (sparklines) ===")
+    print(timeline.render(width=60, match="pressure."))
+    print()
+    print(timeline.render(width=60, match="engine.umq_depth"))
+
+    print(f"\n=== health report, budget {tight} B ===")
+    print(report.render())
+    for event in report.events:
+        print(f"  first detection window: {event.window:g} tick(s)")
+        break
+
+    assert reports[BUDGETS[0]][1].healthy, "unlimited budget must stay quiet"
+    assert not report.healthy, "tight budget must raise an alarm"
+    print("\nramp behaved: roomy budgets quiet, tight budget alarmed.")
+
+
+if __name__ == "__main__":
+    main()

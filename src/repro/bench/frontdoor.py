@@ -7,6 +7,7 @@ Subcommands::
     repro-bench msgrate     [...]   # Figure 8 message-rate benchmark
     repro-bench cluster     [...]   # cluster-fabric topology/placement sweep
     repro-bench resilience  [...]   # rank-failure recovery-latency sweep
+    repro-bench gate        [...]   # regression gate vs committed baselines
 
 Each subcommand forwards its remaining arguments to the underlying
 module's ``main``, so ``repro-bench pressure --rounds 24`` and
@@ -21,13 +22,14 @@ import sys
 __all__ = ["main"]
 
 _USAGE = """\
-usage: repro-bench {pressure,reliability,msgrate,cluster,resilience} [options]
+usage: repro-bench {pressure,reliability,msgrate,cluster,resilience,gate} [options]
 
   pressure     memory-budget enforcement ladder (BENCH_pressure.json)
   reliability  lossy-wire overhead baseline (BENCH_reliability.json)
   msgrate      Figure 8 ping-pong message rates (repro-msgrate)
   cluster      fabric sweep: apps x topologies x placements (BENCH_cluster.json)
   resilience   recovery latency: detector tuning x repair mode (BENCH_resilience.json)
+  gate         compare a fresh BENCH file against its committed baseline
 
 Run `repro-bench <subcommand> --help` for subcommand options.
 """
@@ -59,6 +61,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.resilience import main as resilience_main
 
         return resilience_main(rest)
+    if command == "gate":
+        from repro.bench.gate import main as gate_main
+
+        return gate_main(rest)
     print(f"repro-bench: unknown subcommand {command!r}", file=sys.stderr)
     print(_USAGE, end="", file=sys.stderr)
     return 2

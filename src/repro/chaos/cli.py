@@ -7,6 +7,7 @@ Subcommands::
     repro-chaos overload [...]   # memory-budget soak (repro.chaos.overload)
     repro-chaos cluster  [...]   # cluster network-fault soak (repro.chaos.cluster)
     repro-chaos ranks    [...]   # rank fail-stop soak (repro.chaos.ranksoak)
+    repro-chaos health   [...]   # health-alarm lanes (repro.chaos.health)
 
 Each subcommand forwards its remaining arguments to the underlying
 module's ``main``, so ``repro-chaos cores --schedules 16`` and
@@ -20,13 +21,14 @@ import sys
 __all__ = ["main"]
 
 _USAGE = """\
-usage: repro-chaos {soak,cores,overload,cluster,ranks} [options]
+usage: repro-chaos {soak,cores,overload,cluster,ranks,health} [options]
 
   soak      wire-fault soak over the standard profiles
   cores     core-fault matrix: {wire faults} x {core faults} x {engines}
   overload  memory-budget overload soak (pressure enforcement lanes)
   cluster   cluster network-fault soak (link flaps / host partition)
   ranks     rank fail-stop soak (kill / detect / repair lanes)
+  health    health-alarm lanes (fault fires its alarm, clean twin silent)
 
 Run `repro-chaos <subcommand> --help` for subcommand options.
 """
@@ -58,6 +60,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.chaos.ranksoak import main as ranks_main
 
         return ranks_main(rest)
+    if command == "health":
+        from repro.chaos.health import main as health_main
+
+        return health_main(rest)
     print(f"repro-chaos: unknown subcommand {command!r}", file=sys.stderr)
     print(_USAGE, end="", file=sys.stderr)
     return 2

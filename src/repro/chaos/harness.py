@@ -43,6 +43,7 @@ from repro.obs.hooks import (
     PressureWindowWatcher,
 )
 from repro.obs.ledger import NULL_RECORDER, FlightRecorder
+from repro.obs.timeline import NULL_SAMPLER, TimelineSampler, install_stack_probes
 from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.pressure.budget import PressureBudget, PressureMeter
 from repro.pressure.controller import PressuredPipeline
@@ -384,6 +385,7 @@ def run_chaos(
     *,
     tracer: SpanTracer = NULL_TRACER,
     recorder: FlightRecorder = NULL_RECORDER,
+    sampler: TimelineSampler = NULL_SAMPLER,
 ) -> ChaosReport:
     """Execute one seeded schedule; never raises on transport failure
     (the report carries it) so soak loops survive hostile fault plans.
@@ -400,6 +402,12 @@ def run_chaos(
     rollback annotations), keyed back to the schedule by its
     ``rank:seq`` identity. When a run detects a violation, the first
     violating message's full record ships in ``report.passport``.
+
+    ``sampler`` (optional) turns the run into a continuous-telemetry
+    source: the standard stack probes (queue depths, conflict
+    fraction, spill state, pressure gauges, retransmit counters) are
+    installed and polled on the wire-tick clock at every round
+    boundary — the input the :mod:`repro.obs.health` rules watch.
     """
     rng = make_rng(config.seed)
     plan = config.plan
@@ -486,6 +494,17 @@ def run_chaos(
         else None
     )
     receiver = RdmaReceiver(rx_qp, matcher, recorder=recorder)
+    if sampler.enabled:
+        install_stack_probes(
+            sampler,
+            matcher=matcher,
+            engine_stats=matcher.stats,
+            wire=wire,
+            raw_wire=raw,
+            meter=meter,
+            receiver=receiver,
+        )
+        sampler.poll(clock())
     demote_probe = None
     if config.pressure:
         matcher.bind_transport(receiver)
@@ -583,6 +602,8 @@ def run_chaos(
                 watcher.poll()
             if pwatcher is not None:
                 pwatcher.poll()
+            if sampler.enabled:
+                sampler.poll(clock())
             if config.watchdog:
                 watchdog_check(round_index)
         # Cleanup: drain whatever is still parked unexpected so every
@@ -596,6 +617,8 @@ def run_chaos(
             # so the exactly-once audit below never blames backpressure.
             matcher.drain_deferred()
         pump(receiver, tx_qp, max_rounds=config.pump_rounds)
+        if sampler.enabled:
+            sampler.sample(clock())  # final sample regardless of interval
         if config.watchdog:
             watchdog_check(config.rounds)
     except TransportError as exc:

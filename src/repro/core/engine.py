@@ -283,6 +283,23 @@ class OptimisticMatcher:
     def unexpected_count(self) -> int:
         return len(self.unexpected)
 
+    def queue_depths(self) -> dict[str, float]:
+        """Current PRQ/UMQ depth gauges for the timeline sampler.
+
+        ``prq_max_bin``/``umq_max_bin`` are the deepest single hash
+        bin of the (source, tag) tables — the Fig. 7 dynamics signal
+        a flat total depth can hide.
+        """
+        prq_bins = self.indexes.no_wildcard.depths()
+        umq_bins = self.unexpected.depths()
+        return {
+            "prq": float(self.posted_receives),
+            "umq": float(self.unexpected_count),
+            "pending": float(self.pending_messages),
+            "prq_max_bin": float(max(prq_bins, default=0)),
+            "umq_max_bin": float(max(umq_bins, default=0)),
+        }
+
     @probe("engine.process_block")
     def process_block(self) -> list[MatchEvent]:
         """Match one block of up to N queued messages in parallel."""

@@ -31,6 +31,7 @@ _BUILTIN: dict[str, tuple[str, str]] = {
     "ChaosReport": ("repro.chaos.harness", "ChaosReport"),
     "ClusterReport": ("repro.net.cluster", "ClusterReport"),
     "EngineStats": ("repro.core.stats", "EngineStats"),
+    "GateVerdict": ("repro.bench.gate", "GateVerdict"),
     "LedgerDump": ("repro.obs.ledger", "LedgerDump"),
     "RateResult": ("repro.bench.pingpong", "RateResult"),
     "ResilienceReport": ("repro.resilience.cluster", "ResilienceReport"),

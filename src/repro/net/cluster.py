@@ -33,6 +33,7 @@ from repro.core.envelope import ReceiveRequest
 from repro.net.fabric import Fabric
 from repro.net.fabricwire import FabricWire
 from repro.net.faults import LinkFaultPlan
+from repro.net.metrics import install_fabric_probes
 from repro.net.placement import Placement, placement_by_name
 from repro.net.topology import (
     DEFAULT_BANDWIDTH,
@@ -41,6 +42,7 @@ from repro.net.topology import (
     topology_by_name,
 )
 from repro.obs.ledger import NULL_RECORDER, FlightRecorder
+from repro.obs.timeline import NULL_SAMPLER
 from repro.rdma.bounce import BounceBufferPool
 from repro.rdma.cq import CompletionQueue
 from repro.rdma.protocol import (
@@ -270,8 +272,38 @@ class ClusterSim:
         self.violations: list[dict] = []
         self.sends = 0
         self.deliveries = 0
+        self.sampler = NULL_SAMPLER
         for a, b in sorted(self._pairs()):
             self._connect(a, b)
+
+    # -- telemetry --------------------------------------------------------
+
+    def attach_sampler(self, sampler) -> None:
+        """Install the cluster's standard timeline probes on ``sampler``
+        and start polling it each progress round (on fabric ticks).
+
+        Series: the fabric gauges
+        (:func:`repro.net.metrics.install_fabric_probes`) plus
+        ``ranks.live`` — the count of ranks still participating, which
+        is constant on fault-free runs and steps down exactly when a
+        fail-stop subclass deactivates a rank.
+        """
+        self.sampler = sampler
+        if not sampler.enabled:
+            return
+        install_fabric_probes(sampler, self.fabric)
+        sampler.add_probe(
+            "ranks.live",
+            lambda: float(sum(1 for n in self.ranks if self._rank_active(n))),
+        )
+        # Deliberately no rc.retransmits probe here: a congested but
+        # healthy fabric retransmits legitimately, so that series is
+        # only a fault signature on the point-to-point chaos stack.
+
+    def _sample_tick(self) -> float:
+        """The sampler's clock (epoch subclasses offset this so ticks
+        stay monotone across rebuilds)."""
+        return float(self.fabric.clock)
 
     # -- wiring ----------------------------------------------------------
 
@@ -468,6 +500,8 @@ class ClusterSim:
             if self._check_completions(node):
                 moved = True
             self._after_rank_progress(node)
+        if self.sampler.enabled:
+            self.sampler.poll(self._sample_tick())
         return moved
 
     def _after_rank_progress(self, node: _Rank) -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.net.fabric import Fabric
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["register_fabric", "fabric_samples"]
+__all__ = ["register_fabric", "fabric_samples", "install_fabric_probes"]
 
 
 def fabric_samples(fabric: Fabric) -> dict[str, float]:
@@ -47,3 +47,30 @@ def register_fabric(
 ) -> None:
     """Export ``fabric``'s counters through ``registry`` snapshots."""
     registry.add_collector(prefix, lambda: fabric_samples(fabric))
+
+
+def install_fabric_probes(sampler, fabric: Fabric, *, prefix: str = "net") -> None:
+    """Install the fabric's gauges on a timeline sampler.
+
+    Fabric-wide counters plus one utilization series per link (the
+    link set is static, so the series set is bounded by the topology).
+    ``<prefix>.fabric.dropped`` only moves under a link fault plan —
+    a clean fabric delivers everything — which is what lets the
+    health layer treat any movement as a link-fault signature.
+    """
+    p = f"{prefix}." if prefix else ""
+    sampler.add_probe(f"{p}fabric.injected", lambda: float(fabric.injected))
+    sampler.add_probe(f"{p}fabric.delivered", lambda: float(fabric.delivered))
+    sampler.add_probe(f"{p}fabric.dropped", lambda: float(fabric.dropped))
+    sampler.add_probe(
+        f"{p}fabric.in_flight",
+        lambda: float(fabric.injected - fabric.delivered - fabric.dropped),
+    )
+    sampler.add_probe(f"{p}fabric.max_utilization", fabric.max_utilization)
+    for name in sorted(fabric.link_stats()):
+
+        def utilization(link: str = name) -> float:
+            stats = fabric.link_stats()[link]
+            return stats.busy_ticks / fabric.clock if fabric.clock else 0.0
+
+        sampler.add_probe(f"{p}link.{name}.utilization", utilization)

@@ -18,6 +18,13 @@ One layer, three concerns:
   :mod:`repro.obs.flows` (Perfetto flow-event export) — all reachable
   via the ``repro-obs`` CLI (:mod:`repro.obs.cli`).
 
+* :mod:`repro.obs.timeline` — the simulated-clock time-series sampler:
+  registered gauges polled into bounded rings, rendered as terminal
+  sparklines or exported as Perfetto counter tracks;
+* :mod:`repro.obs.health` — the streaming rules engine over sampled
+  series (threshold with hysteresis, rate-of-change, EWMA drift)
+  emitting typed :class:`~repro.obs.health.HealthEvent` alarms.
+
 Adapters for the existing stack live in :mod:`repro.obs.hooks`;
 ``python -m repro.obs.report`` renders metric snapshots in the
 terminal and ``python -m repro.obs.validate`` checks emitted traces.
@@ -28,6 +35,17 @@ from repro.obs.hooks import (
     EngineTraceObserver,
     attach_engine_observer,
     register_stack_metrics,
+)
+from repro.obs.health import (
+    DriftRule,
+    HealthEvent,
+    HealthMonitor,
+    HealthReport,
+    HealthRule,
+    RateRule,
+    Severity,
+    ThresholdRule,
+    default_rules,
 )
 from repro.obs.ledger import (
     NULL_RECORDER,
@@ -47,6 +65,15 @@ from repro.obs.registry import (
 # the package attribute must keep naming the ``repro.obs.probe`` submodule
 # (``from repro.obs import probe``); import the decorator from there.
 from repro.obs.probe import subscribe, subscribed
+from repro.obs.timeline import (
+    NULL_SAMPLER,
+    NullSampler,
+    Timeline,
+    TimelineSampler,
+    TimeSeries,
+    install_stack_probes,
+    timeline_to_chrome,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -79,4 +106,20 @@ __all__ = [
     "NULL_RECORDER",
     "MessageRecord",
     "LedgerDump",
+    "TimeSeries",
+    "Timeline",
+    "TimelineSampler",
+    "NullSampler",
+    "NULL_SAMPLER",
+    "install_stack_probes",
+    "timeline_to_chrome",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
+    "ThresholdRule",
+    "RateRule",
+    "DriftRule",
+    "Severity",
+    "default_rules",
 ]

@@ -1,21 +1,37 @@
-"""``repro-obs``: analyze a flight-recorder ledger dump.
+"""``repro-obs``: analyze observability artifacts.
 
 Subcommands::
 
     repro-obs attribution LEDGER.json [--scenario NAME]
     repro-obs critical-path LEDGER.json [--scenario NAME] [--top K]
     repro-obs flows LEDGER.json --out TRACE.json
+    repro-obs timeline TIMELINE.json [--match STR] [--perfetto OUT.json]
+    repro-obs health TIMELINE.json [--json-out REPORT.json]
 
 ``attribution`` renders the conserved per-phase latency waterfall
 (p50/p95/p99 per phase, per scenario) and exits nonzero if any
 message's phase durations fail to sum to its end-to-end latency.
 
 ``critical-path`` reports the top-k causal chains dominating each
-scenario's makespan (the first chain spans it exactly) and exits
-nonzero when no chain can be built (empty ledger).
+scenario's makespan (the first chain spans it exactly).
 
 ``flows`` exports a Perfetto-loadable Chrome trace with per-message
 flow events linking spans across the host/wire/nic/engine tracks.
+
+``timeline`` renders a sampled timeline dump
+(:class:`repro.obs.timeline.Timeline` JSON) as terminal sparklines;
+``--perfetto`` additionally exports the series as Perfetto counter
+tracks.
+
+``health`` replays the default alarm rules
+(:func:`repro.obs.health.default_rules`) over a timeline dump and
+prints the resulting :class:`repro.obs.health.HealthReport`.
+
+Exit codes (uniform across subcommands)::
+
+    0  success, nothing violated
+    1  a violation: conservation failure, or health alarms fired
+    2  usage error or unreadable/empty input
 """
 
 from __future__ import annotations
@@ -28,43 +44,86 @@ from repro.obs.attribution import attribute, render_attribution
 from repro.obs.critpath import critical_path, render_chains
 from repro.obs.flows import write_flow_trace
 from repro.obs.ledger import LedgerDump
+from repro.obs.timeline import Timeline, timeline_to_chrome
 
 __all__ = ["main"]
 
+_EXIT_CODES = """\
+exit codes: 0 success / 1 violation (conservation failure, fired
+alarms) / 2 usage error or unreadable input\
+"""
 
-def _load(path: Path) -> LedgerDump:
+
+def _load_ledger(path: Path) -> LedgerDump:
     return LedgerDump.from_json(path.read_text())
 
 
+def _load_timeline(path: Path) -> Timeline:
+    return Timeline.from_json(path.read_text())
+
+
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(prog="repro-obs", description=__doc__)
+    parser = argparse.ArgumentParser(
+        prog="repro-obs", description=__doc__, epilog=_EXIT_CODES
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_attr = sub.add_parser("attribution", help="conserved phase waterfall")
+    p_attr = sub.add_parser(
+        "attribution", help="conserved phase waterfall", epilog=_EXIT_CODES
+    )
     p_attr.add_argument("ledger", type=Path)
     p_attr.add_argument("--scenario", default=None)
 
-    p_crit = sub.add_parser("critical-path", help="top-k causal chains")
+    p_crit = sub.add_parser(
+        "critical-path", help="top-k causal chains", epilog=_EXIT_CODES
+    )
     p_crit.add_argument("ledger", type=Path)
     p_crit.add_argument("--scenario", default=None)
     p_crit.add_argument("--top", type=int, default=3)
 
-    p_flow = sub.add_parser("flows", help="Perfetto flow-event export")
+    p_flow = sub.add_parser(
+        "flows", help="Perfetto flow-event export", epilog=_EXIT_CODES
+    )
     p_flow.add_argument("ledger", type=Path)
     p_flow.add_argument("--out", type=Path, required=True)
 
-    args = parser.parse_args(argv)
+    p_tl = sub.add_parser(
+        "timeline", help="render a sampled timeline", epilog=_EXIT_CODES
+    )
+    p_tl.add_argument("timeline", type=Path)
+    p_tl.add_argument("--match", default=None, help="only series containing this")
+    p_tl.add_argument("--width", type=int, default=60, help="sparkline width")
+    p_tl.add_argument(
+        "--perfetto", type=Path, default=None, metavar="OUT.json",
+        help="also export Perfetto counter tracks",
+    )
+
+    p_health = sub.add_parser(
+        "health", help="run the alarm rules over a timeline", epilog=_EXIT_CODES
+    )
+    p_health.add_argument("timeline", type=Path)
+    p_health.add_argument(
+        "--json-out", type=Path, default=None, help="write the HealthReport as JSON"
+    )
+
     try:
-        dump = _load(args.ledger)
-    except (OSError, ValueError) as exc:
-        print(f"{args.ledger}: unreadable ledger ({exc})", file=sys.stderr)
-        return 2
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 0 if exc.code == 0 else 2
+
+    if args.command in ("attribution", "critical-path", "flows"):
+        try:
+            dump = _load_ledger(args.ledger)
+        except (OSError, ValueError) as exc:
+            print(f"{args.ledger}: unreadable ledger ({exc})", file=sys.stderr)
+            return 2
 
     if args.command == "attribution":
         reports = attribute(dump, scenario=args.scenario)
         if not reports:
+            # Nothing to analyze is an input problem, not a violation.
             print("no matching scenarios in ledger", file=sys.stderr)
-            return 1
+            return 2
         try:
             print(render_attribution(reports))
         except BrokenPipeError:  # e.g. piped into `head`
@@ -75,7 +134,7 @@ def main(argv: list[str] | None = None) -> int:
         chains = critical_path(dump, scenario=args.scenario, k=args.top)
         if not chains:
             print("no chains (empty ledger?)", file=sys.stderr)
-            return 1
+            return 2
         try:
             print(render_chains(chains))
         except BrokenPipeError:  # e.g. piped into `head`
@@ -86,6 +145,36 @@ def main(argv: list[str] | None = None) -> int:
         count = write_flow_trace(dump, str(args.out))
         print(f"wrote {args.out} ({count} events)")
         return 0
+
+    try:
+        timeline = _load_timeline(args.timeline)
+    except (OSError, ValueError) as exc:
+        print(f"{args.timeline}: unreadable timeline ({exc})", file=sys.stderr)
+        return 2
+
+    if args.command == "timeline":
+        if not timeline.series:
+            print("no series in timeline", file=sys.stderr)
+            return 2
+        try:
+            print(timeline.render(width=args.width, match=args.match))
+        except BrokenPipeError:
+            sys.stderr.close()
+        if args.perfetto is not None:
+            tracer = timeline_to_chrome(timeline)
+            tracer.write(str(args.perfetto))
+            print(f"wrote {args.perfetto} ({len(tracer)} events)")
+        return 0
+
+    if args.command == "health":
+        from repro.obs.health import HealthMonitor
+
+        monitor = HealthMonitor().scan(timeline)
+        report = monitor.report(ticks=timeline.ticks)
+        print(report.render())
+        if args.json_out is not None:
+            args.json_out.write_text(report.to_json())
+        return 0 if report.healthy else 1
 
     raise AssertionError(f"unhandled command {args.command}")
 

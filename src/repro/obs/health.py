@@ -1,0 +1,608 @@
+"""Streaming health rules over sampled time series.
+
+The :mod:`repro.obs.timeline` sampler turns the stack's gauges into
+``(tick, value)`` streams; this module watches those streams *as they
+are sampled* and turns anomalies into typed :class:`HealthEvent`\\ s —
+the alarm layer a production offload NIC is operated through, rebuilt
+over the simulation's own clocks.
+
+Rule vocabulary (all streaming, O(1) state per watched series):
+
+* :class:`ThresholdRule` — level crossing with hysteresis: fires when
+  the value reaches ``high``, re-arms only after it falls back to
+  ``clear`` (so a value oscillating across one line raises one alarm,
+  not one per sample).
+* :class:`RateRule` — change detection on cumulative counters: fires
+  when the value rises (or, with ``direction="fall"``, falls) by at
+  least ``min_delta`` between consecutive samples. Edge-triggered per
+  episode: a counter that keeps climbing holds one alarm open rather
+  than re-firing every tick.
+* :class:`DriftRule` — EWMA mean/deviation z-score drift detector:
+  tracks an exponentially weighted mean and squared deviation, fires
+  when a sample lands more than ``z`` deviations *and* ``min_delta``
+  above the learned mean after ``warmup`` samples. Outliers are not
+  folded into the EWMA while the rule is violated, so an excursion
+  cannot teach the detector that broken is normal.
+
+Alarm guarantees (proved by ``tests/obs/test_health.py`` and the
+chaos lanes in :mod:`repro.chaos.health`): the default taxonomy
+raises **zero** events on clean seeded runs, and every chaos mutant
+lane raises its matching alarm within one sampling interval of the
+fault's first observable effect — the same zero-false-alarm /
+bounded-detection contract the heartbeat detector made for rank
+failures, extended to the whole telemetry surface.
+
+A finished run exports a :class:`HealthReport` (schema
+``repro.obs.health/v1``) with the fired events, the rules that stayed
+quiet, and per-rule evaluation counts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from enum import IntEnum
+from fnmatch import fnmatchcase
+from typing import Any, Mapping
+
+__all__ = [
+    "Severity",
+    "HealthEvent",
+    "HealthRule",
+    "ThresholdRule",
+    "RateRule",
+    "DriftRule",
+    "HealthMonitor",
+    "HealthReport",
+    "default_rules",
+    "ALARM_TAXONOMY",
+]
+
+HEALTH_SCHEMA = "repro.obs.health/v1"
+
+
+class Severity(IntEnum):
+    """Alarm severities, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    CRITICAL = 2
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One fired alarm: which rule, on which series, when, and why."""
+
+    alarm: str  # taxonomy name ("spill-storm", "overload", ...)
+    rule: str  # rule type ("threshold" / "rate" / "drift")
+    metric: str  # concrete series name that violated
+    tick: float  # simulated tick of the violating sample
+    observed: float
+    expected: float  # threshold / previous value / learned mean
+    severity: Severity
+    window: float = 0.0  # ticks since the previous sample of the series
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "alarm": self.alarm,
+            "rule": self.rule,
+            "metric": self.metric,
+            "tick": self.tick,
+            "observed": self.observed,
+            "expected": self.expected,
+            "severity": self.severity.name,
+            "window": self.window,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HealthEvent":
+        return cls(
+            alarm=str(payload["alarm"]),
+            rule=str(payload["rule"]),
+            metric=str(payload["metric"]),
+            tick=float(payload["tick"]),
+            observed=float(payload["observed"]),
+            expected=float(payload["expected"]),
+            severity=Severity[str(payload.get("severity", "WARNING"))],
+            window=float(payload.get("window", 0.0)),
+            detail=str(payload.get("detail", "")),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"[{self.severity.name}] {self.alarm}: {self.metric}={self.observed:g} "
+            f"(expected {self.expected:g}) at tick {self.tick:g} ({self.rule})"
+        )
+
+
+class HealthRule:
+    """Base rule: matches series by fnmatch pattern, keeps one state
+    object per concrete series, and turns samples into events."""
+
+    kind = "rule"
+
+    def __init__(
+        self,
+        alarm: str,
+        pattern: str,
+        *,
+        severity: Severity = Severity.WARNING,
+    ) -> None:
+        self.alarm = alarm
+        self.pattern = pattern
+        self.severity = severity
+        #: Samples evaluated (clean-run proof: evaluated > 0, fired == 0).
+        self.evaluated = 0
+        self._state: dict[str, dict[str, float]] = {}
+
+    def matches(self, metric: str) -> bool:
+        return fnmatchcase(metric, self.pattern)
+
+    def observe(self, metric: str, tick: float, value: float) -> HealthEvent | None:
+        if not self.matches(metric):
+            return None
+        self.evaluated += 1
+        state = self._state.get(metric)
+        if state is None:
+            state = self._initial_state()
+            self._state[metric] = state
+        window = tick - state["last_tick"] if state["seen"] else 0.0
+        event = self._step(metric, tick, value, window, state)
+        state["last_tick"] = tick
+        state["seen"] = 1.0
+        return event
+
+    def _initial_state(self) -> dict[str, float]:
+        return {"last_tick": 0.0, "seen": 0.0}
+
+    def _step(
+        self,
+        metric: str,
+        tick: float,
+        value: float,
+        window: float,
+        state: dict[str, float],
+    ) -> HealthEvent | None:
+        raise NotImplementedError
+
+
+class ThresholdRule(HealthRule):
+    """Fire when the value reaches ``high``; re-arm below ``clear``."""
+
+    kind = "threshold"
+
+    def __init__(
+        self,
+        alarm: str,
+        pattern: str,
+        *,
+        high: float,
+        clear: float | None = None,
+        severity: Severity = Severity.WARNING,
+    ) -> None:
+        super().__init__(alarm, pattern, severity=severity)
+        self.high = float(high)
+        self.clear = float(clear) if clear is not None else float(high)
+        if self.clear > self.high:
+            raise ValueError("clear level must not exceed high level")
+
+    def _initial_state(self) -> dict[str, float]:
+        return {"last_tick": 0.0, "seen": 0.0, "armed": 1.0}
+
+    def _step(self, metric, tick, value, window, state):
+        if state["armed"] and value >= self.high:
+            state["armed"] = 0.0
+            return HealthEvent(
+                alarm=self.alarm,
+                rule=self.kind,
+                metric=metric,
+                tick=tick,
+                observed=value,
+                expected=self.high,
+                severity=self.severity,
+                window=window,
+                detail=f"level {value:g} crossed high {self.high:g}",
+            )
+        if not state["armed"] and value < self.clear:
+            state["armed"] = 1.0  # hysteresis: re-arm only below clear
+        return None
+
+
+class RateRule(HealthRule):
+    """Fire on a per-sample change of at least ``min_delta``.
+
+    Built for cumulative counters that are *exactly flat* on healthy
+    runs (spills, budget overruns, fabric drops, live-rank count): the
+    first sample establishes the baseline, any subsequent movement in
+    the watched direction is by definition a fault signature, so the
+    alarm fires at the **first sample where the change is visible** —
+    at most one sampling interval after the underlying counter moved.
+    Edge-triggered: a counter still climbing at the next sample is the
+    same episode and does not re-fire; the episode closes when the
+    series goes flat again.
+    """
+
+    kind = "rate"
+
+    def __init__(
+        self,
+        alarm: str,
+        pattern: str,
+        *,
+        min_delta: float = 1.0,
+        direction: str = "rise",
+        severity: Severity = Severity.WARNING,
+    ) -> None:
+        super().__init__(alarm, pattern, severity=severity)
+        if direction not in ("rise", "fall"):
+            raise ValueError(f"direction must be 'rise' or 'fall', got {direction!r}")
+        if min_delta <= 0:
+            raise ValueError("min_delta must be positive")
+        self.min_delta = float(min_delta)
+        self.direction = direction
+
+    def _initial_state(self) -> dict[str, float]:
+        return {"last_tick": 0.0, "seen": 0.0, "prev": 0.0, "open": 0.0}
+
+    def _step(self, metric, tick, value, window, state):
+        if not state["seen"]:
+            state["prev"] = value
+            return None
+        delta = value - state["prev"]
+        state["prev"] = value
+        moved = delta >= self.min_delta if self.direction == "rise" else (
+            -delta >= self.min_delta
+        )
+        if moved and not state["open"]:
+            state["open"] = 1.0
+            return HealthEvent(
+                alarm=self.alarm,
+                rule=self.kind,
+                metric=metric,
+                tick=tick,
+                observed=value,
+                expected=value - delta,
+                severity=self.severity,
+                window=window,
+                detail=f"{self.direction} of {abs(delta):g} in {window:g} ticks",
+            )
+        if not moved:
+            state["open"] = 0.0  # flat again: episode over, re-arm
+        return None
+
+
+class DriftRule(HealthRule):
+    """EWMA mean/deviation z-score drift detector.
+
+    Learns an exponentially weighted mean and squared deviation over
+    the first ``warmup`` samples, then flags samples more than ``z``
+    deviations *and* ``min_delta`` absolute above the mean (the
+    ``min_delta`` guard keeps a near-constant series from alarming on
+    numerically tiny wiggles). While violated, samples are *not*
+    folded into the EWMA — an excursion cannot teach the detector
+    that broken is normal — and the episode is edge-triggered like
+    :class:`RateRule`.
+    """
+
+    kind = "drift"
+
+    def __init__(
+        self,
+        alarm: str,
+        pattern: str,
+        *,
+        alpha: float = 0.2,
+        z: float = 4.0,
+        warmup: int = 4,
+        min_delta: float = 1.0,
+        severity: Severity = Severity.WARNING,
+    ) -> None:
+        super().__init__(alarm, pattern, severity=severity)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self.z = float(z)
+        self.warmup = int(warmup)
+        self.min_delta = float(min_delta)
+
+    def _initial_state(self) -> dict[str, float]:
+        return {
+            "last_tick": 0.0,
+            "seen": 0.0,
+            "mean": 0.0,
+            "var": 0.0,
+            "count": 0.0,
+            "open": 0.0,
+        }
+
+    def _step(self, metric, tick, value, window, state):
+        if state["count"] < self.warmup:
+            # Learning phase: fold in unconditionally, never fire.
+            self._fold(state, value)
+            state["count"] += 1
+            return None
+        deviation = value - state["mean"]
+        sigma = math.sqrt(state["var"])
+        violating = deviation > self.min_delta and deviation > self.z * max(
+            sigma, 1e-12
+        )
+        if violating:
+            event = None
+            if not state["open"]:
+                state["open"] = 1.0
+                event = HealthEvent(
+                    alarm=self.alarm,
+                    rule=self.kind,
+                    metric=metric,
+                    tick=tick,
+                    observed=value,
+                    expected=state["mean"],
+                    severity=self.severity,
+                    window=window,
+                    detail=(
+                        f"drift {deviation:g} above EWMA mean {state['mean']:g} "
+                        f"(sigma {sigma:g}, z>{self.z:g})"
+                    ),
+                )
+            return event  # violating samples are not folded in
+        state["open"] = 0.0
+        self._fold(state, value)
+        state["count"] += 1
+        return None
+
+    def _fold(self, state: dict[str, float], value: float) -> None:
+        if state["count"] == 0:
+            state["mean"] = value
+            state["var"] = 0.0
+            return
+        deviation = value - state["mean"]
+        state["mean"] += self.alpha * deviation
+        state["var"] = (1.0 - self.alpha) * (
+            state["var"] + self.alpha * deviation * deviation
+        )
+
+
+#: The default alarm taxonomy: name -> (watched series, fault lane it
+#: detects, detection bound in sampling intervals). Mirrors TESTING.md's
+#: failure taxonomy; every entry is exercised by a chaos health lane.
+ALARM_TAXONOMY: dict[str, tuple[str, str, int]] = {
+    "spill-storm": ("engine.spills", "spill lane (receive exhaustion)", 1),
+    "overload": ("pressure.level", "overload lane (DPA budget)", 1),
+    "budget-overrun": ("pressure.overruns", "overload lane (DPA budget)", 1),
+    "pressure-onset": ("pressure.entries", "overload lane (DPA budget)", 1),
+    "budget-evictions": ("pressure.evictions", "overload lane (DPA budget)", 1),
+    "link-flap": ("net.fabric.dropped", "link-flap lane (fabric faults)", 1),
+    "rank-down": ("ranks.live", "rank-kill lane (fail-stop)", 1),
+    "wire-fault-storm": ("faults.injected", "wire-fault lanes", 1),
+}
+
+
+def default_rules() -> list[HealthRule]:
+    """The standard alarm set over the standard stack probes.
+
+    Every watched series is **exactly flat** (or, for
+    ``pressure.level``, bounded well under the threshold) on clean
+    seeded runs, which is what makes the zero-false-alarm guarantee
+    provable rather than probabilistic; see TESTING.md.
+    """
+    return [
+        RateRule(
+            "spill-storm",
+            "*engine.spills",
+            severity=Severity.CRITICAL,
+        ),
+        ThresholdRule(
+            "overload",
+            "*pressure.level",
+            high=0.85,
+            clear=0.60,
+            severity=Severity.WARNING,
+        ),
+        RateRule(
+            "budget-overrun",
+            "*pressure.overruns",
+            severity=Severity.CRITICAL,
+        ),
+        RateRule(
+            "pressure-onset",
+            "*pressure.entries",
+            severity=Severity.WARNING,
+        ),
+        RateRule(
+            "budget-evictions",
+            "*pressure.evictions",
+            severity=Severity.WARNING,
+        ),
+        RateRule(
+            "link-flap",
+            "*net.fabric.dropped",
+            severity=Severity.CRITICAL,
+        ),
+        RateRule(
+            "rank-down",
+            "*ranks.live",
+            direction="fall",
+            severity=Severity.CRITICAL,
+        ),
+        # Drift, not rate, on the injector counter: a single injected
+        # fault is routine for a fault lane, a *drift* of the counter
+        # past its learned envelope is a storm. rc.retransmits is
+        # deliberately unwatched — a healthy-but-busy wire retransmits
+        # legitimately on timer, so that series cannot carry a
+        # zero-false-alarm guarantee.
+        DriftRule(
+            "wire-fault-storm",
+            "*faults.injected",
+            warmup=4,
+            min_delta=4.0,
+            severity=Severity.WARNING,
+        ),
+    ]
+
+
+@dataclass
+class HealthReport:
+    """A run's health verdict: fired events + quiet-rule evidence."""
+
+    events: list[HealthEvent] = field(default_factory=list)
+    rules: list[dict] = field(default_factory=list)  # name/kind/pattern/evaluated/fired
+    ticks: int = 0
+
+    SCHEMA = HEALTH_SCHEMA
+
+    @property
+    def healthy(self) -> bool:
+        return not self.events
+
+    @property
+    def worst(self) -> Severity | None:
+        return max((e.severity for e in self.events), default=None)
+
+    def alarms(self) -> set[str]:
+        return {e.alarm for e in self.events}
+
+    def to_dict(self) -> dict:
+        return {
+            "healthy": self.healthy,
+            "ticks": self.ticks,
+            "events": [e.to_dict() for e in self.events],
+            "rules": list(self.rules),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HealthReport":
+        report = cls(
+            events=[HealthEvent.from_dict(e) for e in payload.get("events", ())],
+            rules=[dict(r) for r in payload.get("rules", ())],
+            ticks=int(payload.get("ticks", 0)),
+        )
+        return report
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(
+            {"schema": self.SCHEMA, **self.to_dict()}, indent=indent
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "HealthReport":
+        payload = json.loads(text)
+        schema = payload.get("schema", cls.SCHEMA)
+        if schema != cls.SCHEMA:
+            raise ValueError(f"unsupported schema {schema!r}, expected {cls.SCHEMA!r}")
+        return cls.from_dict(payload)
+
+    def render(self) -> str:
+        lines = []
+        verdict = "HEALTHY" if self.healthy else f"UNHEALTHY ({self.worst.name})"
+        lines.append(f"health: {verdict} over {self.ticks} sampling rounds")
+        for event in self.events:
+            lines.append(f"  {event.describe()}")
+        quiet = [r for r in self.rules if not r["fired"]]
+        if quiet:
+            names = ", ".join(sorted({r["alarm"] for r in quiet}))
+            lines.append(f"  quiet rules: {names}")
+        return "\n".join(lines)
+
+
+class HealthMonitor:
+    """Evaluates a rule set over samples, streaming or post hoc.
+
+    Attach to a live sampler (:meth:`attach`) to see every sample the
+    moment it is taken — events then also flow to the optional tracer
+    (instant events on a ``health`` track) and flight recorder
+    (ledger ``health_alarm`` events) so alarms land in the same
+    artifacts the rest of the stack explains itself through. Or run
+    :meth:`scan` over a finished :class:`~repro.obs.timeline.Timeline`
+    to audit a dump offline (the CLI path).
+    """
+
+    def __init__(
+        self,
+        rules: list[HealthRule] | None = None,
+        *,
+        tracer=None,
+        recorder=None,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.events: list[HealthEvent] = []
+        self._tracer = tracer
+        self._track = None
+        self._recorder = recorder
+        self._ticks = 0
+
+    def attach(self, sampler) -> "HealthMonitor":
+        """Subscribe to a live sampler's sample stream."""
+        sampler.add_listener(self.observe)
+        return self
+
+    def observe(self, metric: str, tick: float, value: float) -> None:
+        for rule in self.rules:
+            event = rule.observe(metric, tick, value)
+            if event is not None:
+                self._emit(event)
+
+    def scan(self, timeline) -> "HealthMonitor":
+        """Evaluate the rules over a finished timeline, in tick order
+        (the order samples were taken in, reconstructed by sorting on
+        tick with the series name as a stable tiebreak)."""
+        merged: list[tuple[float, str, float]] = []
+        for name, series in timeline.series.items():
+            for tick, value in series.samples:
+                merged.append((tick, name, value))
+        merged.sort(key=lambda item: (item[0], item[1]))
+        for tick, name, value in merged:
+            self.observe(name, tick, value)
+        self._ticks = max(self._ticks, timeline.ticks)
+        return self
+
+    def note_tick(self) -> None:
+        self._ticks += 1
+
+    def _emit(self, event: HealthEvent) -> None:
+        self.events.append(event)
+        if self._tracer is not None and self._tracer.enabled:
+            if self._track is None:
+                self._track = self._tracer.track("health", "alarms")
+            self._tracer.instant(
+                self._track,
+                event.alarm,
+                event.tick,
+                cat="health",
+                args={
+                    "metric": event.metric,
+                    "observed": event.observed,
+                    "expected": event.expected,
+                    "severity": event.severity.name,
+                },
+            )
+        if self._recorder is not None and self._recorder.enabled:
+            self._recorder.event(
+                "health_alarm",
+                alarm=event.alarm,
+                metric=event.metric,
+                tick=event.tick,
+                observed=event.observed,
+                severity=event.severity.name,
+            )
+
+    def report(self, *, ticks: int | None = None) -> HealthReport:
+        per_rule = []
+        for rule in self.rules:
+            fired_count = sum(1 for e in self.events if e.alarm == rule.alarm)
+            per_rule.append(
+                {
+                    "alarm": rule.alarm,
+                    "kind": rule.kind,
+                    "pattern": rule.pattern,
+                    "evaluated": rule.evaluated,
+                    "fired": fired_count,
+                }
+            )
+        return HealthReport(
+            events=list(self.events),
+            rules=per_rule,
+            ticks=ticks if ticks is not None else self._ticks,
+        )

@@ -26,6 +26,13 @@ guard sites a message crosses end to end, divided by the measured
 per-message pipeline time. Disabled-vs-enabled wall timings ride along
 as context (the enabled recorder is allowed to cost; the gate is on
 the disabled path).
+
+``--sampler`` applies the same dispatch-bound method to the timeline
+sampler (:mod:`repro.obs.timeline`): hot loops guard on
+``sampler.enabled``, a class attribute on :class:`NullSampler`, so the
+disabled path allocates nothing and costs one attribute read per
+guard site per round. The bound is guard cost x guard sites per
+round, over the measured per-round pipeline time.
 """
 
 from __future__ import annotations
@@ -41,7 +48,12 @@ from repro.core.envelope import MessageEnvelope, ReceiveRequest
 from repro.obs.probe import active as probes_active
 from repro.obs.probe import probe as probe_decorator
 
-__all__ = ["run_ledger_overhead_bench", "run_overhead_bench", "main"]
+__all__ = [
+    "run_ledger_overhead_bench",
+    "run_overhead_bench",
+    "run_sampler_overhead_bench",
+    "main",
+]
 
 N_MESSAGES = 256
 
@@ -176,6 +188,68 @@ def run_ledger_overhead_bench(*, rounds: int = 6, repeat: int = 5) -> dict:
     }
 
 
+def _sampler_guard_ns(repeat: int, calls: int = 200_000) -> float:
+    """Nanoseconds one ``sampler.enabled`` guard costs when disabled."""
+    from repro.obs.timeline import NULL_SAMPLER
+
+    sampler = NULL_SAMPLER
+
+    def baseline() -> None:
+        for _ in range(calls):
+            pass
+
+    def guarded() -> None:
+        for _ in range(calls):
+            if sampler.enabled:  # pragma: no cover - class attr is False
+                raise AssertionError("NullSampler reported enabled")
+
+    t_base = _best_of(baseline, repeat)
+    t_guarded = _best_of(guarded, repeat)
+    return max(t_guarded - t_base, 0.0) / calls * 1e9
+
+
+#: Deliberate overcount of ``sampler.enabled`` guard sites one pipeline
+#: round crosses (harness install + per-round poll, cluster per-round
+#: poll, final sample) — unlike the ledger, sampling guards are
+#: per-*round*, not per-message, so the disabled cost amortizes over
+#: every message in the round.
+SAMPLER_GUARDS_PER_ROUND = 4
+
+
+def run_sampler_overhead_bench(*, rounds: int = 6, repeat: int = 5) -> dict:
+    """Measure the disabled timeline-sampler overhead bound.
+
+    ``overhead_fraction`` is the asserted number: guard dispatch cost
+    x guard sites per round, as a fraction of the measured per-round
+    pipeline time with the sampler disabled (``NULL_SAMPLER``, the
+    default). The disabled path holds no ring buffers and appends no
+    samples — the guard read is its entire footprint.
+    """
+    from repro.chaos.harness import ChaosConfig, run_chaos
+    from repro.obs.timeline import TimelineSampler
+
+    config = ChaosConfig(seed=3, rounds=rounds)
+    run_chaos(config)  # warm-up
+    t_disabled = _best_of(lambda: run_chaos(config), repeat)
+    t_enabled = _best_of(
+        lambda: run_chaos(config, sampler=TimelineSampler(interval=0.0)), repeat
+    )
+    guard_ns = _sampler_guard_ns(repeat)
+    per_round = t_disabled / max(rounds, 1)
+    bound = guard_ns * 1e-9 * SAMPLER_GUARDS_PER_ROUND / per_round
+    return {
+        "benchmark": "obs-sampler-disabled-overhead",
+        "workload": {"rounds": rounds, "repeat": repeat},
+        "disabled_seconds": t_disabled,
+        "enabled_seconds": t_enabled,
+        "enabled_overhead_fraction": t_enabled / t_disabled - 1.0,
+        "guard_dispatch_ns": guard_ns,
+        "guards_per_round": SAMPLER_GUARDS_PER_ROUND,
+        "per_round_seconds": per_round,
+        "overhead_fraction": bound,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=8, help="engine runs per timing")
@@ -195,15 +269,38 @@ def main(argv: list[str] | None = None) -> int:
         "dispatch bound over the chaos pipeline instead of the probe "
         "overhead",
     )
+    parser.add_argument(
+        "--sampler",
+        action="store_true",
+        help="measure the disabled timeline-sampler (NullSampler) "
+        "dispatch bound over the chaos pipeline instead of the probe "
+        "overhead",
+    )
     args = parser.parse_args(argv)
+    if args.ledger and args.sampler:
+        print("--ledger and --sampler are mutually exclusive", file=sys.stderr)
+        return 2
     if args.ledger:
         result = run_ledger_overhead_bench(
+            rounds=min(args.rounds, 8), repeat=args.repeat
+        )
+    elif args.sampler:
+        result = run_sampler_overhead_bench(
             rounds=min(args.rounds, 8), repeat=args.repeat
         )
     else:
         result = run_overhead_bench(rounds=args.rounds, repeat=args.repeat)
     if args.json:
         print(json.dumps(result, indent=2))
+    elif args.sampler:
+        print(
+            f"disabled: {result['disabled_seconds'] * 1e3:.1f} ms | "
+            f"enabled: {result['enabled_seconds'] * 1e3:.1f} ms "
+            f"({result['enabled_overhead_fraction'] * 100:+.1f}%) | "
+            f"guard: {result['guard_dispatch_ns']:.0f} ns x "
+            f"{result['guards_per_round']}/round | "
+            f"disabled bound: {result['overhead_fraction'] * 100:.4f}%"
+        )
     elif args.ledger:
         print(
             f"disabled: {result['disabled_seconds'] * 1e3:.1f} ms | "
@@ -224,7 +321,11 @@ def main(argv: list[str] | None = None) -> int:
         args.assert_max_overhead is not None
         and result["overhead_fraction"] > args.assert_max_overhead
     ):
-        what = "flight-recorder" if args.ledger else "disabled-tracer"
+        what = (
+            "flight-recorder"
+            if args.ledger
+            else "timeline-sampler" if args.sampler else "disabled-tracer"
+        )
         print(
             f"FAIL: {what} overhead {result['overhead_fraction']:.3f} "
             f"exceeds budget {args.assert_max_overhead:.3f}",

@@ -4,12 +4,17 @@ Usage::
 
     PYTHONPATH=src python -m repro.obs.report metrics.json
     PYTHONPATH=src python -m repro.obs.report metrics.json --match engine
+    PYTHONPATH=src python -m repro.obs.report metrics.json --delta base.json
 
 Counters and gauges group by dotted prefix and render as labelled
 horizontal bars (:func:`repro.util.asciiplot.hbar_chart`); histograms
 are detected by their ``_bucket{le=...}`` samples and render one bar
 per bucket, which is the closest a terminal gets to Figure-style
 distribution plots.
+
+``--delta BASELINE.json`` renders :meth:`MetricsSnapshot.delta`
+instead — what changed between the baseline snapshot and this one
+(zero-change samples are dropped so the report shows only movement).
 """
 
 from __future__ import annotations
@@ -135,12 +140,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("path", type=Path, help="metrics JSON written by --metrics-out")
     parser.add_argument("--width", type=int, default=40, help="bar width in cells")
     parser.add_argument("--match", default=None, help="only metrics containing this substring")
+    parser.add_argument(
+        "--delta",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="render the change since this earlier snapshot instead",
+    )
     args = parser.parse_args(argv)
     try:
         snapshot = MetricsSnapshot.from_json(args.path.read_text())
     except (OSError, ValueError) as exc:
         print(f"error: cannot read metrics from {args.path}: {exc}", file=sys.stderr)
         return 2
+    if args.delta is not None:
+        try:
+            baseline = MetricsSnapshot.from_json(args.delta.read_text())
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: cannot read metrics from {args.delta}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        changed = snapshot.delta(baseline)
+        snapshot = MetricsSnapshot(
+            {k: v for k, v in changed.values.items() if v != 0.0}
+        )
+        if not snapshot.values:
+            print("(no change)")
+            return 0
     try:
         print(render_metrics(snapshot, width=args.width, match=args.match))
     except BrokenPipeError:  # e.g. piped into `head`

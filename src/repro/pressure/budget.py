@@ -311,3 +311,22 @@ class PressureMeter:
             "under_pressure": 1.0 if self.under_pressure else 0.0,
             **{f"account.{name}": float(v) for name, v in self.accounts.items()},
         }
+
+    def timeline_probes(self) -> dict:
+        """Live gauge probes for the timeline sampler.
+
+        ``level``/``charged``/``under_pressure`` are instantaneous
+        occupancy gauges; the rest are cumulative enforcement counters
+        (exactly flat on runs that never hit the budget — the health
+        layer's zero-false-alarm basis).
+        """
+        return {
+            "level": self.level,
+            "charged": lambda: float(self.charged),
+            "under_pressure": lambda: 1.0 if self.under_pressure else 0.0,
+            "entries": lambda: float(self.stats.pressure_entries),
+            "overruns": lambda: float(self.stats.budget_overruns),
+            "demotions": lambda: float(self.stats.demotions),
+            "evictions": lambda: float(self.stats.evictions),
+            "takeovers": lambda: float(self.stats.takeovers),
+        }

@@ -44,6 +44,7 @@ from repro.net.cluster import ClusterSim, ClusterStall
 from repro.net.placement import Placement, placement_by_name
 from repro.net.routing import RouteTable
 from repro.net.topology import Topology, topology_by_name
+from repro.obs.timeline import NULL_SAMPLER
 from repro.rdma.reliability import TransportError
 from repro.resilience.errors import RankFailedError
 from repro.resilience.faults import RankFaultInjector, RankFaultPlan
@@ -217,6 +218,10 @@ class _EpochSim(ClusterSim):
 
     def _rank_active(self, node) -> bool:
         return node.rank not in self.dead_local
+
+    def _sample_tick(self) -> float:
+        # Keep the shared timeline monotone across epoch rebuilds.
+        return float(self.offset + self.fabric.clock)
 
     def _kill(self, world_rank: int) -> None:
         local = self.index[world_rank]
@@ -491,6 +496,17 @@ class ResilientClusterSim:
         self._routes = RouteTable(topology)
         #: Committed epochs' flight-recorder exports, in commit order.
         self.ledgers: list = []
+        self.sampler = NULL_SAMPLER
+
+    def attach_sampler(self, sampler) -> None:
+        """Sample every epoch onto one continuous timeline.
+
+        Each epoch re-installs its probes over the same series names
+        (probe replacement is the sampler's contract), and epochs
+        stamp samples at ``offset + fabric.clock`` so the series stay
+        monotone across aborts and rebuilds — ``ranks.live`` visibly
+        steps down at a kill and back up on respawn."""
+        self.sampler = sampler
 
     # -- control-plane pricing (agreement) -------------------------------
 
@@ -539,6 +555,8 @@ class ResilientClusterSim:
             matcher_factory=factory,
             record=self.record,
         )
+        if self.sampler.enabled:
+            epoch.attach_sampler(self.sampler)
         index = {world: local for local, world in enumerate(group)}
         for local, world in enumerate(group):
             if world in stale:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["hbar_chart", "grouped_bars", "depth_series"]
+__all__ = ["hbar_chart", "grouped_bars", "depth_series", "spark_series"]
 
 _BLOCKS = " ▏▎▍▌▋▊▉█"
 
@@ -104,4 +104,46 @@ def depth_series(
             bar = _bar(depth, maximum, width)
             cells.append(f"│{bar:<{width}}│{depth:6.2f}")
         lines.append(f"{name:<{label_width}}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def spark_series(
+    rows: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+) -> str:
+    """One sparkline per named time series (the timeline renderer).
+
+    Each row is scaled to its own min/max (dynamics, not magnitudes —
+    the trailing ``min..max`` range carries the scale); series longer
+    than ``width`` are downsampled by taking the max of each chunk so
+    short spikes stay visible.
+    """
+    if not rows:
+        return "(no data)"
+    label_width = max(len(name) for name in rows)
+    lines = []
+    for name in rows:
+        values = [float(v) for v in rows[name]]
+        if not values:
+            lines.append(f"{name:<{label_width}}  (no samples)")
+            continue
+        if len(values) > width:
+            chunk = len(values) / width
+            values = [
+                max(values[int(i * chunk): max(int((i + 1) * chunk), int(i * chunk) + 1)])
+                for i in range(width)
+            ]
+        low, high = min(values), max(values)
+        span = high - low
+        if span <= 0:
+            spark = _SPARKS[0] * len(values)
+        else:
+            spark = "".join(
+                _SPARKS[int((v - low) / span * (len(_SPARKS) - 1))] for v in values
+            )
+        lines.append(f"{name:<{label_width}}  {spark}  {low:g}..{high:g}")
     return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Health rules engine: rule semantics, detection bounds, reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.health import (
+    ALARM_TAXONOMY,
+    DriftRule,
+    HealthMonitor,
+    HealthReport,
+    RateRule,
+    Severity,
+    ThresholdRule,
+    default_rules,
+)
+from repro.obs.timeline import Timeline, TimelineSampler
+
+
+class TestThresholdRule:
+    def test_fires_on_crossing_with_hysteresis(self):
+        rule = ThresholdRule("overload", "pressure.level", high=0.8, clear=0.5)
+        ticks = [
+            (0, 0.2, False),
+            (1, 0.9, True),  # crossing fires
+            (2, 0.95, False),  # still high: same episode
+            (3, 0.7, False),  # below high but above clear: not re-armed
+            (4, 0.9, False),  # oscillation across high alone cannot re-fire
+            (5, 0.4, False),  # below clear: re-arms
+            (6, 0.85, True),  # second genuine episode
+        ]
+        for tick, value, expect in ticks:
+            event = rule.observe("pressure.level", float(tick), value)
+            assert (event is not None) == expect, (tick, value)
+
+    def test_clear_must_not_exceed_high(self):
+        with pytest.raises(ValueError):
+            ThresholdRule("x", "*", high=0.5, clear=0.9)
+
+    def test_pattern_mismatch_is_not_evaluated(self):
+        rule = ThresholdRule("overload", "pressure.*", high=1.0)
+        assert rule.observe("engine.spills", 0.0, 99.0) is None
+        assert rule.evaluated == 0
+
+
+class TestRateRule:
+    def test_edge_triggered_episodes(self):
+        rule = RateRule("spill-storm", "engine.spills")
+        assert rule.observe("engine.spills", 0.0, 0.0) is None  # baseline
+        assert rule.observe("engine.spills", 1.0, 0.0) is None  # flat
+        event = rule.observe("engine.spills", 2.0, 3.0)  # first rise fires
+        assert event is not None and event.alarm == "spill-storm"
+        assert event.observed == 3.0 and event.expected == 0.0
+        assert event.window == 1.0  # detection within one interval
+        assert rule.observe("engine.spills", 3.0, 5.0) is None  # still climbing
+        assert rule.observe("engine.spills", 4.0, 5.0) is None  # flat re-arms
+        assert rule.observe("engine.spills", 5.0, 6.0) is not None  # new episode
+
+    def test_fall_direction(self):
+        rule = RateRule("rank-down", "ranks.live", direction="fall")
+        assert rule.observe("ranks.live", 0.0, 8.0) is None
+        assert rule.observe("ranks.live", 1.0, 8.0) is None
+        event = rule.observe("ranks.live", 2.0, 7.0)
+        assert event is not None
+        assert rule.observe("ranks.live", 3.0, 9.0) is None  # rises don't fire
+
+    def test_min_delta_filters_noise(self):
+        rule = RateRule("x", "*", min_delta=5.0)
+        rule.observe("m", 0.0, 0.0)
+        assert rule.observe("m", 1.0, 4.0) is None
+        assert rule.observe("m", 2.0, 10.0) is not None
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            RateRule("x", "*", direction="sideways")
+        with pytest.raises(ValueError):
+            RateRule("x", "*", min_delta=0.0)
+
+
+class TestDriftRule:
+    def test_learns_then_flags_excursion(self):
+        rule = DriftRule("storm", "faults.injected", warmup=4, min_delta=2.0)
+        for tick in range(4):  # learning: never fires
+            assert rule.observe("faults.injected", float(tick), 1.0) is None
+        assert rule.observe("faults.injected", 4.0, 1.0) is None  # on-mean
+        event = rule.observe("faults.injected", 5.0, 50.0)
+        assert event is not None and event.rule == "drift"
+
+    def test_excursion_not_folded_into_ewma(self):
+        # A sustained excursion must not teach the detector that broken
+        # is normal: after the episode ends, a *second* excursion of the
+        # same size must still register as a violation.
+        rule = DriftRule("storm", "*", warmup=4, min_delta=2.0)
+        for tick in range(5):
+            rule.observe("m", float(tick), 10.0)
+        assert rule.observe("m", 5.0, 100.0) is not None  # fires
+        for tick in range(6, 16):  # holds at the broken level: no folding
+            assert rule.observe("m", float(tick), 100.0) is None
+        state = rule._state["m"]
+        assert state["mean"] == pytest.approx(10.0)  # mean unmoved
+        rule.observe("m", 16.0, 10.0)  # recovery closes the episode
+        assert rule.observe("m", 17.0, 100.0) is not None  # re-detects
+
+    def test_min_delta_guards_tiny_wiggles(self):
+        rule = DriftRule("storm", "*", warmup=3, min_delta=5.0)
+        for tick in range(4):
+            rule.observe("m", float(tick), 0.0)
+        # Zero-variance series: a small absolute bump is infinite sigmas
+        # away but under min_delta, so it must not alarm.
+        assert rule.observe("m", 4.0, 1.0) is None
+        assert rule.observe("m", 5.0, 10.0) is not None
+
+
+class TestMonitor:
+    def _timeline(self, samples):
+        timeline = Timeline()
+        for name, tick, value in samples:
+            timeline.record(name, float(tick), float(value))
+        timeline.ticks = len({t for _, t, _ in samples})
+        return timeline
+
+    def test_scan_detects_within_one_interval(self):
+        samples = [
+            ("engine.spills", 0, 0),
+            ("engine.spills", 1, 0),
+            ("engine.spills", 2, 4),
+            ("pressure.level", 0, 0.1),
+            ("pressure.level", 1, 0.9),
+            ("pressure.level", 2, 0.9),
+        ]
+        scanned = HealthMonitor(default_rules()).scan(self._timeline(samples))
+        assert {e.alarm for e in scanned.events} == {"spill-storm", "overload"}
+        spill = next(e for e in scanned.events if e.alarm == "spill-storm")
+        # Detection bound: the alarm lands on the first sample after
+        # the counter moved — within one sampling interval.
+        assert spill.tick == 2.0 and spill.window == 1.0
+        bound = ALARM_TAXONOMY["spill-storm"][2]
+        assert spill.window <= bound * 1.0
+
+    def test_attach_sees_live_samples(self):
+        sampler = TimelineSampler()
+        monitor = HealthMonitor(default_rules()).attach(sampler)
+        spills = {"n": 0.0}
+        sampler.add_probe("engine.spills", lambda: spills["n"])
+        sampler.sample(0.0)  # baseline
+        spills["n"] = 5.0
+        sampler.sample(1.0)  # counter moved: streamed alarm fires now
+        assert {e.alarm for e in monitor.events} == {"spill-storm"}
+        assert monitor.events[0].tick == 1.0
+
+    def test_clean_series_zero_events_all_rules_evaluated(self):
+        samples = []
+        for tick in range(6):
+            samples += [
+                ("engine.spills", tick, 0),
+                ("pressure.level", tick, 0.2),
+                ("pressure.overruns", tick, 0),
+                ("pressure.entries", tick, 0),
+                ("pressure.evictions", tick, 0),
+                ("net.fabric.dropped", tick, 0),
+                ("ranks.live", tick, 8),
+                ("faults.injected", tick, 0),
+            ]
+        monitor = HealthMonitor(default_rules()).scan(self._timeline(samples))
+        report = monitor.report()
+        assert report.healthy
+        # The quiet verdict is evidence, not absence: every rule saw data.
+        assert all(r["evaluated"] > 0 for r in report.rules)
+        assert all(r["fired"] == 0 for r in report.rules)
+
+    def test_events_flow_to_tracer_and_recorder(self):
+        from repro.obs.ledger import FlightRecorder
+        from repro.obs.trace import SpanTracer
+
+        tracer = SpanTracer()
+        recorder = FlightRecorder()
+        monitor = HealthMonitor(
+            [RateRule("spill-storm", "engine.spills")],
+            tracer=tracer,
+            recorder=recorder,
+        )
+        monitor.observe("engine.spills", 0.0, 0.0)
+        monitor.observe("engine.spills", 1.0, 2.0)
+        instants = [e for e in tracer.events if e.get("ph") == "i"]
+        assert any(e["name"] == "spill-storm" for e in instants)
+        assert any(name == "health_alarm" for _, name, _ in recorder.events)
+
+
+class TestReport:
+    def test_round_trip_and_render(self):
+        monitor = HealthMonitor(default_rules())
+        monitor.observe("engine.spills", 0.0, 0.0)
+        monitor.observe("engine.spills", 1.0, 3.0)
+        report = monitor.report(ticks=2)
+        assert not report.healthy
+        assert report.worst == Severity.CRITICAL
+        assert report.alarms() == {"spill-storm"}
+        clone = HealthReport.from_json(report.to_json())
+        assert clone.to_dict() == report.to_dict()
+        text = report.render()
+        assert "UNHEALTHY (CRITICAL)" in text and "spill-storm" in text
+
+    def test_schema_checked(self):
+        payload = json.loads(HealthMonitor([]).report().to_json())
+        payload["schema"] = "bogus"
+        with pytest.raises(ValueError, match="unsupported schema"):
+            HealthReport.from_json(json.dumps(payload))
+
+    def test_taxonomy_covers_default_rules(self):
+        alarms = {rule.alarm for rule in default_rules()}
+        assert alarms == set(ALARM_TAXONOMY)
+        for rule in default_rules():
+            series, _, bound = ALARM_TAXONOMY[rule.alarm]
+            assert rule.matches(series), (rule.alarm, series)
+            assert bound >= 1

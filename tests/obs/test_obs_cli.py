@@ -27,8 +27,9 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "scenario cli:" in out and "p99" in out
 
-    def test_attribution_scenario_miss_fails(self, ledger_path, capsys):
-        assert main(["attribution", str(ledger_path), "--scenario", "nope"]) == 1
+    def test_attribution_scenario_miss_is_usage_error(self, ledger_path, capsys):
+        # Nothing to analyze is an input problem (2), not a violation (1).
+        assert main(["attribution", str(ledger_path), "--scenario", "nope"]) == 2
         assert "no matching scenarios" in capsys.readouterr().err
 
     def test_critical_path_ok(self, ledger_path, capsys):
@@ -36,10 +37,10 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "conserved" in out and "NOT CONSERVED" not in out
 
-    def test_critical_path_empty_ledger_fails(self, tmp_path, capsys):
+    def test_critical_path_empty_ledger_is_usage_error(self, tmp_path, capsys):
         empty = tmp_path / "empty.json"
         empty.write_text(LedgerDump().to_json())
-        assert main(["critical-path", str(empty)]) == 1
+        assert main(["critical-path", str(empty)]) == 2
         assert "no chains" in capsys.readouterr().err
 
     def test_flows_writes_valid_trace(self, ledger_path, tmp_path):

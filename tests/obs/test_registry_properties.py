@@ -1,0 +1,119 @@
+"""Histogram quantile edge cases and snapshot-merge algebra.
+
+The timeline/health layer leans on two registry contracts: quantiles
+stay well-defined at the edges (empty, one bucket, mass in the +inf
+overflow), and :meth:`MetricsSnapshot.merge` is a commutative monoid
+so shard-and-combine aggregation is order-independent — including for
+labelled families, whose labels fold into the flat sample names.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.obs.registry import Histogram, MetricsRegistry, MetricsSnapshot
+
+
+class TestQuantileEdges:
+    def test_empty_histogram_reports_zero(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.quantile(q) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        hist = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        hist = Histogram("h", buckets=(10.0,))
+        for _ in range(4):
+            hist.observe(5.0)
+        # All mass in [0, 10]: median interpolates to the midpoint.
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+    def test_overflow_mass_clamps_to_highest_finite_bound(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(100.0)  # all samples beyond every finite bound
+        # Rank lands in the +inf bucket; the estimate clamps rather
+        # than reporting infinity.
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(0.99) == 2.0
+
+    def test_mixed_mass_with_overflow_tail(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(0.5)
+        hist.observe(100.0)
+        assert hist.quantile(0.5) <= 1.0  # median inside the first bucket
+        assert hist.quantile(1.0) == 2.0  # tail clamps
+
+    def test_quantile_monotone_in_q(self):
+        rng = random.Random(7)
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0, 16.0))
+        for _ in range(200):
+            hist.observe(rng.uniform(0, 20))
+        qs = [i / 20 for i in range(21)]
+        estimates = [hist.quantile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
+
+def _snapshot(seed: int, names: tuple[str, ...]) -> MetricsSnapshot:
+    rng = random.Random(seed)
+    registry = MetricsRegistry()
+    counter = registry.counter("events", "e")
+    hist = registry.histogram("lat", "l", buckets=(1.0, 4.0, 16.0))
+    for _ in range(rng.randrange(1, 30)):
+        counter.labels(kind=rng.choice(names)).inc(rng.randrange(1, 5))
+        hist.labels(kind=rng.choice(names)).observe(rng.uniform(0, 32))
+    return registry.snapshot()
+
+
+class TestMergeAlgebra:
+    NAMES = ("umq", "prq", "spill")
+
+    def test_associative(self):
+        a, b, c = (_snapshot(s, self.NAMES) for s in (1, 2, 3))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        # The convenience percentile samples are per-snapshot estimates
+        # and explicitly non-additive; the algebra holds for the
+        # additive samples (buckets, counts, sums), which is every key.
+        assert left.values.keys() == right.values.keys()
+        for key in left.values:
+            assert left.values[key] == pytest.approx(right.values[key]), key
+
+    def test_commutative_all_orders(self):
+        parts = [_snapshot(s, self.NAMES) for s in (4, 5, 6)]
+        reference = None
+        for perm in itertools.permutations(parts):
+            merged = MetricsSnapshot()
+            for part in perm:
+                merged = merged.merge(part)
+            if reference is None:
+                reference = merged
+                continue
+            assert merged.values.keys() == reference.values.keys()
+            for key in reference.values:
+                assert merged.values[key] == pytest.approx(
+                    reference.values[key]
+                ), key
+
+    def test_empty_snapshot_is_identity(self):
+        a = _snapshot(9, self.NAMES)
+        empty = MetricsSnapshot()
+        assert empty.merge(a).values == a.values
+        assert a.merge(empty).values == a.values
+
+    def test_delta_inverts_merge(self):
+        a, b = _snapshot(10, self.NAMES), _snapshot(11, self.NAMES)
+        recovered = a.merge(b).delta(a)
+        for key, value in b.values.items():
+            assert recovered.values[key] == pytest.approx(value), key

@@ -1,0 +1,52 @@
+"""``python -m repro.obs.report --delta``: movement between snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsSnapshot
+from repro.obs.report import main
+
+
+@pytest.fixture()
+def pair(tmp_path):
+    base = MetricsSnapshot(
+        {"engine.messages": 100.0, "engine.spills": 2.0, "rc.retransmits": 5.0}
+    )
+    later = MetricsSnapshot(
+        {"engine.messages": 150.0, "engine.spills": 2.0, "rc.retransmits": 9.0}
+    )
+    base_path = tmp_path / "base.json"
+    later_path = tmp_path / "later.json"
+    base_path.write_text(base.to_json())
+    later_path.write_text(later.to_json())
+    return base_path, later_path
+
+
+def test_delta_shows_only_movement(pair, capsys):
+    base_path, later_path = pair
+    assert main([str(later_path), "--delta", str(base_path)]) == 0
+    out = capsys.readouterr().out
+    assert "messages" in out and "retransmits" in out
+    # Unchanged samples are dropped from the delta report.
+    assert "spills" not in out
+
+
+def test_delta_against_self_reports_no_change(pair, capsys):
+    base_path, _ = pair
+    assert main([str(base_path), "--delta", str(base_path)]) == 0
+    assert "(no change)" in capsys.readouterr().out
+
+
+def test_unreadable_baseline_exits_2(pair, tmp_path, capsys):
+    _, later_path = pair
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    assert main([str(later_path), "--delta", str(bad)]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_plain_report_still_works(pair, capsys):
+    base_path, _ = pair
+    assert main([str(base_path)]) == 0
+    assert "engine" in capsys.readouterr().out

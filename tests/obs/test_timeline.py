@@ -1,0 +1,151 @@
+"""Timeline sampler: rings, polling cadence, probes, export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.timeline import (
+    NULL_SAMPLER,
+    NullSampler,
+    Timeline,
+    TimelineSampler,
+    TimeSeries,
+    timeline_to_chrome,
+)
+from repro.obs.validate import validate_chrome_trace
+
+
+class TestTimeSeries:
+    def test_ring_bound_and_drop_count(self):
+        series = TimeSeries("q", capacity=4)
+        for i in range(10):
+            series.append(float(i), float(i * i))
+        assert len(series) == 4
+        assert series.dropped == 6
+        # Newest samples survive, oldest fall off.
+        assert [t for t, _ in series.samples] == [6.0, 7.0, 8.0, 9.0]
+        assert series.last() == (9.0, 81.0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeries("q", capacity=0)
+
+    def test_values_in_order(self):
+        series = TimeSeries("q")
+        series.append(1, 10)
+        series.append(2, 20)
+        assert series.values() == [10.0, 20.0]
+
+
+class TestSamplerCadence:
+    def test_interval_gates_polls(self):
+        sampler = TimelineSampler(interval=10.0)
+        sampler.add_probe("x", lambda: 1.0)
+        assert sampler.poll(0.0)  # first poll always samples
+        assert not sampler.poll(5.0)  # within the period
+        assert not sampler.poll(9.9)
+        assert sampler.poll(10.0)  # period elapsed
+        assert sampler.timeline.ticks == 2
+        assert [t for t, _ in sampler.timeline.series["x"].samples] == [0.0, 10.0]
+
+    def test_zero_interval_samples_every_poll(self):
+        sampler = TimelineSampler(interval=0.0)
+        sampler.add_probe("x", lambda: 0.0)
+        for tick in range(5):
+            assert sampler.poll(float(tick))
+        assert len(sampler.timeline.series["x"]) == 5
+
+    def test_sample_forces_a_round_regardless_of_interval(self):
+        sampler = TimelineSampler(interval=100.0)
+        sampler.add_probe("x", lambda: 7.0)
+        sampler.poll(0.0)
+        sampler.sample(1.0)  # the drivers' final flush
+        assert len(sampler.timeline.series["x"]) == 2
+
+    def test_probe_replacement_continues_the_series(self):
+        # Engine generations re-install probes over the same name; the
+        # series must continue, not fork.
+        sampler = TimelineSampler()
+        sampler.add_probe("depth", lambda: 1.0)
+        sampler.sample(0.0)
+        sampler.add_probe("depth", lambda: 2.0)  # silent replace
+        sampler.sample(1.0)
+        assert sampler.probe_names == ["depth"]
+        assert sampler.timeline.series["depth"].values() == [1.0, 2.0]
+
+    def test_add_probes_prefix(self):
+        sampler = TimelineSampler()
+        sampler.add_probes({"a": lambda: 1.0, "b": lambda: 2.0}, prefix="pressure")
+        assert sampler.probe_names == ["pressure.a", "pressure.b"]
+
+    def test_listener_sees_every_sample(self):
+        sampler = TimelineSampler()
+        seen = []
+        sampler.add_listener(lambda name, tick, value: seen.append((name, tick, value)))
+        sampler.add_probe("x", lambda: 3.0)
+        sampler.sample(5.0)
+        assert seen == [("x", 5.0, 3.0)]
+
+
+class TestTimelineJson:
+    def _filled(self) -> Timeline:
+        timeline = Timeline(interval=2.0, capacity=8)
+        for tick in range(12):  # overflow the ring so dropped > 0
+            timeline.record("a.depth", float(tick), float(tick % 3))
+        timeline.record("b.level", 0.0, 0.5)
+        timeline.ticks = 12
+        return timeline
+
+    def test_round_trip(self):
+        timeline = self._filled()
+        clone = Timeline.from_json(timeline.to_json())
+        assert clone.to_dict() == timeline.to_dict()
+        assert clone.series["a.depth"].dropped == 4
+        assert clone.ticks == 12
+
+    def test_schema_is_checked(self):
+        payload = json.loads(self._filled().to_json())
+        payload["schema"] = "something/else"
+        with pytest.raises(ValueError, match="unsupported schema"):
+            Timeline.from_json(json.dumps(payload))
+
+    def test_render_sparklines(self):
+        out = self._filled().render(width=20)
+        assert "a.depth" in out and "b.level" in out
+        assert self._filled().render(match="nope") == "(no series)"
+
+
+class TestChromeExport:
+    def test_counter_events_validate(self, tmp_path):
+        timeline = Timeline()
+        for tick in range(4):
+            timeline.record("engine.umq_depth", float(tick), float(tick * 2))
+            timeline.record("pressure.level", float(tick), 0.1 * tick)
+        tracer = timeline_to_chrome(timeline)
+        counters = [e for e in tracer.events if e.get("ph") == "C"]
+        assert len(counters) == 8
+        # Counter events are merged in tick order across series.
+        assert [e["ts"] for e in counters] == sorted(e["ts"] for e in counters)
+        out = tmp_path / "trace.json"
+        tracer.write(str(out))
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+
+class TestNullSampler:
+    def test_is_disabled_and_inert(self):
+        assert NullSampler.enabled is False
+        assert TimelineSampler.enabled is True
+        sampler = NullSampler()
+        sampler.add_probe("x", lambda: 1.0)
+        sampler.add_listener(lambda *a: (_ for _ in ()).throw(AssertionError))
+        assert sampler.poll(0.0) is False
+        sampler.sample(0.0)
+        assert sampler.probe_names == []
+        assert len(sampler.timeline.series) == 0
+        assert sampler.timeline.ticks == 0
+
+    def test_shared_singleton(self):
+        assert isinstance(NULL_SAMPLER, NullSampler)
+        assert not NULL_SAMPLER.enabled
